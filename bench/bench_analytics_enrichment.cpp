@@ -1,0 +1,104 @@
+// E6 / §2 analytics — multi-threaded geo/AS enrichment with IP removal.
+//
+// Sweeps worker thread count over a fixed batch of bus messages and
+// reports enrichment throughput (samples/sec), LRU cache hit rate and
+// the unlocated fraction.  Expected shape: throughput scales with
+// threads up to the host's core count; cache hit rate is high because
+// traffic is endpoint-skewed.
+
+#include <benchmark/benchmark.h>
+
+#include "analytics/pool.hpp"
+#include "bench_util.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace ruru;
+
+std::vector<Message> make_batch(std::size_t count, std::uint32_t host_spread) {
+  Pcg32 rng(0xE6);
+  std::vector<Message> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    LatencySample s;
+    // Clients from the NZ blocks, servers worldwide; spread controls
+    // cache friendliness.
+    s.client = Ipv4Address(Ipv4Address(10, 1, 0, 0).value() + rng.bounded(host_spread));
+    s.server = Ipv4Address(Ipv4Address(10, 2, 0, 0).value() + rng.bounded(host_spread * 4));
+    s.client_port = static_cast<std::uint16_t>(rng.next_u32());
+    s.server_port = 443;
+    s.syn_time = Timestamp::from_ms(static_cast<std::int64_t>(i));
+    s.synack_time = s.syn_time + Duration::from_ms(128);
+    s.ack_time = s.synack_time + Duration::from_ms(5);
+    batch.push_back(encode_latency_sample(s));
+  }
+  return batch;
+}
+
+void BM_EnrichmentVsThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  static const World world = ruru::bench::scenario_world();
+  const auto batch = make_batch(50'000, 200);
+
+  std::uint64_t processed = 0;
+  double hit_rate = 0;
+  for (auto _ : state) {
+    PubSocket bus;
+    auto sub = bus.subscribe("", batch.size() + 16);
+    EnrichmentPool pool(sub, world.geo, world.as, threads);
+    std::atomic<std::uint64_t> sunk{0};
+    pool.add_sink([&sunk](const EnrichedSample&) { sunk.fetch_add(1, std::memory_order_relaxed); });
+    pool.start();
+    for (const auto& m : batch) bus.publish(m);
+    bus.close_all();
+    pool.stop();
+    processed += pool.processed();
+    const auto stats = pool.combined_stats();
+    hit_rate = stats.cache_hits + stats.cache_misses != 0
+                   ? static_cast<double>(stats.cache_hits) /
+                         static_cast<double>(stats.cache_hits + stats.cache_misses)
+                   : 0;
+    if (sunk.load() != batch.size()) state.SkipWithError("lost samples");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["cache_hit_rate"] = hit_rate;
+}
+BENCHMARK(BM_EnrichmentVsThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Single-threaded enricher cost by cache friendliness (host spread).
+void BM_EnrichLookupCost(benchmark::State& state) {
+  static const World world = ruru::bench::scenario_world();
+  const auto spread = static_cast<std::uint32_t>(state.range(0));
+  Enricher enricher(world.geo, world.as);
+  Pcg32 rng(1);
+  LatencySample s;
+  s.syn_time = Timestamp::from_ms(0);
+  s.synack_time = Timestamp::from_ms(128);
+  s.ack_time = Timestamp::from_ms(133);
+  for (auto _ : state) {
+    s.client = Ipv4Address(Ipv4Address(10, 1, 0, 0).value() + rng.bounded(spread));
+    s.server = Ipv4Address(Ipv4Address(10, 2, 0, 0).value() + rng.bounded(spread));
+    const EnrichedSample out = enricher.enrich(s);
+    benchmark::DoNotOptimize(out.total);
+  }
+  state.SetItemsProcessed(state.iterations());
+  const auto& st = enricher.stats();
+  state.counters["hit_rate"] =
+      st.cache_hits + st.cache_misses != 0
+          ? static_cast<double>(st.cache_hits) / static_cast<double>(st.cache_hits + st.cache_misses)
+          : 0;
+}
+BENCHMARK(BM_EnrichLookupCost)->Arg(16)->Arg(256)->Arg(1280)->ArgName("host_spread");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// E8 — Ruru's 3-timestamps-per-flow method vs per-packet passive RTT
+// estimators (pping-style TS matching, tcptrace-style seq/ack matching).
+//
+// Same trace through all three, swept over flow length (data segments).
+// Expected shape:
+//   * processing cost: Ruru flat per packet and cheapest on long flows
+//     (its per-flow state dies after the handshake);
+//   * state: Ruru O(open handshakes), tcptrace O(live flows), pping
+//     O(packets in flight window) — orders of magnitude apart;
+//   * samples: pping >> tcptrace >> Ruru (1/flow) — Ruru trades sample
+//     volume for cost, which is the poster's design argument.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/pping.hpp"
+#include "baseline/tcptrace.hpp"
+#include "bench_util.hpp"
+#include "flow/handshake_tracker.hpp"
+#include "net/packet_view.hpp"
+
+namespace {
+
+using namespace ruru;
+
+std::vector<TimedFrame> trace_with_flow_length(double mean_segments) {
+  TrafficConfig cfg;
+  cfg.seed = 0xBA5E;
+  cfg.flows_per_sec = 500;
+  cfg.duration = Duration::from_sec(4.0);
+  cfg.mean_data_segments = mean_segments;
+  TrafficModel model(cfg, scenarios::transpacific_routes());
+  return ruru::bench::pregenerate(model);
+}
+
+// Pre-parse once so every estimator pays identical parse cost = zero.
+struct ParsedTrace {
+  std::vector<PacketView> views;
+  std::vector<Timestamp> times;
+  std::vector<std::uint32_t> rss;
+};
+
+ParsedTrace parse_trace(const std::vector<TimedFrame>& frames) {
+  ParsedTrace out;
+  out.views.reserve(frames.size());
+  for (const auto& f : frames) {
+    PacketView v;
+    if (parse_packet(f.frame, v) != ParseStatus::kOk) continue;
+    out.views.push_back(v);
+    out.times.push_back(f.timestamp);
+    out.rss.push_back(static_cast<std::uint32_t>(FlowKey::from(v.tuple()).hash()));
+  }
+  return out;
+}
+
+const ParsedTrace& trace_for(std::int64_t segments) {
+  static std::map<std::int64_t, ParsedTrace> cache;
+  auto it = cache.find(segments);
+  if (it == cache.end()) {
+    it = cache.emplace(segments, parse_trace(trace_with_flow_length(
+                                     static_cast<double>(segments)))).first;
+  }
+  return it->second;
+}
+
+void BM_RuruHandshake(benchmark::State& state) {
+  const ParsedTrace& t = trace_for(state.range(0));
+  std::uint64_t samples = 0;
+  std::size_t peak_state = 0;
+  for (auto _ : state) {
+    HandshakeTracker tracker(1 << 16);
+    for (std::size_t i = 0; i < t.views.size(); ++i) {
+      if (tracker.process(t.views[i], t.times[i], t.rss[i], 0)) ++samples;
+      peak_state = std::max(peak_state, tracker.table().size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(t.views.size()) * state.iterations());
+  state.counters["samples"] = static_cast<double>(samples) / static_cast<double>(state.iterations());
+  state.counters["peak_state"] = static_cast<double>(peak_state);
+}
+BENCHMARK(BM_RuruHandshake)->Arg(0)->Arg(4)->Arg(16)->Arg(64)->ArgName("segments")->Unit(benchmark::kMillisecond);
+
+void BM_PpingTsMatching(benchmark::State& state) {
+  const ParsedTrace& t = trace_for(state.range(0));
+  std::uint64_t samples = 0;
+  std::size_t peak_state = 0;
+  for (auto _ : state) {
+    PpingEstimator est;
+    for (std::size_t i = 0; i < t.views.size(); ++i) {
+      if (est.process(t.views[i], t.times[i])) ++samples;
+    }
+    peak_state = std::max(peak_state, est.stats().peak_entries);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(t.views.size()) * state.iterations());
+  state.counters["samples"] = static_cast<double>(samples) / static_cast<double>(state.iterations());
+  state.counters["peak_state"] = static_cast<double>(peak_state);
+}
+BENCHMARK(BM_PpingTsMatching)->Arg(0)->Arg(4)->Arg(16)->Arg(64)->ArgName("segments")->Unit(benchmark::kMillisecond);
+
+void BM_TcptraceSeqAck(benchmark::State& state) {
+  const ParsedTrace& t = trace_for(state.range(0));
+  std::uint64_t samples = 0;
+  std::size_t peak_state = 0;
+  for (auto _ : state) {
+    TcptraceEstimator est;
+    for (std::size_t i = 0; i < t.views.size(); ++i) {
+      if (est.process(t.views[i], t.times[i])) ++samples;
+    }
+    peak_state = std::max(peak_state, est.stats().peak_entries);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(t.views.size()) * state.iterations());
+  state.counters["samples"] = static_cast<double>(samples) / static_cast<double>(state.iterations());
+  state.counters["peak_state"] = static_cast<double>(peak_state);
+}
+BENCHMARK(BM_TcptraceSeqAck)->Arg(0)->Arg(4)->Arg(16)->Arg(64)->ArgName("segments")->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// E1 / Figure 1 — handshake latency calculation accuracy.
+//
+// Paper claim: the three timestamps (SYN, following SYN-ACK, first ACK)
+// decompose end-to-end latency into internal + external halves.  This
+// bench replays scenarios with known ground truth through the tracker
+// and reports the measurement error, swept over jitter and SYN-loss
+// levels.  Expected shape: zero error on clean traffic (the tap sees
+// exact timestamps), internal+external == total always, and SYN loss
+// inflating external by exactly the RTO (a documented property of the
+// method, not a bug).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+
+#include "bench_util.hpp"
+#include "flow/handshake_tracker.hpp"
+#include "net/packet_view.hpp"
+
+namespace {
+
+using namespace ruru;
+
+struct AccuracyResult {
+  double mean_abs_err_ms = 0;
+  double max_abs_err_ms = 0;
+  double sum_identity_err_ms = 0;  // |internal+external-total| summed
+  std::uint64_t samples = 0;
+  std::uint64_t packets = 0;
+};
+
+AccuracyResult run_accuracy(double jitter_frac, double syn_loss_prob, std::int64_t base_rtt_ms) {
+  TrafficConfig cfg;
+  cfg.seed = 0xF161;
+  cfg.flows_per_sec = 400;
+  cfg.duration = Duration::from_sec(5.0);
+  cfg.syn_loss_prob = syn_loss_prob;
+  cfg.mean_data_segments = 2;
+
+  RouteProfile route;
+  route.name = "sweep";
+  route.clients = HostPool::from_range(Ipv4Address(10, 1, 0, 0), 200);
+  route.servers = HostPool::from_range(Ipv4Address(10, 2, 0, 0), 200);
+  route.internal_rtt = Duration::from_ms(5);
+  route.external_rtt = Duration::from_ms(base_rtt_ms);
+  route.jitter_frac = jitter_frac;
+
+  TrafficModel model(cfg, {route});
+  HandshakeTracker tracker(1 << 16);
+
+  // Measured samples keyed by (client, sport).
+  std::map<std::pair<std::uint32_t, std::uint16_t>, LatencySample> measured;
+  AccuracyResult r;
+  while (auto f = model.next()) {
+    PacketView view;
+    if (parse_packet(f->frame, view) != ParseStatus::kOk) continue;
+    ++r.packets;
+    const auto rss = static_cast<std::uint32_t>(FlowKey::from(view.tuple()).hash());
+    if (auto s = tracker.process(view, f->timestamp, rss, 0)) {
+      measured[{s->client.v4.value(), s->client_port}] = *s;
+    }
+  }
+
+  for (const auto& truth : model.truth()) {
+    if (!truth.handshake_completes) continue;
+    const auto it = measured.find({truth.tuple.src.v4.value(), truth.tuple.src_port});
+    if (it == measured.end()) continue;
+    const LatencySample& s = it->second;
+    const double err_ext =
+        std::abs((s.external() - truth.expected_measured_external()).to_ms());
+    const double err_int = std::abs((s.internal() - truth.true_internal).to_ms());
+    const double err = err_ext + err_int;
+    r.mean_abs_err_ms += err;
+    r.max_abs_err_ms = std::max(r.max_abs_err_ms, err);
+    r.sum_identity_err_ms +=
+        std::abs((s.internal() + s.external() - s.total()).to_ms());
+    ++r.samples;
+  }
+  if (r.samples != 0) r.mean_abs_err_ms /= static_cast<double>(r.samples);
+  return r;
+}
+
+// Sweep: jitter in {0, 8, 20}% x syn loss in {0, 2, 10}%.
+void BM_HandshakeAccuracy(benchmark::State& state) {
+  const double jitter = static_cast<double>(state.range(0)) / 100.0;
+  const double loss = static_cast<double>(state.range(1)) / 100.0;
+  AccuracyResult r;
+  for (auto _ : state) {
+    r = run_accuracy(jitter, loss, /*base_rtt_ms=*/128);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["samples"] = static_cast<double>(r.samples);
+  state.counters["mean_abs_err_ms"] = r.mean_abs_err_ms;
+  state.counters["max_abs_err_ms"] = r.max_abs_err_ms;
+  state.counters["identity_err_ms"] = r.sum_identity_err_ms;  // must be 0
+  state.SetItemsProcessed(static_cast<std::int64_t>(r.packets) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HandshakeAccuracy)
+    ->ArgsProduct({{0, 8, 20}, {0, 2, 10}})
+    ->ArgNames({"jitter_pct", "synloss_pct"})
+    ->Unit(benchmark::kMillisecond);
+
+// RTT magnitude sweep: accuracy must be flat from 1 ms to 300 ms routes.
+void BM_HandshakeAccuracyVsRtt(benchmark::State& state) {
+  AccuracyResult r;
+  for (auto _ : state) {
+    r = run_accuracy(0.08, 0.0, state.range(0));
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["samples"] = static_cast<double>(r.samples);
+  state.counters["mean_abs_err_ms"] = r.mean_abs_err_ms;
+}
+BENCHMARK(BM_HandshakeAccuracyVsRtt)
+    ->Arg(1)
+    ->Arg(30)
+    ->Arg(128)
+    ->Arg(300)
+    ->ArgName("base_rtt_ms")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// E2 / Figure 2 — pipeline throughput vs RSS queue count.
+//
+// Paper claim: symmetric RSS over multiple DPDK queues with per-core
+// processing threads lets Ruru tap a 10 Gbit/s link.  This bench blasts
+// a pre-generated trans-Pacific trace through SimNic + per-queue workers
+// and reports sustained packet and bit rates as queues scale 1..8, plus
+// a frame-size sweep (min-size vs MTU frames).  Expected shape: rates
+// high enough for 10G-class traffic; scaling limited by available cores
+// (this reproduction runs on however many cores the host has).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "bench_util.hpp"
+#include "driver/eal.hpp"
+#include "flow/worker.hpp"
+#include "net/packet_builder.hpp"
+
+namespace {
+
+using namespace ruru;
+
+const std::vector<TimedFrame>& trace() {
+  static const std::vector<TimedFrame> frames = [] {
+    auto model = scenarios::transpacific(0xF162, 4000.0, Duration::from_sec(5.0));
+    return ruru::bench::pregenerate(model);
+  }();
+  return frames;
+}
+
+void BM_PipelineThroughputVsQueues(benchmark::State& state) {
+  const auto num_queues = static_cast<std::uint16_t>(state.range(0));
+  const auto& frames = trace();
+
+  std::uint64_t total_bytes = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t drops = 0;
+  for (auto _ : state) {
+    Mempool pool(1 << 16, 2048);
+    NicConfig cfg;
+    cfg.num_queues = num_queues;
+    cfg.queue_depth = 16384;
+    SimNic nic(cfg, pool);
+
+    std::vector<std::unique_ptr<QueueWorker>> workers;
+    std::atomic<std::uint64_t> sample_count{0};
+    for (std::uint16_t q = 0; q < num_queues; ++q) {
+      workers.push_back(std::make_unique<QueueWorker>(
+          nic, q, 1 << 14,
+          [&sample_count](const LatencySample&) {
+            sample_count.fetch_add(1, std::memory_order_relaxed);
+          }));
+    }
+    LcoreLauncher lcores;
+    for (auto& w : workers) {
+      QueueWorker* wp = w.get();
+      lcores.launch([wp](std::uint32_t, const std::atomic<bool>& stop) { wp->run(stop); });
+    }
+
+    std::uint64_t bytes = 0;
+    for (const auto& f : frames) {
+      while (!nic.inject(f.frame, f.timestamp)) {
+        // NIC full: spin until a worker drains (lossless for accuracy).
+      }
+      bytes += f.frame.size();
+    }
+    lcores.stop_and_join();
+    total_bytes += bytes;
+    samples += sample_count.load();
+    drops += nic.stats().dropped_queue_full + nic.stats().dropped_no_mbuf;
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames.size()) * state.iterations());
+  state.SetBytesProcessed(static_cast<std::int64_t>(total_bytes));
+  state.counters["gbps"] = benchmark::Counter(static_cast<double>(total_bytes) * 8.0,
+                                              benchmark::Counter::kIsRate,
+                                              benchmark::Counter::kIs1000);
+  state.counters["handshakes"] = static_cast<double>(samples) / static_cast<double>(state.iterations());
+  state.counters["drops"] = static_cast<double>(drops);
+}
+BENCHMARK(BM_PipelineThroughputVsQueues)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("queues")
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Frame-size sweep: raw RX path cost for 64B-1500B frames (single queue,
+// inline worker poll — isolates per-packet cost from thread scheduling).
+void BM_RxPathVsFrameSize(benchmark::State& state) {
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  TcpFrameSpec spec;
+  spec.src_ip = Ipv4Address(10, 1, 0, 1);
+  spec.dst_ip = Ipv4Address(10, 2, 0, 1);
+  spec.src_port = 40'000;
+  spec.dst_port = 443;
+  spec.flags = TcpFlags::kAck;
+  spec.seq = 1;
+  spec.ack = 1;
+  spec.payload_length = payload;
+  const auto frame = build_tcp_frame(spec);
+
+  Mempool pool(8192, 2048);
+  NicConfig cfg;
+  cfg.num_queues = 1;
+  SimNic nic(cfg, pool);
+  QueueWorker worker(nic, 0, 1 << 12, nullptr);
+
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) nic.inject(frame, Timestamp::from_ns(++t));
+    while (worker.poll_once() != 0) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetBytesProcessed(state.iterations() * 64 *
+                          static_cast<std::int64_t>(frame.size()));
+  state.counters["frame_bytes"] = static_cast<double>(frame.size());
+}
+BENCHMARK(BM_RxPathVsFrameSize)
+    ->Arg(0)      // 54B frame (min-ish)
+    ->Arg(512)
+    ->Arg(1446)   // 1500B frame
+    ->ArgName("payload");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// E5 / §2 frontends — "multiple thousands of connections per second on a
+// live 3D map ... with 30 fps".
+//
+// The C++-side deliverable is the feed: coalescing samples into per-frame
+// arc batches and encoding them as JSON inside WebSocket frames.  This
+// bench sweeps the connection rate and reports the feed's capacity:
+// frames/sec the encoder can cut, arcs per frame after coalescing, and
+// bytes per frame.  Expected shape: arcs/frame stays bounded by the
+// pair-geometry (not by connections/sec), so tens of thousands of
+// connections/sec remain drawable at 30 fps.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "util/random.hpp"
+#include "viz/arc_aggregator.hpp"
+#include "viz/frame_encoder.hpp"
+#include "viz/websocket.hpp"
+
+namespace {
+
+using namespace ruru;
+
+EnrichedSample synth_sample(Pcg32& rng, int pair_count) {
+  EnrichedSample s;
+  const int pair = static_cast<int>(rng.bounded(static_cast<std::uint32_t>(pair_count)));
+  s.client.city = "src" + std::to_string(pair % 12);
+  s.client.latitude = -36.8 + pair % 10;
+  s.client.longitude = 174.7;
+  s.server.city = "dst" + std::to_string(pair / 12);
+  s.server.latitude = 34.0;
+  s.server.longitude = -118.2 + pair % 7;
+  const std::int64_t ms = 80 + static_cast<std::int64_t>(rng.bounded(700));
+  s.total = Duration::from_ms(ms);
+  s.internal = Duration::from_ms(5);
+  s.external = s.total - s.internal;
+  return s;
+}
+
+// Full feed pipeline for one simulated second at `conn_rate`, cutting 30
+// frames; measures end-to-end feed cost.
+void BM_ArcFeedAt30Fps(benchmark::State& state) {
+  const auto conn_rate = static_cast<std::uint32_t>(state.range(0));
+  Pcg32 rng(0xF3ED);
+  ArcAggregator agg;
+  FrameEncoder encoder;
+
+  std::uint64_t bytes = 0;
+  std::uint64_t arcs = 0;
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    // One second of traffic: conn_rate samples, 30 frame cuts.
+    const std::uint32_t per_frame = conn_rate / 30;
+    for (int frame_i = 0; frame_i < 30; ++frame_i) {
+      for (std::uint32_t i = 0; i < per_frame; ++i) agg.add(synth_sample(rng, 60));
+      const ArcFrame frame = agg.cut_frame(Timestamp::from_ms(frame_i * 33));
+      const std::string json = encoder.encode(frame);
+      const auto ws = ws_encode_text(json);
+      benchmark::DoNotOptimize(ws.data());
+      bytes += ws.size();
+      arcs += frame.arcs.size();
+      ++frames;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(conn_rate) * state.iterations());
+  state.counters["conn_per_s"] = static_cast<double>(conn_rate);
+  state.counters["arcs_per_frame"] =
+      frames != 0 ? static_cast<double>(arcs) / static_cast<double>(frames) : 0;
+  state.counters["bytes_per_frame"] =
+      frames != 0 ? static_cast<double>(bytes) / static_cast<double>(frames) : 0;
+  // Feed headroom: how many x faster than real time this second encoded.
+  state.counters["frames_per_s"] =
+      benchmark::Counter(static_cast<double>(frames), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ArcFeedAt30Fps)
+    ->Arg(1'000)
+    ->Arg(5'000)
+    ->Arg(20'000)
+    ->Arg(100'000)
+    ->ArgName("conn_per_s")
+    ->Unit(benchmark::kMillisecond);
+
+// Encoder alone: JSON+WS bytes/sec for frames of varying arc counts.
+void BM_FrameEncode(benchmark::State& state) {
+  const auto arc_count = static_cast<std::size_t>(state.range(0));
+  Pcg32 rng(7);
+  ArcAggregator agg;
+  for (std::size_t i = 0; i < arc_count * 3; ++i) agg.add(synth_sample(rng, static_cast<int>(arc_count)));
+  const ArcFrame frame = agg.cut_frame(Timestamp{});
+  FrameEncoder encoder;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const std::string json = encoder.encode(frame);
+    benchmark::DoNotOptimize(json.data());
+    bytes += json.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.counters["arcs"] = static_cast<double>(frame.arcs.size());
+}
+BENCHMARK(BM_FrameEncode)->Arg(10)->Arg(100)->Arg(1000)->ArgName("pairs");
+
+// WebSocket framing alone.
+void BM_WsEncode(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    const auto ws = ws_encode_text(payload);
+    benchmark::DoNotOptimize(ws.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WsEncode)->Arg(128)->Arg(4096)->Arg(65536)->ArgName("payload_bytes");
+
+}  // namespace
+
+BENCHMARK_MAIN();

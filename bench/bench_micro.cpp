@@ -1,0 +1,225 @@
+// Micro-benchmarks for the data-path building blocks: packet parse,
+// flow-table ops (vs std::unordered_map ablation), SPSC ring, mempool
+// alloc/free, histogram record, checksum, pcap write.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unordered_map>
+
+#include "anomaly/heavy_hitters.hpp"
+#include "capture/pcap.hpp"
+#include "driver/mempool.hpp"
+#include "driver/ring.hpp"
+#include "flow/flow_table.hpp"
+#include "viz/heatmap.hpp"
+#include "net/checksum.hpp"
+#include "net/packet_builder.hpp"
+#include "net/packet_view.hpp"
+#include "util/histogram.hpp"
+#include "util/random.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace {
+
+using namespace ruru;
+
+std::vector<std::uint8_t> sample_frame(std::size_t payload) {
+  TcpFrameSpec spec;
+  spec.src_ip = Ipv4Address(10, 1, 0, 1);
+  spec.dst_ip = Ipv4Address(10, 2, 0, 1);
+  spec.src_port = 40'000;
+  spec.dst_port = 443;
+  spec.flags = TcpFlags::kAck;
+  spec.payload_length = payload;
+  spec.with_timestamps = true;
+  return build_tcp_frame(spec);
+}
+
+void BM_ParsePacket(benchmark::State& state) {
+  const auto frame = sample_frame(static_cast<std::size_t>(state.range(0)));
+  PacketView view;
+  for (auto _ : state) {
+    const auto status = parse_packet(frame, view);
+    benchmark::DoNotOptimize(status);
+    benchmark::DoNotOptimize(view.tcp.src_port);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(frame.size()));
+}
+BENCHMARK(BM_ParsePacket)->Arg(0)->Arg(1200)->ArgName("payload");
+
+void BM_FlowTableInsertEraseCycle(benchmark::State& state) {
+  FlowTable table(1 << 16);
+  Pcg32 rng(1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    FiveTuple tuple;
+    tuple.src = Ipv4Address(rng.next_u32());
+    tuple.dst = Ipv4Address(rng.next_u32());
+    tuple.src_port = static_cast<std::uint16_t>(rng.next_u32());
+    tuple.dst_port = 443;
+    tuple.protocol = 6;
+    const FlowKey key = FlowKey::from(tuple);
+    bool inserted = false;
+    FlowEntry* e = table.find_or_insert(key, static_cast<std::uint32_t>(key.hash()),
+                                        Timestamp::from_ns(++t), inserted);
+    benchmark::DoNotOptimize(e);
+    if (e != nullptr) table.erase(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowTableInsertEraseCycle);
+
+// Ablation: same workload on std::unordered_map (allocating, no probe
+// bound) — the open-addressing table should win on the data path.
+void BM_UnorderedMapInsertEraseCycle(benchmark::State& state) {
+  std::unordered_map<FlowKey, FlowEntry> table;
+  table.reserve(1 << 16);
+  Pcg32 rng(1);
+  for (auto _ : state) {
+    FiveTuple tuple;
+    tuple.src = Ipv4Address(rng.next_u32());
+    tuple.dst = Ipv4Address(rng.next_u32());
+    tuple.src_port = static_cast<std::uint16_t>(rng.next_u32());
+    tuple.dst_port = 443;
+    tuple.protocol = 6;
+    const FlowKey key = FlowKey::from(tuple);
+    auto [it, inserted] = table.try_emplace(key);
+    benchmark::DoNotOptimize(it);
+    table.erase(it);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnorderedMapInsertEraseCycle);
+
+void BM_FlowTableLookupHit(benchmark::State& state) {
+  FlowTable table(1 << 16);
+  Pcg32 rng(2);
+  std::vector<std::pair<FlowKey, std::uint32_t>> keys;
+  for (int i = 0; i < 10'000; ++i) {
+    FiveTuple tuple;
+    tuple.src = Ipv4Address(rng.next_u32());
+    tuple.dst = Ipv4Address(rng.next_u32());
+    tuple.src_port = static_cast<std::uint16_t>(rng.next_u32());
+    tuple.dst_port = 443;
+    tuple.protocol = 6;
+    const FlowKey key = FlowKey::from(tuple);
+    const auto h = static_cast<std::uint32_t>(key.hash());
+    bool inserted = false;
+    if (table.find_or_insert(key, h, Timestamp::from_sec(1), inserted) != nullptr) {
+      keys.emplace_back(key, h);
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [key, h] = keys[i++ % keys.size()];
+    benchmark::DoNotOptimize(table.find(key, h, Timestamp::from_sec(1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowTableLookupHit);
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  SpscRing<std::uint64_t> ring(4096);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push(++v));
+    benchmark::DoNotOptimize(ring.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_MempoolAllocFree(benchmark::State& state) {
+  Mempool pool(4096, 2048);
+  for (auto _ : state) {
+    auto m = pool.alloc();
+    benchmark::DoNotOptimize(m.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MempoolAllocFree);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Pcg32 rng(3);
+  for (auto _ : state) {
+    h.record(static_cast<std::int64_t>(rng.bounded(1'000'000'000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(h.percentile(0.5));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(internet_checksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(20)->Arg(1500);
+
+void BM_MpmcRingPushPop(benchmark::State& state) {
+  MpmcRing<std::uint64_t> ring(4096);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push(++v));
+    benchmark::DoNotOptimize(ring.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MpmcRingPushPop);
+
+void BM_SpaceSavingAdd(benchmark::State& state) {
+  SpaceSaving<std::uint32_t> ss(static_cast<std::size_t>(state.range(0)));
+  Pcg32 rng(4);
+  for (auto _ : state) {
+    // Zipf-ish: 30% one hot key, rest spread.
+    ss.add(rng.chance(0.3) ? 1u : rng.bounded(100'000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingAdd)->Arg(64)->Arg(1024)->ArgName("capacity");
+
+void BM_HeatmapAdd(benchmark::State& state) {
+  auto hm = LatencyHeatmap::with_default_bands(Duration::from_sec(1.0));
+  Pcg32 rng(5);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    hm.add(Timestamp::from_us(t += 100),
+           Duration::from_ms(static_cast<std::int64_t>(rng.bounded(500))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeatmapAdd);
+
+void BM_PcapWrite(benchmark::State& state) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("bench_pcap_" + std::to_string(::getpid()) + ".pcap"))
+          .string();
+  auto writer = PcapWriter::open(path);
+  if (!writer.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  const auto frame = sample_frame(1200);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer.value().write(Timestamp::from_us(++t), frame).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(frame.size()));
+  writer.value().close();
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_PcapWrite);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+// E9 / §2 — the ZeroMQ role: zero-copy pub/sub between pipeline stages.
+//
+// Reports in-proc publish throughput vs payload size and subscriber
+// count, the HWM drop behaviour under an absent consumer (the publisher
+// must never block), and loopback TCP transport throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "msg/pubsub.hpp"
+#include "msg/tcp_transport.hpp"
+
+namespace {
+
+using namespace ruru;
+
+Message make_message(std::size_t payload_size) {
+  Message m("ruru.latency");
+  m.add(Frame::adopt(std::vector<std::uint8_t>(payload_size, 0xAB)));
+  return m;
+}
+
+// Publish with one active consumer thread draining.
+void BM_InprocPubSub(benchmark::State& state) {
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  PubSocket pub;
+  auto sub = pub.subscribe("", 1 << 14);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> received{0};
+  std::thread consumer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (sub->try_recv()) received.fetch_add(1, std::memory_order_relaxed);
+    }
+    while (sub->try_recv()) received.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  const Message msg = make_message(payload);
+  for (auto _ : state) {
+    pub.publish(msg);  // shares frames; the copy happened once above
+  }
+  stop.store(true);
+  consumer.join();
+
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(payload));
+  state.counters["delivered"] = static_cast<double>(sub->delivered());
+  state.counters["hwm_dropped"] = static_cast<double>(sub->dropped());
+}
+BENCHMARK(BM_InprocPubSub)->Arg(64)->Arg(512)->Arg(4096)->ArgName("payload");
+
+// Fan-out cost: one publish to N subscribers (each message shared, not
+// copied — this measures queue insertion, not memcpy).
+void BM_InprocFanout(benchmark::State& state) {
+  const auto nsubs = static_cast<std::size_t>(state.range(0));
+  PubSocket pub;
+  std::vector<std::shared_ptr<Subscription>> subs;
+  for (std::size_t i = 0; i < nsubs; ++i) subs.push_back(pub.subscribe("", 1 << 20));
+  const Message msg = make_message(68);
+  for (auto _ : state) {
+    pub.publish(msg);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(nsubs));
+  // Confirm zero-copy: every queued message shares one buffer.
+  state.counters["payload_use_count"] = static_cast<double>(msg.frames[1].use_count());
+}
+BENCHMARK(BM_InprocFanout)->Arg(1)->Arg(4)->Arg(16)->ArgName("subscribers");
+
+// HWM policy: a stalled consumer must not slow the publisher down.
+void BM_HwmDropUnderStall(benchmark::State& state) {
+  PubSocket pub;
+  auto sub = pub.subscribe("", 1024);  // nobody drains it
+  const Message msg = make_message(68);
+  for (auto _ : state) {
+    pub.publish(msg);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["dropped"] = static_cast<double>(sub->dropped());
+  state.counters["delivered"] = static_cast<double>(sub->delivered());
+}
+BENCHMARK(BM_HwmDropUnderStall);
+
+// Ablation (DESIGN.md §5): HWM drop vs block with a slow consumer. The
+// drop policy keeps the publisher at full speed and sheds load; the
+// block policy throttles the publisher to the consumer's pace — which
+// on the capture path would mean dropping packets at the NIC instead.
+void BM_HwmPolicyWithSlowConsumer(benchmark::State& state) {
+  const bool block = state.range(0) == 1;
+  PubSocket pub;
+  auto sub = pub.subscribe("", 256, block ? HwmPolicy::kBlock : HwmPolicy::kDrop);
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (sub->try_recv()) {
+        // ~2 us of "work" per message: slower than the publisher.
+        const auto until = std::chrono::steady_clock::now() + std::chrono::microseconds(2);
+        while (std::chrono::steady_clock::now() < until) {
+        }
+      }
+    }
+  });
+
+  const Message msg = make_message(68);
+  for (auto _ : state) {
+    pub.publish(msg);
+  }
+  done.store(true);
+  pub.close_all();  // release a possibly blocked final publish
+  consumer.join();
+
+  state.SetItemsProcessed(state.iterations());
+  state.counters["delivered"] = static_cast<double>(sub->delivered());
+  state.counters["dropped"] = static_cast<double>(sub->dropped());
+}
+BENCHMARK(BM_HwmPolicyWithSlowConsumer)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("policy(0=drop,1=block)")
+    ->UseRealTime();
+
+// Loopback TCP transport: serialize + send + receive round.
+void BM_TcpTransportLoopback(benchmark::State& state) {
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  TcpBusServer server;
+  if (!server.bind(0).ok()) {
+    state.SkipWithError("bind failed");
+    return;
+  }
+  auto client = TcpBusClient::connect("127.0.0.1", server.port());
+  if (!client.ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  while (server.client_count() < 1) std::this_thread::yield();
+
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (client.value().recv()) {
+        received.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        break;
+      }
+    }
+  });
+
+  const Message msg = make_message(payload);
+  for (auto _ : state) {
+    server.publish(msg);
+  }
+  done.store(true);
+  server.close();  // unblocks the consumer
+  consumer.join();
+
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(payload));
+  state.counters["received"] = static_cast<double>(received.load());
+}
+BENCHMARK(BM_TcpTransportLoopback)->Arg(68)->Arg(512)->Arg(4096)->ArgName("payload");
+
+}  // namespace
+
+BENCHMARK_MAIN();

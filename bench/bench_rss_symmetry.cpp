@@ -1,0 +1,87 @@
+// E10 / §2 — symmetric RSS dispatch (the ablation DESIGN.md calls out).
+//
+// Reports: Toeplitz hash cost, the same-queue rate for flow direction
+// pairs under the symmetric key vs Microsoft's default key (1.0 vs
+// ~1/queues — broken for Ruru), and queue-spread uniformity (max/mean
+// load imbalance across queues).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "driver/toeplitz.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace ruru;
+
+void BM_ToeplitzHashCost(benchmark::State& state) {
+  const RssKey& key = state.range(0) == 0 ? symmetric_rss_key() : default_rss_key();
+  Pcg32 rng(0x10);
+  std::vector<std::uint32_t> srcs(1024), dsts(1024);
+  for (auto& v : srcs) v = rng.next_u32();
+  for (auto& v : dsts) v = rng.next_u32();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto h = rss_hash_tcp4(key, Ipv4Address(srcs[i & 1023]), Ipv4Address(dsts[i & 1023]),
+                                 static_cast<std::uint16_t>(i), 443);
+    benchmark::DoNotOptimize(h);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ToeplitzHashCost)->Arg(0)->Arg(1)->ArgName("key(0=sym,1=msft)");
+
+void BM_SameQueueRate(benchmark::State& state) {
+  const bool symmetric = state.range(0) == 0;
+  const RssKey& key = symmetric ? symmetric_rss_key() : default_rss_key();
+  const auto queues = static_cast<std::uint32_t>(state.range(1));
+  Pcg32 rng(0x11);
+
+  std::uint64_t same = 0, total = 0;
+  for (auto _ : state) {
+    const Ipv4Address a(rng.next_u32()), b(rng.next_u32());
+    const auto sp = static_cast<std::uint16_t>(rng.next_u32());
+    const auto dp = static_cast<std::uint16_t>(rng.next_u32());
+    const auto fwd = rss_hash_tcp4(key, a, b, sp, dp) % queues;
+    const auto rev = rss_hash_tcp4(key, b, a, dp, sp) % queues;
+    if (fwd == rev) ++same;
+    ++total;
+    benchmark::DoNotOptimize(fwd + rev);
+  }
+  state.counters["same_queue_rate"] =
+      total != 0 ? static_cast<double>(same) / static_cast<double>(total) : 0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_SameQueueRate)
+    ->ArgsProduct({{0, 1}, {4, 8}})
+    ->ArgNames({"key(0=sym,1=msft)", "queues"});
+
+// Load balance: flows per queue imbalance for the symmetric key.
+void BM_QueueSpreadImbalance(benchmark::State& state) {
+  const auto queues = static_cast<std::uint32_t>(state.range(0));
+  double imbalance = 0;
+  for (auto _ : state) {
+    Pcg32 rng(0x12);
+    std::vector<std::uint64_t> counts(queues, 0);
+    constexpr int kFlows = 100'000;
+    for (int i = 0; i < kFlows; ++i) {
+      const auto h = rss_hash_tcp4(symmetric_rss_key(), Ipv4Address(rng.next_u32()),
+                                   Ipv4Address(rng.next_u32()),
+                                   static_cast<std::uint16_t>(rng.next_u32()), 443);
+      ++counts[h % queues];
+    }
+    std::uint64_t max_count = 0;
+    for (const auto c : counts) max_count = std::max(max_count, c);
+    imbalance = static_cast<double>(max_count) /
+                (static_cast<double>(kFlows) / static_cast<double>(queues));
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.counters["max_over_mean"] = imbalance;  // 1.0 == perfectly uniform
+}
+BENCHMARK(BM_QueueSpreadImbalance)->Arg(2)->Arg(4)->Arg(8)->ArgName("queues")->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

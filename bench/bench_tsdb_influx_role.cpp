@@ -1,0 +1,149 @@
+// E7 / §2 storage — the InfluxDB role: per-sample ingest with geo/AS
+// tags, then Grafana's queries (min/max/median/mean per interval,
+// grouped by location/AS).
+//
+// Reports ingest rate, windowed-stats query latency over 1M points, and
+// group-by query latency, plus WAL append overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "tsdb/tsdb.hpp"
+#include "tsdb/wal.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace ruru;
+
+TagSet make_tags(Pcg32& rng) {
+  static const char* kCities[] = {"Auckland", "Wellington", "Christchurch", "Dunedin", "Hamilton"};
+  static const char* kDest[] = {"Los Angeles", "San Jose", "Seattle", "London", "Tokyo",
+                                "Singapore", "Sydney", "Frankfurt"};
+  TagSet t;
+  t.add("src_city", kCities[rng.bounded(5)]);
+  t.add("dst_city", kDest[rng.bounded(8)]);
+  t.add("dst_as", std::to_string(1000 + rng.bounded(8)));
+  return t;
+}
+
+void BM_TsdbIngest(benchmark::State& state) {
+  Pcg32 rng(0xDB);
+  TimeSeriesDb db;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    db.write("total_ms", make_tags(rng), Timestamp::from_us(t += 100), rng.uniform(80.0, 300.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["series"] = static_cast<double>(db.series_count());
+}
+BENCHMARK(BM_TsdbIngest);
+
+void BM_TsdbIngestWithWal(benchmark::State& state) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("bench_wal_" + std::to_string(::getpid()) + ".wal"))
+          .string();
+  auto wal = Wal::create(path);
+  if (!wal.ok()) {
+    state.SkipWithError("wal create failed");
+    return;
+  }
+  Pcg32 rng(0xDB);
+  TimeSeriesDb db;
+  db.attach_wal(&wal.value());
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    db.write("total_ms", make_tags(rng), Timestamp::from_us(t += 100), rng.uniform(80.0, 300.0));
+  }
+  wal.value().sync();
+  state.SetItemsProcessed(state.iterations());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_TsdbIngestWithWal);
+
+class LoadedDb {
+ public:
+  static const TimeSeriesDb& instance() {
+    static const LoadedDb db;
+    return db.db_;
+  }
+
+ private:
+  LoadedDb() {
+    Pcg32 rng(0xDB2);
+    for (int i = 0; i < 1'000'000; ++i) {
+      db_.write("total_ms", make_tags(rng), Timestamp::from_ms(i / 10),
+                rng.uniform(80.0, 300.0));
+    }
+  }
+  TimeSeriesDb db_;
+};
+
+// The Grafana panel query: stats over a time interval.
+void BM_TsdbAggregateQuery(benchmark::State& state) {
+  const auto& db = LoadedDb::instance();
+  const auto span_ms = state.range(0);
+  for (auto _ : state) {
+    const auto r = db.aggregate("total_ms", TagSet{}, Timestamp::from_ms(1'000),
+                                Timestamp::from_ms(1'000 + span_ms));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TsdbAggregateQuery)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->ArgName("span_ms")
+    ->Unit(benchmark::kMicrosecond);
+
+// The dashboard time-series: windowed stats across the run.
+void BM_TsdbWindowQuery(benchmark::State& state) {
+  const auto& db = LoadedDb::instance();
+  for (auto _ : state) {
+    const auto r = db.window_aggregate("total_ms", TagSet{}, Timestamp{},
+                                       Timestamp::from_ms(100'000),
+                                       Duration::from_sec(static_cast<double>(state.range(0))));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TsdbWindowQuery)->Arg(1)->Arg(10)->ArgName("window_s")->Unit(benchmark::kMillisecond);
+
+// "InfluxDB takes care of indexing data on geo-location and AS": the
+// group-by query behind per-location panels.
+void BM_TsdbGroupBy(benchmark::State& state) {
+  const auto& db = LoadedDb::instance();
+  const char* key = state.range(0) == 0 ? "src_city" : "dst_as";
+  for (auto _ : state) {
+    const auto r = db.group_by("total_ms", key, TagSet{}, Timestamp{}, Timestamp::from_ms(100'000));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TsdbGroupBy)->Arg(0)->Arg(1)->ArgName("key")->Unit(benchmark::kMillisecond);
+
+// Retention enforcement cost.
+void BM_TsdbRetention(benchmark::State& state) {
+  Pcg32 rng(9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    TimeSeriesDb db;
+    for (int i = 0; i < 100'000; ++i) {
+      db.write("m", make_tags(rng), Timestamp::from_ms(i), 1.0);
+    }
+    state.ResumeTiming();
+    const auto dropped = db.enforce_retention(Timestamp::from_ms(100'000),
+                                              Duration::from_sec(50.0));
+    benchmark::DoNotOptimize(dropped);
+  }
+}
+BENCHMARK(BM_TsdbRetention)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+#pragma once
+// Shared helpers for the experiment benches (DESIGN.md §4).
+
+#include <vector>
+
+#include "capture/scenarios.hpp"
+#include "capture/traffic_model.hpp"
+#include "geo/world.hpp"
+
+namespace ruru::bench {
+
+inline World scenario_world() {
+  std::vector<SiteSpec> specs;
+  auto convert = [&](const scenarios::Site& s) {
+    SiteSpec spec;
+    spec.city = s.city;
+    spec.country = s.country;
+    spec.latitude = s.latitude;
+    spec.longitude = s.longitude;
+    spec.asn = s.asn;
+    spec.block_start = s.block.value();
+    spec.block_size = 256;
+    specs.push_back(std::move(spec));
+  };
+  for (const auto& s : scenarios::nz_sites()) convert(s);
+  for (const auto& s : scenarios::world_sites()) convert(s);
+  auto world = build_world(specs);
+  if (!world.ok()) std::abort();
+  return std::move(world).value();
+}
+
+/// Drains a traffic model into a frame vector (pre-generation keeps the
+/// generator's cost out of the measured loop).
+inline std::vector<TimedFrame> pregenerate(TrafficModel& model) {
+  std::vector<TimedFrame> frames;
+  while (auto f = model.next()) frames.push_back(std::move(*f));
+  return frames;
+}
+
+}  // namespace ruru::bench

@@ -1,0 +1,34 @@
+#pragma once
+// Shared helpers for the example programs: build the Geo/AS world that
+// matches the canned scenario site plan.
+
+#include <vector>
+
+#include "capture/scenarios.hpp"
+#include "geo/world.hpp"
+
+namespace ruru::examples {
+
+inline World scenario_world() {
+  std::vector<SiteSpec> specs;
+  auto convert = [&](const scenarios::Site& s) {
+    SiteSpec spec;
+    spec.city = s.city;
+    spec.country = s.country;
+    spec.latitude = s.latitude;
+    spec.longitude = s.longitude;
+    spec.asn = s.asn;
+    spec.block_start = s.block.value();
+    spec.block_size = 256;
+    specs.push_back(std::move(spec));
+  };
+  for (const auto& s : scenarios::nz_sites()) convert(s);
+  for (const auto& s : scenarios::world_sites()) convert(s);
+  auto world = build_world(specs);
+  if (!world.ok()) {
+    throw std::runtime_error("failed to build world: " + world.error());
+  }
+  return std::move(world).value();
+}
+
+}  // namespace ruru::examples

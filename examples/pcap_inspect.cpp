@@ -1,0 +1,128 @@
+// pcap_inspect — operator CLI: per-flow handshake latencies from a pcap.
+//
+// Runs Ruru's Figure-1 measurement over a capture file (no pipeline, no
+// threads — just the tracker) and prints one row per completed
+// handshake, plus the distribution summary. The tcpdump-side companion
+// to the live system.
+//
+// Run: ./pcap_inspect <file.pcap> [--max-rows N]
+//      (with no arguments it generates and inspects a demo capture)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "anomaly/heavy_hitters.hpp"
+#include "capture/pcap.hpp"
+#include "capture/scenarios.hpp"
+#include "flow/handshake_tracker.hpp"
+#include "net/packet_view.hpp"
+#include "util/histogram.hpp"
+
+namespace {
+
+int make_demo_pcap(const std::string& path) {
+  using namespace ruru;
+  auto model = scenarios::transpacific(/*seed=*/1, /*flows_per_sec=*/40.0,
+                                       Duration::from_sec(3.0));
+  auto writer = PcapWriter::open(path);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "%s\n", writer.error().c_str());
+    return 1;
+  }
+  while (auto f = model.next()) {
+    if (!writer.value().write(f->timestamp, f->frame).ok()) return 1;
+  }
+  std::printf("(no pcap given: generated demo capture %s, %llu frames)\n\n", path.c_str(),
+              static_cast<unsigned long long>(writer.value().records_written()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ruru;
+
+  std::string path;
+  long max_rows = 25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-rows") == 0 && i + 1 < argc) {
+      max_rows = std::atol(argv[++i]);
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    path = "/tmp/ruru_demo.pcap";
+    if (make_demo_pcap(path) != 0) return 1;
+  }
+
+  auto reader = PcapReader::open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: %s\n", reader.error().c_str());
+    return 1;
+  }
+
+  HandshakeTracker tracker(1 << 18);
+  Histogram internal_h, external_h, total_h;
+  SpaceSaving<std::uint32_t> top_servers(256);  // heavy-hitter SYN targets
+  std::uint64_t frames = 0;
+  std::uint64_t rows = 0;
+
+  std::printf("%-38s %10s %10s %10s\n", "flow (client -> server)", "internal", "external",
+              "total");
+  while (auto rec = reader.value().next()) {
+    ++frames;
+    PacketView view;
+    if (parse_packet(rec->frame, view) != ParseStatus::kOk) continue;
+    if (view.tcp.is_syn_only() && view.is_v4) top_servers.add(view.ip4.dst.value());
+    const auto rss = static_cast<std::uint32_t>(FlowKey::from(view.tuple()).hash());
+    if (auto s = tracker.process(view, rec->timestamp, rss, 0)) {
+      internal_h.record(s->internal());
+      external_h.record(s->external());
+      total_h.record(s->total());
+      if (static_cast<long>(rows++) < max_rows) {
+        char flow[64];
+        std::snprintf(flow, sizeof flow, "%s:%u -> %s:%u", s->client.to_string().c_str(),
+                      s->client_port, s->server.to_string().c_str(), s->server_port);
+        std::printf("%-38s %10s %10s %10s\n", flow, to_string(s->internal()).c_str(),
+                    to_string(s->external()).c_str(), to_string(s->total()).c_str());
+      }
+    }
+  }
+  if (static_cast<long>(rows) > max_rows) {
+    std::printf("... (%llu more flows)\n", static_cast<unsigned long long>(rows - max_rows));
+  }
+
+  const auto& st = tracker.stats();
+  std::printf("\n%llu frames, %llu SYNs (%llu retransmitted), %llu handshakes measured\n",
+              static_cast<unsigned long long>(frames),
+              static_cast<unsigned long long>(st.syn_seen),
+              static_cast<unsigned long long>(st.syn_retransmissions),
+              static_cast<unsigned long long>(st.samples_emitted));
+  if (reader.value().truncated()) std::printf("warning: capture ends with a torn record\n");
+
+  auto print_dist = [](const char* name, const Histogram& h) {
+    std::printf("%-9s min=%-10s p50=%-10s mean=%-10s p99=%-10s max=%s\n", name,
+                to_string(Duration{h.min()}).c_str(),
+                to_string(Duration{h.percentile(0.5)}).c_str(),
+                to_string(Duration{static_cast<std::int64_t>(h.mean())}).c_str(),
+                to_string(Duration{h.percentile(0.99)}).c_str(),
+                to_string(Duration{h.max()}).c_str());
+  };
+  if (total_h.count() != 0) {
+    std::printf("\n");
+    print_dist("internal", internal_h);
+    print_dist("external", external_h);
+    print_dist("total", total_h);
+  }
+
+  std::printf("\ntop SYN targets (space-saving sketch over %llu SYNs):\n",
+              static_cast<unsigned long long>(top_servers.total()));
+  for (const auto& e : top_servers.top(5)) {
+    std::printf("  %-16s %6llu SYNs (±%llu)\n", Ipv4Address(e.key).to_string().c_str(),
+                static_cast<unsigned long long>(e.count),
+                static_cast<unsigned long long>(e.error));
+  }
+  return 0;
+}

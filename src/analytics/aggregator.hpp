@@ -1,0 +1,54 @@
+#pragma once
+// Aggregation "by source and destination locations, and AS numbers"
+// (§1/§2 of the paper): running latency statistics per location pair and
+// per AS pair, suitable for the Grafana-style views and the anomaly
+// detectors.  Thread-safe (fed from enrichment workers).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analytics/enriched_sample.hpp"
+#include "util/histogram.hpp"
+
+namespace ruru {
+
+struct PairStats {
+  std::uint64_t connections = 0;
+  Histogram total_latency;     // ns
+  Histogram internal_latency;  // ns
+  Histogram external_latency;  // ns
+};
+
+struct PairSummary {
+  std::string key;  ///< "src|dst"
+  std::uint64_t connections = 0;
+  Duration min_total, median_total, mean_total, max_total, p99_total;
+};
+
+class LatencyAggregator {
+ public:
+  /// Key choice: city pair or AS pair.
+  enum class Mode { kCityPair, kAsPair, kCountryPair };
+
+  explicit LatencyAggregator(Mode mode) : mode_(mode) {}
+
+  void add(const EnrichedSample& sample);
+
+  /// Snapshot of all pairs sorted by connection count (descending).
+  [[nodiscard]] std::vector<PairSummary> summaries() const;
+
+  [[nodiscard]] std::uint64_t total_connections() const;
+  [[nodiscard]] std::size_t pair_count() const;
+
+ private:
+  [[nodiscard]] std::string key_for(const EnrichedSample& s) const;
+
+  Mode mode_;
+  mutable std::mutex mu_;
+  std::map<std::string, PairStats> pairs_;
+};
+
+}  // namespace ruru

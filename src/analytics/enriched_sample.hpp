@@ -1,0 +1,39 @@
+#pragma once
+// Geo/AS-enriched latency record — what leaves Ruru Analytics.
+//
+// Privacy by construction: per §2 of the paper, "all original IP
+// addresses are removed" after enrichment.  EnrichedSample therefore has
+// no address fields at all; downstream consumers (TSDB, frontends) can
+// only see locations and AS numbers.
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace ruru {
+
+struct GeoInfo {
+  std::string city;
+  std::string country;
+  double latitude = 0.0;
+  double longitude = 0.0;
+  std::uint32_t asn = 0;
+  std::string as_org;
+  bool located = true;  ///< false when the DB had no covering range
+};
+
+struct EnrichedSample {
+  GeoInfo client;  ///< handshake initiator's location
+  GeoInfo server;
+
+  Duration internal;  ///< tap -> client -> tap
+  Duration external;  ///< tap -> server -> tap
+  Duration total;     ///< end-to-end RTT
+
+  Timestamp started_at;    ///< time of the first SYN at the tap
+  Timestamp completed_at;  ///< time of the handshake ACK at the tap
+  std::uint16_t queue_id = 0;
+};
+
+}  // namespace ruru

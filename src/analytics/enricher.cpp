@@ -1,0 +1,63 @@
+#include "analytics/enricher.hpp"
+
+namespace ruru {
+
+GeoInfo Enricher::locate(const IpAddress& addr) {
+  if (!addr.is_v4()) {
+    GeoInfo info;
+    if (geo6_ != nullptr) {
+      if (const Geo6Record* g = geo6_->lookup(addr.v6)) {
+        info.city = g->city;
+        info.country = g->country;
+        info.latitude = g->latitude;
+        info.longitude = g->longitude;
+        info.asn = g->asn;
+        info.as_org = g->as_org;
+        return info;  // v6 lookups are uncached (table is tiny)
+      }
+    }
+    info.located = false;
+    return info;
+  }
+  const std::uint32_t key = addr.v4.value();
+  if (auto cached = cache_.get(key)) {
+    ++stats_.cache_hits;
+    return *cached;
+  }
+  ++stats_.cache_misses;
+
+  GeoInfo info;
+  if (const GeoRecord* g = geo_.lookup(addr.v4)) {
+    info.city = g->city;
+    info.country = g->country;
+    info.latitude = g->latitude;
+    info.longitude = g->longitude;
+  } else {
+    info.located = false;
+  }
+  if (const AsRecord* a = as_.lookup(addr.v4)) {
+    info.asn = a->asn;
+    info.as_org = a->organization;
+  }
+  cache_.put(key, info);
+  return info;
+}
+
+EnrichedSample Enricher::enrich(const LatencySample& sample) {
+  EnrichedSample out;
+  out.client = locate(sample.client);
+  out.server = locate(sample.server);
+  out.internal = sample.internal();
+  out.external = sample.external();
+  out.total = sample.total();
+  out.started_at = sample.syn_time;
+  out.completed_at = sample.ack_time;
+  out.queue_id = sample.queue_id;
+  ++stats_.enriched;
+  if (!out.client.located || !out.server.located) ++stats_.unlocated;
+  // The LatencySample (with its IP addresses) dies here: nothing beyond
+  // this point carries an address.
+  return out;
+}
+
+}  // namespace ruru

@@ -1,0 +1,50 @@
+#pragma once
+// Geo + AS enrichment of raw latency samples.
+//
+// Each enrichment worker owns one Enricher: range-DB lookups front-ended
+// by per-worker LRU caches (traffic is heavy-tailed over hosts), then
+// the original IPs are dropped.  IPv6 samples are marked unlocated — the
+// synthetic DBs are IPv4, like IP2Location LITE's v4 table.
+
+#include <cstdint>
+
+#include "analytics/enriched_sample.hpp"
+#include "flow/latency_sample.hpp"
+#include "geo/as_db.hpp"
+#include "geo/geo6_db.hpp"
+#include "geo/geo_db.hpp"
+#include "geo/lru_cache.hpp"
+
+namespace ruru {
+
+struct EnricherStats {
+  std::uint64_t enriched = 0;
+  std::uint64_t unlocated = 0;  ///< at least one endpoint had no geo record
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+class Enricher {
+ public:
+  Enricher(const GeoDatabase& geo, const AsDatabase& as, std::size_t cache_capacity = 8192)
+      : geo_(geo), as_(as), cache_(cache_capacity) {}
+
+  /// Optional IPv6 table (not owned; must outlive the enricher).
+  /// Without it, v6 endpoints are marked unlocated.
+  void set_geo6(const Geo6Database* geo6) { geo6_ = geo6; }
+
+  [[nodiscard]] EnrichedSample enrich(const LatencySample& sample);
+
+  [[nodiscard]] GeoInfo locate(const IpAddress& addr);
+
+  [[nodiscard]] const EnricherStats& stats() const { return stats_; }
+
+ private:
+  const GeoDatabase& geo_;
+  const AsDatabase& as_;
+  const Geo6Database* geo6_ = nullptr;
+  LruCache<std::uint32_t, GeoInfo> cache_;  // keyed on the IPv4 value
+  EnricherStats stats_;
+};
+
+}  // namespace ruru

@@ -1,0 +1,48 @@
+#include "analytics/filter.hpp"
+
+namespace ruru {
+
+SampleFilter SampleFilter::country(std::string country_code) {
+  // Name computed before the lambda captures-by-move (argument
+  // evaluation order is unspecified).
+  std::string name = "country=" + country_code;
+  return SampleFilter(std::move(name),
+                      [code = std::move(country_code)](const EnrichedSample& s) {
+                        return s.client.country == code || s.server.country == code;
+                      });
+}
+
+SampleFilter SampleFilter::city(std::string city_name) {
+  std::string name = "city=" + city_name;
+  return SampleFilter(std::move(name), [n = std::move(city_name)](const EnrichedSample& s) {
+    return s.client.city == n || s.server.city == n;
+  });
+}
+
+SampleFilter SampleFilter::asn(std::uint32_t asn) {
+  return SampleFilter("asn=" + std::to_string(asn), [asn](const EnrichedSample& s) {
+    return s.client.asn == asn || s.server.asn == asn;
+  });
+}
+
+SampleFilter SampleFilter::latency_between(Duration lo, Duration hi) {
+  return SampleFilter("latency[" + to_string(lo) + "," + to_string(hi) + ")",
+                      [lo, hi](const EnrichedSample& s) { return s.total >= lo && s.total < hi; });
+}
+
+SampleFilter SampleFilter::latency_at_least(Duration threshold) {
+  return SampleFilter("latency>=" + to_string(threshold),
+                      [threshold](const EnrichedSample& s) { return s.total >= threshold; });
+}
+
+SampleFilter SampleFilter::server_in_box(double lat_min, double lat_max, double lon_min,
+                                         double lon_max) {
+  return SampleFilter("server_in_box",
+                      [=](const EnrichedSample& s) {
+                        return s.server.located && s.server.latitude >= lat_min &&
+                               s.server.latitude <= lat_max && s.server.longitude >= lon_min &&
+                               s.server.longitude <= lon_max;
+                      });
+}
+
+}  // namespace ruru

@@ -1,0 +1,97 @@
+#pragma once
+// Filter module — the extension §2 of the paper calls out explicitly:
+// "one could add a filter module to filter measurements in the pipeline
+// based on some criteria (e.g., geo-location)".
+//
+// A FilterChain wraps a set of predicates over EnrichedSample and can be
+// interposed in front of any sink; composable criteria cover the cases
+// the paper names (geo) plus AS and latency bands.  Counters expose how
+// much each stage of the chain passes.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytics/enriched_sample.hpp"
+
+namespace ruru {
+
+class SampleFilter {
+ public:
+  using Predicate = std::function<bool(const EnrichedSample&)>;
+
+  SampleFilter(std::string name, Predicate pred)
+      : name_(std::move(name)), pred_(std::move(pred)) {}
+
+  [[nodiscard]] bool accepts(const EnrichedSample& s) const { return pred_(s); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // --- the criteria the paper's text suggests ---
+
+  /// Either endpoint in `country` (ISO alpha-2).
+  static SampleFilter country(std::string country_code);
+  /// Either endpoint in `city`.
+  static SampleFilter city(std::string city_name);
+  /// Either endpoint in AS `asn`.
+  static SampleFilter asn(std::uint32_t asn);
+  /// Total latency within [lo, hi).
+  static SampleFilter latency_between(Duration lo, Duration hi);
+  /// Total latency at or above `threshold` (the "red arcs" slice).
+  static SampleFilter latency_at_least(Duration threshold);
+  /// Great-circle-box filter: server endpoint inside the lat/lon box.
+  static SampleFilter server_in_box(double lat_min, double lat_max, double lon_min,
+                                    double lon_max);
+
+ private:
+  std::string name_;
+  Predicate pred_;
+};
+
+/// AND-composition of filters with per-stage pass counters, wrapping a
+/// downstream sink.
+class FilterChain {
+ public:
+  using Sink = std::function<void(const EnrichedSample&)>;
+
+  explicit FilterChain(Sink sink) : sink_(std::move(sink)) {}
+
+  FilterChain& add(SampleFilter filter) {
+    stages_.push_back(Stage{std::move(filter), std::make_unique<std::atomic<std::uint64_t>>(0)});
+    return *this;
+  }
+
+  /// Feed a sample through the chain; forwarded iff every stage accepts.
+  /// Thread-safe (counters are atomic, stages immutable after setup).
+  void operator()(const EnrichedSample& s) {
+    ++seen_;
+    for (const auto& stage : stages_) {
+      if (!stage.filter.accepts(s)) return;
+      stage.passed->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (sink_) sink_(s);
+    ++forwarded_;
+  }
+
+  [[nodiscard]] std::uint64_t seen() const { return seen_.load(); }
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_.load(); }
+  [[nodiscard]] std::uint64_t passed(std::size_t stage) const {
+    return stages_.at(stage).passed->load();
+  }
+  [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
+
+ private:
+  struct Stage {
+    SampleFilter filter;
+    std::unique_ptr<std::atomic<std::uint64_t>> passed;
+  };
+
+  Sink sink_;
+  std::vector<Stage> stages_;
+  std::atomic<std::uint64_t> seen_{0};
+  std::atomic<std::uint64_t> forwarded_{0};
+};
+
+}  // namespace ruru

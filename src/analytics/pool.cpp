@@ -1,0 +1,67 @@
+#include "analytics/pool.hpp"
+
+namespace ruru {
+
+EnrichmentPool::EnrichmentPool(std::shared_ptr<Subscription> source, const GeoDatabase& geo,
+                               const AsDatabase& as, std::size_t threads,
+                               const Geo6Database* geo6)
+    : source_(std::move(source)), geo_(geo), as_(as), thread_count_(threads == 0 ? 1 : threads) {
+  enrichers_.reserve(thread_count_);
+  for (std::size_t i = 0; i < thread_count_; ++i) {
+    auto enricher = std::make_unique<Enricher>(geo_, as_);
+    enricher->set_geo6(geo6);
+    enrichers_.push_back(std::move(enricher));
+  }
+}
+
+EnrichmentPool::~EnrichmentPool() { stop(); }
+
+void EnrichmentPool::start() {
+  if (started_) return;
+  started_ = true;
+  threads_.reserve(thread_count_);
+  for (std::size_t i = 0; i < thread_count_; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+void EnrichmentPool::stop() {
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void EnrichmentPool::worker_main(std::size_t index) {
+  Enricher& enricher = *enrichers_[index];
+  while (true) {
+    auto msg = source_->recv();  // blocking; nullopt == closed and drained
+    if (!msg) break;
+    if (msg->frames.size() < 2) {
+      decode_failures_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const auto sample = decode_latency_sample(msg->frames[1]);
+    if (!sample) {
+      decode_failures_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const EnrichedSample enriched = enricher.enrich(*sample);
+    for (const auto& sink : sinks_) sink(enriched);
+    processed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+EnricherStats EnrichmentPool::combined_stats() const {
+  EnricherStats total;
+  for (const auto& e : enrichers_) {
+    const auto& s = e->stats();
+    total.enriched += s.enriched;
+    total.unlocated += s.unlocated;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+  }
+  return total;
+}
+
+}  // namespace ruru

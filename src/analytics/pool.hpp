@@ -1,0 +1,63 @@
+#pragma once
+// Ruru Analytics worker pool: the multi-threaded stage of Figure 2 that
+// consumes latency measurements from the bus, enriches them, strips IPs
+// and fans the result out to downstream sinks (TSDB writer, WebSocket
+// feed, anomaly detectors).
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "analytics/enricher.hpp"
+#include "msg/codec.hpp"
+#include "msg/pubsub.hpp"
+
+namespace ruru {
+
+class EnrichmentPool {
+ public:
+  using Sink = std::function<void(const EnrichedSample&)>;
+
+  /// `source`: a bus subscription carrying encode_latency_sample
+  /// messages. Each of the `threads` workers owns its own Enricher
+  /// (separate LRU caches, no sharing). `geo6` optional (may be null).
+  EnrichmentPool(std::shared_ptr<Subscription> source, const GeoDatabase& geo,
+                 const AsDatabase& as, std::size_t threads,
+                 const Geo6Database* geo6 = nullptr);
+  ~EnrichmentPool();
+
+  EnrichmentPool(const EnrichmentPool&) = delete;
+  EnrichmentPool& operator=(const EnrichmentPool&) = delete;
+
+  /// Register before start(); sinks are invoked from worker threads and
+  /// must be thread-safe.
+  void add_sink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  void start();
+  /// Waits for the subscription to drain (after its publisher closes it)
+  /// and joins the workers.
+  void stop();
+
+  [[nodiscard]] std::uint64_t processed() const { return processed_.load(); }
+  [[nodiscard]] std::uint64_t decode_failures() const { return decode_failures_.load(); }
+  /// Aggregated cache stats across workers (valid after stop()).
+  [[nodiscard]] EnricherStats combined_stats() const;
+
+ private:
+  void worker_main(std::size_t index);
+
+  std::shared_ptr<Subscription> source_;
+  const GeoDatabase& geo_;
+  const AsDatabase& as_;
+  std::size_t thread_count_;
+  std::vector<Sink> sinks_;
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<Enricher>> enrichers_;
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> decode_failures_{0};
+  bool started_ = false;
+};
+
+}  // namespace ruru

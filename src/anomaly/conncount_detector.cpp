@@ -1,0 +1,77 @@
+#include "anomaly/conncount_detector.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ruru {
+
+void ConnCountDetector::add(const EnrichedSample& sample) {
+  std::lock_guard lock(mu_);
+  roll_window_locked(sample.completed_at);
+  const std::string key = (sample.client.located ? sample.client.city : "?") + "|" +
+                          (sample.server.located ? sample.server.city : "?");
+  ++window_counts_[key];
+}
+
+void ConnCountDetector::roll_window_locked(Timestamp time) {
+  if (!window_open_) {
+    window_start_ = Timestamp{(time.ns / config_.window.ns) * config_.window.ns};
+    window_open_ = true;
+    return;
+  }
+  while (time.ns >= window_start_.ns + config_.window.ns) {
+    close_window_locked();
+    window_start_ = window_start_ + config_.window;
+  }
+}
+
+void ConnCountDetector::close_window_locked() {
+  // Every known pair gets an observation (0 when quiet this window).
+  for (auto& [key, state] : baselines_) {
+    if (window_counts_.find(key) == window_counts_.end()) window_counts_[key] = 0;
+  }
+  for (const auto& [key, count] : window_counts_) {
+    PairState& st = baselines_[key];
+    const auto x = static_cast<double>(count);
+    const double sigma = std::max(std::sqrt(st.var), config_.min_sigma);
+    const double z = (x - st.mean) / sigma;
+    const bool anomalous =
+        st.windows >= config_.warmup_windows && z > config_.k_sigma && count >= config_.min_count;
+    if (anomalous) {
+      Alert a;
+      a.time = window_start_;
+      a.kind = "conn-count";
+      a.subject = key;
+      a.score = z;
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "%llu connections vs baseline %.1f (sigma %.1f)",
+                    static_cast<unsigned long long>(count), st.mean, sigma);
+      a.detail = buf;
+      alerts_.push_back(std::move(a));
+      // Do not absorb the anomaly into the baseline.
+    } else {
+      const double delta = x - st.mean;
+      st.mean += config_.alpha * delta;
+      st.var = (1.0 - config_.alpha) * (st.var + config_.alpha * delta * delta);
+    }
+    ++st.windows;
+  }
+  window_counts_.clear();
+}
+
+void ConnCountDetector::flush(std::vector<Alert>& out) {
+  std::lock_guard lock(mu_);
+  if (window_open_) close_window_locked();
+  window_open_ = false;
+  out.insert(out.end(), alerts_.begin(), alerts_.end());
+  alerts_.clear();
+}
+
+std::vector<Alert> ConnCountDetector::take_alerts() {
+  std::lock_guard lock(mu_);
+  std::vector<Alert> out;
+  out.swap(alerts_);
+  return out;
+}
+
+}  // namespace ruru

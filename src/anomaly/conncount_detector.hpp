@@ -1,0 +1,60 @@
+#pragma once
+// Unusual-connection-count detector (§3: "unusual number of TCP
+// connections between two locations").
+//
+// Counts completed handshakes per location pair in fixed windows and
+// scores each window's count against an EWMA baseline per pair.  Fed
+// from EnrichedSample (post-anonymization — it only needs locations).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analytics/enriched_sample.hpp"
+#include "anomaly/alert.hpp"
+
+namespace ruru {
+
+struct ConnCountConfig {
+  Duration window = Duration::from_sec(10.0);
+  double alpha = 0.1;         ///< EWMA smoothing for per-pair counts
+  double k_sigma = 5.0;       ///< alert threshold
+  double min_sigma = 2.0;     ///< variance floor (counts)
+  std::uint64_t warmup_windows = 5;
+  std::uint64_t min_count = 20;  ///< ignore tiny spikes
+};
+
+class ConnCountDetector {
+ public:
+  explicit ConnCountDetector(ConnCountConfig config = {}) : config_(config) {}
+
+  /// Thread-safe.
+  void add(const EnrichedSample& sample);
+
+  /// Close the current window unconditionally and collect alerts.
+  void flush(std::vector<Alert>& out);
+
+  [[nodiscard]] std::vector<Alert> take_alerts();
+
+ private:
+  struct PairState {
+    double mean = 0.0;
+    double var = 0.0;
+    std::uint64_t windows = 0;
+  };
+
+  void roll_window_locked(Timestamp time);
+  void close_window_locked();
+
+  ConnCountConfig config_;
+  std::mutex mu_;
+  Timestamp window_start_{};
+  bool window_open_ = false;
+  std::map<std::string, std::uint64_t> window_counts_;
+  std::map<std::string, PairState> baselines_;
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace ruru

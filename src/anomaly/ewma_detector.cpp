@@ -1,0 +1,42 @@
+#include "anomaly/ewma_detector.hpp"
+
+#include <cmath>
+
+namespace ruru {
+
+double EwmaDetector::stddev() const {
+  const double floor = config_.min_sigma_ms;
+  const double s = std::sqrt(var_);
+  return s < floor ? floor : s;
+}
+
+std::optional<Alert> EwmaDetector::update(Timestamp time, double value_ms) {
+  if (n_ == 0) {
+    mean_ = value_ms;
+    var_ = 0.0;
+    ++n_;
+    return std::nullopt;
+  }
+
+  const double sigma = stddev();
+  const double z = (value_ms - mean_) / sigma;
+  const bool anomalous = n_ >= config_.warmup && z > config_.k_sigma;
+
+  if (!anomalous) {
+    const double delta = value_ms - mean_;
+    mean_ += config_.alpha * delta;
+    var_ = (1.0 - config_.alpha) * (var_ + config_.alpha * delta * delta);
+    ++n_;
+    return std::nullopt;
+  }
+
+  Alert alert;
+  alert.time = time;
+  alert.kind = "latency-spike";
+  alert.score = z;
+  alert.detail = "value=" + std::to_string(value_ms) + "ms baseline=" + std::to_string(mean_) +
+                 "ms sigma=" + std::to_string(sigma) + "ms";
+  return alert;
+}
+
+}  // namespace ruru

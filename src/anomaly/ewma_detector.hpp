@@ -1,0 +1,43 @@
+#pragma once
+// EWMA latency-change detector.
+//
+// Keeps exponentially weighted estimates of mean and variance and flags
+// samples more than `k` estimated standard deviations above the mean —
+// the "sudden latency changes" detection that 5-minute SNMP averages
+// miss (§1).
+
+#include <cstdint>
+#include <optional>
+
+#include "anomaly/alert.hpp"
+
+namespace ruru {
+
+struct EwmaConfig {
+  double alpha = 0.02;          ///< smoothing factor
+  double k_sigma = 4.0;         ///< alert threshold in stddevs
+  std::uint64_t warmup = 100;   ///< samples before alerts can fire
+  double min_sigma_ms = 0.5;    ///< variance floor (avoid 0-variance blowups)
+};
+
+class EwmaDetector {
+ public:
+  explicit EwmaDetector(EwmaConfig config = {}) : config_(config) {}
+
+  /// Feed one latency observation (milliseconds). Returns an alert when
+  /// the sample is anomalous. Anomalous samples do NOT update the
+  /// baseline (they would otherwise drag it toward the anomaly).
+  std::optional<Alert> update(Timestamp time, double value_ms);
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] std::uint64_t samples() const { return n_; }
+
+ private:
+  EwmaConfig config_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace ruru

@@ -1,0 +1,101 @@
+#pragma once
+// Space-Saving heavy-hitter tracker (Metwally et al.).
+//
+// "Unusual number of TCP connections between two locations" (§3) needs
+// the top talkers without keeping a counter per key.  Space-Saving keeps
+// a fixed number of (key, count, error) entries and guarantees every key
+// whose true frequency exceeds N/capacity is present, with count
+// overestimated by at most `error`.  O(log capacity) per update.
+//
+// Single-threaded; give each worker its own instance and merge, or feed
+// it from a single consumer.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace ruru {
+
+template <typename K>
+class SpaceSaving {
+ public:
+  struct Entry {
+    K key;
+    std::uint64_t count = 0;  ///< upper bound on the true count
+    std::uint64_t error = 0;  ///< max overestimation (count - error <= true)
+  };
+
+  explicit SpaceSaving(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void add(const K& key, std::uint64_t weight = 1) {
+    total_ += weight;
+    auto it = nodes_.find(key);
+    if (it != nodes_.end()) {
+      bump(it, weight);
+      return;
+    }
+    if (nodes_.size() < capacity_) {
+      auto order_it = order_.emplace(weight, key);
+      nodes_.emplace(key, Node{weight, 0, order_it});
+      return;
+    }
+    // Evict the current minimum; the newcomer inherits its count as error.
+    auto min_it = order_.begin();
+    const std::uint64_t min_count = min_it->first;
+    nodes_.erase(min_it->second);
+    order_.erase(min_it);
+    auto order_new = order_.emplace(min_count + weight, key);
+    nodes_.emplace(key, Node{min_count + weight, min_count, order_new});
+  }
+
+  /// Top-k entries by count, descending.
+  [[nodiscard]] std::vector<Entry> top(std::size_t k) const {
+    std::vector<Entry> out;
+    out.reserve(std::min(k, nodes_.size()));
+    for (auto it = order_.rbegin(); it != order_.rend() && out.size() < k; ++it) {
+      const Node& node = nodes_.at(it->second);
+      out.push_back(Entry{it->second, node.count, node.error});
+    }
+    return out;
+  }
+
+  /// Guaranteed-heavy entries: count - error >= threshold (no false
+  /// positives above the threshold).
+  [[nodiscard]] std::vector<Entry> certain_above(std::uint64_t threshold) const {
+    std::vector<Entry> out;
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      const Node& node = nodes_.at(it->second);
+      if (node.count < threshold) break;  // counts only shrink from here
+      if (node.count - node.error >= threshold) {
+        out.push_back(Entry{it->second, node.count, node.error});
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  struct Node {
+    std::uint64_t count;
+    std::uint64_t error;
+    typename std::multimap<std::uint64_t, K>::iterator order_it;
+  };
+
+  void bump(typename std::unordered_map<K, Node>::iterator it, std::uint64_t weight) {
+    Node& node = it->second;
+    order_.erase(node.order_it);
+    node.count += weight;
+    node.order_it = order_.emplace(node.count, it->first);
+  }
+
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::unordered_map<K, Node> nodes_;
+  std::multimap<std::uint64_t, K> order_;  // count -> key (min at begin)
+};
+
+}  // namespace ruru

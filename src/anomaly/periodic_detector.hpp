@@ -1,0 +1,70 @@
+#pragma once
+// Periodic-glitch detector — the paper's marquee use case.
+//
+// A nightly firewall update added +4000 ms to every connection opened in
+// one short window each night, invisible to coarse averages.  This
+// detector folds time modulo a period (e.g. 24 h) into fixed-width
+// buckets, keeps per-bucket robust latency stats across many periods,
+// and flags buckets whose median sits far above the cross-bucket
+// baseline in at least `min_periods` distinct periods — i.e. a
+// *recurring* time-of-day anomaly rather than a one-off spike.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "anomaly/alert.hpp"
+#include "util/histogram.hpp"
+
+namespace ruru {
+
+struct PeriodicConfig {
+  Duration period = Duration::from_sec(86'400.0);  ///< fold length (a day)
+  Duration bucket = Duration::from_sec(60.0);      ///< bucket width
+  double spike_factor = 3.0;    ///< bucket median vs baseline median
+  Duration spike_floor = Duration::from_ms(100);  ///< absolute excess required
+  int min_periods = 2;          ///< recurrences required
+  std::uint64_t min_samples = 8;
+};
+
+struct PeriodicFinding {
+  std::size_t bucket_index = 0;
+  Duration offset_in_period;  ///< bucket start offset
+  Duration bucket_median;
+  Duration baseline_median;
+  int periods_seen = 0;
+  std::uint64_t samples = 0;
+};
+
+class PeriodicSpikeDetector {
+ public:
+  explicit PeriodicSpikeDetector(PeriodicConfig config = {});
+
+  /// Feed one (completion time, total latency) observation.
+  void add(Timestamp time, Duration latency);
+
+  /// Analyze all data seen so far.
+  [[nodiscard]] std::vector<PeriodicFinding> findings() const;
+
+  /// Convenience: findings as alerts.
+  [[nodiscard]] std::vector<Alert> alerts() const;
+
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  struct PerPeriod {
+    std::uint64_t count = 0;
+    std::int64_t max_ns = 0;
+  };
+  struct Bucket {
+    Histogram latency;                        // ns, across all periods
+    std::map<std::int64_t, PerPeriod> periods;  // period index -> stats
+  };
+
+  PeriodicConfig config_;
+  std::vector<Bucket> buckets_;
+  Histogram global_;  // ns, all samples
+};
+
+}  // namespace ruru

@@ -1,0 +1,69 @@
+#include "anomaly/robust_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ruru {
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    const auto lower = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+    m = (m + lower) / 2.0;
+  }
+  return m;
+}
+
+}  // namespace
+
+RobustMadDetector::RobustMadDetector(RobustConfig config) : config_(config) {
+  ring_.resize(config_.window, 0.0);
+}
+
+double RobustMadDetector::median() const {
+  if (count_ == 0) return 0.0;
+  return median_of(std::vector<double>(ring_.begin(),
+                                       ring_.begin() + static_cast<std::ptrdiff_t>(count_)));
+}
+
+double RobustMadDetector::robust_sigma() const {
+  if (count_ == 0) return config_.min_mad_ms;
+  std::vector<double> window(ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(count_));
+  const double med = median_of(window);
+  for (double& v : window) v = std::abs(v - med);
+  // 1.4826 scales MAD to the stddev of a normal distribution.
+  const double sigma = 1.4826 * median_of(std::move(window));
+  return sigma < config_.min_mad_ms ? config_.min_mad_ms : sigma;
+}
+
+std::optional<Alert> RobustMadDetector::update(Timestamp time, double value_ms) {
+  if (count_ >= config_.min_samples) {
+    const double med = median();
+    const double sigma = robust_sigma();
+    const double z = (value_ms - med) / sigma;
+    if (z > config_.k) {
+      Alert alert;
+      alert.time = time;
+      alert.kind = "latency-outlier";
+      alert.score = z;
+      alert.detail = "value=" + std::to_string(value_ms) + "ms median=" + std::to_string(med) +
+                     "ms mad_sigma=" + std::to_string(sigma) + "ms";
+      return alert;
+    }
+  }
+  // Admit the (non-outlier) sample.
+  if (count_ < ring_.size()) {
+    ring_[count_++] = value_ms;
+  } else {
+    ring_[head_] = value_ms;
+    head_ = (head_ + 1) % ring_.size();
+  }
+  return std::nullopt;
+}
+
+}  // namespace ruru

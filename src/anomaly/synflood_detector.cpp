@@ -1,0 +1,68 @@
+#include "anomaly/synflood_detector.hpp"
+
+#include <cstdio>
+
+namespace ruru {
+
+void SynFloodDetector::roll_window_locked(Timestamp time) {
+  if (!window_open_) {
+    window_start_ = Timestamp{(time.ns / config_.window.ns) * config_.window.ns};
+    window_open_ = true;
+    return;
+  }
+  while (time.ns >= window_start_.ns + config_.window.ns) {
+    close_window_locked();
+    window_start_ = window_start_ + config_.window;
+  }
+}
+
+void SynFloodDetector::close_window_locked() {
+  for (const auto& [server, c] : counts_) {
+    if (c.syns < config_.min_syns) continue;
+    const double ratio =
+        c.syns != 0 ? static_cast<double>(c.completions) / static_cast<double>(c.syns) : 0.0;
+    if (ratio > config_.max_completion_ratio) continue;
+    Alert a;
+    a.time = window_start_;
+    a.kind = "syn-flood";
+    a.subject = server.to_string();
+    a.score = static_cast<double>(c.syns) * (1.0 - ratio);
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%llu SYNs, %llu completions (ratio %.3f) in %.1fs window",
+                  static_cast<unsigned long long>(c.syns),
+                  static_cast<unsigned long long>(c.completions), ratio,
+                  config_.window.to_sec());
+    a.detail = buf;
+    alerts_.push_back(std::move(a));
+  }
+  counts_.clear();
+}
+
+void SynFloodDetector::on_syn(Timestamp time, Ipv4Address server) {
+  std::lock_guard lock(mu_);
+  roll_window_locked(time);
+  ++counts_[server].syns;
+}
+
+void SynFloodDetector::on_completion(Timestamp time, Ipv4Address server) {
+  std::lock_guard lock(mu_);
+  roll_window_locked(time);
+  ++counts_[server].completions;
+}
+
+void SynFloodDetector::flush(std::vector<Alert>& out) {
+  std::lock_guard lock(mu_);
+  if (window_open_) close_window_locked();
+  window_open_ = false;
+  out.insert(out.end(), alerts_.begin(), alerts_.end());
+  alerts_.clear();
+}
+
+std::vector<Alert> SynFloodDetector::take_alerts() {
+  std::lock_guard lock(mu_);
+  std::vector<Alert> out;
+  out.swap(alerts_);
+  return out;
+}
+
+}  // namespace ruru

@@ -1,0 +1,55 @@
+#include "baseline/pping.hpp"
+
+namespace ruru {
+
+void PpingEstimator::sweep(Timestamp now) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (now - it->second > config_.stale_after) {
+      it = table_.erase(it);
+      ++stats_.stale_evictions;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<RttSample> PpingEstimator::process(const PacketView& pkt, Timestamp rx_time) {
+  ++stats_.packets;
+  const auto ts = pkt.tcp.timestamp_option();
+  if (!ts) return std::nullopt;
+  ++stats_.with_timestamps;
+
+  const FiveTuple tuple = pkt.tuple();
+  const FlowKey key = FlowKey::from(tuple);
+  const std::uint64_t flow_hash = key.hash();
+
+  std::optional<RttSample> sample;
+  // 1. Does this packet echo a TSval we saw in the opposite direction?
+  if (ts->ts_ecr != 0) {
+    const Key probe{flow_hash, ts->ts_ecr, !key.forward};
+    auto it = table_.find(probe);
+    if (it != table_.end()) {
+      RttSample s;
+      // The stimulus travelled opposite to this packet, i.e. from this
+      // packet's destination to its source — the measured path is
+      // tap <-> this packet's source.
+      s.stimulus = tuple.reversed();
+      s.rtt = rx_time - it->second;
+      s.at = rx_time;
+      table_.erase(it);  // one sample per TSval (pping's behaviour)
+      ++stats_.samples;
+      sample = s;
+    }
+  }
+
+  // 2. Remember this packet's TSval (first occurrence only — a
+  //    retransmission must not rejuvenate the timestamp).
+  const Key mine{flow_hash, ts->ts_val, key.forward};
+  table_.try_emplace(mine, rx_time);
+  if (table_.size() > stats_.peak_entries) stats_.peak_entries = table_.size();
+  if (table_.size() > config_.max_entries) sweep(rx_time);
+
+  return sample;
+}
+
+}  // namespace ruru

@@ -1,0 +1,66 @@
+#pragma once
+// pping-style passive RTT estimator (TCP timestamp echo matching).
+//
+// For every packet carrying an RFC 7323 timestamp option, remember the
+// first time each (flow, direction, TSval) passed the tap; when a packet
+// in the opposite direction echoes that TSval in TSecr, the gap is one
+// half-RTT at the tap.  This yields a sample per echoed packet — far
+// more samples than Ruru's one-per-handshake, at the cost of per-packet
+// state.  That trade-off is exactly what bench E8 quantifies.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "baseline/rtt_sample.hpp"
+#include "net/packet_view.hpp"
+
+namespace ruru {
+
+struct PpingConfig {
+  std::size_t max_entries = 1 << 20;  ///< state cap before stale sweeps
+  Duration stale_after = Duration::from_sec(10.0);
+};
+
+struct PpingStats {
+  std::uint64_t packets = 0;
+  std::uint64_t with_timestamps = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t stale_evictions = 0;
+  std::size_t peak_entries = 0;
+};
+
+class PpingEstimator {
+ public:
+  explicit PpingEstimator(PpingConfig config = {}) : config_(config) {}
+
+  /// Feed one parsed TCP packet. Returns an RTT sample when this packet
+  /// echoes a remembered TSval.
+  std::optional<RttSample> process(const PacketView& pkt, Timestamp rx_time);
+
+  [[nodiscard]] const PpingStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t entries() const { return table_.size(); }
+
+ private:
+  struct Key {
+    std::uint64_t flow_hash;
+    std::uint32_t tsval;
+    bool forward;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t h = k.flow_hash ^ (std::uint64_t{k.tsval} * 0x9e3779b97f4a7c15ULL);
+      h ^= h >> 29;
+      return static_cast<std::size_t>(h ^ (k.forward ? 0x5851f42d4c957f2dULL : 0));
+    }
+  };
+
+  void sweep(Timestamp now);
+
+  PpingConfig config_;
+  std::unordered_map<Key, Timestamp, KeyHash> table_;
+  PpingStats stats_;
+};
+
+}  // namespace ruru

@@ -1,0 +1,24 @@
+#pragma once
+// RTT samples produced by the comparator estimators (pping / tcptrace
+// style).
+//
+// A passive estimator at a tap matches a *stimulus* packet with the
+// *response* that acknowledges/echoes it; the gap covers the path
+// tap -> stimulus-destination -> tap.  Whether that is Ruru's "internal"
+// or "external" half depends on which side of the tap the destination
+// sits — the estimator cannot know, so the sample records the stimulus
+// tuple and the consumer classifies by address (benches use the
+// scenario's address plan).
+
+#include "net/five_tuple.hpp"
+#include "util/time.hpp"
+
+namespace ruru {
+
+struct RttSample {
+  FiveTuple stimulus;  ///< the matched packet's tuple; RTT covers tap <-> stimulus.dst
+  Duration rtt;
+  Timestamp at;        ///< when the response passed the tap
+};
+
+}  // namespace ruru

@@ -1,0 +1,75 @@
+#include "baseline/tcptrace.hpp"
+
+namespace ruru {
+
+namespace {
+
+/// seq-space "a >= b" with wraparound (RFC 1982-style serial compare).
+bool seq_geq(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+}  // namespace
+
+void TcptraceEstimator::sweep(Timestamp now) {
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (now - it->second.last_seen > config_.stale_after) {
+      it = flows_.erase(it);
+      ++stats_.stale_evictions;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<RttSample> TcptraceEstimator::process(const PacketView& pkt, Timestamp rx_time) {
+  ++stats_.packets;
+  const FiveTuple tuple = pkt.tuple();
+  const FlowKey key = FlowKey::from(tuple);
+  FlowState& flow = flows_[key.hash()];
+  flow.last_seen = rx_time;
+  if (flows_.size() > stats_.peak_entries) stats_.peak_entries = flows_.size();
+  if (flows_.size() > config_.max_flows) sweep(rx_time);
+
+  const int my_dir = key.forward ? 0 : 1;
+  DirState& mine = flow.dir[my_dir];
+  DirState& theirs = flow.dir[1 - my_dir];
+
+  std::optional<RttSample> sample;
+
+  // 1. Does this packet ACK the opposite direction's outstanding segment?
+  if (pkt.tcp.ack_flag() && theirs.pending && seq_geq(pkt.tcp.ack, theirs.expected_ack)) {
+    if (!theirs.invalidated) {
+      RttSample s;
+      s.stimulus = tuple.reversed();  // the acked segment's direction
+      s.rtt = rx_time - theirs.sent_at;
+      s.at = rx_time;
+      ++stats_.samples;
+      sample = s;
+    }
+    theirs.pending = false;
+    theirs.invalidated = false;
+  }
+
+  // 2. Does this packet start a new measurable segment?
+  const std::uint32_t consumed = static_cast<std::uint32_t>(pkt.payload_length) +
+                                 (pkt.tcp.syn() ? 1u : 0u) + (pkt.tcp.fin() ? 1u : 0u);
+  if (consumed > 0) {
+    if (mine.pending && pkt.tcp.seq == mine.seg_seq) {
+      // Retransmission of the outstanding segment: Karn's rule.
+      mine.invalidated = true;
+      ++stats_.karn_invalidations;
+    } else if (!mine.pending) {
+      mine.pending = true;
+      mine.invalidated = false;
+      mine.seg_seq = pkt.tcp.seq;
+      mine.expected_ack = pkt.tcp.seq + consumed;
+      mine.sent_at = rx_time;
+    }
+  }
+
+  if (pkt.tcp.rst()) flows_.erase(key.hash());
+  return sample;
+}
+
+}  // namespace ruru

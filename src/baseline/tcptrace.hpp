@@ -1,0 +1,62 @@
+#pragma once
+// tcptrace-style passive RTT estimator (sequence/ACK matching).
+//
+// Per flow direction, remember one outstanding data (or SYN/FIN)
+// segment's end-sequence and send time; when the reverse direction
+// acknowledges at or past it, emit a half-RTT sample.  Karn's rule:
+// a retransmission of the outstanding segment invalidates the pending
+// measurement (the eventual ACK is ambiguous).  Keeps O(flows) state —
+// between Ruru's 3-timestamps-per-flow and pping's per-packet table.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "baseline/rtt_sample.hpp"
+#include "net/packet_view.hpp"
+
+namespace ruru {
+
+struct TcptraceConfig {
+  std::size_t max_flows = 1 << 18;
+  Duration stale_after = Duration::from_sec(30.0);
+};
+
+struct TcptraceStats {
+  std::uint64_t packets = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t karn_invalidations = 0;
+  std::uint64_t stale_evictions = 0;
+  std::size_t peak_entries = 0;
+};
+
+class TcptraceEstimator {
+ public:
+  explicit TcptraceEstimator(TcptraceConfig config = {}) : config_(config) {}
+
+  std::optional<RttSample> process(const PacketView& pkt, Timestamp rx_time);
+
+  [[nodiscard]] const TcptraceStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t entries() const { return flows_.size(); }
+
+ private:
+  struct DirState {
+    bool pending = false;
+    bool invalidated = false;  ///< Karn: retransmission observed
+    std::uint32_t expected_ack = 0;
+    std::uint32_t seg_seq = 0;  ///< for retransmission detection
+    Timestamp sent_at;
+  };
+  struct FlowState {
+    DirState dir[2];  ///< [0]=canonical-forward, [1]=reverse
+    Timestamp last_seen;
+  };
+
+  void sweep(Timestamp now);
+
+  TcptraceConfig config_;
+  std::unordered_map<std::uint64_t, FlowState> flows_;  // keyed by FlowKey::hash
+  TcptraceStats stats_;
+};
+
+}  // namespace ruru

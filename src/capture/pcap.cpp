@@ -1,0 +1,126 @@
+#include "capture/pcap.hpp"
+
+#include <cstring>
+
+#include "util/byte_order.hpp"
+
+namespace ruru {
+
+namespace {
+
+constexpr std::uint32_t kMagicUsec = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNsec = 0xa1b23c4d;
+constexpr std::uint32_t kMagicUsecSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNsecSwapped = 0x4d3cb2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+std::uint32_t swap32(std::uint32_t v) {
+  return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) | (v >> 24);
+}
+
+}  // namespace
+
+Result<PcapWriter> PcapWriter::open(const std::string& path, std::uint32_t snaplen) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return make_error("pcap: cannot open '" + path + "' for writing");
+  // Global header, nanosecond magic, native (little-endian on our targets)
+  // byte order written explicitly as LE.
+  std::uint8_t hdr[24] = {};
+  store_le32(&hdr[0], kMagicNsec);
+  store_le16(&hdr[4], 2);   // version major
+  store_le16(&hdr[6], 4);   // version minor
+  store_le32(&hdr[8], 0);   // thiszone
+  store_le32(&hdr[12], 0);  // sigfigs
+  store_le32(&hdr[16], snaplen);
+  store_le32(&hdr[20], kLinkTypeEthernet);
+  if (std::fwrite(hdr, 1, sizeof hdr, f) != sizeof hdr) {
+    std::fclose(f);
+    return make_error("pcap: failed to write global header");
+  }
+  return PcapWriter(f, snaplen);
+}
+
+PcapWriter::~PcapWriter() = default;
+
+Status PcapWriter::write(Timestamp ts, std::span<const std::uint8_t> frame) {
+  if (!file_) return make_error("pcap: writer is closed");
+  const auto incl = static_cast<std::uint32_t>(
+      frame.size() > snaplen_ ? snaplen_ : frame.size());
+  std::uint8_t rec[16];
+  const auto sec = static_cast<std::uint32_t>(ts.ns / 1'000'000'000);
+  const auto nsec = static_cast<std::uint32_t>(ts.ns % 1'000'000'000);
+  store_le32(&rec[0], sec);
+  store_le32(&rec[4], nsec);
+  store_le32(&rec[8], incl);
+  store_le32(&rec[12], static_cast<std::uint32_t>(frame.size()));
+  if (std::fwrite(rec, 1, sizeof rec, file_.get()) != sizeof rec ||
+      std::fwrite(frame.data(), 1, incl, file_.get()) != incl) {
+    return make_error("pcap: short write");
+  }
+  ++records_;
+  return {};
+}
+
+void PcapWriter::close() { file_.reset(); }
+
+Result<PcapReader> PcapReader::open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return make_error("pcap: cannot open '" + path + "' for reading");
+  std::uint8_t hdr[24];
+  if (std::fread(hdr, 1, sizeof hdr, f) != sizeof hdr) {
+    std::fclose(f);
+    return make_error("pcap: file shorter than global header");
+  }
+  PcapReader reader(f);
+  const std::uint32_t magic = load_le32(&hdr[0]);
+  switch (magic) {
+    case kMagicUsec: reader.nanosecond_ = false; reader.swapped_ = false; break;
+    case kMagicNsec: reader.nanosecond_ = true; reader.swapped_ = false; break;
+    case kMagicUsecSwapped: reader.nanosecond_ = false; reader.swapped_ = true; break;
+    case kMagicNsecSwapped: reader.nanosecond_ = true; reader.swapped_ = true; break;
+    default: return make_error("pcap: unrecognized magic");
+  }
+  std::uint32_t snaplen = load_le32(&hdr[16]);
+  std::uint32_t link = load_le32(&hdr[20]);
+  if (reader.swapped_) {
+    snaplen = swap32(snaplen);
+    link = swap32(link);
+  }
+  if (link != kLinkTypeEthernet) return make_error("pcap: only Ethernet linktype supported");
+  reader.snaplen_ = snaplen;
+  return reader;
+}
+
+std::optional<PcapRecord> PcapReader::next() {
+  if (!file_) return std::nullopt;
+  std::uint8_t rec[16];
+  const std::size_t got = std::fread(rec, 1, sizeof rec, file_.get());
+  if (got == 0) return std::nullopt;  // clean EOF
+  if (got != sizeof rec) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+  std::uint32_t sec = load_le32(&rec[0]);
+  std::uint32_t frac = load_le32(&rec[4]);
+  std::uint32_t incl = load_le32(&rec[8]);
+  if (swapped_) {
+    sec = swap32(sec);
+    frac = swap32(frac);
+    incl = swap32(incl);
+  }
+  if (incl > snaplen_ && snaplen_ != 0) {
+    truncated_ = true;  // corrupt length field
+    return std::nullopt;
+  }
+  PcapRecord out;
+  out.frame.resize(incl);
+  if (incl != 0 && std::fread(out.frame.data(), 1, incl, file_.get()) != incl) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+  const std::int64_t frac_ns = nanosecond_ ? frac : std::int64_t{frac} * 1'000;
+  out.timestamp = Timestamp{std::int64_t{sec} * 1'000'000'000 + frac_ns};
+  return out;
+}
+
+}  // namespace ruru

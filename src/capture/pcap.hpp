@@ -1,0 +1,76 @@
+#pragma once
+// Classic libpcap file format reader/writer (no libpcap dependency).
+//
+// Supports both the microsecond (0xa1b2c3d4) and nanosecond (0xa1b23c4d)
+// magics, either endianness on read; writes nanosecond little-endian
+// (Ruru's timestamps are sub-microsecond, per the paper).
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace ruru {
+
+struct PcapRecord {
+  Timestamp timestamp;
+  std::vector<std::uint8_t> frame;
+};
+
+class PcapWriter {
+ public:
+  /// Creates/truncates `path` and writes the global header.
+  static Result<PcapWriter> open(const std::string& path, std::uint32_t snaplen = 65535);
+
+  PcapWriter(PcapWriter&&) = default;
+  PcapWriter& operator=(PcapWriter&&) = default;
+  ~PcapWriter();
+
+  /// Appends one record; frames longer than snaplen are truncated with
+  /// the original length preserved in the header.
+  Status write(Timestamp ts, std::span<const std::uint8_t> frame);
+
+  /// Flush + close; further writes are errors. Called by the destructor.
+  void close();
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+
+ private:
+  PcapWriter(std::FILE* file, std::uint32_t snaplen) : file_(file, &std::fclose), snaplen_(snaplen) {}
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+  std::uint32_t snaplen_;
+  std::uint64_t records_ = 0;
+};
+
+class PcapReader {
+ public:
+  static Result<PcapReader> open(const std::string& path);
+
+  PcapReader(PcapReader&&) = default;
+  PcapReader& operator=(PcapReader&&) = default;
+
+  /// Next record, or nullopt at clean EOF. A torn trailing record is
+  /// reported once via `truncated()` and treated as EOF.
+  std::optional<PcapRecord> next();
+
+  [[nodiscard]] bool nanosecond() const { return nanosecond_; }
+  [[nodiscard]] bool swapped() const { return swapped_; }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  [[nodiscard]] std::uint32_t snaplen() const { return snaplen_; }
+
+ private:
+  PcapReader(std::FILE* file) : file_(file, &std::fclose) {}
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+  bool nanosecond_ = false;
+  bool swapped_ = false;
+  bool truncated_ = false;
+  std::uint32_t snaplen_ = 0;
+};
+
+}  // namespace ruru

@@ -1,0 +1,130 @@
+#include "capture/scenarios.hpp"
+
+namespace ruru::scenarios {
+
+const std::vector<Site>& nz_sites() {
+  static const std::vector<Site> sites = {
+      {"Auckland", "NZ", -36.8485, 174.7633, 9431, Ipv4Address(10, 1, 0, 0)},
+      {"Wellington", "NZ", -41.2866, 174.7756, 9431, Ipv4Address(10, 1, 1, 0)},
+      {"Christchurch", "NZ", -43.5321, 172.6362, 9432, Ipv4Address(10, 1, 2, 0)},
+      {"Dunedin", "NZ", -45.8788, 170.5028, 9433, Ipv4Address(10, 1, 3, 0)},
+      {"Hamilton", "NZ", -37.7870, 175.2793, 9431, Ipv4Address(10, 1, 4, 0)},
+  };
+  return sites;
+}
+
+const std::vector<Site>& world_sites() {
+  static const std::vector<Site> sites = {
+      {"Los Angeles", "US", 34.0522, -118.2437, 15169, Ipv4Address(10, 2, 0, 0)},
+      {"San Jose", "US", 37.3382, -121.8863, 16509, Ipv4Address(10, 2, 1, 0)},
+      {"Seattle", "US", 47.6062, -122.3321, 8075, Ipv4Address(10, 2, 2, 0)},
+      {"Chicago", "US", 41.8781, -87.6298, 3356, Ipv4Address(10, 2, 3, 0)},
+      {"New York", "US", 40.7128, -74.0060, 6939, Ipv4Address(10, 2, 4, 0)},
+      {"London", "GB", 51.5074, -0.1278, 2914, Ipv4Address(10, 2, 5, 0)},
+      {"Frankfurt", "DE", 50.1109, 8.6821, 3320, Ipv4Address(10, 2, 6, 0)},
+      {"Singapore", "SG", 1.3521, 103.8198, 7473, Ipv4Address(10, 2, 7, 0)},
+      {"Tokyo", "JP", 35.6762, 139.6503, 2497, Ipv4Address(10, 2, 8, 0)},
+      {"Sydney", "AU", -33.8688, 151.2093, 1221, Ipv4Address(10, 2, 9, 0)},
+  };
+  return sites;
+}
+
+namespace {
+
+HostPool pool_for(const Site& site) { return HostPool::from_range(site.block, 250); }
+
+RouteProfile make_route(const Site& nz, const Site& far, Duration internal, Duration external,
+                        double weight) {
+  RouteProfile r;
+  r.name = std::string(nz.city) + "-" + far.city;
+  r.clients = pool_for(nz);
+  r.servers = pool_for(far);
+  r.internal_rtt = internal;
+  r.external_rtt = external;
+  r.jitter_frac = 0.08;
+  r.weight = weight;
+  return r;
+}
+
+}  // namespace
+
+std::vector<RouteProfile> transpacific_routes() {
+  const auto& nz = nz_sites();
+  const auto& world = world_sites();
+  // Mean external RTTs from Auckland over the AKL-LAX cable, roughly
+  // proportional to great-circle distance.
+  struct Mix {
+    std::size_t nz_idx, world_idx;
+    std::int64_t internal_ms, external_ms;
+    double weight;
+  };
+  static const Mix mixes[] = {
+      {0, 0, 2, 128, 0.30},   // Auckland -> Los Angeles (the tapped link)
+      {1, 0, 8, 128, 0.12},   // Wellington -> LA
+      {2, 1, 12, 136, 0.10},  // Christchurch -> San Jose
+      {0, 1, 2, 136, 0.10},   // Auckland -> San Jose
+      {0, 2, 2, 145, 0.06},   // Auckland -> Seattle
+      {1, 3, 8, 175, 0.05},   // Wellington -> Chicago
+      {0, 4, 2, 195, 0.05},   // Auckland -> New York
+      {0, 5, 2, 265, 0.06},   // Auckland -> London
+      {3, 6, 16, 280, 0.04},  // Dunedin -> Frankfurt
+      {0, 7, 2, 165, 0.05},   // Auckland -> Singapore
+      {4, 8, 6, 175, 0.04},   // Hamilton -> Tokyo
+      {0, 9, 2, 26, 0.03},    // Auckland -> Sydney
+  };
+  std::vector<RouteProfile> routes;
+  routes.reserve(std::size(mixes));
+  for (const auto& m : mixes) {
+    routes.push_back(make_route(nz[m.nz_idx], world[m.world_idx],
+                                Duration::from_ms(m.internal_ms),
+                                Duration::from_ms(m.external_ms), m.weight));
+  }
+  return routes;
+}
+
+TrafficModel transpacific(std::uint64_t seed, double flows_per_sec, Duration duration) {
+  TrafficConfig cfg;
+  cfg.seed = seed;
+  cfg.flows_per_sec = flows_per_sec;
+  cfg.duration = duration;
+  cfg.syn_loss_prob = 0.002;
+  cfg.handshake_abandon_prob = 0.005;
+  cfg.udp_background_frac = 0.05;
+  return TrafficModel(cfg, transpacific_routes());
+}
+
+TrafficModel firewall_glitch(std::uint64_t seed, double flows_per_sec, Duration total,
+                             Duration period, Duration width, Duration extra) {
+  TrafficConfig cfg;
+  cfg.seed = seed;
+  cfg.flows_per_sec = flows_per_sec;
+  cfg.duration = total;
+  TrafficModel model(cfg, transpacific_routes());
+  GlitchWindow g;
+  g.first_start = Timestamp{} + period / 2;  // first window mid-way into day 1
+  g.period = period;
+  g.width = width;
+  g.extra_external = extra;
+  model.add_glitch(g);
+  return model;
+}
+
+TrafficModel syn_flood(std::uint64_t seed, double benign_flows_per_sec,
+                       double flood_syns_per_sec, Duration total, Timestamp flood_start,
+                       Duration flood_duration) {
+  TrafficConfig cfg;
+  cfg.seed = seed;
+  cfg.flows_per_sec = benign_flows_per_sec;
+  cfg.duration = total;
+  TrafficModel model(cfg, transpacific_routes());
+  SynFloodSpec f;
+  f.start = flood_start;
+  f.duration = flood_duration;
+  f.syns_per_sec = flood_syns_per_sec;
+  f.target = Ipv4Address(10, 1, 0, 80);  // an Auckland server
+  f.target_port = 80;
+  model.add_syn_flood(f);
+  return model;
+}
+
+}  // namespace ruru::scenarios

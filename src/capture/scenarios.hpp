@@ -1,0 +1,50 @@
+#pragma once
+// Canned scenarios mirroring the paper's deployment and use cases.
+//
+// The tap sits in Auckland on REANNZ's international link; "internal"
+// hosts are NZ clients, "external" hosts are overseas servers.  Route
+// RTTs approximate real geography (AKL-LAX ~ 120 ms round trip on the
+// cable, intra-NZ a few ms).
+
+#include "capture/traffic_model.hpp"
+
+namespace ruru::scenarios {
+
+/// Address plan shared by the traffic model and the synthetic geo world:
+/// each named site owns one /24-sized block.  Keeping it here lets the
+/// geo DB and packet generator agree without a dependency between them.
+struct Site {
+  const char* city;
+  const char* country;
+  double latitude;
+  double longitude;
+  std::uint32_t asn;
+  Ipv4Address block;  ///< first address of a 256-address block
+};
+
+/// Tap-side (NZ) sites.
+[[nodiscard]] const std::vector<Site>& nz_sites();
+/// Far-side (US / international) sites.
+[[nodiscard]] const std::vector<Site>& world_sites();
+
+/// The standard route mix over those sites (weights sum to ~1).
+[[nodiscard]] std::vector<RouteProfile> transpacific_routes();
+
+/// Steady production-like mix: ~`flows_per_sec` flows over the
+/// trans-Pacific route mix.
+[[nodiscard]] TrafficModel transpacific(std::uint64_t seed, double flows_per_sec,
+                                        Duration duration);
+
+/// The §3 firewall use case: `days` simulated days (time-compressed via
+/// `period`), with a `width`-long window each period adding
+/// `extra` (default 4000 ms) to external latency.
+[[nodiscard]] TrafficModel firewall_glitch(std::uint64_t seed, double flows_per_sec,
+                                           Duration total, Duration period, Duration width,
+                                           Duration extra = Duration::from_ms(4000));
+
+/// Benign traffic plus a SYN flood against one NZ server.
+[[nodiscard]] TrafficModel syn_flood(std::uint64_t seed, double benign_flows_per_sec,
+                                     double flood_syns_per_sec, Duration total,
+                                     Timestamp flood_start, Duration flood_duration);
+
+}  // namespace ruru::scenarios

@@ -1,0 +1,346 @@
+#include "capture/traffic_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/headers.hpp"
+
+namespace ruru {
+
+RateCurve diurnal_curve(Duration period, double depth) {
+  return [period, depth](Timestamp t) {
+    const double phase = 2.0 * 3.14159265358979 *
+                         static_cast<double>(t.ns % period.ns) / static_cast<double>(period.ns);
+    return 1.0 + depth * std::sin(phase);
+  };
+}
+
+HostPool HostPool::from_range(Ipv4Address base, std::size_t count) {
+  HostPool pool;
+  pool.addresses.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.addresses.push_back(Ipv4Address(base.value() + static_cast<std::uint32_t>(i)));
+  }
+  return pool;
+}
+
+TrafficModel::TrafficModel(TrafficConfig config, std::vector<RouteProfile> routes)
+    : config_(config), routes_(std::move(routes)), rng_(config.seed) {
+  assert(!routes_.empty());
+  double total = 0.0;
+  for (const auto& r : routes_) total += r.weight;
+  double acc = 0.0;
+  route_cdf_.reserve(routes_.size());
+  for (const auto& r : routes_) {
+    acc += r.weight / total;
+    route_cdf_.push_back(acc);
+  }
+  route_cdf_.back() = 1.0;  // guard against fp drift
+
+  end_ = config_.start + config_.duration;
+  next_arrival_ = config_.start + next_interarrival(config_.start);
+}
+
+Duration TrafficModel::next_interarrival(Timestamp at) {
+  double rate = config_.flows_per_sec;
+  if (rate_curve_) rate *= std::max(0.01, rate_curve_(at));
+  return Duration::from_sec(rng_.exponential(1.0 / rate));
+}
+
+void TrafficModel::maybe_corrupt(std::vector<std::uint8_t>& frame) {
+  if (config_.corrupt_frac <= 0 || !corrupt_rng_.chance(config_.corrupt_frac) || frame.empty()) {
+    return;
+  }
+  ++frames_corrupted_;
+  if (corrupt_rng_.chance(0.5)) {
+    // Slice: drop the tail (short frame at the tap).
+    frame.resize(1 + corrupt_rng_.bounded(static_cast<std::uint32_t>(frame.size())));
+  } else {
+    // Bit flips in up to 4 random bytes.
+    const std::uint32_t flips = 1 + corrupt_rng_.bounded(4);
+    for (std::uint32_t i = 0; i < flips; ++i) {
+      frame[corrupt_rng_.bounded(static_cast<std::uint32_t>(frame.size()))] ^=
+          static_cast<std::uint8_t>(1u << corrupt_rng_.bounded(8));
+    }
+  }
+}
+
+void TrafficModel::add_syn_flood(const SynFloodSpec& f) {
+  floods_.push_back(f);
+  flood_next_.push_back(f.start);
+}
+
+std::size_t TrafficModel::pick_route() {
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(route_cdf_.begin(), route_cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(route_cdf_.begin(), it));
+}
+
+Duration TrafficModel::sample_rtt(Duration mean, double jitter) {
+  const double sampled = rng_.normal(static_cast<double>(mean.ns),
+                                     jitter * static_cast<double>(mean.ns));
+  // RTTs cannot undercut a floor (serialization + propagation minimum).
+  const double floor_ns = 0.05 * static_cast<double>(mean.ns);
+  return Duration{static_cast<std::int64_t>(std::max(sampled, floor_ns))};
+}
+
+void TrafficModel::push(Timestamp ts, std::vector<std::uint8_t> frame) {
+  pending_.push(PendingFrame{ts, push_seq_++, std::move(frame)});
+}
+
+void TrafficModel::generate_flow(Timestamp arrival) {
+  const std::size_t route_idx = pick_route();
+  const RouteProfile& route = routes_[route_idx];
+
+  FlowTruth truth;
+  truth.flow_id = next_flow_id_++;
+  truth.route_index = route_idx;
+  truth.syn_time = arrival;
+  truth.true_internal = sample_rtt(route.internal_rtt, route.jitter_frac);
+
+  Duration external = sample_rtt(route.external_rtt, route.jitter_frac);
+  for (const auto& g : glitches_) {
+    if (g.active_at(arrival)) external = external + g.extra_external;
+  }
+  truth.true_external = external;
+
+  const Ipv4Address client4 =
+      route.clients.addresses[rng_.bounded(static_cast<std::uint32_t>(route.clients.addresses.size()))];
+  const Ipv4Address server4 =
+      route.servers.addresses[rng_.bounded(static_cast<std::uint32_t>(route.servers.addresses.size()))];
+  // Map into 2001:db8:6464::/96 for IPv6 routes.
+  auto to_v6 = [](Ipv4Address a) {
+    std::array<std::uint8_t, 16> b{0x20, 0x01, 0x0d, 0xb8, 0x64, 0x64, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+    b[12] = static_cast<std::uint8_t>(a.value() >> 24);
+    b[13] = static_cast<std::uint8_t>(a.value() >> 16);
+    b[14] = static_cast<std::uint8_t>(a.value() >> 8);
+    b[15] = static_cast<std::uint8_t>(a.value());
+    return Ipv6Address(b);
+  };
+  const IpAddress client = route.ipv6 ? IpAddress(to_v6(client4)) : IpAddress(client4);
+  const IpAddress server = route.ipv6 ? IpAddress(to_v6(server4)) : IpAddress(server4);
+  const std::uint16_t sport = next_ephemeral_;
+  next_ephemeral_ = next_ephemeral_ == 65'535 ? 10'000 : static_cast<std::uint16_t>(next_ephemeral_ + 1);
+  const std::uint16_t dport = (rng_.chance(0.6)) ? 443 : (rng_.chance(0.5) ? 80 : 8080);
+
+  truth.tuple = FiveTuple{client, server, sport, dport, kIpProtoTcp};
+  truth.syn_retransmitted = rng_.chance(config_.syn_loss_prob);
+  truth.syn_rto = config_.syn_rto;
+  truth.handshake_completes = !rng_.chance(config_.handshake_abandon_prob);
+
+  const std::uint32_t isn_c = rng_.next_u32();
+  const std::uint32_t isn_s = rng_.next_u32();
+
+  // TCP timestamp clocks tick in milliseconds of tap time; good enough
+  // for the pping baseline which only matches val/ecr pairs.
+  const auto ts_ms = [](Timestamp t) { return static_cast<std::uint32_t>(t.ns / 1'000'000); };
+
+  TcpFrameSpec c2s;  // client -> server template
+  c2s.src_ip = client;
+  c2s.dst_ip = server;
+  c2s.src_port = sport;
+  c2s.dst_port = dport;
+  TcpFrameSpec s2c;  // server -> client template
+  s2c.src_ip = server;
+  s2c.dst_ip = client;
+  s2c.src_port = dport;
+  s2c.dst_port = sport;
+
+  // --- SYN (possibly seen twice at the tap on downstream loss) ---
+  TcpFrameSpec syn = c2s;
+  syn.flags = TcpFlags::kSyn;
+  syn.seq = isn_c;
+  syn.with_mss = true;
+  syn.with_timestamps = config_.with_tcp_timestamps;
+  syn.ts_val = ts_ms(arrival);
+  syn.ts_ecr = 0;
+  push(arrival, build_tcp_frame(syn));
+
+  Timestamp effective_syn = arrival;  // the SYN the server actually answers
+  if (truth.syn_retransmitted) {
+    const Timestamp retx = arrival + truth.syn_rto;
+    TcpFrameSpec syn2 = syn;
+    syn2.ts_val = ts_ms(retx);
+    push(retx, build_tcp_frame(syn2));
+    effective_syn = retx;
+  }
+
+  if (!truth.handshake_completes) {
+    truth_.push_back(truth);
+    return;
+  }
+
+  // --- SYN-ACK ---
+  const Timestamp synack_t = effective_syn + truth.true_external;
+  TcpFrameSpec synack = s2c;
+  synack.flags = TcpFlags::kSyn | TcpFlags::kAck;
+  synack.seq = isn_s;
+  synack.ack = isn_c + 1;
+  synack.with_mss = true;
+  synack.with_timestamps = config_.with_tcp_timestamps;
+  synack.ts_val = ts_ms(synack_t);
+  synack.ts_ecr = syn.ts_val;
+  push(synack_t, build_tcp_frame(synack));
+
+  // --- final handshake ACK ---
+  const Timestamp ack_t = synack_t + truth.true_internal;
+  TcpFrameSpec ack = c2s;
+  ack.flags = TcpFlags::kAck;
+  ack.seq = isn_c + 1;
+  ack.ack = isn_s + 1;
+  ack.with_timestamps = config_.with_tcp_timestamps;
+  ack.ts_val = ts_ms(ack_t);
+  ack.ts_ecr = synack.ts_val;
+  push(ack_t, build_tcp_frame(ack));
+
+  // --- request + response data segments + teardown ---
+  truth.data_segments =
+      config_.mean_data_segments > 0
+          ? 1 + static_cast<int>(rng_.exponential(config_.mean_data_segments))
+          : 0;
+
+  std::uint32_t cseq = isn_c + 1;
+  std::uint32_t sseq = isn_s + 1;
+  Timestamp cursor = ack_t;
+  if (truth.data_segments > 0) {
+    // Client request riding right behind the handshake ACK.
+    const std::size_t req_len = 200;
+    TcpFrameSpec req = c2s;
+    req.flags = TcpFlags::kAck | TcpFlags::kPsh;
+    req.seq = cseq;
+    req.ack = sseq;
+    req.payload_length = req_len;
+    req.with_timestamps = config_.with_tcp_timestamps;
+    req.ts_val = ts_ms(cursor);
+    req.ts_ecr = synack.ts_val;
+    push(cursor, build_tcp_frame(req));
+    cseq += static_cast<std::uint32_t>(req_len);
+
+    // Server response segments, one external RTT later, paced ~1 ms.
+    Timestamp seg_t = cursor + truth.true_external;
+    std::uint32_t last_client_tsval = req.ts_val;
+    for (int i = 0; i < truth.data_segments; ++i) {
+      TcpFrameSpec seg = s2c;
+      seg.flags = TcpFlags::kAck | (i + 1 == truth.data_segments ? TcpFlags::kPsh : 0);
+      seg.seq = sseq;
+      seg.ack = cseq;
+      seg.payload_length = config_.data_payload;
+      seg.with_timestamps = config_.with_tcp_timestamps;
+      seg.ts_val = ts_ms(seg_t);
+      seg.ts_ecr = last_client_tsval;
+      push(seg_t, build_tcp_frame(seg));
+      sseq += static_cast<std::uint32_t>(config_.data_payload);
+
+      // Client ACK for this segment one internal RTT later.
+      const Timestamp cack_t = seg_t + truth.true_internal;
+      TcpFrameSpec cack = c2s;
+      cack.flags = TcpFlags::kAck;
+      cack.seq = cseq;
+      cack.ack = sseq;
+      cack.with_timestamps = config_.with_tcp_timestamps;
+      cack.ts_val = ts_ms(cack_t);
+      cack.ts_ecr = seg.ts_val;
+      push(cack_t, build_tcp_frame(cack));
+      last_client_tsval = cack.ts_val;
+
+      seg_t = seg_t + Duration::from_ms(1);
+      cursor = cack_t;
+    }
+  }
+
+  // FIN exchange.
+  const Timestamp fin_t = cursor + Duration::from_ms(1);
+  TcpFrameSpec fin = c2s;
+  fin.flags = TcpFlags::kFin | TcpFlags::kAck;
+  fin.seq = cseq;
+  fin.ack = sseq;
+  fin.with_timestamps = config_.with_tcp_timestamps;
+  fin.ts_val = ts_ms(fin_t);
+  push(fin_t, build_tcp_frame(fin));
+
+  const Timestamp finack_t = fin_t + truth.true_external;
+  TcpFrameSpec finack = s2c;
+  finack.flags = TcpFlags::kFin | TcpFlags::kAck;
+  finack.seq = sseq;
+  finack.ack = cseq + 1;
+  finack.with_timestamps = config_.with_tcp_timestamps;
+  finack.ts_val = ts_ms(finack_t);
+  push(finack_t, build_tcp_frame(finack));
+
+  // Optional UDP background noise keyed off this flow's endpoints
+  // (IPv4 only; the UDP builder is v4).
+  if (config_.udp_background_frac > 0 && rng_.chance(config_.udp_background_frac)) {
+    push(arrival + Duration::from_us(37), build_udp_frame(client4, server4, sport, 53, 120));
+  }
+
+  truth_.push_back(truth);
+}
+
+void TrafficModel::generate_flood_syn(std::size_t flood_idx, Timestamp t) {
+  const SynFloodSpec& f = floods_[flood_idx];
+  const Ipv4Address spoofed(f.spoof_base.value() +
+                            rng_.bounded(static_cast<std::uint32_t>(f.spoof_count)));
+  TcpFrameSpec syn;
+  syn.src_ip = spoofed;
+  syn.dst_ip = f.target;
+  syn.src_port = static_cast<std::uint16_t>(1024 + rng_.bounded(60'000));
+  syn.dst_port = f.target_port;
+  syn.seq = rng_.next_u32();
+  syn.flags = TcpFlags::kSyn;
+  push(t, build_tcp_frame(syn));
+  ++flood_syns_;
+}
+
+std::optional<TimedFrame> TrafficModel::next() {
+  // Refill: a future flow's earliest frame is its arrival time, so it is
+  // safe to emit queued frames older than both next_arrival_ and every
+  // flood's next SYN.
+  auto earliest_source = [&]() {
+    Timestamp t = arrivals_done_ ? Timestamp{INT64_MAX} : next_arrival_;
+    for (std::size_t i = 0; i < floods_.size(); ++i) {
+      const Timestamp fe = floods_[i].start + floods_[i].duration;
+      if (flood_next_[i] < fe && flood_next_[i] < t) t = flood_next_[i];
+    }
+    return t;
+  };
+
+  while (true) {
+    const Timestamp src = earliest_source();
+    if (!pending_.empty() && pending_.top().ts <= src) break;
+    if (src.ns == INT64_MAX) break;  // all sources exhausted
+
+    // Advance whichever source is earliest.
+    bool advanced = false;
+    for (std::size_t i = 0; i < floods_.size(); ++i) {
+      const Timestamp fe = floods_[i].start + floods_[i].duration;
+      if (flood_next_[i] < fe && flood_next_[i] == src) {
+        generate_flood_syn(i, src);
+        flood_next_[i] =
+            flood_next_[i] + Duration::from_sec(rng_.exponential(1.0 / floods_[i].syns_per_sec));
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      if (next_arrival_ <= end_) {
+        generate_flow(next_arrival_);
+        next_arrival_ = next_arrival_ + next_interarrival(next_arrival_);
+        if (next_arrival_ > end_) arrivals_done_ = true;
+      } else {
+        arrivals_done_ = true;
+      }
+    }
+  }
+
+  if (pending_.empty()) return std::nullopt;
+  // priority_queue::top is const; the frame is moved out via const_cast,
+  // safe because the element is popped immediately after.
+  auto& top = const_cast<PendingFrame&>(pending_.top());
+  TimedFrame out{top.ts, std::move(top.frame)};
+  pending_.pop();
+  maybe_corrupt(out.frame);  // damage happens "at the tap", after truth
+  ++frames_emitted_;
+  return out;
+}
+
+}  // namespace ruru

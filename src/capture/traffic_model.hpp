@@ -1,0 +1,206 @@
+#pragma once
+// Deterministic trans-Pacific traffic model.
+//
+// Substitutes the live Auckland–Los Angeles production link from the
+// paper: emits a time-ordered stream of Ethernet frames *as seen at the
+// tap*, with a ground-truth ledger of the latency each flow actually
+// experienced.  Every TCP flow follows the Figure-1 structure:
+//
+//    t0          : SYN      (client -> server) passes the tap
+//    t0+external : SYN-ACK  (server -> client) passes the tap
+//    t0+external+internal : ACK (client -> server) passes the tap
+//
+// so `external` is the tap->server->tap RTT and `internal` the
+// tap->client->tap RTT, exactly Ruru's decomposition.  Impairments the
+// paper's deployment observed are injectable: SYN loss + retransmission,
+// abandoned handshakes, a periodic "firewall update" window that adds a
+// fixed delay (the +4000 ms use case), and SYN floods.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "net/five_tuple.hpp"
+#include "net/packet_builder.hpp"
+#include "util/random.hpp"
+#include "util/time.hpp"
+
+namespace ruru {
+
+struct TimedFrame {
+  Timestamp timestamp;
+  std::vector<std::uint8_t> frame;
+};
+
+/// A set of hosts on one side of the tap.
+struct HostPool {
+  std::vector<Ipv4Address> addresses;
+
+  /// `count` consecutive addresses starting at `base`.
+  static HostPool from_range(Ipv4Address base, std::size_t count);
+};
+
+/// One traffic route: a (client region, server region) pair with its
+/// characteristic latency halves at the tap.
+struct RouteProfile {
+  std::string name;
+  HostPool clients;          ///< tap-side (internal) hosts
+  HostPool servers;          ///< far-side (external) hosts
+  Duration internal_rtt;     ///< mean tap<->client RTT
+  Duration external_rtt;     ///< mean tap<->server RTT
+  double jitter_frac = 0.1;  ///< stddev as a fraction of the mean
+  double weight = 1.0;       ///< relative share of flow arrivals
+  /// Emit this route's flows as TCP/IPv6: each IPv4 pool address a.b.c.d
+  /// becomes 2001:db8:6464::a.b.c.d (the flow logic, RSS and codec paths
+  /// are family-agnostic; geo enrichment marks v6 unlocated, like an
+  /// IPv4-only IP2Location table would).
+  bool ipv6 = false;
+};
+
+/// Periodic extra delay on the external path — models the nightly
+/// firewall update from the paper (+4000 ms for flows started inside a
+/// short window each period).
+struct GlitchWindow {
+  Timestamp first_start;
+  Duration period;          ///< e.g. 24 h
+  Duration width;           ///< e.g. 30 s
+  Duration extra_external;  ///< e.g. 4000 ms
+
+  [[nodiscard]] bool active_at(Timestamp t) const {
+    if (t < first_start) return false;
+    const std::int64_t into = (t - first_start).ns % period.ns;
+    return into < width.ns;
+  }
+};
+
+/// SYN flood: bare SYNs from spoofed sources to one target, never
+/// completing a handshake.
+struct SynFloodSpec {
+  Timestamp start;
+  Duration duration;
+  double syns_per_sec = 1000.0;
+  Ipv4Address target;
+  std::uint16_t target_port = 80;
+  Ipv4Address spoof_base{Ipv4Address(198, 51, 100, 0)};
+  std::size_t spoof_count = 4096;
+};
+
+/// Ground truth for one generated flow (what an oracle at the tap knows).
+struct FlowTruth {
+  std::uint64_t flow_id = 0;
+  FiveTuple tuple;                 ///< client -> server orientation
+  std::size_t route_index = 0;
+  Timestamp syn_time;              ///< first SYN at the tap
+  Duration true_internal;          ///< sampled tap<->client RTT
+  Duration true_external;          ///< sampled tap<->server RTT incl. glitch
+  bool handshake_completes = true;
+  bool syn_retransmitted = false;  ///< SYN lost beyond tap, resent after RTO
+  Duration syn_rto;                ///< retransmission gap when retransmitted
+  int data_segments = 0;
+
+  /// What a tap-based handshake measurement *should* report for the
+  /// external half: retransmitted SYNs inflate it by the RTO, since the
+  /// SYN-ACK answers the second SYN (Ruru keeps the first-SYN timestamp).
+  [[nodiscard]] Duration expected_measured_external() const {
+    return syn_retransmitted ? true_external + syn_rto : true_external;
+  }
+  [[nodiscard]] Duration expected_measured_total() const {
+    return expected_measured_external() + true_internal;
+  }
+};
+
+struct TrafficConfig {
+  std::uint64_t seed = 1;
+  double flows_per_sec = 200.0;
+  Timestamp start{};
+  Duration duration = Duration::from_sec(10.0);
+  double syn_loss_prob = 0.0;          ///< SYN dropped beyond the tap
+  Duration syn_rto = Duration::from_sec(1.0);
+  double handshake_abandon_prob = 0.0; ///< server never answers
+  double mean_data_segments = 4.0;     ///< geometric, response segments
+  std::size_t data_payload = 1200;
+  bool with_tcp_timestamps = true;     ///< attach RFC 7323 TS options
+  double udp_background_frac = 0.0;    ///< extra non-TCP frames per flow
+  /// Fraction of emitted frames damaged in flight at the tap (truncated
+  /// or bit-flipped) — optics errors, slicing taps. The pipeline must
+  /// classify these as malformed/odd, never crash or mis-measure.
+  double corrupt_frac = 0.0;
+};
+
+/// Arrival-rate modulation: multiplier applied to flows_per_sec as a
+/// function of time. Default (null) = constant rate.
+using RateCurve = std::function<double(Timestamp)>;
+
+/// A day-night sine curve: rate swings between (1-depth) and (1+depth)
+/// of nominal with the given period. Models the diurnal load pattern a
+/// live link shows.
+[[nodiscard]] RateCurve diurnal_curve(Duration period, double depth = 0.6);
+
+class TrafficModel {
+ public:
+  TrafficModel(TrafficConfig config, std::vector<RouteProfile> routes);
+
+  void add_glitch(const GlitchWindow& g) { glitches_.push_back(g); }
+  void add_syn_flood(const SynFloodSpec& f);
+  /// Install an arrival-rate curve (see diurnal_curve).
+  void set_rate_curve(RateCurve curve) { rate_curve_ = std::move(curve); }
+
+  /// Next frame in tap order; nullopt when the scenario is exhausted.
+  std::optional<TimedFrame> next();
+
+  /// Ground truth for all flows *generated so far* (complete after the
+  /// stream is drained).
+  [[nodiscard]] const std::vector<FlowTruth>& truth() const { return truth_; }
+
+  [[nodiscard]] std::uint64_t frames_emitted() const { return frames_emitted_; }
+  [[nodiscard]] std::uint64_t flood_syns_emitted() const { return flood_syns_; }
+  [[nodiscard]] std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+
+ private:
+  struct PendingFrame {
+    Timestamp ts;
+    std::uint64_t seq;  // stable tiebreak
+    std::vector<std::uint8_t> frame;
+    bool operator>(const PendingFrame& o) const {
+      return ts != o.ts ? ts > o.ts : seq > o.seq;
+    }
+  };
+
+  void generate_flow(Timestamp arrival);
+  void generate_flood_syn(std::size_t flood_idx, Timestamp t);
+  void push(Timestamp ts, std::vector<std::uint8_t> frame);
+  [[nodiscard]] Duration sample_rtt(Duration mean, double jitter);
+  [[nodiscard]] std::size_t pick_route();
+
+  void maybe_corrupt(std::vector<std::uint8_t>& frame);
+  [[nodiscard]] Duration next_interarrival(Timestamp at);
+
+  TrafficConfig config_;
+  std::vector<RouteProfile> routes_;
+  std::vector<double> route_cdf_;
+  std::vector<GlitchWindow> glitches_;
+  std::vector<SynFloodSpec> floods_;
+  std::vector<Timestamp> flood_next_;
+  RateCurve rate_curve_;
+  /// Separate stream so enabling corruption does not perturb flow
+  /// generation (ground truth stays comparable to a clean run).
+  Pcg32 corrupt_rng_{0xC0112137};
+  std::uint64_t frames_corrupted_ = 0;
+
+  Pcg32 rng_;
+  std::priority_queue<PendingFrame, std::vector<PendingFrame>, std::greater<>> pending_;
+  Timestamp next_arrival_;
+  Timestamp end_;
+  bool arrivals_done_ = false;
+  std::uint64_t next_flow_id_ = 0;
+  std::uint64_t push_seq_ = 0;
+  std::uint64_t frames_emitted_ = 0;
+  std::uint64_t flood_syns_ = 0;
+  std::uint16_t next_ephemeral_ = 10'000;
+  std::vector<FlowTruth> truth_;
+};
+
+}  // namespace ruru

@@ -1,0 +1,203 @@
+#include "core/config_file.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace ruru {
+
+namespace {
+
+std::string trim(std::string s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  const auto last = s.find_last_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  return s.substr(first, last - first + 1);
+}
+
+Result<std::uint64_t> parse_u64(const std::string& key, const std::string& value) {
+  if (value.empty()) return make_error("config: empty value for '" + key + "'");
+  std::uint64_t out = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') {
+      return make_error("config: '" + key + "' expects an unsigned integer, got '" + value + "'");
+    }
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return out;
+}
+
+Result<double> parse_f64(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return make_error("config: '" + key + "' expects a number, got '" + value + "'");
+  }
+  return v;
+}
+
+Result<bool> parse_bool(const std::string& key, const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes" || value == "on") return true;
+  if (value == "false" || value == "0" || value == "no" || value == "off") return false;
+  return make_error("config: '" + key + "' expects a boolean, got '" + value + "'");
+}
+
+}  // namespace
+
+Result<std::map<std::string, std::string>> parse_config_text(const std::string& text) {
+  std::map<std::string, std::string> out;
+  std::string section;
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string line = trim(text.substr(pos, nl == std::string::npos ? nl : nl - pos));
+    pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return make_error("config: unterminated section header at line " +
+                          std::to_string(line_no));
+      }
+      section = trim(line.substr(1, line.size() - 2));
+      if (section.empty()) {
+        return make_error("config: empty section name at line " + std::to_string(line_no));
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return make_error("config: expected 'key = value' at line " + std::to_string(line_no) +
+                        ": '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return make_error("config: empty key at line " + std::to_string(line_no));
+    }
+    const std::string full_key = section.empty() ? key : section + "." + key;
+    if (out.count(full_key) != 0) {
+      return make_error("config: duplicate key '" + full_key + "' at line " +
+                        std::to_string(line_no));
+    }
+    out[full_key] = value;
+  }
+  return out;
+}
+
+Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
+                                                 PipelineConfig defaults) {
+  auto parsed = parse_config_text(text);
+  if (!parsed) return make_error(parsed.error());
+
+  PipelineConfig cfg = defaults;
+  for (const auto& [key, value] : parsed.value()) {
+    auto set_u64 = [&](auto& field) -> Status {
+      auto v = parse_u64(key, value);
+      if (!v) return make_error(v.error());
+      field = static_cast<std::remove_reference_t<decltype(field)>>(v.value());
+      return {};
+    };
+    auto set_bool = [&](bool& field) -> Status {
+      auto v = parse_bool(key, value);
+      if (!v) return make_error(v.error());
+      field = v.value();
+      return {};
+    };
+    auto set_seconds = [&](Duration& field) -> Status {
+      auto v = parse_f64(key, value);
+      if (!v) return make_error(v.error());
+      field = Duration::from_sec(v.value());
+      return {};
+    };
+
+    Status status;
+    if (key == "capture.queues") {
+      status = set_u64(cfg.num_queues);
+    } else if (key == "capture.queue_depth") {
+      status = set_u64(cfg.queue_depth);
+    } else if (key == "capture.mempool") {
+      status = set_u64(cfg.mempool_size);
+    } else if (key == "capture.mbuf_size") {
+      status = set_u64(cfg.mbuf_size);
+    } else if (key == "capture.symmetric_rss") {
+      bool symmetric = true;
+      status = set_bool(symmetric);
+      if (status.ok()) cfg.rss_key = symmetric ? symmetric_rss_key() : default_rss_key();
+    } else if (key == "flow.table_capacity") {
+      status = set_u64(cfg.flow_table_capacity);
+    } else if (key == "flow.stale_after_s") {
+      status = set_seconds(cfg.flow_stale_after);
+    } else if (key == "bus.hwm") {
+      status = set_u64(cfg.bus_hwm);
+    } else if (key == "analytics.threads") {
+      status = set_u64(cfg.enrichment_threads);
+    } else if (key == "storage.per_sample") {
+      status = set_bool(cfg.tsdb_store_samples);
+    } else if (key == "storage.downsample_window_s") {
+      status = set_seconds(cfg.downsample_window);
+    } else if (key == "storage.downsample_stat") {
+      if (value == "mean" || value == "median" || value == "min" || value == "max" ||
+          value == "p99" || value == "count") {
+        cfg.downsample_stat = value;
+      } else {
+        status = make_error("config: unknown downsample stat '" + value + "'");
+      }
+    } else if (key == "storage.retention_s") {
+      status = set_seconds(cfg.retention_horizon);
+    } else if (key == "meter.enabled") {
+      status = set_bool(cfg.enable_link_meter);
+    } else if (key == "meter.window_s") {
+      status = set_seconds(cfg.link_meter_window);
+    } else if (key == "detectors.synflood") {
+      status = set_bool(cfg.enable_synflood);
+    } else if (key == "detectors.synflood_min_syns") {
+      status = set_u64(cfg.synflood.min_syns);
+    } else if (key == "detectors.synflood_window_s") {
+      status = set_seconds(cfg.synflood.window);
+    } else if (key == "detectors.conncount") {
+      status = set_bool(cfg.enable_conncount);
+    } else if (key == "detectors.ewma") {
+      status = set_bool(cfg.enable_ewma);
+    } else if (key == "detectors.ewma_k_sigma") {
+      auto v = parse_f64(key, value);
+      if (!v) {
+        status = make_error(v.error());
+      } else {
+        cfg.ewma.k_sigma = v.value();
+      }
+    } else if (key == "detectors.periodic") {
+      status = set_bool(cfg.enable_periodic);
+    } else if (key == "detectors.periodic_period_s") {
+      status = set_seconds(cfg.periodic.period);
+    } else if (key == "detectors.periodic_bucket_s") {
+      status = set_seconds(cfg.periodic.bucket);
+    } else {
+      return make_error("config: unknown key '" + key + "'");
+    }
+    if (!status.ok()) return make_error(status.error());
+  }
+
+  if (cfg.num_queues == 0) return make_error("config: capture.queues must be >= 1");
+  if (cfg.enrichment_threads == 0) return make_error("config: analytics.threads must be >= 1");
+  return cfg;
+}
+
+Result<PipelineConfig> pipeline_config_from_file(const std::string& path,
+                                                 PipelineConfig defaults) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                                    &std::fclose);
+  if (!f) return make_error("config: cannot open '" + path + "'");
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0) text.append(buf, n);
+  return pipeline_config_from_text(text, defaults);
+}
+
+}  // namespace ruru

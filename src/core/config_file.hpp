@@ -1,0 +1,40 @@
+#pragma once
+// Deployment configuration files.
+//
+// A deployed tap is driven by ops, not by recompiling: this parses a
+// simple `key = value` format (with `#` comments and [section] headers
+// flattened into dotted keys) into PipelineConfig.  Unknown keys are
+// errors — typos in monitoring configs must not silently no-op.
+//
+// Example:
+//   [capture]
+//   queues = 8
+//   mempool = 131072
+//   [analytics]
+//   threads = 4
+//   [detectors]
+//   synflood = true
+//   synflood_min_syns = 500
+
+#include <map>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "util/result.hpp"
+
+namespace ruru {
+
+/// Parses the key=value text into a flat map ("section.key" -> value).
+[[nodiscard]] Result<std::map<std::string, std::string>> parse_config_text(
+    const std::string& text);
+
+/// Parses text and applies it over `defaults`. Unknown keys or
+/// malformed values produce an error naming the offender.
+[[nodiscard]] Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
+                                                               PipelineConfig defaults = {});
+
+/// Reads `path` and calls pipeline_config_from_text.
+[[nodiscard]] Result<PipelineConfig> pipeline_config_from_file(const std::string& path,
+                                                               PipelineConfig defaults = {});
+
+}  // namespace ruru

@@ -1,0 +1,208 @@
+#include "core/pipeline.hpp"
+
+#include "anomaly/alert_codec.hpp"
+#include "msg/codec.hpp"
+#include "util/logging.hpp"
+
+namespace ruru {
+
+RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const AsDatabase& as,
+                           const Geo6Database* geo6)
+    : config_(config),
+      geo_(geo),
+      as_(as),
+      pool_(config.mempool_size, config.mbuf_size),
+      link_meter_(config.link_meter_window) {
+  NicConfig nic_cfg;
+  nic_cfg.num_queues = config_.num_queues;
+  nic_cfg.queue_depth = config_.queue_depth;
+  nic_cfg.rss_key = config_.rss_key;
+  nic_ = std::make_unique<SimNic>(nic_cfg, pool_);
+
+  if (config_.enable_synflood) synflood_ = std::make_unique<SynFloodDetector>(config_.synflood);
+  if (config_.enable_conncount) conncount_ = std::make_unique<ConnCountDetector>(config_.conncount);
+  if (config_.enable_ewma) ewma_ = std::make_unique<EwmaDetector>(config_.ewma);
+  if (config_.enable_periodic) {
+    periodic_ = std::make_unique<PeriodicSpikeDetector>(config_.periodic);
+  }
+
+  // One worker per RX queue, publishing measurements onto the bus.
+  workers_.reserve(config_.num_queues);
+  for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
+    auto worker = std::make_unique<QueueWorker>(
+        *nic_, q, config_.flow_table_capacity,
+        [this](const LatencySample& s) {
+          bus_.publish(encode_latency_sample(s));
+          if (synflood_ && s.server.is_v4()) synflood_->on_completion(s.ack_time, s.server.v4);
+        },
+        config_.flow_stale_after);
+    if (synflood_) {
+      worker->set_syn_sink(
+          [this](Timestamp t, Ipv4Address server) { synflood_->on_syn(t, server); });
+    }
+    workers_.push_back(std::move(worker));
+  }
+
+  enrichment_sub_ = bus_.subscribe(std::string(kLatencyTopic), config_.bus_hwm);
+  enrichment_ = std::make_unique<EnrichmentPool>(enrichment_sub_, geo_, as_,
+                                                 config_.enrichment_threads, geo6);
+  wire_sinks();
+}
+
+void RuruPipeline::wire_sinks() {
+  enrichment_->add_sink([this](const EnrichedSample& s) {
+    city_pairs_.add(s);
+    as_pairs_.add(s);
+    arcs_.add(s);
+
+    if (config_.tsdb_store_samples) {
+      TagSet tags;
+      tags.add("src_city", s.client.located ? s.client.city : "?")
+          .add("dst_city", s.server.located ? s.server.city : "?")
+          .add("src_as", std::to_string(s.client.asn))
+          .add("dst_as", std::to_string(s.server.asn));
+      tsdb_.write("total_ms", tags, s.completed_at, s.total.to_ms());
+      tsdb_.write("internal_ms", tags, s.completed_at, s.internal.to_ms());
+      tsdb_.write("external_ms", tags, s.completed_at, s.external.to_ms());
+    }
+
+    if (ewma_) {
+      std::optional<Alert> alert;
+      {
+        std::lock_guard lock(ewma_mu_);
+        alert = ewma_->update(s.completed_at, s.total.to_ms());
+      }
+      if (alert) {
+        alert->subject = (s.client.located ? s.client.city : "?") + "|" +
+                         (s.server.located ? s.server.city : "?");
+        bus_.publish(encode_alert(*alert));  // live "ruru.alerts" feed
+        alerts_published_.fetch_add(1, std::memory_order_relaxed);
+        alerts_.raise(std::move(*alert));
+      }
+    }
+    if (periodic_) {
+      // Keyed by *start* time: the firewall delayed connections opened
+      // inside the window; their completions land ~4 s later and would
+      // smear across buckets.
+      std::lock_guard lock(periodic_mu_);
+      periodic_->add(s.started_at, s.total);
+    }
+    if (conncount_) conncount_->add(s);
+  });
+}
+
+RuruPipeline::~RuruPipeline() { finish(); }
+
+void RuruPipeline::start() {
+  if (started_) return;
+  started_ = true;
+  enrichment_->start();
+  for (auto& worker : workers_) {
+    QueueWorker* w = worker.get();
+    lcores_.launch([w](std::uint32_t, const std::atomic<bool>& stop) { w->run(stop); });
+  }
+  RURU_LOG(kInfo, "core") << "pipeline started: " << config_.num_queues << " queues, "
+                          << config_.enrichment_threads << " enrichment threads";
+}
+
+bool RuruPipeline::inject(std::span<const std::uint8_t> frame, Timestamp rx_time) {
+  if (config_.enable_link_meter) link_meter_.on_packet(rx_time, frame.size());
+  return nic_->inject(frame, rx_time);
+}
+
+void RuruPipeline::finish() {
+  if (!started_ || finished_) return;
+  finished_ = true;
+
+  // 1. Workers drain their queues, then stop.
+  lcores_.stop_and_join();
+  // 2. Flush capture-side windowed detectors (they are fed by workers,
+  //    which have stopped) and publish their alerts while the bus is
+  //    still open so "ruru.alerts" subscribers see them.
+  std::vector<Alert> capture_side;
+  if (synflood_) synflood_->flush(capture_side);
+  for (auto& a : capture_side) {
+    bus_.publish(encode_alert(a));
+    alerts_published_.fetch_add(1, std::memory_order_relaxed);
+    alerts_.raise(std::move(a));
+  }
+  // 3. Close the bus; enrichment workers drain the backlog and exit.
+  //    (conncount/periodic are fed by enrichment, so they flush after —
+  //    their end-of-run alerts reach the log but not closed
+  //    subscriptions.)
+  bus_.close_all();
+  enrichment_->stop();
+  std::vector<Alert> pending;
+  if (conncount_) conncount_->flush(pending);
+  if (periodic_) {
+    std::lock_guard lock(periodic_mu_);
+    for (auto& a : periodic_->alerts()) pending.push_back(a);
+  }
+  for (auto& a : pending) alerts_.raise(std::move(a));
+
+  // 4. Persist link-load windows ("SNMP view, but per second").
+  if (config_.enable_link_meter) {
+    link_meter_.flush();
+    TagSet tags;
+    tags.add("port", "0");
+    for (const auto& w : link_meter_.closed()) {
+      tsdb_.write("link_mbps", tags, w.start, w.mbps());
+      tsdb_.write("link_pps", tags, w.start, w.pps());
+    }
+  }
+
+  // 5. Apply the storage policy (continuous-query downsampling, then
+  //    raw-sample retention anchored at the last capture timestamp).
+  if (config_.downsample_window.ns > 0) {
+    for (const char* m : {"total_ms", "internal_ms", "external_ms"}) {
+      tsdb_.downsample(m, std::string(m) + "_" + config_.downsample_stat,
+                       config_.downsample_window, config_.downsample_stat);
+    }
+  }
+  if (config_.retention_horizon.ns > 0 && !link_meter_.closed().empty()) {
+    const Timestamp capture_end =
+        link_meter_.closed().back().start + config_.link_meter_window;
+    // Only raw per-sample series age out; downsampled and link series stay.
+    tsdb_.enforce_retention(capture_end, config_.retention_horizon,
+                            {"total_ms", "internal_ms", "external_ms"});
+  }
+
+  RURU_LOG(kInfo, "core") << "pipeline finished: " << summary().to_string();
+}
+
+PipelineSummary RuruPipeline::summary() const {
+  PipelineSummary s;
+  s.nic = nic_->stats();
+  s.mempool_alloc_failures = pool_.alloc_failures();
+  for (const auto& w : workers_) {
+    const auto& ws = w->stats();
+    s.workers.polls += ws.polls;
+    s.workers.empty_polls += ws.empty_polls;
+    s.workers.packets += ws.packets;
+    s.workers.bytes += ws.bytes;
+    for (std::size_t i = 0; i < ws.parse_status.size(); ++i) {
+      s.workers.parse_status[i] += ws.parse_status[i];
+    }
+    const auto& ts = w->tracker_stats();
+    s.tracker.syn_seen += ts.syn_seen;
+    s.tracker.syn_retransmissions += ts.syn_retransmissions;
+    s.tracker.synack_seen += ts.synack_seen;
+    s.tracker.synack_unmatched += ts.synack_unmatched;
+    s.tracker.ack_matched += ts.ack_matched;
+    s.tracker.rst_seen += ts.rst_seen;
+    s.tracker.samples_emitted += ts.samples_emitted;
+    s.tracker.table_drops += ts.table_drops;
+  }
+  const std::uint64_t alerts_published = alerts_published_.load(std::memory_order_relaxed);
+  s.bus_alerts_published = alerts_published;
+  s.bus_published = bus_.published() - alerts_published;  // latency messages
+  s.bus_dropped = enrichment_sub_->dropped();
+  s.enriched = enrichment_->processed();
+  s.decode_failures = enrichment_->decode_failures();
+  s.unlocated = enrichment_->combined_stats().unlocated;
+  s.tsdb_points = tsdb_.points_written();
+  s.alerts = alerts_.count();
+  return s;
+}
+
+}  // namespace ruru

@@ -1,0 +1,193 @@
+#pragma once
+// RuruPipeline — the whole Figure-2 system, wired.
+//
+//   inject()  ->  SimNic (symmetric RSS, N queues)
+//             ->  per-queue poll workers (handshake tracking, Figure 1)
+//             ->  bus (topic "ruru.latency", HWM drop)
+//             ->  enrichment pool (geo/AS lookup, IP removal)
+//             ->  sinks: TSDB, city/AS aggregators, arc aggregator,
+//                 anomaly detectors
+//
+// Usage: construct, start(), inject frames (one producer thread),
+// finish().  After finish() the TSDB, aggregators and alert log hold the
+// run's results.  See core/replay.hpp for feeding a TrafficModel or a
+// pcap file.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "analytics/aggregator.hpp"
+#include "analytics/pool.hpp"
+#include "anomaly/alert.hpp"
+#include "anomaly/conncount_detector.hpp"
+#include "anomaly/ewma_detector.hpp"
+#include "anomaly/periodic_detector.hpp"
+#include "anomaly/synflood_detector.hpp"
+#include "capture/traffic_model.hpp"
+#include "driver/eal.hpp"
+#include "driver/nic.hpp"
+#include "flow/link_meter.hpp"
+#include "flow/worker.hpp"
+#include "geo/as_db.hpp"
+#include "geo/geo_db.hpp"
+#include "msg/pubsub.hpp"
+#include "tsdb/tsdb.hpp"
+#include "viz/arc_aggregator.hpp"
+
+namespace ruru {
+
+struct PipelineConfig {
+  // --- capture / DPDK stage ---
+  std::uint16_t num_queues = 4;
+  std::size_t queue_depth = 8192;
+  std::size_t mempool_size = 1 << 16;
+  std::size_t mbuf_size = 2048;
+  RssKey rss_key = symmetric_rss_key();
+
+  // --- flow tracking ---
+  std::size_t flow_table_capacity = 1 << 16;  ///< per queue
+  Duration flow_stale_after = Duration::from_sec(30.0);
+
+  // --- bus / analytics ---
+  std::size_t bus_hwm = 1 << 16;
+  std::size_t enrichment_threads = 2;
+
+  // --- anomaly modules ---
+  bool enable_synflood = true;
+  SynFloodConfig synflood;
+  bool enable_conncount = true;
+  ConnCountConfig conncount;
+  bool enable_ewma = true;
+  EwmaConfig ewma;
+  bool enable_periodic = false;  ///< for glitch-hunting runs
+  PeriodicConfig periodic;
+
+  // --- storage ---
+  bool tsdb_store_samples = true;  ///< write per-sample points to the TSDB
+  /// Long-term storage policy, applied at finish() (the InfluxDB
+  /// continuous-query + retention pattern): when `downsample_window` is
+  /// nonzero, every latency measurement is downsampled into
+  /// "<name>_<stat>" series at that granularity; when
+  /// `retention_horizon` is nonzero, raw points older than the horizon
+  /// (relative to the newest sample) are then dropped.
+  Duration downsample_window = Duration{0};
+  std::string downsample_stat = "median";
+  Duration retention_horizon = Duration{0};
+
+  // --- link load metering ---
+  bool enable_link_meter = true;
+  Duration link_meter_window = Duration::from_sec(1.0);
+};
+
+struct PipelineSummary;
+
+class RuruPipeline {
+ public:
+  /// `geo6` optional: IPv6 location table (not owned; must outlive the
+  /// pipeline). Without it, v6 endpoints show as unlocated.
+  RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const AsDatabase& as,
+               const Geo6Database* geo6 = nullptr);
+  ~RuruPipeline();
+
+  RuruPipeline(const RuruPipeline&) = delete;
+  RuruPipeline& operator=(const RuruPipeline&) = delete;
+
+  /// Register an extra consumer of enriched (anonymized) samples — the
+  /// "additional functionality" extension point of §2 (e.g. a
+  /// FilterChain, a custom exporter). Must be called before start();
+  /// invoked from enrichment worker threads, so the sink must be
+  /// thread-safe.
+  void add_enriched_sink(std::function<void(const EnrichedSample&)> sink) {
+    enrichment_->add_sink(std::move(sink));
+  }
+
+  /// Launch worker lcores and the enrichment pool.
+  void start();
+
+  /// RX one frame (single producer thread). Returns false on drop.
+  bool inject(std::span<const std::uint8_t> frame, Timestamp rx_time);
+
+  /// Drain everything and stop all threads. Idempotent. After this the
+  /// result accessors below are stable.
+  void finish();
+
+  /// Subscribe to pipeline topics on the internal bus. Useful topics:
+  /// kLatencyTopic ("ruru.latency", binary samples) and kAlertTopic
+  /// ("ruru.alerts", JSON alerts). Subscribe before start() to see
+  /// everything.
+  [[nodiscard]] std::shared_ptr<Subscription> subscribe(std::string topic_prefix,
+                                                        std::size_t hwm = 0) {
+    return bus_.subscribe(std::move(topic_prefix), hwm);
+  }
+
+  // --- results (stable after finish(); live-but-racy before) ---
+  [[nodiscard]] TimeSeriesDb& tsdb() { return tsdb_; }
+  [[nodiscard]] LatencyAggregator& city_pairs() { return city_pairs_; }
+  [[nodiscard]] LatencyAggregator& as_pairs() { return as_pairs_; }
+  [[nodiscard]] ArcAggregator& arcs() { return arcs_; }
+  [[nodiscard]] AlertLog& alerts() { return alerts_; }
+  [[nodiscard]] const PeriodicSpikeDetector* periodic_detector() const {
+    return periodic_ ? periodic_.get() : nullptr;
+  }
+
+  [[nodiscard]] const SimNic& nic() const { return *nic_; }
+  [[nodiscard]] const LinkMeter& link_meter() const { return link_meter_; }
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+  [[nodiscard]] PipelineSummary summary() const;
+
+ private:
+  void wire_sinks();
+
+  PipelineConfig config_;
+  const GeoDatabase& geo_;
+  const AsDatabase& as_;
+
+  Mempool pool_;
+  std::unique_ptr<SimNic> nic_;
+  LinkMeter link_meter_;
+  std::vector<std::unique_ptr<QueueWorker>> workers_;
+  LcoreLauncher lcores_;
+
+  PubSocket bus_;
+  std::unique_ptr<EnrichmentPool> enrichment_;
+  std::shared_ptr<Subscription> enrichment_sub_;
+
+  TimeSeriesDb tsdb_;
+  LatencyAggregator city_pairs_{LatencyAggregator::Mode::kCityPair};
+  LatencyAggregator as_pairs_{LatencyAggregator::Mode::kAsPair};
+  ArcAggregator arcs_;
+  AlertLog alerts_;
+
+  std::unique_ptr<SynFloodDetector> synflood_;
+  std::unique_ptr<ConnCountDetector> conncount_;
+  std::unique_ptr<EwmaDetector> ewma_;
+  std::mutex ewma_mu_;
+  std::unique_ptr<PeriodicSpikeDetector> periodic_;
+  std::mutex periodic_mu_;
+
+  std::atomic<std::uint64_t> alerts_published_{0};
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+/// Aggregated end-of-run statistics across every stage.
+struct PipelineSummary {
+  NicStats nic;
+  std::uint64_t mempool_alloc_failures = 0;
+  WorkerStats workers;           ///< summed
+  TrackerStats tracker;          ///< summed
+  std::uint64_t bus_published = 0;        ///< latency measurements only
+  std::uint64_t bus_alerts_published = 0; ///< "ruru.alerts" messages
+  std::uint64_t bus_dropped = 0;
+  std::uint64_t enriched = 0;
+  std::uint64_t decode_failures = 0;
+  std::uint64_t unlocated = 0;
+  std::uint64_t tsdb_points = 0;
+  std::size_t alerts = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace ruru

@@ -1,0 +1,76 @@
+#include "core/replay.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace ruru {
+
+namespace {
+
+/// Inject with optional bounded retry (yield to let workers drain).
+bool inject_frame(RuruPipeline& pipeline, std::span<const std::uint8_t> frame, Timestamp ts,
+                  bool retry_drops, std::uint64_t& drops) {
+  if (pipeline.inject(frame, ts)) return true;
+  if (!retry_drops) {
+    ++drops;
+    return false;
+  }
+  for (int attempt = 0; attempt < 1'000'000; ++attempt) {
+    std::this_thread::yield();
+    if (pipeline.inject(frame, ts)) return true;
+  }
+  ++drops;  // pipeline wedged; count and move on
+  return false;
+}
+
+}  // namespace
+
+ReplayStats replay_scenario(RuruPipeline& pipeline, TrafficModel& model, bool retry_drops) {
+  ReplayStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  while (auto frame = model.next()) {
+    ++stats.frames;
+    stats.bytes += frame->frame.size();
+    inject_frame(pipeline, frame->frame, frame->timestamp, retry_drops, stats.inject_drops);
+  }
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return stats;
+}
+
+ReplayStats replay_scenario_paced(RuruPipeline& pipeline, TrafficModel& model,
+                                  double time_scale) {
+  ReplayStats stats;
+  if (time_scale <= 0) time_scale = 1.0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  while (auto frame = model.next()) {
+    const auto due = wall_start + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                                      static_cast<double>(frame->timestamp.ns) / time_scale));
+    std::this_thread::sleep_until(due);
+    ++stats.frames;
+    stats.bytes += frame->frame.size();
+    inject_frame(pipeline, frame->frame, frame->timestamp, /*retry_drops=*/true,
+                 stats.inject_drops);
+  }
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return stats;
+}
+
+Result<ReplayStats> replay_pcap(RuruPipeline& pipeline, const std::string& path,
+                                bool retry_drops) {
+  auto reader = PcapReader::open(path);
+  if (!reader) return make_error(reader.error());
+  ReplayStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  while (auto record = reader.value().next()) {
+    ++stats.frames;
+    stats.bytes += record->frame.size();
+    inject_frame(pipeline, record->frame, record->timestamp, retry_drops, stats.inject_drops);
+  }
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return stats;
+}
+
+}  // namespace ruru

@@ -1,0 +1,26 @@
+#pragma once
+// Umbrella header: everything a downstream application needs.
+//
+//   #include "core/ruru.hpp"
+//
+//   ruru::World world = ...;            // geo + AS databases
+//   ruru::RuruPipeline pipeline(cfg, world.geo, world.as);
+//   pipeline.start();
+//   ... inject frames / replay a scenario or pcap ...
+//   pipeline.finish();
+//
+// See README.md for the architecture overview and examples/ for
+// runnable programs covering every subsystem.
+
+#include "analytics/filter.hpp"        // measurement filtering (§2 extension)
+#include "anomaly/alert_codec.hpp"     // "ruru.alerts" JSON feed
+#include "anomaly/heavy_hitters.hpp"   // top-talker sketch
+#include "capture/pcap.hpp"            // capture files
+#include "capture/scenarios.hpp"       // canned trans-Pacific workloads
+#include "core/config_file.hpp"        // operator configuration
+#include "core/pipeline.hpp"           // the system
+#include "core/replay.hpp"             // feeding it
+#include "geo/world.hpp"               // geo/AS database construction
+#include "viz/dashboard.hpp"           // Grafana-role text panels
+#include "viz/heatmap.hpp"             // latency heatmap panel
+#include "viz/ws_server.hpp"           // WebSocket push server

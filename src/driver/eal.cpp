@@ -1,0 +1,21 @@
+#include "driver/eal.hpp"
+
+namespace ruru {
+
+std::uint32_t LcoreLauncher::launch(LcoreMain main) {
+  const auto id = static_cast<std::uint32_t>(threads_.size());
+  threads_.emplace_back(
+      [this, id, main = std::move(main)] { main(id, stop_); });
+  return id;
+}
+
+void LcoreLauncher::stop_and_join() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  stop_.store(false, std::memory_order_release);
+}
+
+}  // namespace ruru

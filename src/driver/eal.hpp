@@ -1,0 +1,40 @@
+#pragma once
+// Lcore launcher — the simdpdk analogue of rte_eal_remote_launch.
+//
+// Each "lcore" is a std::thread running a user poll loop until stop() is
+// requested.  The launcher owns thread lifetime; destruction joins.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ruru {
+
+class LcoreLauncher {
+ public:
+  /// The loop body: called with (lcore_id, stop_flag). The body is
+  /// expected to poll until the flag becomes true.
+  using LcoreMain = std::function<void(std::uint32_t lcore_id, const std::atomic<bool>& stop)>;
+
+  LcoreLauncher() = default;
+  ~LcoreLauncher() { stop_and_join(); }
+
+  LcoreLauncher(const LcoreLauncher&) = delete;
+  LcoreLauncher& operator=(const LcoreLauncher&) = delete;
+
+  /// Launch `main` on a new lcore; returns its id.
+  std::uint32_t launch(LcoreMain main);
+
+  /// Signal all lcores to stop and join them. Idempotent.
+  void stop_and_join();
+
+  [[nodiscard]] std::size_t lcore_count() const { return threads_.size(); }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ruru

@@ -1,0 +1,66 @@
+#pragma once
+// Packet buffer (mbuf) — the simdpdk analogue of rte_mbuf.
+//
+// Fixed-size buffers owned by a Mempool; RX metadata (timestamp, RSS
+// hash, queue) rides alongside the bytes exactly as DPDK offloads would
+// provide it.  Ownership is expressed with a unique_ptr whose deleter
+// returns the buffer to its pool — buffers are never heap-allocated on
+// the data path.
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+
+#include "util/time.hpp"
+
+namespace ruru {
+
+class Mempool;
+
+class Mbuf {
+ public:
+  /// Usable bytes in the buffer (default mirrors a 2KB DPDK dataroom).
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t length() const { return length_; }
+
+  [[nodiscard]] std::uint8_t* data() { return storage_; }
+  [[nodiscard]] const std::uint8_t* data() const { return storage_; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return {storage_, length_}; }
+
+  /// Copies `frame` into the buffer. Returns false when it does not fit
+  /// (caller counts an oversize drop).
+  bool assign(std::span<const std::uint8_t> frame) {
+    if (frame.size() > capacity_) return false;
+    std::memcpy(storage_, frame.data(), frame.size());
+    length_ = frame.size();
+    return true;
+  }
+
+  // --- RX descriptor metadata (filled by the NIC) ---
+  Timestamp timestamp{};     ///< hardware-style RX timestamp
+  std::uint32_t rss_hash = 0;
+  std::uint16_t queue_id = 0;
+  std::uint16_t port_id = 0;
+
+ private:
+  friend class Mempool;
+  Mbuf(std::uint8_t* storage, std::size_t capacity) : storage_(storage), capacity_(capacity) {}
+
+  std::uint8_t* storage_;
+  std::size_t capacity_;
+  std::size_t length_ = 0;
+  Mempool* pool_ = nullptr;
+
+  friend struct MbufDeleter;
+};
+
+struct MbufDeleter {
+  void operator()(Mbuf* m) const;
+};
+
+/// Owning handle; destruction returns the buffer to its mempool.
+using MbufPtr = std::unique_ptr<Mbuf, MbufDeleter>;
+
+}  // namespace ruru

@@ -1,0 +1,55 @@
+#include "driver/mempool.hpp"
+
+namespace ruru {
+
+void MbufDeleter::operator()(Mbuf* m) const {
+  if (m != nullptr && m->pool_ != nullptr) m->pool_->release(m);
+}
+
+Mempool::Mempool(std::size_t count, std::size_t buf_size)
+    : count_(count), storage_(count * buf_size) {
+  mbufs_.reserve(count);
+  free_list_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    mbufs_.push_back(Mbuf(&storage_[i * buf_size], buf_size));
+    mbufs_.back().pool_ = this;
+  }
+  // Push in reverse so the first alloc returns the first buffer.
+  for (std::size_t i = count; i > 0; --i) free_list_.push_back(&mbufs_[i - 1]);
+}
+
+Mempool::~Mempool() = default;
+
+MbufPtr Mempool::alloc() {
+  std::lock_guard lock(mu_);
+  if (free_list_.empty()) {
+    ++alloc_failures_;
+    return nullptr;
+  }
+  Mbuf* m = free_list_.back();
+  free_list_.pop_back();
+  // Reset per-packet state.
+  m->length_ = 0;
+  m->timestamp = Timestamp{};
+  m->rss_hash = 0;
+  m->queue_id = 0;
+  m->port_id = 0;
+  return MbufPtr(m);
+}
+
+void Mempool::release(Mbuf* m) {
+  std::lock_guard lock(mu_);
+  free_list_.push_back(m);
+}
+
+std::size_t Mempool::available() const {
+  std::lock_guard lock(mu_);
+  return free_list_.size();
+}
+
+std::uint64_t Mempool::alloc_failures() const {
+  std::lock_guard lock(mu_);
+  return alloc_failures_;
+}
+
+}  // namespace ruru

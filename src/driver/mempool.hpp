@@ -1,0 +1,45 @@
+#pragma once
+// Fixed-capacity packet buffer pool (simdpdk analogue of rte_mempool).
+//
+// All mbuf storage is allocated once up front; alloc/free push and pop a
+// free stack under a light mutex.  Exhaustion is an expected condition
+// (alloc returns null) that the NIC counts as an rx drop, matching DPDK
+// semantics when a pool runs dry.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "driver/mbuf.hpp"
+
+namespace ruru {
+
+class Mempool {
+ public:
+  /// `count` buffers of `buf_size` usable bytes each.
+  Mempool(std::size_t count, std::size_t buf_size = 2048);
+
+  Mempool(const Mempool&) = delete;
+  Mempool& operator=(const Mempool&) = delete;
+  ~Mempool();
+
+  /// Null when the pool is exhausted.
+  [[nodiscard]] MbufPtr alloc();
+
+  [[nodiscard]] std::size_t capacity() const { return count_; }
+  [[nodiscard]] std::size_t available() const;
+  [[nodiscard]] std::uint64_t alloc_failures() const;
+
+ private:
+  friend struct MbufDeleter;
+  void release(Mbuf* m);
+
+  const std::size_t count_;
+  std::vector<std::uint8_t> storage_;           // contiguous dataroom
+  std::vector<Mbuf> mbufs_;                     // descriptor array
+  std::vector<Mbuf*> free_list_;
+  mutable std::mutex mu_;
+  std::uint64_t alloc_failures_ = 0;
+};
+
+}  // namespace ruru

@@ -1,0 +1,71 @@
+#pragma once
+// SimNic — a multi-queue, poll-mode NIC port (simdpdk analogue of an
+// rte_ethdev in RX-only tap mode).
+//
+// Frames are injected by a single producer (the traffic replay); the NIC
+// stamps an RX timestamp, computes the configured RSS hash over the
+// TCP/IP 4-tuple, and enqueues the mbuf on queue `hash % nb_queues`.
+// Worker lcores drain queues with rx_burst(), exactly like rte_eth_rx_burst.
+//
+// Drop accounting mirrors hardware: mempool exhaustion and full RX rings
+// are counted, never blocked on — a latency tap must not apply
+// backpressure to the wire.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "driver/mempool.hpp"
+#include "driver/toeplitz.hpp"
+#include "util/spsc_ring.hpp"
+#include "util/time.hpp"
+
+namespace ruru {
+
+struct NicStats {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t dropped_no_mbuf = 0;
+  std::uint64_t dropped_queue_full = 0;
+  std::uint64_t dropped_oversize = 0;
+};
+
+struct NicConfig {
+  std::uint16_t num_queues = 4;
+  std::size_t queue_depth = 4096;
+  RssKey rss_key = symmetric_rss_key();
+  std::uint16_t port_id = 0;
+};
+
+class SimNic {
+ public:
+  SimNic(const NicConfig& config, Mempool& pool);
+
+  SimNic(const SimNic&) = delete;
+  SimNic& operator=(const SimNic&) = delete;
+
+  /// RX path: copy `frame` into an mbuf, hash, timestamp, enqueue.
+  /// Single-producer: call from one thread only. Returns true when the
+  /// frame was queued (false -> counted in stats as a drop).
+  bool inject(std::span<const std::uint8_t> frame, Timestamp rx_time);
+
+  /// Poll up to `out.size()` mbufs from `queue` (rte_eth_rx_burst).
+  /// Safe to call concurrently across *different* queues.
+  std::size_t rx_burst(std::uint16_t queue, std::span<MbufPtr> out);
+
+  [[nodiscard]] std::uint16_t num_queues() const { return config_.num_queues; }
+  [[nodiscard]] const NicStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_occupancy(std::uint16_t queue) const;
+
+  /// RSS hash the NIC would assign to this frame (exposed for tests).
+  [[nodiscard]] std::uint32_t hash_frame(std::span<const std::uint8_t> frame) const;
+
+ private:
+  NicConfig config_;
+  Mempool& pool_;
+  std::vector<std::unique_ptr<SpscRing<MbufPtr>>> queues_;
+  NicStats stats_;
+};
+
+}  // namespace ruru

@@ -1,0 +1,101 @@
+#pragma once
+// Bounded lock-free MPMC ring — the simdpdk analogue of rte_ring's
+// multi-producer/multi-consumer mode (Vyukov's bounded MPMC queue).
+//
+// Each slot carries a sequence number; producers claim a ticket with a
+// CAS on the enqueue cursor and publish by bumping the slot sequence,
+// consumers mirror it.  No locks, no spurious blocking; full/empty are
+// detected exactly.  Used where multiple threads feed one queue (e.g.
+// several capture ports fanning into one worker) — the single-producer
+// RX fast path keeps using SpscRing.
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/spsc_ring.hpp"  // kCacheLine
+
+namespace ruru {
+
+template <typename T>
+class MpmcRing {
+ public:
+  /// Capacity rounds up to a power of two.
+  explicit MpmcRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::vector<Slot>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate size (exact when quiescent).
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t head = enqueue_.load(std::memory_order_acquire);
+    const std::size_t tail = dequeue_.load(std::memory_order_acquire);
+    return head >= tail ? head - tail : 0;
+  }
+
+  [[nodiscard]] bool try_push(T value) {
+    std::size_t pos = enqueue_.load(std::memory_order_relaxed);
+    while (true) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failed: pos reloaded, retry.
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<T> try_pop() {
+    std::size_t pos = dequeue_.load(std::memory_order_relaxed);
+    while (true) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          T value = std::move(slot.value);
+          slot.sequence.store(pos + mask_ + 1, std::memory_order_release);
+          return value;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> enqueue_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> dequeue_{0};
+};
+
+}  // namespace ruru

@@ -1,0 +1,75 @@
+#include "driver/toeplitz.hpp"
+
+#include <cassert>
+
+#include "util/byte_order.hpp"
+
+namespace ruru {
+
+const RssKey& default_rss_key() {
+  // Microsoft's documented default RSS key.
+  static const RssKey key = {0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+                             0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+                             0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+                             0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa};
+  return key;
+}
+
+const RssKey& symmetric_rss_key() {
+  static const RssKey key = [] {
+    RssKey k{};
+    for (std::size_t i = 0; i < k.size(); i += 2) {
+      k[i] = 0x6d;
+      k[i + 1] = 0x5a;
+    }
+    return k;
+  }();
+  return key;
+}
+
+std::uint32_t toeplitz_hash(const RssKey& key, std::span<const std::uint8_t> input) {
+  // 40-byte key = 320 bits; max input 36 bytes = 288 bits, and the
+  // window consumes 32 + 288 = 320 key bits: exactly the key length.
+  assert(input.size() <= 36);
+  std::uint32_t result = 0;
+  std::uint32_t window = load_be32(key.data());  // key bits [0,32)
+  std::size_t key_bit = 32;                      // next key bit to shift in
+  for (const std::uint8_t byte : input) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if ((byte >> bit) & 1) result ^= window;
+      const std::uint8_t incoming = (key[key_bit / 8] >> (7 - (key_bit % 8))) & 1;
+      window = (window << 1) | incoming;
+      ++key_bit;
+    }
+  }
+  return result;
+}
+
+std::uint32_t rss_hash_tcp4(const RssKey& key, Ipv4Address src, Ipv4Address dst,
+                            std::uint16_t src_port, std::uint16_t dst_port) {
+  std::uint8_t input[12];
+  store_be32(&input[0], src.value());
+  store_be32(&input[4], dst.value());
+  store_be16(&input[8], src_port);
+  store_be16(&input[10], dst_port);
+  return toeplitz_hash(key, std::span<const std::uint8_t>(input, 12));
+}
+
+std::uint32_t rss_hash_tcp6(const RssKey& key, const Ipv6Address& src, const Ipv6Address& dst,
+                            std::uint16_t src_port, std::uint16_t dst_port) {
+  std::uint8_t input[36];
+  std::copy(src.bytes().begin(), src.bytes().end(), &input[0]);
+  std::copy(dst.bytes().begin(), dst.bytes().end(), &input[16]);
+  store_be16(&input[32], src_port);
+  store_be16(&input[34], dst_port);
+  return toeplitz_hash(key, std::span<const std::uint8_t>(input, 36));
+}
+
+std::uint32_t rss_hash(const RssKey& key, const FiveTuple& tuple) {
+  if (tuple.src.is_v4()) {
+    return rss_hash_tcp4(key, tuple.src.v4, tuple.dst.v4, tuple.src_port, tuple.dst_port);
+  }
+  return rss_hash_tcp6(key, tuple.src.v6, tuple.dst.v6, tuple.src_port, tuple.dst_port);
+}
+
+}  // namespace ruru

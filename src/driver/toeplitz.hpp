@@ -1,0 +1,45 @@
+#pragma once
+// Toeplitz RSS hashing with symmetric-key support.
+//
+// Ruru configures *symmetric* RSS so both directions of a TCP connection
+// land on the same RX queue (the SYN travels client->server while the
+// SYN-ACK travels server->client, and both must hit the same flow table).
+// The classic trick (Woo & Park, "Scalable TCP Session Monitoring with
+// Symmetric RSS") is a 40-byte key made of one repeated 16-bit pattern —
+// then Toeplitz(src,dst) == Toeplitz(dst,src).
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "net/five_tuple.hpp"
+
+namespace ruru {
+
+using RssKey = std::array<std::uint8_t, 40>;
+
+/// Microsoft's default RSS key (asymmetric; for the ablation bench).
+[[nodiscard]] const RssKey& default_rss_key();
+
+/// Symmetric key: 0x6d5a repeated 20 times.
+[[nodiscard]] const RssKey& symmetric_rss_key();
+
+/// Generic Toeplitz hash over `input` using `key`. `input` must be at
+/// most 36 bytes (the largest standard RSS input, IPv6 4-tuple).
+[[nodiscard]] std::uint32_t toeplitz_hash(const RssKey& key,
+                                          std::span<const std::uint8_t> input);
+
+/// RSS over the IPv4 4-tuple (src ip, dst ip, src port, dst port), the
+/// NIC's "TCP/IPv4" input vector.
+[[nodiscard]] std::uint32_t rss_hash_tcp4(const RssKey& key, Ipv4Address src, Ipv4Address dst,
+                                          std::uint16_t src_port, std::uint16_t dst_port);
+
+/// RSS over the IPv6 4-tuple.
+[[nodiscard]] std::uint32_t rss_hash_tcp6(const RssKey& key, const Ipv6Address& src,
+                                          const Ipv6Address& dst, std::uint16_t src_port,
+                                          std::uint16_t dst_port);
+
+/// RSS for a parsed tuple (dispatch by family).
+[[nodiscard]] std::uint32_t rss_hash(const RssKey& key, const FiveTuple& tuple);
+
+}  // namespace ruru

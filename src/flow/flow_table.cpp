@@ -1,0 +1,74 @@
+#include "flow/flow_table.hpp"
+
+namespace ruru {
+
+FlowTable::FlowTable(std::size_t capacity, Duration stale_after) : stale_after_(stale_after) {
+  std::size_t cap = 1;
+  while (cap < capacity) cap <<= 1;
+  slots_.resize(cap);
+  mask_ = cap - 1;
+}
+
+FlowEntry* FlowTable::find(const FlowKey& key, std::uint32_t rss_hash, Timestamp now) {
+  const std::size_t start = slot_for(rss_hash);
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    FlowEntry& e = slots_[(start + i) & mask_];
+    if (!e.occupied) continue;  // probing continues across tombstoned gaps
+    if (e.rss_hash == rss_hash && e.canonical == key.canonical) {
+      // A stale entry is a dead handshake; do not resurrect it.
+      if (now - e.last_seen > stale_after_) continue;
+      ++stats_.hits;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+FlowEntry* FlowTable::find_or_insert(const FlowKey& key, std::uint32_t rss_hash, Timestamp now,
+                                     bool& inserted) {
+  inserted = false;
+  const std::size_t start = slot_for(rss_hash);
+  FlowEntry* free_slot = nullptr;
+  FlowEntry* stale_slot = nullptr;
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    FlowEntry& e = slots_[(start + i) & mask_];
+    if (!e.occupied) {
+      if (free_slot == nullptr) free_slot = &e;
+      continue;
+    }
+    const bool stale = now - e.last_seen > stale_after_;
+    if (e.rss_hash == rss_hash && e.canonical == key.canonical && !stale) {
+      ++stats_.hits;
+      return &e;
+    }
+    if (stale && stale_slot == nullptr) stale_slot = &e;
+  }
+
+  FlowEntry* slot = free_slot != nullptr ? free_slot : stale_slot;
+  if (slot == nullptr) {
+    ++stats_.insert_failures;
+    return nullptr;
+  }
+  if (slot == stale_slot) {
+    ++stats_.evictions_stale;
+    --live_;  // the stale occupant is discarded
+  }
+  *slot = FlowEntry{};
+  slot->canonical = key.canonical;
+  slot->rss_hash = rss_hash;
+  slot->occupied = true;
+  slot->last_seen = now;
+  ++live_;
+  ++stats_.inserts;
+  inserted = true;
+  return slot;
+}
+
+void FlowTable::erase(FlowEntry* entry) {
+  if (entry == nullptr || !entry->occupied) return;
+  entry->occupied = false;
+  --live_;
+  ++stats_.erases;
+}
+
+}  // namespace ruru

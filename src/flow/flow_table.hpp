@@ -1,0 +1,88 @@
+#pragma once
+// Fixed-capacity open-addressing flow table, indexed by the RSS hash.
+//
+// The paper keeps per-flow handshake timestamps "in hash tables (indexed
+// by the RSS hash)" — one table per RX queue, so tables are single-
+// threaded and need no locks.  Slots are found by linear probing within
+// a bounded window; stale entries (handshakes that never completed) are
+// reclaimed in place rather than via a separate GC pass, which keeps the
+// data path allocation-free and O(probe window) worst case.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/five_tuple.hpp"
+#include "util/time.hpp"
+
+namespace ruru {
+
+enum class HandshakeState : std::uint8_t {
+  kAwaitSynAck = 0,  ///< SYN recorded
+  kAwaitAck,         ///< SYN + SYN-ACK recorded
+};
+
+struct FlowEntry {
+  FiveTuple canonical;           ///< endpoint-ordered tuple
+  Timestamp syn_time;            ///< first SYN at the tap
+  Timestamp synack_time;         ///< SYN-ACK following that SYN
+  Timestamp last_seen;           ///< for staleness eviction
+  std::uint32_t syn_seq = 0;     ///< ISN of the SYN (validates the SYN-ACK)
+  std::uint32_t synack_seq = 0;  ///< ISN of the SYN-ACK (validates the ACK)
+  std::uint32_t rss_hash = 0;
+  HandshakeState state = HandshakeState::kAwaitSynAck;
+  bool syn_forward = true;  ///< SYN travelled in canonical direction
+  bool occupied = false;
+};
+
+struct FlowTableStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t evictions_stale = 0;  ///< reclaimed abandoned handshakes
+  std::uint64_t insert_failures = 0;  ///< probe window full of live entries
+  std::uint64_t erases = 0;
+};
+
+class FlowTable {
+ public:
+  /// `capacity` rounded up to a power of two. `stale_after`: entries not
+  /// touched for this long may be reclaimed by new inserts.
+  explicit FlowTable(std::size_t capacity, Duration stale_after = Duration::from_sec(30.0));
+
+  /// Finds the live entry for `key`, or nullptr.
+  [[nodiscard]] FlowEntry* find(const FlowKey& key, std::uint32_t rss_hash, Timestamp now);
+
+  /// Finds or inserts an entry for `key`. On insert the entry is
+  /// default-initialized with `canonical`/`rss_hash`/`occupied` set and
+  /// `inserted` reports true. Returns nullptr when the probe window has
+  /// no free or reclaimable slot (counted as insert_failure).
+  FlowEntry* find_or_insert(const FlowKey& key, std::uint32_t rss_hash, Timestamp now,
+                            bool& inserted);
+
+  /// Releases the entry (after a sample is emitted or on RST).
+  void erase(FlowEntry* entry);
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] const FlowTableStats& stats() const { return stats_; }
+
+  static constexpr std::size_t kProbeWindow = 32;
+
+ private:
+  [[nodiscard]] std::size_t slot_for(std::uint32_t rss_hash) const {
+    // The RSS hash indexes the table, as in the paper. Spread the hash's
+    // entropy over the mask with a 64-bit mix (RSS hashes of flows on
+    // one queue share low bits with the queue count).
+    std::uint64_t h = rss_hash;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h) & mask_;
+  }
+
+  std::vector<FlowEntry> slots_;
+  std::size_t mask_;
+  Duration stale_after_;
+  std::size_t live_ = 0;
+  FlowTableStats stats_;
+};
+
+}  // namespace ruru

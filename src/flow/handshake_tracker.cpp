@@ -1,0 +1,102 @@
+#include "flow/handshake_tracker.hpp"
+
+namespace ruru {
+
+std::optional<LatencySample> HandshakeTracker::process(const PacketView& pkt, Timestamp rx_time,
+                                                       std::uint32_t rss_hash,
+                                                       std::uint16_t queue_id) {
+  const FiveTuple tuple = pkt.tuple();
+  const FlowKey key = FlowKey::from(tuple);
+  const TcpHeader& tcp = pkt.tcp;
+
+  if (tcp.rst()) {
+    ++stats_.rst_seen;
+    if (FlowEntry* e = table_.find(key, rss_hash, rx_time)) table_.erase(e);
+    return std::nullopt;
+  }
+
+  if (tcp.is_syn_only()) {
+    ++stats_.syn_seen;
+    bool inserted = false;
+    FlowEntry* e = table_.find_or_insert(key, rss_hash, rx_time, inserted);
+    if (e == nullptr) {
+      ++stats_.table_drops;
+      return std::nullopt;
+    }
+    if (inserted) {
+      e->syn_time = rx_time;
+      e->syn_seq = tcp.seq;
+      e->syn_forward = key.forward;
+      e->state = HandshakeState::kAwaitSynAck;
+    } else if (e->state == HandshakeState::kAwaitSynAck && e->syn_forward == key.forward &&
+               e->syn_seq == tcp.seq) {
+      // Retransmitted SYN: keep the first timestamp (paper semantics).
+      ++stats_.syn_retransmissions;
+    } else if (e->syn_forward != key.forward) {
+      // Simultaneous open — out of scope for the handshake model; track
+      // the earliest SYN only.
+    } else if (e->syn_seq != tcp.seq) {
+      // Same tuple, new ISN: a genuinely new connection attempt (port
+      // reuse). Restart the measurement from this SYN.
+      e->syn_time = rx_time;
+      e->syn_seq = tcp.seq;
+      e->syn_forward = key.forward;
+      e->state = HandshakeState::kAwaitSynAck;
+      e->synack_time = Timestamp{};
+    }
+    e->last_seen = rx_time;
+    return std::nullopt;
+  }
+
+  if (tcp.is_syn_ack()) {
+    ++stats_.synack_seen;
+    FlowEntry* e = table_.find(key, rss_hash, rx_time);
+    if (e == nullptr) {
+      ++stats_.synack_unmatched;
+      return std::nullopt;
+    }
+    // The SYN-ACK must travel opposite to the SYN and acknowledge its ISN.
+    const bool direction_ok = key.forward != e->syn_forward;
+    const bool ack_ok = tcp.ack == e->syn_seq + 1;
+    if (e->state == HandshakeState::kAwaitSynAck && direction_ok && ack_ok) {
+      e->synack_time = rx_time;
+      e->synack_seq = tcp.seq;
+      e->state = HandshakeState::kAwaitAck;
+    }
+    // Duplicate SYN-ACK in kAwaitAck: ignored, first one stands.
+    e->last_seen = rx_time;
+    return std::nullopt;
+  }
+
+  if (tcp.ack_flag()) {
+    FlowEntry* e = table_.find(key, rss_hash, rx_time);
+    if (e == nullptr) return std::nullopt;  // mid-flow traffic, not tracked
+    e->last_seen = rx_time;
+    if (e->state != HandshakeState::kAwaitAck) return std::nullopt;
+    // First ACK: same direction as the SYN, acknowledging the SYN-ACK ISN.
+    const bool direction_ok = key.forward == e->syn_forward;
+    const bool ack_ok = tcp.ack == e->synack_seq + 1;
+    if (!direction_ok || !ack_ok) return std::nullopt;
+
+    ++stats_.ack_matched;
+    LatencySample sample;
+    const FiveTuple client_oriented = e->syn_forward ? e->canonical : e->canonical.reversed();
+    sample.client = client_oriented.src;
+    sample.server = client_oriented.dst;
+    sample.client_port = client_oriented.src_port;
+    sample.server_port = client_oriented.dst_port;
+    sample.syn_time = e->syn_time;
+    sample.synack_time = e->synack_time;
+    sample.ack_time = rx_time;
+    sample.rss_hash = rss_hash;
+    sample.queue_id = queue_id;
+    ++stats_.samples_emitted;
+    // Handshake measured; free the slot so long flows cost nothing more.
+    table_.erase(e);
+    return sample;
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace ruru

@@ -1,0 +1,51 @@
+#pragma once
+// The Figure-1 measurement logic: SYN / SYN-ACK / ACK timestamp capture.
+//
+// Per the paper, exactly three timestamps are recorded per flow: the
+// *first* SYN, the SYN-ACK *following* it, and the *first* ACK.
+// Retransmissions are therefore deliberately not re-stamped: a repeated
+// SYN keeps the original timestamp (so a lost-then-answered SYN inflates
+// the measured external latency by the RTO — a real property of the
+// deployed system this reproduction preserves), and duplicate SYN-ACKs /
+// later ACKs are ignored via sequence-number validation.
+
+#include <cstdint>
+#include <optional>
+
+#include "flow/flow_table.hpp"
+#include "flow/latency_sample.hpp"
+#include "net/packet_view.hpp"
+
+namespace ruru {
+
+struct TrackerStats {
+  std::uint64_t syn_seen = 0;
+  std::uint64_t syn_retransmissions = 0;
+  std::uint64_t synack_seen = 0;
+  std::uint64_t synack_unmatched = 0;  ///< no awaiting SYN (e.g. pre-capture flow)
+  std::uint64_t ack_matched = 0;
+  std::uint64_t rst_seen = 0;
+  std::uint64_t samples_emitted = 0;
+  std::uint64_t table_drops = 0;  ///< SYN not inserted (table pressure)
+};
+
+class HandshakeTracker {
+ public:
+  explicit HandshakeTracker(std::size_t table_capacity,
+                            Duration stale_after = Duration::from_sec(30.0))
+      : table_(table_capacity, stale_after) {}
+
+  /// Feed one parsed TCP packet observed at `rx_time`. Returns a sample
+  /// when this packet is the first ACK completing a tracked handshake.
+  std::optional<LatencySample> process(const PacketView& pkt, Timestamp rx_time,
+                                       std::uint32_t rss_hash, std::uint16_t queue_id);
+
+  [[nodiscard]] const TrackerStats& stats() const { return stats_; }
+  [[nodiscard]] const FlowTable& table() const { return table_; }
+
+ private:
+  FlowTable table_;
+  TrackerStats stats_;
+};
+
+}  // namespace ruru

@@ -1,0 +1,38 @@
+#pragma once
+// The measurement Ruru produces: one record per completed TCP handshake.
+//
+// Figure 1 of the paper: the tap records the SYN, the following SYN-ACK
+// and the first ACK.  `external` (SYN -> SYN-ACK at the tap) covers
+// tap -> server -> tap; `internal` (SYN-ACK -> ACK) covers
+// tap -> client -> tap; their sum is the end-to-end RTT between the two
+// endpoints.
+
+#include <cstdint>
+
+#include "net/ip_address.hpp"
+#include "util/time.hpp"
+
+namespace ruru {
+
+struct LatencySample {
+  IpAddress client;  ///< handshake initiator (sent the SYN)
+  IpAddress server;  ///< responder
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 0;
+
+  Timestamp syn_time;
+  Timestamp synack_time;
+  Timestamp ack_time;
+
+  std::uint32_t rss_hash = 0;
+  std::uint16_t queue_id = 0;
+
+  /// tap -> server -> tap half (paper: "external latency").
+  [[nodiscard]] Duration external() const { return synack_time - syn_time; }
+  /// tap -> client -> tap half (paper: "internal latency").
+  [[nodiscard]] Duration internal() const { return ack_time - synack_time; }
+  /// Full end-to-end RTT between client and server.
+  [[nodiscard]] Duration total() const { return ack_time - syn_time; }
+};
+
+}  // namespace ruru

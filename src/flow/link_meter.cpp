@@ -1,0 +1,30 @@
+#include "flow/link_meter.hpp"
+
+namespace ruru {
+
+void LinkMeter::on_packet(Timestamp t, std::size_t bytes) {
+  if (!open_) {
+    current_start_ = Timestamp{(t.ns / window_.ns) * window_.ns};
+    open_ = true;
+  }
+  while (t.ns >= current_start_.ns + window_.ns) {
+    closed_.push_back(LinkWindow{current_start_, current_packets_, current_bytes_, window_});
+    current_start_ = current_start_ + window_;
+    current_packets_ = 0;
+    current_bytes_ = 0;
+  }
+  ++current_packets_;
+  current_bytes_ += bytes;
+  ++total_packets_;
+  total_bytes_ += bytes;
+}
+
+void LinkMeter::flush() {
+  if (!open_) return;
+  closed_.push_back(LinkWindow{current_start_, current_packets_, current_bytes_, window_});
+  current_packets_ = 0;
+  current_bytes_ = 0;
+  open_ = false;
+}
+
+}  // namespace ruru

@@ -1,0 +1,51 @@
+#include "flow/worker.hpp"
+
+namespace ruru {
+
+QueueWorker::QueueWorker(SimNic& nic, std::uint16_t queue_id, std::size_t flow_table_capacity,
+                         SampleSink sink, Duration stale_after)
+    : nic_(nic),
+      queue_id_(queue_id),
+      tracker_(flow_table_capacity, stale_after),
+      sink_(std::move(sink)) {}
+
+std::size_t QueueWorker::poll_once() {
+  std::array<MbufPtr, kBurst> burst;
+  const std::size_t n = nic_.rx_burst(queue_id_, burst);
+  ++stats_.polls;
+  if (n == 0) {
+    ++stats_.empty_polls;
+    return 0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Mbuf& m = *burst[i];
+    ++stats_.packets;
+    stats_.bytes += m.length();
+
+    PacketView view;
+    const ParseStatus status = parse_packet(m.bytes(), view);
+    ++stats_.parse_status[static_cast<std::size_t>(status)];
+    if (status != ParseStatus::kOk) continue;
+
+    if (syn_sink_ && view.tcp.is_syn_only() && view.is_v4) {
+      syn_sink_(m.timestamp, view.ip4.dst);
+    }
+
+    if (auto sample = tracker_.process(view, m.timestamp, m.rss_hash, queue_id_)) {
+      if (sink_) sink_(*sample);
+    }
+    // burst[i] destructs here -> mbuf returns to the pool.
+  }
+  return n;
+}
+
+void QueueWorker::run(const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_acquire)) {
+    poll_once();
+  }
+  // Final drain so no injected frame is lost at shutdown.
+  while (poll_once() != 0) {
+  }
+}
+
+}  // namespace ruru

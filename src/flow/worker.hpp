@@ -1,0 +1,65 @@
+#pragma once
+// Per-queue poll-mode worker: the "DPDK processing thread" of Figure 2.
+//
+// Each worker owns one RX queue and one flow table (no sharing, no
+// locks — symmetric RSS guarantees both directions of a flow arrive on
+// this queue).  Parsed handshake completions are handed to a sample sink
+// which the pipeline wires to the message bus.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "driver/nic.hpp"
+#include "flow/handshake_tracker.hpp"
+
+namespace ruru {
+
+struct WorkerStats {
+  std::uint64_t polls = 0;
+  std::uint64_t empty_polls = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  /// Counts by ParseStatus value (kOk..kMalformed).
+  std::array<std::uint64_t, 5> parse_status{};
+};
+
+class QueueWorker {
+ public:
+  using SampleSink = std::function<void(const LatencySample&)>;
+  /// Optional hook fired for every SYN-only segment (timestamp, server
+  /// address) — feeds the SYN-flood module, which must observe
+  /// addresses *before* the anonymization boundary.
+  using SynSink = std::function<void(Timestamp, Ipv4Address)>;
+
+  static constexpr std::size_t kBurst = 32;
+
+  QueueWorker(SimNic& nic, std::uint16_t queue_id, std::size_t flow_table_capacity,
+              SampleSink sink, Duration stale_after = Duration::from_sec(30.0));
+
+  /// Install before the worker runs (not thread-safe afterwards).
+  void set_syn_sink(SynSink sink) { syn_sink_ = std::move(sink); }
+
+  /// One rx_burst + processing pass. Returns packets handled (0 == empty
+  /// poll).
+  std::size_t poll_once();
+
+  /// Poll until `stop` becomes true, then drain the queue dry once.
+  void run(const std::atomic<bool>& stop);
+
+  [[nodiscard]] const WorkerStats& stats() const { return stats_; }
+  [[nodiscard]] const TrackerStats& tracker_stats() const { return tracker_.stats(); }
+  [[nodiscard]] const HandshakeTracker& tracker() const { return tracker_; }
+  [[nodiscard]] std::uint16_t queue_id() const { return queue_id_; }
+
+ private:
+  SimNic& nic_;
+  std::uint16_t queue_id_;
+  HandshakeTracker tracker_;
+  SampleSink sink_;
+  SynSink syn_sink_;
+  WorkerStats stats_;
+};
+
+}  // namespace ruru

@@ -1,0 +1,114 @@
+#include "geo/as_db.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/byte_order.hpp"
+
+namespace ruru {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31534147;  // "GAS1"
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  std::uint8_t b[4];
+  store_le32(b, v);
+  out.insert(out.end(), b, b + 4);
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+}  // namespace
+
+Result<AsDatabase> AsDatabase::build(std::vector<AsRecord> records) {
+  std::sort(records.begin(), records.end(),
+            [](const AsRecord& a, const AsRecord& b) { return a.range_start < b.range_start; });
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].range_end < records[i].range_start) {
+      return make_error("asdb: record " + std::to_string(i) + " has end < start");
+    }
+    if (i > 0 && records[i].range_start <= records[i - 1].range_end) {
+      return make_error("asdb: overlapping ranges at index " + std::to_string(i));
+    }
+  }
+  AsDatabase db;
+  db.records_ = std::move(records);
+  return db;
+}
+
+const AsRecord* AsDatabase::lookup(Ipv4Address addr) const {
+  const std::uint32_t v = addr.value();
+  auto it = std::upper_bound(
+      records_.begin(), records_.end(), v,
+      [](std::uint32_t value, const AsRecord& r) { return value < r.range_start; });
+  if (it == records_.begin()) return nullptr;
+  --it;
+  return (v >= it->range_start && v <= it->range_end) ? &*it : nullptr;
+}
+
+Status AsDatabase::save(const std::string& path) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + records_.size() * 32);
+  put_u32(out, kMagic);
+  put_u32(out, static_cast<std::uint32_t>(records_.size()));
+  for (const auto& r : records_) {
+    put_u32(out, r.range_start);
+    put_u32(out, r.range_end);
+    put_u32(out, r.asn);
+    put_str(out, r.organization);
+  }
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"),
+                                                    &std::fclose);
+  if (!f) return make_error("asdb: cannot open '" + path + "' for writing");
+  if (std::fwrite(out.data(), 1, out.size(), f.get()) != out.size()) {
+    return make_error("asdb: short write");
+  }
+  return {};
+}
+
+Result<AsDatabase> AsDatabase::load(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                                    &std::fclose);
+  if (!f) return make_error("asdb: cannot open '" + path + "'");
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size > 0 ? size : 0));
+  if (!data.empty() && std::fread(data.data(), 1, data.size(), f.get()) != data.size()) {
+    return make_error("asdb: short read");
+  }
+
+  const std::uint8_t* p = data.data();
+  const std::uint8_t* end = p + data.size();
+  auto need = [&](std::size_t n) { return static_cast<std::size_t>(end - p) >= n; };
+  if (!need(8)) return make_error("asdb: truncated header");
+  if (load_le32(p) != kMagic) return make_error("asdb: bad magic");
+  p += 4;
+  const std::uint32_t count = load_le32(p);
+  p += 4;
+
+  std::vector<AsRecord> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!need(16)) return make_error("asdb: truncated record");
+    AsRecord r;
+    r.range_start = load_le32(p);
+    r.range_end = load_le32(p + 4);
+    r.asn = load_le32(p + 8);
+    const std::uint32_t slen = load_le32(p + 12);
+    p += 16;
+    if (!need(slen)) return make_error("asdb: truncated string");
+    r.organization.assign(reinterpret_cast<const char*>(p), slen);
+    p += slen;
+    records.push_back(std::move(r));
+  }
+  return build(std::move(records));
+}
+
+}  // namespace ruru

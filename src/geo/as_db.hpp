@@ -1,0 +1,39 @@
+#pragma once
+// IP -> autonomous system range database (the AS half of IP2Location).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "util/result.hpp"
+
+namespace ruru {
+
+struct AsRecord {
+  std::uint32_t range_start = 0;  ///< host-order IPv4, inclusive
+  std::uint32_t range_end = 0;
+  std::uint32_t asn = 0;
+  std::string organization;
+};
+
+class AsDatabase {
+ public:
+  AsDatabase() = default;
+
+  static Result<AsDatabase> build(std::vector<AsRecord> records);
+
+  [[nodiscard]] const AsRecord* lookup(Ipv4Address addr) const;
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<AsRecord>& records() const { return records_; }
+
+  Status save(const std::string& path) const;
+  static Result<AsDatabase> load(const std::string& path);
+
+ private:
+  std::vector<AsRecord> records_;
+};
+
+}  // namespace ruru

@@ -1,0 +1,66 @@
+#include "geo/geo6_db.hpp"
+
+#include <algorithm>
+
+#include "geo/world.hpp"
+
+namespace ruru {
+
+Result<Geo6Database> Geo6Database::build(std::vector<Geo6Record> records) {
+  std::sort(records.begin(), records.end(), [](const Geo6Record& a, const Geo6Record& b) {
+    return a.range_start.bytes() < b.range_start.bytes();
+  });
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].range_end.bytes() < records[i].range_start.bytes()) {
+      return make_error("geo6: record " + std::to_string(i) + " has end < start");
+    }
+    if (i > 0 && !(records[i - 1].range_end.bytes() < records[i].range_start.bytes())) {
+      return make_error("geo6: overlapping ranges at index " + std::to_string(i));
+    }
+  }
+  Geo6Database db;
+  db.records_ = std::move(records);
+  return db;
+}
+
+const Geo6Record* Geo6Database::lookup(const Ipv6Address& addr) const {
+  const auto& key = addr.bytes();
+  auto it = std::upper_bound(records_.begin(), records_.end(), key,
+                             [](const std::array<std::uint8_t, 16>& value, const Geo6Record& r) {
+                               return value < r.range_start.bytes();
+                             });
+  if (it == records_.begin()) return nullptr;
+  --it;
+  if (key < it->range_start.bytes() || it->range_end.bytes() < key) return nullptr;
+  return &*it;
+}
+
+Result<Geo6Database> derive_geo6(std::span<const SiteSpec> sites,
+                                 std::array<std::uint8_t, 12> prefix) {
+  std::vector<Geo6Record> records;
+  records.reserve(sites.size());
+  auto embed = [&prefix](std::uint32_t v4) {
+    std::array<std::uint8_t, 16> b{};
+    std::copy(prefix.begin(), prefix.end(), b.begin());
+    b[12] = static_cast<std::uint8_t>(v4 >> 24);
+    b[13] = static_cast<std::uint8_t>(v4 >> 16);
+    b[14] = static_cast<std::uint8_t>(v4 >> 8);
+    b[15] = static_cast<std::uint8_t>(v4);
+    return Ipv6Address(b);
+  };
+  for (const auto& s : sites) {
+    Geo6Record r;
+    r.range_start = embed(s.block_start);
+    r.range_end = embed(s.block_start + s.block_size - 1);
+    r.country = s.country;
+    r.city = s.city;
+    r.latitude = s.latitude;
+    r.longitude = s.longitude;
+    r.asn = s.asn;
+    r.as_org = s.organization.empty() ? ("AS" + std::to_string(s.asn) + " Net") : s.organization;
+    records.push_back(std::move(r));
+  }
+  return Geo6Database::build(std::move(records));
+}
+
+}  // namespace ruru

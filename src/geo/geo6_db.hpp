@@ -1,0 +1,53 @@
+#pragma once
+// IPv6 -> location range database (IP2Location ships a v6 table too).
+//
+// Same shape as the IPv4 GeoDatabase: sorted, non-overlapping inclusive
+// ranges over the 128-bit address space, binary-searched.  Addresses
+// compare lexicographically over their 16 network-order bytes.
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "util/result.hpp"
+
+namespace ruru {
+
+struct Geo6Record {
+  Ipv6Address range_start;  ///< inclusive
+  Ipv6Address range_end;    ///< inclusive
+  std::string country;
+  std::string city;
+  double latitude = 0.0;
+  double longitude = 0.0;
+  std::uint32_t asn = 0;  ///< v6 table carries ASN inline
+  std::string as_org;
+};
+
+class Geo6Database {
+ public:
+  Geo6Database() = default;
+
+  static Result<Geo6Database> build(std::vector<Geo6Record> records);
+
+  [[nodiscard]] const Geo6Record* lookup(const Ipv6Address& addr) const;
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<Geo6Record>& records() const { return records_; }
+
+ private:
+  std::vector<Geo6Record> records_;
+};
+
+/// Derives a v6 database from an IPv4 site plan by embedding each v4
+/// block at `prefix`::a.b.c.d — matching the traffic model's v6 mapping,
+/// the way real dual-stack sites announce parallel v4/v6 blocks.
+struct SiteSpec;  // geo/world.hpp
+[[nodiscard]] Result<Geo6Database> derive_geo6(std::span<const SiteSpec> sites,
+                                               std::array<std::uint8_t, 12> prefix = {
+                                                   0x20, 0x01, 0x0d, 0xb8, 0x64, 0x64, 0, 0, 0, 0,
+                                                   0, 0});
+
+}  // namespace ruru

@@ -1,0 +1,48 @@
+#pragma once
+// IP -> location range database (the IP2Location role).
+//
+// Records are non-overlapping, inclusive IPv4 ranges sorted by start;
+// lookup is a binary search.  The database round-trips through a compact
+// binary file format so deployments can ship it separately from the
+// binary, like the commercial DB the paper used.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "util/result.hpp"
+
+namespace ruru {
+
+struct GeoRecord {
+  std::uint32_t range_start = 0;  ///< host-order IPv4, inclusive
+  std::uint32_t range_end = 0;    ///< host-order IPv4, inclusive
+  std::string country;            ///< ISO 3166-1 alpha-2
+  std::string city;
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+class GeoDatabase {
+ public:
+  GeoDatabase() = default;
+
+  /// Sorts records and validates that ranges do not overlap.
+  static Result<GeoDatabase> build(std::vector<GeoRecord> records);
+
+  /// Binary search for the range containing `addr`.
+  [[nodiscard]] const GeoRecord* lookup(Ipv4Address addr) const;
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<GeoRecord>& records() const { return records_; }
+
+  Status save(const std::string& path) const;
+  static Result<GeoDatabase> load(const std::string& path);
+
+ private:
+  std::vector<GeoRecord> records_;  // sorted by range_start
+};
+
+}  // namespace ruru

@@ -1,0 +1,60 @@
+#pragma once
+// Small LRU cache for geo/AS lookups.
+//
+// Production traffic is heavy-tailed over sources, so the enrichment
+// stage front-loads the range DBs with an LRU keyed by address.  Header-
+// only template; single-threaded by design (each enrichment worker owns
+// one).
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace ruru {
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::optional<V> get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return it->second->second;
+  }
+
+  void put(const K& key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<K, V>> order_;
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ruru

@@ -1,0 +1,81 @@
+#include "geo/world.hpp"
+
+#include <algorithm>
+
+#include "util/random.hpp"
+
+namespace ruru {
+
+Result<World> build_world(std::span<const SiteSpec> sites) {
+  std::vector<GeoRecord> geo;
+  geo.reserve(sites.size());
+  std::vector<AsRecord> as;
+  as.reserve(sites.size());
+  for (const auto& s : sites) {
+    GeoRecord g;
+    g.range_start = s.block_start;
+    g.range_end = s.block_start + s.block_size - 1;
+    g.country = s.country;
+    g.city = s.city;
+    g.latitude = s.latitude;
+    g.longitude = s.longitude;
+    geo.push_back(std::move(g));
+
+    AsRecord a;
+    a.range_start = s.block_start;
+    a.range_end = s.block_start + s.block_size - 1;
+    a.asn = s.asn;
+    a.organization = s.organization.empty() ? ("AS" + std::to_string(s.asn) + " Net") : s.organization;
+    as.push_back(std::move(a));
+  }
+
+  auto geo_db = GeoDatabase::build(std::move(geo));
+  if (!geo_db) return make_error(geo_db.error());
+
+  // Merge adjacent same-ASN blocks (IP2Location-style coalescing).
+  std::sort(as.begin(), as.end(),
+            [](const AsRecord& x, const AsRecord& y) { return x.range_start < y.range_start; });
+  std::vector<AsRecord> merged;
+  for (auto& r : as) {
+    if (!merged.empty() && merged.back().asn == r.asn &&
+        merged.back().range_end + 1 == r.range_start) {
+      merged.back().range_end = r.range_end;
+    } else {
+      merged.push_back(std::move(r));
+    }
+  }
+  auto as_db = AsDatabase::build(std::move(merged));
+  if (!as_db) return make_error(as_db.error());
+
+  return World{std::move(geo_db).value(), std::move(as_db).value()};
+}
+
+std::vector<SiteSpec> large_world_sites(std::size_t cities) {
+  // Deterministic pseudo-world: city names are synthesized, coordinates
+  // drawn over landmass-ish latitude bands, blocks carved from 100.0.0.0/8.
+  static const char* const kCountries[] = {
+      "US", "CA", "MX", "BR", "AR", "CL", "GB", "FR", "DE", "NL", "SE", "NO", "ES", "IT",
+      "PL", "CZ", "AT", "CH", "PT", "IE", "RU", "UA", "TR", "GR", "JP", "KR", "CN", "TW",
+      "HK", "SG", "MY", "TH", "VN", "PH", "ID", "IN", "PK", "BD", "AU", "NZ", "FJ", "ZA",
+      "NG", "KE", "EG", "MA", "IL", "SA", "AE", "QA", "FI", "DK", "BE", "HU", "RO", "BG",
+      "RS", "HR", "CO", "PE"};
+  std::vector<SiteSpec> sites;
+  sites.reserve(cities);
+  Pcg32 rng(0xC17135);
+  for (std::size_t i = 0; i < cities; ++i) {
+    SiteSpec s;
+    const char* country = kCountries[i % std::size(kCountries)];
+    s.country = country;
+    s.city = std::string(country) + "-City-" + std::to_string(i);
+    s.latitude = rng.uniform(-55.0, 70.0);
+    s.longitude = rng.uniform(-180.0, 180.0);
+    s.asn = 64512 + static_cast<std::uint32_t>(i);  // private ASN space
+    s.organization = "SynthNet " + std::to_string(s.asn);
+    s.block_start = (100u << 24) + static_cast<std::uint32_t>(i) * 4096;
+    s.block_size = 4096;
+    sites.push_back(std::move(s));
+  }
+  return sites;
+}
+
+}  // namespace ruru

@@ -1,0 +1,39 @@
+#pragma once
+// Synthetic world builder: turns a site plan (city, coordinates, ASN,
+// address block) into consistent Geo + AS databases.  Substitutes the
+// IP2Location data the paper used; accuracy is 100% by construction,
+// which DESIGN.md documents as a conservative stand-in for the paper's
+// "98% country-level accuracy".
+
+#include <span>
+
+#include "geo/as_db.hpp"
+#include "geo/geo_db.hpp"
+
+namespace ruru {
+
+struct SiteSpec {
+  std::string city;
+  std::string country;
+  double latitude = 0.0;
+  double longitude = 0.0;
+  std::uint32_t asn = 0;
+  std::string organization;
+  std::uint32_t block_start = 0;  ///< host-order first address
+  std::uint32_t block_size = 256;
+};
+
+struct World {
+  GeoDatabase geo;
+  AsDatabase as;
+};
+
+/// Builds both databases from the site plan. Adjacent blocks under the
+/// same ASN are merged into one AS range.
+[[nodiscard]] Result<World> build_world(std::span<const SiteSpec> sites);
+
+/// A 220-city / ~60-country world with plausible coordinates, for
+/// benches that need lookup tables much larger than the scenario sites.
+[[nodiscard]] std::vector<SiteSpec> large_world_sites(std::size_t cities = 220);
+
+}  // namespace ruru

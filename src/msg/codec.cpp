@@ -1,0 +1,80 @@
+#include "msg/codec.hpp"
+
+#include <cstring>
+
+#include "util/byte_order.hpp"
+
+namespace ruru {
+
+namespace {
+
+constexpr std::uint8_t kVersion = 1;
+// version(1) family(1) client16 server16 cport(2) sport(2)
+// syn(8) synack(8) ack(8) rss(4) queue(2)
+constexpr std::size_t kPayloadSize = 1 + 1 + 16 + 16 + 2 + 2 + 8 + 8 + 8 + 4 + 2;
+
+void put_ip(std::uint8_t* p, const IpAddress& a) {
+  if (a.is_v4()) {
+    std::memset(p, 0, 16);
+    store_be32(p + 12, a.v4.value());  // v4-mapped layout
+  } else {
+    std::memcpy(p, a.v6.bytes().data(), 16);
+  }
+}
+
+IpAddress get_ip(const std::uint8_t* p, bool v4) {
+  if (v4) return Ipv4Address(load_be32(p + 12));
+  std::array<std::uint8_t, 16> b{};
+  std::memcpy(b.data(), p, 16);
+  return Ipv6Address(b);
+}
+
+void put_i64(std::uint8_t* p, std::int64_t v) {
+  store_be64(p, static_cast<std::uint64_t>(v));
+}
+
+std::int64_t get_i64(const std::uint8_t* p) { return static_cast<std::int64_t>(load_be64(p)); }
+
+}  // namespace
+
+Message encode_latency_sample(const LatencySample& s) {
+  std::vector<std::uint8_t> buf(kPayloadSize);
+  std::uint8_t* p = buf.data();
+  p[0] = kVersion;
+  p[1] = s.client.is_v4() ? 4 : 6;
+  put_ip(p + 2, s.client);
+  put_ip(p + 18, s.server);
+  store_be16(p + 34, s.client_port);
+  store_be16(p + 36, s.server_port);
+  put_i64(p + 38, s.syn_time.ns);
+  put_i64(p + 46, s.synack_time.ns);
+  put_i64(p + 54, s.ack_time.ns);
+  store_be32(p + 62, s.rss_hash);
+  store_be16(p + 66, s.queue_id);
+
+  Message m(kLatencyTopic);
+  m.add(Frame::adopt(std::move(buf)));
+  return m;
+}
+
+std::optional<LatencySample> decode_latency_sample(const Frame& payload) {
+  if (payload.size() != kPayloadSize) return std::nullopt;
+  const std::uint8_t* p = payload.data();
+  if (p[0] != kVersion) return std::nullopt;
+  if (p[1] != 4 && p[1] != 6) return std::nullopt;
+  const bool v4 = p[1] == 4;
+
+  LatencySample s;
+  s.client = get_ip(p + 2, v4);
+  s.server = get_ip(p + 18, v4);
+  s.client_port = load_be16(p + 34);
+  s.server_port = load_be16(p + 36);
+  s.syn_time = Timestamp{get_i64(p + 38)};
+  s.synack_time = Timestamp{get_i64(p + 46)};
+  s.ack_time = Timestamp{get_i64(p + 54)};
+  s.rss_hash = load_be32(p + 62);
+  s.queue_id = load_be16(p + 66);
+  return s;
+}
+
+}  // namespace ruru

@@ -1,0 +1,24 @@
+#pragma once
+// Wire codec for latency measurements on the bus.
+//
+// The DPDK stage publishes (src ip, dst ip, internal, external) — the
+// paper's exact record — on topic "ruru.latency".  Encoding is a fixed
+// little-endian layout; decode validates length and version so bus
+// consumers can reject foreign traffic.
+
+#include <optional>
+
+#include "flow/latency_sample.hpp"
+#include "msg/message.hpp"
+
+namespace ruru {
+
+inline constexpr std::string_view kLatencyTopic = "ruru.latency";
+
+/// Encodes the sample as a two-frame message: [topic, payload].
+[[nodiscard]] Message encode_latency_sample(const LatencySample& sample);
+
+/// Decodes a payload frame produced by encode_latency_sample.
+[[nodiscard]] std::optional<LatencySample> decode_latency_sample(const Frame& payload);
+
+}  // namespace ruru

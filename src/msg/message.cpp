@@ -1,0 +1,18 @@
+#include "msg/message.hpp"
+
+namespace ruru {
+
+Frame Frame::copy(std::span<const std::uint8_t> data) {
+  return Frame(std::make_shared<const std::vector<std::uint8_t>>(data.begin(), data.end()));
+}
+
+Frame Frame::from_string(std::string_view text) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(text.data());
+  return copy(std::span<const std::uint8_t>(p, text.size()));
+}
+
+Frame Frame::adopt(std::vector<std::uint8_t> buffer) {
+  return Frame(std::make_shared<const std::vector<std::uint8_t>>(std::move(buffer)));
+}
+
+}  // namespace ruru

@@ -1,0 +1,70 @@
+#pragma once
+// Zero-copy message frames (the ZeroMQ role in the paper's pipeline).
+//
+// A Frame is an immutable, reference-counted byte buffer; copying a
+// Frame or a Message shares the buffer instead of duplicating it, which
+// is what lets one latency measurement fan out to the analytics workers,
+// the TSDB writer and the WebSocket feed without copies.  A Message is a
+// short sequence of frames; by convention frame 0 is the topic.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ruru {
+
+class Frame {
+ public:
+  Frame() = default;
+
+  /// Copies `data` into a new shared buffer (the single copy a message
+  /// ever makes).
+  static Frame copy(std::span<const std::uint8_t> data);
+  static Frame from_string(std::string_view text);
+  /// Adopts an already-built buffer without copying.
+  static Frame adopt(std::vector<std::uint8_t> buffer);
+
+  [[nodiscard]] const std::uint8_t* data() const {
+    return buffer_ ? buffer_->data() : nullptr;
+  }
+  [[nodiscard]] std::size_t size() const { return buffer_ ? buffer_->size() : 0; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return {data(), size()}; }
+  [[nodiscard]] std::string_view view() const {
+    return {reinterpret_cast<const char*>(data()), size()};
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Number of Frames sharing this buffer (tests assert zero-copy).
+  [[nodiscard]] long use_count() const { return buffer_ ? buffer_.use_count() : 0; }
+
+ private:
+  explicit Frame(std::shared_ptr<const std::vector<std::uint8_t>> buffer)
+      : buffer_(std::move(buffer)) {}
+  std::shared_ptr<const std::vector<std::uint8_t>> buffer_;
+};
+
+struct Message {
+  std::vector<Frame> frames;
+
+  Message() = default;
+  explicit Message(std::string_view topic) { frames.push_back(Frame::from_string(topic)); }
+
+  [[nodiscard]] std::string_view topic() const {
+    return frames.empty() ? std::string_view{} : frames[0].view();
+  }
+  [[nodiscard]] std::size_t total_bytes() const {
+    std::size_t n = 0;
+    for (const auto& f : frames) n += f.size();
+    return n;
+  }
+
+  Message& add(Frame f) {
+    frames.push_back(std::move(f));
+    return *this;
+  }
+};
+
+}  // namespace ruru

@@ -1,0 +1,41 @@
+#include "msg/pubsub.hpp"
+
+namespace ruru {
+
+std::shared_ptr<Subscription> PubSocket::subscribe(std::string topic_prefix, std::size_t hwm,
+                                                   HwmPolicy policy) {
+  auto sub = std::make_shared<Subscription>(std::move(topic_prefix),
+                                            hwm != 0 ? hwm : default_hwm_, policy);
+  std::lock_guard lock(mu_);
+  subs_.push_back(sub);
+  return sub;
+}
+
+std::size_t PubSocket::publish(const Message& message) {
+  // Snapshot subscribers so slow receivers never hold the pub lock.
+  std::vector<std::shared_ptr<Subscription>> snapshot;
+  {
+    std::lock_guard lock(mu_);
+    ++published_;
+    snapshot = subs_;
+  }
+  std::size_t accepted = 0;
+  const std::string_view topic = message.topic();
+  for (const auto& sub : snapshot) {
+    if (topic.substr(0, sub->prefix().size()) == sub->prefix()) {
+      if (sub->offer(message)) ++accepted;
+    }
+  }
+  return accepted;
+}
+
+void PubSocket::close_all() {
+  std::vector<std::shared_ptr<Subscription>> snapshot;
+  {
+    std::lock_guard lock(mu_);
+    snapshot = subs_;
+  }
+  for (const auto& sub : snapshot) sub->close();
+}
+
+}  // namespace ruru

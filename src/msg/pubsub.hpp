@@ -1,0 +1,106 @@
+#pragma once
+// In-process topic pub/sub with high-water-mark drop semantics.
+//
+// Mirrors ZeroMQ PUB/SUB behaviour the pipeline relies on:
+//  * a publisher never blocks — a subscriber whose queue is at its HWM
+//    loses the message (the tap must not backpressure the capture path);
+//  * subscription is by topic prefix;
+//  * delivery is per-subscriber FIFO.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "msg/message.hpp"
+#include "util/mpmc_queue.hpp"
+
+namespace ruru {
+
+/// What happens when a subscriber's queue is at its high-water mark.
+enum class HwmPolicy {
+  kDrop,   ///< lose the message (ZeroMQ PUB behaviour; pipeline default)
+  kBlock,  ///< block the publisher (ablation: shows why taps must not)
+};
+
+class Subscription {
+ public:
+  Subscription(std::string topic_prefix, std::size_t hwm, HwmPolicy policy = HwmPolicy::kDrop)
+      : prefix_(std::move(topic_prefix)), queue_(hwm), policy_(policy) {}
+
+  /// Blocking receive; nullopt after close() with the queue drained.
+  std::optional<Message> recv() { return queue_.pop(); }
+  /// Non-blocking receive.
+  std::optional<Message> try_recv() { return queue_.try_pop(); }
+
+  [[nodiscard]] const std::string& prefix() const { return prefix_; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    std::lock_guard lock(mu_);
+    return dropped_;
+  }
+  [[nodiscard]] std::uint64_t delivered() const {
+    std::lock_guard lock(mu_);
+    return delivered_;
+  }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  void close() { queue_.close(); }
+
+ private:
+  friend class PubSocket;
+  bool offer(const Message& m) {
+    // Shares frames either way — no byte copy.
+    const bool ok =
+        policy_ == HwmPolicy::kBlock ? queue_.push(m) : queue_.try_push(m);
+    std::lock_guard lock(mu_);
+    if (ok) {
+      ++delivered_;
+    } else {
+      ++dropped_;
+    }
+    return ok;
+  }
+
+  std::string prefix_;
+  MpmcQueue<Message> queue_;
+  HwmPolicy policy_;
+  mutable std::mutex mu_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+class PubSocket {
+ public:
+  explicit PubSocket(std::size_t default_hwm = 4096) : default_hwm_(default_hwm) {}
+
+  /// New subscription for topics starting with `topic_prefix` (empty =
+  /// everything). Thread-safe.
+  std::shared_ptr<Subscription> subscribe(std::string topic_prefix, std::size_t hwm = 0,
+                                          HwmPolicy policy = HwmPolicy::kDrop);
+
+  /// Fan out to all matching subscriptions; never blocks. Returns the
+  /// number of subscribers that accepted the message.
+  std::size_t publish(const Message& message);
+
+  /// Close every subscription (consumers drain then see nullopt).
+  void close_all();
+
+  [[nodiscard]] std::uint64_t published() const {
+    std::lock_guard lock(mu_);
+    return published_;
+  }
+  [[nodiscard]] std::size_t subscriber_count() const {
+    std::lock_guard lock(mu_);
+    return subs_.size();
+  }
+
+ private:
+  std::size_t default_hwm_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Subscription>> subs_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace ruru

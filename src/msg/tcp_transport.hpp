@@ -1,0 +1,76 @@
+#pragma once
+// TCP transport for the bus (the "tcp://" flavour of the ZeroMQ role).
+//
+// Length-prefixed multi-frame messages over a stream socket:
+//   u32 magic 'RRU1' | u32 frame_count | frame_count x (u32 len | bytes)
+// all little-endian.  The server pushes every published message to every
+// connected client; a client that cannot keep up (send buffer full for
+// more than a 100 ms grace) is disconnected rather than allowed to
+// backpressure the pipeline — ZeroMQ-PUB-like behaviour at the
+// transport level.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "msg/message.hpp"
+#include "util/result.hpp"
+
+namespace ruru {
+
+class TcpBusServer {
+ public:
+  TcpBusServer() = default;
+  ~TcpBusServer();
+  TcpBusServer(const TcpBusServer&) = delete;
+  TcpBusServer& operator=(const TcpBusServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  Status bind(std::uint16_t port);
+
+  /// Port actually bound (after bind with port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Sends to all connected clients. Returns clients reached.
+  std::size_t publish(const Message& message);
+
+  [[nodiscard]] std::size_t client_count() const;
+  [[nodiscard]] std::uint64_t disconnects() const { return disconnects_.load(); }
+
+  void close();
+
+ private:
+  void accept_loop();
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex mu_;
+  std::vector<int> clients_;
+  std::atomic<std::uint64_t> disconnects_{0};
+};
+
+class TcpBusClient {
+ public:
+  static Result<TcpBusClient> connect(const std::string& host, std::uint16_t port);
+
+  TcpBusClient(TcpBusClient&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  TcpBusClient& operator=(TcpBusClient&& o) noexcept;
+  ~TcpBusClient();
+
+  /// Blocking receive of one message; nullopt on EOF/error.
+  std::optional<Message> recv();
+
+  void close();
+
+ private:
+  explicit TcpBusClient(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace ruru

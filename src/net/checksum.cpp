@@ -1,0 +1,33 @@
+#include "net/checksum.hpp"
+
+#include "util/byte_order.hpp"
+
+namespace ruru {
+
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data, std::uint32_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) sum += load_be16(&data[i]);
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;  // odd trailing byte
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return sum;
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return static_cast<std::uint16_t>(~checksum_partial(data) & 0xffff);
+}
+
+std::uint16_t tcp_checksum_v4(Ipv4Address src, Ipv4Address dst,
+                              std::span<const std::uint8_t> segment) {
+  std::uint8_t pseudo[12];
+  store_be32(&pseudo[0], src.value());
+  store_be32(&pseudo[4], dst.value());
+  pseudo[8] = 0;
+  pseudo[9] = 6;  // IPPROTO_TCP
+  store_be16(&pseudo[10], static_cast<std::uint16_t>(segment.size()));
+  const std::uint32_t partial = checksum_partial(std::span<const std::uint8_t>(pseudo, 12));
+  const std::uint32_t sum = checksum_partial(segment, partial);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+}  // namespace ruru

@@ -1,0 +1,24 @@
+#pragma once
+// RFC 1071 internet checksum + TCP/IPv4 pseudo-header checksum.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "net/ip_address.hpp"
+
+namespace ruru {
+
+/// One's-complement sum of `data` folded to 16 bits (not inverted).
+[[nodiscard]] std::uint32_t checksum_partial(std::span<const std::uint8_t> data,
+                                             std::uint32_t initial = 0);
+
+/// Final RFC 1071 checksum over `data` (inverted, ready for the wire).
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// TCP checksum over the IPv4 pseudo-header + segment (header+payload).
+/// `segment` must have its checksum field zeroed by the caller.
+[[nodiscard]] std::uint16_t tcp_checksum_v4(Ipv4Address src, Ipv4Address dst,
+                                            std::span<const std::uint8_t> segment);
+
+}  // namespace ruru

@@ -1,0 +1,106 @@
+#pragma once
+// Flow identity: five-tuple and its canonical (direction-independent)
+// form.  Ruru must see SYN, SYN-ACK and ACK of one handshake as a single
+// flow even though they alternate direction, so the flow table keys on
+// the canonical form and keeps a direction bit per packet.
+
+#include <cstdint>
+#include <functional>
+
+#include "net/ip_address.hpp"
+
+namespace ruru {
+
+struct FiveTuple {
+  IpAddress src;
+  IpAddress dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  friend bool operator==(const FiveTuple& a, const FiveTuple& b) {
+    return a.src == b.src && a.dst == b.dst && a.src_port == b.src_port &&
+           a.dst_port == b.dst_port && a.protocol == b.protocol;
+  }
+
+  /// Reversed direction (dst -> src).
+  [[nodiscard]] FiveTuple reversed() const {
+    return FiveTuple{dst, src, dst_port, src_port, protocol};
+  }
+};
+
+namespace detail {
+
+inline std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n,
+                           std::uint64_t h = 0xcbf29ce484222325ULL) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t hash_ip(const IpAddress& a, std::uint64_t h) {
+  if (a.is_v4()) {
+    const std::uint32_t v = a.v4.value();
+    std::uint8_t bytes[4] = {static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+                             static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+    return fnv1a(bytes, 4, h);
+  }
+  return fnv1a(a.v6.bytes().data(), 16, h);
+}
+
+}  // namespace detail
+
+/// Direction-independent flow key: the (address,port) endpoint pairs are
+/// ordered so that both directions of a connection hash and compare
+/// identically.
+struct FlowKey {
+  FiveTuple canonical;   // endpoint-ordered tuple
+  bool forward = true;   // true when the observed packet matched canonical order
+
+  static FlowKey from(const FiveTuple& t) {
+    FlowKey k;
+    const bool keep = less_endpoint(t.src, t.src_port, t.dst, t.dst_port);
+    k.canonical = keep ? t : t.reversed();
+    k.forward = keep;
+    return k;
+  }
+
+  friend bool operator==(const FlowKey& a, const FlowKey& b) {
+    return a.canonical == b.canonical;
+  }
+
+  [[nodiscard]] std::uint64_t hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h = detail::hash_ip(canonical.src, h);
+    h = detail::hash_ip(canonical.dst, h);
+    const std::uint8_t ports[5] = {
+        static_cast<std::uint8_t>(canonical.src_port >> 8),
+        static_cast<std::uint8_t>(canonical.src_port),
+        static_cast<std::uint8_t>(canonical.dst_port >> 8),
+        static_cast<std::uint8_t>(canonical.dst_port), canonical.protocol};
+    return detail::fnv1a(ports, 5, h);
+  }
+
+ private:
+  static bool less_endpoint(const IpAddress& a, std::uint16_t ap, const IpAddress& b,
+                            std::uint16_t bp) {
+    if (a.is_v4() != b.is_v4()) return a.is_v4();
+    if (a.is_v4()) {
+      if (a.v4 != b.v4) return a.v4 < b.v4;
+    } else {
+      if (!(a.v6 == b.v6)) return a.v6 < b.v6;
+    }
+    return ap <= bp;
+  }
+};
+
+}  // namespace ruru
+
+template <>
+struct std::hash<ruru::FlowKey> {
+  std::size_t operator()(const ruru::FlowKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hash());
+  }
+};

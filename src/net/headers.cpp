@@ -1,0 +1,272 @@
+#include "net/headers.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/checksum.hpp"
+#include "util/byte_order.hpp"
+
+namespace ruru {
+
+Result<EthernetHeader> EthernetHeader::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return make_error("eth: frame shorter than 14 bytes");
+  EthernetHeader h;
+  std::copy_n(data.data(), 6, h.dst.begin());
+  std::copy_n(data.data() + 6, 6, h.src.begin());
+  h.ether_type = load_be16(&data[12]);
+  return h;
+}
+
+std::size_t EthernetHeader::write(std::span<std::uint8_t> out) const {
+  std::copy(dst.begin(), dst.end(), out.begin());
+  std::copy(src.begin(), src.end(), out.begin() + 6);
+  store_be16(&out[12], ether_type);
+  return kSize;
+}
+
+Result<Ipv4Header> Ipv4Header::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < kMinSize) return make_error("ipv4: header shorter than 20 bytes");
+  const std::uint8_t version = data[0] >> 4;
+  if (version != 4) return make_error("ipv4: version field is not 4");
+  Ipv4Header h;
+  h.ihl = data[0] & 0x0f;
+  if (h.ihl < 5) return make_error("ipv4: ihl < 5");
+  if (data.size() < h.header_length()) return make_error("ipv4: truncated options");
+  h.dscp_ecn = data[1];
+  h.total_length = load_be16(&data[2]);
+  if (h.total_length < h.header_length()) return make_error("ipv4: total_length < header");
+  h.identification = load_be16(&data[4]);
+  h.flags_fragment = load_be16(&data[6]);
+  h.ttl = data[8];
+  h.protocol = data[9];
+  h.header_checksum = load_be16(&data[10]);
+  h.src = Ipv4Address(load_be32(&data[12]));
+  h.dst = Ipv4Address(load_be32(&data[16]));
+  return h;
+}
+
+std::size_t Ipv4Header::write(std::span<std::uint8_t> out) const {
+  const std::size_t len = header_length();
+  std::fill_n(out.begin(), len, std::uint8_t{0});
+  out[0] = static_cast<std::uint8_t>((4u << 4) | ihl);
+  out[1] = dscp_ecn;
+  store_be16(&out[2], total_length);
+  store_be16(&out[4], identification);
+  store_be16(&out[6], flags_fragment);
+  out[8] = ttl;
+  out[9] = protocol;
+  store_be16(&out[10], 0);  // checksum computed below
+  store_be32(&out[12], src.value());
+  store_be32(&out[16], dst.value());
+  const std::uint16_t csum = internet_checksum(std::span<const std::uint8_t>(out.data(), len));
+  store_be16(&out[10], csum);
+  return len;
+}
+
+Result<Ipv6Header> Ipv6Header::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return make_error("ipv6: header shorter than 40 bytes");
+  const std::uint8_t version = data[0] >> 4;
+  if (version != 6) return make_error("ipv6: version field is not 6");
+  Ipv6Header h;
+  h.version_class_flow = load_be32(&data[0]);
+  h.payload_length = load_be16(&data[4]);
+  h.next_header = data[6];
+  h.hop_limit = data[7];
+  std::array<std::uint8_t, 16> src_bytes{};
+  std::array<std::uint8_t, 16> dst_bytes{};
+  std::copy_n(data.data() + 8, 16, src_bytes.begin());
+  std::copy_n(data.data() + 24, 16, dst_bytes.begin());
+  h.src = Ipv6Address(src_bytes);
+  h.dst = Ipv6Address(dst_bytes);
+  return h;
+}
+
+std::size_t Ipv6Header::write(std::span<std::uint8_t> out) const {
+  store_be32(&out[0], version_class_flow);
+  store_be16(&out[4], payload_length);
+  out[6] = next_header;
+  out[7] = hop_limit;
+  std::copy(src.bytes().begin(), src.bytes().end(), out.begin() + 8);
+  std::copy(dst.bytes().begin(), dst.bytes().end(), out.begin() + 24);
+  return kSize;
+}
+
+Result<TcpHeader> TcpHeader::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < kMinSize) return make_error("tcp: header shorter than 20 bytes");
+  TcpHeader h;
+  h.src_port = load_be16(&data[0]);
+  h.dst_port = load_be16(&data[2]);
+  h.seq = load_be32(&data[4]);
+  h.ack = load_be32(&data[8]);
+  h.data_offset = data[12] >> 4;
+  if (h.data_offset < 5) return make_error("tcp: data offset < 5");
+  if (data.size() < h.header_length()) return make_error("tcp: truncated options");
+  h.flags = data[13];
+  h.window = load_be16(&data[14]);
+  h.checksum = load_be16(&data[16]);
+  h.urgent_pointer = load_be16(&data[18]);
+  h.options_length = static_cast<std::uint8_t>(h.header_length() - kMinSize);
+  std::copy_n(data.data() + kMinSize, h.options_length, h.options.begin());
+  return h;
+}
+
+std::size_t TcpHeader::write(std::span<std::uint8_t> out) const {
+  store_be16(&out[0], src_port);
+  store_be16(&out[2], dst_port);
+  store_be32(&out[4], seq);
+  store_be32(&out[8], ack);
+  out[12] = static_cast<std::uint8_t>(data_offset << 4);
+  out[13] = flags;
+  store_be16(&out[14], window);
+  store_be16(&out[16], checksum);
+  store_be16(&out[18], urgent_pointer);
+  std::copy_n(options.begin(), options_length, out.begin() + kMinSize);
+  // Pad to the 4-byte boundary implied by data_offset.
+  const std::size_t len = header_length();
+  for (std::size_t i = kMinSize + options_length; i < len; ++i) out[i] = 0;
+  return len;
+}
+
+namespace {
+
+/// Walks TCP option TLVs calling `fn(kind, len, value_ptr)`; stops on
+/// malformed data or when fn returns true.
+template <typename Fn>
+void walk_options(const std::array<std::uint8_t, 40>& options, std::size_t n, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint8_t kind = options[i];
+    if (kind == 0) break;  // end of options
+    if (kind == 1) {       // NOP
+      ++i;
+      continue;
+    }
+    if (i + 1 >= n) break;
+    const std::uint8_t len = options[i + 1];
+    if (len < 2 || i + len > n) break;  // malformed
+    if (fn(kind, len, &options[i + 2])) return;
+    i += len;
+  }
+}
+
+}  // namespace
+
+std::optional<TcpTimestampOption> TcpHeader::timestamp_option() const {
+  std::optional<TcpTimestampOption> out;
+  walk_options(options, options_length,
+               [&](std::uint8_t kind, std::uint8_t len, const std::uint8_t* value) {
+                 if (kind == 8 && len == 10) {
+                   TcpTimestampOption ts;
+                   ts.ts_val = load_be32(value);
+                   ts.ts_ecr = load_be32(value + 4);
+                   out = ts;
+                   return true;
+                 }
+                 return false;
+               });
+  return out;
+}
+
+std::optional<std::uint16_t> TcpHeader::mss_option() const {
+  std::optional<std::uint16_t> out;
+  walk_options(options, options_length,
+               [&](std::uint8_t kind, std::uint8_t len, const std::uint8_t* value) {
+                 if (kind == 2 && len == 4) {
+                   out = load_be16(value);
+                   return true;
+                 }
+                 return false;
+               });
+  return out;
+}
+
+std::optional<std::uint8_t> TcpHeader::window_scale_option() const {
+  std::optional<std::uint8_t> out;
+  walk_options(options, options_length,
+               [&](std::uint8_t kind, std::uint8_t len, const std::uint8_t* value) {
+                 if (kind == 3 && len == 3) {
+                   out = *value;
+                   return true;
+                 }
+                 return false;
+               });
+  return out;
+}
+
+bool TcpHeader::sack_permitted() const {
+  bool found = false;
+  walk_options(options, options_length,
+               [&](std::uint8_t kind, std::uint8_t len, const std::uint8_t*) {
+                 if (kind == 4 && len == 2) {
+                   found = true;
+                   return true;
+                 }
+                 return false;
+               });
+  return found;
+}
+
+namespace {
+
+/// Grows data_offset to cover `needed` option bytes (rounded up to a
+/// 4-byte boundary). Returns false on overflow of the 40-byte space.
+bool reserve_options(TcpHeader& h, std::size_t needed) {
+  const std::size_t new_len = h.options_length + needed;
+  if (new_len > h.options.size()) return false;
+  const std::size_t padded = (new_len + 3) & ~std::size_t{3};
+  const std::size_t new_offset = (TcpHeader::kMinSize + padded) / 4;
+  if (new_offset > 15) return false;
+  h.data_offset = static_cast<std::uint8_t>(new_offset);
+  return true;
+}
+
+}  // namespace
+
+bool TcpHeader::add_timestamp_option(std::uint32_t ts_val, std::uint32_t ts_ecr) {
+  if (!reserve_options(*this, 12)) return false;
+  std::uint8_t* p = options.data() + options_length;
+  p[0] = 1;  // NOP
+  p[1] = 1;  // NOP
+  p[2] = 8;  // kind: timestamps
+  p[3] = 10;
+  store_be32(p + 4, ts_val);
+  store_be32(p + 8, ts_ecr);
+  options_length = static_cast<std::uint8_t>(options_length + 12);
+  return true;
+}
+
+bool TcpHeader::add_mss_option(std::uint16_t mss) {
+  if (!reserve_options(*this, 4)) return false;
+  std::uint8_t* p = options.data() + options_length;
+  p[0] = 2;  // kind: MSS
+  p[1] = 4;
+  store_be16(p + 2, mss);
+  options_length = static_cast<std::uint8_t>(options_length + 4);
+  return true;
+}
+
+bool TcpHeader::add_window_scale_option(std::uint8_t shift) {
+  // NOP + kind 3 (len 3) keeps 4-byte alignment.
+  if (!reserve_options(*this, 4)) return false;
+  std::uint8_t* p = options.data() + options_length;
+  p[0] = 1;  // NOP
+  p[1] = 3;  // kind: window scale
+  p[2] = 3;
+  p[3] = shift;
+  options_length = static_cast<std::uint8_t>(options_length + 4);
+  return true;
+}
+
+bool TcpHeader::add_sack_permitted_option() {
+  // NOP + NOP + kind 4 (len 2).
+  if (!reserve_options(*this, 4)) return false;
+  std::uint8_t* p = options.data() + options_length;
+  p[0] = 1;
+  p[1] = 1;
+  p[2] = 4;  // kind: SACK permitted
+  p[3] = 2;
+  options_length = static_cast<std::uint8_t>(options_length + 4);
+  return true;
+}
+
+}  // namespace ruru

@@ -1,0 +1,146 @@
+#pragma once
+// Ethernet / IPv4 / IPv6 / TCP header codecs.
+//
+// Parsed-struct representation with explicit parse()/write() functions.
+// Parsing is bounds-checked and never reads past the given span; writing
+// returns the number of bytes emitted.  No struct overlays on buffers.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/ip_address.hpp"
+#include "util/result.hpp"
+
+namespace ruru {
+
+using MacAddress = std::array<std::uint8_t, 6>;
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeIpv6 = 0x86dd;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddress dst{};
+  MacAddress src{};
+  std::uint16_t ether_type = 0;
+
+  static Result<EthernetHeader> parse(std::span<const std::uint8_t> data);
+  /// Writes kSize bytes; `out.size()` must be >= kSize.
+  std::size_t write(std::span<std::uint8_t> out) const;
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint8_t ihl = 5;  // in 32-bit words
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0;  // 3-bit flags + 13-bit offset
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t header_checksum = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  [[nodiscard]] std::size_t header_length() const { return std::size_t{ihl} * 4; }
+  [[nodiscard]] bool is_fragment() const {
+    // More-Fragments flag set, or nonzero fragment offset.
+    return (flags_fragment & 0x2000) != 0 || (flags_fragment & 0x1fff) != 0;
+  }
+
+  static Result<Ipv4Header> parse(std::span<const std::uint8_t> data);
+  /// Writes the header (ihl*4 bytes, options zero-filled) and computes
+  /// header_checksum into the buffer. Returns bytes written.
+  std::size_t write(std::span<std::uint8_t> out) const;
+};
+
+struct Ipv6Header {
+  static constexpr std::size_t kSize = 40;
+
+  std::uint32_t version_class_flow = 6u << 28;
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  Ipv6Address src;
+  Ipv6Address dst;
+
+  static Result<Ipv6Header> parse(std::span<const std::uint8_t> data);
+  std::size_t write(std::span<std::uint8_t> out) const;
+};
+
+/// TCP flag bits (RFC 9293 layout within the 13th/14th header bytes).
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+  static constexpr std::uint8_t kUrg = 0x20;
+};
+
+/// Parsed TCP timestamp option (RFC 7323), the input pping-style
+/// baselines match on.
+struct TcpTimestampOption {
+  std::uint32_t ts_val = 0;
+  std::uint32_t ts_ecr = 0;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  // in 32-bit words
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent_pointer = 0;
+  /// Raw options bytes (copied out; <= 40 bytes).
+  std::array<std::uint8_t, 40> options{};
+  std::uint8_t options_length = 0;
+
+  [[nodiscard]] std::size_t header_length() const { return std::size_t{data_offset} * 4; }
+
+  [[nodiscard]] bool syn() const { return (flags & TcpFlags::kSyn) != 0; }
+  [[nodiscard]] bool ack_flag() const { return (flags & TcpFlags::kAck) != 0; }
+  [[nodiscard]] bool fin() const { return (flags & TcpFlags::kFin) != 0; }
+  [[nodiscard]] bool rst() const { return (flags & TcpFlags::kRst) != 0; }
+  [[nodiscard]] bool is_syn_only() const { return syn() && !ack_flag(); }
+  [[nodiscard]] bool is_syn_ack() const { return syn() && ack_flag(); }
+
+  /// Walks the options TLVs; returns the timestamp option if present and
+  /// well-formed.
+  [[nodiscard]] std::optional<TcpTimestampOption> timestamp_option() const;
+
+  /// Appends a timestamp option (NOP,NOP,TS) to `options`; data_offset is
+  /// updated. Returns false if options space would overflow.
+  bool add_timestamp_option(std::uint32_t ts_val, std::uint32_t ts_ecr);
+  /// Appends an MSS option. Returns false on overflow.
+  bool add_mss_option(std::uint16_t mss);
+  /// Appends a window-scale option (kind 3). Returns false on overflow.
+  bool add_window_scale_option(std::uint8_t shift);
+  /// Appends SACK-permitted (kind 4). Returns false on overflow.
+  bool add_sack_permitted_option();
+
+  /// Parsed MSS option value, if present.
+  [[nodiscard]] std::optional<std::uint16_t> mss_option() const;
+  /// Parsed window-scale shift, if present.
+  [[nodiscard]] std::optional<std::uint8_t> window_scale_option() const;
+  /// True when SACK-permitted is present.
+  [[nodiscard]] bool sack_permitted() const;
+
+  static Result<TcpHeader> parse(std::span<const std::uint8_t> data);
+  /// Writes header_length() bytes; checksum written as-is (caller
+  /// computes the pseudo-header checksum afterwards if desired).
+  std::size_t write(std::span<std::uint8_t> out) const;
+};
+
+}  // namespace ruru

@@ -1,0 +1,156 @@
+#include "net/ip_address.hpp"
+
+#include <cstdio>
+
+#include "util/byte_order.hpp"
+
+namespace ruru {
+
+Result<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t octets[4];
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+      return make_error("ipv4: expected digit in '" + std::string(text) + "'");
+    }
+    std::uint32_t v = 0;
+    int digits = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      v = v * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+      ++pos;
+      if (++digits > 3 || v > 255) {
+        return make_error("ipv4: octet out of range in '" + std::string(text) + "'");
+      }
+    }
+    octets[i] = v;
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') {
+        return make_error("ipv4: expected '.' in '" + std::string(text) + "'");
+      }
+      ++pos;
+    }
+  }
+  if (pos != text.size()) {
+    return make_error("ipv4: trailing characters in '" + std::string(text) + "'");
+  }
+  return Ipv4Address(static_cast<std::uint8_t>(octets[0]), static_cast<std::uint8_t>(octets[1]),
+                     static_cast<std::uint8_t>(octets[2]), static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Result<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  // Split on "::" (at most one), then parse colon-separated 16-bit groups.
+  std::array<std::uint16_t, 8> groups{};
+  const std::size_t gap = text.find("::");
+  auto parse_groups = [](std::string_view part, std::uint16_t* out,
+                         int max_groups) -> Result<int> {
+    if (part.empty()) return 0;
+    int n = 0;
+    std::size_t pos = 0;
+    while (true) {
+      if (n >= max_groups) return make_error("ipv6: too many groups");
+      std::uint32_t v = 0;
+      int digits = 0;
+      while (pos < part.size() && hex_digit(part[pos]) >= 0) {
+        v = (v << 4) | static_cast<std::uint32_t>(hex_digit(part[pos]));
+        ++pos;
+        if (++digits > 4) return make_error("ipv6: group too long");
+      }
+      if (digits == 0) return make_error("ipv6: empty group");
+      out[n++] = static_cast<std::uint16_t>(v);
+      if (pos == part.size()) break;
+      if (part[pos] != ':') return make_error("ipv6: expected ':'");
+      ++pos;
+    }
+    return n;
+  };
+
+  std::array<std::uint16_t, 8> head{};
+  std::array<std::uint16_t, 8> tail{};
+  int head_n = 0;
+  int tail_n = 0;
+  if (gap == std::string_view::npos) {
+    auto r = parse_groups(text, head.data(), 8);
+    if (!r) return make_error(r.error());
+    head_n = r.value();
+    if (head_n != 8) return make_error("ipv6: need 8 groups without '::'");
+  } else {
+    if (text.find("::", gap + 1) != std::string_view::npos) {
+      return make_error("ipv6: multiple '::'");
+    }
+    auto r1 = parse_groups(text.substr(0, gap), head.data(), 8);
+    if (!r1) return make_error(r1.error());
+    head_n = r1.value();
+    auto r2 = parse_groups(text.substr(gap + 2), tail.data(), 8);
+    if (!r2) return make_error(r2.error());
+    tail_n = r2.value();
+    if (head_n + tail_n >= 8) return make_error("ipv6: '::' must elide at least one group");
+  }
+  for (int i = 0; i < head_n; ++i) groups[static_cast<std::size_t>(i)] = head[static_cast<std::size_t>(i)];
+  for (int i = 0; i < tail_n; ++i) {
+    groups[static_cast<std::size_t>(8 - tail_n + i)] = tail[static_cast<std::size_t>(i)];
+  }
+
+  std::array<std::uint8_t, 16> bytes{};
+  for (int i = 0; i < 8; ++i) {
+    store_be16(&bytes[static_cast<std::size_t>(i) * 2], groups[static_cast<std::size_t>(i)]);
+  }
+  return Ipv6Address(bytes);
+}
+
+std::string Ipv6Address::to_string() const {
+  // Canonical RFC 5952-ish: lowercase hex, longest zero run compressed.
+  std::uint16_t groups[8];
+  for (int i = 0; i < 8; ++i) groups[i] = load_be16(&bytes_[static_cast<std::size_t>(i) * 2]);
+
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;  // only compress runs of >= 2
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out.append("::");  // preceding group suppressed its ':' separator
+      i += best_len;
+      if (i >= 8) return out;
+      continue;
+    }
+    std::snprintf(buf, sizeof buf, "%x", groups[i]);
+    out.append(buf);
+    if (++i < 8 && i != best_start) out.push_back(':');
+  }
+  return out;
+}
+
+}  // namespace ruru

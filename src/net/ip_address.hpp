@@ -1,0 +1,97 @@
+#pragma once
+// IPv4 / IPv6 address value types.
+//
+// IPv4 addresses are stored in host order internally (arithmetic-friendly
+// for the geo range DB); all wire I/O goes through byte_order helpers.
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace ruru {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  /// From host-order integer, e.g. 0x0A000001 == 10.0.0.1.
+  constexpr explicit Ipv4Address(std::uint32_t host_order) : value_(host_order) {}
+  /// From dotted octets: Ipv4Address(10, 0, 0, 1).
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+  /// Parses dotted-quad text ("203.0.113.7").
+  static Result<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// True when inside `prefix`/`prefix_len` (CIDR containment).
+  [[nodiscard]] constexpr bool in_prefix(Ipv4Address prefix, int prefix_len) const {
+    if (prefix_len <= 0) return true;
+    if (prefix_len >= 32) return value_ == prefix.value_;
+    const std::uint32_t mask = ~std::uint32_t{0} << (32 - prefix_len);
+    return (value_ & mask) == (prefix.value_ & mask);
+  }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() = default;
+  explicit Ipv6Address(const std::array<std::uint8_t, 16>& bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] const std::array<std::uint8_t, 16>& bytes() const { return bytes_; }
+
+  friend auto operator<=>(const Ipv6Address&, const Ipv6Address&) = default;
+
+  /// Parses full or `::`-compressed hex groups (no embedded IPv4 form).
+  static Result<Ipv6Address> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+/// Either address family; tagged rather than std::variant so the hot
+/// path can branch on `family` without visitation overhead.
+struct IpAddress {
+  enum class Family : std::uint8_t { kV4, kV6 };
+  Family family = Family::kV4;
+  Ipv4Address v4;
+  Ipv6Address v6;
+
+  IpAddress() = default;
+  IpAddress(Ipv4Address a) : family(Family::kV4), v4(a) {}  // NOLINT implicit
+  IpAddress(Ipv6Address a) : family(Family::kV6), v6(a) {}  // NOLINT implicit
+
+  [[nodiscard]] bool is_v4() const { return family == Family::kV4; }
+  [[nodiscard]] std::string to_string() const {
+    return is_v4() ? v4.to_string() : v6.to_string();
+  }
+
+  friend bool operator==(const IpAddress& a, const IpAddress& b) {
+    if (a.family != b.family) return false;
+    return a.is_v4() ? a.v4 == b.v4 : a.v6 == b.v6;
+  }
+};
+
+}  // namespace ruru
+
+template <>
+struct std::hash<ruru::Ipv4Address> {
+  std::size_t operator()(ruru::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

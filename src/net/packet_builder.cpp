@@ -1,0 +1,116 @@
+#include "net/packet_builder.hpp"
+
+#include <cassert>
+
+#include "net/checksum.hpp"
+#include "util/byte_order.hpp"
+
+namespace ruru {
+
+std::vector<std::uint8_t> build_tcp_frame(const TcpFrameSpec& spec) {
+  assert(spec.src_ip.family == spec.dst_ip.family);
+
+  TcpHeader tcp;
+  tcp.src_port = spec.src_port;
+  tcp.dst_port = spec.dst_port;
+  tcp.seq = spec.seq;
+  tcp.ack = spec.ack;
+  tcp.flags = spec.flags;
+  tcp.window = spec.window;
+  if (spec.with_mss) {
+    const bool ok = tcp.add_mss_option(spec.mss);
+    assert(ok);
+    (void)ok;
+  }
+  if (spec.with_timestamps) {
+    const bool ok = tcp.add_timestamp_option(spec.ts_val, spec.ts_ecr);
+    assert(ok);
+    (void)ok;
+  }
+
+  const std::size_t tcp_len = tcp.header_length() + spec.payload_length;
+  const std::size_t ip_header_len = spec.src_ip.is_v4() ? Ipv4Header::kMinSize : Ipv6Header::kSize;
+  const std::size_t frame_len = EthernetHeader::kSize + ip_header_len + tcp_len;
+
+  std::vector<std::uint8_t> frame(frame_len, 0);
+
+  EthernetHeader eth;
+  eth.src = spec.src_mac;
+  eth.dst = spec.dst_mac;
+  eth.ether_type = spec.src_ip.is_v4() ? kEtherTypeIpv4 : kEtherTypeIpv6;
+  std::size_t off = eth.write(frame);
+
+  if (spec.src_ip.is_v4()) {
+    Ipv4Header ip;
+    ip.total_length = static_cast<std::uint16_t>(ip_header_len + tcp_len);
+    ip.identification = static_cast<std::uint16_t>(spec.seq & 0xffff);
+    ip.flags_fragment = 0x4000;  // DF
+    ip.ttl = spec.ttl;
+    ip.protocol = kIpProtoTcp;
+    ip.src = spec.src_ip.v4;
+    ip.dst = spec.dst_ip.v4;
+    off += ip.write(std::span(frame).subspan(off));
+  } else {
+    Ipv6Header ip;
+    ip.payload_length = static_cast<std::uint16_t>(tcp_len);
+    ip.next_header = kIpProtoTcp;
+    ip.hop_limit = spec.ttl;
+    ip.src = spec.src_ip.v6;
+    ip.dst = spec.dst_ip.v6;
+    off += ip.write(std::span(frame).subspan(off));
+  }
+
+  const std::size_t tcp_off = off;
+  off += tcp.write(std::span(frame).subspan(off));
+
+  // Deterministic payload pattern (never inspected, but stable for pcap
+  // round-trip tests).
+  for (std::size_t i = 0; i < spec.payload_length; ++i) {
+    frame[off + i] = static_cast<std::uint8_t>((spec.seq + i) & 0xff);
+  }
+
+  if (spec.src_ip.is_v4()) {
+    auto segment = std::span<const std::uint8_t>(frame).subspan(tcp_off, tcp_len);
+    const std::uint16_t csum = tcp_checksum_v4(spec.src_ip.v4, spec.dst_ip.v4, segment);
+    store_be16(&frame[tcp_off + 16], csum);
+  }
+  // (IPv6 TCP checksum omitted: the tap never validates it.)
+
+  return frame;
+}
+
+std::vector<std::uint8_t> build_non_ip_frame(std::size_t length) {
+  if (length < EthernetHeader::kSize) length = EthernetHeader::kSize;
+  std::vector<std::uint8_t> frame(length, 0);
+  EthernetHeader eth;
+  eth.ether_type = 0x0806;  // ARP
+  eth.write(frame);
+  return frame;
+}
+
+std::vector<std::uint8_t> build_udp_frame(Ipv4Address src, Ipv4Address dst,
+                                          std::uint16_t src_port, std::uint16_t dst_port,
+                                          std::size_t payload_length) {
+  const std::size_t udp_len = 8 + payload_length;
+  const std::size_t frame_len = EthernetHeader::kSize + Ipv4Header::kMinSize + udp_len;
+  std::vector<std::uint8_t> frame(frame_len, 0);
+
+  EthernetHeader eth;
+  eth.ether_type = kEtherTypeIpv4;
+  std::size_t off = eth.write(frame);
+
+  Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kMinSize + udp_len);
+  ip.protocol = kIpProtoUdp;
+  ip.src = src;
+  ip.dst = dst;
+  off += ip.write(std::span(frame).subspan(off));
+
+  store_be16(&frame[off], src_port);
+  store_be16(&frame[off + 2], dst_port);
+  store_be16(&frame[off + 4], static_cast<std::uint16_t>(udp_len));
+  store_be16(&frame[off + 6], 0);  // checksum optional in IPv4
+  return frame;
+}
+
+}  // namespace ruru

@@ -1,0 +1,51 @@
+#pragma once
+// Synthetic TCP frame construction (traffic generator + tests).
+//
+// Builds complete Ethernet/IPv4(or v6)/TCP frames with correct lengths
+// and checksums.  Payload bytes are a deterministic pattern; the pipeline
+// never inspects payload, only lengths.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/headers.hpp"
+
+namespace ruru {
+
+struct TcpFrameSpec {
+  MacAddress src_mac{{0x02, 0, 0, 0, 0, 0x01}};
+  MacAddress dst_mac{{0x02, 0, 0, 0, 0, 0x02}};
+  IpAddress src_ip;
+  IpAddress dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint8_t ttl = 64;
+  std::size_t payload_length = 0;
+  /// When true, a TCP timestamp option is attached (value/echo below).
+  bool with_timestamps = false;
+  std::uint32_t ts_val = 0;
+  std::uint32_t ts_ecr = 0;
+  /// When true (SYN segments), an MSS option is attached.
+  bool with_mss = false;
+  std::uint16_t mss = 1460;
+
+  /// Both IP addresses must share one family; asserted in build.
+};
+
+/// Builds the full frame. Checksums (IPv4 header + TCP) are valid.
+[[nodiscard]] std::vector<std::uint8_t> build_tcp_frame(const TcpFrameSpec& spec);
+
+/// Convenience: minimal non-IP frame (e.g. ARP-ish) for negative tests.
+[[nodiscard]] std::vector<std::uint8_t> build_non_ip_frame(std::size_t length = 64);
+
+/// Convenience: UDP/IPv4 frame (pipeline must classify as kNotTcp).
+[[nodiscard]] std::vector<std::uint8_t> build_udp_frame(Ipv4Address src, Ipv4Address dst,
+                                                        std::uint16_t src_port,
+                                                        std::uint16_t dst_port,
+                                                        std::size_t payload_length);
+
+}  // namespace ruru

@@ -1,0 +1,63 @@
+#include "net/packet_view.hpp"
+
+namespace ruru {
+
+const char* to_string(ParseStatus s) {
+  switch (s) {
+    case ParseStatus::kOk: return "ok";
+    case ParseStatus::kNotIp: return "not-ip";
+    case ParseStatus::kNotTcp: return "not-tcp";
+    case ParseStatus::kFragment: return "fragment";
+    case ParseStatus::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
+ParseStatus parse_packet(std::span<const std::uint8_t> frame, PacketView& out) {
+  out.frame_length = frame.size();
+  auto eth = EthernetHeader::parse(frame);
+  if (!eth) return ParseStatus::kMalformed;
+  out.eth = eth.value();
+
+  auto l3 = frame.subspan(EthernetHeader::kSize);
+  std::size_t l4_offset = 0;
+  std::size_t l4_available = 0;
+
+  if (out.eth.ether_type == kEtherTypeIpv4) {
+    auto ip = Ipv4Header::parse(l3);
+    if (!ip) return ParseStatus::kMalformed;
+    out.ip4 = ip.value();
+    out.is_v4 = true;
+    if (out.ip4.protocol != kIpProtoTcp) return ParseStatus::kNotTcp;
+    // Only the first fragment carries the TCP header; later fragments
+    // cannot contribute handshake timestamps.
+    if ((out.ip4.flags_fragment & 0x1fff) != 0) return ParseStatus::kFragment;
+    l4_offset = out.ip4.header_length();
+    if (out.ip4.total_length > l3.size()) return ParseStatus::kMalformed;
+    l4_available = out.ip4.total_length - l4_offset;
+  } else if (out.eth.ether_type == kEtherTypeIpv6) {
+    auto ip = Ipv6Header::parse(l3);
+    if (!ip) return ParseStatus::kMalformed;
+    out.ip6 = ip.value();
+    out.is_v4 = false;
+    // No extension-header walking: Ruru's tap cares about plain TCP.
+    if (out.ip6.next_header != kIpProtoTcp) return ParseStatus::kNotTcp;
+    l4_offset = Ipv6Header::kSize;
+    if (std::size_t{out.ip6.payload_length} + Ipv6Header::kSize > l3.size()) {
+      return ParseStatus::kMalformed;
+    }
+    l4_available = out.ip6.payload_length;
+  } else {
+    return ParseStatus::kNotIp;
+  }
+
+  auto l4 = l3.subspan(l4_offset, l4_available);
+  auto tcp = TcpHeader::parse(l4);
+  if (!tcp) return ParseStatus::kMalformed;
+  out.tcp = tcp.value();
+  if (out.tcp.header_length() > l4.size()) return ParseStatus::kMalformed;
+  out.payload_length = l4.size() - out.tcp.header_length();
+  return ParseStatus::kOk;
+}
+
+}  // namespace ruru

@@ -1,0 +1,56 @@
+#pragma once
+// Single-pass pre-parser for captured frames.
+//
+// This is the "pre-parsing all TCP packet headers" stage of the Ruru
+// pipeline (Figure 2): given a raw Ethernet frame it classifies the
+// packet and, for TCP, exposes the parsed headers and flow tuple without
+// copying the frame.
+
+#include <cstdint>
+#include <span>
+
+#include "net/five_tuple.hpp"
+#include "net/headers.hpp"
+
+namespace ruru {
+
+enum class ParseStatus : std::uint8_t {
+  kOk = 0,      // TCP/IPv4 or TCP/IPv6, headers valid
+  kNotIp,       // non-IP ethertype (ARP, LLDP, ...)
+  kNotTcp,      // IP but not TCP (UDP, ICMP, ...)
+  kFragment,    // non-first IP fragment: TCP header not present
+  kMalformed,   // truncated or inconsistent headers
+};
+
+[[nodiscard]] const char* to_string(ParseStatus s);
+
+struct PacketView {
+  EthernetHeader eth;
+  bool is_v4 = true;
+  Ipv4Header ip4;
+  Ipv6Header ip6;
+  TcpHeader tcp;
+  std::size_t payload_length = 0;  // TCP payload bytes present in the frame
+  std::size_t frame_length = 0;
+
+  [[nodiscard]] FiveTuple tuple() const {
+    FiveTuple t;
+    if (is_v4) {
+      t.src = ip4.src;
+      t.dst = ip4.dst;
+    } else {
+      t.src = ip6.src;
+      t.dst = ip6.dst;
+    }
+    t.src_port = tcp.src_port;
+    t.dst_port = tcp.dst_port;
+    t.protocol = kIpProtoTcp;
+    return t;
+  }
+};
+
+/// Parses `frame` (Ethernet II). On kOk, `out` is fully populated; on any
+/// other status `out` is unspecified.
+[[nodiscard]] ParseStatus parse_packet(std::span<const std::uint8_t> frame, PacketView& out);
+
+}  // namespace ruru

@@ -1,0 +1,88 @@
+#include "tsdb/wal.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "tsdb/tsdb.hpp"
+#include "util/byte_order.hpp"
+
+namespace ruru {
+
+Result<Wal> Wal::create(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return make_error("wal: cannot open '" + path + "'");
+  return Wal(f);
+}
+
+void Wal::append(const std::string& measurement, const TagSet& tags, Timestamp time,
+                 double value) {
+  if (!file_) return;
+  const std::string canon = tags.canonical();
+  std::vector<std::uint8_t> rec(2 + measurement.size() + 2 + canon.size() + 8 + 8);
+  std::uint8_t* p = rec.data();
+  store_le16(p, static_cast<std::uint16_t>(measurement.size()));
+  std::memcpy(p + 2, measurement.data(), measurement.size());
+  p += 2 + measurement.size();
+  store_le16(p, static_cast<std::uint16_t>(canon.size()));
+  std::memcpy(p + 2, canon.data(), canon.size());
+  p += 2 + canon.size();
+  const auto t = static_cast<std::uint64_t>(time.ns);
+  std::memcpy(p, &t, 8);
+  std::memcpy(p + 8, &value, 8);
+  std::fwrite(rec.data(), 1, rec.size(), file_.get());
+  ++records_;
+}
+
+void Wal::sync() {
+  if (file_) std::fflush(file_.get());
+}
+
+namespace {
+
+/// Parses the canonical "k1=v1,k2=v2" form back into a TagSet.
+TagSet parse_tags(const std::string& canon) {
+  TagSet tags;
+  std::size_t pos = 0;
+  while (pos < canon.size()) {
+    const std::size_t comma = canon.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? canon.size() : comma;
+    const std::size_t eq = canon.find('=', pos);
+    if (eq != std::string::npos && eq < end) {
+      tags.add(canon.substr(pos, eq - pos), canon.substr(eq + 1, end - eq - 1));
+    }
+    pos = end + 1;
+  }
+  return tags;
+}
+
+}  // namespace
+
+Result<std::uint64_t> Wal::replay(const std::string& path, TimeSeriesDb& db) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                                    &std::fclose);
+  if (!f) return make_error("wal: cannot open '" + path + "' for replay");
+
+  std::uint64_t applied = 0;
+  while (true) {
+    std::uint8_t len_buf[2];
+    if (std::fread(len_buf, 1, 2, f.get()) != 2) break;  // clean EOF
+    const std::uint16_t mlen = load_le16(len_buf);
+    std::string measurement(mlen, '\0');
+    if (mlen != 0 && std::fread(measurement.data(), 1, mlen, f.get()) != mlen) break;  // torn
+    if (std::fread(len_buf, 1, 2, f.get()) != 2) break;
+    const std::uint16_t tlen = load_le16(len_buf);
+    std::string canon(tlen, '\0');
+    if (tlen != 0 && std::fread(canon.data(), 1, tlen, f.get()) != tlen) break;
+    std::uint8_t tail[16];
+    if (std::fread(tail, 1, 16, f.get()) != 16) break;
+    std::uint64_t t;
+    double value;
+    std::memcpy(&t, tail, 8);
+    std::memcpy(&value, tail + 8, 8);
+    db.write(measurement, parse_tags(canon), Timestamp{static_cast<std::int64_t>(t)}, value);
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace ruru

@@ -1,0 +1,47 @@
+#pragma once
+// Binary write-ahead log for the TSDB: long-term storage durability
+// (InfluxDB's role of surviving restarts).  Append-only; replay rebuilds
+// the exact in-memory state.
+//
+// Record layout (little-endian):
+//   u16 measurement_len | bytes | u16 tags_len | canonical-tags bytes |
+//   i64 time_ns | f64 value
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace ruru {
+
+class TagSet;
+class TimeSeriesDb;
+
+class Wal {
+ public:
+  static Result<Wal> create(const std::string& path);
+
+  Wal(Wal&&) = default;
+  Wal& operator=(Wal&&) = default;
+
+  void append(const std::string& measurement, const TagSet& tags, Timestamp time, double value);
+
+  /// Flush buffered records to the OS.
+  void sync();
+
+  [[nodiscard]] std::uint64_t records() const { return records_; }
+
+  /// Replays `path` into `db`. Returns records applied; a torn final
+  /// record is tolerated (crash semantics).
+  static Result<std::uint64_t> replay(const std::string& path, TimeSeriesDb& db);
+
+ private:
+  explicit Wal(std::FILE* f) : file_(f, &std::fclose) {}
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace ruru

@@ -1,0 +1,51 @@
+#pragma once
+// Streaming JSON writer.
+//
+// The viz feed serializes thousands of arc records per frame; this
+// writer appends directly into a reusable std::string with correct
+// escaping and no intermediate DOM.  It is a write-only API: scopes are
+// opened/closed explicitly and misuse is caught by assertions.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ruru {
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  /// Reuse the writer for a fresh document (keeps string capacity).
+  void reset();
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by a value or scope-open.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void comma_if_needed();
+  void append_escaped(std::string_view s);
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace ruru

@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace ruru {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() : sink_(&std::cerr) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard lock(mu_);
+  sink_ = sink != nullptr ? sink : &std::cerr;
+}
+
+void Logger::write(LogLevel level, std::string_view module, std::string_view message) {
+  if (!enabled(level)) return;
+  std::lock_guard lock(mu_);
+  (*sink_) << '[' << to_string(level) << "] [" << module << "] " << message << '\n';
+}
+
+}  // namespace ruru

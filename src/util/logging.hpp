@@ -1,0 +1,66 @@
+#pragma once
+// Minimal leveled, thread-safe logger.
+//
+// Pipeline data paths never log per packet; logging is for control-plane
+// events (start/stop, eviction pressure, anomaly alerts).  The logger is
+// deliberately tiny: a global level, a mutex around the sink, and a
+// stream-style macro so call sites stay readable.
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace ruru {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+class Logger {
+ public:
+  /// Process-wide logger. Sinks to stderr by default.
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Redirect output (tests capture into an ostringstream). Not owned.
+  void set_sink(std::ostream* sink);
+
+  void write(LogLevel level, std::string_view module, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kInfo;
+  std::ostream* sink_;
+  std::mutex mu_;
+};
+
+}  // namespace ruru
+
+// Usage: RURU_LOG(kInfo, "flow") << "evicted " << n << " entries";
+#define RURU_LOG(level_enum, module)                                        \
+  for (bool ruru_log_once =                                                 \
+           ::ruru::Logger::instance().enabled(::ruru::LogLevel::level_enum); \
+       ruru_log_once; ruru_log_once = false)                                \
+  ::ruru::detail::LogLine(::ruru::LogLevel::level_enum, module).stream()
+
+namespace ruru::detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view module) : level_(level), module_(module) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().write(level_, module_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::string_view module_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ruru::detail

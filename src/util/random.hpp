@@ -1,0 +1,83 @@
+#pragma once
+// Deterministic PRNG (PCG32) + distribution helpers.
+//
+// All synthetic workloads must be reproducible from a single seed, so the
+// traffic model, geo world generator and tests all use this instead of
+// std::mt19937 (whose distributions are not portable across libstdc++
+// versions).
+
+#include <cmath>
+#include <cstdint>
+
+namespace ruru {
+
+/// PCG32 (Melissa O'Neill). Small, fast, statistically solid, and the
+/// output sequence is fully specified so fixtures can hard-code values.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    (void)next_u32();
+    state_ += seed;
+    (void)next_u32();
+  }
+
+  std::uint32_t next_u32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform in [0, bound). Rejection-free Lemire reduction.
+  std::uint32_t bounded(std::uint32_t bound) {
+    if (bound == 0) return 0;
+    const std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u32()) * 0x1.0p-32; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-32;  // avoid log(0)
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple > fast here).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-32;
+    const double u2 = uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Pareto with shape alpha and minimum xm (heavy-tailed flow sizes).
+  double pareto(double alpha, double xm) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-32;
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace ruru

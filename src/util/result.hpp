@@ -1,0 +1,77 @@
+#pragma once
+// Small expected-like result type (gcc 12 has no std::expected).
+//
+// Error handling policy (per Core Guidelines E.*): exceptions for
+// programming errors / constructor failures; Result<T> for expected
+// runtime failures on I/O and parse boundaries (bad pcap file, short
+// packet, missing geo record) where the caller decides.
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ruru {
+
+struct Error {
+  std::string message;
+};
+
+[[nodiscard]] inline Error make_error(std::string message) {
+  return Error{std::move(message)};
+}
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT implicit ok
+  Result(Error error) : value_(std::move(error)) {}      // NOLINT implicit err
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(value_).message;
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(value_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+/// Result<void>: success or an error message.
+class Status {
+ public:
+  Status() = default;                                  // ok
+  Status(Error error) : error_(std::move(error.message)), failed_(true) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const std::string& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  std::string error_;
+  bool failed_ = false;
+};
+
+}  // namespace ruru

@@ -1,0 +1,82 @@
+#pragma once
+// Lock-free single-producer / single-consumer ring.
+//
+// This is the queue shape DPDK uses between a NIC RX queue and the lcore
+// polling it: exactly one producer (the NIC dispatch) and one consumer
+// (the worker).  Power-of-two capacity, acquire/release fences only, and
+// head/tail on separate cache lines to avoid false sharing.
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ruru {
+
+// Fixed 64: std::hardware_destructive_interference_size is ABI-unstable
+// (gcc -Winterference-size) and 64 is right for every target we run on.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two; usable slots =
+  /// capacity (full/empty disambiguated by monotonically increasing
+  /// indices).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  [[nodiscard]] std::size_t size() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+
+  /// Producer side. Returns false when full.
+  [[nodiscard]] bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= capacity()) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Empty optional when the ring is empty.
+  [[nodiscard]] std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Burst dequeue into `out`, DPDK rx_burst style. Returns count popped.
+  std::size_t pop_burst(T* out, std::size_t max_count) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    std::size_t n = head - tail;
+    if (n > max_count) n = max_count;
+    for (std::size_t i = 0; i < n; ++i) out[i] = std::move(slots_[(tail + i) & mask_]);
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace ruru

@@ -1,0 +1,30 @@
+#include "util/time.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace ruru {
+
+std::string to_string(Duration d) {
+  char buf[64];
+  const double abs_ns = std::abs(static_cast<double>(d.ns));
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%" PRId64 " ns", d.ns);
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1f us", static_cast<double>(d.ns) / 1e3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1f ms", static_cast<double>(d.ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", static_cast<double>(d.ns) / 1e9);
+  }
+  return buf;
+}
+
+std::string to_string(Timestamp t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t=%.3fs", t.to_sec());
+  return buf;
+}
+
+}  // namespace ruru

@@ -1,0 +1,51 @@
+#pragma once
+// Token-bucket rate limiter (used by the viz feed to cap frames/sec and
+// by anomaly alert throttling).  Pure function of injected timestamps so
+// it is fully testable under SimClock.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace ruru {
+
+class TokenBucket {
+ public:
+  /// `rate_per_sec` tokens accrue per second up to `burst` capacity.
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  /// Try to take `n` tokens at time `now`. Returns true when admitted.
+  bool allow(Timestamp now, double n = 1.0) {
+    refill(now);
+    if (tokens_ + 1e-9 >= n) {
+      tokens_ -= n;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double tokens() const { return tokens_; }
+
+ private:
+  void refill(Timestamp now) {
+    if (!started_) {
+      last_ = now;
+      started_ = true;
+      return;
+    }
+    if (now <= last_) return;
+    const double dt = (now - last_).to_sec();
+    tokens_ = std::min(burst_, tokens_ + dt * rate_);
+    last_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  Timestamp last_{};
+  bool started_ = false;
+};
+
+}  // namespace ruru

@@ -1,0 +1,68 @@
+#include "viz/ascii_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ruru {
+
+int AsciiMap::col(double lon) const {
+  const double t = (lon + 180.0) / 360.0;
+  return std::clamp(static_cast<int>(t * (width_ - 1)), 0, width_ - 1);
+}
+
+int AsciiMap::row(double lat) const {
+  const double t = (90.0 - lat) / 180.0;
+  return std::clamp(static_cast<int>(t * (height_ - 1)), 0, height_ - 1);
+}
+
+std::string AsciiMap::render(const ArcFrame& frame) const {
+  // cell value: -1 empty, 0..3 color rank, 4 endpoint
+  std::vector<int> grid(static_cast<std::size_t>(width_) * height_, -1);
+  auto cell = [&](int r, int c) -> int& {
+    return grid[static_cast<std::size_t>(r) * width_ + c];
+  };
+  auto stamp = [&](int r, int c, int rank) {
+    int& v = cell(r, c);
+    if (rank > v) v = rank;
+  };
+
+  for (const Arc& a : frame.arcs) {
+    const int r0 = row(a.src_lat), c0 = col(a.src_lon);
+    const int r1 = row(a.dst_lat), c1 = col(a.dst_lon);
+    const int rank = static_cast<int>(a.color);
+    // Bresenham line between the endpoints.
+    int dr = std::abs(r1 - r0), dc = std::abs(c1 - c0);
+    int sr = r0 < r1 ? 1 : -1, sc = c0 < c1 ? 1 : -1;
+    int err = dc - dr, r = r0, c = c0;
+    while (true) {
+      stamp(r, c, rank);
+      if (r == r1 && c == c1) break;
+      const int e2 = 2 * err;
+      if (e2 > -dr) {
+        err -= dr;
+        c += sc;
+      }
+      if (e2 < dc) {
+        err += dc;
+        r += sr;
+      }
+    }
+    stamp(r0, c0, 4);
+    stamp(r1, c1, 4);
+  }
+
+  static const char kGlyphs[] = {'.', '+', '*', '#', 'o'};
+  std::string out;
+  out.reserve(static_cast<std::size_t>((width_ + 1)) * height_);
+  for (int r = 0; r < height_; ++r) {
+    for (int c = 0; c < width_; ++c) {
+      const int v = cell(r, c);
+      out.push_back(v < 0 ? ' ' : kGlyphs[v]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace ruru

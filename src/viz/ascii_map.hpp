@@ -1,0 +1,29 @@
+#pragma once
+// Terminal fallback for the live map: renders arcs onto a lat/lon
+// character grid with per-cell worst-color dominance.  Useful for the
+// examples and for eyeballing a pipeline without a browser.
+
+#include <string>
+
+#include "viz/arc_aggregator.hpp"
+
+namespace ruru {
+
+class AsciiMap {
+ public:
+  AsciiMap(int width = 100, int height = 30) : width_(width), height_(height) {}
+
+  /// Renders endpoints (o) and great-circle-ish straight arc lines,
+  /// colored by worst latency bucket: '.' green, '+' yellow, '*' orange,
+  /// '#' red.
+  [[nodiscard]] std::string render(const ArcFrame& frame) const;
+
+ private:
+  [[nodiscard]] int col(double lon) const;
+  [[nodiscard]] int row(double lat) const;
+
+  int width_;
+  int height_;
+};
+
+}  // namespace ruru

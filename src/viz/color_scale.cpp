@@ -1,0 +1,25 @@
+#include "viz/color_scale.hpp"
+
+namespace ruru {
+
+std::string_view to_string(ArcColor c) {
+  switch (c) {
+    case ArcColor::kGreen: return "green";
+    case ArcColor::kYellow: return "yellow";
+    case ArcColor::kOrange: return "orange";
+    case ArcColor::kRed: return "red";
+  }
+  return "?";
+}
+
+std::string_view to_css(ArcColor c) {
+  switch (c) {
+    case ArcColor::kGreen: return "#2ecc71";
+    case ArcColor::kYellow: return "#f1c40f";
+    case ArcColor::kOrange: return "#e67e22";
+    case ArcColor::kRed: return "#e74c3c";
+  }
+  return "#000000";
+}
+
+}  // namespace ruru

@@ -1,0 +1,41 @@
+#pragma once
+// Latency -> arc color mapping for the live 3D map.
+//
+// §3: "red lines in areas where most lines are green show increased
+// latency for some connections".  Buckets are configurable; defaults
+// follow common user-experience bands.
+
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace ruru {
+
+enum class ArcColor : int { kGreen = 0, kYellow, kOrange, kRed };
+
+[[nodiscard]] std::string_view to_string(ArcColor c);
+/// CSS hex color the WebGL frontend applies.
+[[nodiscard]] std::string_view to_css(ArcColor c);
+
+struct ColorThresholds {
+  Duration yellow = Duration::from_ms(150);
+  Duration orange = Duration::from_ms(300);
+  Duration red = Duration::from_ms(600);
+};
+
+class ColorScale {
+ public:
+  explicit ColorScale(ColorThresholds thresholds = {}) : t_(thresholds) {}
+
+  [[nodiscard]] ArcColor bucket(Duration total_latency) const {
+    if (total_latency >= t_.red) return ArcColor::kRed;
+    if (total_latency >= t_.orange) return ArcColor::kOrange;
+    if (total_latency >= t_.yellow) return ArcColor::kYellow;
+    return ArcColor::kGreen;
+  }
+
+ private:
+  ColorThresholds t_;
+};
+
+}  // namespace ruru

@@ -1,0 +1,108 @@
+#include "viz/dashboard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace ruru {
+
+double Dashboard::pick_stat(const AggregateResult& r, const std::string& stat) {
+  if (stat == "mean") return r.mean;
+  if (stat == "max") return r.max;
+  if (stat == "min") return r.min;
+  if (stat == "p95") return r.p95;
+  if (stat == "p99") return r.p99;
+  return r.median;
+}
+
+std::string Dashboard::render_graph(const std::string& measurement, const TagSet& filter,
+                                    Timestamp t0, Timestamp t1, const std::string& stat) const {
+  const int width = options_.graph_width;
+  const int height = options_.graph_height;
+  const Duration step = Duration{(t1 - t0).ns / width};
+  if (step.ns <= 0) return "(empty interval)\n";
+
+  const auto windows = db_.window_aggregate(measurement, filter, t0, t1, step);
+  std::vector<double> column(static_cast<std::size_t>(width), std::nan(""));
+  double vmax = 0;
+  for (const auto& w : windows) {
+    const auto idx = static_cast<std::size_t>((w.window_start.ns - t0.ns) / step.ns);
+    if (idx >= column.size()) continue;
+    column[idx] = pick_stat(w.stats, stat);
+    vmax = std::max(vmax, column[idx]);
+  }
+  if (vmax <= 0) return "(no data)\n";
+
+  std::string out;
+  char label[64];
+  std::snprintf(label, sizeof label, "%s(%s)  peak %.1f ms\n", stat.c_str(),
+                measurement.c_str(), vmax);
+  out += label;
+
+  // Render rows top-down; a cell is filled when the column value reaches
+  // that row's threshold.
+  for (int row = height; row >= 1; --row) {
+    const double threshold = vmax * (static_cast<double>(row) - 0.5) / height;
+    std::snprintf(label, sizeof label, "%8.1f |", vmax * row / height);
+    out += label;
+    for (int c = 0; c < width; ++c) {
+      const double v = column[static_cast<std::size_t>(c)];
+      if (std::isnan(v)) {
+        out += ' ';
+      } else if (v >= threshold) {
+        out += options_.ascii_only ? "#" : "█";  // full block
+      } else {
+        out += ' ';
+      }
+    }
+    out += '\n';
+  }
+  out += "         +";
+  out.append(static_cast<std::size_t>(width), '-');
+  out += '\n';
+  char left[32];
+  char right[32];
+  std::snprintf(left, sizeof left, "t=%.0fs", t0.to_sec());
+  std::snprintf(right, sizeof right, "t=%.0fs", t1.to_sec());
+  std::string axis = "          ";
+  axis += left;
+  const std::size_t target = 10 + static_cast<std::size_t>(width);
+  const std::size_t right_len = std::char_traits<char>::length(right);
+  while (axis.size() + right_len < target) axis += ' ';
+  axis += right;
+  out += axis;
+  out += '\n';
+  return out;
+}
+
+std::string Dashboard::render_stats_strip(const std::string& measurement, const TagSet& filter,
+                                          Timestamp t0, Timestamp t1) const {
+  const auto r = db_.aggregate(measurement, filter, t0, t1);
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "%s n=%llu  min=%.1fms  median=%.1fms  mean=%.1fms  p95=%.1fms  p99=%.1fms  "
+                "max=%.1fms\n",
+                measurement.c_str(), static_cast<unsigned long long>(r.count), r.min, r.median,
+                r.mean, r.p95, r.p99, r.max);
+  return buf;
+}
+
+std::string Dashboard::render_pair_table(const std::vector<PairSummary>& pairs) const {
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "%-34s %8s %9s %9s %9s\n", "pair", "conns", "median", "mean",
+                "p99");
+  out += buf;
+  std::size_t shown = 0;
+  for (const auto& p : pairs) {
+    if (shown++ >= options_.top_pairs) break;
+    std::snprintf(buf, sizeof buf, "%-34s %8llu %7.1fms %7.1fms %7.1fms\n", p.key.c_str(),
+                  static_cast<unsigned long long>(p.connections), p.median_total.to_ms(),
+                  p.mean_total.to_ms(), p.p99_total.to_ms());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ruru

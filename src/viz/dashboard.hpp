@@ -1,0 +1,51 @@
+#pragma once
+// Grafana-role text dashboard.
+//
+// §2: "the Grafana UI also shows statistics and graphs of the measured
+// end-to-end latency (e.g., min, max, median, mean) for a required time
+// interval".  This module renders those panels from TimeSeriesDb
+// queries as fixed-width text: a windowed latency graph (unicode or
+// ascii bars), a stats strip, and a top-pairs table.  Examples and
+// operators get the Grafana experience in a terminal.
+
+#include <string>
+
+#include "analytics/aggregator.hpp"
+#include "tsdb/tsdb.hpp"
+
+namespace ruru {
+
+struct DashboardOptions {
+  int graph_width = 72;       ///< columns for the time axis
+  int graph_height = 8;       ///< rows for the value axis
+  bool ascii_only = false;    ///< '#' bars instead of unicode blocks
+  std::size_t top_pairs = 10;
+};
+
+class Dashboard {
+ public:
+  Dashboard(const TimeSeriesDb& db, DashboardOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Windowed graph of `stat` ("median"|"mean"|"max"|"p99") of
+  /// `measurement` over [t0, t1), `windows` buckets wide.
+  [[nodiscard]] std::string render_graph(const std::string& measurement, const TagSet& filter,
+                                         Timestamp t0, Timestamp t1,
+                                         const std::string& stat = "median") const;
+
+  /// One-line min/median/mean/p95/p99/max strip for an interval.
+  [[nodiscard]] std::string render_stats_strip(const std::string& measurement,
+                                               const TagSet& filter, Timestamp t0,
+                                               Timestamp t1) const;
+
+  /// Top-N pair table (from a LatencyAggregator snapshot).
+  [[nodiscard]] std::string render_pair_table(const std::vector<PairSummary>& pairs) const;
+
+ private:
+  [[nodiscard]] static double pick_stat(const AggregateResult& r, const std::string& stat);
+
+  const TimeSeriesDb& db_;
+  DashboardOptions options_;
+};
+
+}  // namespace ruru

@@ -1,0 +1,78 @@
+#include "viz/frame_encoder.hpp"
+
+#include "util/json_writer.hpp"
+
+namespace ruru {
+
+std::string FrameEncoder::encode(const ArcFrame& frame) {
+  writer_.reset();
+  writer_.begin_object()
+      .key("type")
+      .value("arc_frame")
+      .key("seq")
+      .value(static_cast<std::uint64_t>(frame.sequence))
+      .key("t")
+      .value(frame.time.to_sec())
+      .key("samples")
+      .value(static_cast<std::uint64_t>(frame.samples))
+      .key("arcs")
+      .begin_array();
+  for (const Arc& a : frame.arcs) {
+    writer_.begin_object()
+        .key("src")
+        .value(a.src_city)
+        .key("dst")
+        .value(a.dst_city)
+        .key("src_ll")
+        .begin_array()
+        .value(a.src_lat)
+        .value(a.src_lon)
+        .end_array()
+        .key("dst_ll")
+        .begin_array()
+        .value(a.dst_lat)
+        .value(a.dst_lon)
+        .end_array()
+        .key("color")
+        .value(to_css(a.color))
+        .key("n")
+        .value(static_cast<std::uint64_t>(a.count))
+        .key("mean_ms")
+        .value(a.mean_latency.to_ms())
+        .key("max_ms")
+        .value(a.max_latency.to_ms())
+        .end_object();
+  }
+  writer_.end_array().end_object();
+  return writer_.str();
+}
+
+std::string FrameEncoder::encode_pair_stats(const std::vector<PairSummary>& pairs,
+                                            std::size_t top_n) {
+  writer_.reset();
+  writer_.begin_object().key("type").value("pair_stats").key("pairs").begin_array();
+  std::size_t emitted = 0;
+  for (const auto& p : pairs) {
+    if (emitted++ >= top_n) break;
+    writer_.begin_object()
+        .key("key")
+        .value(p.key)
+        .key("count")
+        .value(static_cast<std::uint64_t>(p.connections))
+        .key("min_ms")
+        .value(p.min_total.to_ms())
+        .key("median_ms")
+        .value(p.median_total.to_ms())
+        .key("mean_ms")
+        .value(p.mean_total.to_ms())
+        .key("max_ms")
+        .value(p.max_total.to_ms())
+        .key("p99_ms")
+        .value(p.p99_total.to_ms())
+        .end_object();
+  }
+  writer_.end_array().end_object();
+  return writer_.str();
+}
+
+}  // namespace ruru

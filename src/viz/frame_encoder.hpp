@@ -1,0 +1,26 @@
+#pragma once
+// JSON wire encoding of arc frames and stats documents — the payload the
+// WebGL map and Grafana-style panels consume over WebSockets.
+
+#include <string>
+
+#include "analytics/aggregator.hpp"
+#include "util/json_writer.hpp"
+#include "viz/arc_aggregator.hpp"
+
+namespace ruru {
+
+class FrameEncoder {
+ public:
+  /// {"type":"arc_frame","seq":N,"t":sec,"samples":N,"arcs":[...]}
+  [[nodiscard]] std::string encode(const ArcFrame& frame);
+
+  /// {"type":"pair_stats","pairs":[{"key":..,"count":..,"median_ms":..},..]}
+  [[nodiscard]] std::string encode_pair_stats(const std::vector<PairSummary>& pairs,
+                                              std::size_t top_n = 50);
+
+ private:
+  JsonWriter writer_;  // reused buffer between frames
+};
+
+}  // namespace ruru

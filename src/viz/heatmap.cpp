@@ -1,0 +1,96 @@
+#include "viz/heatmap.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ruru {
+
+LatencyHeatmap::LatencyHeatmap(Duration time_bucket, std::vector<Duration> band_edges)
+    : time_bucket_(time_bucket), edges_(std::move(band_edges)) {
+  std::sort(edges_.begin(), edges_.end());
+}
+
+LatencyHeatmap LatencyHeatmap::with_default_bands(Duration time_bucket) {
+  return LatencyHeatmap(time_bucket,
+                        {Duration::from_ms(50), Duration::from_ms(100), Duration::from_ms(150),
+                         Duration::from_ms(200), Duration::from_ms(300), Duration::from_ms(600),
+                         Duration::from_ms(1000), Duration::from_ms(4000)});
+}
+
+std::size_t LatencyHeatmap::band_for(Duration latency) const {
+  std::size_t band = 0;
+  for (const auto& edge : edges_) {
+    if (latency < edge) break;
+    ++band;
+  }
+  return band;
+}
+
+void LatencyHeatmap::add(Timestamp t, Duration latency) {
+  const std::int64_t bucket = t.ns / time_bucket_.ns;
+  auto& counts = cells_[bucket];
+  if (counts.empty()) counts.resize(band_count(), 0);
+  ++counts[band_for(latency)];
+  ++total_;
+}
+
+std::uint64_t LatencyHeatmap::count_at(Timestamp t, std::size_t band) const {
+  const auto it = cells_.find(t.ns / time_bucket_.ns);
+  if (it == cells_.end() || band >= it->second.size()) return 0;
+  return it->second[band];
+}
+
+std::string LatencyHeatmap::band_label(std::size_t band) const {
+  char buf[40];
+  if (edges_.empty()) return "all";
+  if (band == 0) {
+    std::snprintf(buf, sizeof buf, "   <%5.0fms", edges_.front().to_ms());
+  } else if (band >= edges_.size()) {
+    std::snprintf(buf, sizeof buf, "  >=%5.0fms", edges_.back().to_ms());
+  } else {
+    std::snprintf(buf, sizeof buf, "%4.0f-%4.0fms", edges_[band - 1].to_ms(),
+                  edges_[band].to_ms());
+  }
+  return buf;
+}
+
+std::string LatencyHeatmap::render_ascii(Timestamp t0, Timestamp t1) const {
+  const std::int64_t first = t0.ns / time_bucket_.ns;
+  const std::int64_t last = (t1.ns + time_bucket_.ns - 1) / time_bucket_.ns;
+  const auto cols = static_cast<std::size_t>(std::max<std::int64_t>(0, last - first));
+  if (cols == 0) return "(empty interval)\n";
+
+  // Column maxima for normalization.
+  std::vector<std::uint64_t> col_max(cols, 0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const auto it = cells_.find(first + static_cast<std::int64_t>(c));
+    if (it == cells_.end()) continue;
+    for (const auto v : it->second) col_max[c] = std::max(col_max[c], v);
+  }
+
+  static const char kGlyphs[] = " .:-=+*#%@";
+  std::string out;
+  for (std::size_t band = band_count(); band-- > 0;) {
+    out += band_label(band);
+    out += " |";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const auto it = cells_.find(first + static_cast<std::int64_t>(c));
+      const std::uint64_t v =
+          it != cells_.end() && band < it->second.size() ? it->second[band] : 0;
+      if (v == 0 || col_max[c] == 0) {
+        out += ' ';
+      } else {
+        const std::size_t idx =
+            1 + (v * 8) / col_max[c];  // 1..9
+        out += kGlyphs[std::min<std::size_t>(idx, 9)];
+      }
+    }
+    out += '\n';
+  }
+  out += "            +";
+  out.append(cols, '-');
+  out += '\n';
+  return out;
+}
+
+}  // namespace ruru

@@ -1,0 +1,48 @@
+#pragma once
+// Latency heatmap: time x latency-band counts — the Grafana heatmap
+// panel for "how is the latency *distribution* evolving", which medians
+// alone can't show (a bimodal glitch keeps the median flat while a band
+// lights up).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ruru {
+
+class LatencyHeatmap {
+ public:
+  /// `band_edges` ascending; bands are (-inf,e0), [e0,e1), ..., [eN,inf).
+  LatencyHeatmap(Duration time_bucket, std::vector<Duration> band_edges);
+
+  /// Default bands suited to WAN latencies: 50/100/150/200/300/600/1000/4000 ms.
+  static LatencyHeatmap with_default_bands(Duration time_bucket = Duration::from_sec(10.0));
+
+  void add(Timestamp t, Duration latency);
+
+  [[nodiscard]] std::size_t band_count() const { return edges_.size() + 1; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Count in (time bucket containing t, band index).
+  [[nodiscard]] std::uint64_t count_at(Timestamp t, std::size_t band) const;
+
+  /// ASCII panel over [t0, t1): rows = bands (highest latency on top),
+  /// one column per time bucket; glyphs ' .:-=+*#%@' scale with the
+  /// column-normalized count.
+  [[nodiscard]] std::string render_ascii(Timestamp t0, Timestamp t1) const;
+
+  [[nodiscard]] std::size_t band_for(Duration latency) const;
+  [[nodiscard]] std::string band_label(std::size_t band) const;
+
+ private:
+  Duration time_bucket_;
+  std::vector<Duration> edges_;
+  // time bucket index -> per-band counts
+  std::map<std::int64_t, std::vector<std::uint64_t>> cells_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ruru

@@ -1,0 +1,91 @@
+#include "analytics/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ruru {
+namespace {
+
+EnrichedSample make_sample(std::string src_city, std::string dst_city, std::uint32_t src_as,
+                           std::uint32_t dst_as, std::int64_t total_ms) {
+  EnrichedSample s;
+  s.client.city = std::move(src_city);
+  s.client.country = "NZ";
+  s.client.asn = src_as;
+  s.server.city = std::move(dst_city);
+  s.server.country = "US";
+  s.server.asn = dst_as;
+  s.total = Duration::from_ms(total_ms);
+  s.external = Duration::from_ms(total_ms - 5);
+  s.internal = Duration::from_ms(5);
+  s.completed_at = Timestamp::from_ms(total_ms);
+  return s;
+}
+
+TEST(Aggregator, CityPairKeying) {
+  LatencyAggregator agg(LatencyAggregator::Mode::kCityPair);
+  agg.add(make_sample("Auckland", "Los Angeles", 1, 2, 130));
+  agg.add(make_sample("Auckland", "Los Angeles", 1, 2, 134));
+  agg.add(make_sample("Wellington", "Los Angeles", 1, 2, 140));
+
+  const auto summaries = agg.summaries();
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].key, "Auckland|Los Angeles");  // most connections first
+  EXPECT_EQ(summaries[0].connections, 2u);
+  EXPECT_EQ(summaries[1].key, "Wellington|Los Angeles");
+  EXPECT_EQ(agg.total_connections(), 3u);
+  EXPECT_EQ(agg.pair_count(), 2u);
+}
+
+TEST(Aggregator, AsPairKeying) {
+  LatencyAggregator agg(LatencyAggregator::Mode::kAsPair);
+  agg.add(make_sample("A", "B", 9431, 15169, 130));
+  const auto summaries = agg.summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].key, "AS9431|AS15169");
+}
+
+TEST(Aggregator, CountryPairKeying) {
+  LatencyAggregator agg(LatencyAggregator::Mode::kCountryPair);
+  agg.add(make_sample("A", "B", 1, 2, 130));
+  EXPECT_EQ(agg.summaries()[0].key, "NZ|US");
+}
+
+TEST(Aggregator, StatsAreSane) {
+  LatencyAggregator agg(LatencyAggregator::Mode::kCityPair);
+  for (int i = 1; i <= 99; ++i) agg.add(make_sample("A", "B", 1, 2, i));
+  const auto s = agg.summaries()[0];
+  EXPECT_EQ(s.connections, 99u);
+  EXPECT_EQ(s.min_total.ns, Duration::from_ms(1).ns);
+  EXPECT_EQ(s.max_total.ns, Duration::from_ms(99).ns);
+  EXPECT_NEAR(static_cast<double>(s.median_total.ns), 50e6, 50e6 * 0.05);
+  EXPECT_NEAR(static_cast<double>(s.mean_total.ns), 50e6, 50e6 * 0.05);
+  EXPECT_GE(s.p99_total.ns, s.median_total.ns);
+}
+
+TEST(Aggregator, UnlocatedBucketsAsQuestionMark) {
+  LatencyAggregator agg(LatencyAggregator::Mode::kCityPair);
+  auto s = make_sample("Auckland", "X", 1, 2, 100);
+  s.server.located = false;
+  agg.add(s);
+  EXPECT_EQ(agg.summaries()[0].key, "Auckland|?");
+}
+
+TEST(Aggregator, ConcurrentAddsAreSafe) {
+  LatencyAggregator agg(LatencyAggregator::Mode::kCityPair);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&agg, t] {
+      for (int i = 0; i < 5'000; ++i) {
+        agg.add(make_sample("city" + std::to_string(t), "dst", 1, 2, 100 + i % 50));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(agg.total_connections(), 20'000u);
+  EXPECT_EQ(agg.pair_count(), 4u);
+}
+
+}  // namespace
+}  // namespace ruru

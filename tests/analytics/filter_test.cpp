@@ -1,0 +1,96 @@
+#include "analytics/filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ruru {
+namespace {
+
+EnrichedSample sample(const std::string& src_city, const std::string& dst_city,
+                      const std::string& src_cc, const std::string& dst_cc, std::uint32_t dst_as,
+                      std::int64_t total_ms) {
+  EnrichedSample s;
+  s.client.city = src_city;
+  s.client.country = src_cc;
+  s.client.asn = 9431;
+  s.server.city = dst_city;
+  s.server.country = dst_cc;
+  s.server.asn = dst_as;
+  s.server.latitude = 34.0;
+  s.server.longitude = -118.2;
+  s.total = Duration::from_ms(total_ms);
+  return s;
+}
+
+TEST(SampleFilter, CountryMatchesEitherEndpoint) {
+  const auto f = SampleFilter::country("NZ");
+  EXPECT_TRUE(f.accepts(sample("Auckland", "LA", "NZ", "US", 1, 100)));
+  EXPECT_TRUE(f.accepts(sample("LA", "Auckland", "US", "NZ", 1, 100)));
+  EXPECT_FALSE(f.accepts(sample("LA", "London", "US", "GB", 1, 100)));
+  EXPECT_EQ(f.name(), "country=NZ");
+}
+
+TEST(SampleFilter, CityAndAsn) {
+  EXPECT_TRUE(SampleFilter::city("Auckland").accepts(sample("Auckland", "LA", "NZ", "US", 1, 1)));
+  EXPECT_FALSE(SampleFilter::city("Sydney").accepts(sample("Auckland", "LA", "NZ", "US", 1, 1)));
+  EXPECT_TRUE(SampleFilter::asn(15169).accepts(sample("A", "B", "NZ", "US", 15169, 1)));
+  EXPECT_FALSE(SampleFilter::asn(15169).accepts(sample("A", "B", "NZ", "US", 3356, 1)));
+}
+
+TEST(SampleFilter, LatencyBands) {
+  const auto band = SampleFilter::latency_between(Duration::from_ms(100), Duration::from_ms(200));
+  EXPECT_FALSE(band.accepts(sample("A", "B", "NZ", "US", 1, 99)));
+  EXPECT_TRUE(band.accepts(sample("A", "B", "NZ", "US", 1, 100)));
+  EXPECT_TRUE(band.accepts(sample("A", "B", "NZ", "US", 1, 199)));
+  EXPECT_FALSE(band.accepts(sample("A", "B", "NZ", "US", 1, 200)));
+
+  const auto red = SampleFilter::latency_at_least(Duration::from_ms(600));
+  EXPECT_TRUE(red.accepts(sample("A", "B", "NZ", "US", 1, 4130)));
+  EXPECT_FALSE(red.accepts(sample("A", "B", "NZ", "US", 1, 130)));
+}
+
+TEST(SampleFilter, GeoBox) {
+  const auto box = SampleFilter::server_in_box(30.0, 40.0, -125.0, -110.0);
+  EXPECT_TRUE(box.accepts(sample("A", "LA", "NZ", "US", 1, 1)));
+  auto outside = sample("A", "B", "NZ", "US", 1, 1);
+  outside.server.latitude = 51.5;
+  EXPECT_FALSE(box.accepts(outside));
+  auto unlocated = sample("A", "B", "NZ", "US", 1, 1);
+  unlocated.server.located = false;
+  EXPECT_FALSE(box.accepts(unlocated));
+}
+
+TEST(FilterChain, ForwardsOnlyFullMatches) {
+  std::vector<std::int64_t> forwarded;
+  FilterChain chain([&](const EnrichedSample& s) { forwarded.push_back(s.total.ns); });
+  chain.add(SampleFilter::country("NZ")).add(SampleFilter::latency_at_least(Duration::from_ms(500)));
+
+  chain(sample("Auckland", "LA", "NZ", "US", 1, 4130));  // passes both
+  chain(sample("Auckland", "LA", "NZ", "US", 1, 130));   // fails latency
+  chain(sample("LA", "London", "US", "GB", 1, 4130));    // fails country
+
+  ASSERT_EQ(forwarded.size(), 1u);
+  EXPECT_EQ(forwarded[0], Duration::from_ms(4130).ns);
+  EXPECT_EQ(chain.seen(), 3u);
+  EXPECT_EQ(chain.forwarded(), 1u);
+  EXPECT_EQ(chain.passed(0), 2u);  // country stage passed twice
+  EXPECT_EQ(chain.passed(1), 1u);
+  EXPECT_EQ(chain.stage_count(), 2u);
+}
+
+TEST(FilterChain, EmptyChainForwardsEverything) {
+  int n = 0;
+  FilterChain chain([&](const EnrichedSample&) { ++n; });
+  chain(sample("A", "B", "NZ", "US", 1, 1));
+  chain(sample("A", "B", "NZ", "US", 1, 2));
+  EXPECT_EQ(n, 2);
+}
+
+TEST(FilterChain, NullSinkCountsButDoesNotCrash) {
+  FilterChain chain(nullptr);
+  chain(sample("A", "B", "NZ", "US", 1, 1));
+  EXPECT_EQ(chain.seen(), 1u);
+  EXPECT_EQ(chain.forwarded(), 1u);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,95 @@
+#include "analytics/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "geo/world.hpp"
+
+namespace ruru {
+namespace {
+
+class PoolTest : public ::testing::Test {
+ protected:
+  PoolTest() {
+    auto w = build_world(large_world_sites(8));
+    EXPECT_TRUE(w.ok());
+    world_ = std::make_unique<World>(std::move(w).value());
+  }
+
+  LatencySample sample(std::uint32_t client_ip) {
+    LatencySample s;
+    s.client = Ipv4Address(client_ip);
+    s.server = Ipv4Address((100u << 24) + 7);
+    s.syn_time = Timestamp::from_ms(0);
+    s.synack_time = Timestamp::from_ms(100);
+    s.ack_time = Timestamp::from_ms(105);
+    return s;
+  }
+
+  std::unique_ptr<World> world_;
+};
+
+TEST_F(PoolTest, ProcessesAllPublishedSamples) {
+  PubSocket bus;
+  auto sub = bus.subscribe(std::string(kLatencyTopic), 1 << 14);
+  EnrichmentPool pool(sub, world_->geo, world_->as, 3);
+  std::atomic<int> sunk{0};
+  pool.add_sink([&](const EnrichedSample&) { sunk.fetch_add(1); });
+  pool.start();
+
+  constexpr int kCount = 2'000;
+  for (int i = 0; i < kCount; ++i) {
+    bus.publish(encode_latency_sample(sample((100u << 24) + static_cast<std::uint32_t>(i % 4096))));
+  }
+  bus.close_all();
+  pool.stop();
+
+  EXPECT_EQ(pool.processed(), static_cast<std::uint64_t>(kCount));
+  EXPECT_EQ(sunk.load(), kCount);
+  EXPECT_EQ(pool.decode_failures(), 0u);
+  EXPECT_EQ(pool.combined_stats().enriched, static_cast<std::uint64_t>(kCount));
+}
+
+TEST_F(PoolTest, CountsDecodeFailures) {
+  PubSocket bus;
+  auto sub = bus.subscribe("", 128);
+  EnrichmentPool pool(sub, world_->geo, world_->as, 1);
+  pool.start();
+
+  Message bogus("ruru.latency");
+  bogus.add(Frame::from_string("not a sample"));
+  bus.publish(bogus);
+  Message no_payload("ruru.latency");
+  bus.publish(no_payload);
+  bus.close_all();
+  pool.stop();
+
+  EXPECT_EQ(pool.decode_failures(), 2u);
+  EXPECT_EQ(pool.processed(), 0u);
+}
+
+TEST_F(PoolTest, MultipleSinksAllInvoked) {
+  PubSocket bus;
+  auto sub = bus.subscribe("", 128);
+  EnrichmentPool pool(sub, world_->geo, world_->as, 2);
+  std::atomic<int> a{0}, b{0};
+  pool.add_sink([&](const EnrichedSample&) { a.fetch_add(1); });
+  pool.add_sink([&](const EnrichedSample&) { b.fetch_add(1); });
+  pool.start();
+  for (int i = 0; i < 100; ++i) bus.publish(encode_latency_sample(sample((100u << 24) + 1)));
+  bus.close_all();
+  pool.stop();
+  EXPECT_EQ(a.load(), 100);
+  EXPECT_EQ(b.load(), 100);
+}
+
+TEST_F(PoolTest, StopWithoutStartIsSafe) {
+  PubSocket bus;
+  auto sub = bus.subscribe("", 16);
+  EnrichmentPool pool(sub, world_->geo, world_->as, 2);
+  pool.stop();  // no crash
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,108 @@
+#include "anomaly/conncount_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ruru {
+namespace {
+
+ConnCountConfig config() {
+  ConnCountConfig cfg;
+  cfg.window = Duration::from_sec(10.0);
+  cfg.alpha = 0.2;
+  cfg.k_sigma = 5.0;
+  cfg.min_sigma = 2.0;
+  cfg.warmup_windows = 3;
+  cfg.min_count = 20;
+  return cfg;
+}
+
+EnrichedSample sample(const std::string& src, const std::string& dst, Timestamp t) {
+  EnrichedSample s;
+  s.client.city = src;
+  s.server.city = dst;
+  s.total = Duration::from_ms(130);
+  s.completed_at = t;
+  return s;
+}
+
+// Feed `count` connections for the pair inside window `w`.
+void feed_window(ConnCountDetector& d, int w, int count, const std::string& src = "Auckland") {
+  for (int i = 0; i < count; ++i) {
+    d.add(sample(src, "Los Angeles",
+                 Timestamp::from_sec(w * 10.0) + Duration::from_ms(i % 9'000)));
+  }
+}
+
+TEST(ConnCountDetector, SteadyTrafficNoAlerts) {
+  ConnCountDetector d(config());
+  for (int w = 0; w < 20; ++w) feed_window(d, w, 10);
+  std::vector<Alert> alerts;
+  d.flush(alerts);
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(ConnCountDetector, DetectsConnectionSurge) {
+  ConnCountDetector d(config());
+  for (int w = 0; w < 10; ++w) feed_window(d, w, 10);
+  feed_window(d, 10, 300);  // 30x surge
+  feed_window(d, 11, 10);   // closes the surge window
+  std::vector<Alert> alerts;
+  d.flush(alerts);
+  ASSERT_GE(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, "conn-count");
+  EXPECT_EQ(alerts[0].subject, "Auckland|Los Angeles");
+  EXPECT_GT(alerts[0].score, 5.0);
+}
+
+TEST(ConnCountDetector, WarmupSuppressesEarlyAlerts) {
+  ConnCountDetector d(config());
+  feed_window(d, 0, 500);
+  feed_window(d, 1, 1);  // close window 0 during warmup
+  std::vector<Alert> alerts;
+  d.flush(alerts);
+  // Window 0 is within warmup_windows=3 -> silent even though huge.
+  for (const auto& a : alerts) EXPECT_NE(a.time.ns, 0);
+}
+
+TEST(ConnCountDetector, SmallSpikesBelowMinCountIgnored) {
+  auto cfg = config();
+  cfg.min_count = 50;
+  ConnCountDetector d(cfg);
+  for (int w = 0; w < 10; ++w) feed_window(d, w, 2);
+  feed_window(d, 10, 30);  // big z-score but below min_count
+  feed_window(d, 11, 2);
+  std::vector<Alert> alerts;
+  d.flush(alerts);
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(ConnCountDetector, PairsAreIndependent) {
+  ConnCountDetector d(config());
+  for (int w = 0; w < 10; ++w) {
+    feed_window(d, w, 10, "Auckland");
+    feed_window(d, w, 10, "Wellington");
+  }
+  feed_window(d, 10, 10, "Auckland");
+  feed_window(d, 10, 400, "Wellington");
+  feed_window(d, 11, 1, "Auckland");
+  std::vector<Alert> alerts;
+  d.flush(alerts);
+  ASSERT_GE(alerts.size(), 1u);
+  for (const auto& a : alerts) {
+    EXPECT_EQ(a.subject, "Wellington|Los Angeles");
+  }
+}
+
+TEST(ConnCountDetector, SurgeNotAbsorbedIntoBaseline) {
+  ConnCountDetector d(config());
+  for (int w = 0; w < 10; ++w) feed_window(d, w, 10);
+  feed_window(d, 10, 300);
+  feed_window(d, 11, 300);  // sustained surge keeps alerting
+  feed_window(d, 12, 1);
+  std::vector<Alert> alerts;
+  d.flush(alerts);
+  EXPECT_GE(alerts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,84 @@
+#include "anomaly/ewma_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace ruru {
+namespace {
+
+TEST(EwmaDetector, NoAlertDuringWarmup) {
+  EwmaConfig cfg;
+  cfg.warmup = 50;
+  EwmaDetector d(cfg);
+  // Even a wild value during warmup stays silent.
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(d.update(Timestamp::from_ms(i), 100.0).has_value());
+  EXPECT_FALSE(d.update(Timestamp::from_ms(21), 100000.0).has_value());
+}
+
+TEST(EwmaDetector, DetectsSpikeAfterWarmup) {
+  EwmaConfig cfg;
+  cfg.warmup = 100;
+  cfg.k_sigma = 4.0;
+  EwmaDetector d(cfg);
+  Pcg32 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double v = 130.0 + rng.normal(0.0, 3.0);
+    ASSERT_FALSE(d.update(Timestamp::from_ms(i), v).has_value()) << "false positive at " << i;
+  }
+  // The firewall glitch: +4000 ms.
+  const auto alert = d.update(Timestamp::from_ms(1000), 4130.0);
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(alert->kind, "latency-spike");
+  EXPECT_GT(alert->score, 4.0);
+  EXPECT_EQ(alert->time.ns, Timestamp::from_ms(1000).ns);
+}
+
+TEST(EwmaDetector, AnomaliesDontPoisonBaseline) {
+  EwmaConfig cfg;
+  cfg.warmup = 50;
+  EwmaDetector d(cfg);
+  for (int i = 0; i < 200; ++i) d.update(Timestamp::from_ms(i), 100.0);
+  const double mean_before = d.mean();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(d.update(Timestamp::from_ms(300 + i), 5000.0).has_value());
+  }
+  EXPECT_DOUBLE_EQ(d.mean(), mean_before);  // spikes rejected from baseline
+}
+
+TEST(EwmaDetector, TracksSlowDrift) {
+  EwmaConfig cfg;
+  cfg.warmup = 50;
+  cfg.alpha = 0.05;
+  EwmaDetector d(cfg);
+  // Latency drifts from 100 to 150 over 2000 samples: no alerts, and the
+  // baseline follows.
+  for (int i = 0; i < 2000; ++i) {
+    const double v = 100.0 + 50.0 * (static_cast<double>(i) / 2000.0);
+    EXPECT_FALSE(d.update(Timestamp::from_ms(i), v).has_value()) << i;
+  }
+  EXPECT_NEAR(d.mean(), 150.0, 5.0);
+}
+
+TEST(EwmaDetector, VarianceFloorPreventsZeroSigmaBlowups) {
+  EwmaConfig cfg;
+  cfg.warmup = 10;
+  cfg.min_sigma_ms = 0.5;
+  EwmaDetector d(cfg);
+  for (int i = 0; i < 100; ++i) d.update(Timestamp::from_ms(i), 100.0);  // zero variance
+  EXPECT_GE(d.stddev(), 0.5);
+  // +1 ms on a perfectly flat series: not 4 "sigma" with the floor.
+  EXPECT_FALSE(d.update(Timestamp::from_ms(200), 101.0).has_value());
+  // But +10 ms is.
+  EXPECT_TRUE(d.update(Timestamp::from_ms(201), 110.0).has_value());
+}
+
+TEST(EwmaDetector, SamplesCounted) {
+  EwmaDetector d;
+  d.update(Timestamp{}, 1.0);
+  d.update(Timestamp{}, 1.0);
+  EXPECT_EQ(d.samples(), 2u);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,129 @@
+#include "anomaly/heavy_hitters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "util/random.hpp"
+
+namespace ruru {
+namespace {
+
+TEST(SpaceSaving, ExactWhenUnderCapacity) {
+  SpaceSaving<std::string> ss(10);
+  for (int i = 0; i < 5; ++i) ss.add("a");
+  for (int i = 0; i < 3; ++i) ss.add("b");
+  ss.add("c");
+  const auto top = ss.top(10);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "a");
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, "b");
+  EXPECT_EQ(top[2].key, "c");
+  EXPECT_EQ(ss.total(), 9u);
+}
+
+TEST(SpaceSaving, EvictsMinimumAndTracksError) {
+  SpaceSaving<int> ss(2);
+  ss.add(1);
+  ss.add(1);
+  ss.add(2);
+  // Table full {1:2, 2:1}; adding 3 evicts key 2 (min count 1).
+  ss.add(3);
+  const auto top = ss.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  // Both survivors have count 2 (tie order unspecified); key 2 is gone.
+  const SpaceSaving<int>::Entry* e1 = nullptr;
+  const SpaceSaving<int>::Entry* e3 = nullptr;
+  for (const auto& e : top) {
+    ASSERT_NE(e.key, 2);
+    if (e.key == 1) e1 = &e;
+    if (e.key == 3) e3 = &e;
+  }
+  ASSERT_NE(e1, nullptr);
+  ASSERT_NE(e3, nullptr);
+  EXPECT_EQ(e1->count, 2u);
+  EXPECT_EQ(e1->error, 0u);
+  EXPECT_EQ(e3->count, 2u);  // inherited min + 1
+  EXPECT_EQ(e3->error, 1u);  // could be overestimated by the min
+}
+
+TEST(SpaceSaving, HeavyHitterAlwaysSurvives) {
+  // Guarantee: any key with true count > N/capacity stays in the table.
+  Pcg32 rng(42);
+  SpaceSaving<int> ss(64);
+  std::map<int, std::uint64_t> truth;
+  const int kHeavy = 7;
+  for (int i = 0; i < 100'000; ++i) {
+    // 20% heavy key, rest spread across 10k noise keys.
+    const int key = rng.chance(0.2) ? kHeavy : 1000 + static_cast<int>(rng.bounded(10'000));
+    ss.add(key);
+    ++truth[key];
+  }
+  const auto top = ss.top(1);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].key, kHeavy);
+  // Count bounds: true <= count and count - error <= true.
+  EXPECT_GE(top[0].count, truth[kHeavy]);
+  EXPECT_LE(top[0].count - top[0].error, truth[kHeavy]);
+}
+
+TEST(SpaceSaving, CertainAboveHasNoFalsePositives) {
+  Pcg32 rng(7);
+  SpaceSaving<int> ss(32);
+  std::map<int, std::uint64_t> truth;
+  for (int i = 0; i < 50'000; ++i) {
+    int key;
+    const double u = rng.uniform();
+    if (u < 0.3) {
+      key = 1;
+    } else if (u < 0.5) {
+      key = 2;
+    } else {
+      key = 100 + static_cast<int>(rng.bounded(5'000));
+    }
+    ss.add(key);
+    ++truth[key];
+  }
+  for (const auto& e : ss.certain_above(5'000)) {
+    EXPECT_GE(truth[e.key], 5'000u) << "false positive key " << e.key;
+  }
+  // And the genuinely heavy keys are reported.
+  bool has1 = false, has2 = false;
+  for (const auto& e : ss.certain_above(5'000)) {
+    has1 |= e.key == 1;
+    has2 |= e.key == 2;
+  }
+  EXPECT_TRUE(has1);
+  EXPECT_TRUE(has2);
+}
+
+TEST(SpaceSaving, SizeBounded) {
+  SpaceSaving<int> ss(16);
+  for (int i = 0; i < 10'000; ++i) ss.add(i);
+  EXPECT_EQ(ss.size(), 16u);
+  EXPECT_EQ(ss.capacity(), 16u);
+  EXPECT_EQ(ss.total(), 10'000u);
+}
+
+TEST(SpaceSaving, WeightedAdds) {
+  SpaceSaving<std::string> ss(4);
+  ss.add("bytes-from-a", 1'500);
+  ss.add("bytes-from-b", 64);
+  ss.add("bytes-from-a", 9'000);
+  const auto top = ss.top(1);
+  EXPECT_EQ(top[0].key, "bytes-from-a");
+  EXPECT_EQ(top[0].count, 10'500u);
+}
+
+TEST(SpaceSaving, ZeroCapacityClampsToOne) {
+  SpaceSaving<int> ss(0);
+  ss.add(1);
+  ss.add(2);
+  EXPECT_EQ(ss.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ruru

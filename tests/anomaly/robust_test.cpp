@@ -1,0 +1,82 @@
+#include "anomaly/robust_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace ruru {
+namespace {
+
+TEST(RobustDetector, SilentDuringWarmup) {
+  RobustConfig cfg;
+  cfg.min_samples = 64;
+  RobustMadDetector d(cfg);
+  for (int i = 0; i < 63; ++i) {
+    EXPECT_FALSE(d.update(Timestamp::from_ms(i), 100.0 + (i % 5)).has_value());
+  }
+}
+
+TEST(RobustDetector, DetectsOutlierAfterWarmup) {
+  RobustMadDetector d;
+  Pcg32 rng(6);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_FALSE(d.update(Timestamp::from_ms(i), 128.0 + rng.normal(0, 2.0)).has_value()) << i;
+  }
+  const auto alert = d.update(Timestamp::from_ms(500), 4128.0);
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(alert->kind, "latency-outlier");
+  EXPECT_GT(alert->score, 6.0);
+}
+
+TEST(RobustDetector, MedianAndSigmaTrackWindow) {
+  RobustConfig cfg;
+  cfg.window = 101;
+  cfg.min_samples = 10;
+  RobustMadDetector d(cfg);
+  for (int i = 0; i < 101; ++i) d.update(Timestamp::from_ms(i), static_cast<double>(i));
+  EXPECT_NEAR(d.median(), 50.0, 1.0);
+  EXPECT_GT(d.robust_sigma(), 10.0);  // wide spread
+}
+
+TEST(RobustDetector, ToleratesHeavyContamination) {
+  // 30% of samples are moderately high: MAD stays anchored at the bulk,
+  // EWMA-style mean/variance would have been dragged.
+  RobustConfig cfg;
+  cfg.k = 6.0;
+  RobustMadDetector d(cfg);
+  Pcg32 rng(7);
+  int alerts = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.chance(0.3) ? 200.0 : 100.0 + rng.normal(0, 2.0);
+    if (d.update(Timestamp::from_ms(i), v).has_value()) ++alerts;
+  }
+  // Median stays near 100 despite contamination.
+  EXPECT_NEAR(d.median(), 100.0, 10.0);
+  // A true extreme still fires.
+  EXPECT_TRUE(d.update(Timestamp::from_ms(2000), 5000.0).has_value());
+}
+
+TEST(RobustDetector, OutliersNotAdmittedToWindow) {
+  RobustConfig cfg;
+  cfg.min_samples = 32;
+  RobustMadDetector d(cfg);
+  for (int i = 0; i < 100; ++i) d.update(Timestamp::from_ms(i), 100.0 + (i % 3));
+  const double med_before = d.median();
+  for (int i = 0; i < 50; ++i) d.update(Timestamp::from_ms(200 + i), 9000.0);
+  EXPECT_NEAR(d.median(), med_before, 2.0);
+}
+
+TEST(RobustDetector, MadFloorProtectsFlatSeries) {
+  RobustConfig cfg;
+  cfg.min_samples = 16;
+  cfg.min_mad_ms = 0.25;
+  cfg.k = 6.0;
+  RobustMadDetector d(cfg);
+  for (int i = 0; i < 64; ++i) d.update(Timestamp::from_ms(i), 100.0);  // MAD == 0
+  EXPECT_GE(d.robust_sigma(), 0.25);
+  EXPECT_FALSE(d.update(Timestamp::from_ms(100), 101.0).has_value());
+  EXPECT_TRUE(d.update(Timestamp::from_ms(101), 103.0).has_value());
+}
+
+}  // namespace
+}  // namespace ruru

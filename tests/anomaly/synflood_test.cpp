@@ -1,0 +1,100 @@
+#include "anomaly/synflood_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ruru {
+namespace {
+
+SynFloodConfig config() {
+  SynFloodConfig cfg;
+  cfg.window = Duration::from_sec(1.0);
+  cfg.min_syns = 100;
+  cfg.max_completion_ratio = 0.2;
+  return cfg;
+}
+
+TEST(SynFloodDetector, DetectsBareSynBurst) {
+  SynFloodDetector d(config());
+  const Ipv4Address target(10, 1, 0, 80);
+  for (int i = 0; i < 500; ++i) {
+    d.on_syn(Timestamp::from_ms(i * 2), target);  // 500 SYNs in 1 s
+  }
+  std::vector<Alert> alerts;
+  d.flush(alerts);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, "syn-flood");
+  EXPECT_EQ(alerts[0].subject, "10.1.0.80");
+  EXPECT_GT(alerts[0].score, 400.0);
+}
+
+TEST(SynFloodDetector, HealthyTrafficDoesNotAlert) {
+  SynFloodDetector d(config());
+  const Ipv4Address target(10, 2, 0, 1);
+  for (int i = 0; i < 500; ++i) {
+    d.on_syn(Timestamp::from_ms(i * 2), target);
+    d.on_completion(Timestamp::from_ms(i * 2 + 1), target);  // every SYN completes
+  }
+  std::vector<Alert> alerts;
+  d.flush(alerts);
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(SynFloodDetector, LowVolumeIgnored) {
+  SynFloodDetector d(config());
+  const Ipv4Address target(10, 2, 0, 2);
+  for (int i = 0; i < 50; ++i) d.on_syn(Timestamp::from_ms(i), target);  // < min_syns
+  std::vector<Alert> alerts;
+  d.flush(alerts);
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(SynFloodDetector, WindowsCloseAsTimeAdvances) {
+  SynFloodDetector d(config());
+  const Ipv4Address target(10, 1, 0, 80);
+  // Flood in window [0,1); normal in [1,2).
+  for (int i = 0; i < 300; ++i) d.on_syn(Timestamp::from_ms(i * 3), target);
+  // Crossing into the next window closes the first one.
+  d.on_syn(Timestamp::from_ms(1500), target);
+  const auto alerts = d.take_alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].time.ns, 0);
+}
+
+TEST(SynFloodDetector, PerTargetIsolation) {
+  SynFloodDetector d(config());
+  const Ipv4Address victim(10, 1, 0, 80);
+  const Ipv4Address healthy(10, 1, 0, 81);
+  for (int i = 0; i < 300; ++i) {
+    d.on_syn(Timestamp::from_ms(i * 3), victim);  // flood, no completions
+    d.on_syn(Timestamp::from_ms(i * 3), healthy);
+    d.on_completion(Timestamp::from_ms(i * 3 + 1), healthy);
+  }
+  std::vector<Alert> alerts;
+  d.flush(alerts);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].subject, victim.to_string());
+}
+
+TEST(SynFloodDetector, GapSpanningMultipleWindows) {
+  SynFloodDetector d(config());
+  const Ipv4Address target(10, 1, 0, 80);
+  for (int i = 0; i < 300; ++i) d.on_syn(Timestamp::from_ms(i * 3), target);
+  // A long quiet gap: the flood window still closes exactly once.
+  d.on_syn(Timestamp::from_sec(100), target);
+  EXPECT_EQ(d.take_alerts().size(), 1u);
+  EXPECT_TRUE(d.take_alerts().empty());
+}
+
+TEST(SynFloodDetector, FlushIsIdempotent) {
+  SynFloodDetector d(config());
+  const Ipv4Address target(10, 1, 0, 80);
+  for (int i = 0; i < 300; ++i) d.on_syn(Timestamp::from_ms(i * 3), target);
+  std::vector<Alert> a1, a2;
+  d.flush(a1);
+  d.flush(a2);
+  EXPECT_EQ(a1.size(), 1u);
+  EXPECT_TRUE(a2.empty());
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,132 @@
+#include "baseline/pping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet_builder.hpp"
+
+namespace ruru {
+namespace {
+
+class PpingHarness {
+ public:
+  std::optional<RttSample> feed(const TcpFrameSpec& spec, Timestamp t) {
+    const auto frame = build_tcp_frame(spec);
+    PacketView view;
+    EXPECT_EQ(parse_packet(frame, view), ParseStatus::kOk);
+    return estimator_.process(view, t);
+  }
+  PpingEstimator& estimator() { return estimator_; }
+
+ private:
+  PpingEstimator estimator_;
+};
+
+TcpFrameSpec pkt(Ipv4Address src, std::uint16_t sp, Ipv4Address dst, std::uint16_t dp,
+                 std::uint32_t tsval, std::uint32_t tsecr, std::uint8_t flags = TcpFlags::kAck) {
+  TcpFrameSpec s;
+  s.src_ip = src;
+  s.dst_ip = dst;
+  s.src_port = sp;
+  s.dst_port = dp;
+  s.flags = flags;
+  s.with_timestamps = true;
+  s.ts_val = tsval;
+  s.ts_ecr = tsecr;
+  return s;
+}
+
+const Ipv4Address kClient(10, 1, 0, 1);
+const Ipv4Address kServer(10, 2, 0, 1);
+
+TEST(Pping, MatchesTimestampEcho) {
+  PpingHarness h;
+  // Client -> server with TSval 100 at t=0.
+  EXPECT_FALSE(h.feed(pkt(kClient, 40'000, kServer, 443, 100, 0), Timestamp::from_ms(0)).has_value());
+  // Server -> client echoing 100 at t=128: one external half-RTT sample.
+  const auto s = h.feed(pkt(kServer, 443, kClient, 40'000, 900, 100), Timestamp::from_ms(128));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->rtt.ns, Duration::from_ms(128).ns);
+  // The stimulus was the client's packet (heading to the server).
+  EXPECT_TRUE(s->stimulus.src == IpAddress(kClient));
+  EXPECT_TRUE(s->stimulus.dst == IpAddress(kServer));
+  EXPECT_EQ(s->at.ns, Timestamp::from_ms(128).ns);
+}
+
+TEST(Pping, ProducesSamplesInBothDirections) {
+  PpingHarness h;
+  h.feed(pkt(kClient, 1, kServer, 2, 100, 0), Timestamp::from_ms(0));
+  const auto ext = h.feed(pkt(kServer, 2, kClient, 1, 500, 100), Timestamp::from_ms(128));
+  ASSERT_TRUE(ext.has_value());
+  // Client acks the server's tsval 500 five ms later: internal half.
+  const auto in = h.feed(pkt(kClient, 1, kServer, 2, 101, 500), Timestamp::from_ms(133));
+  ASSERT_TRUE(in.has_value());
+  EXPECT_EQ(in->rtt.ns, Duration::from_ms(5).ns);
+  EXPECT_TRUE(in->stimulus.src == IpAddress(kServer));
+}
+
+TEST(Pping, EachTsvalMatchedOnce) {
+  PpingHarness h;
+  h.feed(pkt(kClient, 1, kServer, 2, 100, 0), Timestamp::from_ms(0));
+  ASSERT_TRUE(h.feed(pkt(kServer, 2, kClient, 1, 500, 100), Timestamp::from_ms(50)).has_value());
+  // A second echo of the same tsval (delayed ack) yields no sample.
+  EXPECT_FALSE(h.feed(pkt(kServer, 2, kClient, 1, 501, 100), Timestamp::from_ms(60)).has_value());
+}
+
+TEST(Pping, RetransmissionDoesNotRefreshTimestamp) {
+  PpingHarness h;
+  h.feed(pkt(kClient, 1, kServer, 2, 100, 0), Timestamp::from_ms(0));
+  // Retransmission of the same tsval at t=30.
+  h.feed(pkt(kClient, 1, kServer, 2, 100, 0), Timestamp::from_ms(30));
+  const auto s = h.feed(pkt(kServer, 2, kClient, 1, 500, 100), Timestamp::from_ms(128));
+  ASSERT_TRUE(s.has_value());
+  // Measured from the FIRST transmission.
+  EXPECT_EQ(s->rtt.ns, Duration::from_ms(128).ns);
+}
+
+TEST(Pping, PacketsWithoutTimestampsIgnored) {
+  PpingHarness h;
+  TcpFrameSpec plain = pkt(kClient, 1, kServer, 2, 0, 0);
+  plain.with_timestamps = false;
+  EXPECT_FALSE(h.feed(plain, Timestamp::from_ms(0)).has_value());
+  EXPECT_EQ(h.estimator().stats().with_timestamps, 0u);
+  EXPECT_EQ(h.estimator().stats().packets, 1u);
+}
+
+TEST(Pping, DistinctFlowsDoNotCrossMatch) {
+  PpingHarness h;
+  h.feed(pkt(kClient, 1, kServer, 2, 100, 0), Timestamp::from_ms(0));
+  // Same tsval on a different flow must not match.
+  const auto s =
+      h.feed(pkt(kServer, 9, Ipv4Address(10, 1, 0, 99), 8, 500, 100), Timestamp::from_ms(50));
+  EXPECT_FALSE(s.has_value());
+}
+
+TEST(Pping, StateGrowsPerPacketUnlikeRuru) {
+  PpingHarness h;
+  // 100 packets with distinct tsvals -> ~100 entries (per-packet state).
+  for (int i = 0; i < 100; ++i) {
+    h.feed(pkt(kClient, 1, kServer, 2, 1000 + static_cast<std::uint32_t>(i), 0),
+           Timestamp::from_ms(i));
+  }
+  EXPECT_GE(h.estimator().entries(), 100u);
+  EXPECT_GE(h.estimator().stats().peak_entries, 100u);
+}
+
+TEST(Pping, StaleSweepBoundsMemory) {
+  PpingConfig cfg;
+  cfg.max_entries = 50;
+  cfg.stale_after = Duration::from_ms(100);
+  PpingEstimator est(cfg);
+  for (int i = 0; i < 200; ++i) {
+    TcpFrameSpec s = pkt(kClient, 1, kServer, 2, static_cast<std::uint32_t>(i + 1), 0);
+    const auto frame = build_tcp_frame(s);
+    PacketView view;
+    ASSERT_EQ(parse_packet(frame, view), ParseStatus::kOk);
+    est.process(view, Timestamp::from_ms(i * 10));  // entries age out
+  }
+  EXPECT_LE(est.entries(), 60u);
+  EXPECT_GT(est.stats().stale_evictions, 0u);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,145 @@
+#include "baseline/tcptrace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet_builder.hpp"
+
+namespace ruru {
+namespace {
+
+class TtHarness {
+ public:
+  explicit TtHarness(TcptraceConfig cfg = {}) : estimator_(cfg) {}
+
+  std::optional<RttSample> feed(const TcpFrameSpec& spec, Timestamp t) {
+    const auto frame = build_tcp_frame(spec);
+    PacketView view;
+    EXPECT_EQ(parse_packet(frame, view), ParseStatus::kOk);
+    return estimator_.process(view, t);
+  }
+  TcptraceEstimator& estimator() { return estimator_; }
+
+ private:
+  TcptraceEstimator estimator_;
+};
+
+const Ipv4Address kClient(10, 1, 0, 1);
+const Ipv4Address kServer(10, 2, 0, 1);
+
+TcpFrameSpec data_pkt(bool c2s, std::uint32_t seq, std::uint32_t ack, std::size_t len,
+                      std::uint8_t flags = TcpFlags::kAck) {
+  TcpFrameSpec s;
+  s.src_ip = c2s ? kClient : kServer;
+  s.dst_ip = c2s ? kServer : kClient;
+  s.src_port = c2s ? 40'000 : 443;
+  s.dst_port = c2s ? 443 : 40'000;
+  s.seq = seq;
+  s.ack = ack;
+  s.payload_length = len;
+  s.flags = flags;
+  return s;
+}
+
+TEST(Tcptrace, MatchesDataSegmentWithAck) {
+  TtHarness h;
+  // Client sends 100 bytes at seq 1000, t=0.
+  EXPECT_FALSE(h.feed(data_pkt(true, 1000, 500, 100), Timestamp::from_ms(0)).has_value());
+  // Server acks 1100 at t=128.
+  const auto s = h.feed(data_pkt(false, 500, 1100, 0), Timestamp::from_ms(128));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->rtt.ns, Duration::from_ms(128).ns);
+  EXPECT_TRUE(s->stimulus.src == IpAddress(kClient));
+}
+
+TEST(Tcptrace, SynCounsumesOneSequenceNumber) {
+  TtHarness h;
+  TcpFrameSpec syn = data_pkt(true, 1000, 0, 0, TcpFlags::kSyn);
+  EXPECT_FALSE(h.feed(syn, Timestamp::from_ms(0)).has_value());
+  // SYN-ACK acks 1001.
+  const auto s = h.feed(data_pkt(false, 500, 1001, 0, TcpFlags::kSyn | TcpFlags::kAck),
+                        Timestamp::from_ms(130));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->rtt.ns, Duration::from_ms(130).ns);
+}
+
+TEST(Tcptrace, KarnRuleInvalidatesRetransmissions) {
+  TtHarness h;
+  h.feed(data_pkt(true, 1000, 0, 100), Timestamp::from_ms(0));
+  // Retransmission of the same segment.
+  h.feed(data_pkt(true, 1000, 0, 100), Timestamp::from_ms(200));
+  // The eventual ack is ambiguous -> no sample.
+  EXPECT_FALSE(h.feed(data_pkt(false, 500, 1100, 0), Timestamp::from_ms(250)).has_value());
+  EXPECT_EQ(h.estimator().stats().karn_invalidations, 1u);
+  EXPECT_EQ(h.estimator().stats().samples, 0u);
+}
+
+TEST(Tcptrace, OnlyOneOutstandingSamplePerDirection) {
+  TtHarness h;
+  h.feed(data_pkt(true, 1000, 0, 100), Timestamp::from_ms(0));
+  // A second segment while the first is outstanding is not measured.
+  h.feed(data_pkt(true, 1100, 0, 100), Timestamp::from_ms(5));
+  // Cumulative ack covers both: one sample, for the first segment.
+  const auto s = h.feed(data_pkt(false, 500, 1200, 0), Timestamp::from_ms(128));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->rtt.ns, Duration::from_ms(128).ns);
+  EXPECT_EQ(h.estimator().stats().samples, 1u);
+}
+
+TEST(Tcptrace, BothDirectionsMeasuredIndependently) {
+  TtHarness h;
+  h.feed(data_pkt(true, 1000, 500, 100), Timestamp::from_ms(0));     // client data
+  h.feed(data_pkt(false, 500, 1100, 200), Timestamp::from_ms(128));  // server acks + data
+  // Client acks the server's 200 bytes 5 ms later.
+  const auto s = h.feed(data_pkt(true, 1100, 700, 0), Timestamp::from_ms(133));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->rtt.ns, Duration::from_ms(5).ns);
+  EXPECT_TRUE(s->stimulus.src == IpAddress(kServer));
+  EXPECT_EQ(h.estimator().stats().samples, 2u);
+}
+
+TEST(Tcptrace, PartialAckDoesNotMatch) {
+  TtHarness h;
+  h.feed(data_pkt(true, 1000, 0, 100), Timestamp::from_ms(0));
+  // Ack below expected_ack (1100): not a match.
+  EXPECT_FALSE(h.feed(data_pkt(false, 500, 1050, 0), Timestamp::from_ms(50)).has_value());
+  // Full ack matches.
+  EXPECT_TRUE(h.feed(data_pkt(false, 500, 1100, 0), Timestamp::from_ms(60)).has_value());
+}
+
+TEST(Tcptrace, PureAcksAreNotStimuli) {
+  TtHarness h;
+  // A dataless ACK consumes no sequence space; nothing to measure later.
+  h.feed(data_pkt(true, 1000, 500, 0), Timestamp::from_ms(0));
+  EXPECT_FALSE(h.feed(data_pkt(false, 500, 1000, 0), Timestamp::from_ms(20)).has_value());
+  EXPECT_EQ(h.estimator().stats().samples, 0u);
+}
+
+TEST(Tcptrace, RstClearsFlowState) {
+  TtHarness h;
+  h.feed(data_pkt(true, 1000, 0, 100), Timestamp::from_ms(0));
+  EXPECT_EQ(h.estimator().entries(), 1u);
+  h.feed(data_pkt(true, 1100, 0, 0, TcpFlags::kRst), Timestamp::from_ms(10));
+  EXPECT_EQ(h.estimator().entries(), 0u);
+}
+
+TEST(Tcptrace, StateIsPerFlowNotPerPacket) {
+  TtHarness h;
+  // 50 segments on ONE flow -> 1 entry (contrast with pping).
+  for (int i = 0; i < 50; ++i) {
+    h.feed(data_pkt(true, 1000 + static_cast<std::uint32_t>(i) * 100, 0, 100),
+           Timestamp::from_ms(i));
+  }
+  EXPECT_EQ(h.estimator().entries(), 1u);
+}
+
+TEST(Tcptrace, SequenceWraparoundHandled) {
+  TtHarness h;
+  // Segment crossing the 2^32 boundary.
+  h.feed(data_pkt(true, 0xFFFFFF00u, 0, 0x200), Timestamp::from_ms(0));
+  const auto s = h.feed(data_pkt(false, 500, 0x100, 0), Timestamp::from_ms(100));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->rtt.ns, Duration::from_ms(100).ns);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,155 @@
+#include "capture/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "net/packet_builder.hpp"
+#include "util/byte_order.hpp"
+
+namespace ruru {
+namespace {
+
+class PcapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("ruru_pcap_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".pcap"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(PcapTest, WriteReadRoundTrip) {
+  TcpFrameSpec spec;
+  spec.src_ip = Ipv4Address(10, 1, 0, 1);
+  spec.dst_ip = Ipv4Address(10, 2, 0, 1);
+  spec.src_port = 1234;
+  spec.dst_port = 80;
+  spec.flags = TcpFlags::kSyn;
+  const auto f1 = build_tcp_frame(spec);
+  spec.flags = TcpFlags::kSyn | TcpFlags::kAck;
+  spec.payload_length = 33;
+  const auto f2 = build_tcp_frame(spec);
+
+  {
+    auto writer = PcapWriter::open(path_);
+    ASSERT_TRUE(writer.ok()) << writer.error();
+    ASSERT_TRUE(writer.value().write(Timestamp::from_ns(123'456'789'012), f1).ok());
+    ASSERT_TRUE(writer.value().write(Timestamp::from_ns(123'456'790'999), f2).ok());
+    EXPECT_EQ(writer.value().records_written(), 2u);
+  }
+
+  auto reader = PcapReader::open(path_);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_TRUE(reader.value().nanosecond());
+
+  const auto r1 = reader.value().next();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->timestamp.ns, 123'456'789'012);
+  EXPECT_EQ(r1->frame, f1);
+
+  const auto r2 = reader.value().next();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->timestamp.ns, 123'456'790'999);
+  EXPECT_EQ(r2->frame, f2);
+
+  EXPECT_FALSE(reader.value().next().has_value());
+  EXPECT_FALSE(reader.value().truncated());
+}
+
+TEST_F(PcapTest, SnaplenTruncatesFrames) {
+  std::vector<std::uint8_t> big(1000, 0x5A);
+  // Needs a valid-enough ethernet header region; content is arbitrary.
+  {
+    auto writer = PcapWriter::open(path_, 100);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().write(Timestamp::from_sec(1), big).ok());
+  }
+  auto reader = PcapReader::open(path_);
+  ASSERT_TRUE(reader.ok());
+  const auto rec = reader.value().next();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->frame.size(), 100u);
+}
+
+TEST_F(PcapTest, RejectsBadMagic) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  const char garbage[24] = "not a pcap file at all";
+  std::fwrite(garbage, 1, 24, f);
+  std::fclose(f);
+  EXPECT_FALSE(PcapReader::open(path_).ok());
+}
+
+TEST_F(PcapTest, RejectsMissingFile) {
+  EXPECT_FALSE(PcapReader::open("/nonexistent/dir/x.pcap").ok());
+  EXPECT_FALSE(PcapWriter::open("/nonexistent/dir/x.pcap").ok());
+}
+
+TEST_F(PcapTest, ToleratesTornTrailingRecord) {
+  {
+    auto writer = PcapWriter::open(path_);
+    ASSERT_TRUE(writer.ok());
+    std::vector<std::uint8_t> frame(64, 1);
+    ASSERT_TRUE(writer.value().write(Timestamp::from_sec(1), frame).ok());
+  }
+  // Append half a record header (a crash mid-write).
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  const std::uint8_t partial[7] = {1, 2, 3, 4, 5, 6, 7};
+  std::fwrite(partial, 1, sizeof partial, f);
+  std::fclose(f);
+
+  auto reader = PcapReader::open(path_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.value().next().has_value());   // intact record
+  EXPECT_FALSE(reader.value().next().has_value());  // torn -> EOF
+  EXPECT_TRUE(reader.value().truncated());
+}
+
+TEST_F(PcapTest, ReadsMicrosecondMagicFiles) {
+  // Hand-craft a classic usec pcap with one 4-byte record.
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  std::uint8_t hdr[24] = {};
+  store_le32(&hdr[0], 0xa1b2c3d4);
+  store_le16(&hdr[4], 2);
+  store_le16(&hdr[6], 4);
+  store_le32(&hdr[16], 65535);
+  store_le32(&hdr[20], 1);  // ethernet
+  std::fwrite(hdr, 1, 24, f);
+  std::uint8_t rec[16];
+  store_le32(&rec[0], 10);       // sec
+  store_le32(&rec[4], 500'000);  // usec
+  store_le32(&rec[8], 4);
+  store_le32(&rec[12], 4);
+  std::fwrite(rec, 1, 16, f);
+  const std::uint8_t payload[4] = {0xde, 0xad, 0xbe, 0xef};
+  std::fwrite(payload, 1, 4, f);
+  std::fclose(f);
+
+  auto reader = PcapReader::open(path_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.value().nanosecond());
+  const auto rec_read = reader.value().next();
+  ASSERT_TRUE(rec_read.has_value());
+  EXPECT_EQ(rec_read->timestamp.ns, 10'500'000'000);  // 10.5 s
+  EXPECT_EQ(rec_read->frame.size(), 4u);
+}
+
+TEST_F(PcapTest, EmptyCaptureHasZeroRecords) {
+  {
+    auto writer = PcapWriter::open(path_);
+    ASSERT_TRUE(writer.ok());
+  }
+  auto reader = PcapReader::open(path_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.value().next().has_value());
+  EXPECT_FALSE(reader.value().truncated());
+}
+
+}  // namespace
+}  // namespace ruru

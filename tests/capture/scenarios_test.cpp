@@ -1,0 +1,80 @@
+#include "capture/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/packet_view.hpp"
+
+namespace ruru {
+namespace {
+
+TEST(Scenarios, SitePlanIsConsistent) {
+  const auto& nz = scenarios::nz_sites();
+  const auto& world = scenarios::world_sites();
+  EXPECT_GE(nz.size(), 5u);
+  EXPECT_GE(world.size(), 10u);
+  // Address blocks must not collide (they seed the geo DB too).
+  std::vector<std::uint32_t> starts;
+  for (const auto& s : nz) starts.push_back(s.block.value());
+  for (const auto& s : world) starts.push_back(s.block.value());
+  std::sort(starts.begin(), starts.end());
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_GE(starts[i] - starts[i - 1], 256u) << "blocks overlap at " << i;
+  }
+}
+
+TEST(Scenarios, RoutesCoverWeightsAndRtts) {
+  const auto routes = scenarios::transpacific_routes();
+  ASSERT_FALSE(routes.empty());
+  double weight = 0;
+  for (const auto& r : routes) {
+    EXPECT_FALSE(r.clients.addresses.empty());
+    EXPECT_FALSE(r.servers.addresses.empty());
+    EXPECT_GT(r.external_rtt.ns, r.internal_rtt.ns) << r.name;
+    weight += r.weight;
+  }
+  EXPECT_NEAR(weight, 1.0, 0.01);
+}
+
+TEST(Scenarios, TranspacificProducesTraffic) {
+  auto model = scenarios::transpacific(7, 100.0, Duration::from_sec(1.0));
+  std::uint64_t frames = 0;
+  while (model.next()) ++frames;
+  EXPECT_GT(frames, 200u);
+  EXPECT_GT(model.truth().size(), 50u);
+}
+
+TEST(Scenarios, FirewallGlitchFlowsCarryExtraLatency) {
+  // Compressed "day": 60 s period, 5 s window, run 120 s.
+  auto model = scenarios::firewall_glitch(11, 30.0, Duration::from_sec(120.0),
+                                          Duration::from_sec(60.0), Duration::from_sec(5.0));
+  while (model.next()) {
+  }
+  int glitched = 0;
+  for (const auto& t : model.truth()) {
+    if (t.true_external.ns > Duration::from_ms(4000).ns) ++glitched;
+  }
+  EXPECT_GT(glitched, 20);
+  // Window fraction is 5/60 of all arrivals, give or take.
+  const double frac = static_cast<double>(glitched) / static_cast<double>(model.truth().size());
+  EXPECT_NEAR(frac, 5.0 / 60.0, 0.05);
+}
+
+TEST(Scenarios, SynFloodScenarioFloods) {
+  auto model = scenarios::syn_flood(13, 20.0, 2000.0, Duration::from_sec(2.0),
+                                    Timestamp::from_sec(0.5), Duration::from_sec(1.0));
+  std::uint64_t bare_syns_to_target = 0;
+  while (auto f = model.next()) {
+    PacketView v;
+    if (parse_packet(f->frame, v) == ParseStatus::kOk && v.tcp.is_syn_only() &&
+        v.ip4.dst == Ipv4Address(10, 1, 0, 80)) {
+      ++bare_syns_to_target;
+    }
+  }
+  EXPECT_GT(bare_syns_to_target, 1000u);
+}
+
+}  // namespace
+}  // namespace ruru

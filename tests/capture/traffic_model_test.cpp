@@ -1,0 +1,292 @@
+#include "capture/traffic_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/packet_view.hpp"
+
+namespace ruru {
+namespace {
+
+RouteProfile simple_route() {
+  RouteProfile r;
+  r.name = "test";
+  r.clients = HostPool::from_range(Ipv4Address(10, 1, 0, 0), 16);
+  r.servers = HostPool::from_range(Ipv4Address(10, 2, 0, 0), 16);
+  r.internal_rtt = Duration::from_ms(5);
+  r.external_rtt = Duration::from_ms(120);
+  r.jitter_frac = 0.05;
+  return r;
+}
+
+TrafficConfig small_config() {
+  TrafficConfig cfg;
+  cfg.seed = 42;
+  cfg.flows_per_sec = 50;
+  cfg.duration = Duration::from_sec(2.0);
+  return cfg;
+}
+
+TEST(HostPool, FromRange) {
+  const auto pool = HostPool::from_range(Ipv4Address(10, 0, 0, 250), 10);
+  ASSERT_EQ(pool.addresses.size(), 10u);
+  EXPECT_EQ(pool.addresses[0], Ipv4Address(10, 0, 0, 250));
+  EXPECT_EQ(pool.addresses[6], Ipv4Address(10, 0, 1, 0));  // crosses /24 boundary
+}
+
+TEST(GlitchWindow, ActivePeriodically) {
+  GlitchWindow g;
+  g.first_start = Timestamp::from_sec(100);
+  g.period = Duration::from_sec(1000.0);
+  g.width = Duration::from_sec(10.0);
+  g.extra_external = Duration::from_ms(4000);
+  EXPECT_FALSE(g.active_at(Timestamp::from_sec(50)));
+  EXPECT_TRUE(g.active_at(Timestamp::from_sec(100)));
+  EXPECT_TRUE(g.active_at(Timestamp::from_sec(109)));
+  EXPECT_FALSE(g.active_at(Timestamp::from_sec(110)));
+  EXPECT_TRUE(g.active_at(Timestamp::from_sec(1105)));
+  EXPECT_FALSE(g.active_at(Timestamp::from_sec(1111)));
+}
+
+TEST(TrafficModel, FramesAreTimeOrdered) {
+  TrafficModel model(small_config(), {simple_route()});
+  Timestamp prev{INT64_MIN};
+  std::uint64_t frames = 0;
+  while (auto f = model.next()) {
+    EXPECT_GE(f->timestamp.ns, prev.ns);
+    prev = f->timestamp;
+    ++frames;
+  }
+  EXPECT_GT(frames, 100u);
+  EXPECT_EQ(frames, model.frames_emitted());
+  EXPECT_FALSE(model.truth().empty());
+}
+
+TEST(TrafficModel, DeterministicAcrossRuns) {
+  TrafficModel a(small_config(), {simple_route()});
+  TrafficModel b(small_config(), {simple_route()});
+  while (true) {
+    auto fa = a.next();
+    auto fb = b.next();
+    ASSERT_EQ(fa.has_value(), fb.has_value());
+    if (!fa) break;
+    EXPECT_EQ(fa->timestamp.ns, fb->timestamp.ns);
+    EXPECT_EQ(fa->frame, fb->frame);
+  }
+  EXPECT_EQ(a.truth().size(), b.truth().size());
+}
+
+TEST(TrafficModel, HandshakeTimingMatchesGroundTruth) {
+  auto cfg = small_config();
+  cfg.mean_data_segments = 0;  // handshake + FIN only
+  TrafficModel model(cfg, {simple_route()});
+
+  // Observed per-flow timestamps keyed by (client, sport).
+  struct Observed {
+    Timestamp syn, synack, ack;
+    bool has_syn = false, has_synack = false, has_ack = false;
+  };
+  std::map<std::pair<std::uint32_t, std::uint16_t>, Observed> seen;
+
+  while (auto f = model.next()) {
+    PacketView v;
+    if (parse_packet(f->frame, v) != ParseStatus::kOk) continue;
+    if (v.tcp.is_syn_only()) {
+      auto& o = seen[{v.ip4.src.value(), v.tcp.src_port}];
+      if (!o.has_syn) {
+        o.syn = f->timestamp;
+        o.has_syn = true;
+      }
+    } else if (v.tcp.is_syn_ack()) {
+      auto& o = seen[{v.ip4.dst.value(), v.tcp.dst_port}];
+      if (!o.has_synack) {
+        o.synack = f->timestamp;
+        o.has_synack = true;
+      }
+    } else if (v.tcp.ack_flag() && !v.tcp.fin() && v.payload_length == 0) {
+      auto& o = seen[{v.ip4.src.value(), v.tcp.src_port}];
+      if (o.has_synack && !o.has_ack) {
+        o.ack = f->timestamp;
+        o.has_ack = true;
+      }
+    }
+  }
+
+  int checked = 0;
+  for (const auto& truth : model.truth()) {
+    if (!truth.handshake_completes) continue;
+    const auto it = seen.find({truth.tuple.src.v4.value(), truth.tuple.src_port});
+    ASSERT_NE(it, seen.end());
+    const Observed& o = it->second;
+    ASSERT_TRUE(o.has_syn && o.has_synack && o.has_ack);
+    EXPECT_EQ(o.syn.ns, truth.syn_time.ns);
+    EXPECT_EQ((o.synack - o.syn).ns, truth.expected_measured_external().ns);
+    EXPECT_EQ((o.ack - o.synack).ns, truth.true_internal.ns);
+    ++checked;
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST(TrafficModel, SynLossProducesRetransmission) {
+  auto cfg = small_config();
+  cfg.syn_loss_prob = 1.0;  // every flow retransmits
+  cfg.syn_rto = Duration::from_ms(1000);
+  cfg.mean_data_segments = 0;
+  TrafficModel model(cfg, {simple_route()});
+  std::uint64_t syns = 0;
+  while (auto f = model.next()) {
+    PacketView v;
+    if (parse_packet(f->frame, v) == ParseStatus::kOk && v.tcp.is_syn_only()) ++syns;
+  }
+  const auto& truth = model.truth();
+  ASSERT_FALSE(truth.empty());
+  // Two SYNs per flow.
+  EXPECT_EQ(syns, 2 * truth.size());
+  for (const auto& t : truth) {
+    EXPECT_TRUE(t.syn_retransmitted);
+    EXPECT_EQ(t.expected_measured_external().ns, (t.true_external + t.syn_rto).ns);
+  }
+}
+
+TEST(TrafficModel, AbandonedHandshakesHaveNoSynAck) {
+  auto cfg = small_config();
+  cfg.handshake_abandon_prob = 1.0;
+  TrafficModel model(cfg, {simple_route()});
+  std::uint64_t synacks = 0;
+  std::uint64_t syns = 0;
+  while (auto f = model.next()) {
+    PacketView v;
+    if (parse_packet(f->frame, v) != ParseStatus::kOk) continue;
+    if (v.tcp.is_syn_ack()) ++synacks;
+    if (v.tcp.is_syn_only()) ++syns;
+  }
+  EXPECT_EQ(synacks, 0u);
+  EXPECT_GT(syns, 0u);
+  for (const auto& t : model.truth()) EXPECT_FALSE(t.handshake_completes);
+}
+
+TEST(TrafficModel, GlitchInflatesExternalForWindowFlows) {
+  auto cfg = small_config();
+  cfg.flows_per_sec = 200;
+  TrafficModel model(cfg, {simple_route()});
+  GlitchWindow g;
+  g.first_start = Timestamp::from_sec(1.0);
+  g.period = Duration::from_sec(10.0);  // only one window inside 2s run
+  g.width = Duration::from_sec(0.5);
+  g.extra_external = Duration::from_ms(4000);
+  model.add_glitch(g);
+  while (model.next()) {
+  }
+  int in_window = 0, outside = 0;
+  for (const auto& t : model.truth()) {
+    if (g.active_at(t.syn_time)) {
+      EXPECT_GT(t.true_external.ns, Duration::from_ms(4000).ns);
+      ++in_window;
+    } else {
+      EXPECT_LT(t.true_external.ns, Duration::from_ms(1000).ns);
+      ++outside;
+    }
+  }
+  EXPECT_GT(in_window, 10);
+  EXPECT_GT(outside, 100);
+}
+
+TEST(TrafficModel, SynFloodEmitsBareSyns) {
+  auto cfg = small_config();
+  cfg.flows_per_sec = 10;
+  TrafficModel model(cfg, {simple_route()});
+  SynFloodSpec flood;
+  flood.start = Timestamp::from_sec(0.5);
+  flood.duration = Duration::from_sec(1.0);
+  flood.syns_per_sec = 500;
+  flood.target = Ipv4Address(10, 2, 0, 1);
+  flood.target_port = 80;
+  model.add_syn_flood(flood);
+
+  std::uint64_t flood_syns = 0;
+  while (auto f = model.next()) {
+    PacketView v;
+    if (parse_packet(f->frame, v) != ParseStatus::kOk) continue;
+    if (v.tcp.is_syn_only() && v.ip4.dst == flood.target && v.tcp.dst_port == 80 &&
+        v.ip4.src.in_prefix(Ipv4Address(198, 51, 0, 0), 16)) {
+      ++flood_syns;
+    }
+  }
+  EXPECT_EQ(flood_syns, model.flood_syns_emitted());
+  // ~500/s for 1 s.
+  EXPECT_GT(flood_syns, 350u);
+  EXPECT_LT(flood_syns, 700u);
+}
+
+TEST(TrafficModel, UdpBackgroundMixesIn) {
+  auto cfg = small_config();
+  cfg.udp_background_frac = 1.0;
+  TrafficModel model(cfg, {simple_route()});
+  std::uint64_t udp = 0;
+  while (auto f = model.next()) {
+    PacketView v;
+    if (parse_packet(f->frame, v) == ParseStatus::kNotTcp) ++udp;
+  }
+  EXPECT_EQ(udp, model.truth().size());  // one UDP frame per flow at frac=1
+}
+
+TEST(TrafficModel, CorruptionDamagesFramesNotTruth) {
+  auto cfg = small_config();
+  cfg.corrupt_frac = 0.3;
+  TrafficModel model(cfg, {simple_route()});
+  TrafficModel clean_model(small_config(), {simple_route()});
+
+  std::uint64_t malformed_or_odd = 0;
+  std::uint64_t frames = 0;
+  while (auto f = model.next()) {
+    ++frames;
+    PacketView v;
+    if (parse_packet(f->frame, v) != ParseStatus::kOk) ++malformed_or_odd;
+  }
+  EXPECT_GT(model.frames_corrupted(), frames / 5);
+  // Most corrupted frames fail parsing or classification (some bit flips
+  // hit payload bytes and stay parseable — that's realistic too).
+  EXPECT_GT(malformed_or_odd, model.frames_corrupted() / 4);
+  // Ground truth identical to the clean run: corruption is tap-side.
+  while (clean_model.next()) {
+  }
+  ASSERT_EQ(model.truth().size(), clean_model.truth().size());
+  for (std::size_t i = 0; i < model.truth().size(); ++i) {
+    EXPECT_EQ(model.truth()[i].true_external.ns, clean_model.truth()[i].true_external.ns);
+  }
+}
+
+TEST(TrafficModel, DiurnalCurveModulatesArrivals) {
+  auto cfg = small_config();
+  cfg.seed = 99;
+  cfg.flows_per_sec = 400;
+  cfg.duration = Duration::from_sec(10.0);
+  cfg.mean_data_segments = 0;
+  TrafficModel model(cfg, {simple_route()});
+  model.set_rate_curve(diurnal_curve(Duration::from_sec(10.0), 0.8));
+  while (model.next()) {
+  }
+  // Peak quarter (t in [1.25, 3.75), sine max at 2.5) vs trough quarter
+  // (t in [6.25, 8.75)).
+  int peak = 0, trough = 0;
+  for (const auto& t : model.truth()) {
+    const double sec = t.syn_time.to_sec();
+    if (sec >= 1.25 && sec < 3.75) ++peak;
+    if (sec >= 6.25 && sec < 8.75) ++trough;
+  }
+  EXPECT_GT(peak, trough * 3);  // 1.8x vs 0.2x nominal rate
+}
+
+TEST(TrafficModel, InternalExternalSumIsTotal) {
+  TrafficModel model(small_config(), {simple_route()});
+  while (model.next()) {
+  }
+  for (const auto& t : model.truth()) {
+    EXPECT_EQ(t.expected_measured_total().ns,
+              (t.expected_measured_external() + t.true_internal).ns);
+  }
+}
+
+}  // namespace
+}  // namespace ruru

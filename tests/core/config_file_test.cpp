@@ -1,0 +1,149 @@
+#include "core/config_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace ruru {
+namespace {
+
+TEST(ConfigParse, FlatAndSectionedKeys) {
+  const auto r = parse_config_text(
+      "top = 1\n"
+      "[capture]\n"
+      "queues = 8   # inline comment\n"
+      "\n"
+      "# full-line comment\n"
+      "[analytics]\n"
+      "threads = 4\n");
+  ASSERT_TRUE(r.ok()) << r.error();
+  const auto& m = r.value();
+  EXPECT_EQ(m.at("top"), "1");
+  EXPECT_EQ(m.at("capture.queues"), "8");
+  EXPECT_EQ(m.at("analytics.threads"), "4");
+}
+
+TEST(ConfigParse, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_config_text("just some words\n").ok());
+  EXPECT_FALSE(parse_config_text("[unterminated\n").ok());
+  EXPECT_FALSE(parse_config_text("[]\n").ok());
+  EXPECT_FALSE(parse_config_text("= value\n").ok());
+  EXPECT_FALSE(parse_config_text("a = 1\na = 2\n").ok());  // duplicate
+}
+
+TEST(ConfigParse, ErrorsNameTheLine) {
+  const auto r = parse_config_text("ok = 1\nbroken line\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("line 2"), std::string::npos);
+}
+
+TEST(PipelineConfigFile, AppliesOverDefaults) {
+  const auto r = pipeline_config_from_text(
+      "[capture]\n"
+      "queues = 8\n"
+      "mempool = 131072\n"
+      "[flow]\n"
+      "table_capacity = 32768\n"
+      "stale_after_s = 10.5\n"
+      "[analytics]\n"
+      "threads = 4\n"
+      "[detectors]\n"
+      "synflood = true\n"
+      "synflood_min_syns = 500\n"
+      "ewma = off\n"
+      "periodic = yes\n"
+      "periodic_period_s = 86400\n");
+  ASSERT_TRUE(r.ok()) << r.error();
+  const PipelineConfig& c = r.value();
+  EXPECT_EQ(c.num_queues, 8);
+  EXPECT_EQ(c.mempool_size, 131072u);
+  EXPECT_EQ(c.flow_table_capacity, 32768u);
+  EXPECT_EQ(c.flow_stale_after.ns, Duration::from_sec(10.5).ns);
+  EXPECT_EQ(c.enrichment_threads, 4u);
+  EXPECT_TRUE(c.enable_synflood);
+  EXPECT_EQ(c.synflood.min_syns, 500u);
+  EXPECT_FALSE(c.enable_ewma);
+  EXPECT_TRUE(c.enable_periodic);
+  EXPECT_EQ(c.periodic.period.ns, Duration::from_sec(86400).ns);
+}
+
+TEST(PipelineConfigFile, DefaultsPreservedForUnsetKeys) {
+  PipelineConfig defaults;
+  defaults.num_queues = 6;
+  const auto r = pipeline_config_from_text("[analytics]\nthreads = 3\n", defaults);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_queues, 6);
+  EXPECT_EQ(r.value().enrichment_threads, 3u);
+}
+
+TEST(PipelineConfigFile, UnknownKeyIsAnError) {
+  const auto r = pipeline_config_from_text("[capture]\nqueuez = 8\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("capture.queuez"), std::string::npos);
+}
+
+TEST(PipelineConfigFile, TypeErrorsAreNamed) {
+  EXPECT_FALSE(pipeline_config_from_text("[capture]\nqueues = many\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[detectors]\nsynflood = maybe\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[flow]\nstale_after_s = soon\n").ok());
+}
+
+TEST(PipelineConfigFile, SanityBounds) {
+  EXPECT_FALSE(pipeline_config_from_text("[capture]\nqueues = 0\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[analytics]\nthreads = 0\n").ok());
+}
+
+TEST(PipelineConfigFile, StoragePolicyKeys) {
+  const auto r = pipeline_config_from_text(
+      "[storage]\ndownsample_window_s = 60\ndownsample_stat = p99\nretention_s = 3600\n");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().downsample_window.ns, Duration::from_sec(60).ns);
+  EXPECT_EQ(r.value().downsample_stat, "p99");
+  EXPECT_EQ(r.value().retention_horizon.ns, Duration::from_sec(3600).ns);
+  EXPECT_FALSE(
+      pipeline_config_from_text("[storage]\ndownsample_stat = mode\n").ok());
+}
+
+TEST(PipelineConfigFile, LinkMeterKeys) {
+  const auto r = pipeline_config_from_text("[meter]\nenabled = false\nwindow_s = 5\n");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_FALSE(r.value().enable_link_meter);
+  EXPECT_EQ(r.value().link_meter_window.ns, Duration::from_sec(5).ns);
+}
+
+TEST(PipelineConfigFile, SymmetricRssToggle) {
+  const auto sym = pipeline_config_from_text("[capture]\nsymmetric_rss = true\n");
+  ASSERT_TRUE(sym.ok());
+  EXPECT_EQ(sym.value().rss_key, symmetric_rss_key());
+  const auto asym = pipeline_config_from_text("[capture]\nsymmetric_rss = false\n");
+  ASSERT_TRUE(asym.ok());
+  EXPECT_EQ(asym.value().rss_key, default_rss_key());
+}
+
+TEST(PipelineConfigFile, LoadsFromFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("ruru_cfg_" + std::to_string(::getpid()) + ".conf"))
+          .string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("[capture]\nqueues = 2\n", f);
+  std::fclose(f);
+  const auto r = pipeline_config_from_file(path);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().num_queues, 2);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(pipeline_config_from_file("/no/such/ruru.conf").ok());
+}
+
+TEST(PipelineConfigFile, EmptyTextYieldsDefaults) {
+  const auto r = pipeline_config_from_text("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_queues, PipelineConfig{}.num_queues);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,70 @@
+#include "driver/eal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace ruru {
+namespace {
+
+TEST(LcoreLauncher, RunsUntilStopped) {
+  LcoreLauncher launcher;
+  std::atomic<std::uint64_t> iterations{0};
+  launcher.launch([&](std::uint32_t, const std::atomic<bool>& stop) {
+    while (!stop.load(std::memory_order_acquire)) iterations.fetch_add(1);
+  });
+  while (iterations.load() < 1000) std::this_thread::yield();
+  launcher.stop_and_join();
+  EXPECT_GE(iterations.load(), 1000u);
+}
+
+TEST(LcoreLauncher, AssignsSequentialIds) {
+  LcoreLauncher launcher;
+  std::atomic<std::uint32_t> seen_mask{0};
+  for (int i = 0; i < 4; ++i) {
+    const std::uint32_t id = launcher.launch([&](std::uint32_t lcore, const std::atomic<bool>& stop) {
+      seen_mask.fetch_or(1u << lcore);
+      while (!stop.load(std::memory_order_acquire)) std::this_thread::yield();
+    });
+    EXPECT_EQ(id, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(launcher.lcore_count(), 4u);
+  while (seen_mask.load() != 0b1111u) std::this_thread::yield();
+  launcher.stop_and_join();
+  EXPECT_EQ(launcher.lcore_count(), 0u);
+}
+
+TEST(LcoreLauncher, StopIsIdempotent) {
+  LcoreLauncher launcher;
+  launcher.launch([](std::uint32_t, const std::atomic<bool>& stop) {
+    while (!stop.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  launcher.stop_and_join();
+  launcher.stop_and_join();  // no crash, no hang
+}
+
+TEST(LcoreLauncher, DestructorJoins) {
+  std::atomic<bool> exited{false};
+  {
+    LcoreLauncher launcher;
+    launcher.launch([&](std::uint32_t, const std::atomic<bool>& stop) {
+      while (!stop.load(std::memory_order_acquire)) std::this_thread::yield();
+      exited = true;
+    });
+  }  // destructor must stop and join
+  EXPECT_TRUE(exited.load());
+}
+
+TEST(LcoreLauncher, RelaunchAfterStop) {
+  LcoreLauncher launcher;
+  std::atomic<int> runs{0};
+  launcher.launch([&](std::uint32_t, const std::atomic<bool>&) { runs.fetch_add(1); });
+  launcher.stop_and_join();
+  launcher.launch([&](std::uint32_t, const std::atomic<bool>&) { runs.fetch_add(1); });
+  launcher.stop_and_join();
+  EXPECT_EQ(runs.load(), 2);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,99 @@
+#include "driver/mempool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace ruru {
+namespace {
+
+TEST(Mempool, AllocUntilExhaustion) {
+  Mempool pool(4, 256);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.available(), 4u);
+  std::vector<MbufPtr> held;
+  for (int i = 0; i < 4; ++i) {
+    auto m = pool.alloc();
+    ASSERT_NE(m, nullptr);
+    held.push_back(std::move(m));
+  }
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_EQ(pool.alloc(), nullptr);
+  EXPECT_EQ(pool.alloc_failures(), 1u);
+}
+
+TEST(Mempool, ReleaseReturnsBuffer) {
+  Mempool pool(1, 256);
+  {
+    auto m = pool.alloc();
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(pool.available(), 0u);
+  }  // m destructs -> returns to pool
+  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_NE(pool.alloc(), nullptr);
+}
+
+TEST(Mempool, AssignCopiesAndBoundsChecks) {
+  Mempool pool(1, 64);
+  auto m = pool.alloc();
+  std::vector<std::uint8_t> data(60, 0xAB);
+  EXPECT_TRUE(m->assign(data));
+  EXPECT_EQ(m->length(), 60u);
+  EXPECT_EQ(std::memcmp(m->data(), data.data(), 60), 0);
+
+  std::vector<std::uint8_t> oversize(65, 1);
+  EXPECT_FALSE(m->assign(oversize));
+  EXPECT_EQ(m->length(), 60u);  // unchanged on failure
+}
+
+TEST(Mempool, ReallocResetsMetadata) {
+  Mempool pool(1, 64);
+  {
+    auto m = pool.alloc();
+    m->timestamp = Timestamp::from_sec(5);
+    m->rss_hash = 0x1234;
+    m->queue_id = 3;
+    std::vector<std::uint8_t> data(10, 1);
+    m->assign(data);
+  }
+  auto m2 = pool.alloc();
+  EXPECT_EQ(m2->timestamp.ns, 0);
+  EXPECT_EQ(m2->rss_hash, 0u);
+  EXPECT_EQ(m2->queue_id, 0);
+  EXPECT_EQ(m2->length(), 0u);
+}
+
+TEST(Mempool, BuffersAreDistinct) {
+  Mempool pool(8, 128);
+  std::vector<MbufPtr> bufs;
+  for (int i = 0; i < 8; ++i) bufs.push_back(pool.alloc());
+  for (int i = 0; i < 8; ++i) {
+    for (int j = i + 1; j < 8; ++j) {
+      EXPECT_NE(bufs[static_cast<std::size_t>(i)]->data(),
+                bufs[static_cast<std::size_t>(j)]->data());
+    }
+  }
+}
+
+TEST(Mempool, ConcurrentAllocFreeKeepsAccounting) {
+  Mempool pool(64, 64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < 20'000; ++i) {
+        auto m = pool.alloc();
+        if (m) {
+          std::uint8_t byte = static_cast<std::uint8_t>(i);
+          m->assign(std::span<const std::uint8_t>(&byte, 1));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(pool.available(), 64u);
+}
+
+}  // namespace
+}  // namespace ruru

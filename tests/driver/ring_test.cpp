@@ -1,0 +1,141 @@
+#include "driver/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ruru {
+namespace {
+
+TEST(MpmcRing, BasicPushPop) {
+  MpmcRing<int> ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_EQ(ring.try_pop().value(), 1);
+  EXPECT_EQ(ring.try_pop().value(), 2);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(MpmcRing, FullRejectsPush) {
+  MpmcRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));
+  EXPECT_EQ(ring.try_pop().value(), 0);
+  EXPECT_TRUE(ring.try_push(99));  // slot reusable after pop
+}
+
+TEST(MpmcRing, WrapAroundManyTimes) {
+  MpmcRing<int> ring(4);
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(ring.try_push(round));
+    ASSERT_EQ(ring.try_pop().value(), round);
+  }
+}
+
+TEST(MpmcRing, MovesUniquePtrs) {
+  MpmcRing<std::unique_ptr<int>> ring(4);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(5)));
+  auto p = ring.try_pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(**p, 5);
+}
+
+TEST(MpmcRing, MultiProducerMultiConsumerConservesItems) {
+  MpmcRing<std::uint64_t> ring(256);
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr std::uint64_t kPerProducer = 30'000;
+
+  std::atomic<std::uint64_t> produced{0};
+  std::atomic<std::uint64_t> consumed{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<bool> producers_done{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer;) {
+        const std::uint64_t v = static_cast<std::uint64_t>(p) * kPerProducer + i;
+        if (ring.try_push(v)) {
+          produced.fetch_add(1, std::memory_order_relaxed);
+          ++i;
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        if (auto v = ring.try_pop()) {
+          sum.fetch_add(*v, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        } else if (producers_done.load(std::memory_order_acquire) &&
+                   consumed.load() == kProducers * kPerProducer) {
+          break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  producers_done.store(true, std::memory_order_release);
+  for (int c = 0; c < kConsumers; ++c) {
+    threads[static_cast<std::size_t>(kProducers + c)].join();
+  }
+
+  const std::uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(produced.load(), n);
+  EXPECT_EQ(consumed.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);  // each value delivered exactly once
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(MpmcRing, PerItemUniquenessUnderContention) {
+  MpmcRing<int> ring(64);
+  std::atomic<bool> stop{false};
+  std::vector<std::uint8_t> seen(100'000, 0);
+  std::mutex seen_mu;
+
+  std::thread consumer1([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (auto v = ring.try_pop()) {
+        std::lock_guard lock(seen_mu);
+        ASSERT_EQ(seen[static_cast<std::size_t>(*v)], 0) << "duplicate " << *v;
+        seen[static_cast<std::size_t>(*v)] = 1;
+      }
+    }
+    while (auto v = ring.try_pop()) {
+      std::lock_guard lock(seen_mu);
+      ASSERT_EQ(seen[static_cast<std::size_t>(*v)], 0);
+      seen[static_cast<std::size_t>(*v)] = 1;
+    }
+  });
+
+  std::thread producer1([&] {
+    for (int i = 0; i < 50'000;) {
+      if (ring.try_push(i)) ++i;
+    }
+  });
+  std::thread producer2([&] {
+    for (int i = 50'000; i < 100'000;) {
+      if (ring.try_push(i)) ++i;
+    }
+  });
+  producer1.join();
+  producer2.join();
+  stop.store(true, std::memory_order_release);
+  consumer1.join();
+
+  std::size_t delivered = 0;
+  for (const auto b : seen) delivered += b;
+  EXPECT_EQ(delivered, seen.size());
+}
+
+}  // namespace
+}  // namespace ruru

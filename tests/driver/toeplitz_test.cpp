@@ -1,0 +1,103 @@
+#include "driver/toeplitz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/random.hpp"
+
+namespace ruru {
+namespace {
+
+// Published verification vectors for the Microsoft default key
+// (from the Windows RSS documentation).
+TEST(Toeplitz, MicrosoftKnownVectorsIpv4) {
+  const RssKey& key = default_rss_key();
+  // 66.9.149.187:2794 -> 161.142.100.80:1766 => 0x51ccc178
+  EXPECT_EQ(rss_hash_tcp4(key, Ipv4Address(66, 9, 149, 187), Ipv4Address(161, 142, 100, 80),
+                          2794, 1766),
+            0x51ccc178u);
+  // 199.92.111.2:14230 -> 65.69.140.83:4739 => 0xc626b0ea
+  EXPECT_EQ(rss_hash_tcp4(key, Ipv4Address(199, 92, 111, 2), Ipv4Address(65, 69, 140, 83), 14230,
+                          4739),
+            0xc626b0eau);
+  // 24.19.198.95:12898 -> 12.22.207.184:38024 => 0x5c2b394a
+  EXPECT_EQ(rss_hash_tcp4(key, Ipv4Address(24, 19, 198, 95), Ipv4Address(12, 22, 207, 184), 12898,
+                          38024),
+            0x5c2b394au);
+}
+
+TEST(Toeplitz, DefaultKeyIsNotSymmetric) {
+  const RssKey& key = default_rss_key();
+  const auto fwd =
+      rss_hash_tcp4(key, Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 40000, 443);
+  const auto rev =
+      rss_hash_tcp4(key, Ipv4Address(10, 0, 0, 2), Ipv4Address(10, 0, 0, 1), 443, 40000);
+  EXPECT_NE(fwd, rev);  // the whole reason Ruru needs the symmetric key
+}
+
+TEST(Toeplitz, SymmetricKeyMatchesBothDirectionsIpv4) {
+  const RssKey& key = symmetric_rss_key();
+  Pcg32 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const Ipv4Address a(rng.next_u32()), b(rng.next_u32());
+    const auto sp = static_cast<std::uint16_t>(rng.next_u32());
+    const auto dp = static_cast<std::uint16_t>(rng.next_u32());
+    EXPECT_EQ(rss_hash_tcp4(key, a, b, sp, dp), rss_hash_tcp4(key, b, a, dp, sp));
+  }
+}
+
+TEST(Toeplitz, SymmetricKeyMatchesBothDirectionsIpv6) {
+  const RssKey& key = symmetric_rss_key();
+  const auto a = Ipv6Address::parse("2001:db8::1").value();
+  const auto b = Ipv6Address::parse("2001:db8:ffff::42").value();
+  EXPECT_EQ(rss_hash_tcp6(key, a, b, 5000, 443), rss_hash_tcp6(key, b, a, 443, 5000));
+}
+
+TEST(Toeplitz, TupleDispatchMatchesExplicit) {
+  const RssKey& key = symmetric_rss_key();
+  FiveTuple t;
+  t.src = Ipv4Address(10, 1, 0, 1);
+  t.dst = Ipv4Address(10, 2, 0, 1);
+  t.src_port = 1234;
+  t.dst_port = 443;
+  EXPECT_EQ(rss_hash(key, t),
+            rss_hash_tcp4(key, t.src.v4, t.dst.v4, t.src_port, t.dst_port));
+}
+
+TEST(Toeplitz, QueueSpreadIsRoughlyUniform) {
+  const RssKey& key = symmetric_rss_key();
+  Pcg32 rng(4);
+  constexpr int kQueues = 8;
+  std::map<std::uint32_t, int> counts;
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) {
+    const auto h = rss_hash_tcp4(key, Ipv4Address(rng.next_u32()), Ipv4Address(rng.next_u32()),
+                                 static_cast<std::uint16_t>(rng.next_u32()),
+                                 static_cast<std::uint16_t>(rng.next_u32()));
+    ++counts[h % kQueues];
+  }
+  for (int q = 0; q < kQueues; ++q) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<std::uint32_t>(q)]),
+                static_cast<double>(n) / kQueues, n / kQueues * 0.1)
+        << "queue " << q;
+  }
+}
+
+TEST(Toeplitz, ZeroInputHashesToZero) {
+  std::uint8_t zeros[12] = {};
+  EXPECT_EQ(toeplitz_hash(default_rss_key(), std::span<const std::uint8_t>(zeros, 12)), 0u);
+}
+
+TEST(Toeplitz, HashDependsOnEveryField) {
+  const RssKey& key = symmetric_rss_key();
+  const auto base =
+      rss_hash_tcp4(key, Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 1000, 2000);
+  EXPECT_NE(base, rss_hash_tcp4(key, Ipv4Address(10, 0, 0, 3), Ipv4Address(10, 0, 0, 2), 1000, 2000));
+  EXPECT_NE(base, rss_hash_tcp4(key, Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 4), 1000, 2000));
+  EXPECT_NE(base, rss_hash_tcp4(key, Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 1001, 2000));
+  EXPECT_NE(base, rss_hash_tcp4(key, Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 1000, 2001));
+}
+
+}  // namespace
+}  // namespace ruru

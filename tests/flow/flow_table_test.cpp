@@ -1,0 +1,146 @@
+#include "flow/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace ruru {
+namespace {
+
+FlowKey key_for(std::uint32_t client_host, std::uint16_t sport) {
+  FiveTuple t;
+  t.src = Ipv4Address(client_host);
+  t.dst = Ipv4Address(10, 2, 0, 1);
+  t.src_port = sport;
+  t.dst_port = 443;
+  t.protocol = 6;
+  return FlowKey::from(t);
+}
+
+TEST(FlowTable, InsertThenFind) {
+  FlowTable table(64);
+  const FlowKey k = key_for(0x0A010001, 40000);
+  bool inserted = false;
+  FlowEntry* e = table.find_or_insert(k, 0x1234, Timestamp::from_sec(1), inserted);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(table.size(), 1u);
+
+  FlowEntry* found = table.find(k, 0x1234, Timestamp::from_sec(1));
+  EXPECT_EQ(found, e);
+  EXPECT_EQ(table.stats().hits, 1u);
+}
+
+TEST(FlowTable, FindMissReturnsNull) {
+  FlowTable table(64);
+  EXPECT_EQ(table.find(key_for(1, 2), 99, Timestamp{}), nullptr);
+}
+
+TEST(FlowTable, SecondInsertFindsExisting) {
+  FlowTable table(64);
+  const FlowKey k = key_for(0x0A010001, 40000);
+  bool inserted = false;
+  FlowEntry* a = table.find_or_insert(k, 7, Timestamp::from_sec(1), inserted);
+  ASSERT_TRUE(inserted);
+  FlowEntry* b = table.find_or_insert(k, 7, Timestamp::from_sec(2), inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, EraseFreesSlot) {
+  FlowTable table(64);
+  bool inserted = false;
+  FlowEntry* e = table.find_or_insert(key_for(1, 1), 7, Timestamp{}, inserted);
+  table.erase(e);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.find(key_for(1, 1), 7, Timestamp{}), nullptr);
+  table.erase(e);  // double-erase is harmless
+  EXPECT_EQ(table.stats().erases, 1u);
+}
+
+TEST(FlowTable, CollidingHashesCoexistWithinProbeWindow) {
+  FlowTable table(64);
+  // Same rss hash for distinct flows: linear probing must separate them.
+  bool inserted = false;
+  FlowEntry* a = table.find_or_insert(key_for(1, 100), 42, Timestamp{}, inserted);
+  FlowEntry* b = table.find_or_insert(key_for(2, 200), 42, Timestamp{}, inserted);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.find(key_for(1, 100), 42, Timestamp{}), a);
+  EXPECT_EQ(table.find(key_for(2, 200), 42, Timestamp{}), b);
+}
+
+TEST(FlowTable, ProbeWindowExhaustionFailsInsert) {
+  FlowTable table(64, Duration::from_sec(1000.0));
+  bool inserted = false;
+  // Fill one probe window with live entries sharing a hash.
+  for (std::size_t i = 0; i < FlowTable::kProbeWindow; ++i) {
+    ASSERT_NE(table.find_or_insert(key_for(static_cast<std::uint32_t>(i + 1), 1), 5,
+                                   Timestamp::from_sec(1), inserted),
+              nullptr);
+  }
+  EXPECT_EQ(table.find_or_insert(key_for(9999, 1), 5, Timestamp::from_sec(1), inserted), nullptr);
+  EXPECT_EQ(table.stats().insert_failures, 1u);
+}
+
+TEST(FlowTable, StaleEntriesAreReclaimed) {
+  FlowTable table(64, Duration::from_sec(30.0));
+  bool inserted = false;
+  for (std::size_t i = 0; i < FlowTable::kProbeWindow; ++i) {
+    table.find_or_insert(key_for(static_cast<std::uint32_t>(i + 1), 1), 5, Timestamp::from_sec(1),
+                         inserted);
+  }
+  // 60 s later every occupant is stale: the insert reclaims one.
+  FlowEntry* e =
+      table.find_or_insert(key_for(9999, 1), 5, Timestamp::from_sec(61), inserted);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(table.stats().evictions_stale, 1u);
+  EXPECT_EQ(table.size(), FlowTable::kProbeWindow);  // one out, one in
+}
+
+TEST(FlowTable, StaleEntryNotReturnedByFind) {
+  FlowTable table(64, Duration::from_sec(30.0));
+  bool inserted = false;
+  table.find_or_insert(key_for(1, 1), 5, Timestamp::from_sec(1), inserted);
+  EXPECT_EQ(table.find(key_for(1, 1), 5, Timestamp::from_sec(100)), nullptr);
+  // A re-insert treats it as a fresh handshake.
+  FlowEntry* e = table.find_or_insert(key_for(1, 1), 5, Timestamp::from_sec(100), inserted);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(inserted);
+}
+
+TEST(FlowTable, CapacityRoundsToPowerOfTwo) {
+  FlowTable table(100);
+  EXPECT_EQ(table.capacity(), 128u);
+}
+
+TEST(FlowTable, ManyFlowsChurnWithoutLoss) {
+  // ~10k flows stay live (half of 20k complete immediately); size the
+  // table with the same ~3x headroom a deployment would use.
+  FlowTable table(1 << 15);
+  Pcg32 rng(5);
+  bool inserted = false;
+  std::uint64_t failures = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const FlowKey k = key_for(rng.next_u32(), static_cast<std::uint16_t>(rng.next_u32()));
+    const std::uint32_t h = rng.next_u32();
+    FlowEntry* e = table.find_or_insert(k, h, Timestamp::from_ms(i), inserted);
+    if (e == nullptr) {
+      ++failures;
+      continue;
+    }
+    if (inserted) {
+      e->syn_time = Timestamp::from_ms(i);
+    }
+    if (i % 2 == 0) table.erase(e);  // half the flows complete immediately
+  }
+  // With generous capacity and churn, failures should be negligible.
+  EXPECT_LT(failures, 100u);
+  EXPECT_LE(table.size(), table.capacity());
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,254 @@
+#include "flow/handshake_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet_builder.hpp"
+
+namespace ruru {
+namespace {
+
+// Small harness: builds the three handshake frames of Figure 1 and feeds
+// them to a tracker as parsed views.
+class TrackerHarness {
+ public:
+  explicit TrackerHarness(std::size_t capacity = 1024) : tracker_(capacity) {}
+
+  std::optional<LatencySample> feed(const TcpFrameSpec& spec, Timestamp t) {
+    const auto frame = build_tcp_frame(spec);
+    PacketView view;
+    EXPECT_EQ(parse_packet(frame, view), ParseStatus::kOk);
+    return tracker_.process(view, t, /*rss_hash=*/1234, /*queue=*/0);
+  }
+
+  HandshakeTracker& tracker() { return tracker_; }
+
+ private:
+  HandshakeTracker tracker_;
+};
+
+struct Flow {
+  Ipv4Address client{Ipv4Address(10, 1, 0, 1)};
+  Ipv4Address server{Ipv4Address(10, 2, 0, 1)};
+  std::uint16_t cport = 40'000;
+  std::uint16_t sport = 443;
+  std::uint32_t isn_c = 1'000;
+  std::uint32_t isn_s = 9'000;
+
+  TcpFrameSpec syn() const {
+    TcpFrameSpec s;
+    s.src_ip = client;
+    s.dst_ip = server;
+    s.src_port = cport;
+    s.dst_port = sport;
+    s.seq = isn_c;
+    s.flags = TcpFlags::kSyn;
+    return s;
+  }
+  TcpFrameSpec synack() const {
+    TcpFrameSpec s;
+    s.src_ip = server;
+    s.dst_ip = client;
+    s.src_port = sport;
+    s.dst_port = cport;
+    s.seq = isn_s;
+    s.ack = isn_c + 1;
+    s.flags = TcpFlags::kSyn | TcpFlags::kAck;
+    return s;
+  }
+  TcpFrameSpec ack() const {
+    TcpFrameSpec s;
+    s.src_ip = client;
+    s.dst_ip = server;
+    s.src_port = cport;
+    s.dst_port = sport;
+    s.seq = isn_c + 1;
+    s.ack = isn_s + 1;
+    s.flags = TcpFlags::kAck;
+    return s;
+  }
+};
+
+TEST(HandshakeTracker, Figure1Decomposition) {
+  TrackerHarness h;
+  Flow f;
+  EXPECT_FALSE(h.feed(f.syn(), Timestamp::from_ms(1000)).has_value());
+  EXPECT_FALSE(h.feed(f.synack(), Timestamp::from_ms(1128)).has_value());
+  const auto sample = h.feed(f.ack(), Timestamp::from_ms(1133));
+  ASSERT_TRUE(sample.has_value());
+
+  EXPECT_EQ(sample->external().ns, Duration::from_ms(128).ns);
+  EXPECT_EQ(sample->internal().ns, Duration::from_ms(5).ns);
+  EXPECT_EQ(sample->total().ns, Duration::from_ms(133).ns);
+  EXPECT_EQ(sample->total().ns, (sample->internal() + sample->external()).ns);
+  EXPECT_EQ(sample->client.v4, f.client);
+  EXPECT_EQ(sample->server.v4, f.server);
+  EXPECT_EQ(sample->client_port, f.cport);
+  EXPECT_EQ(sample->server_port, f.sport);
+  EXPECT_EQ(sample->queue_id, 0);
+  EXPECT_EQ(h.tracker().stats().samples_emitted, 1u);
+}
+
+TEST(HandshakeTracker, RetransmittedSynKeepsFirstTimestamp) {
+  TrackerHarness h;
+  Flow f;
+  h.feed(f.syn(), Timestamp::from_ms(0));
+  h.feed(f.syn(), Timestamp::from_ms(1000));  // RTO retransmission
+  h.feed(f.synack(), Timestamp::from_ms(1128));
+  const auto sample = h.feed(f.ack(), Timestamp::from_ms(1133));
+  ASSERT_TRUE(sample.has_value());
+  // External measured from the FIRST SYN (paper semantics): 1128 ms.
+  EXPECT_EQ(sample->external().ns, Duration::from_ms(1128).ns);
+  EXPECT_EQ(h.tracker().stats().syn_retransmissions, 1u);
+}
+
+TEST(HandshakeTracker, DuplicateSynAckIgnored) {
+  TrackerHarness h;
+  Flow f;
+  h.feed(f.syn(), Timestamp::from_ms(0));
+  h.feed(f.synack(), Timestamp::from_ms(100));
+  h.feed(f.synack(), Timestamp::from_ms(140));  // dup; must not re-stamp
+  const auto sample = h.feed(f.ack(), Timestamp::from_ms(150));
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->external().ns, Duration::from_ms(100).ns);
+  EXPECT_EQ(sample->internal().ns, Duration::from_ms(50).ns);
+}
+
+TEST(HandshakeTracker, OnlyFirstAckEmitsSample) {
+  TrackerHarness h;
+  Flow f;
+  h.feed(f.syn(), Timestamp::from_ms(0));
+  h.feed(f.synack(), Timestamp::from_ms(100));
+  ASSERT_TRUE(h.feed(f.ack(), Timestamp::from_ms(105)).has_value());
+  // Later ACKs (e.g. data acks) do not produce more samples.
+  auto data_ack = f.ack();
+  data_ack.ack = f.isn_s + 500;
+  EXPECT_FALSE(h.feed(data_ack, Timestamp::from_ms(110)).has_value());
+  EXPECT_FALSE(h.feed(f.ack(), Timestamp::from_ms(120)).has_value());
+  EXPECT_EQ(h.tracker().stats().samples_emitted, 1u);
+}
+
+TEST(HandshakeTracker, SynAckMustAckTheSyn) {
+  TrackerHarness h;
+  Flow f;
+  h.feed(f.syn(), Timestamp::from_ms(0));
+  auto bogus = f.synack();
+  bogus.ack = f.isn_c + 999;  // does not acknowledge our SYN
+  h.feed(bogus, Timestamp::from_ms(50));
+  // A correct SYN-ACK later still completes the handshake.
+  h.feed(f.synack(), Timestamp::from_ms(100));
+  const auto sample = h.feed(f.ack(), Timestamp::from_ms(105));
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->external().ns, Duration::from_ms(100).ns);
+}
+
+TEST(HandshakeTracker, AckMustAckTheSynAck) {
+  TrackerHarness h;
+  Flow f;
+  h.feed(f.syn(), Timestamp::from_ms(0));
+  h.feed(f.synack(), Timestamp::from_ms(100));
+  auto wrong = f.ack();
+  wrong.ack = f.isn_s + 2;  // acknowledges more than the SYN-ACK
+  EXPECT_FALSE(h.feed(wrong, Timestamp::from_ms(105)).has_value());
+  // The genuine first ACK then completes it.
+  ASSERT_TRUE(h.feed(f.ack(), Timestamp::from_ms(106)).has_value());
+}
+
+TEST(HandshakeTracker, AckFromWrongDirectionIgnored) {
+  TrackerHarness h;
+  Flow f;
+  h.feed(f.syn(), Timestamp::from_ms(0));
+  h.feed(f.synack(), Timestamp::from_ms(100));
+  // An ACK from the server side (e.g. delayed dup) must not complete.
+  TcpFrameSpec server_ack;
+  server_ack.src_ip = f.server;
+  server_ack.dst_ip = f.client;
+  server_ack.src_port = f.sport;
+  server_ack.dst_port = f.cport;
+  server_ack.seq = f.isn_s + 1;
+  server_ack.ack = f.isn_s + 1;  // matches synack_seq+1 but wrong direction
+  server_ack.flags = TcpFlags::kAck;
+  EXPECT_FALSE(h.feed(server_ack, Timestamp::from_ms(104)).has_value());
+  EXPECT_TRUE(h.feed(f.ack(), Timestamp::from_ms(105)).has_value());
+}
+
+TEST(HandshakeTracker, SynAckWithoutSynIsUnmatched) {
+  TrackerHarness h;
+  Flow f;
+  EXPECT_FALSE(h.feed(f.synack(), Timestamp::from_ms(0)).has_value());
+  EXPECT_EQ(h.tracker().stats().synack_unmatched, 1u);
+}
+
+TEST(HandshakeTracker, RstAbortsTracking) {
+  TrackerHarness h;
+  Flow f;
+  h.feed(f.syn(), Timestamp::from_ms(0));
+  auto rst = f.synack();
+  rst.flags = TcpFlags::kRst | TcpFlags::kAck;
+  h.feed(rst, Timestamp::from_ms(10));
+  h.feed(f.synack(), Timestamp::from_ms(100));  // no SYN on record anymore
+  EXPECT_FALSE(h.feed(f.ack(), Timestamp::from_ms(105)).has_value());
+  EXPECT_EQ(h.tracker().stats().rst_seen, 1u);
+  EXPECT_EQ(h.tracker().stats().samples_emitted, 0u);
+}
+
+TEST(HandshakeTracker, PortReuseRestartsMeasurement) {
+  TrackerHarness h;
+  Flow f;
+  h.feed(f.syn(), Timestamp::from_ms(0));
+  // Same 5-tuple, new ISN long after: a fresh connection attempt.
+  Flow f2 = f;
+  f2.isn_c = 77'000;
+  f2.isn_s = 88'000;
+  h.feed(f2.syn(), Timestamp::from_ms(5000));
+  h.feed(f2.synack(), Timestamp::from_ms(5100));
+  const auto sample = h.feed(f2.ack(), Timestamp::from_ms(5103));
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->external().ns, Duration::from_ms(100).ns);
+}
+
+TEST(HandshakeTracker, EntryFreedAfterSample) {
+  TrackerHarness h;
+  Flow f;
+  h.feed(f.syn(), Timestamp::from_ms(0));
+  h.feed(f.synack(), Timestamp::from_ms(100));
+  ASSERT_TRUE(h.feed(f.ack(), Timestamp::from_ms(105)).has_value());
+  EXPECT_EQ(h.tracker().table().size(), 0u);
+}
+
+TEST(HandshakeTracker, PiggybackedFirstAckWithDataCounts) {
+  TrackerHarness h;
+  Flow f;
+  h.feed(f.syn(), Timestamp::from_ms(0));
+  h.feed(f.synack(), Timestamp::from_ms(100));
+  auto ack = f.ack();
+  ack.payload_length = 300;  // request data riding on the first ACK
+  ack.flags = TcpFlags::kAck | TcpFlags::kPsh;
+  const auto sample = h.feed(ack, Timestamp::from_ms(107));
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->internal().ns, Duration::from_ms(7).ns);
+}
+
+TEST(HandshakeTracker, InterleavedFlowsKeepSeparateState) {
+  TrackerHarness h;
+  Flow a;
+  Flow b;
+  b.client = Ipv4Address(10, 1, 0, 2);
+  b.cport = 50'000;
+  b.isn_c = 5'000;
+  b.isn_s = 6'000;
+
+  h.feed(a.syn(), Timestamp::from_ms(0));
+  h.feed(b.syn(), Timestamp::from_ms(1));
+  h.feed(b.synack(), Timestamp::from_ms(31));
+  h.feed(a.synack(), Timestamp::from_ms(128));
+  const auto sb = h.feed(b.ack(), Timestamp::from_ms(36));
+  const auto sa = h.feed(a.ack(), Timestamp::from_ms(133));
+  ASSERT_TRUE(sa.has_value());
+  ASSERT_TRUE(sb.has_value());
+  EXPECT_EQ(sa->external().ns, Duration::from_ms(128).ns);
+  EXPECT_EQ(sb->external().ns, Duration::from_ms(30).ns);
+  EXPECT_EQ(sb->internal().ns, Duration::from_ms(5).ns);
+}
+
+}  // namespace
+}  // namespace ruru

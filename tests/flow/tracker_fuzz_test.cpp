@@ -1,0 +1,128 @@
+// Property tests: the handshake tracker under adversarial packet
+// interleavings.  Whatever order (or garbage) arrives, invariants hold:
+// never more samples than distinct completed handshakes, every sample's
+// timestamps are ordered, internal+external == total, and state never
+// exceeds table capacity.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "flow/handshake_tracker.hpp"
+#include "net/packet_builder.hpp"
+#include "util/random.hpp"
+
+namespace ruru {
+namespace {
+
+struct Event {
+  Timestamp t;
+  std::vector<std::uint8_t> frame;
+};
+
+class TrackerFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrackerFuzzTest, InvariantsHoldUnderRandomInterleaving) {
+  Pcg32 rng(GetParam());
+  constexpr int kFlows = 200;
+
+  // Generate kFlows complete handshakes...
+  std::vector<Event> events;
+  for (int i = 0; i < kFlows; ++i) {
+    const Ipv4Address client(Ipv4Address(10, 1, 0, 0).value() + rng.bounded(64));
+    const Ipv4Address server(Ipv4Address(10, 2, 0, 0).value() + rng.bounded(64));
+    const auto sport = static_cast<std::uint16_t>(10'000 + i);
+    const std::uint32_t isn_c = rng.next_u32();
+    const std::uint32_t isn_s = rng.next_u32();
+    const Timestamp t0 = Timestamp::from_ms(static_cast<std::int64_t>(rng.bounded(10'000)));
+
+    TcpFrameSpec syn;
+    syn.src_ip = client;
+    syn.dst_ip = server;
+    syn.src_port = sport;
+    syn.dst_port = 443;
+    syn.seq = isn_c;
+    syn.flags = TcpFlags::kSyn;
+    events.push_back({t0, build_tcp_frame(syn)});
+
+    TcpFrameSpec synack;
+    synack.src_ip = server;
+    synack.dst_ip = client;
+    synack.src_port = 443;
+    synack.dst_port = sport;
+    synack.seq = isn_s;
+    synack.ack = isn_c + 1;
+    synack.flags = TcpFlags::kSyn | TcpFlags::kAck;
+    events.push_back({t0 + Duration::from_ms(100), build_tcp_frame(synack)});
+
+    TcpFrameSpec ack;
+    ack.src_ip = client;
+    ack.dst_ip = server;
+    ack.src_port = sport;
+    ack.dst_port = 443;
+    ack.seq = isn_c + 1;
+    ack.ack = isn_s + 1;
+    ack.flags = TcpFlags::kAck;
+    events.push_back({t0 + Duration::from_ms(105), build_tcp_frame(ack)});
+
+    // ...with random duplicates.
+    if (rng.chance(0.3)) events.push_back({t0 + Duration::from_ms(1), build_tcp_frame(syn)});
+    if (rng.chance(0.3)) {
+      events.push_back({t0 + Duration::from_ms(101), build_tcp_frame(synack)});
+    }
+  }
+
+  // Shuffle into a completely arbitrary arrival order (the tap never
+  // reorders, but the tracker must still never misbehave).
+  for (std::size_t i = events.size(); i > 1; --i) {
+    std::swap(events[i - 1], events[rng.bounded(static_cast<std::uint32_t>(i))]);
+  }
+
+  HandshakeTracker tracker(512);
+  std::uint64_t samples = 0;
+  for (const auto& e : events) {
+    PacketView view;
+    ASSERT_EQ(parse_packet(e.frame, view), ParseStatus::kOk);
+    const auto rss = static_cast<std::uint32_t>(FlowKey::from(view.tuple()).hash());
+    if (auto s = tracker.process(view, e.t, rss, 0)) {
+      ++samples;
+      // Sample invariants regardless of interleaving.
+      EXPECT_LE(s->syn_time.ns, s->synack_time.ns);
+      EXPECT_LE(s->synack_time.ns, s->ack_time.ns);
+      EXPECT_EQ((s->internal() + s->external()).ns, s->total().ns);
+    }
+    EXPECT_LE(tracker.table().size(), tracker.table().capacity());
+  }
+  // At most one sample per flow, no matter what arrived.
+  EXPECT_LE(samples, static_cast<std::uint64_t>(kFlows));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackerFuzzTest,
+                         ::testing::Values(1, 7, 42, 1337, 0xDEAD, 0xBEEF, 2024, 31415));
+
+TEST(TrackerFuzz, RandomFlagCombinationsNeverCrash) {
+  Pcg32 rng(77);
+  HandshakeTracker tracker(256);
+  for (int i = 0; i < 20'000; ++i) {
+    TcpFrameSpec spec;
+    spec.src_ip = Ipv4Address(Ipv4Address(10, 0, 0, 0).value() + rng.bounded(16));
+    spec.dst_ip = Ipv4Address(Ipv4Address(10, 0, 0, 0).value() + rng.bounded(16));
+    spec.src_port = static_cast<std::uint16_t>(rng.bounded(8));
+    spec.dst_port = static_cast<std::uint16_t>(rng.bounded(8));
+    spec.seq = rng.bounded(1000);
+    spec.ack = rng.bounded(1000);
+    spec.flags = static_cast<std::uint8_t>(rng.next_u32() & 0x3f);  // all flag combos
+    const auto frame = build_tcp_frame(spec);
+    PacketView view;
+    ASSERT_EQ(parse_packet(frame, view), ParseStatus::kOk);
+    tracker.process(view, Timestamp::from_ms(i), rng.next_u32(), 0);
+  }
+  // Tracker stats stay self-consistent.
+  const auto& s = tracker.stats();
+  EXPECT_LE(s.samples_emitted, s.ack_matched + 1);
+  EXPECT_LE(tracker.table().size(), tracker.table().capacity());
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,122 @@
+#include "flow/worker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/packet_builder.hpp"
+
+namespace ruru {
+namespace {
+
+class WorkerTest : public ::testing::Test {
+ protected:
+  WorkerTest() : pool_(4096, 2048) {
+    NicConfig cfg;
+    cfg.num_queues = 1;
+    nic_ = std::make_unique<SimNic>(cfg, pool_);
+  }
+
+  void inject_handshake(Ipv4Address client, std::uint16_t cport, Timestamp t0, Duration external,
+                        Duration internal) {
+    TcpFrameSpec syn;
+    syn.src_ip = client;
+    syn.dst_ip = server_;
+    syn.src_port = cport;
+    syn.dst_port = 443;
+    syn.seq = 100;
+    syn.flags = TcpFlags::kSyn;
+    nic_->inject(build_tcp_frame(syn), t0);
+
+    TcpFrameSpec synack;
+    synack.src_ip = server_;
+    synack.dst_ip = client;
+    synack.src_port = 443;
+    synack.dst_port = cport;
+    synack.seq = 500;
+    synack.ack = 101;
+    synack.flags = TcpFlags::kSyn | TcpFlags::kAck;
+    nic_->inject(build_tcp_frame(synack), t0 + external);
+
+    TcpFrameSpec ack;
+    ack.src_ip = client;
+    ack.dst_ip = server_;
+    ack.src_port = cport;
+    ack.dst_port = 443;
+    ack.seq = 101;
+    ack.ack = 501;
+    ack.flags = TcpFlags::kAck;
+    nic_->inject(build_tcp_frame(ack), t0 + external + internal);
+  }
+
+  Mempool pool_;
+  std::unique_ptr<SimNic> nic_;
+  Ipv4Address server_{Ipv4Address(10, 2, 0, 1)};
+};
+
+TEST_F(WorkerTest, PollProcessesHandshake) {
+  std::vector<LatencySample> samples;
+  QueueWorker worker(*nic_, 0, 1024, [&](const LatencySample& s) { samples.push_back(s); });
+  inject_handshake(Ipv4Address(10, 1, 0, 1), 40'000, Timestamp::from_ms(0),
+                   Duration::from_ms(128), Duration::from_ms(5));
+  while (worker.poll_once() != 0) {
+  }
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].external().ns, Duration::from_ms(128).ns);
+  EXPECT_EQ(samples[0].internal().ns, Duration::from_ms(5).ns);
+  EXPECT_EQ(worker.stats().packets, 3u);
+  EXPECT_EQ(worker.stats().parse_status[0], 3u);  // all kOk
+}
+
+TEST_F(WorkerTest, CountsParseStatuses) {
+  QueueWorker worker(*nic_, 0, 1024, nullptr);
+  nic_->inject(build_non_ip_frame(), Timestamp{});
+  nic_->inject(build_udp_frame(Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2), 1, 2, 10),
+               Timestamp{});
+  while (worker.poll_once() != 0) {
+  }
+  EXPECT_EQ(worker.stats().parse_status[static_cast<int>(ParseStatus::kNotIp)], 1u);
+  EXPECT_EQ(worker.stats().parse_status[static_cast<int>(ParseStatus::kNotTcp)], 1u);
+}
+
+TEST_F(WorkerTest, SynSinkFiresPerSyn) {
+  std::vector<std::pair<Timestamp, Ipv4Address>> syns;
+  QueueWorker worker(*nic_, 0, 1024, nullptr);
+  worker.set_syn_sink([&](Timestamp t, Ipv4Address server) { syns.emplace_back(t, server); });
+  inject_handshake(Ipv4Address(10, 1, 0, 1), 40'000, Timestamp::from_ms(10),
+                   Duration::from_ms(100), Duration::from_ms(5));
+  while (worker.poll_once() != 0) {
+  }
+  ASSERT_EQ(syns.size(), 1u);  // only the SYN, not SYN-ACK/ACK
+  EXPECT_EQ(syns[0].first.ns, Timestamp::from_ms(10).ns);
+  EXPECT_EQ(syns[0].second, server_);
+}
+
+TEST_F(WorkerTest, RunDrainsOnStop) {
+  std::atomic<int> samples{0};
+  QueueWorker worker(*nic_, 0, 1024, [&](const LatencySample&) { samples.fetch_add(1); });
+
+  std::atomic<bool> stop{false};
+  std::thread t([&] { worker.run(stop); });
+
+  for (int i = 0; i < 50; ++i) {
+    inject_handshake(Ipv4Address(10, 1, 0, static_cast<std::uint8_t>(i + 1)),
+                     static_cast<std::uint16_t>(20'000 + i), Timestamp::from_ms(i * 10),
+                     Duration::from_ms(100), Duration::from_ms(5));
+  }
+  stop.store(true);
+  t.join();
+  // run() drains the queue after stop: all 50 handshakes measured.
+  EXPECT_EQ(samples.load(), 50);
+}
+
+TEST_F(WorkerTest, EmptyPollsAreCounted) {
+  QueueWorker worker(*nic_, 0, 1024, nullptr);
+  EXPECT_EQ(worker.poll_once(), 0u);
+  EXPECT_EQ(worker.stats().empty_polls, 1u);
+  EXPECT_EQ(worker.stats().polls, 1u);
+}
+
+}  // namespace
+}  // namespace ruru

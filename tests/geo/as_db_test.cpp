@@ -1,0 +1,86 @@
+#include "geo/as_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace ruru {
+namespace {
+
+AsRecord rec(std::uint32_t start, std::uint32_t end, std::uint32_t asn, std::string org) {
+  AsRecord r;
+  r.range_start = start;
+  r.range_end = end;
+  r.asn = asn;
+  r.organization = std::move(org);
+  return r;
+}
+
+TEST(AsDb, LookupByRange) {
+  auto db = AsDatabase::build({
+      rec(100, 199, 9431, "REANNZ"),
+      rec(200, 299, 15169, "Google"),
+  });
+  ASSERT_TRUE(db.ok());
+  const AsRecord* r = db.value().lookup(Ipv4Address(150));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->asn, 9431u);
+  EXPECT_EQ(r->organization, "REANNZ");
+  EXPECT_EQ(db.value().lookup(Ipv4Address(250))->asn, 15169u);
+  EXPECT_EQ(db.value().lookup(Ipv4Address(350)), nullptr);
+}
+
+TEST(AsDb, RejectsOverlapsAndInversions) {
+  EXPECT_FALSE(AsDatabase::build({rec(100, 200, 1, "a"), rec(150, 300, 2, "b")}).ok());
+  EXPECT_FALSE(AsDatabase::build({rec(5, 1, 1, "x")}).ok());
+}
+
+TEST(AsDb, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("as_test_" + std::to_string(::getpid()) + ".db"))
+          .string();
+  auto db = AsDatabase::build({
+      rec(0x0A010000, 0x0A0104FF, 9431, "REANNZ Research Network"),
+      rec(0x0A020000, 0x0A0200FF, 15169, "Google LLC"),
+  });
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db.value().save(path).ok());
+  auto loaded = AsDatabase::load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_EQ(loaded.value().size(), 2u);
+  const AsRecord* r = loaded.value().lookup(Ipv4Address(0x0A010203));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->asn, 9431u);
+  EXPECT_EQ(r->organization, "REANNZ Research Network");
+  std::remove(path.c_str());
+}
+
+TEST(AsDb, LoadRejectsTruncatedFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("as_bad_" + std::to_string(::getpid()) + ".db"))
+          .string();
+  auto db = AsDatabase::build({rec(1, 2, 3, "x")});
+  ASSERT_TRUE(db.value().save(path).ok());
+  // Truncate mid-record.
+  std::filesystem::resize_file(path, 12);
+  EXPECT_FALSE(AsDatabase::load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(AsDb, EmptyDbRoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("as_empty_" + std::to_string(::getpid()) + ".db"))
+          .string();
+  auto db = AsDatabase::build({});
+  ASSERT_TRUE(db.value().save(path).ok());
+  auto loaded = AsDatabase::load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,77 @@
+#include "geo/geo6_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/world.hpp"
+
+namespace ruru {
+namespace {
+
+Ipv6Address v6(const char* text) { return Ipv6Address::parse(text).value(); }
+
+Geo6Record rec(const char* start, const char* end, std::string city) {
+  Geo6Record r;
+  r.range_start = v6(start);
+  r.range_end = v6(end);
+  r.city = std::move(city);
+  r.country = "XX";
+  return r;
+}
+
+TEST(Geo6Db, LookupInsideRanges) {
+  auto db = Geo6Database::build({
+      rec("2001:db8::", "2001:db8::ffff", "Auckland"),
+      rec("2001:db8:1::", "2001:db8:1::ffff", "Los Angeles"),
+  });
+  ASSERT_TRUE(db.ok()) << db.error();
+  const Geo6Record* r = db.value().lookup(v6("2001:db8::42"));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->city, "Auckland");
+  EXPECT_EQ(db.value().lookup(v6("2001:db8:1::1"))->city, "Los Angeles");
+  EXPECT_EQ(db.value().lookup(v6("2001:db8:2::1")), nullptr);
+  EXPECT_EQ(db.value().lookup(v6("::1")), nullptr);
+}
+
+TEST(Geo6Db, RangeEndpointsInclusive) {
+  auto db = Geo6Database::build({rec("2001:db8::10", "2001:db8::20", "X")});
+  ASSERT_TRUE(db.ok());
+  EXPECT_NE(db.value().lookup(v6("2001:db8::10")), nullptr);
+  EXPECT_NE(db.value().lookup(v6("2001:db8::20")), nullptr);
+  EXPECT_EQ(db.value().lookup(v6("2001:db8::f")), nullptr);
+  EXPECT_EQ(db.value().lookup(v6("2001:db8::21")), nullptr);
+}
+
+TEST(Geo6Db, RejectsOverlapsAndInversions) {
+  EXPECT_FALSE(Geo6Database::build({
+                                       rec("2001:db8::", "2001:db8::ff", "A"),
+                                       rec("2001:db8::80", "2001:db8::1ff", "B"),
+                                   })
+                   .ok());
+  EXPECT_FALSE(Geo6Database::build({rec("2001:db8::ff", "2001:db8::1", "bad")}).ok());
+}
+
+TEST(Geo6Db, DeriveFromSitePlanMatchesTrafficMapping) {
+  std::vector<SiteSpec> sites;
+  SiteSpec akl;
+  akl.city = "Auckland";
+  akl.country = "NZ";
+  akl.latitude = -36.8;
+  akl.longitude = 174.7;
+  akl.asn = 9431;
+  akl.block_start = Ipv4Address(10, 1, 0, 0).value();
+  akl.block_size = 256;
+  sites.push_back(akl);
+
+  auto db = derive_geo6(sites);
+  ASSERT_TRUE(db.ok()) << db.error();
+  // The traffic model maps 10.1.0.5 -> 2001:db8:6464::10.1.0.5 == ...:a01:5.
+  const Geo6Record* r = db.value().lookup(v6("2001:db8:6464::a01:5"));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->city, "Auckland");
+  EXPECT_EQ(r->asn, 9431u);
+  // One past the block is a miss.
+  EXPECT_EQ(db.value().lookup(v6("2001:db8:6464::a01:100")), nullptr);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,151 @@
+#include "geo/geo_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/random.hpp"
+
+namespace ruru {
+namespace {
+
+GeoRecord rec(std::uint32_t start, std::uint32_t end, std::string country, std::string city,
+              double lat = 0, double lon = 0) {
+  GeoRecord r;
+  r.range_start = start;
+  r.range_end = end;
+  r.country = std::move(country);
+  r.city = std::move(city);
+  r.latitude = lat;
+  r.longitude = lon;
+  return r;
+}
+
+TEST(GeoDb, LookupInsideRanges) {
+  auto db = GeoDatabase::build({
+      rec(100, 199, "NZ", "Auckland", -36.8, 174.7),
+      rec(200, 299, "US", "Los Angeles", 34.0, -118.2),
+      rec(500, 599, "GB", "London"),
+  });
+  ASSERT_TRUE(db.ok()) << db.error();
+  const GeoDatabase& g = db.value();
+
+  const GeoRecord* r = g.lookup(Ipv4Address(150));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->city, "Auckland");
+  EXPECT_DOUBLE_EQ(r->latitude, -36.8);
+
+  EXPECT_EQ(g.lookup(Ipv4Address(200))->city, "Los Angeles");  // range start
+  EXPECT_EQ(g.lookup(Ipv4Address(299))->city, "Los Angeles");  // range end inclusive
+  EXPECT_EQ(g.lookup(Ipv4Address(599))->city, "London");
+}
+
+TEST(GeoDb, LookupOutsideRangesReturnsNull) {
+  auto db = GeoDatabase::build({rec(100, 199, "NZ", "Auckland")});
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().lookup(Ipv4Address(99)), nullptr);
+  EXPECT_EQ(db.value().lookup(Ipv4Address(200)), nullptr);
+  EXPECT_EQ(db.value().lookup(Ipv4Address(0)), nullptr);
+  EXPECT_EQ(db.value().lookup(Ipv4Address(0xFFFFFFFF)), nullptr);
+}
+
+TEST(GeoDb, EmptyDatabase) {
+  auto db = GeoDatabase::build({});
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().size(), 0u);
+  EXPECT_EQ(db.value().lookup(Ipv4Address(1)), nullptr);
+}
+
+TEST(GeoDb, BuildSortsInput) {
+  auto db = GeoDatabase::build({
+      rec(500, 599, "GB", "London"),
+      rec(100, 199, "NZ", "Auckland"),
+  });
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().records()[0].city, "Auckland");
+  EXPECT_EQ(db.value().lookup(Ipv4Address(550))->city, "London");
+}
+
+TEST(GeoDb, RejectsOverlaps) {
+  EXPECT_FALSE(GeoDatabase::build({rec(100, 200, "A", "a"), rec(150, 250, "B", "b")}).ok());
+  EXPECT_FALSE(GeoDatabase::build({rec(100, 200, "A", "a"), rec(200, 250, "B", "b")}).ok());
+  // Adjacent (no gap) is fine.
+  EXPECT_TRUE(GeoDatabase::build({rec(100, 200, "A", "a"), rec(201, 250, "B", "b")}).ok());
+}
+
+TEST(GeoDb, RejectsInvertedRange) {
+  EXPECT_FALSE(GeoDatabase::build({rec(200, 100, "A", "a")}).ok());
+}
+
+TEST(GeoDb, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("geo_test_" + std::to_string(::getpid()) + ".db"))
+          .string();
+  auto db = GeoDatabase::build({
+      rec(100, 199, "NZ", "Auckland", -36.8485, 174.7633),
+      rec(0xC0000000, 0xC00000FF, "US", "Los Angeles", 34.0522, -118.2437),
+  });
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db.value().save(path).ok());
+
+  auto loaded = GeoDatabase::load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  const GeoRecord* r = loaded.value().lookup(Ipv4Address(0xC0000010));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->city, "Los Angeles");
+  EXPECT_DOUBLE_EQ(r->latitude, 34.0522);
+  EXPECT_DOUBLE_EQ(r->longitude, -118.2437);
+  std::remove(path.c_str());
+}
+
+TEST(GeoDb, LoadRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("geo_bad_" + std::to_string(::getpid()) + ".db"))
+          .string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("garbage!", 1, 8, f);
+  std::fclose(f);
+  EXPECT_FALSE(GeoDatabase::load(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(GeoDatabase::load("/no/such/file.db").ok());
+}
+
+TEST(GeoDb, LookupMatchesLinearScanOnRandomQueries) {
+  // Property test: binary search == brute force.
+  std::vector<GeoRecord> records;
+  std::uint32_t cursor = 0;
+  Pcg32 rng(1234);
+  for (int i = 0; i < 300; ++i) {
+    cursor += 1 + rng.bounded(10'000);
+    const std::uint32_t start = cursor;
+    cursor += 1 + rng.bounded(5'000);
+    records.push_back(rec(start, cursor, "C" + std::to_string(i % 50), "city" + std::to_string(i)));
+  }
+  auto db = GeoDatabase::build(std::vector<GeoRecord>(records));
+  ASSERT_TRUE(db.ok());
+
+  for (int q = 0; q < 5'000; ++q) {
+    const Ipv4Address addr(rng.bounded(cursor + 20'000));
+    const GeoRecord* fast = db.value().lookup(addr);
+    const GeoRecord* slow = nullptr;
+    for (const auto& r : records) {
+      if (addr.value() >= r.range_start && addr.value() <= r.range_end) {
+        slow = &r;
+        break;
+      }
+    }
+    if (slow == nullptr) {
+      EXPECT_EQ(fast, nullptr) << addr.to_string();
+    } else {
+      ASSERT_NE(fast, nullptr) << addr.to_string();
+      EXPECT_EQ(fast->city, slow->city);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,74 @@
+#include "geo/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ruru {
+namespace {
+
+TEST(LruCache, PutGet) {
+  LruCache<int, std::string> cache(2);
+  cache.put(1, "one");
+  const auto v = cache.get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "one");
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(LruCache, MissReturnsNullopt) {
+  LruCache<int, int> cache(2);
+  EXPECT_FALSE(cache.get(42).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  ASSERT_TRUE(cache.get(1).has_value());  // 1 is now MRU
+  cache.put(3, 30);                       // evicts 2
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, PutUpdatesExistingKey) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(1, 11);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get(1), 11);
+}
+
+TEST(LruCache, UpdateRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(1, 11);  // 1 refreshed; 2 is LRU now
+  cache.put(3, 30);
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(*cache.get(1), 11);
+}
+
+TEST(LruCache, CapacityOneWorks) {
+  LruCache<int, int> cache(1);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(*cache.get(2), 20);
+}
+
+TEST(LruCache, ChurnStaysBounded) {
+  LruCache<int, int> cache(64);
+  for (int i = 0; i < 10'000; ++i) cache.put(i, i);
+  EXPECT_EQ(cache.size(), 64u);
+  // The last 64 inserted keys survive.
+  for (int i = 10'000 - 64; i < 10'000; ++i) {
+    EXPECT_TRUE(cache.get(i).has_value()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ruru

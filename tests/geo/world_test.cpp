@@ -1,0 +1,91 @@
+#include "geo/world.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ruru {
+namespace {
+
+SiteSpec site(std::string city, std::string country, std::uint32_t asn, std::uint32_t block) {
+  SiteSpec s;
+  s.city = std::move(city);
+  s.country = std::move(country);
+  s.latitude = 1.0;
+  s.longitude = 2.0;
+  s.asn = asn;
+  s.block_start = block;
+  s.block_size = 256;
+  return s;
+}
+
+TEST(World, BuildsConsistentDatabases) {
+  const std::vector<SiteSpec> sites = {
+      site("Auckland", "NZ", 9431, 0x0A010000),
+      site("Los Angeles", "US", 15169, 0x0A020000),
+  };
+  auto world = build_world(sites);
+  ASSERT_TRUE(world.ok()) << world.error();
+
+  const Ipv4Address akl(0x0A010042);
+  const GeoRecord* g = world.value().geo.lookup(akl);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->city, "Auckland");
+  EXPECT_EQ(g->country, "NZ");
+  const AsRecord* a = world.value().as.lookup(akl);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->asn, 9431u);
+}
+
+TEST(World, MergesAdjacentSameAsnBlocks) {
+  const std::vector<SiteSpec> sites = {
+      site("Auckland", "NZ", 9431, 0x0A010000),
+      site("Wellington", "NZ", 9431, 0x0A010100),  // adjacent, same ASN
+      site("Christchurch", "NZ", 9432, 0x0A010200),
+  };
+  auto world = build_world(sites);
+  ASSERT_TRUE(world.ok());
+  // Geo keeps 3 city records; AS merges the first two.
+  EXPECT_EQ(world.value().geo.size(), 3u);
+  EXPECT_EQ(world.value().as.size(), 2u);
+  EXPECT_EQ(world.value().as.lookup(Ipv4Address(0x0A0101FF))->asn, 9431u);
+}
+
+TEST(World, OverlappingSitesRejected) {
+  const std::vector<SiteSpec> sites = {
+      site("A", "AA", 1, 1000),
+      site("B", "BB", 2, 1100),  // overlaps the 256-wide block at 1000
+  };
+  EXPECT_FALSE(build_world(sites).ok());
+}
+
+TEST(World, LargeWorldGeneratorIsUsable) {
+  const auto sites = large_world_sites(220);
+  EXPECT_EQ(sites.size(), 220u);
+  auto world = build_world(sites);
+  ASSERT_TRUE(world.ok()) << world.error();
+  EXPECT_EQ(world.value().geo.size(), 220u);
+
+  // Every site's block resolves to its own city.
+  int checked = 0;
+  for (const auto& s : sites) {
+    const GeoRecord* g = world.value().geo.lookup(Ipv4Address(s.block_start + 7));
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->city, s.city);
+    EXPECT_GE(g->latitude, -90.0);
+    EXPECT_LE(g->latitude, 90.0);
+    ++checked;
+  }
+  EXPECT_EQ(checked, 220);
+}
+
+TEST(World, LargeWorldIsDeterministic) {
+  const auto a = large_world_sites(50);
+  const auto b = large_world_sites(50);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].city, b[i].city);
+    EXPECT_DOUBLE_EQ(a[i].latitude, b[i].latitude);
+    EXPECT_EQ(a[i].block_start, b[i].block_start);
+  }
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,97 @@
+#include "msg/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace ruru {
+namespace {
+
+LatencySample sample_v4() {
+  LatencySample s;
+  s.client = Ipv4Address(10, 1, 0, 7);
+  s.server = Ipv4Address(10, 2, 3, 4);
+  s.client_port = 40'123;
+  s.server_port = 443;
+  s.syn_time = Timestamp::from_ns(1'000'000'123);
+  s.synack_time = Timestamp::from_ns(1'128'000'456);
+  s.ack_time = Timestamp::from_ns(1'133'000'789);
+  s.rss_hash = 0xDEADBEEF;
+  s.queue_id = 3;
+  return s;
+}
+
+TEST(Codec, RoundTripV4) {
+  const LatencySample s = sample_v4();
+  const Message m = encode_latency_sample(s);
+  EXPECT_EQ(m.topic(), kLatencyTopic);
+  ASSERT_EQ(m.frames.size(), 2u);
+
+  const auto d = decode_latency_sample(m.frames[1]);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->client == s.client);
+  EXPECT_TRUE(d->server == s.server);
+  EXPECT_EQ(d->client_port, s.client_port);
+  EXPECT_EQ(d->server_port, s.server_port);
+  EXPECT_EQ(d->syn_time.ns, s.syn_time.ns);
+  EXPECT_EQ(d->synack_time.ns, s.synack_time.ns);
+  EXPECT_EQ(d->ack_time.ns, s.ack_time.ns);
+  EXPECT_EQ(d->rss_hash, s.rss_hash);
+  EXPECT_EQ(d->queue_id, s.queue_id);
+  // Derived latencies survive the trip exactly.
+  EXPECT_EQ(d->external().ns, s.external().ns);
+  EXPECT_EQ(d->internal().ns, s.internal().ns);
+}
+
+TEST(Codec, RoundTripV6) {
+  LatencySample s = sample_v4();
+  s.client = Ipv6Address::parse("2001:db8::1").value();
+  s.server = Ipv6Address::parse("2001:db8:ffff::2").value();
+  const Message m = encode_latency_sample(s);
+  const auto d = decode_latency_sample(m.frames[1]);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->client.is_v4());
+  EXPECT_EQ(d->client.to_string(), "2001:db8::1");
+  EXPECT_EQ(d->server.to_string(), "2001:db8:ffff::2");
+}
+
+TEST(Codec, RejectsWrongSize) {
+  EXPECT_FALSE(decode_latency_sample(Frame::from_string("short")).has_value());
+  EXPECT_FALSE(decode_latency_sample(Frame()).has_value());
+  std::vector<std::uint8_t> too_long(200, 0);
+  EXPECT_FALSE(decode_latency_sample(Frame::adopt(std::move(too_long))).has_value());
+}
+
+TEST(Codec, RejectsWrongVersionOrFamily) {
+  const Message m = encode_latency_sample(sample_v4());
+  std::vector<std::uint8_t> bytes(m.frames[1].data(), m.frames[1].data() + m.frames[1].size());
+  bytes[0] = 99;  // bad version
+  EXPECT_FALSE(decode_latency_sample(Frame::adopt(std::vector<std::uint8_t>(bytes))).has_value());
+  bytes[0] = 1;
+  bytes[1] = 5;  // bad family
+  EXPECT_FALSE(decode_latency_sample(Frame::adopt(std::move(bytes))).has_value());
+}
+
+TEST(Codec, FuzzRoundTrip) {
+  Pcg32 rng(31337);
+  for (int i = 0; i < 500; ++i) {
+    LatencySample s;
+    s.client = Ipv4Address(rng.next_u32());
+    s.server = Ipv4Address(rng.next_u32());
+    s.client_port = static_cast<std::uint16_t>(rng.next_u32());
+    s.server_port = static_cast<std::uint16_t>(rng.next_u32());
+    s.syn_time = Timestamp::from_ns(static_cast<std::int64_t>(rng.next_u64() >> 1));
+    s.synack_time = Timestamp::from_ns(static_cast<std::int64_t>(rng.next_u64() >> 1));
+    s.ack_time = Timestamp::from_ns(static_cast<std::int64_t>(rng.next_u64() >> 1));
+    s.rss_hash = rng.next_u32();
+    s.queue_id = static_cast<std::uint16_t>(rng.next_u32());
+    const auto d = decode_latency_sample(encode_latency_sample(s).frames[1]);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(d->client == s.client);
+    EXPECT_EQ(d->ack_time.ns, s.ack_time.ns);
+    EXPECT_EQ(d->rss_hash, s.rss_hash);
+  }
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,69 @@
+#include "msg/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ruru {
+namespace {
+
+TEST(Frame, CopyHoldsBytes) {
+  const std::uint8_t data[] = {1, 2, 3, 4};
+  const Frame f = Frame::copy(data);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f.data()[0], 1);
+  EXPECT_EQ(f.data()[3], 4);
+  EXPECT_FALSE(f.empty());
+}
+
+TEST(Frame, FromString) {
+  const Frame f = Frame::from_string("hello");
+  EXPECT_EQ(f.view(), "hello");
+}
+
+TEST(Frame, AdoptAvoidsCopy) {
+  std::vector<std::uint8_t> buf(1000, 7);
+  const auto* original_data = buf.data();
+  const Frame f = Frame::adopt(std::move(buf));
+  EXPECT_EQ(f.data(), original_data);  // same allocation, no copy
+  EXPECT_EQ(f.size(), 1000u);
+}
+
+TEST(Frame, CopyingFrameSharesBuffer) {
+  const Frame a = Frame::from_string("shared");
+  EXPECT_EQ(a.use_count(), 1);
+  const Frame b = a;  // NOLINT deliberate copy
+  EXPECT_EQ(a.data(), b.data());  // zero-copy share
+  EXPECT_EQ(a.use_count(), 2);
+}
+
+TEST(Frame, DefaultIsEmpty) {
+  const Frame f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.use_count(), 0);
+}
+
+TEST(Message, TopicIsFirstFrame) {
+  Message m("ruru.latency");
+  EXPECT_EQ(m.topic(), "ruru.latency");
+  m.add(Frame::from_string("payload"));
+  EXPECT_EQ(m.frames.size(), 2u);
+  EXPECT_EQ(m.total_bytes(), std::string("ruru.latency").size() + 7);
+}
+
+TEST(Message, EmptyMessageHasNoTopic) {
+  const Message m;
+  EXPECT_EQ(m.topic(), "");
+  EXPECT_EQ(m.total_bytes(), 0u);
+}
+
+TEST(Message, CopySharesAllFrames) {
+  Message m("topic");
+  m.add(Frame::from_string("payload"));
+  const Message copy = m;
+  EXPECT_EQ(copy.frames[0].data(), m.frames[0].data());
+  EXPECT_EQ(copy.frames[1].data(), m.frames[1].data());
+  EXPECT_EQ(m.frames[1].use_count(), 2);
+}
+
+}  // namespace
+}  // namespace ruru

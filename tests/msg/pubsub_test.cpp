@@ -1,0 +1,149 @@
+#include "msg/pubsub.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace ruru {
+namespace {
+
+Message msg(std::string_view topic, std::string_view payload) {
+  Message m(topic);
+  m.add(Frame::from_string(payload));
+  return m;
+}
+
+TEST(PubSub, DeliverToMatchingSubscriber) {
+  PubSocket pub;
+  auto sub = pub.subscribe("ruru.");
+  EXPECT_EQ(pub.publish(msg("ruru.latency", "x")), 1u);
+  const auto m = sub->try_recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->topic(), "ruru.latency");
+  EXPECT_EQ(m->frames[1].view(), "x");
+}
+
+TEST(PubSub, TopicPrefixFiltering) {
+  PubSocket pub;
+  auto lat = pub.subscribe("ruru.latency");
+  auto all = pub.subscribe("");
+  auto other = pub.subscribe("ruru.alerts");
+
+  pub.publish(msg("ruru.latency", "a"));
+  EXPECT_TRUE(lat->try_recv().has_value());
+  EXPECT_TRUE(all->try_recv().has_value());
+  EXPECT_FALSE(other->try_recv().has_value());
+  EXPECT_EQ(other->delivered(), 0u);
+}
+
+TEST(PubSub, HwmDropsInsteadOfBlocking) {
+  PubSocket pub;
+  auto sub = pub.subscribe("t", /*hwm=*/4);
+  for (int i = 0; i < 10; ++i) pub.publish(msg("t", "x"));
+  EXPECT_EQ(sub->delivered(), 4u);
+  EXPECT_EQ(sub->dropped(), 6u);
+  EXPECT_EQ(sub->pending(), 4u);
+  // The publisher itself never blocked: all 10 publishes returned.
+  EXPECT_EQ(pub.published(), 10u);
+}
+
+TEST(PubSub, NoSubscribersIsFine) {
+  PubSocket pub;
+  EXPECT_EQ(pub.publish(msg("t", "x")), 0u);
+}
+
+TEST(PubSub, MultipleSubscribersEachGetACopy) {
+  PubSocket pub;
+  auto a = pub.subscribe("");
+  auto b = pub.subscribe("");
+  pub.publish(msg("t", "payload"));
+  const auto ma = a->try_recv();
+  const auto mb = b->try_recv();
+  ASSERT_TRUE(ma && mb);
+  // Zero-copy: both received messages share the same payload buffer.
+  EXPECT_EQ(ma->frames[1].data(), mb->frames[1].data());
+}
+
+TEST(PubSub, CloseAllSignalsConsumers) {
+  PubSocket pub;
+  auto sub = pub.subscribe("");
+  pub.publish(msg("t", "1"));
+  pub.close_all();
+  EXPECT_TRUE(sub->recv().has_value());   // drains the backlog
+  EXPECT_FALSE(sub->recv().has_value());  // then reports closed
+}
+
+TEST(PubSub, BlockingRecvWokenByPublish) {
+  PubSocket pub;
+  auto sub = pub.subscribe("");
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    const auto m = sub->recv();
+    got = m.has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pub.publish(msg("t", "wake"));
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(PubSub, ConcurrentPublishersAllDeliver) {
+  PubSocket pub;
+  auto sub = pub.subscribe("", 1 << 16);
+  constexpr int kPerThread = 5'000;
+  std::vector<std::thread> pubs;
+  for (int t = 0; t < 4; ++t) {
+    pubs.emplace_back([&pub] {
+      for (int i = 0; i < kPerThread; ++i) pub.publish(msg("t", "x"));
+    });
+  }
+  for (auto& t : pubs) t.join();
+  EXPECT_EQ(sub->delivered(), 4u * kPerThread);
+  EXPECT_EQ(sub->dropped(), 0u);
+}
+
+TEST(PubSub, BlockPolicyStallsPublisherUntilDrained) {
+  PubSocket pub;
+  auto sub = pub.subscribe("", /*hwm=*/2, HwmPolicy::kBlock);
+  pub.publish(msg("t", "1"));
+  pub.publish(msg("t", "2"));
+
+  std::atomic<bool> third_published{false};
+  std::thread publisher([&] {
+    pub.publish(msg("t", "3"));  // blocks at HWM
+    third_published = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_published.load());  // backpressure, unlike kDrop
+  EXPECT_TRUE(sub->try_recv().has_value());
+  publisher.join();
+  EXPECT_TRUE(third_published.load());
+  EXPECT_EQ(sub->dropped(), 0u);
+  EXPECT_EQ(sub->delivered(), 3u);
+}
+
+TEST(PubSub, BlockPolicyUnblocksOnClose) {
+  PubSocket pub;
+  auto sub = pub.subscribe("", 1, HwmPolicy::kBlock);
+  pub.publish(msg("t", "1"));
+  std::thread publisher([&] { pub.publish(msg("t", "2")); });  // blocks
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pub.close_all();  // must release the stuck publisher
+  publisher.join();
+  SUCCEED();
+}
+
+TEST(PubSub, SubscribeMidStreamSeesOnlyNewMessages) {
+  PubSocket pub;
+  pub.publish(msg("t", "before"));
+  auto sub = pub.subscribe("");
+  pub.publish(msg("t", "after"));
+  const auto m = sub->try_recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->frames[1].view(), "after");
+  EXPECT_FALSE(sub->try_recv().has_value());
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,100 @@
+#include "net/five_tuple.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/random.hpp"
+
+namespace ruru {
+namespace {
+
+FiveTuple tuple(Ipv4Address s, std::uint16_t sp, Ipv4Address d, std::uint16_t dp) {
+  return FiveTuple{s, d, sp, dp, 6};
+}
+
+TEST(FiveTuple, EqualityAndReverse) {
+  const auto t = tuple(Ipv4Address(1, 1, 1, 1), 100, Ipv4Address(2, 2, 2, 2), 200);
+  EXPECT_EQ(t, t);
+  const auto r = t.reversed();
+  EXPECT_EQ(r.src.v4, Ipv4Address(2, 2, 2, 2));
+  EXPECT_EQ(r.src_port, 200);
+  EXPECT_EQ(r.reversed(), t);
+  EXPECT_FALSE(t == r);
+}
+
+TEST(FlowKey, BothDirectionsShareCanonicalForm) {
+  const auto fwd = tuple(Ipv4Address(10, 0, 0, 1), 40000, Ipv4Address(10, 0, 0, 2), 443);
+  const FlowKey a = FlowKey::from(fwd);
+  const FlowKey b = FlowKey::from(fwd.reversed());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.forward, b.forward);
+}
+
+TEST(FlowKey, DirectionBitTracksObservedOrientation) {
+  const auto fwd = tuple(Ipv4Address(10, 0, 0, 1), 40000, Ipv4Address(10, 0, 0, 2), 443);
+  const FlowKey a = FlowKey::from(fwd);
+  // Reconstructing the observed tuple from canonical + direction:
+  const FiveTuple rebuilt = a.forward ? a.canonical : a.canonical.reversed();
+  EXPECT_EQ(rebuilt, fwd);
+}
+
+TEST(FlowKey, DifferentFlowsDiffer) {
+  const FlowKey a =
+      FlowKey::from(tuple(Ipv4Address(10, 0, 0, 1), 40000, Ipv4Address(10, 0, 0, 2), 443));
+  const FlowKey b =
+      FlowKey::from(tuple(Ipv4Address(10, 0, 0, 1), 40001, Ipv4Address(10, 0, 0, 2), 443));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FlowKey, SamePortsDifferentHosts) {
+  const FlowKey a =
+      FlowKey::from(tuple(Ipv4Address(10, 0, 0, 1), 443, Ipv4Address(10, 0, 0, 2), 443));
+  const FlowKey b =
+      FlowKey::from(tuple(Ipv4Address(10, 0, 0, 2), 443, Ipv4Address(10, 0, 0, 3), 443));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FlowKey, HashSymmetryProperty) {
+  Pcg32 rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const auto t = tuple(Ipv4Address(rng.next_u32()), static_cast<std::uint16_t>(rng.next_u32()),
+                         Ipv4Address(rng.next_u32()), static_cast<std::uint16_t>(rng.next_u32()));
+    EXPECT_EQ(FlowKey::from(t).hash(), FlowKey::from(t.reversed()).hash());
+  }
+}
+
+TEST(FlowKey, HashDispersion) {
+  // Many distinct flows should produce (almost) as many distinct hashes.
+  Pcg32 rng(88);
+  std::unordered_set<std::uint64_t> hashes;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const auto t = tuple(Ipv4Address(rng.next_u32()), static_cast<std::uint16_t>(rng.next_u32()),
+                         Ipv4Address(rng.next_u32()), static_cast<std::uint16_t>(rng.next_u32()));
+    hashes.insert(FlowKey::from(t).hash());
+  }
+  EXPECT_GT(hashes.size(), static_cast<std::size_t>(n - 5));
+}
+
+TEST(FlowKey, WorksInUnorderedContainers) {
+  std::unordered_set<FlowKey> set;
+  const auto t = tuple(Ipv4Address(1, 2, 3, 4), 1, Ipv4Address(4, 3, 2, 1), 2);
+  set.insert(FlowKey::from(t));
+  EXPECT_EQ(set.count(FlowKey::from(t.reversed())), 1u);
+}
+
+TEST(FlowKey, Ipv6FlowsCanonicalize) {
+  FiveTuple t;
+  t.src = Ipv6Address::parse("2001:db8::1").value();
+  t.dst = Ipv6Address::parse("2001:db8::2").value();
+  t.src_port = 5000;
+  t.dst_port = 80;
+  t.protocol = 6;
+  EXPECT_EQ(FlowKey::from(t), FlowKey::from(t.reversed()));
+  EXPECT_EQ(FlowKey::from(t).hash(), FlowKey::from(t.reversed()).hash());
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,256 @@
+#include "net/headers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace ruru {
+namespace {
+
+TEST(EthernetHeader, RoundTrip) {
+  EthernetHeader h;
+  h.dst = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55};
+  h.src = {0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  h.ether_type = kEtherTypeIpv4;
+  std::vector<std::uint8_t> buf(EthernetHeader::kSize);
+  EXPECT_EQ(h.write(buf), EthernetHeader::kSize);
+  const auto parsed = EthernetHeader::parse(buf);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().dst, h.dst);
+  EXPECT_EQ(parsed.value().src, h.src);
+  EXPECT_EQ(parsed.value().ether_type, h.ether_type);
+}
+
+TEST(EthernetHeader, RejectsShortFrame) {
+  std::vector<std::uint8_t> buf(13, 0);
+  EXPECT_FALSE(EthernetHeader::parse(buf).ok());
+}
+
+TEST(Ipv4Header, RoundTripWithChecksum) {
+  Ipv4Header h;
+  h.total_length = 64;
+  h.identification = 0x1234;
+  h.flags_fragment = 0x4000;
+  h.ttl = 57;
+  h.protocol = kIpProtoTcp;
+  h.src = Ipv4Address(10, 0, 0, 1);
+  h.dst = Ipv4Address(192, 168, 1, 1);
+  std::vector<std::uint8_t> buf(20);
+  EXPECT_EQ(h.write(buf), 20u);
+
+  const auto parsed = Ipv4Header::parse(buf);
+  ASSERT_TRUE(parsed.ok());
+  const Ipv4Header& p = parsed.value();
+  EXPECT_EQ(p.total_length, 64);
+  EXPECT_EQ(p.identification, 0x1234);
+  EXPECT_EQ(p.ttl, 57);
+  EXPECT_EQ(p.src, h.src);
+  EXPECT_EQ(p.dst, h.dst);
+  EXPECT_NE(p.header_checksum, 0);
+
+  // A written header verifies: checksum over it (incl. checksum field)
+  // must be zero after inversion — i.e. internet_checksum == 0.
+  EXPECT_EQ(internet_checksum(std::span<const std::uint8_t>(buf.data(), 20)), 0);
+}
+
+TEST(Ipv4Header, RejectsBadVersionAndLengths) {
+  std::vector<std::uint8_t> buf(20, 0);
+  buf[0] = 0x60;  // version 6 in an IPv4 parse
+  EXPECT_FALSE(Ipv4Header::parse(buf).ok());
+  buf[0] = 0x44;  // ihl=4 < 5
+  EXPECT_FALSE(Ipv4Header::parse(buf).ok());
+  buf[0] = 0x4F;  // ihl=15 but buffer is 20 bytes
+  EXPECT_FALSE(Ipv4Header::parse(buf).ok());
+  EXPECT_FALSE(Ipv4Header::parse(std::span<const std::uint8_t>(buf.data(), 10)).ok());
+}
+
+TEST(Ipv4Header, FragmentDetection) {
+  Ipv4Header h;
+  h.flags_fragment = 0x4000;  // DF only
+  EXPECT_FALSE(h.is_fragment());
+  h.flags_fragment = 0x2000;  // MF
+  EXPECT_TRUE(h.is_fragment());
+  h.flags_fragment = 0x0010;  // offset != 0
+  EXPECT_TRUE(h.is_fragment());
+}
+
+TEST(Ipv6Header, RoundTrip) {
+  Ipv6Header h;
+  h.payload_length = 120;
+  h.next_header = kIpProtoTcp;
+  h.hop_limit = 60;
+  h.src = Ipv6Address::parse("2001:db8::1").value();
+  h.dst = Ipv6Address::parse("2001:db8::2").value();
+  std::vector<std::uint8_t> buf(Ipv6Header::kSize);
+  EXPECT_EQ(h.write(buf), Ipv6Header::kSize);
+  const auto parsed = Ipv6Header::parse(buf);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().payload_length, 120);
+  EXPECT_EQ(parsed.value().next_header, kIpProtoTcp);
+  EXPECT_EQ(parsed.value().src, h.src);
+  EXPECT_EQ(parsed.value().dst, h.dst);
+}
+
+TEST(TcpHeader, RoundTripPlain) {
+  TcpHeader h;
+  h.src_port = 43210;
+  h.dst_port = 443;
+  h.seq = 0xDEADBEEF;
+  h.ack = 0x12345678;
+  h.flags = TcpFlags::kSyn | TcpFlags::kAck;
+  h.window = 29200;
+  std::vector<std::uint8_t> buf(h.header_length());
+  EXPECT_EQ(h.write(buf), 20u);
+  const auto parsed = TcpHeader::parse(buf);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().src_port, 43210);
+  EXPECT_EQ(parsed.value().dst_port, 443);
+  EXPECT_EQ(parsed.value().seq, 0xDEADBEEF);
+  EXPECT_EQ(parsed.value().ack, 0x12345678u);
+  EXPECT_TRUE(parsed.value().is_syn_ack());
+  EXPECT_EQ(parsed.value().window, 29200);
+}
+
+TEST(TcpHeader, FlagHelpers) {
+  TcpHeader h;
+  h.flags = TcpFlags::kSyn;
+  EXPECT_TRUE(h.is_syn_only());
+  EXPECT_FALSE(h.is_syn_ack());
+  h.flags = TcpFlags::kSyn | TcpFlags::kAck;
+  EXPECT_FALSE(h.is_syn_only());
+  EXPECT_TRUE(h.is_syn_ack());
+  h.flags = TcpFlags::kRst;
+  EXPECT_TRUE(h.rst());
+  h.flags = TcpFlags::kFin | TcpFlags::kAck;
+  EXPECT_TRUE(h.fin());
+  EXPECT_TRUE(h.ack_flag());
+}
+
+TEST(TcpHeader, TimestampOptionRoundTrip) {
+  TcpHeader h;
+  ASSERT_TRUE(h.add_timestamp_option(0xAABBCCDD, 0x11223344));
+  EXPECT_EQ(h.header_length(), 32u);  // 20 + 12
+  std::vector<std::uint8_t> buf(h.header_length());
+  h.write(buf);
+  const auto parsed = TcpHeader::parse(buf);
+  ASSERT_TRUE(parsed.ok());
+  const auto ts = parsed.value().timestamp_option();
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_EQ(ts->ts_val, 0xAABBCCDD);
+  EXPECT_EQ(ts->ts_ecr, 0x11223344u);
+}
+
+TEST(TcpHeader, MssAndTimestampTogether) {
+  TcpHeader h;
+  ASSERT_TRUE(h.add_mss_option(1460));
+  ASSERT_TRUE(h.add_timestamp_option(100, 0));
+  std::vector<std::uint8_t> buf(h.header_length());
+  h.write(buf);
+  const auto parsed = TcpHeader::parse(buf);
+  ASSERT_TRUE(parsed.ok());
+  const auto ts = parsed.value().timestamp_option();
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_EQ(ts->ts_val, 100u);
+}
+
+TEST(TcpHeader, AllSynOptionsTogether) {
+  // A realistic modern SYN: MSS + SACK-permitted + TS + window scale.
+  TcpHeader h;
+  ASSERT_TRUE(h.add_mss_option(1460));
+  ASSERT_TRUE(h.add_sack_permitted_option());
+  ASSERT_TRUE(h.add_timestamp_option(0x11111111, 0));
+  ASSERT_TRUE(h.add_window_scale_option(7));
+  std::vector<std::uint8_t> buf(h.header_length());
+  h.write(buf);
+  const auto p = TcpHeader::parse(buf);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().mss_option().value(), 1460);
+  EXPECT_TRUE(p.value().sack_permitted());
+  EXPECT_EQ(p.value().timestamp_option()->ts_val, 0x11111111u);
+  EXPECT_EQ(p.value().window_scale_option().value(), 7);
+}
+
+TEST(TcpHeader, AbsentOptionsReportAbsent) {
+  TcpHeader h;
+  h.add_timestamp_option(1, 2);
+  EXPECT_FALSE(h.mss_option().has_value());
+  EXPECT_FALSE(h.window_scale_option().has_value());
+  EXPECT_FALSE(h.sack_permitted());
+}
+
+TEST(TcpHeader, NoTimestampOptionReturnsNullopt) {
+  TcpHeader h;
+  EXPECT_FALSE(h.timestamp_option().has_value());
+  h.add_mss_option(1460);
+  EXPECT_FALSE(h.timestamp_option().has_value());
+}
+
+TEST(TcpHeader, MalformedOptionsDontCrash) {
+  TcpHeader h;
+  h.options_length = 3;
+  h.options[0] = 8;   // timestamp kind...
+  h.options[1] = 10;  // ...claims 10 bytes but only 3 present
+  h.options[2] = 0;
+  EXPECT_FALSE(h.timestamp_option().has_value());
+
+  h.options[0] = 5;  // SACK with zero len
+  h.options[1] = 0;  // invalid length < 2
+  EXPECT_FALSE(h.timestamp_option().has_value());
+}
+
+TEST(TcpHeader, OptionSpaceOverflowRejected) {
+  TcpHeader h;
+  ASSERT_TRUE(h.add_timestamp_option(1, 2));  // 12
+  ASSERT_TRUE(h.add_timestamp_option(3, 4));  // 24
+  ASSERT_TRUE(h.add_timestamp_option(5, 6));  // 36
+  EXPECT_FALSE(h.add_timestamp_option(7, 8));  // 48 > 40
+  EXPECT_TRUE(h.add_mss_option(1400));         // 40 exactly fits
+  EXPECT_FALSE(h.add_mss_option(1400));
+}
+
+TEST(TcpHeader, RejectsTruncated) {
+  std::vector<std::uint8_t> buf(19, 0);
+  EXPECT_FALSE(TcpHeader::parse(buf).ok());
+  buf.resize(20, 0);
+  buf[12] = 0x40;  // data_offset 4 < 5
+  EXPECT_FALSE(TcpHeader::parse(buf).ok());
+  buf[12] = 0x80;  // data_offset 8 -> needs 32 bytes
+  EXPECT_FALSE(TcpHeader::parse(buf).ok());
+}
+
+// Property: random headers round-trip through write/parse.
+class TcpHeaderFuzzRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TcpHeaderFuzzRoundTrip, WriteParseIdentity) {
+  Pcg32 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    TcpHeader h;
+    h.src_port = static_cast<std::uint16_t>(rng.next_u32());
+    h.dst_port = static_cast<std::uint16_t>(rng.next_u32());
+    h.seq = rng.next_u32();
+    h.ack = rng.next_u32();
+    h.flags = static_cast<std::uint8_t>(rng.next_u32() & 0x3f);
+    h.window = static_cast<std::uint16_t>(rng.next_u32());
+    if (rng.chance(0.5)) h.add_mss_option(static_cast<std::uint16_t>(rng.next_u32()));
+    if (rng.chance(0.5)) h.add_timestamp_option(rng.next_u32(), rng.next_u32());
+    std::vector<std::uint8_t> buf(h.header_length());
+    h.write(buf);
+    const auto p = TcpHeader::parse(buf);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p.value().src_port, h.src_port);
+    EXPECT_EQ(p.value().dst_port, h.dst_port);
+    EXPECT_EQ(p.value().seq, h.seq);
+    EXPECT_EQ(p.value().ack, h.ack);
+    EXPECT_EQ(p.value().flags, h.flags);
+    EXPECT_EQ(p.value().header_length(), h.header_length());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcpHeaderFuzzRoundTrip, ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace ruru

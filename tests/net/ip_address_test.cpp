@@ -1,0 +1,106 @@
+#include "net/ip_address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ruru {
+namespace {
+
+TEST(Ipv4Address, ParseValid) {
+  const auto a = Ipv4Address::parse("203.0.113.7");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().value(), 0xCB007107u);
+  EXPECT_EQ(a.value().to_string(), "203.0.113.7");
+}
+
+TEST(Ipv4Address, ParseEdges) {
+  EXPECT_TRUE(Ipv4Address::parse("0.0.0.0").ok());
+  EXPECT_TRUE(Ipv4Address::parse("255.255.255.255").ok());
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255").value().value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, ParseRejectsGarbage) {
+  EXPECT_FALSE(Ipv4Address::parse("").ok());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").ok());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").ok());
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1").ok());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x").ok());
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").ok());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").ok());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.1000").ok());
+}
+
+TEST(Ipv4Address, OctetConstructorMatchesParse) {
+  EXPECT_EQ(Ipv4Address(10, 1, 2, 3), Ipv4Address::parse("10.1.2.3").value());
+}
+
+TEST(Ipv4Address, RoundTripFormatParse) {
+  for (const std::uint32_t v : {0u, 1u, 0x0A000001u, 0xC0A80101u, 0xFFFFFFFFu, 0x7F000001u}) {
+    const Ipv4Address a(v);
+    EXPECT_EQ(Ipv4Address::parse(a.to_string()).value(), a);
+  }
+}
+
+TEST(Ipv4Address, PrefixContainment) {
+  const auto a = Ipv4Address(10, 1, 2, 3);
+  EXPECT_TRUE(a.in_prefix(Ipv4Address(10, 0, 0, 0), 8));
+  EXPECT_TRUE(a.in_prefix(Ipv4Address(10, 1, 2, 0), 24));
+  EXPECT_FALSE(a.in_prefix(Ipv4Address(10, 1, 3, 0), 24));
+  EXPECT_TRUE(a.in_prefix(Ipv4Address(0, 0, 0, 0), 0));
+  EXPECT_TRUE(a.in_prefix(a, 32));
+  EXPECT_FALSE(Ipv4Address(10, 1, 2, 4).in_prefix(a, 32));
+}
+
+TEST(Ipv6Address, ParseFull) {
+  const auto a = Ipv6Address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().to_string(), "2001:db8::1");
+}
+
+TEST(Ipv6Address, ParseCompressed) {
+  ASSERT_TRUE(Ipv6Address::parse("::1").ok());
+  EXPECT_EQ(Ipv6Address::parse("::1").value().to_string(), "::1");
+  EXPECT_EQ(Ipv6Address::parse("fe80::").value().to_string(), "fe80::");
+  EXPECT_EQ(Ipv6Address::parse("::").value().to_string(), "::");
+  EXPECT_EQ(Ipv6Address::parse("2001:db8::8a2e:370:7334").value().to_string(),
+            "2001:db8::8a2e:370:7334");
+}
+
+TEST(Ipv6Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv6Address::parse("").ok());
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3").ok());
+  EXPECT_FALSE(Ipv6Address::parse("::1::2").ok());
+  EXPECT_FALSE(Ipv6Address::parse("12345::").ok());
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8:9").ok());
+  EXPECT_FALSE(Ipv6Address::parse("g::1").ok());
+  // '::' eliding zero groups while all 8 are present is invalid.
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4::5:6:7:8").ok());
+}
+
+TEST(Ipv6Address, RoundTrip) {
+  for (const char* s : {"::1", "2001:db8::1", "fe80::1:2:3:4", "1:2:3:4:5:6:7:8"}) {
+    const auto a = Ipv6Address::parse(s);
+    ASSERT_TRUE(a.ok()) << s;
+    EXPECT_EQ(Ipv6Address::parse(a.value().to_string()).value(), a.value()) << s;
+  }
+}
+
+TEST(Ipv6Address, CompressesLongestRun) {
+  // Two zero runs: only the longest is compressed.
+  const auto a = Ipv6Address::parse("1:0:0:2:0:0:0:3");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().to_string(), "1:0:0:2::3");
+}
+
+TEST(IpAddress, FamilyDispatch) {
+  const IpAddress v4 = Ipv4Address(1, 2, 3, 4);
+  const IpAddress v6 = Ipv6Address::parse("::1").value();
+  EXPECT_TRUE(v4.is_v4());
+  EXPECT_FALSE(v6.is_v4());
+  EXPECT_EQ(v4.to_string(), "1.2.3.4");
+  EXPECT_EQ(v6.to_string(), "::1");
+  EXPECT_FALSE(v4 == v6);
+  EXPECT_TRUE(v4 == IpAddress(Ipv4Address(1, 2, 3, 4)));
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,141 @@
+#include "net/packet_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "net/packet_builder.hpp"
+
+namespace ruru {
+namespace {
+
+TcpFrameSpec basic_spec() {
+  TcpFrameSpec spec;
+  spec.src_ip = Ipv4Address(10, 1, 0, 5);
+  spec.dst_ip = Ipv4Address(10, 2, 0, 9);
+  spec.src_port = 40000;
+  spec.dst_port = 443;
+  spec.seq = 1000;
+  spec.flags = TcpFlags::kSyn;
+  return spec;
+}
+
+TEST(PacketView, ParsesTcpSyn) {
+  const auto frame = build_tcp_frame(basic_spec());
+  PacketView view;
+  ASSERT_EQ(parse_packet(frame, view), ParseStatus::kOk);
+  EXPECT_TRUE(view.is_v4);
+  EXPECT_EQ(view.ip4.src, Ipv4Address(10, 1, 0, 5));
+  EXPECT_EQ(view.ip4.dst, Ipv4Address(10, 2, 0, 9));
+  EXPECT_EQ(view.tcp.src_port, 40000);
+  EXPECT_EQ(view.tcp.dst_port, 443);
+  EXPECT_TRUE(view.tcp.is_syn_only());
+  EXPECT_EQ(view.payload_length, 0u);
+  EXPECT_EQ(view.frame_length, frame.size());
+}
+
+TEST(PacketView, PayloadLengthAccountsForHeaders) {
+  auto spec = basic_spec();
+  spec.flags = TcpFlags::kAck | TcpFlags::kPsh;
+  spec.payload_length = 777;
+  spec.with_timestamps = true;
+  const auto frame = build_tcp_frame(spec);
+  PacketView view;
+  ASSERT_EQ(parse_packet(frame, view), ParseStatus::kOk);
+  EXPECT_EQ(view.payload_length, 777u);
+}
+
+TEST(PacketView, TupleExtraction) {
+  const auto frame = build_tcp_frame(basic_spec());
+  PacketView view;
+  ASSERT_EQ(parse_packet(frame, view), ParseStatus::kOk);
+  const FiveTuple t = view.tuple();
+  EXPECT_EQ(t.src.v4, Ipv4Address(10, 1, 0, 5));
+  EXPECT_EQ(t.dst.v4, Ipv4Address(10, 2, 0, 9));
+  EXPECT_EQ(t.src_port, 40000);
+  EXPECT_EQ(t.dst_port, 443);
+  EXPECT_EQ(t.protocol, kIpProtoTcp);
+}
+
+TEST(PacketView, ParsesTcpIpv6) {
+  TcpFrameSpec spec;
+  spec.src_ip = Ipv6Address::parse("2001:db8::1").value();
+  spec.dst_ip = Ipv6Address::parse("2001:db8::2").value();
+  spec.src_port = 1234;
+  spec.dst_port = 80;
+  spec.flags = TcpFlags::kSyn;
+  const auto frame = build_tcp_frame(spec);
+  PacketView view;
+  ASSERT_EQ(parse_packet(frame, view), ParseStatus::kOk);
+  EXPECT_FALSE(view.is_v4);
+  EXPECT_EQ(view.ip6.src.to_string(), "2001:db8::1");
+  EXPECT_FALSE(view.tuple().src.is_v4());
+}
+
+TEST(PacketView, ClassifiesNonIp) {
+  const auto frame = build_non_ip_frame();
+  PacketView view;
+  EXPECT_EQ(parse_packet(frame, view), ParseStatus::kNotIp);
+}
+
+TEST(PacketView, ClassifiesUdpAsNotTcp) {
+  const auto frame = build_udp_frame(Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2), 53, 5353, 64);
+  PacketView view;
+  EXPECT_EQ(parse_packet(frame, view), ParseStatus::kNotTcp);
+}
+
+TEST(PacketView, ClassifiesFragment) {
+  auto frame = build_tcp_frame(basic_spec());
+  // Set a nonzero fragment offset in the IPv4 header (bytes 6-7 after eth).
+  frame[14 + 6] = 0x00;
+  frame[14 + 7] = 0x10;  // offset 16
+  // Fix the header checksum so only fragmentation differs semantically
+  // (parse_packet does not verify checksums, so zeroing is fine).
+  PacketView view;
+  EXPECT_EQ(parse_packet(frame, view), ParseStatus::kFragment);
+}
+
+TEST(PacketView, RejectsTruncatedFrames) {
+  const auto frame = build_tcp_frame(basic_spec());
+  PacketView view;
+  // Every truncation point must fail cleanly, never read OOB.
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const auto status =
+        parse_packet(std::span<const std::uint8_t>(frame.data(), len), view);
+    EXPECT_NE(status, ParseStatus::kOk) << "truncated to " << len;
+  }
+}
+
+TEST(PacketView, RejectsLyingIpTotalLength) {
+  auto frame = build_tcp_frame(basic_spec());
+  // total_length claims more bytes than the frame carries.
+  frame[14 + 2] = 0x40;
+  frame[14 + 3] = 0x00;  // 16384
+  PacketView view;
+  EXPECT_EQ(parse_packet(frame, view), ParseStatus::kMalformed);
+}
+
+TEST(PacketView, StatusStrings) {
+  EXPECT_STREQ(to_string(ParseStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(ParseStatus::kMalformed), "malformed");
+  EXPECT_STREQ(to_string(ParseStatus::kNotIp), "not-ip");
+}
+
+TEST(PacketBuilder, TcpChecksumIsValid) {
+  auto spec = basic_spec();
+  spec.payload_length = 100;
+  spec.with_timestamps = true;
+  spec.ts_val = 42;
+  const auto frame = build_tcp_frame(spec);
+  PacketView view;
+  ASSERT_EQ(parse_packet(frame, view), ParseStatus::kOk);
+  // Recompute the TCP checksum over the segment as carried; verifying
+  // sum (with embedded checksum) must be zero.
+  const std::size_t l4 = 14 + view.ip4.header_length();
+  const std::size_t tcp_len = view.ip4.total_length - view.ip4.header_length();
+  const std::uint16_t verify = tcp_checksum_v4(
+      view.ip4.src, view.ip4.dst, std::span<const std::uint8_t>(frame.data() + l4, tcp_len));
+  EXPECT_EQ(verify, 0);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,172 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace ruru {
+namespace {
+
+TEST(Histogram, EmptyIsZeroEverywhere) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1'000'000);  // 1 ms
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1'000'000);
+  EXPECT_EQ(h.max(), 1'000'000);
+  EXPECT_DOUBLE_EQ(h.mean(), 1'000'000.0);
+  // Median equals the single value within bucket resolution.
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 1e6, 1e6 * 0.04);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::int64_t v = 0; v < 32; ++v) h.record(v);
+  // Values below 32 are identity-bucketed.
+  for (std::int64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(Histogram::bucket_value(Histogram::bucket_index(v)), v);
+  }
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 31);
+}
+
+TEST(Histogram, BucketRelativeErrorBounded) {
+  Pcg32 rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = static_cast<std::int64_t>(rng.next_u64() % (1ULL << 40)) + 32;
+    const std::int64_t rep = Histogram::bucket_value(Histogram::bucket_index(v));
+    const double err = std::abs(static_cast<double>(rep - v)) / static_cast<double>(v);
+    EXPECT_LT(err, 0.033) << "value " << v << " rep " << rep;
+  }
+}
+
+TEST(Histogram, BucketIndexIsMonotonic) {
+  std::size_t prev = 0;
+  for (std::int64_t v = 0; v < 1'000'000; v = v < 64 ? v + 1 : v + v / 7) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << "at value " << v;
+    prev = idx;
+  }
+}
+
+TEST(Histogram, PercentilesOrderedAndWithinRange) {
+  Histogram h;
+  Pcg32 rng(7);
+  for (int i = 0; i < 100'000; ++i) {
+    h.record(static_cast<std::int64_t>(rng.exponential(50e6)));  // ~50ms mean
+  }
+  const auto p50 = h.percentile(0.5);
+  const auto p95 = h.percentile(0.95);
+  const auto p99 = h.percentile(0.99);
+  EXPECT_LE(h.min(), p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  // Exponential(mean m): median = m*ln2.
+  EXPECT_NEAR(static_cast<double>(p50), 50e6 * 0.6931, 50e6 * 0.08);
+}
+
+TEST(Histogram, PercentileMatchesSortedVectorOnUniformData) {
+  Histogram h;
+  std::vector<std::int64_t> raw;
+  Pcg32 rng(99);
+  for (int i = 0; i < 50'000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.bounded(1'000'000'000));
+    h.record(v);
+    raw.push_back(v);
+  }
+  std::sort(raw.begin(), raw.end());
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const auto exact = raw[static_cast<std::size_t>(q * (raw.size() - 1))];
+    const auto approx = h.percentile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                std::max(64.0, static_cast<double>(exact) * 0.04))
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Histogram a, b, combined;
+  Pcg32 rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.bounded(1'000'000));
+    if (i % 2 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.percentile(q), combined.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeIntoEmpty) {
+  Histogram a, b;
+  b.record(123);
+  b.record(456);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 123);
+  EXPECT_EQ(a.max(), 456);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.record(1234);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(Histogram, RecordsDurations) {
+  Histogram h;
+  h.record(Duration::from_ms(4000));
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 4e9, 4e9 * 0.04);
+}
+
+// Property sweep: p0 == min and p100 == max for arbitrary data shapes.
+class HistogramPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramPropertyTest, ExtremesMatchMinMax) {
+  Histogram h;
+  Pcg32 rng(GetParam());
+  const int n = 1 + static_cast<int>(rng.bounded(5000));
+  for (int i = 0; i < n; ++i) {
+    h.record(static_cast<std::int64_t>(rng.next_u64() % (1ULL << rng.bounded(50))));
+  }
+  EXPECT_EQ(h.percentile(0.0), h.min());
+  EXPECT_EQ(h.percentile(1.0), h.max());
+  EXPECT_GE(h.mean(), static_cast<double>(h.min()));
+  EXPECT_LE(h.mean(), static_cast<double>(h.max()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,106 @@
+#include "util/mpmc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ruru {
+namespace {
+
+TEST(MpmcQueue, PushPop) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(MpmcQueue, TryPushFullFails) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+}
+
+TEST(MpmcQueue, TryPopEmptyFails) {
+  MpmcQueue<int> q(2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, CloseUnblocksAndDrains) {
+  MpmcQueue<int> q(4);
+  ASSERT_TRUE(q.push(7));
+  q.close();
+  EXPECT_FALSE(q.push(8));          // closed: pushes fail
+  EXPECT_EQ(q.pop().value(), 7);    // drains remaining
+  EXPECT_FALSE(q.pop().has_value());  // then signals end
+}
+
+TEST(MpmcQueue, CloseWakesBlockedConsumer) {
+  MpmcQueue<int> q(4);
+  std::thread consumer([&] {
+    const auto v = q.pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+TEST(MpmcQueue, BlockingPushWaitsForSpace) {
+  MpmcQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks until a pop frees space
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumersConserveItems) {
+  MpmcQueue<int> q(64);
+  constexpr int kPerProducer = 10'000;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum.fetch_add(*v);
+        received.fetch_add(1);
+      }
+    });
+  }
+  // Join producers (first kProducers threads), then close.
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (int c = 0; c < kConsumers; ++c) threads[static_cast<std::size_t>(kProducers + c)].join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), total);
+  const std::int64_t expected =
+      static_cast<std::int64_t>(total) * (total - 1) / 2;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,96 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ruru {
+namespace {
+
+TEST(Pcg32, DeterministicAcrossInstances) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BoundedStaysInBounds) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 rng(10);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Pcg32, ExponentialHasRequestedMean) {
+  Pcg32 rng(11);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Pcg32, NormalMoments) {
+  Pcg32 rng(12);
+  double sum = 0, sq = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Pcg32, ParetoRespectsMinimum) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(rng.pareto(1.5, 3.0), 3.0);
+  }
+}
+
+TEST(Pcg32, ChanceFrequency) {
+  Pcg32 rng(14);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Pcg32, BoundedIsRoughlyUniform) {
+  Pcg32 rng(15);
+  int counts[8] = {};
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.bounded(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 8.0, n / 8.0 * 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,67 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace ruru {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return make_error("not positive");
+  return v;
+}
+
+TEST(Result, OkPath) {
+  const auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(r.value_or(-1), 5);
+}
+
+TEST(Result, ErrorPath) {
+  const auto r = parse_positive(-3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "not positive");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(Result, MutableValueAccess) {
+  Result<std::string> r = std::string("abc");
+  r.value() += "def";
+  EXPECT_EQ(r.value(), "abcdef");
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+}
+
+TEST(Status, CarriesError) {
+  const Status s = make_error("disk full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error(), "disk full");
+}
+
+Status do_io(bool fail) {
+  if (fail) return make_error("io failed");
+  return {};
+}
+
+TEST(Status, FunctionReturnStyle) {
+  EXPECT_TRUE(do_io(false).ok());
+  EXPECT_FALSE(do_io(true).ok());
+}
+
+}  // namespace
+}  // namespace ruru

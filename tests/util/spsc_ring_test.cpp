@@ -1,0 +1,135 @@
+#include "util/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace ruru {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> r(100);
+  EXPECT_EQ(r.capacity(), 128u);
+  SpscRing<int> r2(128);
+  EXPECT_EQ(r2.capacity(), 128u);
+  SpscRing<int> r3(1);
+  EXPECT_EQ(r3.capacity(), 1u);
+}
+
+TEST(SpscRing, PushPopSingle) {
+  SpscRing<int> r(4);
+  EXPECT_TRUE(r.try_push(42));
+  EXPECT_EQ(r.size(), 1u);
+  const auto v = r.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(SpscRing, PopFromEmptyFails) {
+  SpscRing<int> r(4);
+  EXPECT_FALSE(r.try_pop().has_value());
+}
+
+TEST(SpscRing, PushToFullFails) {
+  SpscRing<int> r(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(r.try_push(i));
+  EXPECT_FALSE(r.try_push(99));
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(SpscRing, FifoOrder) {
+  SpscRing<int> r(8);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(r.try_push(i));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(r.try_pop().value(), i);
+}
+
+TEST(SpscRing, WrapsAround) {
+  SpscRing<int> r(4);
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(r.try_push(round));
+    ASSERT_TRUE(r.try_push(round + 1000));
+    EXPECT_EQ(r.try_pop().value(), round);
+    EXPECT_EQ(r.try_pop().value(), round + 1000);
+  }
+}
+
+TEST(SpscRing, BurstPop) {
+  SpscRing<int> r(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(r.try_push(i));
+  int out[32];
+  const std::size_t n = r.pop_burst(out, 32);
+  EXPECT_EQ(n, 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(r.pop_burst(out, 32), 0u);
+}
+
+TEST(SpscRing, BurstPopRespectsMax) {
+  SpscRing<int> r(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(r.try_push(i));
+  int out[4];
+  EXPECT_EQ(r.pop_burst(out, 4), 4u);
+  EXPECT_EQ(r.size(), 6u);
+}
+
+TEST(SpscRing, MovesUniquePtrs) {
+  SpscRing<std::unique_ptr<int>> r(4);
+  ASSERT_TRUE(r.try_push(std::make_unique<int>(7)));
+  auto p = r.try_pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(**p, 7);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerPreservesAllItems) {
+  SpscRing<std::uint64_t> r(1024);
+  constexpr std::uint64_t kItems = 200'000;
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems;) {
+      if (r.try_push(i)) ++i;
+    }
+  });
+
+  std::uint64_t expected = 0;
+  std::uint64_t sum = 0;
+  while (expected < kItems) {
+    if (auto v = r.try_pop()) {
+      EXPECT_EQ(*v, expected);  // order preserved
+      sum += *v;
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+  EXPECT_FALSE(r.try_pop().has_value());
+}
+
+TEST(SpscRing, ConcurrentBurstConsumer) {
+  SpscRing<std::uint64_t> r(256);
+  constexpr std::uint64_t kItems = 100'000;
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems;) {
+      if (r.try_push(i)) ++i;
+    }
+  });
+
+  std::uint64_t received = 0;
+  std::uint64_t next = 0;
+  std::uint64_t buf[64];
+  while (received < kItems) {
+    const std::size_t n = r.pop_burst(buf, 64);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(buf[i], next++);
+    }
+    received += n;
+  }
+  producer.join();
+  EXPECT_EQ(received, kItems);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,56 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ruru {
+namespace {
+
+TEST(Time, ConstructorsAndConversions) {
+  EXPECT_EQ(Timestamp::from_ms(1).ns, 1'000'000);
+  EXPECT_EQ(Timestamp::from_us(1).ns, 1'000);
+  EXPECT_EQ(Timestamp::from_sec(1.5).ns, 1'500'000'000);
+  EXPECT_DOUBLE_EQ(Timestamp::from_ms(250).to_sec(), 0.25);
+  EXPECT_DOUBLE_EQ(Duration::from_ms(4000).to_sec(), 4.0);
+}
+
+TEST(Time, Arithmetic) {
+  const Timestamp t0 = Timestamp::from_sec(1.0);
+  const Timestamp t1 = Timestamp::from_sec(2.5);
+  EXPECT_EQ((t1 - t0).ns, 1'500'000'000);
+  EXPECT_EQ((t0 + Duration::from_ms(500)).ns, 1'500'000'000);
+  EXPECT_EQ((t1 - Duration::from_sec(0.5)).ns, 2'000'000'000);
+  EXPECT_EQ((Duration::from_ms(10) * 3).ns, 30'000'000);
+  EXPECT_EQ((Duration::from_ms(10) / 2).ns, 5'000'000);
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Timestamp::from_ms(1), Timestamp::from_ms(2));
+  EXPECT_GT(Duration::from_ms(5), Duration::from_ms(4));
+  EXPECT_EQ(Timestamp::from_us(1000), Timestamp::from_ms(1));
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(to_string(Duration::from_ns(812)), "812 ns");
+  EXPECT_EQ(to_string(Duration::from_us(15)), "15.0 us");
+  EXPECT_EQ(to_string(Duration::from_ms(4000)), "4.000 s");
+  EXPECT_EQ(to_string(Duration::from_ms(128)), "128.0 ms");
+}
+
+TEST(Time, SimClockAdvances) {
+  SimClock clock(Timestamp::from_sec(10));
+  EXPECT_EQ(clock.now(), Timestamp::from_sec(10.0));
+  clock.advance(Duration::from_ms(1500));
+  EXPECT_EQ(clock.now().ns, Timestamp::from_sec(11.5).ns);
+  clock.set(Timestamp::from_sec(0));
+  EXPECT_EQ(clock.now().ns, 0);
+}
+
+TEST(Time, SystemClockMonotonic) {
+  SystemClock clock;
+  const Timestamp a = clock.now();
+  const Timestamp b = clock.now();
+  EXPECT_LE(a.ns, b.ns);
+}
+
+}  // namespace
+}  // namespace ruru

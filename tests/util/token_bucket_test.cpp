@@ -1,0 +1,67 @@
+#include "util/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ruru {
+namespace {
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket tb(10.0, 5.0);
+  const Timestamp t0 = Timestamp::from_sec(0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(tb.allow(t0)) << i;
+  EXPECT_FALSE(tb.allow(t0));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket tb(10.0, 5.0);  // 10 tokens/sec
+  Timestamp t = Timestamp::from_sec(0);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(tb.allow(t));
+  EXPECT_FALSE(tb.allow(t));
+  // 100 ms later exactly one token has accrued.
+  t = t + Duration::from_ms(100);
+  EXPECT_TRUE(tb.allow(t));
+  EXPECT_FALSE(tb.allow(t));
+}
+
+TEST(TokenBucket, BurstCapped) {
+  TokenBucket tb(1000.0, 3.0);
+  Timestamp t = Timestamp::from_sec(0);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(tb.allow(t));
+  ASSERT_FALSE(tb.allow(t));
+  // A long idle period cannot accumulate more than burst.
+  t = t + Duration::from_sec(100.0);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(tb.allow(t)) << i;
+  EXPECT_FALSE(tb.allow(t));
+}
+
+TEST(TokenBucket, MultiTokenRequests) {
+  TokenBucket tb(10.0, 10.0);
+  Timestamp t = Timestamp::from_sec(0);
+  EXPECT_TRUE(tb.allow(t, 10.0));
+  EXPECT_FALSE(tb.allow(t, 0.5));
+  t = t + Duration::from_ms(50);  // +0.5 tokens
+  EXPECT_TRUE(tb.allow(t, 0.5));
+}
+
+TEST(TokenBucket, TimeGoingBackwardsIsIgnored) {
+  TokenBucket tb(10.0, 1.0);
+  Timestamp t = Timestamp::from_sec(10);
+  EXPECT_TRUE(tb.allow(t));
+  // Clock regression must not mint tokens.
+  EXPECT_FALSE(tb.allow(Timestamp::from_sec(5)));
+  EXPECT_FALSE(tb.allow(Timestamp::from_sec(9.99)));
+}
+
+TEST(TokenBucket, ThirtyFpsShaping) {
+  // The viz feed's exact use: 30 fps cap over a 1-second burst of ticks.
+  TokenBucket tb(30.0, 1.0);
+  int admitted = 0;
+  for (int ms = 0; ms < 1000; ++ms) {
+    if (tb.allow(Timestamp::from_ms(ms))) ++admitted;
+  }
+  EXPECT_GE(admitted, 29);
+  EXPECT_LE(admitted, 31);
+}
+
+}  // namespace
+}  // namespace ruru

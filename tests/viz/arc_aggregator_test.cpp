@@ -1,0 +1,110 @@
+#include "viz/arc_aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ruru {
+namespace {
+
+EnrichedSample sample(const std::string& src, const std::string& dst, std::int64_t total_ms,
+                      double src_lat = -36.8, double dst_lat = 34.0) {
+  EnrichedSample s;
+  s.client.city = src;
+  s.client.latitude = src_lat;
+  s.client.longitude = 174.7;
+  s.server.city = dst;
+  s.server.latitude = dst_lat;
+  s.server.longitude = -118.2;
+  s.total = Duration::from_ms(total_ms);
+  s.completed_at = Timestamp::from_ms(total_ms);
+  return s;
+}
+
+TEST(ArcAggregator, CoalescesSamePairSameColor) {
+  ArcAggregator agg;
+  for (int i = 0; i < 100; ++i) agg.add(sample("Auckland", "Los Angeles", 130));
+  const ArcFrame frame = agg.cut_frame(Timestamp::from_sec(1));
+  ASSERT_EQ(frame.arcs.size(), 1u);
+  EXPECT_EQ(frame.arcs[0].count, 100u);
+  EXPECT_EQ(frame.samples, 100u);
+  EXPECT_EQ(frame.arcs[0].src_city, "Auckland");
+  EXPECT_EQ(frame.arcs[0].color, ArcColor::kGreen);
+}
+
+TEST(ArcAggregator, SeparatesByColorBucket) {
+  ArcAggregator agg;
+  agg.add(sample("Auckland", "Los Angeles", 130));   // green
+  agg.add(sample("Auckland", "Los Angeles", 4130));  // red (glitch)
+  const ArcFrame frame = agg.cut_frame(Timestamp::from_sec(1));
+  ASSERT_EQ(frame.arcs.size(), 2u);  // red-among-green visual from §3
+}
+
+TEST(ArcAggregator, SeparatesByPair) {
+  ArcAggregator agg;
+  agg.add(sample("Auckland", "Los Angeles", 130));
+  agg.add(sample("Wellington", "Los Angeles", 135));
+  const ArcFrame frame = agg.cut_frame(Timestamp::from_sec(1));
+  EXPECT_EQ(frame.arcs.size(), 2u);
+}
+
+TEST(ArcAggregator, TracksMeanAndMax) {
+  ArcAggregator agg;
+  agg.add(sample("A", "B", 100));
+  agg.add(sample("A", "B", 140));
+  const ArcFrame frame = agg.cut_frame(Timestamp::from_sec(1));
+  ASSERT_EQ(frame.arcs.size(), 1u);
+  EXPECT_EQ(frame.arcs[0].max_latency.ns, Duration::from_ms(140).ns);
+  EXPECT_EQ(frame.arcs[0].mean_latency.ns, Duration::from_ms(120).ns);
+}
+
+TEST(ArcAggregator, CutFrameResetsAccumulation) {
+  ArcAggregator agg;
+  agg.add(sample("A", "B", 100));
+  const ArcFrame f1 = agg.cut_frame(Timestamp::from_sec(1));
+  EXPECT_EQ(f1.arcs.size(), 1u);
+  const ArcFrame f2 = agg.cut_frame(Timestamp::from_sec(2));
+  EXPECT_TRUE(f2.arcs.empty());
+  EXPECT_EQ(f2.samples, 0u);
+  EXPECT_EQ(f2.sequence, f1.sequence + 1);
+  EXPECT_EQ(agg.samples_seen(), 1u);  // lifetime counter unaffected
+}
+
+TEST(ArcAggregator, CoordinatesComeFromFirstSample) {
+  ArcAggregator agg;
+  agg.add(sample("A", "B", 100, -36.8, 34.0));
+  const ArcFrame frame = agg.cut_frame(Timestamp::from_sec(1));
+  EXPECT_DOUBLE_EQ(frame.arcs[0].src_lat, -36.8);
+  EXPECT_DOUBLE_EQ(frame.arcs[0].dst_lat, 34.0);
+}
+
+TEST(ArcAggregator, ThousandsOfConnectionsPerFrameStayDrawable) {
+  // The paper's claim: thousands of connections/sec rendered at 30 fps.
+  // 5000 samples over 20 pairs in one frame -> at most 20*4 arcs.
+  ArcAggregator agg;
+  for (int i = 0; i < 5000; ++i) {
+    agg.add(sample("city" + std::to_string(i % 20), "LA", 100 + (i % 3) * 200));
+  }
+  const ArcFrame frame = agg.cut_frame(Timestamp::from_sec(1));
+  EXPECT_EQ(frame.samples, 5000u);
+  EXPECT_LE(frame.arcs.size(), 80u);
+  std::uint64_t total = 0;
+  for (const auto& a : frame.arcs) total += a.count;
+  EXPECT_EQ(total, 5000u);  // no sample lost in coalescing
+}
+
+TEST(ArcAggregator, ConcurrentAddsSafe) {
+  ArcAggregator agg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&agg] {
+      for (int i = 0; i < 2'000; ++i) agg.add(sample("A", "B", 100));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(agg.samples_seen(), 8'000u);
+  EXPECT_EQ(agg.cut_frame(Timestamp{}).samples, 8'000u);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,83 @@
+#include "viz/ascii_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ruru {
+namespace {
+
+ArcFrame frame_with_arc(double src_lat, double src_lon, double dst_lat, double dst_lon,
+                        ArcColor color) {
+  ArcFrame f;
+  Arc a;
+  a.src_city = "S";
+  a.dst_city = "D";
+  a.src_lat = src_lat;
+  a.src_lon = src_lon;
+  a.dst_lat = dst_lat;
+  a.dst_lon = dst_lon;
+  a.color = color;
+  a.count = 1;
+  f.arcs.push_back(a);
+  return f;
+}
+
+TEST(AsciiMap, EmptyFrameIsBlank) {
+  AsciiMap map(40, 10);
+  const std::string out = map.render(ArcFrame{});
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 10);
+  for (const char c : out) {
+    EXPECT_TRUE(c == ' ' || c == '\n');
+  }
+}
+
+TEST(AsciiMap, EndpointsMarked) {
+  AsciiMap map(40, 10);
+  const std::string out =
+      map.render(frame_with_arc(-36.8, 174.7, 34.0, -118.2, ArcColor::kGreen));
+  EXPECT_NE(out.find('o'), std::string::npos);   // endpoints
+  EXPECT_NE(out.find('.'), std::string::npos);   // green path
+}
+
+TEST(AsciiMap, RedArcUsesHash) {
+  AsciiMap map(60, 20);
+  const std::string out = map.render(frame_with_arc(-36.8, 174.7, 34.0, -118.2, ArcColor::kRed));
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiMap, WorstColorDominatesSharedCells) {
+  AsciiMap map(60, 20);
+  ArcFrame f = frame_with_arc(0, -100, 0, 100, ArcColor::kGreen);
+  ArcFrame g = frame_with_arc(0, -100, 0, 100, ArcColor::kRed);
+  f.arcs.push_back(g.arcs[0]);
+  const std::string out = map.render(f);
+  // The shared horizontal line must show red, not green.
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_EQ(out.find('.'), std::string::npos);
+}
+
+TEST(AsciiMap, ExtremeCoordinatesClampInsideGrid) {
+  AsciiMap map(20, 5);
+  // Out-of-range coordinates must not crash or write out of bounds.
+  const std::string out = map.render(frame_with_arc(95.0, -200.0, -95.0, 200.0, ArcColor::kOrange));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(AsciiMap, LineDimensionsStable) {
+  AsciiMap map(33, 7);
+  const std::string out = map.render(frame_with_arc(10, 10, -10, -10, ArcColor::kYellow));
+  std::size_t pos = 0;
+  int lines = 0;
+  while (true) {
+    const std::size_t nl = out.find('\n', pos);
+    if (nl == std::string::npos) break;
+    EXPECT_EQ(nl - pos, 33u);
+    pos = nl + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 7);
+}
+
+}  // namespace
+}  // namespace ruru

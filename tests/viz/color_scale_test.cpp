@@ -1,0 +1,46 @@
+#include "viz/color_scale.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ruru {
+namespace {
+
+TEST(ColorScale, DefaultThresholds) {
+  ColorScale scale;
+  EXPECT_EQ(scale.bucket(Duration::from_ms(50)), ArcColor::kGreen);
+  EXPECT_EQ(scale.bucket(Duration::from_ms(149)), ArcColor::kGreen);
+  EXPECT_EQ(scale.bucket(Duration::from_ms(150)), ArcColor::kYellow);
+  EXPECT_EQ(scale.bucket(Duration::from_ms(299)), ArcColor::kYellow);
+  EXPECT_EQ(scale.bucket(Duration::from_ms(300)), ArcColor::kOrange);
+  EXPECT_EQ(scale.bucket(Duration::from_ms(600)), ArcColor::kRed);
+  EXPECT_EQ(scale.bucket(Duration::from_ms(4130)), ArcColor::kRed);  // firewall glitch
+}
+
+TEST(ColorScale, CustomThresholds) {
+  ColorThresholds t;
+  t.yellow = Duration::from_ms(10);
+  t.orange = Duration::from_ms(20);
+  t.red = Duration::from_ms(30);
+  ColorScale scale(t);
+  EXPECT_EQ(scale.bucket(Duration::from_ms(15)), ArcColor::kYellow);
+  EXPECT_EQ(scale.bucket(Duration::from_ms(25)), ArcColor::kOrange);
+  EXPECT_EQ(scale.bucket(Duration::from_ms(35)), ArcColor::kRed);
+}
+
+TEST(ColorScale, NamesAndCss) {
+  EXPECT_EQ(to_string(ArcColor::kGreen), "green");
+  EXPECT_EQ(to_string(ArcColor::kRed), "red");
+  EXPECT_EQ(to_css(ArcColor::kGreen), "#2ecc71");
+  EXPECT_EQ(to_css(ArcColor::kRed), "#e74c3c");
+  EXPECT_EQ(to_css(ArcColor::kYellow)[0], '#');
+  EXPECT_EQ(to_css(ArcColor::kOrange).size(), 7u);
+}
+
+TEST(ColorScale, ZeroAndNegativeAreGreen) {
+  ColorScale scale;
+  EXPECT_EQ(scale.bucket(Duration::from_ms(0)), ArcColor::kGreen);
+  EXPECT_EQ(scale.bucket(Duration::from_ms(-5)), ArcColor::kGreen);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,116 @@
+#include "viz/dashboard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ruru {
+namespace {
+
+TagSet route_tags() {
+  TagSet t;
+  t.add("src_city", "Auckland").add("dst_city", "Los Angeles");
+  return t;
+}
+
+class DashboardTest : public ::testing::Test {
+ protected:
+  DashboardTest() {
+    // 60 s of data: ~130 ms, except a +4000 ms burst at t in [30, 33).
+    for (int ms = 0; ms < 60'000; ms += 100) {
+      const bool glitch = ms >= 30'000 && ms < 33'000;
+      db_.write("total_ms", route_tags(), Timestamp::from_ms(ms), glitch ? 4130.0 : 130.0);
+    }
+  }
+  TimeSeriesDb db_;
+};
+
+TEST_F(DashboardTest, GraphShowsSpikeColumn) {
+  DashboardOptions opt;
+  opt.graph_width = 60;  // 1 column per second
+  opt.graph_height = 6;
+  opt.ascii_only = true;
+  Dashboard dash(db_, opt);
+  const std::string g =
+      dash.render_graph("total_ms", TagSet{}, Timestamp{}, Timestamp::from_sec(60), "max");
+  EXPECT_NE(g.find("max(total_ms)"), std::string::npos);
+  EXPECT_NE(g.find("peak 4130.0 ms"), std::string::npos);
+  // The top row must contain a bar (the glitch) and mostly spaces.
+  const std::size_t first_row = g.find('\n') + 1;
+  const std::string top_row = g.substr(first_row, g.find('\n', first_row) - first_row);
+  EXPECT_NE(top_row.find('#'), std::string::npos);
+  const auto bars = static_cast<int>(std::count(top_row.begin(), top_row.end(), '#'));
+  EXPECT_LE(bars, 5);  // only the glitch columns reach the top
+}
+
+TEST_F(DashboardTest, QuietIntervalFillsAllColumns) {
+  // Over a glitch-free interval the scale adapts: every column with data
+  // reaches the bottom row (uniform 130 ms values fill the whole graph).
+  DashboardOptions opt;
+  opt.graph_width = 20;
+  opt.graph_height = 4;
+  opt.ascii_only = true;
+  Dashboard dash(db_, opt);
+  const std::string g =
+      dash.render_graph("total_ms", TagSet{}, Timestamp{}, Timestamp::from_sec(20), "max");
+  EXPECT_NE(g.find("peak 130.0 ms"), std::string::npos);
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < g.size()) {
+    const auto nl = g.find('\n', pos);
+    if (nl == std::string::npos) break;
+    lines.push_back(g.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  // All value rows (1..graph_height) fully filled: flat data == max.
+  for (int row = 1; row <= opt.graph_height; ++row) {
+    const std::string& line = lines[static_cast<std::size_t>(row)];
+    EXPECT_EQ(std::count(line.begin(), line.end(), '#'), 20) << "row " << row << ": " << line;
+  }
+}
+
+TEST_F(DashboardTest, EmptyDataHandled) {
+  Dashboard dash(db_);
+  EXPECT_EQ(dash.render_graph("nope", TagSet{}, Timestamp{}, Timestamp::from_sec(10)),
+            "(no data)\n");
+  EXPECT_EQ(dash.render_graph("total_ms", TagSet{}, Timestamp{}, Timestamp{}),
+            "(empty interval)\n");
+}
+
+TEST_F(DashboardTest, StatsStripHasAllStatistics) {
+  Dashboard dash(db_);
+  const std::string s =
+      dash.render_stats_strip("total_ms", TagSet{}, Timestamp{}, Timestamp::from_sec(60));
+  EXPECT_NE(s.find("min=130.0ms"), std::string::npos);
+  EXPECT_NE(s.find("max=4130.0ms"), std::string::npos);
+  EXPECT_NE(s.find("median=130.0ms"), std::string::npos);
+  EXPECT_NE(s.find("n=600"), std::string::npos);
+}
+
+TEST_F(DashboardTest, FilteredStripRespectsTags) {
+  db_.write("total_ms", TagSet().add("src_city", "Wellington").add("dst_city", "X"),
+            Timestamp::from_ms(100), 9999.0);
+  Dashboard dash(db_);
+  TagSet filter;
+  filter.add("src_city", "Auckland");
+  const std::string s =
+      dash.render_stats_strip("total_ms", filter, Timestamp{}, Timestamp::from_sec(60));
+  EXPECT_EQ(s.find("9999"), std::string::npos);
+}
+
+TEST_F(DashboardTest, PairTableTopN) {
+  DashboardOptions opt;
+  opt.top_pairs = 2;
+  Dashboard dash(db_, opt);
+  std::vector<PairSummary> pairs(5);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    pairs[i].key = "pair" + std::to_string(i);
+    pairs[i].connections = 100 - i;
+    pairs[i].median_total = Duration::from_ms(130);
+  }
+  const std::string t = dash.render_pair_table(pairs);
+  EXPECT_NE(t.find("pair0"), std::string::npos);
+  EXPECT_NE(t.find("pair1"), std::string::npos);
+  EXPECT_EQ(t.find("pair2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,98 @@
+#include "viz/frame_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ruru {
+namespace {
+
+ArcFrame sample_frame() {
+  ArcFrame f;
+  f.time = Timestamp::from_sec(12.5);
+  f.sequence = 7;
+  f.samples = 150;
+  Arc a;
+  a.src_city = "Auckland";
+  a.dst_city = "Los Angeles";
+  a.src_lat = -36.8;
+  a.src_lon = 174.7;
+  a.dst_lat = 34.05;
+  a.dst_lon = -118.24;
+  a.color = ArcColor::kGreen;
+  a.count = 150;
+  a.mean_latency = Duration::from_ms(133);
+  a.max_latency = Duration::from_ms(140);
+  f.arcs.push_back(a);
+  return f;
+}
+
+TEST(FrameEncoder, EncodesArcFrameJson) {
+  FrameEncoder enc;
+  const std::string json = enc.encode(sample_frame());
+  EXPECT_NE(json.find("\"type\":\"arc_frame\""), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"samples\":150"), std::string::npos);
+  EXPECT_NE(json.find("\"src\":\"Auckland\""), std::string::npos);
+  EXPECT_NE(json.find("\"color\":\"#2ecc71\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_ms\":133"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(FrameEncoder, EmptyFrame) {
+  FrameEncoder enc;
+  ArcFrame f;
+  f.sequence = 0;
+  const std::string json = enc.encode(f);
+  EXPECT_NE(json.find("\"arcs\":[]"), std::string::npos);
+}
+
+TEST(FrameEncoder, ReuseAcrossFrames) {
+  FrameEncoder enc;
+  const std::string a = enc.encode(sample_frame());
+  const std::string b = enc.encode(sample_frame());
+  EXPECT_EQ(a, b);  // no state leaks between encodes
+}
+
+TEST(FrameEncoder, EscapesCityNames) {
+  FrameEncoder enc;
+  ArcFrame f = sample_frame();
+  f.arcs[0].src_city = "Val\"divia\\";
+  const std::string json = enc.encode(f);
+  EXPECT_NE(json.find("Val\\\"divia\\\\"), std::string::npos);
+}
+
+TEST(FrameEncoder, PairStatsDocument) {
+  FrameEncoder enc;
+  std::vector<PairSummary> pairs;
+  PairSummary p;
+  p.key = "Auckland|Los Angeles";
+  p.connections = 1234;
+  p.min_total = Duration::from_ms(120);
+  p.median_total = Duration::from_ms(133);
+  p.mean_total = Duration::from_ms(135);
+  p.max_total = Duration::from_ms(4130);
+  p.p99_total = Duration::from_ms(900);
+  pairs.push_back(p);
+  const std::string json = enc.encode_pair_stats(pairs);
+  EXPECT_NE(json.find("\"type\":\"pair_stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1234"), std::string::npos);
+  EXPECT_NE(json.find("\"median_ms\":133"), std::string::npos);
+  EXPECT_NE(json.find("\"max_ms\":4130"), std::string::npos);
+}
+
+TEST(FrameEncoder, PairStatsTopNCap) {
+  FrameEncoder enc;
+  std::vector<PairSummary> pairs(100);
+  for (std::size_t i = 0; i < pairs.size(); ++i) pairs[i].key = "k" + std::to_string(i);
+  const std::string json = enc.encode_pair_stats(pairs, 10);
+  EXPECT_NE(json.find("\"k9\""), std::string::npos);
+  EXPECT_EQ(json.find("\"k10\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ruru

@@ -1,0 +1,78 @@
+#include "viz/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ruru {
+namespace {
+
+TEST(Heatmap, BandAssignment) {
+  LatencyHeatmap hm(Duration::from_sec(1.0),
+                    {Duration::from_ms(100), Duration::from_ms(300)});
+  EXPECT_EQ(hm.band_count(), 3u);
+  EXPECT_EQ(hm.band_for(Duration::from_ms(50)), 0u);
+  EXPECT_EQ(hm.band_for(Duration::from_ms(100)), 1u);  // [100, 300)
+  EXPECT_EQ(hm.band_for(Duration::from_ms(299)), 1u);
+  EXPECT_EQ(hm.band_for(Duration::from_ms(300)), 2u);
+  EXPECT_EQ(hm.band_for(Duration::from_ms(4130)), 2u);
+}
+
+TEST(Heatmap, CountsPerCell) {
+  LatencyHeatmap hm(Duration::from_sec(1.0), {Duration::from_ms(100)});
+  hm.add(Timestamp::from_ms(100), Duration::from_ms(50));
+  hm.add(Timestamp::from_ms(200), Duration::from_ms(60));
+  hm.add(Timestamp::from_ms(300), Duration::from_ms(150));
+  hm.add(Timestamp::from_ms(1'500), Duration::from_ms(50));
+
+  EXPECT_EQ(hm.count_at(Timestamp::from_ms(500), 0), 2u);
+  EXPECT_EQ(hm.count_at(Timestamp::from_ms(500), 1), 1u);
+  EXPECT_EQ(hm.count_at(Timestamp::from_ms(1'500), 0), 1u);
+  EXPECT_EQ(hm.count_at(Timestamp::from_ms(9'000), 0), 0u);
+  EXPECT_EQ(hm.total(), 4u);
+}
+
+TEST(Heatmap, DefaultBandsCoverWanRange) {
+  auto hm = LatencyHeatmap::with_default_bands();
+  EXPECT_EQ(hm.band_count(), 9u);
+  EXPECT_EQ(hm.band_for(Duration::from_ms(10)), 0u);
+  EXPECT_EQ(hm.band_for(Duration::from_ms(130)), 2u);   // [100,150)
+  EXPECT_EQ(hm.band_for(Duration::from_ms(4130)), 8u);  // >= 4000
+}
+
+TEST(Heatmap, AsciiRenderShowsGlitchBand) {
+  auto hm = LatencyHeatmap::with_default_bands(Duration::from_sec(1.0));
+  // 10 s of normal traffic, a glitch in second 5.
+  for (int s = 0; s < 10; ++s) {
+    for (int i = 0; i < 20; ++i) {
+      hm.add(Timestamp::from_ms(s * 1000 + i * 50), Duration::from_ms(130));
+    }
+  }
+  for (int i = 0; i < 15; ++i) {
+    hm.add(Timestamp::from_ms(5'000 + i * 60), Duration::from_ms(4130));
+  }
+  const std::string panel = hm.render_ascii(Timestamp{}, Timestamp::from_sec(10));
+  // Top band row exists and contains exactly one hot column.
+  const std::size_t top_row_end = panel.find('\n');
+  const std::string top_row = panel.substr(0, top_row_end);
+  EXPECT_NE(top_row.find(">= 4000ms"), std::string::npos);
+  int filled = 0;
+  for (const char c : top_row) {
+    if (c == '@' || c == '%' || c == '#' || c == '*') ++filled;
+  }
+  EXPECT_EQ(filled, 1);
+}
+
+TEST(Heatmap, EmptyIntervalHandled) {
+  auto hm = LatencyHeatmap::with_default_bands();
+  EXPECT_EQ(hm.render_ascii(Timestamp{}, Timestamp{}), "(empty interval)\n");
+}
+
+TEST(Heatmap, LabelsFormatted) {
+  LatencyHeatmap hm(Duration::from_sec(1.0),
+                    {Duration::from_ms(100), Duration::from_ms(300)});
+  EXPECT_NE(hm.band_label(0).find("<"), std::string::npos);
+  EXPECT_NE(hm.band_label(1).find("100"), std::string::npos);
+  EXPECT_NE(hm.band_label(2).find(">="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ruru
