@@ -8,6 +8,7 @@
 
 #include <thread>
 
+#include "msg/codec.hpp"
 #include "msg/pubsub.hpp"
 #include "msg/tcp_transport.hpp"
 
@@ -116,6 +117,69 @@ BENCHMARK(BM_HwmPolicyWithSlowConsumer)
     ->Arg(0)
     ->Arg(1)
     ->ArgName("policy(0=drop,1=block)")
+    ->UseRealTime();
+
+// The batched latency feed vs the seed per-sample path, measured in
+// samples/sec end to end (encode → publish → recv → decode). batch=1
+// reproduces the original one-message-per-sample behaviour; larger
+// batches amortize the Message/Frame allocation, the queue insertion,
+// and the consumer wakeup across N samples.
+void BM_LatencyFeedPublish(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  PubSocket pub;
+  auto sub = pub.subscribe(std::string(kLatencyTopic), 1 << 14);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> decoded_samples{0};
+  std::thread consumer([&] {
+    std::vector<LatencySample> decoded;
+    decoded.reserve(kMaxLatencyBatch);
+    const auto drain_one = [&](const Message& m) {
+      decoded.clear();
+      if (m.frames.size() >= 2 && decode_latency_payload(m.frames[1], decoded)) {
+        decoded_samples.fetch_add(decoded.size(), std::memory_order_relaxed);
+      }
+    };
+    while (!stop.load(std::memory_order_acquire)) {
+      if (const auto m = sub->try_recv()) drain_one(*m);
+    }
+    while (const auto m = sub->try_recv()) drain_one(*m);
+  });
+
+  std::vector<LatencySample> samples(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    samples[i].client = Ipv4Address(10, 1, 0, static_cast<std::uint8_t>(i + 1));
+    samples[i].server = Ipv4Address(10, 2, 0, 1);
+    samples[i].client_port = static_cast<std::uint16_t>(40'000 + i);
+    samples[i].server_port = 443;
+    samples[i].syn_time = Timestamp::from_ms(1);
+    samples[i].synack_time = Timestamp::from_ms(120);
+    samples[i].ack_time = Timestamp::from_ms(125);
+  }
+
+  for (auto _ : state) {
+    if (batch == 1) {
+      pub.publish(encode_latency_sample(samples[0]), 1);  // seed path
+    } else {
+      pub.publish(encode_latency_batch(samples), samples.size());
+    }
+  }
+  stop.store(true);
+  consumer.join();
+
+  // Items are SAMPLES, so samples/sec is directly comparable across
+  // batch sizes.
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+  state.counters["delivered_samples"] = static_cast<double>(sub->delivered());
+  state.counters["dropped_samples"] = static_cast<double>(sub->dropped());
+  state.counters["decoded_samples"] = static_cast<double>(decoded_samples.load());
+}
+BENCHMARK(BM_LatencyFeedPublish)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->ArgName("batch")
     ->UseRealTime();
 
 // Loopback TCP transport: serialize + send + receive round.

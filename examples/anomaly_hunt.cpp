@@ -45,11 +45,12 @@ int main() {
   pipeline.finish();
 
   auto heatmap = LatencyHeatmap::with_default_bands(Duration::from_sec(10.0));
+  std::vector<LatencySample> decoded;
   while (auto m = heat_sub->try_recv()) {
     if (m->frames.size() < 2) continue;
-    if (auto s = decode_latency_sample(m->frames[1])) {
-      heatmap.add(s->syn_time, s->total());
-    }
+    decoded.clear();
+    if (!decode_latency_payload(m->frames[1], decoded)) continue;  // v1 or batched v2
+    for (const auto& s : decoded) heatmap.add(s.syn_time, s.total());
   }
 
   // --- what a coarse poll would have seen ---

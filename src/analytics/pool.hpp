@@ -20,9 +20,11 @@ class EnrichmentPool {
  public:
   using Sink = std::function<void(const EnrichedSample&)>;
 
-  /// `source`: a bus subscription carrying encode_latency_sample
-  /// messages. Each of the `threads` workers owns its own Enricher
-  /// (separate LRU caches, no sharing). `geo6` optional (may be null).
+  /// `source`: a bus subscription carrying latency payloads — v1
+  /// single-sample (encode_latency_sample) and v2 batch
+  /// (encode_latency_batch) messages are both consumed. Each of the
+  /// `threads` workers owns its own Enricher (separate LRU caches, no
+  /// sharing). `geo6` optional (may be null).
   EnrichmentPool(std::shared_ptr<Subscription> source, const GeoDatabase& geo,
                  const AsDatabase& as, std::size_t threads,
                  const Geo6Database* geo6 = nullptr);
@@ -40,7 +42,9 @@ class EnrichmentPool {
   /// and joins the workers.
   void stop();
 
+  /// Samples enriched (a batched message counts all its samples).
   [[nodiscard]] std::uint64_t processed() const { return processed_.load(); }
+  /// Messages (not samples) whose payload was rejected.
   [[nodiscard]] std::uint64_t decode_failures() const { return decode_failures_.load(); }
   /// Aggregated cache stats across workers (valid after stop()).
   [[nodiscard]] EnricherStats combined_stats() const;

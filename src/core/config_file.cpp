@@ -135,6 +135,10 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
       status = set_seconds(cfg.flow_stale_after);
     } else if (key == "bus.hwm") {
       status = set_u64(cfg.bus_hwm);
+    } else if (key == "bus.batch") {
+      status = set_u64(cfg.bus_batch_size);
+    } else if (key == "bus.batch_linger_s") {
+      status = set_seconds(cfg.bus_batch_linger);
     } else if (key == "analytics.threads") {
       status = set_u64(cfg.enrichment_threads);
     } else if (key == "storage.per_sample") {
@@ -185,6 +189,7 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
 
   if (cfg.num_queues == 0) return make_error("config: capture.queues must be >= 1");
   if (cfg.enrichment_threads == 0) return make_error("config: analytics.threads must be >= 1");
+  if (cfg.bus_batch_size == 0) return make_error("config: bus.batch must be >= 1");
   return cfg;
 }
 

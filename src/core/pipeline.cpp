@@ -26,16 +26,23 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
     periodic_ = std::make_unique<PeriodicSpikeDetector>(config_.periodic);
   }
 
-  // One worker per RX queue, publishing measurements onto the bus.
+  // One worker per RX queue, publishing batched measurements onto the
+  // bus: one frame per accumulator flush, weighted by its sample count
+  // so every bus counter stays denominated in samples.
   workers_.reserve(config_.num_queues);
   for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
-    auto worker = std::make_unique<QueueWorker>(
-        *nic_, q, config_.flow_table_capacity,
-        [this](const LatencySample& s) {
-          bus_.publish(encode_latency_sample(s));
-          if (synflood_ && s.server.is_v4()) synflood_->on_completion(s.ack_time, s.server.v4);
+    auto worker = std::make_unique<QueueWorker>(*nic_, q, config_.flow_table_capacity, nullptr,
+                                                config_.flow_stale_after);
+    worker->set_batch_sink(
+        [this](std::span<const LatencySample> samples) {
+          bus_.publish(encode_latency_batch(samples), samples.size());
+          if (synflood_) {
+            for (const LatencySample& s : samples) {
+              if (s.server.is_v4()) synflood_->on_completion(s.ack_time, s.server.v4);
+            }
+          }
         },
-        config_.flow_stale_after);
+        config_.bus_batch_size, config_.bus_batch_linger);
     if (synflood_) {
       worker->set_syn_sink(
           [this](Timestamp t, Ipv4Address server) { synflood_->on_syn(t, server); });
@@ -180,6 +187,8 @@ PipelineSummary RuruPipeline::summary() const {
     s.workers.empty_polls += ws.empty_polls;
     s.workers.packets += ws.packets;
     s.workers.bytes += ws.bytes;
+    s.workers.batch_flushes += ws.batch_flushes;
+    s.workers.batched_samples += ws.batched_samples;
     for (std::size_t i = 0; i < ws.parse_status.size(); ++i) {
       s.workers.parse_status[i] += ws.parse_status[i];
     }
@@ -195,7 +204,7 @@ PipelineSummary RuruPipeline::summary() const {
   }
   const std::uint64_t alerts_published = alerts_published_.load(std::memory_order_relaxed);
   s.bus_alerts_published = alerts_published;
-  s.bus_published = bus_.published() - alerts_published;  // latency messages
+  s.bus_published = bus_.published() - alerts_published;  // latency samples
   s.bus_dropped = enrichment_sub_->dropped();
   s.enriched = enrichment_->processed();
   s.decode_failures = enrichment_->decode_failures();

@@ -53,6 +53,15 @@ struct PipelineConfig {
   // --- bus / analytics ---
   std::size_t bus_hwm = 1 << 16;
   std::size_t enrichment_threads = 2;
+  /// Samples packed per bus message. Workers accumulate completions and
+  /// publish one batched frame (amortized zero-allocation publish path);
+  /// 1 reproduces the one-message-per-sample behaviour. Clamped to
+  /// [1, kMaxLatencyBatch].
+  std::size_t bus_batch_size = 32;
+  /// Max capture-time age of a buffered sample before a partial batch is
+  /// flushed (0 = flush only on batch-full or an empty poll), so
+  /// low-rate traffic is not delayed behind the batch size.
+  Duration bus_batch_linger = Duration::from_ms(5);
 
   // --- anomaly modules ---
   bool enable_synflood = true;
@@ -178,10 +187,10 @@ struct PipelineSummary {
   std::uint64_t mempool_alloc_failures = 0;
   WorkerStats workers;           ///< summed
   TrackerStats tracker;          ///< summed
-  std::uint64_t bus_published = 0;        ///< latency measurements only
+  std::uint64_t bus_published = 0;        ///< latency *samples* only (batches weighted)
   std::uint64_t bus_alerts_published = 0; ///< "ruru.alerts" messages
-  std::uint64_t bus_dropped = 0;
-  std::uint64_t enriched = 0;
+  std::uint64_t bus_dropped = 0;          ///< samples lost to the HWM (whole batches)
+  std::uint64_t enriched = 0;             ///< samples enriched
   std::uint64_t decode_failures = 0;
   std::uint64_t unlocated = 0;
   std::uint64_t tsdb_points = 0;

@@ -44,7 +44,12 @@ class MpmcRing {
     return head >= tail ? head - tail : 0;
   }
 
-  [[nodiscard]] bool try_push(T value) {
+  [[nodiscard]] bool try_push(T value) { return try_push_from(value); }
+
+  /// Like try_push, but moves from `value` only when a slot was claimed,
+  /// so a caller can retry the same object after a full ring (needed by
+  /// blocking wrappers that back off and try again).
+  [[nodiscard]] bool try_push_from(T& value) {
     std::size_t pos = enqueue_.load(std::memory_order_relaxed);
     while (true) {
       Slot& slot = slots_[pos & mask_];

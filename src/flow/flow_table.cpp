@@ -15,8 +15,15 @@ FlowEntry* FlowTable::find(const FlowKey& key, std::uint32_t rss_hash, Timestamp
     FlowEntry& e = slots_[(start + i) & mask_];
     if (!e.occupied) continue;  // probing continues across tombstoned gaps
     if (e.rss_hash == rss_hash && e.canonical == key.canonical) {
-      // A stale entry is a dead handshake; do not resurrect it.
-      if (now - e.last_seen > stale_after_) continue;
+      // A stale entry is a dead handshake; do not resurrect it — and
+      // release its slot now so it stops occupying the probe window and
+      // inflating size().
+      if (now - e.last_seen > stale_after_) {
+        e.occupied = false;
+        --live_;
+        ++stats_.evictions_stale;
+        continue;
+      }
       ++stats_.hits;
       return &e;
     }
@@ -37,9 +44,19 @@ FlowEntry* FlowTable::find_or_insert(const FlowKey& key, std::uint32_t rss_hash,
       continue;
     }
     const bool stale = now - e.last_seen > stale_after_;
-    if (e.rss_hash == rss_hash && e.canonical == key.canonical && !stale) {
-      ++stats_.hits;
-      return &e;
+    if (e.rss_hash == rss_hash && e.canonical == key.canonical) {
+      if (!stale) {
+        ++stats_.hits;
+        return &e;
+      }
+      // The same flow's dead handshake: release the slot immediately
+      // instead of leaving it live-counted (an earlier free slot would
+      // otherwise win and strand it).
+      e.occupied = false;
+      --live_;
+      ++stats_.evictions_stale;
+      if (free_slot == nullptr) free_slot = &e;
+      continue;
     }
     if (stale && stale_slot == nullptr) stale_slot = &e;
   }

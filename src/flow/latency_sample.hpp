@@ -14,6 +14,10 @@
 
 namespace ruru {
 
+/// Upper bound on samples per bus message (worker accumulators flush at
+/// or below it; the batch codec rejects counts above it).
+inline constexpr std::size_t kMaxLatencyBatch = 1024;
+
 struct LatencySample {
   IpAddress client;  ///< handshake initiator (sent the SYN)
   IpAddress server;  ///< responder

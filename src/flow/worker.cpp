@@ -1,5 +1,7 @@
 #include "flow/worker.hpp"
 
+#include <algorithm>
+
 namespace ruru {
 
 QueueWorker::QueueWorker(SimNic& nic, std::uint16_t queue_id, std::size_t flow_table_capacity,
@@ -9,12 +11,28 @@ QueueWorker::QueueWorker(SimNic& nic, std::uint16_t queue_id, std::size_t flow_t
       tracker_(flow_table_capacity, stale_after),
       sink_(std::move(sink)) {}
 
+void QueueWorker::set_batch_sink(BatchSink sink, std::size_t batch_size, Duration linger) {
+  batch_sink_ = std::move(sink);
+  batch_size_ = std::clamp<std::size_t>(batch_size, 1, kMaxLatencyBatch);
+  batch_linger_ = linger;
+  batch_.reserve(batch_size_);
+}
+
+void QueueWorker::flush_batch() {
+  if (!batch_sink_ || batch_.empty()) return;
+  batch_sink_(std::span<const LatencySample>(batch_.data(), batch_.size()));
+  ++stats_.batch_flushes;
+  stats_.batched_samples += batch_.size();
+  batch_.clear();  // keeps capacity: the accumulator never re-allocates
+}
+
 std::size_t QueueWorker::poll_once() {
   std::array<MbufPtr, kBurst> burst;
   const std::size_t n = nic_.rx_burst(queue_id_, burst);
   ++stats_.polls;
   if (n == 0) {
     ++stats_.empty_polls;
+    flush_batch();  // end-of-burst idle: don't sit on a partial batch
     return 0;
   }
   for (std::size_t i = 0; i < n; ++i) {
@@ -32,6 +50,14 @@ std::size_t QueueWorker::poll_once() {
     }
 
     if (auto sample = tracker_.process(view, m.timestamp, m.rss_hash, queue_id_)) {
+      if (batch_sink_) {
+        if (batch_.empty()) batch_oldest_ = m.timestamp;
+        batch_.push_back(*sample);
+        if (batch_.size() >= batch_size_ ||
+            (batch_linger_.ns > 0 && m.timestamp - batch_oldest_ >= batch_linger_)) {
+          flush_batch();
+        }
+      }
       if (sink_) sink_(*sample);
     }
     // burst[i] destructs here -> mbuf returns to the pool.
@@ -46,6 +72,7 @@ void QueueWorker::run(const std::atomic<bool>& stop) {
   // Final drain so no injected frame is lost at shutdown.
   while (poll_once() != 0) {
   }
+  flush_batch();  // the drain's last poll already flushed; belt and braces
 }
 
 }  // namespace ruru

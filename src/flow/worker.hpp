@@ -10,6 +10,8 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "driver/nic.hpp"
 #include "flow/handshake_tracker.hpp"
@@ -23,11 +25,19 @@ struct WorkerStats {
   std::uint64_t bytes = 0;
   /// Counts by ParseStatus value (kOk..kMalformed).
   std::array<std::uint64_t, 5> parse_status{};
+  /// Batch-sink flushes (any trigger: full, idle, linger, shutdown).
+  std::uint64_t batch_flushes = 0;
+  /// Samples handed to the batch sink across all flushes.
+  std::uint64_t batched_samples = 0;
 };
 
 class QueueWorker {
  public:
   using SampleSink = std::function<void(const LatencySample&)>;
+  /// Batched variant of SampleSink: receives the worker's accumulated
+  /// samples in emission order. The span is only valid for the duration
+  /// of the call (the accumulator is reused).
+  using BatchSink = std::function<void(std::span<const LatencySample>)>;
   /// Optional hook fired for every SYN-only segment (timestamp, server
   /// address) — feeds the SYN-flood module, which must observe
   /// addresses *before* the anonymization boundary.
@@ -40,6 +50,22 @@ class QueueWorker {
 
   /// Install before the worker runs (not thread-safe afterwards).
   void set_syn_sink(SynSink sink) { syn_sink_ = std::move(sink); }
+
+  /// Install a batched sink before the worker runs (not thread-safe
+  /// afterwards). Samples accumulate in a reused per-worker buffer —
+  /// amortized zero allocation — and flush when:
+  ///  * the accumulator reaches `batch_size` (clamped to
+  ///    [1, kMaxLatencyBatch]); or
+  ///  * a poll comes back empty (end-of-burst idle); or
+  ///  * `linger` > 0 and the oldest buffered sample is older than
+  ///    `linger` in capture time, so low-rate traffic is not delayed.
+  /// `batch_size` == 1 flushes every sample — the pre-batching
+  /// behaviour. A per-sample SampleSink, if also set, keeps firing.
+  void set_batch_sink(BatchSink sink, std::size_t batch_size,
+                      Duration linger = Duration{0});
+
+  /// Hands any accumulated samples to the batch sink now.
+  void flush_batch();
 
   /// One rx_burst + processing pass. Returns packets handled (0 == empty
   /// poll).
@@ -59,6 +85,11 @@ class QueueWorker {
   HandshakeTracker tracker_;
   SampleSink sink_;
   SynSink syn_sink_;
+  BatchSink batch_sink_;
+  std::size_t batch_size_ = 1;
+  Duration batch_linger_{0};
+  std::vector<LatencySample> batch_;   ///< reused accumulator
+  Timestamp batch_oldest_{};           ///< capture time of batch_[0]
   WorkerStats stats_;
 };
 

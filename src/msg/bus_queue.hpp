@@ -1,0 +1,106 @@
+#pragma once
+// Lock-free subscription queue: MpmcRing + close semantics + HWM.
+//
+// The bus publish path must take zero locks under HwmPolicy::kDrop — a
+// publisher's offer is a CAS ticket claim on the ring plus two relaxed
+// counter bumps, never a mutex.  Blocking receive (and the kBlock
+// ablation policy's blocking send) are built from the non-blocking ring
+// ops with a spin -> yield -> sleep backoff instead of a condition
+// variable, so no mutex exists anywhere on the path.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <thread>
+
+#include "driver/ring.hpp"
+
+namespace ruru {
+
+namespace detail {
+
+/// Escalating wait: brief spin, then yield, then short sleeps. Keeps
+/// wakeup latency in the tens of microseconds without a condvar.
+class Backoff {
+ public:
+  void pause() {
+    if (rounds_ < kSpinRounds) {
+      ++rounds_;
+    } else if (rounds_ < kSpinRounds + kYieldRounds) {
+      ++rounds_;
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+ private:
+  static constexpr int kSpinRounds = 64;
+  static constexpr int kYieldRounds = 32;
+  int rounds_ = 0;
+};
+
+}  // namespace detail
+
+template <typename T>
+class BusQueue {
+ public:
+  /// `hwm` is enforced exactly even when it is not a power of two (the
+  /// backing ring rounds its capacity up; the extra slots stay unused).
+  explicit BusQueue(std::size_t hwm) : ring_(hwm < 2 ? 2 : hwm), hwm_(hwm == 0 ? 1 : hwm) {}
+
+  BusQueue(const BusQueue&) = delete;
+  BusQueue& operator=(const BusQueue&) = delete;
+
+  /// Non-blocking; false when at the HWM or closed. Lock-free.
+  bool try_push(T value) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    if (ring_.size() >= hwm_) return false;
+    return ring_.try_push_from(value);
+  }
+
+  /// Blocking push (kBlock ablation); false once closed.
+  bool push(T value) {
+    detail::Backoff backoff;
+    while (!closed_.load(std::memory_order_acquire)) {
+      // try_push_from consumes `value` only on success, so retrying the
+      // same object after a full ring is safe.
+      if (ring_.size() < hwm_ && ring_.try_push_from(value)) return true;
+      backoff.pause();
+    }
+    return false;
+  }
+
+  /// Non-blocking pop. Lock-free.
+  std::optional<T> try_pop() { return ring_.try_pop(); }
+
+  /// Blocking pop; nullopt only after close() with the ring drained.
+  std::optional<T> pop() {
+    detail::Backoff backoff;
+    while (true) {
+      if (auto v = ring_.try_pop()) return v;
+      if (closed_.load(std::memory_order_acquire)) {
+        // A push that claimed its ticket before close() may still be
+        // publishing; ring_.size() already counts it, so only an empty
+        // ring means drained.
+        if (ring_.size() == 0) return std::nullopt;
+      }
+      backoff.pause();
+    }
+  }
+
+  /// After close(): pushes fail, pops drain the backlog then report
+  /// nullopt. Idempotent; wakes pollers by virtue of them polling.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool closed() const { return closed_.load(std::memory_order_acquire); }
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+
+ private:
+  MpmcRing<T> ring_;
+  std::size_t hwm_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace ruru

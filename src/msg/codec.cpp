@@ -9,9 +9,14 @@ namespace ruru {
 namespace {
 
 constexpr std::uint8_t kVersion = 1;
-// version(1) family(1) client16 server16 cport(2) sport(2)
-// syn(8) synack(8) ack(8) rss(4) queue(2)
-constexpr std::size_t kPayloadSize = 1 + 1 + 16 + 16 + 2 + 2 + 8 + 8 + 8 + 4 + 2;
+constexpr std::uint8_t kBatchVersion = 2;
+// family(1) client16 server16 cport(2) sport(2) syn(8) synack(8) ack(8)
+// rss(4) queue(2) — shared by both payload versions.
+constexpr std::size_t kRecordSize = 1 + 16 + 16 + 2 + 2 + 8 + 8 + 8 + 4 + 2;
+// v1: version(1) + record
+constexpr std::size_t kPayloadSize = 1 + kRecordSize;
+// v2: version(1) + count(2) + count * record
+constexpr std::size_t kBatchHeaderSize = 1 + 2;
 
 void put_ip(std::uint8_t* p, const IpAddress& a) {
   if (a.is_v4()) {
@@ -35,25 +40,50 @@ void put_i64(std::uint8_t* p, std::int64_t v) {
 
 std::int64_t get_i64(const std::uint8_t* p) { return static_cast<std::int64_t>(load_be64(p)); }
 
+void put_record(std::uint8_t* p, const LatencySample& s) {
+  p[0] = s.client.is_v4() ? 4 : 6;
+  put_ip(p + 1, s.client);
+  put_ip(p + 17, s.server);
+  store_be16(p + 33, s.client_port);
+  store_be16(p + 35, s.server_port);
+  put_i64(p + 37, s.syn_time.ns);
+  put_i64(p + 45, s.synack_time.ns);
+  put_i64(p + 53, s.ack_time.ns);
+  store_be32(p + 61, s.rss_hash);
+  store_be16(p + 65, s.queue_id);
+}
+
+bool get_record(const std::uint8_t* p, LatencySample& s) {
+  if (p[0] != 4 && p[0] != 6) return false;
+  const bool v4 = p[0] == 4;
+  s.client = get_ip(p + 1, v4);
+  s.server = get_ip(p + 17, v4);
+  s.client_port = load_be16(p + 33);
+  s.server_port = load_be16(p + 35);
+  s.syn_time = Timestamp{get_i64(p + 37)};
+  s.synack_time = Timestamp{get_i64(p + 45)};
+  s.ack_time = Timestamp{get_i64(p + 53)};
+  s.rss_hash = load_be32(p + 61);
+  s.queue_id = load_be16(p + 65);
+  return true;
+}
+
 }  // namespace
+
+const Frame& latency_topic_frame() {
+  static const Frame frame = Frame::from_string(kLatencyTopic);
+  return frame;
+}
 
 Message encode_latency_sample(const LatencySample& s) {
   std::vector<std::uint8_t> buf(kPayloadSize);
-  std::uint8_t* p = buf.data();
-  p[0] = kVersion;
-  p[1] = s.client.is_v4() ? 4 : 6;
-  put_ip(p + 2, s.client);
-  put_ip(p + 18, s.server);
-  store_be16(p + 34, s.client_port);
-  store_be16(p + 36, s.server_port);
-  put_i64(p + 38, s.syn_time.ns);
-  put_i64(p + 46, s.synack_time.ns);
-  put_i64(p + 54, s.ack_time.ns);
-  store_be32(p + 62, s.rss_hash);
-  store_be16(p + 66, s.queue_id);
+  buf[0] = kVersion;
+  put_record(buf.data() + 1, s);
 
-  Message m(kLatencyTopic);
-  m.add(Frame::adopt(std::move(buf)));
+  Message m;
+  m.frames.reserve(2);
+  m.frames.push_back(latency_topic_frame());
+  m.frames.push_back(Frame::adopt(std::move(buf)));
   return m;
 }
 
@@ -61,20 +91,56 @@ std::optional<LatencySample> decode_latency_sample(const Frame& payload) {
   if (payload.size() != kPayloadSize) return std::nullopt;
   const std::uint8_t* p = payload.data();
   if (p[0] != kVersion) return std::nullopt;
-  if (p[1] != 4 && p[1] != 6) return std::nullopt;
-  const bool v4 = p[1] == 4;
-
   LatencySample s;
-  s.client = get_ip(p + 2, v4);
-  s.server = get_ip(p + 18, v4);
-  s.client_port = load_be16(p + 34);
-  s.server_port = load_be16(p + 36);
-  s.syn_time = Timestamp{get_i64(p + 38)};
-  s.synack_time = Timestamp{get_i64(p + 46)};
-  s.ack_time = Timestamp{get_i64(p + 54)};
-  s.rss_hash = load_be32(p + 62);
-  s.queue_id = load_be16(p + 66);
+  if (!get_record(p + 1, s)) return std::nullopt;
   return s;
+}
+
+Message encode_latency_batch(std::span<const LatencySample> samples) {
+  const std::size_t count = samples.size() < kMaxLatencyBatch ? samples.size() : kMaxLatencyBatch;
+  std::vector<std::uint8_t> buf(kBatchHeaderSize + count * kRecordSize);
+  buf[0] = kBatchVersion;
+  store_be16(buf.data() + 1, static_cast<std::uint16_t>(count));
+  std::uint8_t* p = buf.data() + kBatchHeaderSize;
+  for (std::size_t i = 0; i < count; ++i, p += kRecordSize) {
+    put_record(p, samples[i]);
+  }
+
+  Message m;
+  m.frames.reserve(2);
+  m.frames.push_back(latency_topic_frame());
+  m.frames.push_back(Frame::adopt(std::move(buf)));
+  return m;
+}
+
+bool decode_latency_batch(const Frame& payload, std::vector<LatencySample>& out) {
+  if (payload.size() < kBatchHeaderSize) return false;
+  const std::uint8_t* p = payload.data();
+  if (p[0] != kBatchVersion) return false;
+  const std::size_t count = load_be16(p + 1);
+  if (count > kMaxLatencyBatch) return false;
+  if (payload.size() != kBatchHeaderSize + count * kRecordSize) return false;
+
+  const std::size_t base = out.size();
+  out.resize(base + count);
+  const std::uint8_t* rec = p + kBatchHeaderSize;
+  for (std::size_t i = 0; i < count; ++i, rec += kRecordSize) {
+    if (!get_record(rec, out[base + i])) {
+      out.resize(base);  // reject the whole batch, leave out untouched
+      return false;
+    }
+  }
+  return true;
+}
+
+bool decode_latency_payload(const Frame& payload, std::vector<LatencySample>& out) {
+  if (payload.empty()) return false;
+  if (payload.data()[0] == kBatchVersion) return decode_latency_batch(payload, out);
+  if (auto s = decode_latency_sample(payload)) {
+    out.push_back(*s);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace ruru

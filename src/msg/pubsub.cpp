@@ -2,40 +2,53 @@
 
 namespace ruru {
 
+PubSocket::~PubSocket() {
+  SubNode* node = head_.load(std::memory_order_acquire);
+  while (node != nullptr) {
+    SubNode* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
 std::shared_ptr<Subscription> PubSocket::subscribe(std::string topic_prefix, std::size_t hwm,
                                                    HwmPolicy policy) {
   auto sub = std::make_shared<Subscription>(std::move(topic_prefix),
                                             hwm != 0 ? hwm : default_hwm_, policy);
-  std::lock_guard lock(mu_);
-  subs_.push_back(sub);
+  auto* node = new SubNode{sub, head_.load(std::memory_order_relaxed)};
+  while (!head_.compare_exchange_weak(node->next, node, std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+  }
   return sub;
 }
 
-std::size_t PubSocket::publish(const Message& message) {
-  // Snapshot subscribers so slow receivers never hold the pub lock.
-  std::vector<std::shared_ptr<Subscription>> snapshot;
-  {
-    std::lock_guard lock(mu_);
-    ++published_;
-    snapshot = subs_;
-  }
+std::size_t PubSocket::publish(const Message& message, std::uint64_t samples) {
+  published_.fetch_add(samples, std::memory_order_relaxed);
   std::size_t accepted = 0;
   const std::string_view topic = message.topic();
-  for (const auto& sub : snapshot) {
-    if (topic.substr(0, sub->prefix().size()) == sub->prefix()) {
-      if (sub->offer(message)) ++accepted;
+  for (SubNode* node = head_.load(std::memory_order_acquire); node != nullptr;
+       node = node->next) {
+    if (topic.starts_with(node->sub->prefix())) {
+      if (node->sub->offer(message, samples)) ++accepted;
     }
   }
   return accepted;
 }
 
 void PubSocket::close_all() {
-  std::vector<std::shared_ptr<Subscription>> snapshot;
-  {
-    std::lock_guard lock(mu_);
-    snapshot = subs_;
+  for (SubNode* node = head_.load(std::memory_order_acquire); node != nullptr;
+       node = node->next) {
+    node->sub->close();
   }
-  for (const auto& sub : snapshot) sub->close();
+}
+
+std::size_t PubSocket::subscriber_count() const {
+  std::size_t n = 0;
+  for (SubNode* node = head_.load(std::memory_order_acquire); node != nullptr;
+       node = node->next) {
+    ++n;
+  }
+  return n;
 }
 
 }  // namespace ruru

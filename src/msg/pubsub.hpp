@@ -6,16 +6,26 @@
 //    loses the message (the tap must not backpressure the capture path);
 //  * subscription is by topic prefix;
 //  * delivery is per-subscriber FIFO.
+//
+// The publish path is lock-free end to end: the subscriber list is an
+// immutable atomic snapshot (copy-on-subscribe, never copy-on-publish),
+// per-subscription queues are lock-free rings (BusQueue) and all
+// counters are atomics.  Under HwmPolicy::kDrop a publish acquires no
+// mutex regardless of subscriber count or contention.
+//
+// Counters are denominated in *samples*, not messages: publish() takes
+// the number of samples the message carries (a batched latency frame
+// carries many), so delivered/dropped/published stay truthful when the
+// feed batches and an HWM drop loses a whole batch.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <vector>
 
+#include "msg/bus_queue.hpp"
 #include "msg/message.hpp"
-#include "util/mpmc_queue.hpp"
 
 namespace ruru {
 
@@ -36,71 +46,81 @@ class Subscription {
   std::optional<Message> try_recv() { return queue_.try_pop(); }
 
   [[nodiscard]] const std::string& prefix() const { return prefix_; }
+  /// Samples lost to the HWM (whole batches count all their samples).
   [[nodiscard]] std::uint64_t dropped() const {
-    std::lock_guard lock(mu_);
-    return dropped_;
+    return dropped_.load(std::memory_order_relaxed);
   }
+  /// Samples accepted into the queue.
   [[nodiscard]] std::uint64_t delivered() const {
-    std::lock_guard lock(mu_);
-    return delivered_;
+    return delivered_.load(std::memory_order_relaxed);
   }
+  /// Queued messages (not samples) awaiting receive.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
   void close() { queue_.close(); }
 
  private:
   friend class PubSocket;
-  bool offer(const Message& m) {
-    // Shares frames either way — no byte copy.
-    const bool ok =
-        policy_ == HwmPolicy::kBlock ? queue_.push(m) : queue_.try_push(m);
-    std::lock_guard lock(mu_);
+  /// `samples`: how many samples `m` carries (counter weight).
+  /// Shares frames either way — no byte copy. Mutex-free.
+  bool offer(const Message& m, std::uint64_t samples) {
+    const bool ok = policy_ == HwmPolicy::kBlock ? queue_.push(m) : queue_.try_push(m);
     if (ok) {
-      ++delivered_;
+      delivered_.fetch_add(samples, std::memory_order_relaxed);
     } else {
-      ++dropped_;
+      dropped_.fetch_add(samples, std::memory_order_relaxed);
     }
     return ok;
   }
 
   std::string prefix_;
-  MpmcQueue<Message> queue_;
+  BusQueue<Message> queue_;
   HwmPolicy policy_;
-  mutable std::mutex mu_;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 class PubSocket {
  public:
   explicit PubSocket(std::size_t default_hwm = 4096) : default_hwm_(default_hwm) {}
+  ~PubSocket();
+
+  PubSocket(const PubSocket&) = delete;
+  PubSocket& operator=(const PubSocket&) = delete;
 
   /// New subscription for topics starting with `topic_prefix` (empty =
-  /// everything). Thread-safe.
+  /// everything). Thread-safe, including against concurrent publishers:
+  /// the list is append-only and published with a release CAS.
   std::shared_ptr<Subscription> subscribe(std::string topic_prefix, std::size_t hwm = 0,
                                           HwmPolicy policy = HwmPolicy::kDrop);
 
-  /// Fan out to all matching subscriptions; never blocks. Returns the
-  /// number of subscribers that accepted the message.
-  std::size_t publish(const Message& message);
+  /// Fan out to all matching subscriptions; never blocks under kDrop and
+  /// acquires no mutex. `samples` is the number of samples the message
+  /// carries (weights the delivered/dropped/published counters). Returns
+  /// the number of subscribers that accepted the message.
+  std::size_t publish(const Message& message, std::uint64_t samples = 1);
 
   /// Close every subscription (consumers drain then see nullopt).
   void close_all();
 
+  /// Samples published (sum of publish() weights).
   [[nodiscard]] std::uint64_t published() const {
-    std::lock_guard lock(mu_);
-    return published_;
+    return published_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] std::size_t subscriber_count() const {
-    std::lock_guard lock(mu_);
-    return subs_.size();
-  }
+  [[nodiscard]] std::size_t subscriber_count() const;
 
  private:
+  /// Append-only intrusive list; nodes live until the socket dies, so
+  /// publishers can walk it without reference counting or hazard
+  /// pointers.
+  struct SubNode {
+    std::shared_ptr<Subscription> sub;
+    SubNode* next;
+  };
+
   std::size_t default_hwm_;
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<Subscription>> subs_;
-  std::uint64_t published_ = 0;
+  std::atomic<SubNode*> head_{nullptr};
+  std::atomic<std::uint64_t> published_{0};
 };
 
 }  // namespace ruru

@@ -84,6 +84,58 @@ TEST_F(PoolTest, MultipleSinksAllInvoked) {
   EXPECT_EQ(b.load(), 100);
 }
 
+TEST_F(PoolTest, BatchedMessagesCountSamplesNotMessages) {
+  PubSocket bus;
+  auto sub = bus.subscribe(std::string(kLatencyTopic), 1 << 14);
+  EnrichmentPool pool(sub, world_->geo, world_->as, 3);
+  std::atomic<int> sunk{0};
+  pool.add_sink([&](const EnrichedSample&) { sunk.fetch_add(1); });
+  pool.start();
+
+  constexpr int kBatches = 50;
+  constexpr int kBatchSize = 40;
+  std::vector<LatencySample> batch;
+  for (int b = 0; b < kBatches; ++b) {
+    batch.clear();
+    for (int i = 0; i < kBatchSize; ++i) {
+      batch.push_back(sample((100u << 24) + static_cast<std::uint32_t>(b * kBatchSize + i) % 4096));
+    }
+    bus.publish(encode_latency_batch(batch), batch.size());
+  }
+  bus.close_all();
+  pool.stop();
+
+  // 50 messages carried 2000 samples: processed() is in samples.
+  EXPECT_EQ(pool.processed(), static_cast<std::uint64_t>(kBatches * kBatchSize));
+  EXPECT_EQ(sunk.load(), kBatches * kBatchSize);
+  EXPECT_EQ(pool.decode_failures(), 0u);
+  EXPECT_EQ(pool.combined_stats().enriched, static_cast<std::uint64_t>(kBatches * kBatchSize));
+}
+
+TEST_F(PoolTest, CorruptBatchIsOneDecodeFailure) {
+  PubSocket bus;
+  auto sub = bus.subscribe("", 128);
+  EnrichmentPool pool(sub, world_->geo, world_->as, 1);
+  pool.start();
+
+  std::vector<LatencySample> batch(8, sample((100u << 24) + 1));
+  const Message good = encode_latency_batch(batch);
+  std::vector<std::uint8_t> bytes(good.frames[1].data(),
+                                  good.frames[1].data() + good.frames[1].size());
+  bytes.resize(bytes.size() - 5);  // truncate the last record
+  Message corrupt("ruru.latency");
+  corrupt.add(Frame::adopt(std::move(bytes)));
+  bus.publish(corrupt, batch.size());
+  bus.publish(good, batch.size());
+  bus.close_all();
+  pool.stop();
+
+  // The corrupt batch is rejected whole (one failure, zero samples); the
+  // good one decodes fully.
+  EXPECT_EQ(pool.decode_failures(), 1u);
+  EXPECT_EQ(pool.processed(), batch.size());
+}
+
 TEST_F(PoolTest, StopWithoutStartIsSafe) {
   PubSocket bus;
   auto sub = bus.subscribe("", 16);

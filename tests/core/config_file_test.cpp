@@ -114,6 +114,20 @@ TEST(PipelineConfigFile, LinkMeterKeys) {
   EXPECT_EQ(r.value().link_meter_window.ns, Duration::from_sec(5).ns);
 }
 
+TEST(PipelineConfigFile, BusBatchKeys) {
+  const auto r = pipeline_config_from_text("[bus]\nbatch = 128\nbatch_linger_s = 0.02\n");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().bus_batch_size, 128u);
+  EXPECT_EQ(r.value().bus_batch_linger.ns, Duration::from_sec(0.02).ns);
+  // batch = 1 is the un-batched compatibility mode, not an error.
+  const auto one = pipeline_config_from_text("[bus]\nbatch = 1\n");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value().bus_batch_size, 1u);
+  // batch = 0 would silently discard every sample: rejected.
+  EXPECT_FALSE(pipeline_config_from_text("[bus]\nbatch = 0\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[bus]\nbatch = lots\n").ok());
+}
+
 TEST(PipelineConfigFile, SymmetricRssToggle) {
   const auto sym = pipeline_config_from_text("[capture]\nsymmetric_rss = true\n");
   ASSERT_TRUE(sym.ok());

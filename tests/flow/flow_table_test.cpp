@@ -112,6 +112,32 @@ TEST(FlowTable, StaleEntryNotReturnedByFind) {
   EXPECT_TRUE(inserted);
 }
 
+TEST(FlowTable, FindErasesStaleMatchSoOccupancyStaysAccurate) {
+  FlowTable table(64, Duration::from_sec(30.0));
+  bool inserted = false;
+  table.find_or_insert(key_for(1, 1), 5, Timestamp::from_sec(1), inserted);
+  ASSERT_EQ(table.size(), 1u);
+  // find() on a stale match reports a miss AND reclaims the slot, so
+  // occupancy reflects live flows rather than abandoned handshakes.
+  EXPECT_EQ(table.find(key_for(1, 1), 5, Timestamp::from_sec(100)), nullptr);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.stats().evictions_stale, 1u);
+}
+
+TEST(FlowTable, StaleReinsertDoesNotLeakOccupancy) {
+  FlowTable table(64, Duration::from_sec(30.0));
+  bool inserted = false;
+  // Same flow abandoned and retried repeatedly: live_ must not grow.
+  for (int round = 0; round < 5; ++round) {
+    FlowEntry* e = table.find_or_insert(key_for(1, 1), 5,
+                                        Timestamp::from_sec(1 + round * 100), inserted);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(table.size(), 1u);
+  }
+  EXPECT_EQ(table.stats().evictions_stale, 4u);
+}
+
 TEST(FlowTable, CapacityRoundsToPowerOfTwo) {
   FlowTable table(100);
   EXPECT_EQ(table.capacity(), 128u);

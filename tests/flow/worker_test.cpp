@@ -111,6 +111,110 @@ TEST_F(WorkerTest, RunDrainsOnStop) {
   EXPECT_EQ(samples.load(), 50);
 }
 
+TEST_F(WorkerTest, BatchSinkFlushesWhenFull) {
+  std::vector<std::size_t> flush_sizes;
+  QueueWorker worker(*nic_, 0, 1024, nullptr);
+  worker.set_batch_sink(
+      [&](std::span<const LatencySample> samples) { flush_sizes.push_back(samples.size()); },
+      /*batch_size=*/2);
+  for (int i = 0; i < 5; ++i) {
+    inject_handshake(Ipv4Address(10, 1, 0, static_cast<std::uint8_t>(i + 1)),
+                     static_cast<std::uint16_t>(30'000 + i), Timestamp::from_ms(i),
+                     Duration::from_ms(100), Duration::from_ms(5));
+  }
+  while (worker.poll_once() != 0) {
+  }
+  // 5 samples at batch=2: two full flushes, then the empty poll flushes
+  // the remainder (end-of-burst idle).
+  ASSERT_EQ(flush_sizes.size(), 3u);
+  EXPECT_EQ(flush_sizes[0], 2u);
+  EXPECT_EQ(flush_sizes[1], 2u);
+  EXPECT_EQ(flush_sizes[2], 1u);
+  EXPECT_EQ(worker.stats().batch_flushes, 3u);
+  EXPECT_EQ(worker.stats().batched_samples, 5u);
+}
+
+TEST_F(WorkerTest, BatchSinkIdleFlushDeliversPartialBatch) {
+  std::vector<LatencySample> seen;
+  QueueWorker worker(*nic_, 0, 1024, nullptr);
+  worker.set_batch_sink(
+      [&](std::span<const LatencySample> samples) {
+        seen.insert(seen.end(), samples.begin(), samples.end());
+      },
+      /*batch_size=*/64);
+  inject_handshake(Ipv4Address(10, 1, 0, 1), 40'000, Timestamp::from_ms(0),
+                   Duration::from_ms(128), Duration::from_ms(5));
+  while (worker.poll_once() != 0) {
+  }
+  // Far below batch_size, but the empty poll must not sit on the sample.
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].external().ns, Duration::from_ms(128).ns);
+}
+
+TEST_F(WorkerTest, BatchSinkLingerFlushesOldSamples) {
+  std::vector<std::size_t> flush_sizes;
+  QueueWorker worker(*nic_, 0, 1024, nullptr);
+  worker.set_batch_sink(
+      [&](std::span<const LatencySample> samples) { flush_sizes.push_back(samples.size()); },
+      /*batch_size=*/64, /*linger=*/Duration::from_ms(10));
+  // Two completions 50 ms apart in capture time, processed in one burst:
+  // the second sample's timestamp exceeds the linger and forces a flush
+  // even though the batch is nowhere near full.
+  inject_handshake(Ipv4Address(10, 1, 0, 1), 40'000, Timestamp::from_ms(0),
+                   Duration::from_ms(1), Duration::from_ms(1));
+  inject_handshake(Ipv4Address(10, 1, 0, 2), 40'001, Timestamp::from_ms(50),
+                   Duration::from_ms(1), Duration::from_ms(1));
+  while (worker.poll_once() != 0) {
+  }
+  ASSERT_FALSE(flush_sizes.empty());
+  // The linger flush fired inside the burst (2 samples together), not
+  // only at the trailing empty poll.
+  EXPECT_EQ(flush_sizes[0], 2u);
+  EXPECT_EQ(worker.stats().batched_samples, 2u);
+}
+
+TEST_F(WorkerTest, BatchSizeOneMatchesPerSampleBehaviour) {
+  std::vector<std::size_t> flush_sizes;
+  std::vector<LatencySample> per_sample;
+  QueueWorker worker(*nic_, 0, 1024,
+                     [&](const LatencySample& s) { per_sample.push_back(s); });
+  worker.set_batch_sink(
+      [&](std::span<const LatencySample> samples) { flush_sizes.push_back(samples.size()); },
+      /*batch_size=*/1);
+  for (int i = 0; i < 3; ++i) {
+    inject_handshake(Ipv4Address(10, 1, 0, static_cast<std::uint8_t>(i + 1)),
+                     static_cast<std::uint16_t>(31'000 + i), Timestamp::from_ms(i),
+                     Duration::from_ms(100), Duration::from_ms(5));
+  }
+  while (worker.poll_once() != 0) {
+  }
+  // batch=1: every sample flushes alone, and the per-sample sink still
+  // fires alongside the batch sink.
+  ASSERT_EQ(flush_sizes.size(), 3u);
+  for (const auto n : flush_sizes) EXPECT_EQ(n, 1u);
+  EXPECT_EQ(per_sample.size(), 3u);
+}
+
+TEST_F(WorkerTest, RunFlushesResidualBatchOnStop) {
+  std::atomic<std::uint64_t> samples{0};
+  QueueWorker worker(*nic_, 0, 1024, nullptr);
+  worker.set_batch_sink(
+      [&](std::span<const LatencySample> s) {
+        samples.fetch_add(s.size(), std::memory_order_relaxed);
+      },
+      /*batch_size=*/kMaxLatencyBatch);  // never fills: only the shutdown flush
+  std::atomic<bool> stop{false};
+  std::thread t([&] { worker.run(stop); });
+  for (int i = 0; i < 20; ++i) {
+    inject_handshake(Ipv4Address(10, 1, 0, static_cast<std::uint8_t>(i + 1)),
+                     static_cast<std::uint16_t>(32'000 + i), Timestamp::from_ms(i * 10),
+                     Duration::from_ms(100), Duration::from_ms(5));
+  }
+  stop.store(true);
+  t.join();
+  EXPECT_EQ(samples.load(), 20u);  // nothing stranded in the accumulator
+}
+
 TEST_F(WorkerTest, EmptyPollsAreCounted) {
   QueueWorker worker(*nic_, 0, 1024, nullptr);
   EXPECT_EQ(worker.poll_once(), 0u);

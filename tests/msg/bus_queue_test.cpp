@@ -1,0 +1,115 @@
+#include "msg/bus_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ruru {
+namespace {
+
+TEST(BusQueue, FifoWithinCapacity) {
+  BusQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BusQueue, EnforcesNonPowerOfTwoHwmExactly) {
+  BusQueue<int> q(3);  // backing ring rounds to 4; HWM must stay 3
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(BusQueue, HwmOfOne) {
+  BusQueue<int> q(1);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_TRUE(q.try_push(2));
+}
+
+TEST(BusQueue, CloseDrainsThenReportsClosed) {
+  BusQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(1));
+  q.close();
+  EXPECT_FALSE(q.try_push(2));
+  EXPECT_EQ(q.pop().value(), 1);          // backlog drains
+  EXPECT_FALSE(q.pop().has_value());      // then closed
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BusQueue, BlockingPopWokenByPush) {
+  BusQueue<int> q(8);
+  std::atomic<int> got{0};
+  std::thread consumer([&] {
+    const auto v = q.pop();
+    got.store(v.value_or(-1));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(q.try_push(42));
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(BusQueue, BlockingPushWaitsForSpaceAndFailsAfterClose) {
+  BusQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::atomic<bool> second_done{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks until the consumer drains
+    second_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(second_done.load());
+  EXPECT_EQ(q.try_pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(second_done.load());
+
+  q.close();
+  EXPECT_FALSE(q.push(3));  // closed: blocking push returns false
+}
+
+TEST(BusQueue, ConcurrentProducersConsumersConserveItems) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 20'000;
+  BusQueue<std::uint64_t> q(256);
+
+  std::atomic<std::uint64_t> popped_sum{0};
+  std::atomic<std::uint64_t> popped_count{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        popped_sum.fetch_add(*v, std::memory_order_relaxed);
+        popped_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(static_cast<std::uint64_t>(p) * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : threads) t.join();
+
+  const std::uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(popped_count.load(), n);
+  EXPECT_EQ(popped_sum.load(), n * (n - 1) / 2);  // every value exactly once
+}
+
+}  // namespace
+}  // namespace ruru

@@ -72,6 +72,127 @@ TEST(Codec, RejectsWrongVersionOrFamily) {
   EXPECT_FALSE(decode_latency_sample(Frame::adopt(std::move(bytes))).has_value());
 }
 
+TEST(CodecBatch, RoundTripEmpty) {
+  const Message m = encode_latency_batch({});
+  EXPECT_EQ(m.topic(), kLatencyTopic);
+  ASSERT_EQ(m.frames.size(), 2u);
+  std::vector<LatencySample> out;
+  EXPECT_TRUE(decode_latency_batch(m.frames[1], out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CodecBatch, RoundTripSingle) {
+  const LatencySample s = sample_v4();
+  const Message m = encode_latency_batch({&s, 1});
+  std::vector<LatencySample> out;
+  ASSERT_TRUE(decode_latency_batch(m.frames[1], out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].client == s.client);
+  EXPECT_EQ(out[0].ack_time.ns, s.ack_time.ns);
+  EXPECT_EQ(out[0].queue_id, s.queue_id);
+}
+
+TEST(CodecBatch, RoundTripManyMixedFamilies) {
+  std::vector<LatencySample> in;
+  for (int i = 0; i < 100; ++i) {
+    LatencySample s = sample_v4();
+    s.client_port = static_cast<std::uint16_t>(1000 + i);
+    s.syn_time = Timestamp::from_ns(i * 1'000);
+    if (i % 3 == 0) {
+      s.client = Ipv6Address::parse("2001:db8::1").value();
+      s.server = Ipv6Address::parse("2001:db8:ffff::2").value();
+    }
+    in.push_back(s);
+  }
+  const Message m = encode_latency_batch(in);
+  std::vector<LatencySample> out;
+  ASSERT_TRUE(decode_latency_batch(m.frames[1], out));
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_TRUE(out[i].client == in[i].client) << i;
+    EXPECT_TRUE(out[i].server == in[i].server) << i;
+    EXPECT_EQ(out[i].client_port, in[i].client_port) << i;
+    EXPECT_EQ(out[i].syn_time.ns, in[i].syn_time.ns) << i;
+  }
+}
+
+TEST(CodecBatch, TopicFrameIsInterned) {
+  const LatencySample s = sample_v4();
+  const Message a = encode_latency_batch({&s, 1});
+  const Message b = encode_latency_batch({&s, 1});
+  const Message c = encode_latency_sample(s);
+  // All latency messages share one topic buffer: no per-publish topic
+  // allocation.
+  EXPECT_EQ(a.frames[0].data(), b.frames[0].data());
+  EXPECT_EQ(a.frames[0].data(), c.frames[0].data());
+}
+
+TEST(CodecBatch, RejectsTruncatedPayload) {
+  std::vector<LatencySample> in(3, sample_v4());
+  const Message m = encode_latency_batch(in);
+  std::vector<std::uint8_t> bytes(m.frames[1].data(), m.frames[1].data() + m.frames[1].size());
+  bytes.resize(bytes.size() - 10);  // truncate mid-record
+  std::vector<LatencySample> out;
+  out.push_back(sample_v4());  // pre-existing content must survive rejection
+  EXPECT_FALSE(decode_latency_batch(Frame::adopt(std::move(bytes)), out));
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_FALSE(decode_latency_batch(Frame(), out));
+  EXPECT_FALSE(decode_latency_batch(Frame::from_string("xx"), out));
+}
+
+TEST(CodecBatch, RejectsCorruptVersionByte) {
+  const LatencySample s = sample_v4();
+  const Message m = encode_latency_batch({&s, 1});
+  std::vector<std::uint8_t> bytes(m.frames[1].data(), m.frames[1].data() + m.frames[1].size());
+  bytes[0] = 99;
+  std::vector<LatencySample> out;
+  EXPECT_FALSE(decode_latency_batch(Frame::adopt(std::move(bytes)), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CodecBatch, RejectsCorruptRecordFamily) {
+  std::vector<LatencySample> in(4, sample_v4());
+  const Message m = encode_latency_batch(in);
+  std::vector<std::uint8_t> bytes(m.frames[1].data(), m.frames[1].data() + m.frames[1].size());
+  bytes[3 + 67 * 2] = 9;  // third record's family byte
+  std::vector<LatencySample> out;
+  EXPECT_FALSE(decode_latency_batch(Frame::adopt(std::move(bytes)), out));
+  EXPECT_TRUE(out.empty());  // whole-batch rejection, no partial decode
+}
+
+TEST(CodecBatch, RejectsOversizeRecordCount) {
+  // A count beyond kMaxLatencyBatch is rejected even when the payload
+  // length matches it exactly (no multi-megabyte allocation, no UB).
+  const std::size_t count = kMaxLatencyBatch + 1;
+  std::vector<std::uint8_t> bytes(3 + count * 67, 0);
+  bytes[0] = 2;
+  bytes[1] = static_cast<std::uint8_t>(count >> 8);
+  bytes[2] = static_cast<std::uint8_t>(count & 0xFF);
+  std::vector<LatencySample> out;
+  EXPECT_FALSE(decode_latency_batch(Frame::adopt(std::move(bytes)), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CodecBatch, RejectsCountLengthMismatch) {
+  const LatencySample s = sample_v4();
+  const Message m = encode_latency_batch({&s, 1});
+  std::vector<std::uint8_t> bytes(m.frames[1].data(), m.frames[1].data() + m.frames[1].size());
+  bytes[2] = 2;  // claims two records, carries one
+  std::vector<LatencySample> out;
+  EXPECT_FALSE(decode_latency_batch(Frame::adopt(std::move(bytes)), out));
+}
+
+TEST(CodecBatch, PayloadDispatchAcceptsBothVersions) {
+  const LatencySample s = sample_v4();
+  std::vector<LatencySample> out;
+  ASSERT_TRUE(decode_latency_payload(encode_latency_sample(s).frames[1], out));
+  ASSERT_TRUE(decode_latency_payload(encode_latency_batch({&s, 1}).frames[1], out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].client == out[1].client);
+  EXPECT_FALSE(decode_latency_payload(Frame(), out));
+  EXPECT_FALSE(decode_latency_payload(Frame::from_string("junk"), out));
+}
+
 TEST(Codec, FuzzRoundTrip) {
   Pcg32 rng(31337);
   for (int i = 0; i < 500; ++i) {

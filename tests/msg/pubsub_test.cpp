@@ -134,6 +134,59 @@ TEST(PubSub, BlockPolicyUnblocksOnClose) {
   SUCCEED();
 }
 
+TEST(PubSub, WeightedPublishCountsSamples) {
+  PubSocket pub;
+  auto sub = pub.subscribe("t", /*hwm=*/2);
+  // Two batched messages accepted, one dropped at the HWM: counters are
+  // denominated in samples, so the drop loses the whole batch's worth.
+  EXPECT_EQ(pub.publish(msg("t", "batch"), 32), 1u);
+  EXPECT_EQ(pub.publish(msg("t", "batch"), 32), 1u);
+  EXPECT_EQ(pub.publish(msg("t", "batch"), 32), 0u);
+  EXPECT_EQ(pub.published(), 96u);
+  EXPECT_EQ(sub->delivered(), 64u);
+  EXPECT_EQ(sub->dropped(), 32u);
+  EXPECT_EQ(sub->pending(), 2u);  // pending stays in messages
+}
+
+// Subscribing concurrently with a publishing thread must never lose or
+// duplicate deliveries: a subscriber created before the stream starts
+// sees every sample exactly once, and late subscribers see a suffix.
+TEST(PubSub, ConcurrentSubscribeDuringPublish) {
+  PubSocket pub;
+  constexpr std::uint64_t kMessages = 20'000;
+  auto early = pub.subscribe("t", kMessages + 16);
+
+  std::atomic<bool> go{false};
+  std::thread publisher([&] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    for (std::uint64_t i = 0; i < kMessages; ++i) pub.publish(msg("t", "x"));
+  });
+
+  std::vector<std::shared_ptr<Subscription>> late;
+  go.store(true, std::memory_order_release);
+  for (int i = 0; i < 64; ++i) {
+    late.push_back(pub.subscribe("t", kMessages + 16));
+  }
+  publisher.join();
+
+  EXPECT_EQ(early->delivered(), kMessages);
+  EXPECT_EQ(early->dropped(), 0u);
+  std::uint64_t drained = 0;
+  while (early->try_recv()) ++drained;
+  EXPECT_EQ(drained, kMessages);
+  for (const auto& sub : late) {
+    // A late subscriber sees only messages published after it attached —
+    // never more than the stream, never a drop at this HWM.
+    EXPECT_LE(sub->delivered(), kMessages);
+    EXPECT_EQ(sub->dropped(), 0u);
+    std::uint64_t got = 0;
+    while (sub->try_recv()) ++got;
+    EXPECT_EQ(got, sub->delivered());
+  }
+  EXPECT_EQ(pub.subscriber_count(), 65u);
+}
+
 TEST(PubSub, SubscribeMidStreamSeesOnlyNewMessages) {
   PubSocket pub;
   pub.publish(msg("t", "before"));

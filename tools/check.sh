@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the lock-free bus: builds the msg + flow test
+# suites (and the util suite their primitives live under) with
+# -fsanitize and runs them under ctest.  The publish path takes no locks
+# under HwmPolicy::kDrop, so it must stay TSan-clean.
+#
+# Usage: tools/check.sh [thread|address]   (default: thread)
+set -euo pipefail
+
+SAN="${1:-thread}"
+case "$SAN" in
+  thread|address) ;;
+  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-$SAN"
+JOBS="$(nproc)"
+
+cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE="$SAN" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j"$JOBS" --target test_msg test_flow test_util test_driver
+
+# Only the built suites are registered; the concurrency-heavy msg/flow
+# tests are the point of this gate.
+(cd "$BUILD" && ctest --output-on-failure -j"$JOBS" -E 'NOT_BUILT')
