@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include <array>
 #include <cstdio>
 #include <filesystem>
 #include <unordered_map>
@@ -13,7 +14,9 @@
 #include "anomaly/heavy_hitters.hpp"
 #include "capture/pcap.hpp"
 #include "driver/mempool.hpp"
+#include "driver/nic.hpp"
 #include "driver/ring.hpp"
+#include "driver/toeplitz.hpp"
 #include "flow/flow_table.hpp"
 #include "viz/heatmap.hpp"
 #include "net/checksum.hpp"
@@ -122,6 +125,99 @@ void BM_FlowTableLookupHit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FlowTableLookupHit);
+
+// RSS hashing: bit-serial reference vs the precomputed lookup table the
+// NIC actually uses. 12 bytes = TCP/IPv4 tuple, 36 bytes = TCP/IPv6.
+void BM_ToeplitzScalar(benchmark::State& state) {
+  const RssKey& key = symmetric_rss_key();
+  Pcg32 rng(6);
+  std::uint8_t input[36];
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.next_u32());
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::span<const std::uint8_t> in(input, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(toeplitz_hash(key, in));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ToeplitzScalar)->Arg(12)->Arg(36)->ArgName("bytes");
+
+void BM_ToeplitzTable(benchmark::State& state) {
+  const ToeplitzTable table(symmetric_rss_key());
+  Pcg32 rng(6);
+  std::uint8_t input[36];
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.next_u32());
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::span<const std::uint8_t> in(input, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.hash(in));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ToeplitzTable)->Arg(12)->Arg(36)->ArgName("bytes");
+
+// RX publish path: per-frame inject (one release store per frame) vs
+// inject_burst (per-queue staging, one release store per queue). Both
+// drain identically, so the delta is the publish path itself.
+std::vector<std::vector<std::uint8_t>> inject_bench_frames() {
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int i = 0; i < 64; ++i) {
+    TcpFrameSpec spec;
+    spec.src_ip = Ipv4Address(10, 1, static_cast<std::uint8_t>(i), 1);
+    spec.dst_ip = Ipv4Address(10, 2, 0, static_cast<std::uint8_t>(i));
+    spec.src_port = static_cast<std::uint16_t>(20'000 + i);
+    spec.dst_port = 443;
+    spec.flags = TcpFlags::kAck;
+    frames.push_back(build_tcp_frame(spec));
+  }
+  return frames;
+}
+
+void drain_nic(SimNic& nic) {
+  std::array<MbufPtr, 64> out;
+  for (std::uint16_t q = 0; q < nic.num_queues(); ++q) {
+    std::size_t n = 0;
+    while ((n = nic.rx_burst(q, out)) != 0) {
+      for (std::size_t i = 0; i < n; ++i) out[i].reset();
+    }
+  }
+}
+
+void BM_NicInject(benchmark::State& state) {
+  Mempool pool(1 << 14, 2048);
+  NicConfig cfg;
+  cfg.num_queues = 4;
+  cfg.queue_depth = 8192;
+  SimNic nic(cfg, pool);
+  const auto frames = inject_bench_frames();
+  for (auto _ : state) {
+    for (const auto& f : frames) {
+      benchmark::DoNotOptimize(nic.inject(f, Timestamp{}));
+    }
+    drain_nic(nic);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(frames.size()));
+}
+BENCHMARK(BM_NicInject);
+
+void BM_NicInjectBurst(benchmark::State& state) {
+  Mempool pool(1 << 14, 2048);
+  NicConfig cfg;
+  cfg.num_queues = 4;
+  cfg.queue_depth = 8192;
+  SimNic nic(cfg, pool);
+  const auto frames = inject_bench_frames();
+  std::vector<RxFrame> burst;
+  for (const auto& f : frames) burst.push_back({f, Timestamp{}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nic.inject_burst(burst));
+    drain_nic(nic);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(frames.size()));
+}
+BENCHMARK(BM_NicInjectBurst);
 
 void BM_SpscRingPushPop(benchmark::State& state) {
   SpscRing<std::uint64_t> ring(4096);

@@ -129,6 +129,10 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
       bool symmetric = true;
       status = set_bool(symmetric);
       if (status.ok()) cfg.rss_key = symmetric ? symmetric_rss_key() : default_rss_key();
+    } else if (key == "capture.inject_burst") {
+      status = set_u64(cfg.inject_burst_size);
+    } else if (key == "flow.fast_path") {
+      status = set_bool(cfg.worker_fast_path);
     } else if (key == "flow.table_capacity") {
       status = set_u64(cfg.flow_table_capacity);
     } else if (key == "flow.stale_after_s") {
@@ -188,6 +192,7 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
   }
 
   if (cfg.num_queues == 0) return make_error("config: capture.queues must be >= 1");
+  if (cfg.inject_burst_size == 0) return make_error("config: capture.inject_burst must be >= 1");
   if (cfg.enrichment_threads == 0) return make_error("config: analytics.threads must be >= 1");
   if (cfg.bus_batch_size == 0) return make_error("config: bus.batch must be >= 1");
   return cfg;

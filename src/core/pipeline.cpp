@@ -33,6 +33,7 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
   for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
     auto worker = std::make_unique<QueueWorker>(*nic_, q, config_.flow_table_capacity, nullptr,
                                                 config_.flow_stale_after);
+    worker->set_fast_path(config_.worker_fast_path);
     worker->set_batch_sink(
         [this](std::span<const LatencySample> samples) {
           bus_.publish(encode_latency_batch(samples), samples.size());
@@ -117,6 +118,15 @@ bool RuruPipeline::inject(std::span<const std::uint8_t> frame, Timestamp rx_time
   return nic_->inject(frame, rx_time);
 }
 
+std::size_t RuruPipeline::inject_burst(std::span<const RxFrame> frames, bool* queued) {
+  if (config_.enable_link_meter) {
+    // The meter sees the wire, not the queues: every frame counts even
+    // if the NIC then drops it.
+    for (const RxFrame& f : frames) link_meter_.on_packet(f.rx_time, f.data.size());
+  }
+  return nic_->inject_burst(frames, queued);
+}
+
 void RuruPipeline::finish() {
   if (!started_ || finished_) return;
   finished_ = true;
@@ -189,6 +199,7 @@ PipelineSummary RuruPipeline::summary() const {
     s.workers.bytes += ws.bytes;
     s.workers.batch_flushes += ws.batch_flushes;
     s.workers.batched_samples += ws.batched_samples;
+    s.workers.fast_path_skips += ws.fast_path_skips;
     for (std::size_t i = 0; i < ws.parse_status.size(); ++i) {
       s.workers.parse_status[i] += ws.parse_status[i];
     }

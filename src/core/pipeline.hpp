@@ -45,10 +45,17 @@ struct PipelineConfig {
   std::size_t mempool_size = 1 << 16;
   std::size_t mbuf_size = 2048;
   RssKey rss_key = symmetric_rss_key();
+  /// Frames the replayer accumulates before one inject_burst() call
+  /// (one SpscRing release-store per queue per burst). 1 = per-frame
+  /// injection, the pre-burst behaviour.
+  std::size_t inject_burst_size = 32;
 
   // --- flow tracking ---
   std::size_t flow_table_capacity = 1 << 16;  ///< per queue
   Duration flow_stale_after = Duration::from_sec(30.0);
+  /// Worker pre-parse fast path: skip full parsing of data segments on
+  /// untracked flows (see QueueWorker::set_fast_path).
+  bool worker_fast_path = true;
 
   // --- bus / analytics ---
   std::size_t bus_hwm = 1 << 16;
@@ -117,6 +124,12 @@ class RuruPipeline {
 
   /// RX one frame (single producer thread). Returns false on drop.
   bool inject(std::span<const std::uint8_t> frame, Timestamp rx_time);
+
+  /// RX a burst of frames (single producer thread); see
+  /// SimNic::inject_burst for the staging / one-release-store-per-queue
+  /// contract. Returns frames queued; `queued` (optional, frames.size()
+  /// slots) receives per-frame success.
+  std::size_t inject_burst(std::span<const RxFrame> frames, bool* queued = nullptr);
 
   /// Drain everything and stop all threads. Idempotent. After this the
   /// result accessors below are stable.

@@ -1,38 +1,79 @@
 #include "core/replay.hpp"
 
 #include <chrono>
+#include <memory>
 #include <thread>
 
 namespace ruru {
 
 namespace {
 
-/// Inject with optional bounded retry (yield to let workers drain).
-bool inject_frame(RuruPipeline& pipeline, std::span<const std::uint8_t> frame, Timestamp ts,
-                  bool retry_drops, std::uint64_t& drops) {
-  if (pipeline.inject(frame, ts)) return true;
-  if (!retry_drops) {
-    ++drops;
-    return false;
-  }
+/// Bounded yield-retry for one dropped frame (lossless accuracy runs:
+/// give the workers time to drain, then count an honest drop).
+bool retry_inject(RuruPipeline& pipeline, std::span<const std::uint8_t> frame, Timestamp ts) {
   for (int attempt = 0; attempt < 1'000'000; ++attempt) {
     std::this_thread::yield();
     if (pipeline.inject(frame, ts)) return true;
   }
-  ++drops;  // pipeline wedged; count and move on
-  return false;
+  return false;  // pipeline wedged; caller counts and moves on
 }
+
+/// Accumulates frames and feeds the pipeline in inject_burst() calls —
+/// one SpscRing release-store per queue per burst instead of one per
+/// frame. Frames a burst could not queue are retried individually
+/// (retry_drops) or counted as drops.
+class BurstInjector {
+ public:
+  BurstInjector(RuruPipeline& pipeline, bool retry_drops, ReplayStats& stats)
+      : pipeline_(pipeline),
+        retry_drops_(retry_drops),
+        stats_(stats),
+        burst_(pipeline.config().inject_burst_size > 0 ? pipeline.config().inject_burst_size : 1),
+        queued_(new bool[burst_]) {
+    frames_.reserve(burst_);
+    refs_.reserve(burst_);
+  }
+
+  void add(TimedFrame frame) {
+    ++stats_.frames;
+    stats_.bytes += frame.frame.size();
+    frames_.push_back(std::move(frame));
+    if (frames_.size() >= burst_) flush();
+  }
+
+  void flush() {
+    if (frames_.empty()) return;
+    refs_.clear();
+    for (const TimedFrame& f : frames_) refs_.push_back({f.frame, f.timestamp});
+    pipeline_.inject_burst(refs_, queued_.get());
+    for (std::size_t i = 0; i < frames_.size(); ++i) {
+      if (queued_[i]) continue;
+      if (retry_drops_ && retry_inject(pipeline_, frames_[i].frame, frames_[i].timestamp)) {
+        continue;
+      }
+      ++stats_.inject_drops;
+    }
+    frames_.clear();
+  }
+
+ private:
+  RuruPipeline& pipeline_;
+  bool retry_drops_;
+  ReplayStats& stats_;
+  std::size_t burst_;
+  std::vector<TimedFrame> frames_;  ///< owns the burst's bytes
+  std::vector<RxFrame> refs_;
+  std::unique_ptr<bool[]> queued_;
+};
 
 }  // namespace
 
 ReplayStats replay_scenario(RuruPipeline& pipeline, TrafficModel& model, bool retry_drops) {
   ReplayStats stats;
   const auto start = std::chrono::steady_clock::now();
-  while (auto frame = model.next()) {
-    ++stats.frames;
-    stats.bytes += frame->frame.size();
-    inject_frame(pipeline, frame->frame, frame->timestamp, retry_drops, stats.inject_drops);
-  }
+  BurstInjector injector(pipeline, retry_drops, stats);
+  while (auto frame = model.next()) injector.add(std::move(*frame));
+  injector.flush();
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return stats;
@@ -40,6 +81,8 @@ ReplayStats replay_scenario(RuruPipeline& pipeline, TrafficModel& model, bool re
 
 ReplayStats replay_scenario_paced(RuruPipeline& pipeline, TrafficModel& model,
                                   double time_scale) {
+  // Paced replay stays per-frame: injection time is dictated by the wall
+  // clock, so there is never a burst to amortize.
   ReplayStats stats;
   if (time_scale <= 0) time_scale = 1.0;
   const auto wall_start = std::chrono::steady_clock::now();
@@ -49,8 +92,10 @@ ReplayStats replay_scenario_paced(RuruPipeline& pipeline, TrafficModel& model,
     std::this_thread::sleep_until(due);
     ++stats.frames;
     stats.bytes += frame->frame.size();
-    inject_frame(pipeline, frame->frame, frame->timestamp, /*retry_drops=*/true,
-                 stats.inject_drops);
+    if (!pipeline.inject(frame->frame, frame->timestamp) &&
+        !retry_inject(pipeline, frame->frame, frame->timestamp)) {
+      ++stats.inject_drops;
+    }
   }
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
@@ -63,11 +108,11 @@ Result<ReplayStats> replay_pcap(RuruPipeline& pipeline, const std::string& path,
   if (!reader) return make_error(reader.error());
   ReplayStats stats;
   const auto start = std::chrono::steady_clock::now();
+  BurstInjector injector(pipeline, retry_drops, stats);
   while (auto record = reader.value().next()) {
-    ++stats.frames;
-    stats.bytes += record->frame.size();
-    inject_frame(pipeline, record->frame, record->timestamp, retry_drops, stats.inject_drops);
+    injector.add(TimedFrame{record->timestamp, std::move(record->frame)});
   }
+  injector.flush();
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return stats;

@@ -9,13 +9,13 @@ std::string PipelineSummary::to_string() const {
   char buf[512];
   std::snprintf(buf, sizeof buf,
                 "rx=%" PRIu64 " pkts (%.1f MB), drops[no_mbuf=%" PRIu64 " qfull=%" PRIu64
-                "], tcp=%" PRIu64 ", syn=%" PRIu64 " (retx=%" PRIu64 "), samples=%" PRIu64
-                ", bus[pub=%" PRIu64 " drop=%" PRIu64 "], enriched=%" PRIu64
+                "], tcp=%" PRIu64 ", fast_skip=%" PRIu64 ", syn=%" PRIu64 " (retx=%" PRIu64
+                "), samples=%" PRIu64 ", bus[pub=%" PRIu64 " drop=%" PRIu64 "], enriched=%" PRIu64
                 ", tsdb_points=%" PRIu64 ", alerts=%zu",
                 nic.rx_packets, static_cast<double>(nic.rx_bytes) / 1e6, nic.dropped_no_mbuf,
-                nic.dropped_queue_full, workers.parse_status[0], tracker.syn_seen,
-                tracker.syn_retransmissions, tracker.samples_emitted, bus_published, bus_dropped,
-                enriched, tsdb_points, alerts);
+                nic.dropped_queue_full, workers.parse_status[0], workers.fast_path_skips,
+                tracker.syn_seen, tracker.syn_retransmissions, tracker.samples_emitted,
+                bus_published, bus_dropped, enriched, tsdb_points, alerts);
   return buf;
 }
 

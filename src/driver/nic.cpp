@@ -5,8 +5,11 @@
 
 namespace ruru {
 
-SimNic::SimNic(const NicConfig& config, Mempool& pool) : config_(config), pool_(pool) {
+SimNic::SimNic(const NicConfig& config, Mempool& pool)
+    : config_(config), pool_(pool), rss_table_(config.rss_key) {
   queues_.reserve(config_.num_queues);
+  staging_.resize(config_.num_queues);
+  staged_frames_.resize(config_.num_queues);
   for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
     queues_.push_back(std::make_unique<SpscRing<MbufPtr>>(config_.queue_depth));
   }
@@ -21,13 +24,16 @@ std::uint32_t SimNic::hash_frame(std::span<const std::uint8_t> frame) const {
   if (ether_type == kEtherTypeIpv4) {
     if (frame.size() < 14 + 20) return 0;
     const std::uint8_t ihl = frame[14] & 0x0f;
+    // A header shorter than 20 bytes is malformed; hashing "ports" read
+    // from inside the IP header would spray garbage across queues.
+    if (ihl < 5) return 0;
     const std::size_t l4 = 14 + std::size_t{ihl} * 4;
     if (frame[14 + 9] != kIpProtoTcp || frame.size() < l4 + 4) return 0;
     const Ipv4Address src(load_be32(&frame[14 + 12]));
     const Ipv4Address dst(load_be32(&frame[14 + 16]));
     const std::uint16_t sp = load_be16(&frame[l4]);
     const std::uint16_t dp = load_be16(&frame[l4 + 2]);
-    return rss_hash_tcp4(config_.rss_key, src, dst, sp, dp);
+    return rss_table_.hash_tcp4(src, dst, sp, dp);
   }
   if (ether_type == kEtherTypeIpv6) {
     if (frame.size() < 14 + 40 + 4) return 0;
@@ -37,8 +43,8 @@ std::uint32_t SimNic::hash_frame(std::span<const std::uint8_t> frame) const {
     std::copy_n(&frame[14 + 8], 16, s.begin());
     std::copy_n(&frame[14 + 24], 16, d.begin());
     const std::size_t l4 = 14 + 40;
-    return rss_hash_tcp6(config_.rss_key, Ipv6Address(s), Ipv6Address(d),
-                         load_be16(&frame[l4]), load_be16(&frame[l4 + 2]));
+    return rss_table_.hash_tcp6(Ipv6Address(s), Ipv6Address(d), load_be16(&frame[l4]),
+                                load_be16(&frame[l4 + 2]));
   }
   return 0;
 }
@@ -65,6 +71,51 @@ bool SimNic::inject(std::span<const std::uint8_t> frame, Timestamp rx_time) {
   ++stats_.rx_packets;
   stats_.rx_bytes += frame.size();
   return true;
+}
+
+std::size_t SimNic::inject_burst(std::span<const RxFrame> frames, bool* queued) {
+  // Stage: alloc + copy + hash each frame, grouped by destination queue.
+  for (std::uint32_t i = 0; i < frames.size(); ++i) {
+    if (queued != nullptr) queued[i] = false;
+    MbufPtr mbuf = pool_.alloc();
+    if (!mbuf) {
+      ++stats_.dropped_no_mbuf;
+      continue;
+    }
+    if (!mbuf->assign(frames[i].data)) {
+      ++stats_.dropped_oversize;
+      continue;
+    }
+    mbuf->timestamp = frames[i].rx_time;
+    mbuf->rss_hash = hash_frame(frames[i].data);
+    mbuf->port_id = config_.port_id;
+    const std::uint16_t queue = static_cast<std::uint16_t>(mbuf->rss_hash % config_.num_queues);
+    mbuf->queue_id = queue;
+    staging_[queue].push_back(std::move(mbuf));
+    staged_frames_[queue].push_back(i);
+  }
+
+  // Publish: one push_burst (one release store) per non-empty queue.
+  std::size_t total = 0;
+  for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
+    auto& staged = staging_[q];
+    if (staged.empty()) continue;
+    const std::size_t pushed = queues_[q]->push_burst(staged.data(), staged.size());
+    for (std::size_t j = 0; j < pushed; ++j) {
+      const std::uint32_t frame_index = staged_frames_[q][j];
+      ++stats_.rx_packets;
+      stats_.rx_bytes += frames[frame_index].data.size();
+      if (queued != nullptr) queued[frame_index] = true;
+    }
+    for (std::size_t j = pushed; j < staged.size(); ++j) {
+      ++stats_.dropped_queue_full;
+      staged[j].reset();  // return the mbuf to the pool
+    }
+    total += pushed;
+    staged.clear();
+    staged_frames_[q].clear();
+  }
+  return total;
 }
 
 std::size_t SimNic::rx_burst(std::uint16_t queue, std::span<MbufPtr> out) {

@@ -38,6 +38,12 @@ struct NicConfig {
   std::uint16_t port_id = 0;
 };
 
+/// One frame of an RX burst: the wire bytes plus their capture time.
+struct RxFrame {
+  std::span<const std::uint8_t> data;
+  Timestamp rx_time;
+};
+
 class SimNic {
  public:
   SimNic(const NicConfig& config, Mempool& pool);
@@ -49,6 +55,15 @@ class SimNic {
   /// Single-producer: call from one thread only. Returns true when the
   /// frame was queued (false -> counted in stats as a drop).
   bool inject(std::span<const std::uint8_t> frame, Timestamp rx_time);
+
+  /// Batched RX path: stage every frame's mbuf per destination queue,
+  /// then publish each queue's run with ONE SpscRing::push_burst (one
+  /// release store per queue per burst instead of one per frame).
+  /// Same single-producer contract and drop accounting as inject().
+  /// Returns the number of frames queued; when `queued` is non-null it
+  /// must have `frames.size()` slots and receives a per-frame success
+  /// flag (so a lossless replayer can retry exactly the failures).
+  std::size_t inject_burst(std::span<const RxFrame> frames, bool* queued = nullptr);
 
   /// Poll up to `out.size()` mbufs from `queue` (rte_eth_rx_burst).
   /// Safe to call concurrently across *different* queues.
@@ -64,7 +79,13 @@ class SimNic {
  private:
   NicConfig config_;
   Mempool& pool_;
+  ToeplitzTable rss_table_;  ///< derived from config_.rss_key once
   std::vector<std::unique_ptr<SpscRing<MbufPtr>>> queues_;
+  /// Per-queue staging for inject_burst, with the originating frame
+  /// index alongside each mbuf (so a partial push can report exactly
+  /// which frames dropped). Reused across bursts; producer-thread only.
+  std::vector<std::vector<MbufPtr>> staging_;
+  std::vector<std::vector<std::uint32_t>> staged_frames_;
   NicStats stats_;
 };
 

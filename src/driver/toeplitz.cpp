@@ -72,4 +72,58 @@ std::uint32_t rss_hash(const RssKey& key, const FiveTuple& tuple) {
   return rss_hash_tcp6(key, tuple.src.v6, tuple.dst.v6, tuple.src_port, tuple.dst_port);
 }
 
+ToeplitzTable::ToeplitzTable(const RssKey& key) {
+  // window(j) = key bits [j, j+32) msb-first — what the scalar loop's
+  // `window` register holds when it consumes the input bit at global
+  // position j.  j <= 287, so byte index j/8+4 <= 39 stays in the key.
+  const auto window = [&key](std::size_t j) -> std::uint32_t {
+    const std::size_t byte = j / 8;
+    const unsigned shift = static_cast<unsigned>(j % 8);
+    std::uint32_t w = load_be32(&key[byte]);
+    if (shift != 0) {
+      w = (w << shift) | (std::uint32_t{key[byte + 4]} >> (8 - shift));
+    }
+    return w;
+  };
+  for (std::size_t i = 0; i < kMaxRssInput; ++i) {
+    // Windows consumed by the 8 bits of input byte i, msb-first.
+    std::uint32_t bit_window[8];
+    for (std::size_t k = 0; k < 8; ++k) bit_window[k] = window(i * 8 + k);
+    for (std::size_t b = 0; b < 256; ++b) {
+      std::uint32_t acc = 0;
+      for (std::size_t k = 0; k < 8; ++k) {
+        if ((b >> (7 - k)) & 1) acc ^= bit_window[k];
+      }
+      table_[i][b] = acc;
+    }
+  }
+}
+
+std::uint32_t ToeplitzTable::hash_tcp4(Ipv4Address src, Ipv4Address dst, std::uint16_t src_port,
+                                       std::uint16_t dst_port) const {
+  std::uint8_t input[12];
+  store_be32(&input[0], src.value());
+  store_be32(&input[4], dst.value());
+  store_be16(&input[8], src_port);
+  store_be16(&input[10], dst_port);
+  return hash(std::span<const std::uint8_t>(input, 12));
+}
+
+std::uint32_t ToeplitzTable::hash_tcp6(const Ipv6Address& src, const Ipv6Address& dst,
+                                       std::uint16_t src_port, std::uint16_t dst_port) const {
+  std::uint8_t input[36];
+  std::copy(src.bytes().begin(), src.bytes().end(), &input[0]);
+  std::copy(dst.bytes().begin(), dst.bytes().end(), &input[16]);
+  store_be16(&input[32], src_port);
+  store_be16(&input[34], dst_port);
+  return hash(std::span<const std::uint8_t>(input, 36));
+}
+
+std::uint32_t ToeplitzTable::hash(const FiveTuple& tuple) const {
+  if (tuple.src.is_v4()) {
+    return hash_tcp4(tuple.src.v4, tuple.dst.v4, tuple.src_port, tuple.dst_port);
+  }
+  return hash_tcp6(tuple.src.v6, tuple.dst.v6, tuple.src_port, tuple.dst_port);
+}
+
 }  // namespace ruru

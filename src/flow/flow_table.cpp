@@ -31,6 +31,21 @@ FlowEntry* FlowTable::find(const FlowKey& key, std::uint32_t rss_hash, Timestamp
   return nullptr;
 }
 
+bool FlowTable::contains(const FlowKey& key, std::uint32_t rss_hash, Timestamp now) const {
+  const std::size_t start = slot_for(rss_hash);
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    const FlowEntry& e = slots_[(start + i) & mask_];
+    if (!e.occupied) continue;
+    if (e.rss_hash == rss_hash && e.canonical == key.canonical) {
+      // A stale match is a dead handshake find() would evict; keep
+      // probing like find() does rather than reporting it live.
+      if (now - e.last_seen > stale_after_) continue;
+      return true;
+    }
+  }
+  return false;
+}
+
 FlowEntry* FlowTable::find_or_insert(const FlowKey& key, std::uint32_t rss_hash, Timestamp now,
                                      bool& inserted) {
   inserted = false;

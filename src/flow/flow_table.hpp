@@ -51,6 +51,12 @@ class FlowTable {
   /// Finds the live entry for `key`, or nullptr.
   [[nodiscard]] FlowEntry* find(const FlowKey& key, std::uint32_t rss_hash, Timestamp now);
 
+  /// Read-only probe: true when a live (non-stale) entry for `key`
+  /// exists. Unlike find() it mutates nothing — no hit counting, no
+  /// stale-slot reclamation — so the capture fast path can ask "is this
+  /// flow tracked?" without perturbing table state or stats.
+  [[nodiscard]] bool contains(const FlowKey& key, std::uint32_t rss_hash, Timestamp now) const;
+
   /// Finds or inserts an entry for `key`. On insert the entry is
   /// default-initialized with `canonical`/`rss_hash`/`occupied` set and
   /// `inserted` reports true. Returns nullptr when the probe window has

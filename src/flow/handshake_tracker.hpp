@@ -40,6 +40,13 @@ class HandshakeTracker {
   std::optional<LatencySample> process(const PacketView& pkt, Timestamp rx_time,
                                        std::uint32_t rss_hash, std::uint16_t queue_id);
 
+  /// Read-only: is `key` a live tracked handshake right now? Used by the
+  /// worker fast path to skip full parsing of data segments on flows the
+  /// tracker has no interest in; mutates no table state or stats.
+  [[nodiscard]] bool tracking(const FlowKey& key, std::uint32_t rss_hash, Timestamp now) const {
+    return table_.contains(key, rss_hash, now);
+  }
+
   [[nodiscard]] const TrackerStats& stats() const { return stats_; }
   [[nodiscard]] const FlowTable& table() const { return table_; }
 

@@ -36,9 +36,32 @@ std::size_t QueueWorker::poll_once() {
     return 0;
   }
   for (std::size_t i = 0; i < n; ++i) {
+    // Hide the next mbuf's descriptor + header-bytes miss behind the
+    // current packet's processing (the classic rx-loop prefetch).
+    if (i + 1 < n) {
+      const Mbuf* next = burst[i + 1].get();
+      __builtin_prefetch(next, 0 /*read*/, 3);
+      __builtin_prefetch(next->data(), 0 /*read*/, 3);
+    }
     const Mbuf& m = *burst[i];
     ++stats_.packets;
     stats_.bytes += m.length();
+
+    if (fast_path_) {
+      // Pre-parse probe: a pure data segment (ACK, no SYN/FIN/RST) of a
+      // flow the tracker is not following can contribute nothing — no
+      // timestamp, no state transition — so skip the full parse. SYN /
+      // SYN-ACK / RST / FIN and tracked-flow segments fall through to
+      // the slow path, keeping emitted samples bit-identical.
+      const FastProbe probe = probe_tcp_fast(m.bytes());
+      constexpr std::uint8_t kSlowFlags = TcpFlags::kSyn | TcpFlags::kFin | TcpFlags::kRst;
+      if (probe.eligible && (probe.tcp_flags & kSlowFlags) == 0 &&
+          (probe.tcp_flags & TcpFlags::kAck) != 0 &&
+          !tracker_.tracking(FlowKey::from(probe.tuple), m.rss_hash, m.timestamp)) {
+        ++stats_.fast_path_skips;
+        continue;
+      }
+    }
 
     PacketView view;
     const ParseStatus status = parse_packet(m.bytes(), view);

@@ -23,8 +23,13 @@ struct WorkerStats {
   std::uint64_t empty_polls = 0;
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
-  /// Counts by ParseStatus value (kOk..kMalformed).
+  /// Counts by ParseStatus value (kOk..kMalformed). Packets the fast
+  /// path skips are NOT counted here; conservation is
+  ///   packets == sum(parse_status) + fast_path_skips.
   std::array<std::uint64_t, 5> parse_status{};
+  /// Data segments of untracked flows dismissed by the fixed-offset
+  /// pre-parse probe without a full parse_packet().
+  std::uint64_t fast_path_skips = 0;
   /// Batch-sink flushes (any trigger: full, idle, linger, shutdown).
   std::uint64_t batch_flushes = 0;
   /// Samples handed to the batch sink across all flushes.
@@ -50,6 +55,16 @@ class QueueWorker {
 
   /// Install before the worker runs (not thread-safe afterwards).
   void set_syn_sink(SynSink sink) { syn_sink_ = std::move(sink); }
+
+  /// Enable/disable the pre-parse fast path (default on): a fixed-offset
+  /// probe reads the TCP flags byte and skips full parse_packet() for
+  /// pure data segments (ACK set, no SYN/FIN/RST) of flows the tracker
+  /// is not following — the overwhelming majority of line-rate traffic.
+  /// Handshake and teardown segments, fragments, non-TCP and anything
+  /// the probe cannot bound-check all take the full parse, so emitted
+  /// samples are bit-identical either way. Skips are counted in
+  /// WorkerStats::fast_path_skips (they bypass parse_status).
+  void set_fast_path(bool enabled) { fast_path_ = enabled; }
 
   /// Install a batched sink before the worker runs (not thread-safe
   /// afterwards). Samples accumulate in a reused per-worker buffer —
@@ -86,6 +101,7 @@ class QueueWorker {
   SampleSink sink_;
   SynSink syn_sink_;
   BatchSink batch_sink_;
+  bool fast_path_ = true;
   std::size_t batch_size_ = 1;
   Duration batch_linger_{0};
   std::vector<LatencySample> batch_;   ///< reused accumulator

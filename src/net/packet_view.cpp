@@ -1,5 +1,9 @@
 #include "net/packet_view.hpp"
 
+#include <algorithm>
+
+#include "util/byte_order.hpp"
+
 namespace ruru {
 
 const char* to_string(ParseStatus s) {
@@ -58,6 +62,52 @@ ParseStatus parse_packet(std::span<const std::uint8_t> frame, PacketView& out) {
   if (out.tcp.header_length() > l4.size()) return ParseStatus::kMalformed;
   out.payload_length = l4.size() - out.tcp.header_length();
   return ParseStatus::kOk;
+}
+
+FastProbe probe_tcp_fast(std::span<const std::uint8_t> frame) {
+  FastProbe p;
+  if (frame.size() < EthernetHeader::kSize + Ipv4Header::kMinSize) return p;
+  const std::uint16_t ether_type = load_be16(&frame[kEtherTypeOffset]);
+
+  if (ether_type == kEtherTypeIpv4) {
+    if ((frame[kIpv4Offset] >> 4) != 4) return p;
+    const std::uint8_t ihl = frame[kIpv4Offset] & 0x0f;
+    if (ihl < 5) return p;
+    if (frame[kIpv4ProtocolOffset] != kIpProtoTcp) return p;
+    // Any fragment (offset or more-fragments) takes the slow path: a
+    // non-first fragment has no TCP header at the fixed offset.
+    if ((load_be16(&frame[kIpv4FragmentOffset]) & 0x3fff) != 0) return p;
+    const std::size_t l4 = kIpv4Offset + std::size_t{ihl} * 4;
+    if (frame.size() < l4 + kTcpMinHeader) return p;
+    p.tuple.src = Ipv4Address(load_be32(&frame[kIpv4SrcOffset]));
+    p.tuple.dst = Ipv4Address(load_be32(&frame[kIpv4DstOffset]));
+    p.tuple.src_port = load_be16(&frame[l4]);
+    p.tuple.dst_port = load_be16(&frame[l4 + 2]);
+    p.tuple.protocol = kIpProtoTcp;
+    p.tcp_flags = frame[l4 + kTcpFlagsOffset];
+    p.eligible = true;
+    return p;
+  }
+
+  if (ether_type == kEtherTypeIpv6) {
+    if (frame.size() < kIpv6L4Offset + kTcpMinHeader) return p;
+    if ((frame[kIpv4Offset] >> 4) != 6) return p;
+    if (frame[kIpv6NextHeaderOffset] != kIpProtoTcp) return p;
+    std::array<std::uint8_t, 16> src{};
+    std::array<std::uint8_t, 16> dst{};
+    std::copy_n(&frame[kIpv6SrcOffset], 16, src.begin());
+    std::copy_n(&frame[kIpv6DstOffset], 16, dst.begin());
+    p.tuple.src = Ipv6Address(src);
+    p.tuple.dst = Ipv6Address(dst);
+    p.tuple.src_port = load_be16(&frame[kIpv6L4Offset]);
+    p.tuple.dst_port = load_be16(&frame[kIpv6L4Offset + 2]);
+    p.tuple.protocol = kIpProtoTcp;
+    p.tcp_flags = frame[kIpv6L4Offset + kTcpFlagsOffset];
+    p.eligible = true;
+    return p;
+  }
+
+  return p;
 }
 
 }  // namespace ruru

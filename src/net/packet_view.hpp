@@ -53,4 +53,44 @@ struct PacketView {
 /// other status `out` is unspecified.
 [[nodiscard]] ParseStatus parse_packet(std::span<const std::uint8_t> frame, PacketView& out);
 
+// --- fixed-offset fast probe -------------------------------------------
+//
+// Named offsets of the fields the capture fast path reads directly from
+// the frame (all relative to the start of the Ethernet frame, except the
+// L4 ones which float with the IPv4 IHL).
+
+inline constexpr std::size_t kEtherTypeOffset = 12;      ///< 2 bytes, big-endian
+inline constexpr std::size_t kIpv4Offset = 14;           ///< start of the IPv4 header
+inline constexpr std::size_t kIpv4FragmentOffset = 14 + 6;   ///< flags+fragment, 2 bytes
+inline constexpr std::size_t kIpv4ProtocolOffset = 14 + 9;   ///< protocol byte
+inline constexpr std::size_t kIpv4SrcOffset = 14 + 12;       ///< src address, 4 bytes
+inline constexpr std::size_t kIpv4DstOffset = 14 + 16;       ///< dst address, 4 bytes
+inline constexpr std::size_t kIpv6NextHeaderOffset = 14 + 6; ///< next-header byte
+inline constexpr std::size_t kIpv6SrcOffset = 14 + 8;        ///< src address, 16 bytes
+inline constexpr std::size_t kIpv6DstOffset = 14 + 24;       ///< dst address, 16 bytes
+inline constexpr std::size_t kIpv6L4Offset = 14 + 40;        ///< TCP header (no ext hdrs)
+inline constexpr std::size_t kTcpFlagsOffset = 13;           ///< within the TCP header
+inline constexpr std::size_t kTcpMinHeader = 20;
+
+/// Result of probe_tcp_fast(): just enough of the packet — the TCP flags
+/// byte and the flow 4-tuple — to decide whether a full parse_packet()
+/// is needed, read at fixed offsets without touching options, lengths or
+/// checksums.
+struct FastProbe {
+  /// True when the frame is plain, non-fragment TCP/IPv4 or TCP/IPv6
+  /// with the fixed-offset fields in bounds. False means "take the slow
+  /// path": parse_packet() will classify (and count) the packet.
+  bool eligible = false;
+  std::uint8_t tcp_flags = 0;
+  FiveTuple tuple;  ///< populated only when eligible
+};
+
+/// Fixed-offset L2/L3/L4 probe — the pre-parse stage of the capture fast
+/// path. Reads the ethertype, IP protocol/next-header, addresses, ports
+/// and TCP flags byte at their fixed positions (IHL-adjusted for IPv4).
+/// Deliberately skips the validation parse_packet() performs
+/// (total_length consistency, data_offset bounds): the caller only uses
+/// the result to SKIP packets, never to measure them.
+[[nodiscard]] FastProbe probe_tcp_fast(std::span<const std::uint8_t> frame);
+
 }  // namespace ruru

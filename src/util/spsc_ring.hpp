@@ -51,6 +51,20 @@ class SpscRing {
     return true;
   }
 
+  /// Burst enqueue from `items`, DPDK tx_burst style: moves as many
+  /// leading items as fit and publishes them with a single release
+  /// store. Returns the count pushed (< `count` when the ring filled;
+  /// the unpushed tail is left intact in `items`).
+  std::size_t push_burst(T* items, std::size_t count) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t free_slots = capacity() - (head - tail);
+    std::size_t n = count < free_slots ? count : free_slots;
+    for (std::size_t i = 0; i < n; ++i) slots_[(head + i) & mask_] = std::move(items[i]);
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
   /// Consumer side. Empty optional when the ring is empty.
   [[nodiscard]] std::optional<T> try_pop() {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);

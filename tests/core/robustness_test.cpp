@@ -156,10 +156,12 @@ TEST_P(ConservationTest, CountsBalanceAcrossAllStages) {
   const auto s = pipeline.summary();
   // NIC conservation.
   EXPECT_EQ(s.nic.rx_packets, stats.frames - stats.inject_drops);
-  // Worker conservation: every received packet classified exactly once.
+  // Worker conservation: every received packet either classified by the
+  // full parser or skipped by the pre-parse fast path, exactly once.
   std::uint64_t classified = 0;
   for (const auto c : s.workers.parse_status) classified += c;
-  EXPECT_EQ(classified, s.workers.packets);
+  EXPECT_EQ(classified + s.workers.fast_path_skips, s.workers.packets);
+  EXPECT_GT(s.workers.fast_path_skips, 0u);  // data segments did take the fast path
   EXPECT_EQ(s.workers.packets, s.nic.rx_packets);
   // Measurement conservation.
   EXPECT_EQ(s.tracker.samples_emitted, s.bus_published);

@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cstring>
+#include <memory>
 
 #include "net/packet_builder.hpp"
 #include "net/packet_view.hpp"
@@ -134,6 +135,116 @@ TEST_F(SimNicTest, NonIpHashesToQueueZero) {
   ASSERT_TRUE(nic.inject(arp, Timestamp{}));
   std::array<MbufPtr, 4> burst;
   EXPECT_EQ(nic.rx_burst(0, burst), 1u);
+}
+
+TEST_F(SimNicTest, MalformedIhlHashesToQueueZero) {
+  NicConfig cfg;
+  cfg.num_queues = 4;
+  SimNic nic(cfg, pool_);
+  auto frame = syn_frame(Ipv4Address(10, 1, 0, 7), 32000, Ipv4Address(10, 2, 0, 3), 80);
+  ASSERT_NE(nic.hash_frame(frame), 0u);  // valid header hashes normally
+  // ihl=4 (< 5): the "L4 offset" would sit inside the IP header and the
+  // hash would be computed over garbage. Must hash to 0 / queue 0, the
+  // same treatment as any other non-TCP frame.
+  frame[14] = 0x44;  // version 4, ihl 4
+  EXPECT_EQ(nic.hash_frame(frame), 0u);
+  ASSERT_TRUE(nic.inject(frame, Timestamp{}));
+  std::array<MbufPtr, 4> burst;
+  EXPECT_EQ(nic.rx_burst(0, burst), 1u);
+}
+
+TEST_F(SimNicTest, InjectBurstMatchesPerFrameInject) {
+  NicConfig cfg;
+  cfg.num_queues = 4;
+  SimNic burst_nic(cfg, pool_);
+  Mempool pool2(1024, 2048);
+  SimNic frame_nic(cfg, pool2);
+
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int i = 0; i < 64; ++i) {
+    frames.push_back(syn_frame(Ipv4Address(10, 1, 0, static_cast<std::uint8_t>(i)),
+                               static_cast<std::uint16_t>(10'000 + i), Ipv4Address(10, 2, 0, 1),
+                               443));
+  }
+  std::vector<RxFrame> burst;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    burst.push_back({frames[i], Timestamp::from_us(static_cast<std::int64_t>(i))});
+    ASSERT_TRUE(frame_nic.inject(frames[i], Timestamp::from_us(static_cast<std::int64_t>(i))));
+  }
+  const auto queued = std::make_unique<bool[]>(frames.size());
+  EXPECT_EQ(burst_nic.inject_burst(burst, queued.get()), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) EXPECT_TRUE(queued[i]);
+  EXPECT_EQ(burst_nic.stats().rx_packets, frame_nic.stats().rx_packets);
+  EXPECT_EQ(burst_nic.stats().rx_bytes, frame_nic.stats().rx_bytes);
+
+  // Same frames land on the same queues with the same metadata.
+  for (std::uint16_t q = 0; q < 4; ++q) {
+    std::array<MbufPtr, 64> a, b;
+    const std::size_t na = burst_nic.rx_burst(q, a);
+    const std::size_t nb = frame_nic.rx_burst(q, b);
+    ASSERT_EQ(na, nb) << "queue " << q;
+    for (std::size_t i = 0; i < na; ++i) {
+      EXPECT_EQ(a[i]->rss_hash, b[i]->rss_hash);
+      EXPECT_EQ(a[i]->timestamp, b[i]->timestamp);
+      EXPECT_EQ(a[i]->length(), b[i]->length());
+    }
+  }
+}
+
+TEST_F(SimNicTest, InjectBurstPartialDropOnFullQueue) {
+  NicConfig cfg;
+  cfg.num_queues = 1;
+  cfg.queue_depth = 16;
+  SimNic nic(cfg, pool_);
+  const auto frame = syn_frame(Ipv4Address(1, 1, 1, 1), 1, Ipv4Address(2, 2, 2, 2), 2);
+  std::vector<RxFrame> burst(40, RxFrame{frame, Timestamp{}});
+  const auto queued = std::make_unique<bool[]>(burst.size());
+  EXPECT_EQ(nic.inject_burst(burst, queued.get()), 16u);
+  EXPECT_EQ(nic.stats().rx_packets, 16u);
+  EXPECT_EQ(nic.stats().dropped_queue_full, 24u);
+  // The leading 16 queued, the tail dropped — and the flags say which.
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_TRUE(queued[i]);
+  for (std::size_t i = 16; i < 40; ++i) EXPECT_FALSE(queued[i]);
+  // Dropped mbufs returned to the pool: draining lets a new burst in.
+  std::array<MbufPtr, 16> rx;
+  EXPECT_EQ(nic.rx_burst(0, rx), 16u);
+  for (auto& m : rx) m.reset();
+  EXPECT_EQ(nic.inject_burst(std::span<const RxFrame>(burst.data(), 4)), 4u);
+}
+
+TEST_F(SimNicTest, InjectBurstMempoolExhaustion) {
+  Mempool tiny(4, 2048);
+  NicConfig cfg;
+  cfg.num_queues = 1;
+  SimNic nic(cfg, tiny);
+  const auto frame = syn_frame(Ipv4Address(1, 1, 1, 1), 1, Ipv4Address(2, 2, 2, 2), 2);
+  std::vector<RxFrame> burst(10, RxFrame{frame, Timestamp{}});
+  EXPECT_EQ(nic.inject_burst(burst), 4u);
+  EXPECT_EQ(nic.stats().dropped_no_mbuf, 6u);
+}
+
+TEST_F(SimNicTest, InjectBurstSpreadsAcrossQueues) {
+  NicConfig cfg;
+  cfg.num_queues = 4;
+  SimNic nic(cfg, pool_);
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::vector<RxFrame> burst;
+  for (int i = 0; i < 128; ++i) {
+    frames.push_back(syn_frame(Ipv4Address(10, 1, static_cast<std::uint8_t>(i), 1),
+                               static_cast<std::uint16_t>(20'000 + i),
+                               Ipv4Address(10, 2, 0, static_cast<std::uint8_t>(i)), 443));
+  }
+  for (const auto& f : frames) burst.push_back({f, Timestamp{}});
+  EXPECT_EQ(nic.inject_burst(burst), 128u);
+  std::size_t total = 0;
+  std::size_t busy_queues = 0;
+  for (std::uint16_t q = 0; q < 4; ++q) {
+    const std::size_t occ = nic.queue_occupancy(q);
+    total += occ;
+    if (occ > 0) ++busy_queues;
+  }
+  EXPECT_EQ(total, 128u);
+  EXPECT_GT(busy_queues, 1u);  // RSS actually spread the burst
 }
 
 TEST_F(SimNicTest, RssHashStoredInMbufMatchesHashFrame) {

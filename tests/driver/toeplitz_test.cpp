@@ -27,6 +27,108 @@ TEST(Toeplitz, MicrosoftKnownVectorsIpv4) {
             0x5c2b394au);
 }
 
+// The IPv6 rows of the same verification suite.
+TEST(Toeplitz, MicrosoftKnownVectorsIpv6) {
+  const RssKey& key = default_rss_key();
+  const auto src1 = Ipv6Address::parse("3ffe:2501:200:1fff::7").value();
+  const auto dst1 = Ipv6Address::parse("3ffe:2501:200:3::1").value();
+  EXPECT_EQ(rss_hash_tcp6(key, src1, dst1, 2794, 1766), 0x40207d3du);
+  const auto src2 = Ipv6Address::parse("3ffe:501:8::260:97ff:fe40:efab").value();
+  const auto dst2 = Ipv6Address::parse("ff02::1").value();
+  EXPECT_EQ(rss_hash_tcp6(key, src2, dst2, 14230, 4739), 0xdde51bbfu);
+  const auto src3 = Ipv6Address::parse("3ffe:1900:4545:3:200:f8ff:fe21:67cf").value();
+  const auto dst3 = Ipv6Address::parse("fe80::200:f8ff:fe21:67cf").value();
+  EXPECT_EQ(rss_hash_tcp6(key, src3, dst3, 44251, 38024), 0x02d1feefu);
+}
+
+TEST(ToeplitzTable, MatchesMicrosoftVectorsIpv4) {
+  const ToeplitzTable table(default_rss_key());
+  EXPECT_EQ(table.hash_tcp4(Ipv4Address(66, 9, 149, 187), Ipv4Address(161, 142, 100, 80), 2794,
+                            1766),
+            0x51ccc178u);
+  EXPECT_EQ(table.hash_tcp4(Ipv4Address(199, 92, 111, 2), Ipv4Address(65, 69, 140, 83), 14230,
+                            4739),
+            0xc626b0eau);
+  EXPECT_EQ(table.hash_tcp4(Ipv4Address(24, 19, 198, 95), Ipv4Address(12, 22, 207, 184), 12898,
+                            38024),
+            0x5c2b394au);
+  EXPECT_EQ(table.hash_tcp4(Ipv4Address(38, 27, 205, 30), Ipv4Address(209, 142, 163, 6), 48228,
+                            2217),
+            0xafc7327fu);
+  EXPECT_EQ(table.hash_tcp4(Ipv4Address(153, 39, 163, 191), Ipv4Address(202, 188, 127, 2), 44251,
+                            1303),
+            0x10e828a2u);
+}
+
+TEST(ToeplitzTable, MatchesMicrosoftVectorsIpv6) {
+  const ToeplitzTable table(default_rss_key());
+  const auto src = Ipv6Address::parse("3ffe:2501:200:1fff::7").value();
+  const auto dst = Ipv6Address::parse("3ffe:2501:200:3::1").value();
+  EXPECT_EQ(table.hash_tcp6(src, dst, 2794, 1766), 0x40207d3du);
+}
+
+// The table hasher must be bit-exact with the scalar oracle for every
+// input length and key — randomized cross-check over both standard keys
+// plus arbitrary random keys.
+TEST(ToeplitzTable, MatchesScalarOnRandomInputs) {
+  Pcg32 rng(7);
+  std::vector<RssKey> keys = {default_rss_key(), symmetric_rss_key()};
+  for (int k = 0; k < 4; ++k) {
+    RssKey random_key;
+    for (auto& b : random_key) b = static_cast<std::uint8_t>(rng.next_u32());
+    keys.push_back(random_key);
+  }
+  for (const RssKey& key : keys) {
+    const ToeplitzTable table(key);
+    for (int i = 0; i < 2000; ++i) {
+      std::uint8_t input[36];
+      for (auto& b : input) b = static_cast<std::uint8_t>(rng.next_u32());
+      const std::size_t len = (i % 2 == 0) ? 12 : 36;  // TCP/IPv4 and TCP/IPv6 widths
+      const std::span<const std::uint8_t> in(input, len);
+      EXPECT_EQ(table.hash(in), toeplitz_hash(key, in));
+    }
+  }
+}
+
+TEST(ToeplitzTable, MatchesScalarTcp4Tcp6Helpers) {
+  const ToeplitzTable table(symmetric_rss_key());
+  Pcg32 rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const Ipv4Address a(rng.next_u32()), b(rng.next_u32());
+    const auto sp = static_cast<std::uint16_t>(rng.next_u32());
+    const auto dp = static_cast<std::uint16_t>(rng.next_u32());
+    EXPECT_EQ(table.hash_tcp4(a, b, sp, dp), rss_hash_tcp4(symmetric_rss_key(), a, b, sp, dp));
+  }
+  const auto s6 = Ipv6Address::parse("2001:db8::1").value();
+  const auto d6 = Ipv6Address::parse("2001:db8:ffff::42").value();
+  EXPECT_EQ(table.hash_tcp6(s6, d6, 5000, 443),
+            rss_hash_tcp6(symmetric_rss_key(), s6, d6, 5000, 443));
+}
+
+TEST(ToeplitzTable, SymmetricUnderEndpointSwap) {
+  const ToeplitzTable table(symmetric_rss_key());
+  Pcg32 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const Ipv4Address a(rng.next_u32()), b(rng.next_u32());
+    const auto sp = static_cast<std::uint16_t>(rng.next_u32());
+    const auto dp = static_cast<std::uint16_t>(rng.next_u32());
+    EXPECT_EQ(table.hash_tcp4(a, b, sp, dp), table.hash_tcp4(b, a, dp, sp));
+  }
+  const auto s6 = Ipv6Address::parse("2001:db8::1").value();
+  const auto d6 = Ipv6Address::parse("2001:db8:ffff::42").value();
+  EXPECT_EQ(table.hash_tcp6(s6, d6, 5000, 443), table.hash_tcp6(d6, s6, 443, 5000));
+}
+
+TEST(ToeplitzTable, TupleDispatchMatchesScalar) {
+  const ToeplitzTable table(symmetric_rss_key());
+  FiveTuple t;
+  t.src = Ipv4Address(10, 1, 0, 1);
+  t.dst = Ipv4Address(10, 2, 0, 1);
+  t.src_port = 1234;
+  t.dst_port = 443;
+  EXPECT_EQ(table.hash(t), rss_hash(symmetric_rss_key(), t));
+}
+
 TEST(Toeplitz, DefaultKeyIsNotSymmetric) {
   const RssKey& key = default_rss_key();
   const auto fwd =

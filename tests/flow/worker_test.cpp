@@ -50,6 +50,21 @@ class WorkerTest : public ::testing::Test {
     nic_->inject(build_tcp_frame(ack), t0 + external + internal);
   }
 
+  /// A pure-ACK data segment (post-handshake traffic) at time `t_ms`.
+  void inject_data_segment(Ipv4Address src, std::uint16_t sp, Ipv4Address dst, std::uint16_t dp,
+                           std::int64_t t_ms) {
+    TcpFrameSpec data;
+    data.src_ip = src;
+    data.dst_ip = dst;
+    data.src_port = sp;
+    data.dst_port = dp;
+    data.seq = 101;
+    data.ack = 501;
+    data.flags = TcpFlags::kAck;
+    data.payload_length = 64;
+    nic_->inject(build_tcp_frame(data), Timestamp::from_ms(t_ms));
+  }
+
   Mempool pool_;
   std::unique_ptr<SimNic> nic_;
   Ipv4Address server_{Ipv4Address(10, 2, 0, 1)};
@@ -213,6 +228,85 @@ TEST_F(WorkerTest, RunFlushesResidualBatchOnStop) {
   stop.store(true);
   t.join();
   EXPECT_EQ(samples.load(), 20u);  // nothing stranded in the accumulator
+}
+
+TEST_F(WorkerTest, FastPathSkipsEstablishedDataSegments) {
+  std::vector<LatencySample> samples;
+  QueueWorker worker(*nic_, 0, 1024, [&](const LatencySample& s) { samples.push_back(s); });
+  const Ipv4Address client(10, 1, 0, 1);
+  inject_handshake(client, 40'000, Timestamp::from_ms(0), Duration::from_ms(128),
+                   Duration::from_ms(5));
+  // Established-flow data segments: pure ACKs with payload, both
+  // directions. None of them can change tracker state.
+  for (int i = 0; i < 10; ++i) {
+    inject_data_segment(client, 40'000, server_, 443, 200 + i);
+    inject_data_segment(server_, 443, client, 40'000, 600 + i);
+  }
+  while (worker.poll_once() != 0) {
+  }
+  // The sample is intact: the handshake itself never takes the fast path.
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].external().ns, Duration::from_ms(128).ns);
+  // Synthetic-trace invariant: skips == packets - handshake packets.
+  EXPECT_EQ(worker.stats().packets, 23u);
+  EXPECT_EQ(worker.stats().fast_path_skips, 20u);
+  std::uint64_t classified = 0;
+  for (const auto c : worker.stats().parse_status) classified += c;
+  EXPECT_EQ(classified, 3u);  // only the handshake hit the full parser
+}
+
+TEST_F(WorkerTest, FastPathDisabledParsesEverything) {
+  std::vector<LatencySample> samples;
+  QueueWorker worker(*nic_, 0, 1024, [&](const LatencySample& s) { samples.push_back(s); });
+  worker.set_fast_path(false);
+  const Ipv4Address client(10, 1, 0, 1);
+  inject_handshake(client, 40'000, Timestamp::from_ms(0), Duration::from_ms(128),
+                   Duration::from_ms(5));
+  for (int i = 0; i < 10; ++i) {
+    inject_data_segment(client, 40'000, server_, 443, 200 + i);
+  }
+  while (worker.poll_once() != 0) {
+  }
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(worker.stats().fast_path_skips, 0u);
+  std::uint64_t classified = 0;
+  for (const auto c : worker.stats().parse_status) classified += c;
+  EXPECT_EQ(classified, worker.stats().packets);
+}
+
+TEST_F(WorkerTest, FastPathNeverSkipsSynFinRst) {
+  QueueWorker worker(*nic_, 0, 1024, nullptr);
+  // All on untracked flows — flag-carrying segments must still reach the
+  // full parser (a SYN opens a flow; FIN/RST could tear one down).
+  TcpFrameSpec fin;
+  fin.src_ip = Ipv4Address(10, 9, 0, 1);
+  fin.dst_ip = server_;
+  fin.src_port = 50'000;
+  fin.dst_port = 443;
+  fin.flags = TcpFlags::kFin | TcpFlags::kAck;
+  nic_->inject(build_tcp_frame(fin), Timestamp{});
+  TcpFrameSpec rst = fin;
+  rst.src_port = 50'001;
+  rst.flags = TcpFlags::kRst;
+  nic_->inject(build_tcp_frame(rst), Timestamp{});
+  while (worker.poll_once() != 0) {
+  }
+  EXPECT_EQ(worker.stats().packets, 2u);
+  EXPECT_EQ(worker.stats().fast_path_skips, 0u);
+  EXPECT_EQ(worker.stats().parse_status[0], 2u);  // both fully parsed (kOk)
+}
+
+TEST_F(WorkerTest, FastPathDoesNotSkipMidHandshakePackets) {
+  // A pure ACK on a flow the tracker is mid-handshake on must go through
+  // the full parser — it is the packet that completes the measurement.
+  std::vector<LatencySample> samples;
+  QueueWorker worker(*nic_, 0, 1024, [&](const LatencySample& s) { samples.push_back(s); });
+  inject_handshake(Ipv4Address(10, 1, 0, 9), 41'000, Timestamp::from_ms(0), Duration::from_ms(80),
+                   Duration::from_ms(3));
+  while (worker.poll_once() != 0) {
+  }
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(worker.stats().fast_path_skips, 0u);  // nothing skippable in a bare handshake
 }
 
 TEST_F(WorkerTest, EmptyPollsAreCounted) {

@@ -75,6 +75,85 @@ TEST(SpscRing, BurstPopRespectsMax) {
   EXPECT_EQ(r.size(), 6u);
 }
 
+TEST(SpscRing, BurstPushAllFit) {
+  SpscRing<int> r(16);
+  int in[10];
+  std::iota(in, in + 10, 0);
+  EXPECT_EQ(r.push_burst(in, 10), 10u);
+  EXPECT_EQ(r.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.try_pop().value(), i);
+}
+
+TEST(SpscRing, BurstPushPartialOnNearlyFullRing) {
+  SpscRing<int> r(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(r.try_push(i));
+  int in[6] = {100, 101, 102, 103, 104, 105};
+  // Only 3 slots free: the leading 3 items go in, the tail is left.
+  EXPECT_EQ(r.push_burst(in, 6), 3u);
+  EXPECT_EQ(r.size(), 8u);
+  EXPECT_EQ(r.push_burst(in + 3, 3), 0u);  // full: nothing moves
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(r.try_pop().value(), i);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(r.try_pop().value(), 100 + i);
+  EXPECT_FALSE(r.try_pop().has_value());
+}
+
+TEST(SpscRing, BurstPushWrapsAround) {
+  SpscRing<int> r(8);
+  // Advance head/tail so a burst straddles the physical end of the ring.
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(r.try_push(i));
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(r.try_pop().has_value());
+  int in[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(r.push_burst(in, 8), 8u);  // slots 6,7 then wrap to 0..5
+  int out[8];
+  EXPECT_EQ(r.pop_burst(out, 8), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(SpscRing, BurstPushMovesUniquePtrs) {
+  SpscRing<std::unique_ptr<int>> r(4);
+  std::unique_ptr<int> in[6];
+  for (int i = 0; i < 6; ++i) in[i] = std::make_unique<int>(i);
+  EXPECT_EQ(r.push_burst(in, 6), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(in[i], nullptr);  // moved out
+  // The unpushed tail is intact for the caller to retry or drop.
+  ASSERT_NE(in[4], nullptr);
+  ASSERT_NE(in[5], nullptr);
+  EXPECT_EQ(*in[4], 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(**r.try_pop(), i);
+}
+
+TEST(SpscRing, ConcurrentBurstProducerBurstConsumer) {
+  SpscRing<std::uint64_t> r(256);
+  constexpr std::uint64_t kItems = 100'000;
+
+  std::thread producer([&] {
+    std::uint64_t buf[32];
+    std::uint64_t next = 0;
+    while (next < kItems) {
+      std::size_t n = 0;
+      while (n < 32 && next + n < kItems) {
+        buf[n] = next + n;
+        ++n;
+      }
+      std::size_t pushed = 0;
+      while (pushed < n) pushed += r.push_burst(buf + pushed, n - pushed);
+      next += n;
+    }
+  });
+
+  std::uint64_t received = 0;
+  std::uint64_t expect = 0;
+  std::uint64_t out[64];
+  while (received < kItems) {
+    const std::size_t n = r.pop_burst(out, 64);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], expect++);
+    received += n;
+  }
+  producer.join();
+  EXPECT_EQ(received, kItems);
+  EXPECT_FALSE(r.try_pop().has_value());
+}
+
 TEST(SpscRing, MovesUniquePtrs) {
   SpscRing<std::unique_ptr<int>> r(4);
   ASSERT_TRUE(r.try_push(std::make_unique<int>(7)));

@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the lock-free bus: builds the msg + flow test
-# suites (and the util suite their primitives live under) with
-# -fsanitize and runs them under ctest.  The publish path takes no locks
-# under HwmPolicy::kDrop, so it must stay TSan-clean.
+# Sanitizer gate for the lock-free data path: builds the msg + flow
+# test suites (plus the util and driver suites their primitives live
+# under) with -fsanitize and runs them under ctest.  The publish path
+# takes no locks under HwmPolicy::kDrop, so it must stay TSan-clean;
+# the capture front end (table-driven Toeplitz, burst staging, the
+# fixed-offset pre-parse probe) does raw byte-offset reads, so it must
+# stay UBSan-clean too.
 #
-# Usage: tools/check.sh [thread|address]   (default: thread)
+# Usage: tools/check.sh [thread|address|undefined]   (default: thread)
 set -euo pipefail
 
 SAN="${1:-thread}"
 case "$SAN" in
-  thread|address) ;;
-  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+  thread|address|undefined) ;;
+  *) echo "usage: $0 [thread|address|undefined]" >&2; exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
