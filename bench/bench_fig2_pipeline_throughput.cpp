@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "bench_util.hpp"
+#include "core/pipeline.hpp"
 #include "driver/eal.hpp"
 #include "flow/worker.hpp"
 #include "msg/codec.hpp"
@@ -289,6 +290,46 @@ BENCHMARK(BM_PipelineBusBatching)
     ->Arg(1)
     ->Arg(32)
     ->ArgName("batch")
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Instrumentation overhead: the full pipeline (capture → workers → bus
+// → enrichment → sinks) with the telemetry layer off vs on.  "On" means
+// the hot-path histograms record every poll/batch/enrich, every bus
+// message is wall-clock stamped, transit is sampled 1-in-16, and the
+// snapshot thread exports 4×/s.  Target: <2% drop in packets/sec.
+void BM_FullPipelineMetricsOverhead(benchmark::State& state) {
+  const bool metrics_on = state.range(0) != 0;
+  const auto& frames = trace();
+  static const World world = ruru::bench::scenario_world();
+
+  std::uint64_t samples = 0;
+  for (auto _ : state) {
+    PipelineConfig cfg;
+    cfg.num_queues = 4;
+    cfg.queue_depth = 16384;
+    cfg.enrichment_threads = 2;
+    cfg.metrics_enabled = metrics_on;
+    cfg.metrics_interval = Duration::from_ms(250);
+    RuruPipeline pipeline(cfg, world.geo, world.as);
+    pipeline.start();
+    for (const auto& f : frames) {
+      while (!pipeline.inject(f.frame, f.timestamp)) {
+      }
+    }
+    pipeline.finish();
+    samples += pipeline.summary().tracker.samples_emitted;
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames.size()) * state.iterations());
+  state.counters["samples_per_sec"] = benchmark::Counter(
+      static_cast<double>(samples), benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_FullPipelineMetricsOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("metrics")
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

@@ -6,12 +6,17 @@
 //     RFC 6455 client to ws://127.0.0.1:<port>/live while it runs)
 //   * redraws a Grafana-style dashboard once per second
 //
-// Run: ./ruru_live [config_file] [seconds] [flows_per_sec]
+// Run: ./ruru_live [--metrics] [config_file] [seconds] [flows_per_sec]
+// --metrics (or obs.enabled in the config file) turns on the live
+// telemetry layer; the dashboard then shows self-ingested pipeline
+// health series alongside the traffic it measures.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
+#include <vector>
 
 #include "core/config_file.hpp"
 #include "core/pipeline.hpp"
@@ -25,19 +30,30 @@ int main(int argc, char** argv) {
   using namespace ruru;
   using SteadyClock = std::chrono::steady_clock;
 
+  bool with_metrics = false;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      with_metrics = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
   PipelineConfig config;
   config.num_queues = 2;
-  if (argc > 1) {
-    auto loaded = pipeline_config_from_file(argv[1], config);
+  if (!args.empty()) {
+    auto loaded = pipeline_config_from_file(args[0], config);
     if (!loaded.ok()) {
       std::fprintf(stderr, "config error: %s\n", loaded.error().c_str());
       return 1;
     }
     config = loaded.value();
-    std::printf("loaded config from %s\n", argv[1]);
+    std::printf("loaded config from %s\n", args[0]);
   }
-  const double seconds = argc > 2 ? std::atof(argv[2]) : 5.0;
-  const double flows_per_sec = argc > 3 ? std::atof(argv[3]) : 800.0;
+  if (with_metrics) config.metrics_enabled = true;
+  const double seconds = args.size() > 1 ? std::atof(args[1]) : 5.0;
+  const double flows_per_sec = args.size() > 2 ? std::atof(args[2]) : 800.0;
 
   const World world = examples::scenario_world();
   RuruPipeline pipeline(config, world.geo, world.as);

@@ -4,9 +4,14 @@
 // 3-timestamps-per-flow handshake method vs pping-style TS-option
 // matching vs tcptrace-style seq/ack matching.
 //
-// Run: ./transpacific_replay [pcap_path]
+// Run: ./transpacific_replay [pcap_path] [--metrics]
+// With --metrics the pipeline runs its live telemetry layer: self-ingested
+// "ruru.self.*" series land in the TSDB, each snapshot tick rewrites
+// /tmp/ruru_metrics.prom (Prometheus text format) and appends one line
+// to /tmp/ruru_metrics.jsonl.
 
 #include <cstdio>
+#include <cstring>
 
 #include "baseline/pping.hpp"
 #include "baseline/tcptrace.hpp"
@@ -19,7 +24,15 @@
 int main(int argc, char** argv) {
   using namespace ruru;
 
-  const std::string path = argc > 1 ? argv[1] : "/tmp/ruru_transpacific.pcap";
+  bool with_metrics = false;
+  std::string path = "/tmp/ruru_transpacific.pcap";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      with_metrics = true;
+    } else {
+      path = argv[i];
+    }
+  }
   const World world = examples::scenario_world();
 
   // --- 1. record ---
@@ -44,6 +57,12 @@ int main(int argc, char** argv) {
   // --- 2. replay through the full pipeline ---
   PipelineConfig config;
   config.num_queues = 4;
+  if (with_metrics) {
+    config.metrics_enabled = true;
+    config.metrics_interval = Duration::from_ms(250);
+    config.metrics_prometheus_path = "/tmp/ruru_metrics.prom";
+    config.metrics_json_path = "/tmp/ruru_metrics.jsonl";
+  }
   RuruPipeline pipeline(config, world.geo, world.as);
   pipeline.start();
   const auto replay = replay_pcap(pipeline, path);
@@ -55,6 +74,17 @@ int main(int argc, char** argv) {
   std::printf("replayed at %.2f Mpps (%.2f Gbit/s equivalent)\n",
               replay.value().frames_per_sec() / 1e6, replay.value().gbits_per_sec());
   std::printf("pipeline: %s\n\n", pipeline.summary().to_string().c_str());
+  if (with_metrics) {
+    const auto transit =
+        pipeline.tsdb().aggregate(std::string(obs::SelfIngestExporter::kPrefix) +
+                                      "pipeline.transit_ns",
+                                  TagSet{}.add("stat", "p95"), Timestamp{},
+                                  Timestamp::from_sec(1e9));
+    std::printf("telemetry: %zu metrics live, p95 transit %.2f ms "
+                "(prometheus: /tmp/ruru_metrics.prom, jsonl: /tmp/ruru_metrics.jsonl)\n\n",
+                pipeline.metrics().metric_count(),
+                transit.count != 0 ? transit.max / 1e6 : 0.0);
+  }
 
   // --- 3. run the baselines over the same pcap ---
   PpingEstimator pping;

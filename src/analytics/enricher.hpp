@@ -14,14 +14,17 @@
 #include "geo/geo6_db.hpp"
 #include "geo/geo_db.hpp"
 #include "geo/lru_cache.hpp"
+#include "util/stat_cell.hpp"
 
 namespace ruru {
 
+/// Single-writer cells (the owning enrichment thread): readable live by
+/// the metrics snapshot thread without tearing.
 struct EnricherStats {
-  std::uint64_t enriched = 0;
-  std::uint64_t unlocated = 0;  ///< at least one endpoint had no geo record
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
+  StatCell enriched = 0;
+  StatCell unlocated = 0;  ///< at least one endpoint had no geo record
+  StatCell cache_hits = 0;
+  StatCell cache_misses = 0;
 };
 
 class Enricher {

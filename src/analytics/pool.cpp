@@ -34,6 +34,13 @@ void EnrichmentPool::stop() {
 
 void EnrichmentPool::worker_main(std::size_t index) {
   Enricher& enricher = *enrichers_[index];
+  const PoolObs obs = obs_factory_ ? obs_factory_(index) : PoolObs{};
+  // Only take wall timestamps when someone is listening; an
+  // uninstrumented pool runs the original loop byte for byte.
+  const bool timed = obs.queue_wait.attached() || obs.enrich_batch.attached() ||
+                     obs.transit.attached();
+  const SystemClock clock;
+  std::uint64_t message_count = 0;
   // Reused decode buffer: one batch decode per message, no per-sample
   // allocation.
   std::vector<LatencySample> samples;
@@ -41,6 +48,11 @@ void EnrichmentPool::worker_main(std::size_t index) {
   while (true) {
     auto msg = source_->recv();  // blocking; nullopt == closed and drained
     if (!msg) break;
+    Timestamp dequeued{};
+    if (timed) {
+      dequeued = clock.now();
+      if (msg->enqueued_at.ns != 0) obs.queue_wait.record(dequeued - msg->enqueued_at);
+    }
     samples.clear();
     if (msg->frames.size() < 2 || !decode_latency_payload(msg->frames[1], samples)) {
       decode_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -53,6 +65,16 @@ void EnrichmentPool::worker_main(std::size_t index) {
     // processed() counts samples, not messages, so pipeline accounting
     // stays truthful when the feed batches.
     processed_.fetch_add(samples.size(), std::memory_order_relaxed);
+    if (timed) {
+      const Timestamp done = clock.now();
+      obs.enrich_batch.record(done - dequeued);
+      // Sampled end-to-end transit: publish stamp -> sinks complete.
+      ++message_count;
+      const std::uint64_t every = obs.transit_sample_every == 0 ? 1 : obs.transit_sample_every;
+      if (msg->enqueued_at.ns != 0 && message_count % every == 0) {
+        obs.transit.record(done - msg->enqueued_at);
+      }
+    }
   }
 }
 

@@ -13,12 +13,26 @@
 #include "analytics/enricher.hpp"
 #include "msg/codec.hpp"
 #include "msg/pubsub.hpp"
+#include "obs/metrics.hpp"
 
 namespace ruru {
+
+/// Per-worker observability hooks (one shard per pool thread).
+/// Default-constructed handles are inert; a pool without hooks takes no
+/// timestamps at all.
+struct PoolObs {
+  obs::HistogramHandle queue_wait;   ///< bus publish -> dequeue, ns
+  obs::HistogramHandle enrich_batch; ///< decode+enrich+sinks per message, ns
+  obs::HistogramHandle transit;      ///< sampled publish -> sinks-done, ns
+  std::uint32_t transit_sample_every = 16;  ///< record 1-in-N messages
+};
 
 class EnrichmentPool {
  public:
   using Sink = std::function<void(const EnrichedSample&)>;
+  /// Built once per worker thread at start; `index` is the worker slot,
+  /// used as the histogram shard id.
+  using ObsFactory = std::function<PoolObs(std::size_t index)>;
 
   /// `source`: a bus subscription carrying latency payloads — v1
   /// single-sample (encode_latency_sample) and v2 batch
@@ -36,6 +50,10 @@ class EnrichmentPool {
   /// Register before start(); sinks are invoked from worker threads and
   /// must be thread-safe.
   void add_sink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  /// Install before start(). Each worker calls the factory once with its
+  /// index, so histograms shard per thread (single writer per shard).
+  void set_obs_factory(ObsFactory factory) { obs_factory_ = std::move(factory); }
 
   void start();
   /// Waits for the subscription to drain (after its publisher closes it)
@@ -57,6 +75,7 @@ class EnrichmentPool {
   const AsDatabase& as_;
   std::size_t thread_count_;
   std::vector<Sink> sinks_;
+  ObsFactory obs_factory_;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<Enricher>> enrichers_;
   std::atomic<std::uint64_t> processed_{0};

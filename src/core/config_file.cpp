@@ -185,6 +185,18 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
       status = set_seconds(cfg.periodic.period);
     } else if (key == "detectors.periodic_bucket_s") {
       status = set_seconds(cfg.periodic.bucket);
+    } else if (key == "obs.enabled") {
+      status = set_bool(cfg.metrics_enabled);
+    } else if (key == "obs.interval_s") {
+      status = set_seconds(cfg.metrics_interval);
+    } else if (key == "obs.transit_sample_every") {
+      status = set_u64(cfg.transit_sample_every);
+    } else if (key == "obs.self_ingest") {
+      status = set_bool(cfg.metrics_self_ingest);
+    } else if (key == "obs.prometheus_path") {
+      cfg.metrics_prometheus_path = value;
+    } else if (key == "obs.json_path") {
+      cfg.metrics_json_path = value;
     } else {
       return make_error("config: unknown key '" + key + "'");
     }
@@ -195,6 +207,9 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
   if (cfg.inject_burst_size == 0) return make_error("config: capture.inject_burst must be >= 1");
   if (cfg.enrichment_threads == 0) return make_error("config: analytics.threads must be >= 1");
   if (cfg.bus_batch_size == 0) return make_error("config: bus.batch must be >= 1");
+  if (cfg.metrics_enabled && cfg.metrics_interval.ns <= 0) {
+    return make_error("config: obs.interval_s must be > 0");
+  }
   return cfg;
 }
 

@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include <array>
+
 #include "anomaly/alert_codec.hpp"
 #include "msg/codec.hpp"
 #include "util/logging.hpp"
@@ -36,7 +38,14 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
     worker->set_fast_path(config_.worker_fast_path);
     worker->set_batch_sink(
         [this](std::span<const LatencySample> samples) {
-          bus_.publish(encode_latency_batch(samples), samples.size());
+          Message m = encode_latency_batch(samples);
+          if (config_.metrics_enabled) {
+            // Wall-clock publish stamp: anchors bus queue wait and the
+            // end-to-end transit histogram (capture time is virtual in
+            // replay, so transit cannot start at the capture stamp).
+            m.enqueued_at = SystemClock{}.now();
+          }
+          bus_.publish(m, samples.size());
           if (synflood_) {
             for (const LatencySample& s : samples) {
               if (s.server.is_v4()) synflood_->on_completion(s.ack_time, s.server.v4);
@@ -54,7 +63,176 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
   enrichment_sub_ = bus_.subscribe(std::string(kLatencyTopic), config_.bus_hwm);
   enrichment_ = std::make_unique<EnrichmentPool>(enrichment_sub_, geo_, as_,
                                                  config_.enrichment_threads, geo6);
+  register_metrics();
   wire_sinks();
+}
+
+void RuruPipeline::register_metrics() {
+  // Callback metrics over the stages' own single-writer StatCells: the
+  // data path is not instrumented twice, and a snapshot reads live
+  // values race-free. Registered unconditionally — polling only happens
+  // at snapshot time, and summary() is a view over these.
+  const NicStats& nic = nic_->stats();
+  metrics_.register_counter_fn("nic.rx_packets", [&nic] { return nic.rx_packets.load(); });
+  metrics_.register_counter_fn("nic.rx_bytes", [&nic] { return nic.rx_bytes.load(); });
+  metrics_.register_counter_fn("nic.dropped_no_mbuf",
+                               [&nic] { return nic.dropped_no_mbuf.load(); });
+  metrics_.register_counter_fn("nic.dropped_queue_full",
+                               [&nic] { return nic.dropped_queue_full.load(); });
+  metrics_.register_counter_fn("nic.dropped_oversize",
+                               [&nic] { return nic.dropped_oversize.load(); });
+  metrics_.register_counter_fn("mempool.alloc_failures",
+                               [this] { return pool_.alloc_failures(); });
+  for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
+    metrics_.register_gauge_fn("nic.queue_occupancy.q" + std::to_string(q), [this, q] {
+      return static_cast<double>(nic_->queue_occupancy(q));
+    });
+  }
+
+  // Worker / tracker / flow-table counters, summed across queues.
+  const auto sum_workers = [this](auto field) {
+    return [this, field]() -> std::uint64_t {
+      std::uint64_t total = 0;
+      for (const auto& w : workers_) total += field(*w);
+      return total;
+    };
+  };
+  metrics_.register_counter_fn(
+      "worker.polls", sum_workers([](const QueueWorker& w) { return w.stats().polls.load(); }));
+  metrics_.register_counter_fn("worker.empty_polls", sum_workers([](const QueueWorker& w) {
+                                 return w.stats().empty_polls.load();
+                               }));
+  metrics_.register_counter_fn("worker.packets", sum_workers([](const QueueWorker& w) {
+                                 return w.stats().packets.load();
+                               }));
+  metrics_.register_counter_fn(
+      "worker.bytes", sum_workers([](const QueueWorker& w) { return w.stats().bytes.load(); }));
+  metrics_.register_counter_fn("worker.fast_path_skips", sum_workers([](const QueueWorker& w) {
+                                 return w.stats().fast_path_skips.load();
+                               }));
+  metrics_.register_counter_fn("worker.batch_flushes", sum_workers([](const QueueWorker& w) {
+                                 return w.stats().batch_flushes.load();
+                               }));
+  metrics_.register_counter_fn("worker.batched_samples", sum_workers([](const QueueWorker& w) {
+                                 return w.stats().batched_samples.load();
+                               }));
+  static constexpr std::array<const char*, 5> kParseNames = {
+      "worker.parse_ok", "worker.parse_not_ip", "worker.parse_not_tcp",
+      "worker.parse_fragment", "worker.parse_malformed"};
+  for (std::size_t i = 0; i < kParseNames.size(); ++i) {
+    metrics_.register_counter_fn(kParseNames[i], sum_workers([i](const QueueWorker& w) {
+                                   return w.stats().parse_status[i].load();
+                                 }));
+  }
+  metrics_.register_counter_fn("tracker.syn_seen", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker_stats().syn_seen.load();
+                               }));
+  metrics_.register_counter_fn("tracker.syn_retransmissions",
+                               sum_workers([](const QueueWorker& w) {
+                                 return w.tracker_stats().syn_retransmissions.load();
+                               }));
+  metrics_.register_counter_fn("tracker.synack_seen", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker_stats().synack_seen.load();
+                               }));
+  metrics_.register_counter_fn("tracker.synack_unmatched", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker_stats().synack_unmatched.load();
+                               }));
+  metrics_.register_counter_fn("tracker.ack_matched", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker_stats().ack_matched.load();
+                               }));
+  metrics_.register_counter_fn("tracker.rst_seen", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker_stats().rst_seen.load();
+                               }));
+  metrics_.register_counter_fn("tracker.samples_emitted", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker_stats().samples_emitted.load();
+                               }));
+  metrics_.register_counter_fn("tracker.table_drops", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker_stats().table_drops.load();
+                               }));
+  metrics_.register_counter_fn("flow.inserts", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker().table().stats().inserts.load();
+                               }));
+  metrics_.register_counter_fn("flow.hits", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker().table().stats().hits.load();
+                               }));
+  metrics_.register_counter_fn("flow.evictions_stale", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker().table().stats().evictions_stale.load();
+                               }));
+  metrics_.register_counter_fn("flow.insert_failures", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker().table().stats().insert_failures.load();
+                               }));
+  metrics_.register_counter_fn("flow.erases", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker().table().stats().erases.load();
+                               }));
+  metrics_.register_gauge_fn("flow.entries", [this] {
+    std::size_t total = 0;
+    for (const auto& w : workers_) total += w->tracker().table().size();
+    return static_cast<double>(total);
+  });
+
+  // Bus / enrichment / storage / alerting — all backed by atomics or
+  // mutex-guarded accessors, safe from the snapshot thread.
+  metrics_.register_counter_fn("bus.published", [this] { return bus_.published(); });
+  metrics_.register_counter_fn("bus.alerts_published", [this] {
+    return alerts_published_.load(std::memory_order_relaxed);
+  });
+  metrics_.register_counter_fn("bus.delivered",
+                               [this] { return enrichment_sub_->delivered(); });
+  metrics_.register_counter_fn("bus.dropped", [this] { return enrichment_sub_->dropped(); });
+  metrics_.register_gauge_fn("bus.pending", [this] {
+    return static_cast<double>(enrichment_sub_->pending());
+  });
+  metrics_.register_counter_fn("enrich.processed", [this] { return enrichment_->processed(); });
+  metrics_.register_counter_fn("enrich.decode_failures",
+                               [this] { return enrichment_->decode_failures(); });
+  metrics_.register_counter_fn("enrich.unlocated", [this] {
+    return enrichment_->combined_stats().unlocated.load();
+  });
+  metrics_.register_counter_fn("enrich.cache_hits", [this] {
+    return enrichment_->combined_stats().cache_hits.load();
+  });
+  metrics_.register_counter_fn("enrich.cache_misses", [this] {
+    return enrichment_->combined_stats().cache_misses.load();
+  });
+  metrics_.register_counter_fn("tsdb.points", [this] { return tsdb_.points_written(); });
+  metrics_.register_counter_fn("alerts.raised",
+                               [this] { return static_cast<std::uint64_t>(alerts_.count()); });
+
+  if (!config_.metrics_enabled) return;
+
+  // Hot-path latency histograms: one shard per writer thread, handed to
+  // each stage before it runs.
+  for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
+    WorkerObs wobs;
+    wobs.poll_batch = metrics_.histogram("worker.poll_batch", q);
+    wobs.batch_fill = metrics_.histogram("worker.batch_fill", q);
+    workers_[q]->set_obs(wobs);
+  }
+  enrichment_->set_obs_factory([this](std::size_t i) {
+    PoolObs o;
+    o.queue_wait = metrics_.histogram("bus.queue_wait_ns", i);
+    o.enrich_batch = metrics_.histogram("enrich.batch_ns", i);
+    o.transit = metrics_.histogram("pipeline.transit_ns", i);
+    o.transit_sample_every = config_.transit_sample_every;
+    return o;
+  });
+  // TSDB writes happen on whichever enrichment thread runs the sink, so
+  // this one shard is shared (record_shared) — the write itself is
+  // mutex-guarded, contention is already paid.
+  tsdb_write_hist_ = metrics_.histogram("tsdb.write_ns");
+
+  snapshot_timer_ = std::make_unique<obs::SnapshotTimer>(metrics_, config_.metrics_interval);
+  if (config_.metrics_self_ingest) {
+    snapshot_timer_->add_exporter(std::make_shared<obs::SelfIngestExporter>(tsdb_));
+  }
+  if (!config_.metrics_prometheus_path.empty()) {
+    snapshot_timer_->add_exporter(
+        std::make_shared<obs::PrometheusExporter>(config_.metrics_prometheus_path));
+  }
+  if (!config_.metrics_json_path.empty()) {
+    snapshot_timer_->add_exporter(
+        std::make_shared<obs::JsonLinesExporter>(config_.metrics_json_path));
+  }
 }
 
 void RuruPipeline::wire_sinks() {
@@ -69,9 +247,13 @@ void RuruPipeline::wire_sinks() {
           .add("dst_city", s.server.located ? s.server.city : "?")
           .add("src_as", std::to_string(s.client.asn))
           .add("dst_as", std::to_string(s.server.asn));
+      const bool timed = tsdb_write_hist_.attached();
+      Timestamp t0{};
+      if (timed) t0 = SystemClock{}.now();
       tsdb_.write("total_ms", tags, s.completed_at, s.total.to_ms());
       tsdb_.write("internal_ms", tags, s.completed_at, s.internal.to_ms());
       tsdb_.write("external_ms", tags, s.completed_at, s.external.to_ms());
+      if (timed) tsdb_write_hist_.record_shared(SystemClock{}.now() - t0);
     }
 
     if (ewma_) {
@@ -109,6 +291,7 @@ void RuruPipeline::start() {
     QueueWorker* w = worker.get();
     lcores_.launch([w](std::uint32_t, const std::atomic<bool>& stop) { w->run(stop); });
   }
+  if (snapshot_timer_) snapshot_timer_->start();
   RURU_LOG(kInfo, "core") << "pipeline started: " << config_.num_queues << " queues, "
                           << config_.enrichment_threads << " enrichment threads";
 }
@@ -149,6 +332,9 @@ void RuruPipeline::finish() {
   //    subscriptions.)
   bus_.close_all();
   enrichment_->stop();
+  // Telemetry thread stops after the stages it watches drain; stop()
+  // takes one final snapshot so exporters see the end-of-run totals.
+  if (snapshot_timer_) snapshot_timer_->stop();
   std::vector<Alert> pending;
   if (conncount_) conncount_->flush(pending);
   if (periodic_) {
@@ -188,40 +374,45 @@ void RuruPipeline::finish() {
 }
 
 PipelineSummary RuruPipeline::summary() const {
+  // A view over the metrics registry: the same callback metrics the
+  // snapshot thread exports, merged once. One source of truth.
+  const obs::MetricsSnapshot snap = metrics_.snapshot(Timestamp{});
   PipelineSummary s;
-  s.nic = nic_->stats();
-  s.mempool_alloc_failures = pool_.alloc_failures();
-  for (const auto& w : workers_) {
-    const auto& ws = w->stats();
-    s.workers.polls += ws.polls;
-    s.workers.empty_polls += ws.empty_polls;
-    s.workers.packets += ws.packets;
-    s.workers.bytes += ws.bytes;
-    s.workers.batch_flushes += ws.batch_flushes;
-    s.workers.batched_samples += ws.batched_samples;
-    s.workers.fast_path_skips += ws.fast_path_skips;
-    for (std::size_t i = 0; i < ws.parse_status.size(); ++i) {
-      s.workers.parse_status[i] += ws.parse_status[i];
-    }
-    const auto& ts = w->tracker_stats();
-    s.tracker.syn_seen += ts.syn_seen;
-    s.tracker.syn_retransmissions += ts.syn_retransmissions;
-    s.tracker.synack_seen += ts.synack_seen;
-    s.tracker.synack_unmatched += ts.synack_unmatched;
-    s.tracker.ack_matched += ts.ack_matched;
-    s.tracker.rst_seen += ts.rst_seen;
-    s.tracker.samples_emitted += ts.samples_emitted;
-    s.tracker.table_drops += ts.table_drops;
-  }
-  const std::uint64_t alerts_published = alerts_published_.load(std::memory_order_relaxed);
+  s.nic.rx_packets = snap.counter_or("nic.rx_packets");
+  s.nic.rx_bytes = snap.counter_or("nic.rx_bytes");
+  s.nic.dropped_no_mbuf = snap.counter_or("nic.dropped_no_mbuf");
+  s.nic.dropped_queue_full = snap.counter_or("nic.dropped_queue_full");
+  s.nic.dropped_oversize = snap.counter_or("nic.dropped_oversize");
+  s.mempool_alloc_failures = snap.counter_or("mempool.alloc_failures");
+  s.workers.polls = snap.counter_or("worker.polls");
+  s.workers.empty_polls = snap.counter_or("worker.empty_polls");
+  s.workers.packets = snap.counter_or("worker.packets");
+  s.workers.bytes = snap.counter_or("worker.bytes");
+  s.workers.fast_path_skips = snap.counter_or("worker.fast_path_skips");
+  s.workers.batch_flushes = snap.counter_or("worker.batch_flushes");
+  s.workers.batched_samples = snap.counter_or("worker.batched_samples");
+  s.workers.parse_status[0] = snap.counter_or("worker.parse_ok");
+  s.workers.parse_status[1] = snap.counter_or("worker.parse_not_ip");
+  s.workers.parse_status[2] = snap.counter_or("worker.parse_not_tcp");
+  s.workers.parse_status[3] = snap.counter_or("worker.parse_fragment");
+  s.workers.parse_status[4] = snap.counter_or("worker.parse_malformed");
+  s.tracker.syn_seen = snap.counter_or("tracker.syn_seen");
+  s.tracker.syn_retransmissions = snap.counter_or("tracker.syn_retransmissions");
+  s.tracker.synack_seen = snap.counter_or("tracker.synack_seen");
+  s.tracker.synack_unmatched = snap.counter_or("tracker.synack_unmatched");
+  s.tracker.ack_matched = snap.counter_or("tracker.ack_matched");
+  s.tracker.rst_seen = snap.counter_or("tracker.rst_seen");
+  s.tracker.samples_emitted = snap.counter_or("tracker.samples_emitted");
+  s.tracker.table_drops = snap.counter_or("tracker.table_drops");
+  const std::uint64_t alerts_published = snap.counter_or("bus.alerts_published");
   s.bus_alerts_published = alerts_published;
-  s.bus_published = bus_.published() - alerts_published;  // latency samples
-  s.bus_dropped = enrichment_sub_->dropped();
-  s.enriched = enrichment_->processed();
-  s.decode_failures = enrichment_->decode_failures();
-  s.unlocated = enrichment_->combined_stats().unlocated;
-  s.tsdb_points = tsdb_.points_written();
-  s.alerts = alerts_.count();
+  s.bus_published = snap.counter_or("bus.published") - alerts_published;  // latency samples
+  s.bus_dropped = snap.counter_or("bus.dropped");
+  s.enriched = snap.counter_or("enrich.processed");
+  s.decode_failures = snap.counter_or("enrich.decode_failures");
+  s.unlocated = snap.counter_or("enrich.unlocated");
+  s.tsdb_points = snap.counter_or("tsdb.points");
+  s.alerts = snap.counter_or("alerts.raised");
   return s;
 }
 

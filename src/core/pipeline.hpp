@@ -33,6 +33,9 @@
 #include "geo/as_db.hpp"
 #include "geo/geo_db.hpp"
 #include "msg/pubsub.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot_timer.hpp"
 #include "tsdb/tsdb.hpp"
 #include "viz/arc_aggregator.hpp"
 
@@ -95,6 +98,24 @@ struct PipelineConfig {
   // --- link load metering ---
   bool enable_link_meter = true;
   Duration link_meter_window = Duration::from_sec(1.0);
+
+  // --- observability / telemetry ---
+  /// Stage counters and gauges are ALWAYS registered (callback metrics,
+  /// zero data-path cost — the summary is a view over them).  This flag
+  /// additionally attaches the hot-path latency histograms (poll batch
+  /// sizes, bus queue wait, enrich latency, sampled end-to-end transit,
+  /// TSDB write latency) and runs the periodic snapshot/export thread.
+  bool metrics_enabled = false;
+  /// Snapshot cadence of the exporter thread.
+  Duration metrics_interval = Duration::from_sec(1.0);
+  /// Record 1-in-N bus messages into the end-to-end transit histogram.
+  std::uint32_t transit_sample_every = 16;
+  /// Write "ruru.self.*" series into the pipeline's own TSDB each tick.
+  bool metrics_self_ingest = true;
+  /// When non-empty: rewrite this file with Prometheus text each tick.
+  std::string metrics_prometheus_path;
+  /// When non-empty: append one JSON line per tick to this file.
+  std::string metrics_json_path;
 };
 
 struct PipelineSummary;
@@ -159,8 +180,20 @@ class RuruPipeline {
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
   [[nodiscard]] PipelineSummary summary() const;
 
+  /// The live registry: every stage counter/gauge (always) plus latency
+  /// histograms (when config.metrics_enabled). Snapshot any time.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Attach an extra exporter to the snapshot thread. Call before
+  /// start(); no-op unless config.metrics_enabled.
+  void add_metrics_exporter(std::shared_ptr<obs::MetricsExporter> exporter) {
+    if (snapshot_timer_) snapshot_timer_->add_exporter(std::move(exporter));
+  }
+
  private:
   void wire_sinks();
+  void register_metrics();
 
   PipelineConfig config_;
   const GeoDatabase& geo_;
@@ -192,6 +225,12 @@ class RuruPipeline {
   std::atomic<std::uint64_t> alerts_published_{0};
   bool started_ = false;
   bool finished_ = false;
+
+  // Last members: the timer thread reads metrics_/tsdb_ and must be
+  // destroyed (joined) before anything it observes.
+  obs::MetricsRegistry metrics_;
+  obs::HistogramHandle tsdb_write_hist_;  ///< shared shard (record_shared)
+  std::unique_ptr<obs::SnapshotTimer> snapshot_timer_;
 };
 
 /// Aggregated end-of-run statistics across every stage.

@@ -1,22 +1,21 @@
-#include <cinttypes>
-#include <cstdio>
+#include <iomanip>
+#include <sstream>
 
 #include "core/pipeline.hpp"
 
 namespace ruru {
 
 std::string PipelineSummary::to_string() const {
-  char buf[512];
-  std::snprintf(buf, sizeof buf,
-                "rx=%" PRIu64 " pkts (%.1f MB), drops[no_mbuf=%" PRIu64 " qfull=%" PRIu64
-                "], tcp=%" PRIu64 ", fast_skip=%" PRIu64 ", syn=%" PRIu64 " (retx=%" PRIu64
-                "), samples=%" PRIu64 ", bus[pub=%" PRIu64 " drop=%" PRIu64 "], enriched=%" PRIu64
-                ", tsdb_points=%" PRIu64 ", alerts=%zu",
-                nic.rx_packets, static_cast<double>(nic.rx_bytes) / 1e6, nic.dropped_no_mbuf,
-                nic.dropped_queue_full, workers.parse_status[0], workers.fast_path_skips,
-                tracker.syn_seen, tracker.syn_retransmissions, tracker.samples_emitted,
-                bus_published, bus_dropped, enriched, tsdb_points, alerts);
-  return buf;
+  std::ostringstream out;
+  out << "rx=" << nic.rx_packets << " pkts (" << std::fixed << std::setprecision(1)
+      << static_cast<double>(nic.rx_bytes) / 1e6 << " MB)"
+      << ", drops[no_mbuf=" << nic.dropped_no_mbuf << " qfull=" << nic.dropped_queue_full
+      << "], tcp=" << workers.parse_status[0] << ", fast_skip=" << workers.fast_path_skips
+      << ", syn=" << tracker.syn_seen << " (retx=" << tracker.syn_retransmissions
+      << "), samples=" << tracker.samples_emitted << ", bus[pub=" << bus_published
+      << " drop=" << bus_dropped << "], enriched=" << enriched
+      << ", tsdb_points=" << tsdb_points << ", alerts=" << alerts;
+  return out.str();
 }
 
 }  // namespace ruru

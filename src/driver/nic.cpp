@@ -2,6 +2,7 @@
 
 #include "net/packet_view.hpp"
 #include "util/byte_order.hpp"
+#include "util/logging.hpp"
 
 namespace ruru {
 
@@ -53,6 +54,8 @@ bool SimNic::inject(std::span<const std::uint8_t> frame, Timestamp rx_time) {
   MbufPtr mbuf = pool_.alloc();
   if (!mbuf) {
     ++stats_.dropped_no_mbuf;
+    RURU_LOG_EVERY_N(kWarn, "driver", 65536)
+        << "mempool exhausted, dropping frames (total " << stats_.dropped_no_mbuf << ")";
     return false;
   }
   if (!mbuf->assign(frame)) {
@@ -80,6 +83,8 @@ std::size_t SimNic::inject_burst(std::span<const RxFrame> frames, bool* queued) 
     MbufPtr mbuf = pool_.alloc();
     if (!mbuf) {
       ++stats_.dropped_no_mbuf;
+      RURU_LOG_EVERY_N(kWarn, "driver", 65536)
+          << "mempool exhausted, dropping frames (total " << stats_.dropped_no_mbuf << ")";
       continue;
     }
     if (!mbuf->assign(frames[i].data)) {

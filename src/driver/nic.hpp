@@ -19,16 +19,19 @@
 #include "driver/mempool.hpp"
 #include "driver/toeplitz.hpp"
 #include "util/spsc_ring.hpp"
+#include "util/stat_cell.hpp"
 #include "util/time.hpp"
 
 namespace ruru {
 
+/// Single-writer cells (the injecting thread): readable live by the
+/// metrics snapshot thread without tearing.
 struct NicStats {
-  std::uint64_t rx_packets = 0;
-  std::uint64_t rx_bytes = 0;
-  std::uint64_t dropped_no_mbuf = 0;
-  std::uint64_t dropped_queue_full = 0;
-  std::uint64_t dropped_oversize = 0;
+  StatCell rx_packets = 0;
+  StatCell rx_bytes = 0;
+  StatCell dropped_no_mbuf = 0;
+  StatCell dropped_queue_full = 0;
+  StatCell dropped_oversize = 0;
 };
 
 struct NicConfig {

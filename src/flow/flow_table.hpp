@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/five_tuple.hpp"
+#include "util/stat_cell.hpp"
 #include "util/time.hpp"
 
 namespace ruru {
@@ -34,12 +35,14 @@ struct FlowEntry {
   bool occupied = false;
 };
 
+/// Single-writer cells (the owning worker thread): readable live by the
+/// metrics snapshot thread without tearing.
 struct FlowTableStats {
-  std::uint64_t inserts = 0;
-  std::uint64_t hits = 0;
-  std::uint64_t evictions_stale = 0;  ///< reclaimed abandoned handshakes
-  std::uint64_t insert_failures = 0;  ///< probe window full of live entries
-  std::uint64_t erases = 0;
+  StatCell inserts = 0;
+  StatCell hits = 0;
+  StatCell evictions_stale = 0;  ///< reclaimed abandoned handshakes
+  StatCell insert_failures = 0;  ///< probe window full of live entries
+  StatCell erases = 0;
 };
 
 class FlowTable {
@@ -68,7 +71,7 @@ class FlowTable {
   void erase(FlowEntry* entry);
 
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
-  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::size_t size() const { return live_.load(); }
   [[nodiscard]] const FlowTableStats& stats() const { return stats_; }
 
   static constexpr std::size_t kProbeWindow = 32;
@@ -87,7 +90,7 @@ class FlowTable {
   std::vector<FlowEntry> slots_;
   std::size_t mask_;
   Duration stale_after_;
-  std::size_t live_ = 0;
+  StatCell live_ = 0;  ///< occupancy gauge, snapshot-thread readable
   FlowTableStats stats_;
 };
 

@@ -18,15 +18,17 @@
 
 namespace ruru {
 
+/// Single-writer cells (the owning worker thread): readable live by the
+/// metrics snapshot thread without tearing.
 struct TrackerStats {
-  std::uint64_t syn_seen = 0;
-  std::uint64_t syn_retransmissions = 0;
-  std::uint64_t synack_seen = 0;
-  std::uint64_t synack_unmatched = 0;  ///< no awaiting SYN (e.g. pre-capture flow)
-  std::uint64_t ack_matched = 0;
-  std::uint64_t rst_seen = 0;
-  std::uint64_t samples_emitted = 0;
-  std::uint64_t table_drops = 0;  ///< SYN not inserted (table pressure)
+  StatCell syn_seen = 0;
+  StatCell syn_retransmissions = 0;
+  StatCell synack_seen = 0;
+  StatCell synack_unmatched = 0;  ///< no awaiting SYN (e.g. pre-capture flow)
+  StatCell ack_matched = 0;
+  StatCell rst_seen = 0;
+  StatCell samples_emitted = 0;
+  StatCell table_drops = 0;  ///< SYN not inserted (table pressure)
 };
 
 class HandshakeTracker {

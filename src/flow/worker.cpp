@@ -23,6 +23,7 @@ void QueueWorker::flush_batch() {
   batch_sink_(std::span<const LatencySample>(batch_.data(), batch_.size()));
   ++stats_.batch_flushes;
   stats_.batched_samples += batch_.size();
+  obs_.batch_fill.record(static_cast<std::int64_t>(batch_.size()));
   batch_.clear();  // keeps capacity: the accumulator never re-allocates
 }
 
@@ -35,6 +36,7 @@ std::size_t QueueWorker::poll_once() {
     flush_batch();  // end-of-burst idle: don't sit on a partial batch
     return 0;
   }
+  obs_.poll_batch.record(static_cast<std::int64_t>(n));
   for (std::size_t i = 0; i < n; ++i) {
     // Hide the next mbuf's descriptor + header-bytes miss behind the
     // current packet's processing (the classic rx-loop prefetch).

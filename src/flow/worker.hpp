@@ -15,25 +15,36 @@
 
 #include "driver/nic.hpp"
 #include "flow/handshake_tracker.hpp"
+#include "obs/metrics.hpp"
 
 namespace ruru {
 
+/// Observability hooks for one worker, installed by the pipeline before
+/// the worker runs.  Default-constructed handles are inert no-ops, so a
+/// worker without hooks pays only a null check per record site.
+struct WorkerObs {
+  obs::HistogramHandle poll_batch;  ///< packets per non-empty rx_burst
+  obs::HistogramHandle batch_fill;  ///< samples per batch-sink flush
+};
+
+/// Single-writer cells (the owning worker thread): readable live by the
+/// metrics snapshot thread without tearing.
 struct WorkerStats {
-  std::uint64_t polls = 0;
-  std::uint64_t empty_polls = 0;
-  std::uint64_t packets = 0;
-  std::uint64_t bytes = 0;
+  StatCell polls = 0;
+  StatCell empty_polls = 0;
+  StatCell packets = 0;
+  StatCell bytes = 0;
   /// Counts by ParseStatus value (kOk..kMalformed). Packets the fast
   /// path skips are NOT counted here; conservation is
   ///   packets == sum(parse_status) + fast_path_skips.
-  std::array<std::uint64_t, 5> parse_status{};
+  std::array<StatCell, 5> parse_status{};
   /// Data segments of untracked flows dismissed by the fixed-offset
   /// pre-parse probe without a full parse_packet().
-  std::uint64_t fast_path_skips = 0;
+  StatCell fast_path_skips = 0;
   /// Batch-sink flushes (any trigger: full, idle, linger, shutdown).
-  std::uint64_t batch_flushes = 0;
+  StatCell batch_flushes = 0;
   /// Samples handed to the batch sink across all flushes.
-  std::uint64_t batched_samples = 0;
+  StatCell batched_samples = 0;
 };
 
 class QueueWorker {
@@ -79,6 +90,10 @@ class QueueWorker {
   void set_batch_sink(BatchSink sink, std::size_t batch_size,
                       Duration linger = Duration{0});
 
+  /// Install metric handles before the worker runs (not thread-safe
+  /// afterwards). The handles must outlive the worker's run.
+  void set_obs(WorkerObs obs) { obs_ = obs; }
+
   /// Hands any accumulated samples to the batch sink now.
   void flush_batch();
 
@@ -106,6 +121,7 @@ class QueueWorker {
   Duration batch_linger_{0};
   std::vector<LatencySample> batch_;   ///< reused accumulator
   Timestamp batch_oldest_{};           ///< capture time of batch_[0]
+  WorkerObs obs_;
   WorkerStats stats_;
 };
 

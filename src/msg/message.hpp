@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/time.hpp"
+
 namespace ruru {
 
 class Frame {
@@ -48,6 +50,11 @@ class Frame {
 
 struct Message {
   std::vector<Frame> frames;
+  /// Wall-clock publish stamp, set by the publisher and NOT serialized
+  /// into any frame.  The telemetry layer uses it to measure bus queue
+  /// wait + downstream processing (capture timestamps are virtual
+  /// scenario time in replay, so transit is anchored here instead).
+  Timestamp enqueued_at{};
 
   Message() = default;
   explicit Message(std::string_view topic) { frames.push_back(Frame::from_string(topic)); }

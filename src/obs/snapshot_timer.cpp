@@ -1,0 +1,75 @@
+#include "obs/snapshot_timer.hpp"
+
+#include <chrono>
+
+#include "util/logging.hpp"
+
+namespace ruru::obs {
+
+SnapshotTimer::SnapshotTimer(MetricsRegistry& registry, Duration interval, const Clock* clock)
+    : registry_(registry),
+      interval_(interval.ns > 0 ? interval : Duration::from_sec(1.0)),
+      clock_(clock != nullptr ? clock : &default_clock_) {}
+
+SnapshotTimer::~SnapshotTimer() { stop(); }
+
+void SnapshotTimer::add_exporter(std::shared_ptr<MetricsExporter> exporter) {
+  if (exporter) exporters_.push_back(std::move(exporter));
+}
+
+void SnapshotTimer::start() {
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void SnapshotTimer::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard lock(wake_mu_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+  tick();  // final snapshot: short runs still export once
+}
+
+void SnapshotTimer::tick() {
+  std::lock_guard lock(tick_mu_);
+  MetricsSnapshot snap = registry_.snapshot(clock_->now());
+  const SnapshotDelta delta =
+      have_prev_ ? SnapshotDelta::between(prev_, snap) : SnapshotDelta::between(snap, snap);
+  for (const auto& exporter : exporters_) exporter->export_snapshot(snap, delta);
+  prev_ = std::move(snap);
+  have_prev_ = true;
+  ++tick_count_;
+}
+
+std::uint64_t SnapshotTimer::ticks() const {
+  std::lock_guard lock(tick_mu_);
+  return tick_count_;
+}
+
+MetricsSnapshot SnapshotTimer::last_snapshot() const {
+  std::lock_guard lock(tick_mu_);
+  return prev_;
+}
+
+void SnapshotTimer::thread_main() {
+  RURU_LOG(kDebug, "obs") << "snapshot timer started, interval "
+                          << to_string(interval_);
+  std::unique_lock lock(wake_mu_);
+  while (!stopping_) {
+    if (wake_cv_.wait_for(lock, std::chrono::nanoseconds(interval_.ns),
+                          [this] { return stopping_; })) {
+      break;  // stop() will take the final snapshot
+    }
+    lock.unlock();
+    tick();
+    lock.lock();
+  }
+}
+
+}  // namespace ruru::obs

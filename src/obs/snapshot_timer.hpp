@@ -1,0 +1,70 @@
+#pragma once
+// SnapshotTimer — the telemetry heartbeat.
+//
+// A single background thread that every `interval` takes a merged
+// registry snapshot, computes deltas/rates against the previous one and
+// fans the pair out to every exporter.  The data path never sees it:
+// snapshotting reads relaxed atomics (and polls callback metrics that
+// read StatCells or take their target's own short lock).
+//
+// stop() takes one final snapshot so short runs (tests, replays shorter
+// than the interval) still export at least once.
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+
+namespace ruru::obs {
+
+class SnapshotTimer {
+ public:
+  /// `registry` must outlive the timer.  `clock` optional (defaults to
+  /// a steady SystemClock); tests pass a SimClock and drive tick().
+  SnapshotTimer(MetricsRegistry& registry, Duration interval, const Clock* clock = nullptr);
+  ~SnapshotTimer();
+
+  SnapshotTimer(const SnapshotTimer&) = delete;
+  SnapshotTimer& operator=(const SnapshotTimer&) = delete;
+
+  /// Register before start(); exporters run on the snapshot thread.
+  void add_exporter(std::shared_ptr<MetricsExporter> exporter);
+
+  void start();
+  /// Final tick, then join.  Idempotent.
+  void stop();
+
+  /// One snapshot + export now (also what the thread calls).  Safe to
+  /// call concurrently with the timer thread.
+  void tick();
+
+  [[nodiscard]] std::uint64_t ticks() const;
+  /// Copy of the most recent snapshot (empty before the first tick).
+  [[nodiscard]] MetricsSnapshot last_snapshot() const;
+
+ private:
+  void thread_main();
+
+  MetricsRegistry& registry_;
+  Duration interval_;
+  SystemClock default_clock_;
+  const Clock* clock_;
+  std::vector<std::shared_ptr<MetricsExporter>> exporters_;
+
+  mutable std::mutex tick_mu_;  ///< serializes tick() vs stop()'s final tick
+  MetricsSnapshot prev_;
+  bool have_prev_ = false;
+  std::uint64_t tick_count_ = 0;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ruru::obs

@@ -1,6 +1,12 @@
 #include "util/logging.hpp"
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
 #include <iostream>
+#include <thread>
 
 namespace ruru {
 
@@ -15,7 +21,51 @@ std::string_view to_string(LogLevel level) {
   return "?";
 }
 
-Logger::Logger() : sink_(&std::cerr) {}
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+namespace {
+
+/// "[2017-08-21T14:03:07.123Z]" — UTC wall clock, millisecond precision.
+void append_iso8601_now(std::string& out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "[%04d-%02d-%02dT%02d:%02d:%02d.%03dZ]",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday, tm_utc.tm_hour,
+                tm_utc.tm_min, tm_utc.tm_sec, static_cast<int>(ms));
+  out += buf;
+}
+
+std::uint64_t thread_tag() {
+  // Stable per-thread tag; hashed because std::thread::id is opaque.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % 1'000'000;
+}
+
+}  // namespace
+
+Logger::Logger() : sink_(&std::cerr) {
+  if (const char* env = std::getenv("RURU_LOG_LEVEL")) {
+    if (const auto level = parse_log_level(env)) level_ = *level;
+  }
+}
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -29,8 +79,27 @@ void Logger::set_sink(std::ostream* sink) {
 
 void Logger::write(LogLevel level, std::string_view module, std::string_view message) {
   if (!enabled(level)) return;
+  std::string line;
+  line.reserve(64 + module.size() + message.size());
+  if (timestamps_) {
+    append_iso8601_now(line);
+    line += " ";
+  }
+  line += '[';
+  line += to_string(level);
+  line += "] ";
+  if (timestamps_) {
+    line += "[tid ";
+    line += std::to_string(thread_tag());
+    line += "] ";
+  }
+  line += '[';
+  line += module;
+  line += "] ";
+  line += message;
+  line += '\n';
   std::lock_guard lock(mu_);
-  (*sink_) << '[' << to_string(level) << "] [" << module << "] " << message << '\n';
+  (*sink_) << line;
 }
 
 }  // namespace ruru

@@ -5,8 +5,21 @@
 // events (start/stop, eviction pressure, anomaly alerts).  The logger is
 // deliberately tiny: a global level, a mutex around the sink, and a
 // stream-style macro so call sites stay readable.
+//
+// Each line carries an ISO-8601 UTC timestamp and the writing thread's
+// id, so interleaved multi-thread output stays attributable:
+//   [2017-08-21T14:03:07.123Z] [INFO] [tid 139832] [flow] evicted 3 entries
+// The initial level honours the RURU_LOG_LEVEL environment variable
+// (debug|info|warn|error|off, case-insensitive) at first use.
+//
+// For warnings adjacent to the data path (mbuf exhaustion, HWM drops)
+// use RURU_LOG_EVERY_N, which logs the 1st and then every nth occurrence
+// per call site and suppresses the rest.
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <string_view>
@@ -16,10 +29,13 @@ namespace ruru {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 [[nodiscard]] std::string_view to_string(LogLevel level);
+/// "debug"/"INFO"/... -> level; nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view text);
 
 class Logger {
  public:
-  /// Process-wide logger. Sinks to stderr by default.
+  /// Process-wide logger. Sinks to stderr by default; the initial level
+  /// comes from RURU_LOG_LEVEL when set.
   static Logger& instance();
 
   void set_level(LogLevel level) { level_ = level; }
@@ -29,14 +45,30 @@ class Logger {
   /// Redirect output (tests capture into an ostringstream). Not owned.
   void set_sink(std::ostream* sink);
 
+  /// Timestamps/thread ids can be disabled for byte-exact golden tests.
+  void set_timestamps(bool enabled) { timestamps_ = enabled; }
+
   void write(LogLevel level, std::string_view module, std::string_view message);
 
  private:
   Logger();
   LogLevel level_ = LogLevel::kInfo;
+  bool timestamps_ = true;
   std::ostream* sink_;
   std::mutex mu_;
 };
+
+namespace detail {
+
+/// Rate limiter for RURU_LOG_EVERY_N: true on occurrences 1, n+1, 2n+1...
+/// The counter only advances when the level is enabled, so disabled
+/// levels stay zero-cost.
+inline bool log_every_n_hit(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
+  if (n <= 1) return true;
+  return counter.fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
+
+}  // namespace detail
 
 }  // namespace ruru
 
@@ -45,6 +77,20 @@ class Logger {
   for (bool ruru_log_once =                                                 \
            ::ruru::Logger::instance().enabled(::ruru::LogLevel::level_enum); \
        ruru_log_once; ruru_log_once = false)                                \
+  ::ruru::detail::LogLine(::ruru::LogLevel::level_enum, module).stream()
+
+// Rate-limited variant for near-data-path warnings: logs the 1st and
+// then every nth occurrence of this call site.
+// Usage: RURU_LOG_EVERY_N(kWarn, "driver", 65536) << "mempool exhausted";
+#define RURU_LOG_EVERY_N(level_enum, module, n)                                       \
+  for (bool ruru_log_once =                                                           \
+           ::ruru::Logger::instance().enabled(::ruru::LogLevel::level_enum) &&        \
+           []() -> bool {                                                             \
+             static ::std::atomic<::std::uint64_t> ruru_log_site_counter{0};          \
+             return ::ruru::detail::log_every_n_hit(ruru_log_site_counter,            \
+                                                    static_cast<::std::uint64_t>(n)); \
+           }();                                                                       \
+       ruru_log_once; ruru_log_once = false)                                          \
   ::ruru::detail::LogLine(::ruru::LogLevel::level_enum, module).stream()
 
 namespace ruru::detail {

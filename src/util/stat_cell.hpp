@@ -1,0 +1,67 @@
+#pragma once
+// Single-writer statistics cell.
+//
+// Every per-stage stats struct (NicStats, WorkerStats, TrackerStats, ...)
+// is written by exactly one thread — the stage that owns it — but is now
+// also read live by the metrics snapshot thread.  A plain uint64 would be
+// a data race; a fetch_add would put a lock prefix on the per-packet
+// path.  StatCell threads the needle: the writer does a relaxed
+// load + store (no RMW, same cost as a plain increment on x86), readers
+// do a relaxed load and never see a torn value.
+//
+// The single-writer contract is the point: two threads incrementing the
+// same cell can lose updates.  Shard per writer (one stats struct per
+// queue/worker, merged on read) exactly as the stages already do.
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+
+namespace ruru {
+
+class StatCell {
+ public:
+  constexpr StatCell() = default;
+  constexpr StatCell(std::uint64_t v) : v_(v) {}  // NOLINT: implicit by design
+
+  // Copy via relaxed loads/stores so the stat structs keep value
+  // semantics (summaries copy them wholesale off the hot path).
+  StatCell(const StatCell& other) : v_(other.load()) {}
+  StatCell& operator=(const StatCell& other) {
+    store(other.load());
+    return *this;
+  }
+  StatCell& operator=(std::uint64_t v) {
+    store(v);
+    return *this;
+  }
+
+  StatCell& operator++() {
+    store(load() + 1);
+    return *this;
+  }
+  StatCell& operator--() {
+    store(load() - 1);
+    return *this;
+  }
+  StatCell& operator+=(std::uint64_t n) {
+    store(load() + n);
+    return *this;
+  }
+  StatCell& operator-=(std::uint64_t n) {
+    store(load() - n);
+    return *this;
+  }
+
+  operator std::uint64_t() const { return load(); }  // NOLINT: drop-in for uint64 fields
+
+  [[nodiscard]] std::uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+  void store(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+inline std::ostream& operator<<(std::ostream& os, const StatCell& c) { return os << c.load(); }
+
+}  // namespace ruru

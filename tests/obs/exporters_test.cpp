@@ -1,0 +1,119 @@
+#include "obs/exporters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "tsdb/tsdb.hpp"
+
+namespace ruru::obs {
+namespace {
+
+/// A registry with one of each metric kind and fully determined values:
+/// the histogram holds a single sample so every quantile is exact.
+MetricsSnapshot golden_snapshot() {
+  MetricsRegistry reg;
+  reg.counter("nic.rx_packets").add(1234);
+  reg.gauge("bus.pending").set(17.5);
+  reg.histogram("enrich.batch_ns").record(std::int64_t{1000});
+  return reg.snapshot(Timestamp::from_sec(42.0));
+}
+
+TEST(PrometheusRenderTest, GoldenExposition) {
+  const std::string text = render_prometheus(golden_snapshot());
+  const std::string expected =
+      "# TYPE ruru_nic_rx_packets counter\n"
+      "ruru_nic_rx_packets 1234\n"
+      "# TYPE ruru_bus_pending gauge\n"
+      "ruru_bus_pending 17.5\n"
+      "# TYPE ruru_enrich_batch_ns summary\n"
+      "ruru_enrich_batch_ns{quantile=\"0.5\"} 1000\n"
+      "ruru_enrich_batch_ns{quantile=\"0.95\"} 1000\n"
+      "ruru_enrich_batch_ns{quantile=\"0.99\"} 1000\n"
+      "ruru_enrich_batch_ns_sum 1000\n"
+      "ruru_enrich_batch_ns_count 1\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(PrometheusRenderTest, SanitizesMetricNames) {
+  MetricsRegistry reg;
+  reg.counter("nic.queue-0/drops").add(1);
+  const std::string text = render_prometheus(reg.snapshot(Timestamp{}));
+  EXPECT_NE(text.find("ruru_nic_queue_0_drops 1\n"), std::string::npos);
+}
+
+TEST(PrometheusExporterTest, StreamVariantAppendsExpositionPerSnapshot) {
+  std::ostringstream out;
+  PrometheusExporter exporter(out);
+  const MetricsSnapshot snap = golden_snapshot();
+  const SnapshotDelta delta = SnapshotDelta::between(snap, snap);
+  exporter.export_snapshot(snap, delta);
+  exporter.export_snapshot(snap, delta);
+  const std::string s = out.str();
+  // Two full expositions, blank-line separated.
+  EXPECT_NE(s.find("ruru_nic_rx_packets 1234\n"), std::string::npos);
+  EXPECT_NE(s.find("ruru_nic_rx_packets 1234\n", s.find("ruru_nic_rx_packets 1234\n") + 1),
+            std::string::npos);
+}
+
+TEST(JsonLinesTest, LineCarriesTotalsRatesAndHistogramStats) {
+  MetricsRegistry reg;
+  CounterHandle c = reg.counter("pkts");
+  c.add(100);
+  const MetricsSnapshot s1 = reg.snapshot(Timestamp::from_sec(1.0));
+  c.add(50);
+  const MetricsSnapshot s2 = reg.snapshot(Timestamp::from_sec(2.0));
+  const std::string line = render_json_line(s2, SnapshotDelta::between(s1, s2));
+  EXPECT_NE(line.find("\"ts_s\":2"), std::string::npos);
+  EXPECT_NE(line.find("\"interval_s\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"pkts\":{\"total\":150,\"rate\":50"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // single line
+}
+
+TEST(SelfIngestTest, WritesPrefixedSeriesWithStatTags) {
+  MetricsRegistry reg;
+  CounterHandle c = reg.counter("nic.rx_packets");
+  GaugeHandle g = reg.gauge("bus.pending");
+  HistogramHandle h = reg.histogram("enrich.batch_ns");
+
+  TimeSeriesDb db;
+  SelfIngestExporter exporter(db);
+
+  c.add(100);
+  g.set(5.0);
+  h.record(std::int64_t{2000});
+  const MetricsSnapshot s1 = reg.snapshot(Timestamp::from_sec(1.0));
+  exporter.export_snapshot(s1, SnapshotDelta::between(s1, s1));
+
+  c.add(60);
+  const MetricsSnapshot s2 = reg.snapshot(Timestamp::from_sec(3.0));
+  exporter.export_snapshot(s2, SnapshotDelta::between(s1, s2));
+
+  const Timestamp t0;
+  const Timestamp t1 = Timestamp::from_sec(100.0);
+  const auto totals = db.aggregate("ruru.self.nic.rx_packets", TagSet{}.add("stat", "total"),
+                                   t0, t1);
+  EXPECT_EQ(totals.count, 2u);
+  EXPECT_DOUBLE_EQ(totals.max, 160.0);
+
+  // Rate over the 2 s second interval: 60 / 2 = 30/s.
+  const auto rates = db.aggregate("ruru.self.nic.rx_packets", TagSet{}.add("stat", "rate"),
+                                  t0, t1);
+  EXPECT_EQ(rates.count, 2u);
+  EXPECT_DOUBLE_EQ(rates.max, 30.0);
+
+  const auto gauge = db.aggregate("ruru.self.bus.pending", TagSet{}.add("stat", "value"),
+                                  t0, t1);
+  EXPECT_EQ(gauge.count, 2u);
+  EXPECT_DOUBLE_EQ(gauge.max, 5.0);
+
+  const auto p95 = db.aggregate("ruru.self.enrich.batch_ns", TagSet{}.add("stat", "p95"),
+                                t0, t1);
+  EXPECT_EQ(p95.count, 2u);
+  EXPECT_DOUBLE_EQ(p95.max, 2000.0);  // single sample: quantiles exact
+}
+
+}  // namespace
+}  // namespace ruru::obs

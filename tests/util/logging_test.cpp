@@ -14,10 +14,12 @@ class LoggingTest : public ::testing::Test {
   void SetUp() override {
     Logger::instance().set_sink(&out_);
     Logger::instance().set_level(LogLevel::kDebug);
+    Logger::instance().set_timestamps(false);  // byte-exact assertions
   }
   void TearDown() override {
     Logger::instance().set_sink(nullptr);  // back to stderr
     Logger::instance().set_level(LogLevel::kInfo);
+    Logger::instance().set_timestamps(true);
   }
   std::ostringstream out_;
 };
@@ -25,6 +27,36 @@ class LoggingTest : public ::testing::Test {
 TEST_F(LoggingTest, FormatsLevelModuleMessage) {
   RURU_LOG(kInfo, "flow") << "evicted " << 3 << " entries";
   EXPECT_EQ(out_.str(), "[INFO] [flow] evicted 3 entries\n");
+}
+
+TEST_F(LoggingTest, TimestampedLinesCarryIso8601AndThreadId) {
+  Logger::instance().set_timestamps(true);
+  RURU_LOG(kWarn, "driver") << "mempool exhausted";
+  const std::string s = out_.str();
+  // "[YYYY-MM-DDTHH:MM:SS.mmmZ] [WARN] [tid N] [driver] mempool exhausted\n"
+  ASSERT_GE(s.size(), 26u);
+  EXPECT_EQ(s[0], '[');
+  EXPECT_EQ(s[5], '-');
+  EXPECT_EQ(s[8], '-');
+  EXPECT_EQ(s[11], 'T');
+  EXPECT_EQ(s[14], ':');
+  EXPECT_EQ(s[17], ':');
+  EXPECT_EQ(s[20], '.');
+  EXPECT_EQ(s[24], 'Z');
+  EXPECT_EQ(s[25], ']');
+  EXPECT_NE(s.find(" [WARN] [tid "), std::string::npos);
+  EXPECT_NE(s.find("] [driver] mempool exhausted\n"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsAnyCase) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
 }
 
 TEST_F(LoggingTest, LevelFiltering) {
@@ -56,6 +88,49 @@ TEST_F(LoggingTest, DisabledLevelsDoNotEvaluateArguments) {
   EXPECT_EQ(evaluations, 0);  // the macro short-circuits
   RURU_LOG(kError, "x") << expensive();
   EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, EveryNLogsFirstThenEveryNth) {
+  for (int i = 0; i < 10; ++i) {
+    RURU_LOG_EVERY_N(kWarn, "ring", 4) << "occurrence " << i;
+  }
+  std::istringstream in(out_.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  // Occurrences 0, 4 and 8 fire (1st, then every 4th).
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("occurrence 0"), std::string::npos);
+  EXPECT_NE(lines[1].find("occurrence 4"), std::string::npos);
+  EXPECT_NE(lines[2].find("occurrence 8"), std::string::npos);
+}
+
+TEST_F(LoggingTest, EveryNSitesAreIndependent) {
+  for (int i = 0; i < 3; ++i) {
+    RURU_LOG_EVERY_N(kWarn, "a", 100) << "site A";
+    RURU_LOG_EVERY_N(kWarn, "b", 100) << "site B";
+  }
+  const std::string s = out_.str();
+  // Each site logs its own first occurrence.
+  EXPECT_NE(s.find("site A"), std::string::npos);
+  EXPECT_NE(s.find("site B"), std::string::npos);
+  std::istringstream in(s);
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) ++count;
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(LoggingTest, EveryNDoesNotCountWhenLevelDisabled) {
+  auto site = [](int i) { RURU_LOG_EVERY_N(kDebug, "x", 3) << "occurrence " << i; };
+  Logger::instance().set_level(LogLevel::kError);
+  for (int i = 0; i < 5; ++i) site(i);
+  EXPECT_TRUE(out_.str().empty());
+  // Re-enabled: the site's counter never advanced while disabled, so
+  // the very next call is occurrence 1 and fires.
+  Logger::instance().set_level(LogLevel::kDebug);
+  site(99);
+  EXPECT_NE(out_.str().find("occurrence 99"), std::string::npos);
 }
 
 TEST_F(LoggingTest, LevelNames) {

@@ -7,18 +7,45 @@
 # fixed-offset pre-parse probe) does raw byte-offset reads, so it must
 # stay UBSan-clean too.
 #
-# Usage: tools/check.sh [thread|address|undefined]   (default: thread)
+# The `metrics` mode gates the telemetry layer instead: it builds the
+# obs + core suites under TSan (the snapshot thread reads every shard
+# while workers write them, so any missing atomic shows up here), runs
+# them, and then asserts end-to-end that a metrics-enabled pipeline run
+# self-ingests "ruru.self.*" series into its own TSDB.
+#
+# Usage: tools/check.sh [thread|address|undefined|metrics]   (default: thread)
 set -euo pipefail
 
 SAN="${1:-thread}"
 case "$SAN" in
-  thread|address|undefined) ;;
-  *) echo "usage: $0 [thread|address|undefined]" >&2; exit 2 ;;
+  thread|address|undefined|metrics) ;;
+  *) echo "usage: $0 [thread|address|undefined|metrics]" >&2; exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="$ROOT/build-$SAN"
 JOBS="$(nproc)"
+
+if [ "$SAN" = "metrics" ]; then
+  # Telemetry gate: obs registry + snapshot thread + pipeline wiring
+  # under TSan.  test_obs carries the dedicated concurrency tests
+  # (ConcurrentIncrementAndSnapshotIsRaceFreeAndExact et al.); test_core
+  # runs full metrics-enabled pipelines with the snapshot thread live.
+  BUILD="$ROOT/build-thread"
+  cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$JOBS" --target test_obs test_core
+  (cd "$BUILD" && ctest --output-on-failure -j"$JOBS" \
+    -R 'Metrics|Snapshot|Prometheus|JsonLines|SelfIngest|Pipeline')
+
+  # End-to-end self-ingest assertion: a metrics-enabled run must land
+  # ruru.self.* series in the TSDB (the test fails otherwise, so its
+  # passing IS the assertion — run it by name to make the gate explicit).
+  "$BUILD/tests/test_core" \
+    --gtest_filter='PipelineMetricsTest.SelfIngestLandsSeriesInTheTsdb'
+  echo "metrics gate OK: snapshot thread TSan-clean, self-ingest series present"
+  exit 0
+fi
+
+BUILD="$ROOT/build-$SAN"
 
 cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE="$SAN" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j"$JOBS" --target test_msg test_flow test_util test_driver
