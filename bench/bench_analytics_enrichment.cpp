@@ -99,6 +99,128 @@ void BM_EnrichLookupCost(benchmark::State& state) {
 }
 BENCHMARK(BM_EnrichLookupCost)->Arg(16)->Arg(256)->Arg(1280)->ArgName("host_spread");
 
+// --- cache-regime scenarios (hot / cold / Zipf) -----------------------
+//
+// Address sequences are pregenerated so the timed loop measures the
+// enricher alone.  The world is the 220-city large world: 220 blocks of
+// 4096 addresses starting at 100.0.0.0, ~900k addressable hosts — far
+// beyond the enricher's cache, so "cold" really misses.
+
+constexpr std::size_t kSeqLen = 1 << 16;
+
+World& large_world() {
+  static World world = [] {
+    auto w = build_world(large_world_sites(220));
+    if (!w.ok()) std::abort();
+    return std::move(w).value();
+  }();
+  return world;
+}
+
+enum class AddrMix { kHot, kCold, kZipf };
+
+std::vector<LatencySample> make_scenario_samples(AddrMix mix) {
+  constexpr std::uint32_t kBase = 100u << 24;
+  constexpr std::uint32_t kSpan = 220u * 4096u;
+  Pcg32 rng(0xE6E6);
+  std::vector<LatencySample> seq;
+  seq.reserve(kSeqLen);
+  // Rank -> address scatter: consecutive Zipf ranks land in different
+  // city blocks (golden-ratio stride), like real popular hosts do.
+  const ruru::bench::ZipfSampler zipf(1 << 18, 1.0);
+  for (std::size_t i = 0; i < kSeqLen; ++i) {
+    std::uint32_t client = 0;
+    std::uint32_t server = 0;
+    switch (mix) {
+      case AddrMix::kHot:
+        client = kBase + 7;
+        server = kBase + 4096 + 9;
+        break;
+      case AddrMix::kCold:
+        client = kBase + rng.bounded(kSpan);
+        server = kBase + rng.bounded(kSpan);
+        break;
+      case AddrMix::kZipf:
+        client = kBase + static_cast<std::uint32_t>(
+                             (zipf.next(rng) * 2654435761ULL) % kSpan);
+        server = kBase + static_cast<std::uint32_t>(
+                             (zipf.next(rng) * 2654435761ULL) % kSpan);
+        break;
+    }
+    LatencySample s;
+    s.client = Ipv4Address(client);
+    s.server = Ipv4Address(server);
+    s.client_port = static_cast<std::uint16_t>(rng.next_u32());
+    s.server_port = 443;
+    s.syn_time = Timestamp::from_ms(static_cast<std::int64_t>(i));
+    s.synack_time = s.syn_time + Duration::from_ms(128);
+    s.ack_time = s.synack_time + Duration::from_ms(5);
+    seq.push_back(s);
+  }
+  return seq;
+}
+
+void run_single_enrich(benchmark::State& state, AddrMix mix) {
+  const World& world = large_world();
+  const auto seq = make_scenario_samples(mix);
+  Enricher enricher(world.geo, world.as);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const EnrichedSample out = enricher.enrich(seq[i]);
+    benchmark::DoNotOptimize(out.total);
+    i = (i + 1) & (kSeqLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  const auto& st = enricher.stats();
+  state.counters["hit_rate"] =
+      st.cache_hits + st.cache_misses != 0
+          ? static_cast<double>(st.cache_hits) /
+                static_cast<double>(st.cache_hits + st.cache_misses)
+          : 0;
+}
+
+void BM_EnrichHotCache(benchmark::State& state) { run_single_enrich(state, AddrMix::kHot); }
+void BM_EnrichColdCache(benchmark::State& state) { run_single_enrich(state, AddrMix::kCold); }
+void BM_EnrichZipfMix(benchmark::State& state) { run_single_enrich(state, AddrMix::kZipf); }
+BENCHMARK(BM_EnrichHotCache);
+BENCHMARK(BM_EnrichColdCache);
+BENCHMARK(BM_EnrichZipfMix);
+
+// Same scenarios through enrich_batch(): adds the lookahead prefetch of
+// cache sets and radix buckets, in kMaxLatencyBatch-sized chunks like
+// the worker loop.
+void run_batch_enrich(benchmark::State& state, AddrMix mix) {
+  const World& world = large_world();
+  const auto seq = make_scenario_samples(mix);
+  Enricher enricher(world.geo, world.as);
+  std::vector<EnrichedSample> out;
+  out.reserve(kMaxLatencyBatch);
+  std::size_t pos = 0;
+  std::uint64_t samples = 0;
+  for (auto _ : state) {
+    const std::size_t n = std::min(kMaxLatencyBatch, kSeqLen - pos);
+    out.clear();
+    enricher.enrich_batch(std::span(seq).subspan(pos, n), out);
+    benchmark::DoNotOptimize(out.data());
+    samples += n;
+    pos = (pos + n) & (kSeqLen - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(samples));
+  const auto& st = enricher.stats();
+  state.counters["hit_rate"] =
+      st.cache_hits + st.cache_misses != 0
+          ? static_cast<double>(st.cache_hits) /
+                static_cast<double>(st.cache_hits + st.cache_misses)
+          : 0;
+}
+
+void BM_EnrichBatchHotCache(benchmark::State& state) { run_batch_enrich(state, AddrMix::kHot); }
+void BM_EnrichBatchColdCache(benchmark::State& state) { run_batch_enrich(state, AddrMix::kCold); }
+void BM_EnrichBatchZipfMix(benchmark::State& state) { run_batch_enrich(state, AddrMix::kZipf); }
+BENCHMARK(BM_EnrichBatchHotCache);
+BENCHMARK(BM_EnrichBatchColdCache);
+BENCHMARK(BM_EnrichBatchZipfMix);
+
 }  // namespace
 
 BENCHMARK_MAIN();

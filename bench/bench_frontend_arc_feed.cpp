@@ -24,10 +24,10 @@ using namespace ruru;
 EnrichedSample synth_sample(Pcg32& rng, int pair_count) {
   EnrichedSample s;
   const int pair = static_cast<int>(rng.bounded(static_cast<std::uint32_t>(pair_count)));
-  s.client.city = "src" + std::to_string(pair % 12);
+  s.client.city_id = geo_names().intern("src" + std::to_string(pair % 12));
   s.client.latitude = -36.8 + pair % 10;
   s.client.longitude = 174.7;
-  s.server.city = "dst" + std::to_string(pair / 12);
+  s.server.city_id = geo_names().intern("dst" + std::to_string(pair / 12));
   s.server.latitude = 34.0;
   s.server.longitude = -118.2 + pair % 7;
   const std::int64_t ms = 80 + static_cast<std::int64_t>(rng.bounded(700));

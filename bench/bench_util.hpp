@@ -1,13 +1,39 @@
 #pragma once
 // Shared helpers for the experiment benches (DESIGN.md §4).
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "capture/scenarios.hpp"
 #include "capture/traffic_model.hpp"
 #include "geo/world.hpp"
+#include "util/random.hpp"
 
 namespace ruru::bench {
+
+/// Zipf(s) sampler over ranks [0, n) via a precomputed CDF.  Sampling is
+/// a binary search, so pregenerate sequences outside timed loops.
+class ZipfSampler {
+ public:
+  explicit ZipfSampler(std::size_t n, double s = 1.0) : cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  [[nodiscard]] std::size_t next(Pcg32& rng) const {
+    const double u = rng.uniform();
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
 
 inline World scenario_world() {
   std::vector<SiteSpec> specs;

@@ -4,22 +4,36 @@
 
 namespace ruru {
 
-std::string LatencyAggregator::key_for(const EnrichedSample& s) const {
+namespace {
+
+/// Endpoint half-key for "no covering geo record".  Interner ids are
+/// dense and small; ASNs are 32-bit but the registry tops out far below
+/// this, so the sentinel cannot collide with a real id.
+constexpr std::uint32_t kUnlocated = 0xFFFFFFFFu;
+
+}  // namespace
+
+std::uint32_t LatencyAggregator::endpoint_id(const GeoInfo& g) const {
   switch (mode_) {
     case Mode::kCityPair:
-      return (s.client.located ? s.client.city : "?") + "|" +
-             (s.server.located ? s.server.city : "?");
+      return g.located ? g.city_id : kUnlocated;
     case Mode::kAsPair:
-      return "AS" + std::to_string(s.client.asn) + "|AS" + std::to_string(s.server.asn);
+      return g.asn;
     case Mode::kCountryPair:
-      return (s.client.located ? s.client.country : "?") + "|" +
-             (s.server.located ? s.server.country : "?");
+      return g.located ? g.country_id : kUnlocated;
   }
-  return "?";
+  return kUnlocated;
+}
+
+std::string LatencyAggregator::endpoint_name(std::uint32_t id) const {
+  if (mode_ == Mode::kAsPair) return "AS" + std::to_string(id);
+  if (id == kUnlocated) return "?";
+  return std::string(geo_names().view(id));
 }
 
 void LatencyAggregator::add(const EnrichedSample& sample) {
-  const std::string key = key_for(sample);
+  const std::uint64_t key =
+      (std::uint64_t{endpoint_id(sample.client)} << 32) | endpoint_id(sample.server);
   std::lock_guard lock(mu_);
   PairStats& p = pairs_[key];
   ++p.connections;
@@ -35,7 +49,8 @@ std::vector<PairSummary> LatencyAggregator::summaries() const {
     out.reserve(pairs_.size());
     for (const auto& [key, stats] : pairs_) {
       PairSummary s;
-      s.key = key;
+      s.key = endpoint_name(static_cast<std::uint32_t>(key >> 32)) + "|" +
+              endpoint_name(static_cast<std::uint32_t>(key));
       s.connections = stats.connections;
       s.min_total = Duration{stats.total_latency.min()};
       s.max_total = Duration{stats.total_latency.max()};

@@ -3,6 +3,10 @@
 // (§1/§2 of the paper): running latency statistics per location pair and
 // per AS pair, suitable for the Grafana-style views and the anomaly
 // detectors.  Thread-safe (fed from enrichment workers).
+//
+// The hot path keys pairs on packed interned ids (or ASNs), not strings:
+// adding a sample to an already-seen pair touches no allocator.  Keys are
+// turned back into "src|dst" text only when a summary snapshot is taken.
 
 #include <cstdint>
 #include <map>
@@ -44,11 +48,14 @@ class LatencyAggregator {
   [[nodiscard]] std::size_t pair_count() const;
 
  private:
-  [[nodiscard]] std::string key_for(const EnrichedSample& s) const;
+  /// Half-key for one endpoint: interned name id, ASN, or kUnlocated.
+  [[nodiscard]] std::uint32_t endpoint_id(const GeoInfo& g) const;
+  /// Renders one half-key at snapshot time.
+  [[nodiscard]] std::string endpoint_name(std::uint32_t id) const;
 
   Mode mode_;
   mutable std::mutex mu_;
-  std::map<std::string, PairStats> pairs_;
+  std::map<std::uint64_t, PairStats> pairs_;  // (client_id << 32) | server_id
 };
 
 }  // namespace ruru

@@ -5,22 +5,35 @@
 // addresses are removed" after enrichment.  EnrichedSample therefore has
 // no address fields at all; downstream consumers (TSDB, frontends) can
 // only see locations and AS numbers.
+//
+// Both structs are trivially copyable PODs: names are carried as interned
+// u32 ids into the process-wide geo_names() table (populated at DB load),
+// so enriching a sample and handing it to every sink allocates nothing.
+// Sinks resolve ids to strings only at format time via the accessors.
 
 #include <cstdint>
-#include <string>
+#include <string_view>
+#include <type_traits>
 
+#include "geo/interner.hpp"
 #include "util/time.hpp"
 
 namespace ruru {
 
 struct GeoInfo {
-  std::string city;
-  std::string country;
   double latitude = 0.0;
   double longitude = 0.0;
+  std::uint32_t country_id = 0;  ///< geo_names() id; 0 == empty string
+  std::uint32_t city_id = 0;
   std::uint32_t asn = 0;
-  std::string as_org;
+  std::uint32_t org_id = 0;
   bool located = true;  ///< false when the DB had no covering range
+
+  /// Format-time name resolution (string_views into the interner arena,
+  /// valid for the process lifetime).
+  [[nodiscard]] std::string_view city() const { return geo_names().view(city_id); }
+  [[nodiscard]] std::string_view country() const { return geo_names().view(country_id); }
+  [[nodiscard]] std::string_view as_org() const { return geo_names().view(org_id); }
 };
 
 struct EnrichedSample {
@@ -35,5 +48,11 @@ struct EnrichedSample {
   Timestamp completed_at;  ///< time of the handshake ACK at the tap
   std::uint16_t queue_id = 0;
 };
+
+// The whole enrichment output must stay allocation-free to copy: a
+// string or vector member sneaking in here re-introduces a malloc per
+// sample per sink.
+static_assert(std::is_trivially_copyable_v<GeoInfo>);
+static_assert(std::is_trivially_copyable_v<EnrichedSample>);
 
 }  // namespace ruru

@@ -2,44 +2,59 @@
 
 namespace ruru {
 
-GeoInfo Enricher::locate(const IpAddress& addr) {
-  if (!addr.is_v4()) {
-    GeoInfo info;
-    if (geo6_ != nullptr) {
-      if (const Geo6Record* g = geo6_->lookup(addr.v6)) {
-        info.city = g->city;
-        info.country = g->country;
-        info.latitude = g->latitude;
-        info.longitude = g->longitude;
-        info.asn = g->asn;
-        info.as_org = g->as_org;
-        return info;  // v6 lookups are uncached (table is tiny)
-      }
+namespace {
+
+/// How far ahead enrich_batch() warms cache sets and radix buckets.
+/// Far enough to cover one DRAM round trip at a few ns/sample, near
+/// enough that the lines are still resident when the walk arrives.
+constexpr std::size_t kLookahead = 8;
+
+}  // namespace
+
+GeoInfo Enricher::locate_uncached(const IpAddress& addr) const {
+  GeoInfo info;
+  if (addr.is_v4()) {
+    const std::size_t g = geo_.find(addr.v4);
+    if (g != GeoDatabase::npos) {
+      info.city_id = geo_.city_id(g);
+      info.country_id = geo_.country_id(g);
+      info.latitude = geo_.latitude(g);
+      info.longitude = geo_.longitude(g);
+    } else {
+      info.located = false;
     }
-    info.located = false;
+    const std::size_t a = as_.find(addr.v4);
+    if (a != AsDatabase::npos) {
+      info.asn = as_.asn(a);
+      info.org_id = as_.org_id(a);
+    }
     return info;
   }
-  const std::uint32_t key = addr.v4.value();
-  if (auto cached = cache_.get(key)) {
+  if (geo6_ != nullptr) {
+    const std::size_t g = geo6_->find(addr.v6);
+    if (g != Geo6Database::npos) {
+      info.city_id = geo6_->city_id(g);
+      info.country_id = geo6_->country_id(g);
+      info.latitude = geo6_->latitude(g);
+      info.longitude = geo6_->longitude(g);
+      info.asn = geo6_->asn(g);
+      info.org_id = geo6_->org_id(g);
+      return info;
+    }
+  }
+  info.located = false;
+  return info;
+}
+
+GeoInfo Enricher::locate(const IpAddress& addr) {
+  const GeoCacheKey key = GeoCacheKey::of(addr);
+  if (const GeoInfo* cached = cache_.find(key)) {
     ++stats_.cache_hits;
     return *cached;
   }
   ++stats_.cache_misses;
-
-  GeoInfo info;
-  if (const GeoRecord* g = geo_.lookup(addr.v4)) {
-    info.city = g->city;
-    info.country = g->country;
-    info.latitude = g->latitude;
-    info.longitude = g->longitude;
-  } else {
-    info.located = false;
-  }
-  if (const AsRecord* a = as_.lookup(addr.v4)) {
-    info.asn = a->asn;
-    info.as_org = a->organization;
-  }
-  cache_.put(key, info);
+  const GeoInfo info = locate_uncached(addr);
+  *cache_.insert(key) = info;  // negative results cached too
   return info;
 }
 
@@ -58,6 +73,20 @@ EnrichedSample Enricher::enrich(const LatencySample& sample) {
   // The LatencySample (with its IP addresses) dies here: nothing beyond
   // this point carries an address.
   return out;
+}
+
+void Enricher::enrich_batch(std::span<const LatencySample> batch,
+                            std::vector<EnrichedSample>& out) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i + kLookahead < batch.size()) {
+      const LatencySample& ahead = batch[i + kLookahead];
+      cache_.prefetch(GeoCacheKey::of(ahead.client));
+      cache_.prefetch(GeoCacheKey::of(ahead.server));
+      if (ahead.client.is_v4()) geo_.prefetch(ahead.client.v4);
+      if (ahead.server.is_v4()) geo_.prefetch(ahead.server.v4);
+    }
+    out.push_back(enrich(batch[i]));
+  }
 }
 
 }  // namespace ruru

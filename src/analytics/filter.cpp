@@ -3,19 +3,19 @@
 namespace ruru {
 
 SampleFilter SampleFilter::country(std::string country_code) {
-  // Name computed before the lambda captures-by-move (argument
-  // evaluation order is unspecified).
-  std::string name = "country=" + country_code;
-  return SampleFilter(std::move(name),
-                      [code = std::move(country_code)](const EnrichedSample& s) {
-                        return s.client.country == code || s.server.country == code;
-                      });
+  // Intern the comparand once at construction; the predicate then runs
+  // as two integer compares per sample (the interner dedupes, so a
+  // country loaded by any DB resolves to the same id).
+  const std::uint32_t code_id = geo_names().intern(country_code);
+  return SampleFilter("country=" + country_code, [code_id](const EnrichedSample& s) {
+    return s.client.country_id == code_id || s.server.country_id == code_id;
+  });
 }
 
 SampleFilter SampleFilter::city(std::string city_name) {
-  std::string name = "city=" + city_name;
-  return SampleFilter(std::move(name), [n = std::move(city_name)](const EnrichedSample& s) {
-    return s.client.city == n || s.server.city == n;
+  const std::uint32_t city_id = geo_names().intern(city_name);
+  return SampleFilter("city=" + city_name, [city_id](const EnrichedSample& s) {
+    return s.client.city_id == city_id || s.server.city_id == city_id;
   });
 }
 

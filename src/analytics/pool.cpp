@@ -45,6 +45,11 @@ void EnrichmentPool::worker_main(std::size_t index) {
   // allocation.
   std::vector<LatencySample> samples;
   samples.reserve(kMaxLatencyBatch);
+  // Reused enrichment output buffer — EnrichedSample is trivially
+  // copyable, so the batch path never touches the allocator in steady
+  // state.
+  std::vector<EnrichedSample> enriched;
+  enriched.reserve(kMaxLatencyBatch);
   while (true) {
     auto msg = source_->recv();  // blocking; nullopt == closed and drained
     if (!msg) break;
@@ -58,9 +63,10 @@ void EnrichmentPool::worker_main(std::size_t index) {
       decode_failures_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    for (const LatencySample& sample : samples) {
-      const EnrichedSample enriched = enricher.enrich(sample);
-      for (const auto& sink : sinks_) sink(enriched);
+    enriched.clear();
+    enricher.enrich_batch(samples, enriched);
+    for (const EnrichedSample& sample : enriched) {
+      for (const auto& sink : sinks_) sink(sample);
     }
     // processed() counts samples, not messages, so pipeline accounting
     // stays truthful when the feed batches.

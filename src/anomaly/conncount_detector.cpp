@@ -5,11 +5,27 @@
 
 namespace ruru {
 
+namespace {
+
+constexpr std::uint32_t kUnlocated = 0xFFFFFFFFu;
+
+std::uint32_t city_of(const GeoInfo& g) { return g.located ? g.city_id : kUnlocated; }
+
+std::string pair_name(std::uint64_t key) {
+  auto half = [](std::uint32_t id) {
+    return id == kUnlocated ? std::string("?") : std::string(geo_names().view(id));
+  };
+  return half(static_cast<std::uint32_t>(key >> 32)) + "|" +
+         half(static_cast<std::uint32_t>(key));
+}
+
+}  // namespace
+
 void ConnCountDetector::add(const EnrichedSample& sample) {
   std::lock_guard lock(mu_);
   roll_window_locked(sample.completed_at);
-  const std::string key = (sample.client.located ? sample.client.city : "?") + "|" +
-                          (sample.server.located ? sample.server.city : "?");
+  const std::uint64_t key =
+      (std::uint64_t{city_of(sample.client)} << 32) | city_of(sample.server);
   ++window_counts_[key];
 }
 
@@ -41,7 +57,7 @@ void ConnCountDetector::close_window_locked() {
       Alert a;
       a.time = window_start_;
       a.kind = "conn-count";
-      a.subject = key;
+      a.subject = pair_name(key);
       a.score = z;
       char buf[128];
       std::snprintf(buf, sizeof buf, "%llu connections vs baseline %.1f (sigma %.1f)",

@@ -5,6 +5,8 @@
 // Counts completed handshakes per location pair in fixed windows and
 // scores each window's count against an EWMA baseline per pair.  Fed
 // from EnrichedSample (post-anonymization — it only needs locations).
+// Pairs are keyed on packed interned city ids; the "src|dst" text is
+// built only when an alert actually fires.
 
 #include <cstdint>
 #include <map>
@@ -52,8 +54,8 @@ class ConnCountDetector {
   std::mutex mu_;
   Timestamp window_start_{};
   bool window_open_ = false;
-  std::map<std::string, std::uint64_t> window_counts_;
-  std::map<std::string, PairState> baselines_;
+  std::map<std::uint64_t, std::uint64_t> window_counts_;  // (src_city << 32) | dst_city
+  std::map<std::uint64_t, PairState> baselines_;
   std::vector<Alert> alerts_;
 };
 

@@ -243,8 +243,8 @@ void RuruPipeline::wire_sinks() {
 
     if (config_.tsdb_store_samples) {
       TagSet tags;
-      tags.add("src_city", s.client.located ? s.client.city : "?")
-          .add("dst_city", s.server.located ? s.server.city : "?")
+      tags.add("src_city", std::string(s.client.located ? s.client.city() : "?"))
+          .add("dst_city", std::string(s.server.located ? s.server.city() : "?"))
           .add("src_as", std::to_string(s.client.asn))
           .add("dst_as", std::to_string(s.server.asn));
       const bool timed = tsdb_write_hist_.attached();
@@ -263,8 +263,8 @@ void RuruPipeline::wire_sinks() {
         alert = ewma_->update(s.completed_at, s.total.to_ms());
       }
       if (alert) {
-        alert->subject = (s.client.located ? s.client.city : "?") + "|" +
-                         (s.server.located ? s.server.city : "?");
+        alert->subject = std::string(s.client.located ? s.client.city() : "?") + "|" +
+                         std::string(s.server.located ? s.server.city() : "?");
         bus_.publish(encode_alert(*alert));  // live "ruru.alerts" feed
         alerts_published_.fetch_add(1, std::memory_order_relaxed);
         alerts_.raise(std::move(*alert));

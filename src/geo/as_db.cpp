@@ -1,28 +1,16 @@
 #include "geo/as_db.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstring>
-#include <memory>
 
-#include "util/byte_order.hpp"
+#include "geo/db_io.hpp"
 
 namespace ruru {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x31534147;  // "GAS1"
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  std::uint8_t b[4];
-  store_le32(b, v);
-  out.insert(out.end(), b, b + 4);
-}
-
-void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.insert(out.end(), s.begin(), s.end());
-}
+// start + end + asn + empty length-prefixed org string.
+constexpr std::size_t kMinRecordBytes = 4 + 4 + 4 + 4;
 
 }  // namespace
 
@@ -38,76 +26,72 @@ Result<AsDatabase> AsDatabase::build(std::vector<AsRecord> records) {
     }
   }
   AsDatabase db;
-  db.records_ = std::move(records);
+  const std::size_t n = records.size();
+  db.starts_.reserve(n);
+  db.ends_.reserve(n);
+  db.asn_.reserve(n);
+  db.org_id_.reserve(n);
+  StringInterner& names = geo_names();
+  for (const AsRecord& r : records) {
+    db.starts_.push_back(r.range_start);
+    db.ends_.push_back(r.range_end);
+    db.asn_.push_back(r.asn);
+    db.org_id_.push_back(names.intern(r.organization));
+  }
+  db.build_radix();
   return db;
 }
 
-const AsRecord* AsDatabase::lookup(Ipv4Address addr) const {
-  const std::uint32_t v = addr.value();
-  auto it = std::upper_bound(
-      records_.begin(), records_.end(), v,
-      [](std::uint32_t value, const AsRecord& r) { return value < r.range_start; });
-  if (it == records_.begin()) return nullptr;
-  --it;
-  return (v >= it->range_start && v <= it->range_end) ? &*it : nullptr;
+void AsDatabase::build_radix() {
+  radix_.assign(65537, 0);
+  std::size_t row = 0;
+  for (std::size_t h = 0; h <= 65536; ++h) {
+    while (row < starts_.size() && (starts_[row] >> 16) < h) ++row;
+    radix_[h] = static_cast<std::uint32_t>(row);
+  }
+}
+
+AsRecord AsDatabase::record(std::size_t i) const {
+  AsRecord r;
+  r.range_start = starts_[i];
+  r.range_end = ends_[i];
+  r.asn = asn_[i];
+  r.organization = std::string(geo_names().view(org_id_[i]));
+  return r;
 }
 
 Status AsDatabase::save(const std::string& path) const {
   std::vector<std::uint8_t> out;
-  out.reserve(64 + records_.size() * 32);
-  put_u32(out, kMagic);
-  put_u32(out, static_cast<std::uint32_t>(records_.size()));
-  for (const auto& r : records_) {
-    put_u32(out, r.range_start);
-    put_u32(out, r.range_end);
-    put_u32(out, r.asn);
-    put_str(out, r.organization);
+  out.reserve(64 + size() * 32);
+  geo_io::put_u32(out, kMagic);
+  geo_io::put_u32(out, static_cast<std::uint32_t>(size()));
+  for (std::size_t i = 0; i < size(); ++i) {
+    geo_io::put_u32(out, starts_[i]);
+    geo_io::put_u32(out, ends_[i]);
+    geo_io::put_u32(out, asn_[i]);
+    geo_io::put_str(out, geo_names().view(org_id_[i]));
   }
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"),
-                                                    &std::fclose);
-  if (!f) return make_error("asdb: cannot open '" + path + "' for writing");
-  if (std::fwrite(out.data(), 1, out.size(), f.get()) != out.size()) {
-    return make_error("asdb: short write");
-  }
-  return {};
+  return geo_io::write_file(path, out, "asdb");
 }
 
 Result<AsDatabase> AsDatabase::load(const std::string& path) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"),
-                                                    &std::fclose);
-  if (!f) return make_error("asdb: cannot open '" + path + "'");
-  std::fseek(f.get(), 0, SEEK_END);
-  const long size = std::ftell(f.get());
-  std::fseek(f.get(), 0, SEEK_SET);
-  std::vector<std::uint8_t> data(static_cast<std::size_t>(size > 0 ? size : 0));
-  if (!data.empty() && std::fread(data.data(), 1, data.size(), f.get()) != data.size()) {
-    return make_error("asdb: short read");
-  }
-
-  const std::uint8_t* p = data.data();
-  const std::uint8_t* end = p + data.size();
-  auto need = [&](std::size_t n) { return static_cast<std::size_t>(end - p) >= n; };
-  if (!need(8)) return make_error("asdb: truncated header");
-  if (load_le32(p) != kMagic) return make_error("asdb: bad magic");
-  p += 4;
-  const std::uint32_t count = load_le32(p);
-  p += 4;
-
+  auto data = geo_io::read_file(path, "asdb");
+  if (!data) return make_error(data.error());
+  geo_io::Cursor c{data.value().data(), data.value().data() + data.value().size()};
+  if (c.u32() != kMagic || !c.ok) return make_error("asdb: bad magic");
+  const std::uint32_t count = c.checked_count(kMinRecordBytes);
+  if (!c.ok) return make_error("asdb: record count exceeds file size in '" + path + "'");
   std::vector<AsRecord> records;
   records.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    if (!need(16)) return make_error("asdb: truncated record");
+  for (std::uint32_t i = 0; i < count && c.ok; ++i) {
     AsRecord r;
-    r.range_start = load_le32(p);
-    r.range_end = load_le32(p + 4);
-    r.asn = load_le32(p + 8);
-    const std::uint32_t slen = load_le32(p + 12);
-    p += 16;
-    if (!need(slen)) return make_error("asdb: truncated string");
-    r.organization.assign(reinterpret_cast<const char*>(p), slen);
-    p += slen;
+    r.range_start = c.u32();
+    r.range_end = c.u32();
+    r.asn = c.u32();
+    r.organization = std::string(c.str());
     records.push_back(std::move(r));
   }
+  if (!c.ok) return make_error("asdb: truncated file");
   return build(std::move(records));
 }
 

@@ -1,16 +1,22 @@
 #pragma once
 // IP -> autonomous system range database (the AS half of IP2Location).
+//
+// Same structure-of-arrays layout as GeoDatabase: a contiguous sorted
+// u32 key array behind a /16 radix skip index, POD payload arrays
+// (asn, interned org id), names stored once in geo_names().
 
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "geo/interner.hpp"
 #include "net/ip_address.hpp"
 #include "util/result.hpp"
 
 namespace ruru {
 
+/// Interchange record for build()/record()/save().
 struct AsRecord {
   std::uint32_t range_start = 0;  ///< host-order IPv4, inclusive
   std::uint32_t range_end = 0;
@@ -20,20 +26,60 @@ struct AsRecord {
 
 class AsDatabase {
  public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   AsDatabase() = default;
 
   static Result<AsDatabase> build(std::vector<AsRecord> records);
 
-  [[nodiscard]] const AsRecord* lookup(Ipv4Address addr) const;
+  /// Row index of the range containing `addr`, or npos.
+  [[nodiscard]] std::size_t find(Ipv4Address addr) const {
+    const std::uint32_t v = addr.value();
+    const std::uint32_t h = v >> 16;
+    std::size_t base = radix_.empty() ? 0 : radix_[h];
+    std::size_t n = radix_.empty() ? 0 : radix_[h + 1] - base;
+    while (n > 0) {
+      const std::size_t half = n / 2;
+      const bool right = starts_[base + half] <= v;
+      base = right ? base + half + 1 : base;
+      n = right ? n - half - 1 : half;
+    }
+    if (base == 0) return npos;
+    const std::size_t i = base - 1;
+    return ends_[i] >= v ? i : npos;
+  }
 
-  [[nodiscard]] std::size_t size() const { return records_.size(); }
-  [[nodiscard]] const std::vector<AsRecord>& records() const { return records_; }
+  void prefetch(Ipv4Address addr) const {
+    if (!radix_.empty()) __builtin_prefetch(&radix_[addr.value() >> 16], 0, 1);
+  }
+
+  [[nodiscard]] std::uint32_t range_start(std::size_t i) const { return starts_[i]; }
+  [[nodiscard]] std::uint32_t range_end(std::size_t i) const { return ends_[i]; }
+  [[nodiscard]] std::uint32_t asn(std::size_t i) const { return asn_[i]; }
+  [[nodiscard]] std::uint32_t org_id(std::size_t i) const { return org_id_[i]; }
+
+  /// Materializes strings — format/test/save time only.
+  [[nodiscard]] AsRecord record(std::size_t i) const;
+
+  [[nodiscard]] std::optional<AsRecord> lookup_record(Ipv4Address addr) const {
+    const std::size_t i = find(addr);
+    if (i == npos) return std::nullopt;
+    return record(i);
+  }
+
+  [[nodiscard]] std::size_t size() const { return starts_.size(); }
 
   Status save(const std::string& path) const;
   static Result<AsDatabase> load(const std::string& path);
 
  private:
-  std::vector<AsRecord> records_;
+  void build_radix();
+
+  std::vector<std::uint32_t> starts_;
+  std::vector<std::uint32_t> ends_;
+  std::vector<std::uint32_t> asn_;
+  std::vector<std::uint32_t> org_id_;
+  std::vector<std::uint32_t> radix_;
 };
 
 }  // namespace ruru

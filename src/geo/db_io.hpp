@@ -1,0 +1,137 @@
+#pragma once
+// Internal binary-format helpers shared by the geo / AS / geo6 database
+// loaders.  Not installed API — include only from src/geo/*.cpp.
+//
+// Readers are defensive by construction: every fetch is bounds-checked
+// against the mapped buffer, and record counts read from a file header
+// must fit in the remaining bytes at the format's minimum record size
+// (a corrupt header cannot demand a multi-GB reserve()).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/byte_order.hpp"
+#include "util/result.hpp"
+
+namespace ruru::geo_io {
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  std::uint8_t b[4];
+  store_le32(b, v);
+  out.insert(out.end(), b, b + 4);
+}
+
+inline void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint8_t b[8];
+  std::memcpy(b, &v, 8);  // IEEE 754 little-endian hosts only (all our targets)
+  out.insert(out.end(), b, b + 8);
+}
+
+inline void put_str(std::vector<std::uint8_t>& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+inline void put_bytes(std::vector<std::uint8_t>& out, const std::uint8_t* p, std::size_t n) {
+  out.insert(out.end(), p, p + n);
+}
+
+/// Bounds-checked little-endian reader over a loaded file image.
+struct Cursor {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+  bool ok = true;
+
+  [[nodiscard]] std::size_t remaining() const {
+    return static_cast<std::size_t>(end - p);
+  }
+
+  std::uint32_t u32() {
+    if (remaining() < 4) {
+      ok = false;
+      return 0;
+    }
+    const std::uint32_t v = load_le32(p);
+    p += 4;
+    return v;
+  }
+
+  double f64() {
+    if (remaining() < 8) {
+      ok = false;
+      return 0;
+    }
+    double v;
+    std::memcpy(&v, p, 8);
+    p += 8;
+    return v;
+  }
+
+  /// Length-prefixed string; the view aliases the file buffer.
+  std::string_view str() {
+    const std::uint32_t n = u32();
+    if (!ok || remaining() < n) {
+      ok = false;
+      return {};
+    }
+    std::string_view s(reinterpret_cast<const char*>(p), n);
+    p += n;
+    return s;
+  }
+
+  const std::uint8_t* bytes(std::size_t n) {
+    if (remaining() < n) {
+      ok = false;
+      return nullptr;
+    }
+    const std::uint8_t* b = p;
+    p += n;
+    return b;
+  }
+
+  /// Record count whose records occupy at least `min_record_size` bytes
+  /// each: rejects counts a truncated or hostile header cannot back.
+  std::uint32_t checked_count(std::size_t min_record_size) {
+    const std::uint32_t n = u32();
+    if (!ok) return 0;
+    if (min_record_size != 0 && n > remaining() / min_record_size) {
+      ok = false;
+      return 0;
+    }
+    return n;
+  }
+};
+
+inline Result<std::vector<std::uint8_t>> read_file(const std::string& path,
+                                                   const char* tag) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                                    &std::fclose);
+  if (!f) return make_error(std::string(tag) + ": cannot open '" + path + "'");
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (size < 0) return make_error(std::string(tag) + ": ftell failed");
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  if (!data.empty() && std::fread(data.data(), 1, data.size(), f.get()) != data.size()) {
+    return make_error(std::string(tag) + ": short read");
+  }
+  return data;
+}
+
+inline Status write_file(const std::string& path, const std::vector<std::uint8_t>& data,
+                         const char* tag) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"),
+                                                    &std::fclose);
+  if (!f) return make_error(std::string(tag) + ": cannot open '" + path + "' for writing");
+  if (!data.empty() && std::fwrite(data.data(), 1, data.size(), f.get()) != data.size()) {
+    return make_error(std::string(tag) + ": short write");
+  }
+  return {};
+}
+
+}  // namespace ruru::geo_io

@@ -1,0 +1,96 @@
+#pragma once
+// Fixed-size set-associative cache of POD entries.
+//
+// Replaces the node-based LruCache on the enrichment fast path: the
+// list/unordered_map LRU allocates on every insert and chases three
+// pointers per hit; this cache is one flat allocation at construction,
+// a hit probes Ways slots in one contiguous set and returns a pointer
+// into the cache (no optional<V> copy), and eviction overwrites the
+// set's least-recently-stamped way in place.  Single-threaded by design
+// (each enrichment worker owns one), like the LRU it replaces.
+//
+// K and V must be trivially copyable; K additionally needs
+// operator== and a `std::uint64_t hash() const` member.  Keys carry
+// their full identity (no folding), so a hit is always exact.
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace ruru {
+
+template <typename K, typename V, unsigned Ways = 4>
+class FlatCache {
+  static_assert(std::is_trivially_copyable_v<K>);
+  static_assert(std::is_trivially_copyable_v<V>);
+  static_assert(Ways >= 1);
+
+ public:
+  /// Rounds capacity up to a power-of-two number of sets × Ways.
+  explicit FlatCache(std::size_t capacity) {
+    std::size_t sets = 1;
+    while (sets * Ways < capacity) sets <<= 1;
+    sets_.resize(sets);
+    mask_ = sets - 1;
+  }
+
+  /// Pointer to the cached value (refreshing its recency), or nullptr.
+  [[nodiscard]] const V* find(const K& key) {
+    Set& s = sets_[set_of(key)];
+    for (unsigned w = 0; w < Ways; ++w) {
+      if (s.valid[w] && s.key[w] == key) {
+        s.stamp[w] = ++s.tick;
+        return &s.value[w];
+      }
+    }
+    return nullptr;
+  }
+
+  /// Slot for `key` — the existing slot if present, a free way, or the
+  /// set's LRU way (evicted in place).  Caller fills the returned value.
+  V* insert(const K& key) {
+    Set& s = sets_[set_of(key)];
+    unsigned victim = 0;
+    for (unsigned w = 0; w < Ways; ++w) {
+      if (!s.valid[w] || s.key[w] == key) {
+        victim = w;
+        break;
+      }
+      if (s.stamp[w] < s.stamp[victim]) victim = w;
+    }
+    s.key[victim] = key;
+    s.valid[victim] = 1;
+    s.stamp[victim] = ++s.tick;
+    return &s.value[victim];
+  }
+
+  void prefetch(const K& key) const { __builtin_prefetch(&sets_[set_of(key)], 0, 1); }
+
+  [[nodiscard]] std::size_t set_of(const K& key) const { return key.hash() & mask_; }
+  [[nodiscard]] std::size_t set_count() const { return sets_.size(); }
+  [[nodiscard]] static constexpr unsigned ways() { return Ways; }
+  [[nodiscard]] std::size_t capacity() const { return sets_.size() * Ways; }
+
+  /// Occupied slots (O(capacity); diagnostics only).
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const Set& s : sets_) {
+      for (unsigned w = 0; w < Ways; ++w) n += s.valid[w];
+    }
+    return n;
+  }
+
+ private:
+  struct Set {
+    K key[Ways] = {};
+    V value[Ways] = {};
+    std::uint32_t stamp[Ways] = {};
+    std::uint8_t valid[Ways] = {};
+    std::uint32_t tick = 0;
+  };
+
+  std::vector<Set> sets_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace ruru

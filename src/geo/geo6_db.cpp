@@ -1,10 +1,21 @@
 #include "geo/geo6_db.hpp"
 
 #include <algorithm>
+#include <cstring>
 
+#include "geo/db_io.hpp"
 #include "geo/world.hpp"
 
 namespace ruru {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x364F4547;  // "GEO6"
+constexpr std::uint32_t kVersion = 1;
+// start + end + two empty strings + lat + lon + asn + empty org string.
+constexpr std::size_t kMinRecordBytes = 16 + 16 + 4 + 4 + 8 + 8 + 4 + 4;
+
+}  // namespace
 
 Result<Geo6Database> Geo6Database::build(std::vector<Geo6Record> records) {
   std::sort(records.begin(), records.end(), [](const Geo6Record& a, const Geo6Record& b) {
@@ -19,20 +30,98 @@ Result<Geo6Database> Geo6Database::build(std::vector<Geo6Record> records) {
     }
   }
   Geo6Database db;
-  db.records_ = std::move(records);
+  const std::size_t n = records.size();
+  db.starts_.reserve(n);
+  db.ends_.reserve(n);
+  db.country_id_.reserve(n);
+  db.city_id_.reserve(n);
+  db.lat_.reserve(n);
+  db.lon_.reserve(n);
+  db.asn_.reserve(n);
+  db.org_id_.reserve(n);
+  StringInterner& names = geo_names();
+  for (const Geo6Record& r : records) {
+    db.starts_.push_back(r.range_start.bytes());
+    db.ends_.push_back(r.range_end.bytes());
+    db.country_id_.push_back(names.intern(r.country));
+    db.city_id_.push_back(names.intern(r.city));
+    db.lat_.push_back(r.latitude);
+    db.lon_.push_back(r.longitude);
+    db.asn_.push_back(r.asn);
+    db.org_id_.push_back(names.intern(r.as_org));
+  }
   return db;
 }
 
-const Geo6Record* Geo6Database::lookup(const Ipv6Address& addr) const {
-  const auto& key = addr.bytes();
-  auto it = std::upper_bound(records_.begin(), records_.end(), key,
-                             [](const std::array<std::uint8_t, 16>& value, const Geo6Record& r) {
-                               return value < r.range_start.bytes();
-                             });
-  if (it == records_.begin()) return nullptr;
-  --it;
-  if (key < it->range_start.bytes() || it->range_end.bytes() < key) return nullptr;
-  return &*it;
+std::size_t Geo6Database::find(const Ipv6Address& addr) const {
+  const Key& key = addr.bytes();
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), key);
+  if (it == starts_.begin()) return npos;
+  const std::size_t i = static_cast<std::size_t>(it - starts_.begin()) - 1;
+  if (key < starts_[i] || ends_[i] < key) return npos;
+  return i;
+}
+
+Geo6Record Geo6Database::record(std::size_t i) const {
+  Geo6Record r;
+  r.range_start = Ipv6Address(starts_[i]);
+  r.range_end = Ipv6Address(ends_[i]);
+  r.country = std::string(geo_names().view(country_id_[i]));
+  r.city = std::string(geo_names().view(city_id_[i]));
+  r.latitude = lat_[i];
+  r.longitude = lon_[i];
+  r.asn = asn_[i];
+  r.as_org = std::string(geo_names().view(org_id_[i]));
+  return r;
+}
+
+Status Geo6Database::save(const std::string& path) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + size() * 96);
+  geo_io::put_u32(out, kMagic);
+  geo_io::put_u32(out, kVersion);
+  geo_io::put_u32(out, static_cast<std::uint32_t>(size()));
+  for (std::size_t i = 0; i < size(); ++i) {
+    geo_io::put_bytes(out, starts_[i].data(), 16);
+    geo_io::put_bytes(out, ends_[i].data(), 16);
+    geo_io::put_str(out, geo_names().view(country_id_[i]));
+    geo_io::put_str(out, geo_names().view(city_id_[i]));
+    geo_io::put_f64(out, lat_[i]);
+    geo_io::put_f64(out, lon_[i]);
+    geo_io::put_u32(out, asn_[i]);
+    geo_io::put_str(out, geo_names().view(org_id_[i]));
+  }
+  return geo_io::write_file(path, out, "geo6");
+}
+
+Result<Geo6Database> Geo6Database::load(const std::string& path) {
+  auto data = geo_io::read_file(path, "geo6");
+  if (!data) return make_error(data.error());
+  geo_io::Cursor c{data.value().data(), data.value().data() + data.value().size()};
+  if (c.u32() != kMagic || !c.ok) return make_error("geo6: bad magic in '" + path + "'");
+  if (c.u32() != kVersion || !c.ok) return make_error("geo6: unsupported version");
+  const std::uint32_t count = c.checked_count(kMinRecordBytes);
+  if (!c.ok) return make_error("geo6: record count exceeds file size in '" + path + "'");
+  std::vector<Geo6Record> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count && c.ok; ++i) {
+    Geo6Record r;
+    Key start{};
+    Key end{};
+    if (const std::uint8_t* b = c.bytes(16)) std::memcpy(start.data(), b, 16);
+    if (const std::uint8_t* b = c.bytes(16)) std::memcpy(end.data(), b, 16);
+    r.range_start = Ipv6Address(start);
+    r.range_end = Ipv6Address(end);
+    r.country = std::string(c.str());
+    r.city = std::string(c.str());
+    r.latitude = c.f64();
+    r.longitude = c.f64();
+    r.asn = c.u32();
+    r.as_org = std::string(c.str());
+    records.push_back(std::move(r));
+  }
+  if (!c.ok) return make_error("geo6: truncated file");
+  return build(std::move(records));
 }
 
 Result<Geo6Database> derive_geo6(std::span<const SiteSpec> sites,

@@ -2,19 +2,27 @@
 // IPv6 -> location range database (IP2Location ships a v6 table too).
 //
 // Same shape as the IPv4 GeoDatabase: sorted, non-overlapping inclusive
-// ranges over the 128-bit address space, binary-searched.  Addresses
-// compare lexicographically over their 16 network-order bytes.
+// ranges over the 128-bit address space.  Storage is structure-of-arrays
+// like the v4 DBs — a contiguous sorted 16-byte key array with parallel
+// POD payload arrays (interned name ids, coordinates, ASN).  The v6
+// table is orders of magnitude smaller than the v4 one, so the binary
+// search runs without a radix skip index; addresses compare
+// lexicographically over their 16 network-order bytes.
 
 #include <array>
+#include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "geo/interner.hpp"
 #include "net/ip_address.hpp"
 #include "util/result.hpp"
 
 namespace ruru {
 
+/// Interchange record for build()/record()/save().
 struct Geo6Record {
   Ipv6Address range_start;  ///< inclusive
   Ipv6Address range_end;    ///< inclusive
@@ -28,17 +36,47 @@ struct Geo6Record {
 
 class Geo6Database {
  public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   Geo6Database() = default;
 
   static Result<Geo6Database> build(std::vector<Geo6Record> records);
 
-  [[nodiscard]] const Geo6Record* lookup(const Ipv6Address& addr) const;
+  /// Row index of the range containing `addr`, or npos.
+  [[nodiscard]] std::size_t find(const Ipv6Address& addr) const;
 
-  [[nodiscard]] std::size_t size() const { return records_.size(); }
-  [[nodiscard]] const std::vector<Geo6Record>& records() const { return records_; }
+  [[nodiscard]] std::uint32_t country_id(std::size_t i) const { return country_id_[i]; }
+  [[nodiscard]] std::uint32_t city_id(std::size_t i) const { return city_id_[i]; }
+  [[nodiscard]] double latitude(std::size_t i) const { return lat_[i]; }
+  [[nodiscard]] double longitude(std::size_t i) const { return lon_[i]; }
+  [[nodiscard]] std::uint32_t asn(std::size_t i) const { return asn_[i]; }
+  [[nodiscard]] std::uint32_t org_id(std::size_t i) const { return org_id_[i]; }
+
+  /// Materializes strings — format/test/save time only.
+  [[nodiscard]] Geo6Record record(std::size_t i) const;
+
+  [[nodiscard]] std::optional<Geo6Record> lookup_record(const Ipv6Address& addr) const {
+    const std::size_t i = find(addr);
+    if (i == npos) return std::nullopt;
+    return record(i);
+  }
+
+  [[nodiscard]] std::size_t size() const { return starts_.size(); }
+
+  Status save(const std::string& path) const;
+  static Result<Geo6Database> load(const std::string& path);
 
  private:
-  std::vector<Geo6Record> records_;
+  using Key = std::array<std::uint8_t, 16>;
+
+  std::vector<Key> starts_;  // sorted; the search walks only this
+  std::vector<Key> ends_;
+  std::vector<std::uint32_t> country_id_;
+  std::vector<std::uint32_t> city_id_;
+  std::vector<double> lat_;
+  std::vector<double> lon_;
+  std::vector<std::uint32_t> asn_;
+  std::vector<std::uint32_t> org_id_;
 };
 
 /// Derives a v6 database from an IPv4 site plan by embedding each v4

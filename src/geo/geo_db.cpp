@@ -1,11 +1,8 @@
 #include "geo/geo_db.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstring>
-#include <memory>
 
-#include "util/byte_order.hpp"
+#include "geo/db_io.hpp"
 
 namespace ruru {
 
@@ -13,84 +10,8 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x4F454747;  // "GGEO"
 constexpr std::uint32_t kVersion = 1;
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  std::uint8_t b[4];
-  store_le32(b, v);
-  out.insert(out.end(), b, b + 4);
-}
-
-void put_f64(std::vector<std::uint8_t>& out, double v) {
-  std::uint8_t b[8];
-  std::memcpy(b, &v, 8);  // IEEE 754 little-endian hosts only (all our targets)
-  out.insert(out.end(), b, b + 8);
-}
-
-void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.insert(out.end(), s.begin(), s.end());
-}
-
-struct Cursor {
-  const std::uint8_t* p;
-  const std::uint8_t* end;
-  bool ok = true;
-
-  std::uint32_t u32() {
-    if (end - p < 4) {
-      ok = false;
-      return 0;
-    }
-    const std::uint32_t v = load_le32(p);
-    p += 4;
-    return v;
-  }
-  double f64() {
-    if (end - p < 8) {
-      ok = false;
-      return 0;
-    }
-    double v;
-    std::memcpy(&v, p, 8);
-    p += 8;
-    return v;
-  }
-  std::string str() {
-    const std::uint32_t n = u32();
-    if (!ok || static_cast<std::size_t>(end - p) < n) {
-      ok = false;
-      return {};
-    }
-    std::string s(reinterpret_cast<const char*>(p), n);
-    p += n;
-    return s;
-  }
-};
-
-Result<std::vector<std::uint8_t>> read_file(const std::string& path) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"),
-                                                    &std::fclose);
-  if (!f) return make_error("geo: cannot open '" + path + "'");
-  std::fseek(f.get(), 0, SEEK_END);
-  const long size = std::ftell(f.get());
-  std::fseek(f.get(), 0, SEEK_SET);
-  if (size < 0) return make_error("geo: ftell failed");
-  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
-  if (!data.empty() && std::fread(data.data(), 1, data.size(), f.get()) != data.size()) {
-    return make_error("geo: short read");
-  }
-  return data;
-}
-
-Status write_file(const std::string& path, const std::vector<std::uint8_t>& data) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"),
-                                                    &std::fclose);
-  if (!f) return make_error("geo: cannot open '" + path + "' for writing");
-  if (std::fwrite(data.data(), 1, data.size(), f.get()) != data.size()) {
-    return make_error("geo: short write");
-  }
-  return {};
-}
+// start + end + two empty length-prefixed strings + lat + lon.
+constexpr std::size_t kMinRecordBytes = 4 + 4 + 4 + 4 + 8 + 8;
 
 }  // namespace
 
@@ -106,54 +27,79 @@ Result<GeoDatabase> GeoDatabase::build(std::vector<GeoRecord> records) {
     }
   }
   GeoDatabase db;
-  db.records_ = std::move(records);
+  const std::size_t n = records.size();
+  db.starts_.reserve(n);
+  db.ends_.reserve(n);
+  db.country_id_.reserve(n);
+  db.city_id_.reserve(n);
+  db.lat_.reserve(n);
+  db.lon_.reserve(n);
+  StringInterner& names = geo_names();
+  for (const GeoRecord& r : records) {
+    db.starts_.push_back(r.range_start);
+    db.ends_.push_back(r.range_end);
+    db.country_id_.push_back(names.intern(r.country));
+    db.city_id_.push_back(names.intern(r.city));
+    db.lat_.push_back(r.latitude);
+    db.lon_.push_back(r.longitude);
+  }
+  db.build_radix();
   return db;
 }
 
-const GeoRecord* GeoDatabase::lookup(Ipv4Address addr) const {
-  const std::uint32_t v = addr.value();
-  // First record with range_start > v, then step back.
-  auto it = std::upper_bound(records_.begin(), records_.end(), v,
-                             [](std::uint32_t value, const GeoRecord& r) {
-                               return value < r.range_start;
-                             });
-  if (it == records_.begin()) return nullptr;
-  --it;
-  return (v >= it->range_start && v <= it->range_end) ? &*it : nullptr;
+void GeoDatabase::build_radix() {
+  radix_.assign(65537, 0);
+  std::size_t row = 0;
+  for (std::size_t h = 0; h <= 65536; ++h) {
+    while (row < starts_.size() && (starts_[row] >> 16) < h) ++row;
+    radix_[h] = static_cast<std::uint32_t>(row);
+  }
+}
+
+GeoRecord GeoDatabase::record(std::size_t i) const {
+  GeoRecord r;
+  r.range_start = starts_[i];
+  r.range_end = ends_[i];
+  r.country = std::string(geo_names().view(country_id_[i]));
+  r.city = std::string(geo_names().view(city_id_[i]));
+  r.latitude = lat_[i];
+  r.longitude = lon_[i];
+  return r;
 }
 
 Status GeoDatabase::save(const std::string& path) const {
   std::vector<std::uint8_t> out;
-  out.reserve(64 + records_.size() * 48);
-  put_u32(out, kMagic);
-  put_u32(out, kVersion);
-  put_u32(out, static_cast<std::uint32_t>(records_.size()));
-  for (const auto& r : records_) {
-    put_u32(out, r.range_start);
-    put_u32(out, r.range_end);
-    put_str(out, r.country);
-    put_str(out, r.city);
-    put_f64(out, r.latitude);
-    put_f64(out, r.longitude);
+  out.reserve(64 + size() * 48);
+  geo_io::put_u32(out, kMagic);
+  geo_io::put_u32(out, kVersion);
+  geo_io::put_u32(out, static_cast<std::uint32_t>(size()));
+  for (std::size_t i = 0; i < size(); ++i) {
+    geo_io::put_u32(out, starts_[i]);
+    geo_io::put_u32(out, ends_[i]);
+    geo_io::put_str(out, geo_names().view(country_id_[i]));
+    geo_io::put_str(out, geo_names().view(city_id_[i]));
+    geo_io::put_f64(out, lat_[i]);
+    geo_io::put_f64(out, lon_[i]);
   }
-  return write_file(path, out);
+  return geo_io::write_file(path, out, "geo");
 }
 
 Result<GeoDatabase> GeoDatabase::load(const std::string& path) {
-  auto data = read_file(path);
+  auto data = geo_io::read_file(path, "geo");
   if (!data) return make_error(data.error());
-  Cursor c{data.value().data(), data.value().data() + data.value().size()};
-  if (c.u32() != kMagic) return make_error("geo: bad magic in '" + path + "'");
-  if (c.u32() != kVersion) return make_error("geo: unsupported version");
-  const std::uint32_t count = c.u32();
+  geo_io::Cursor c{data.value().data(), data.value().data() + data.value().size()};
+  if (c.u32() != kMagic || !c.ok) return make_error("geo: bad magic in '" + path + "'");
+  if (c.u32() != kVersion || !c.ok) return make_error("geo: unsupported version");
+  const std::uint32_t count = c.checked_count(kMinRecordBytes);
+  if (!c.ok) return make_error("geo: record count exceeds file size in '" + path + "'");
   std::vector<GeoRecord> records;
   records.reserve(count);
   for (std::uint32_t i = 0; i < count && c.ok; ++i) {
     GeoRecord r;
     r.range_start = c.u32();
     r.range_end = c.u32();
-    r.country = c.str();
-    r.city = c.str();
+    r.country = std::string(c.str());
+    r.city = std::string(c.str());
     r.latitude = c.f64();
     r.longitude = c.f64();
     records.push_back(std::move(r));

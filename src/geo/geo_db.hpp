@@ -1,21 +1,32 @@
 #pragma once
 // IP -> location range database (the IP2Location role).
 //
-// Records are non-overlapping, inclusive IPv4 ranges sorted by start;
-// lookup is a binary search.  The database round-trips through a compact
-// binary file format so deployments can ship it separately from the
-// binary, like the commercial DB the paper used.
+// Records are non-overlapping, inclusive IPv4 ranges sorted by start.
+// Storage is structure-of-arrays: the lookup walks a contiguous u32 key
+// array (4-byte stride, ~16 keys per cache line) with a branchless
+// binary search confined to a /16 bucket by a precomputed radix skip
+// index; the payload — interned name ids and coordinates, all POD —
+// lives in parallel arrays touched once per hit.  Strings are stored
+// exactly once, in the shared geo_names() interner.
+//
+// The database round-trips through a compact binary file format so
+// deployments can ship it separately from the binary, like the
+// commercial DB the paper used; the format is unchanged from the
+// string-based storage (v1).
 
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "geo/interner.hpp"
 #include "net/ip_address.hpp"
 #include "util/result.hpp"
 
 namespace ruru {
 
+/// Interchange record for build()/record()/save(); not the hot-path
+/// representation.
 struct GeoRecord {
   std::uint32_t range_start = 0;  ///< host-order IPv4, inclusive
   std::uint32_t range_end = 0;    ///< host-order IPv4, inclusive
@@ -27,22 +38,70 @@ struct GeoRecord {
 
 class GeoDatabase {
  public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   GeoDatabase() = default;
 
-  /// Sorts records and validates that ranges do not overlap.
+  /// Sorts records, validates that ranges do not overlap, interns names.
   static Result<GeoDatabase> build(std::vector<GeoRecord> records);
 
-  /// Binary search for the range containing `addr`.
-  [[nodiscard]] const GeoRecord* lookup(Ipv4Address addr) const;
+  /// Row index of the range containing `addr`, or npos.  Radix skip +
+  /// branchless search; no allocation, no string touch.
+  [[nodiscard]] std::size_t find(Ipv4Address addr) const {
+    const std::uint32_t v = addr.value();
+    const std::uint32_t h = v >> 16;
+    std::size_t base = radix_.empty() ? 0 : radix_[h];
+    std::size_t n = radix_.empty() ? 0 : radix_[h + 1] - base;
+    while (n > 0) {  // branchless upper_bound: ternaries compile to cmov
+      const std::size_t half = n / 2;
+      const bool right = starts_[base + half] <= v;
+      base = right ? base + half + 1 : base;
+      n = right ? n - half - 1 : half;
+    }
+    if (base == 0) return npos;
+    const std::size_t i = base - 1;  // starts_[i] <= v by construction
+    return ends_[i] >= v ? i : npos;
+  }
 
-  [[nodiscard]] std::size_t size() const { return records_.size(); }
-  [[nodiscard]] const std::vector<GeoRecord>& records() const { return records_; }
+  /// Prefetch the radix bucket for `addr` (batch lookahead).
+  void prefetch(Ipv4Address addr) const {
+    if (!radix_.empty()) __builtin_prefetch(&radix_[addr.value() >> 16], 0, 1);
+  }
+
+  // POD row accessors (no allocation; format names via geo_names()).
+  [[nodiscard]] std::uint32_t range_start(std::size_t i) const { return starts_[i]; }
+  [[nodiscard]] std::uint32_t range_end(std::size_t i) const { return ends_[i]; }
+  [[nodiscard]] std::uint32_t country_id(std::size_t i) const { return country_id_[i]; }
+  [[nodiscard]] std::uint32_t city_id(std::size_t i) const { return city_id_[i]; }
+  [[nodiscard]] double latitude(std::size_t i) const { return lat_[i]; }
+  [[nodiscard]] double longitude(std::size_t i) const { return lon_[i]; }
+
+  /// Materializes a record's strings through the interner — format /
+  /// test / save time only, never on the enrichment path.
+  [[nodiscard]] GeoRecord record(std::size_t i) const;
+
+  /// Convenience for tools and tests: find + record.
+  [[nodiscard]] std::optional<GeoRecord> lookup_record(Ipv4Address addr) const {
+    const std::size_t i = find(addr);
+    if (i == npos) return std::nullopt;
+    return record(i);
+  }
+
+  [[nodiscard]] std::size_t size() const { return starts_.size(); }
 
   Status save(const std::string& path) const;
   static Result<GeoDatabase> load(const std::string& path);
 
  private:
-  std::vector<GeoRecord> records_;  // sorted by range_start
+  void build_radix();
+
+  std::vector<std::uint32_t> starts_;  // sorted; the only array the search walks
+  std::vector<std::uint32_t> ends_;
+  std::vector<std::uint32_t> country_id_;
+  std::vector<std::uint32_t> city_id_;
+  std::vector<double> lat_;
+  std::vector<double> lon_;
+  std::vector<std::uint32_t> radix_;   // 65537: first row with start >= (h<<16)
 };
 
 }  // namespace ruru

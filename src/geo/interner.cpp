@@ -1,0 +1,51 @@
+#include "geo/interner.hpp"
+
+#include <cstring>
+
+namespace ruru {
+
+StringInterner::StringInterner() { (void)intern(std::string_view{}); }
+
+const char* StringInterner::copy_to_arena(std::string_view s) {
+  if (s.empty()) return "";
+  if (s.size() > arena_remaining_) {
+    // Oversized strings get a block of exactly their size; it is left
+    // with zero remaining, so the next string opens a fresh block
+    // rather than writing past the end of this one.
+    const std::size_t block = s.size() > kArenaBlock ? s.size() : kArenaBlock;
+    arena_.push_back(std::make_unique<char[]>(block));
+    arena_used_ = 0;
+    arena_remaining_ = block;
+  }
+  char* dst = arena_.back().get() + arena_used_;
+  std::memcpy(dst, s.data(), s.size());
+  arena_used_ += s.size();
+  arena_remaining_ -= s.size();
+  return dst;
+}
+
+std::uint32_t StringInterner::intern(std::string_view s) {
+  std::lock_guard lock(mu_);
+  if (auto it = index_.find(std::string(s)); it != index_.end()) return it->second;
+
+  const std::uint32_t id = count_.load(std::memory_order_relaxed);
+  const std::size_t chunk = id >> kChunkShift;
+  if (chunk >= kMaxChunks) return 0;  // table full: degrade to ""
+  if (chunks_[chunk] == nullptr) {
+    chunk_storage_.push_back(std::make_unique<Entry[]>(kChunkSize));
+    chunks_[chunk] = chunk_storage_.back().get();
+  }
+  Entry& e = chunks_[chunk][id & (kChunkSize - 1)];
+  e.data = copy_to_arena(s);
+  e.len = static_cast<std::uint32_t>(s.size());
+  index_.emplace(std::string(s), id);
+  count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+StringInterner& geo_names() {
+  static StringInterner table;
+  return table;
+}
+
+}  // namespace ruru

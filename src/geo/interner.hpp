@@ -1,0 +1,81 @@
+#pragma once
+// String interner for geo/AS names.
+//
+// The range databases carry a handful of distinct strings (city names,
+// country codes, AS organizations) replicated across millions of
+// samples.  Interning happens once at DB build/load time: each distinct
+// string gets a stable u32 id and one arena-backed copy.  The hot
+// enrichment path then moves only ids (GeoInfo is a POD); sinks resolve
+// ids back to names at format time via view().
+//
+// Concurrency contract: intern() is mutex-guarded (build time, cold).
+// view() is lock-free and safe against concurrent intern() — entries
+// live in fixed-size chunks that never move, and the published count is
+// released after the chunk slot is written.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ruru {
+
+class StringInterner {
+ public:
+  /// Id 0 is always the empty string.
+  StringInterner();
+
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns the id for `s`, allocating one if unseen.  Ids are dense,
+  /// stable for the interner's lifetime, and equal iff the strings are.
+  std::uint32_t intern(std::string_view s);
+
+  /// Resolves an id; out-of-range ids resolve to "".  Lock-free.
+  [[nodiscard]] std::string_view view(std::uint32_t id) const {
+    if (id >= count_.load(std::memory_order_acquire)) return {};
+    const Entry& e = chunks_[id >> kChunkShift][id & (kChunkSize - 1)];
+    return {e.data, e.len};
+  }
+
+  /// Number of distinct strings interned (including the empty string).
+  [[nodiscard]] std::size_t size() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr std::size_t kChunkShift = 10;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;  // entries
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << 12;           // 4M ids
+  static constexpr std::size_t kArenaBlock = std::size_t{64} * 1024;        // bytes
+
+  struct Entry {
+    const char* data = nullptr;
+    std::uint32_t len = 0;
+  };
+
+  const char* copy_to_arena(std::string_view s);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::uint32_t> index_;   // build-time lookup
+  std::vector<std::unique_ptr<char[]>> arena_;             // string bytes, stable
+  std::size_t arena_used_ = 0;       // bytes written into the back block
+  std::size_t arena_remaining_ = 0;  // bytes left there (0 = force new block)
+  std::vector<std::unique_ptr<Entry[]>> chunk_storage_;    // owns chunk arrays
+  std::array<Entry*, kMaxChunks> chunks_{};                // id -> entry directory
+  std::atomic<std::uint32_t> count_{0};
+};
+
+/// Process-wide name table shared by the geo/AS/geo6 databases and every
+/// sink that formats enriched samples.  One table keeps ids comparable
+/// across databases (a filter interning "NZ" gets the same id the geo DB
+/// did).
+StringInterner& geo_names();
+
+}  // namespace ruru

@@ -2,12 +2,22 @@
 
 namespace ruru {
 
+namespace {
+
+constexpr std::uint32_t kUnlocated = 0xFFFFFFFFu;
+
+std::string city_name(std::uint32_t id) {
+  return id == kUnlocated ? std::string("?") : std::string(geo_names().view(id));
+}
+
+}  // namespace
+
 void ArcAggregator::add(const EnrichedSample& s) {
   const ArcColor color = scale_.bucket(s.total);
-  Key key{s.client.located ? s.client.city : "?", s.server.located ? s.server.city : "?",
-          static_cast<int>(color)};
+  const Key key{s.client.located ? s.client.city_id : kUnlocated,
+                s.server.located ? s.server.city_id : kUnlocated, static_cast<int>(color)};
   std::lock_guard lock(mu_);
-  Accum& a = current_[std::move(key)];
+  Accum& a = current_[key];
   if (a.count == 0) {
     a.src_lat = s.client.latitude;
     a.src_lon = s.client.longitude;
@@ -31,8 +41,8 @@ ArcFrame ArcAggregator::cut_frame(Timestamp now) {
   frame.arcs.reserve(current_.size());
   for (auto& [key, a] : current_) {
     Arc arc;
-    arc.src_city = key.src;
-    arc.dst_city = key.dst;
+    arc.src_city = city_name(key.src);
+    arc.dst_city = city_name(key.dst);
     arc.src_lat = a.src_lat;
     arc.src_lon = a.src_lon;
     arc.dst_lat = a.dst_lat;

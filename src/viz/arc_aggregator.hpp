@@ -49,8 +49,11 @@ class ArcAggregator {
   [[nodiscard]] std::uint64_t samples_seen() const;
 
  private:
+  // Interned city ids, not strings: coalescing a sample into an existing
+  // arc is allocation-free.  0xFFFFFFFF marks an unlocated endpoint;
+  // names materialize in cut_frame().
   struct Key {
-    std::string src, dst;
+    std::uint32_t src, dst;
     int color;
     bool operator<(const Key& o) const {
       if (src != o.src) return src < o.src;

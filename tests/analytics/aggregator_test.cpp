@@ -10,11 +10,11 @@ namespace {
 EnrichedSample make_sample(std::string src_city, std::string dst_city, std::uint32_t src_as,
                            std::uint32_t dst_as, std::int64_t total_ms) {
   EnrichedSample s;
-  s.client.city = std::move(src_city);
-  s.client.country = "NZ";
+  s.client.city_id = geo_names().intern(src_city);
+  s.client.country_id = geo_names().intern("NZ");
   s.client.asn = src_as;
-  s.server.city = std::move(dst_city);
-  s.server.country = "US";
+  s.server.city_id = geo_names().intern(dst_city);
+  s.server.country_id = geo_names().intern("US");
   s.server.asn = dst_as;
   s.total = Duration::from_ms(total_ms);
   s.external = Duration::from_ms(total_ms - 5);

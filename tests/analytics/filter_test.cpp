@@ -9,11 +9,11 @@ EnrichedSample sample(const std::string& src_city, const std::string& dst_city,
                       const std::string& src_cc, const std::string& dst_cc, std::uint32_t dst_as,
                       std::int64_t total_ms) {
   EnrichedSample s;
-  s.client.city = src_city;
-  s.client.country = src_cc;
+  s.client.city_id = geo_names().intern(src_city);
+  s.client.country_id = geo_names().intern(src_cc);
   s.client.asn = 9431;
-  s.server.city = dst_city;
-  s.server.country = dst_cc;
+  s.server.city_id = geo_names().intern(dst_city);
+  s.server.country_id = geo_names().intern(dst_cc);
   s.server.asn = dst_as;
   s.server.latitude = 34.0;
   s.server.longitude = -118.2;

@@ -1,0 +1,113 @@
+// Counting-allocator proof of the allocation-free enrichment fast path:
+// once the caches and output buffers are warm, enriching a batch and
+// feeding the id-keyed aggregators performs zero heap allocations per
+// sample.  Global operator new/delete are overridden for this test
+// binary only; the counter is read before and after the measured window
+// with no gtest machinery in between.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "analytics/aggregator.hpp"
+#include "analytics/enricher.hpp"
+#include "geo/world.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace ruru {
+namespace {
+
+TEST(ZeroAlloc, EnrichBatchSteadyStateDoesNotAllocate) {
+  auto world = build_world(large_world_sites(64));
+  ASSERT_TRUE(world.ok());
+  Enricher enricher(world.value().geo, world.value().as);
+
+  // A batch cycling through a bounded address set (well inside cache
+  // capacity), like heavy-tailed production traffic.
+  const auto sites = large_world_sites(64);
+  std::vector<LatencySample> batch;
+  for (int i = 0; i < 512; ++i) {
+    LatencySample s;
+    s.client = Ipv4Address(sites[i % 16].block_start + 3);
+    s.server = Ipv4Address(sites[16 + (i % 24)].block_start + 9);
+    s.syn_time = Timestamp::from_ms(i);
+    s.synack_time = Timestamp::from_ms(i + 100);
+    s.ack_time = Timestamp::from_ms(i + 105);
+    batch.push_back(s);
+  }
+
+  std::vector<EnrichedSample> out;
+  out.reserve(batch.size());
+
+  // Warm-up: populates the flat cache and faults in the output buffer.
+  enricher.enrich_batch(batch, out);
+  out.clear();
+
+  const std::uint64_t before = g_alloc_count.load();
+  for (int round = 0; round < 10; ++round) {
+    out.clear();
+    enricher.enrich_batch(batch, out);
+  }
+  const std::uint64_t after = g_alloc_count.load();
+
+  EXPECT_EQ(after - before, 0u) << "enrich_batch allocated in steady state";
+  EXPECT_EQ(out.size(), batch.size());
+  EXPECT_EQ(enricher.stats().cache_misses, 40u);  // 16 + 24 distinct endpoints, warm-up only
+}
+
+TEST(ZeroAlloc, AggregatorAddOnWarmPairsDoesNotAllocate) {
+  auto world = build_world(large_world_sites(64));
+  ASSERT_TRUE(world.ok());
+  Enricher enricher(world.value().geo, world.value().as);
+  LatencyAggregator cities(LatencyAggregator::Mode::kCityPair);
+  LatencyAggregator ases(LatencyAggregator::Mode::kAsPair);
+
+  const auto sites = large_world_sites(64);
+  LatencySample s;
+  s.client = Ipv4Address(sites[0].block_start + 1);
+  s.server = Ipv4Address(sites[1].block_start + 1);
+  s.syn_time = Timestamp::from_ms(0);
+  s.synack_time = Timestamp::from_ms(100);
+  s.ack_time = Timestamp::from_ms(105);
+
+  // Warm-up inserts the pair nodes and any lazy histogram storage.
+  for (int i = 0; i < 32; ++i) {
+    const EnrichedSample e = enricher.enrich(s);
+    cities.add(e);
+    ases.add(e);
+  }
+
+  const std::uint64_t before = g_alloc_count.load();
+  for (int i = 0; i < 1'000; ++i) {
+    const EnrichedSample e = enricher.enrich(s);
+    cities.add(e);
+    ases.add(e);
+  }
+  const std::uint64_t after = g_alloc_count.load();
+
+  EXPECT_EQ(after - before, 0u) << "warm aggregator path allocated";
+}
+
+}  // namespace
+}  // namespace ruru

@@ -18,8 +18,8 @@ ConnCountConfig config() {
 
 EnrichedSample sample(const std::string& src, const std::string& dst, Timestamp t) {
   EnrichedSample s;
-  s.client.city = src;
-  s.server.city = dst;
+  s.client.city_id = geo_names().intern(src);
+  s.server.city_id = geo_names().intern(dst);
   s.total = Duration::from_ms(130);
   s.completed_at = t;
   return s;

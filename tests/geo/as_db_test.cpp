@@ -25,12 +25,22 @@ TEST(AsDb, LookupByRange) {
       rec(200, 299, 15169, "Google"),
   });
   ASSERT_TRUE(db.ok());
-  const AsRecord* r = db.value().lookup(Ipv4Address(150));
-  ASSERT_NE(r, nullptr);
+  const auto r = db.value().lookup_record(Ipv4Address(150));
+  ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->asn, 9431u);
   EXPECT_EQ(r->organization, "REANNZ");
-  EXPECT_EQ(db.value().lookup(Ipv4Address(250))->asn, 15169u);
-  EXPECT_EQ(db.value().lookup(Ipv4Address(350)), nullptr);
+  EXPECT_EQ(db.value().lookup_record(Ipv4Address(250))->asn, 15169u);
+  EXPECT_FALSE(db.value().lookup_record(Ipv4Address(350)).has_value());
+}
+
+TEST(AsDb, RowAccessorsMatchRecords) {
+  auto db = AsDatabase::build({rec(100, 199, 9431, "REANNZ")});
+  ASSERT_TRUE(db.ok());
+  const std::size_t i = db.value().find(Ipv4Address(123));
+  ASSERT_NE(i, AsDatabase::npos);
+  EXPECT_EQ(db.value().asn(i), 9431u);
+  EXPECT_EQ(geo_names().view(db.value().org_id(i)), "REANNZ");
+  EXPECT_EQ(db.value().find(Ipv4Address(99)), AsDatabase::npos);
 }
 
 TEST(AsDb, RejectsOverlapsAndInversions) {
@@ -51,8 +61,8 @@ TEST(AsDb, SaveLoadRoundTrip) {
   auto loaded = AsDatabase::load(path);
   ASSERT_TRUE(loaded.ok()) << loaded.error();
   EXPECT_EQ(loaded.value().size(), 2u);
-  const AsRecord* r = loaded.value().lookup(Ipv4Address(0x0A010203));
-  ASSERT_NE(r, nullptr);
+  const auto r = loaded.value().lookup_record(Ipv4Address(0x0A010203));
+  ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->asn, 9431u);
   EXPECT_EQ(r->organization, "REANNZ Research Network");
   std::remove(path.c_str());

@@ -1,0 +1,101 @@
+#include "geo/flat_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace ruru {
+namespace {
+
+// Key whose set index is fully controlled by the test: hash() returns
+// the low bits verbatim, so keys with equal `set` collide by design.
+struct TestKey {
+  std::uint64_t set = 0;
+  std::uint64_t salt = 0;
+  friend bool operator==(const TestKey&, const TestKey&) = default;
+  [[nodiscard]] std::uint64_t hash() const { return set; }
+};
+
+using Cache = FlatCache<TestKey, int, 4>;
+
+TEST(FlatCache, MissThenHit) {
+  Cache c(64);
+  const TestKey k{1, 7};
+  EXPECT_EQ(c.find(k), nullptr);
+  *c.insert(k) = 42;
+  const int* v = c.find(k);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(FlatCache, CapacityRoundsUpToPowerOfTwoSets) {
+  Cache c(100);
+  EXPECT_GE(c.capacity(), 100u);
+  EXPECT_EQ(c.set_count() & (c.set_count() - 1), 0u);  // power of two
+  EXPECT_EQ(c.ways(), 4u);
+}
+
+TEST(FlatCache, InsertSameKeyUpdatesInPlace) {
+  Cache c(64);
+  const TestKey k{3, 1};
+  *c.insert(k) = 1;
+  *c.insert(k) = 2;
+  EXPECT_EQ(*c.find(k), 2);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(FlatCache, ExactKeyMatchNoFalseHits) {
+  // Two keys in the same set (same hash) but different identity must
+  // not alias.
+  Cache c(64);
+  const TestKey a{5, 1};
+  const TestKey b{5, 2};
+  *c.insert(a) = 10;
+  EXPECT_EQ(c.find(b), nullptr);
+  *c.insert(b) = 20;
+  EXPECT_EQ(*c.find(a), 10);
+  EXPECT_EQ(*c.find(b), 20);
+}
+
+TEST(FlatCache, EvictsLeastRecentlyUsedWayInFullSet) {
+  Cache c(64);
+  const std::uint64_t set = 2;
+  // Fill all four ways of one set.
+  for (std::uint64_t i = 0; i < 4; ++i) *c.insert(TestKey{set, i}) = static_cast<int>(i);
+  // Touch ways 1..3 so way 0 (salt 0) becomes LRU.
+  for (std::uint64_t i = 1; i < 4; ++i) EXPECT_NE(c.find(TestKey{set, i}), nullptr);
+  // A fifth key in the same set evicts the LRU way only.
+  *c.insert(TestKey{set, 99}) = 99;
+  EXPECT_EQ(c.find(TestKey{set, 0}), nullptr);  // evicted
+  for (std::uint64_t i = 1; i < 4; ++i) {
+    ASSERT_NE(c.find(TestKey{set, i}), nullptr) << i;
+    EXPECT_EQ(*c.find(TestKey{set, i}), static_cast<int>(i));
+  }
+  EXPECT_EQ(*c.find(TestKey{set, 99}), 99);
+}
+
+TEST(FlatCache, FindRefreshesRecency) {
+  Cache c(64);
+  const std::uint64_t set = 6;
+  for (std::uint64_t i = 0; i < 4; ++i) *c.insert(TestKey{set, i}) = static_cast<int>(i);
+  // Refresh way 0; way 1 is now LRU.
+  EXPECT_NE(c.find(TestKey{set, 0}), nullptr);
+  for (std::uint64_t i = 2; i < 4; ++i) EXPECT_NE(c.find(TestKey{set, i}), nullptr);
+  *c.insert(TestKey{set, 99}) = 99;
+  EXPECT_NE(c.find(TestKey{set, 0}), nullptr);  // survived
+  EXPECT_EQ(c.find(TestKey{set, 1}), nullptr);  // evicted
+}
+
+TEST(FlatCache, DistinctSetsDoNotInterfere) {
+  Cache c(64);
+  for (std::uint64_t s = 0; s < c.set_count(); ++s) *c.insert(TestKey{s, 0}) = static_cast<int>(s);
+  for (std::uint64_t s = 0; s < c.set_count(); ++s) {
+    ASSERT_NE(c.find(TestKey{s, 0}), nullptr) << s;
+    EXPECT_EQ(*c.find(TestKey{s, 0}), static_cast<int>(s));
+  }
+  EXPECT_EQ(c.size(), c.set_count());
+}
+
+}  // namespace
+}  // namespace ruru

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
 #include "geo/world.hpp"
 
 namespace ruru {
@@ -24,21 +29,21 @@ TEST(Geo6Db, LookupInsideRanges) {
       rec("2001:db8:1::", "2001:db8:1::ffff", "Los Angeles"),
   });
   ASSERT_TRUE(db.ok()) << db.error();
-  const Geo6Record* r = db.value().lookup(v6("2001:db8::42"));
-  ASSERT_NE(r, nullptr);
+  const auto r = db.value().lookup_record(v6("2001:db8::42"));
+  ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->city, "Auckland");
-  EXPECT_EQ(db.value().lookup(v6("2001:db8:1::1"))->city, "Los Angeles");
-  EXPECT_EQ(db.value().lookup(v6("2001:db8:2::1")), nullptr);
-  EXPECT_EQ(db.value().lookup(v6("::1")), nullptr);
+  EXPECT_EQ(db.value().lookup_record(v6("2001:db8:1::1"))->city, "Los Angeles");
+  EXPECT_FALSE(db.value().lookup_record(v6("2001:db8:2::1")).has_value());
+  EXPECT_FALSE(db.value().lookup_record(v6("::1")).has_value());
 }
 
 TEST(Geo6Db, RangeEndpointsInclusive) {
   auto db = Geo6Database::build({rec("2001:db8::10", "2001:db8::20", "X")});
   ASSERT_TRUE(db.ok());
-  EXPECT_NE(db.value().lookup(v6("2001:db8::10")), nullptr);
-  EXPECT_NE(db.value().lookup(v6("2001:db8::20")), nullptr);
-  EXPECT_EQ(db.value().lookup(v6("2001:db8::f")), nullptr);
-  EXPECT_EQ(db.value().lookup(v6("2001:db8::21")), nullptr);
+  EXPECT_NE(db.value().find(v6("2001:db8::10")), Geo6Database::npos);
+  EXPECT_NE(db.value().find(v6("2001:db8::20")), Geo6Database::npos);
+  EXPECT_EQ(db.value().find(v6("2001:db8::f")), Geo6Database::npos);
+  EXPECT_EQ(db.value().find(v6("2001:db8::21")), Geo6Database::npos);
 }
 
 TEST(Geo6Db, RejectsOverlapsAndInversions) {
@@ -48,6 +53,44 @@ TEST(Geo6Db, RejectsOverlapsAndInversions) {
                                    })
                    .ok());
   EXPECT_FALSE(Geo6Database::build({rec("2001:db8::ff", "2001:db8::1", "bad")}).ok());
+}
+
+TEST(Geo6Db, SaveLoadRoundTrip) {
+  const std::string path = (std::filesystem::temp_directory_path() /
+                            ("geo6_test_" + std::to_string(::getpid()) + ".db"))
+                               .string();
+  auto rec_full = rec("2001:db8::", "2001:db8::ffff", "Auckland");
+  rec_full.latitude = -36.8485;
+  rec_full.longitude = 174.7633;
+  rec_full.asn = 9431;
+  rec_full.as_org = "REANNZ";
+  auto db = Geo6Database::build({rec_full, rec("2001:db8:1::", "2001:db8:1::ffff", "LA")});
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db.value().save(path).ok());
+
+  auto loaded = Geo6Database::load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  const auto r = loaded.value().lookup_record(v6("2001:db8::42"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->city, "Auckland");
+  EXPECT_EQ(r->country, "XX");
+  EXPECT_DOUBLE_EQ(r->latitude, -36.8485);
+  EXPECT_EQ(r->asn, 9431u);
+  EXPECT_EQ(r->as_org, "REANNZ");
+  std::remove(path.c_str());
+}
+
+TEST(Geo6Db, LoadRejectsGarbage) {
+  const std::string path = (std::filesystem::temp_directory_path() /
+                            ("geo6_bad_" + std::to_string(::getpid()) + ".db"))
+                               .string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("garbage!", 1, 8, f);
+  std::fclose(f);
+  EXPECT_FALSE(Geo6Database::load(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(Geo6Database::load("/no/such/geo6.db").ok());
 }
 
 TEST(Geo6Db, DeriveFromSitePlanMatchesTrafficMapping) {
@@ -65,12 +108,12 @@ TEST(Geo6Db, DeriveFromSitePlanMatchesTrafficMapping) {
   auto db = derive_geo6(sites);
   ASSERT_TRUE(db.ok()) << db.error();
   // The traffic model maps 10.1.0.5 -> 2001:db8:6464::10.1.0.5 == ...:a01:5.
-  const Geo6Record* r = db.value().lookup(v6("2001:db8:6464::a01:5"));
-  ASSERT_NE(r, nullptr);
+  const auto r = db.value().lookup_record(v6("2001:db8:6464::a01:5"));
+  ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->city, "Auckland");
   EXPECT_EQ(r->asn, 9431u);
   // One past the block is a miss.
-  EXPECT_EQ(db.value().lookup(v6("2001:db8:6464::a01:100")), nullptr);
+  EXPECT_FALSE(db.value().lookup_record(v6("2001:db8:6464::a01:100")).has_value());
 }
 
 }  // namespace

@@ -33,30 +33,42 @@ TEST(GeoDb, LookupInsideRanges) {
   ASSERT_TRUE(db.ok()) << db.error();
   const GeoDatabase& g = db.value();
 
-  const GeoRecord* r = g.lookup(Ipv4Address(150));
-  ASSERT_NE(r, nullptr);
+  const auto r = g.lookup_record(Ipv4Address(150));
+  ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->city, "Auckland");
   EXPECT_DOUBLE_EQ(r->latitude, -36.8);
 
-  EXPECT_EQ(g.lookup(Ipv4Address(200))->city, "Los Angeles");  // range start
-  EXPECT_EQ(g.lookup(Ipv4Address(299))->city, "Los Angeles");  // range end inclusive
-  EXPECT_EQ(g.lookup(Ipv4Address(599))->city, "London");
+  EXPECT_EQ(g.lookup_record(Ipv4Address(200))->city, "Los Angeles");  // range start
+  EXPECT_EQ(g.lookup_record(Ipv4Address(299))->city, "Los Angeles");  // range end inclusive
+  EXPECT_EQ(g.lookup_record(Ipv4Address(599))->city, "London");
 }
 
-TEST(GeoDb, LookupOutsideRangesReturnsNull) {
+TEST(GeoDb, RowAccessorsMatchRecords) {
+  auto db = GeoDatabase::build({rec(100, 199, "NZ", "Auckland", -36.8, 174.7)});
+  ASSERT_TRUE(db.ok());
+  const std::size_t i = db.value().find(Ipv4Address(100));
+  ASSERT_NE(i, GeoDatabase::npos);
+  EXPECT_EQ(geo_names().view(db.value().city_id(i)), "Auckland");
+  EXPECT_EQ(geo_names().view(db.value().country_id(i)), "NZ");
+  EXPECT_DOUBLE_EQ(db.value().latitude(i), -36.8);
+  EXPECT_DOUBLE_EQ(db.value().longitude(i), 174.7);
+}
+
+TEST(GeoDb, LookupOutsideRangesReturnsNpos) {
   auto db = GeoDatabase::build({rec(100, 199, "NZ", "Auckland")});
   ASSERT_TRUE(db.ok());
-  EXPECT_EQ(db.value().lookup(Ipv4Address(99)), nullptr);
-  EXPECT_EQ(db.value().lookup(Ipv4Address(200)), nullptr);
-  EXPECT_EQ(db.value().lookup(Ipv4Address(0)), nullptr);
-  EXPECT_EQ(db.value().lookup(Ipv4Address(0xFFFFFFFF)), nullptr);
+  EXPECT_EQ(db.value().find(Ipv4Address(99)), GeoDatabase::npos);
+  EXPECT_EQ(db.value().find(Ipv4Address(200)), GeoDatabase::npos);
+  EXPECT_EQ(db.value().find(Ipv4Address(0)), GeoDatabase::npos);
+  EXPECT_EQ(db.value().find(Ipv4Address(0xFFFFFFFF)), GeoDatabase::npos);
+  EXPECT_FALSE(db.value().lookup_record(Ipv4Address(99)).has_value());
 }
 
 TEST(GeoDb, EmptyDatabase) {
   auto db = GeoDatabase::build({});
   ASSERT_TRUE(db.ok());
   EXPECT_EQ(db.value().size(), 0u);
-  EXPECT_EQ(db.value().lookup(Ipv4Address(1)), nullptr);
+  EXPECT_EQ(db.value().find(Ipv4Address(1)), GeoDatabase::npos);
 }
 
 TEST(GeoDb, BuildSortsInput) {
@@ -65,8 +77,8 @@ TEST(GeoDb, BuildSortsInput) {
       rec(100, 199, "NZ", "Auckland"),
   });
   ASSERT_TRUE(db.ok());
-  EXPECT_EQ(db.value().records()[0].city, "Auckland");
-  EXPECT_EQ(db.value().lookup(Ipv4Address(550))->city, "London");
+  EXPECT_EQ(db.value().record(0).city, "Auckland");
+  EXPECT_EQ(db.value().lookup_record(Ipv4Address(550))->city, "London");
 }
 
 TEST(GeoDb, RejectsOverlaps) {
@@ -94,8 +106,8 @@ TEST(GeoDb, SaveLoadRoundTrip) {
   auto loaded = GeoDatabase::load(path);
   ASSERT_TRUE(loaded.ok()) << loaded.error();
   ASSERT_EQ(loaded.value().size(), 2u);
-  const GeoRecord* r = loaded.value().lookup(Ipv4Address(0xC0000010));
-  ASSERT_NE(r, nullptr);
+  const auto r = loaded.value().lookup_record(Ipv4Address(0xC0000010));
+  ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->city, "Los Angeles");
   EXPECT_DOUBLE_EQ(r->latitude, 34.0522);
   EXPECT_DOUBLE_EQ(r->longitude, -118.2437);
@@ -115,7 +127,7 @@ TEST(GeoDb, LoadRejectsGarbage) {
 }
 
 TEST(GeoDb, LookupMatchesLinearScanOnRandomQueries) {
-  // Property test: binary search == brute force.
+  // Property test: radix-fronted binary search == brute force.
   std::vector<GeoRecord> records;
   std::uint32_t cursor = 0;
   Pcg32 rng(1234);
@@ -130,7 +142,7 @@ TEST(GeoDb, LookupMatchesLinearScanOnRandomQueries) {
 
   for (int q = 0; q < 5'000; ++q) {
     const Ipv4Address addr(rng.bounded(cursor + 20'000));
-    const GeoRecord* fast = db.value().lookup(addr);
+    const auto fast = db.value().lookup_record(addr);
     const GeoRecord* slow = nullptr;
     for (const auto& r : records) {
       if (addr.value() >= r.range_start && addr.value() <= r.range_end) {
@@ -139,12 +151,31 @@ TEST(GeoDb, LookupMatchesLinearScanOnRandomQueries) {
       }
     }
     if (slow == nullptr) {
-      EXPECT_EQ(fast, nullptr) << addr.to_string();
+      EXPECT_FALSE(fast.has_value()) << addr.to_string();
     } else {
-      ASSERT_NE(fast, nullptr) << addr.to_string();
+      ASSERT_TRUE(fast.has_value()) << addr.to_string();
       EXPECT_EQ(fast->city, slow->city);
     }
   }
+}
+
+TEST(GeoDb, LookupMatchesAcrossRadixBucketBoundaries) {
+  // Ranges spanning /16 boundaries exercise the skip-index edge cases:
+  // a query whose /16 bucket is empty must still find a range that
+  // started in an earlier bucket.
+  auto db = GeoDatabase::build({
+      rec(0x0001FFF0, 0x00030010, "AA", "spans-two-boundaries"),
+      rec(0x00050000, 0x0005FFFF, "BB", "aligned-block"),
+  });
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().lookup_record(Ipv4Address(0x0001FFF0))->city, "spans-two-boundaries");
+  EXPECT_EQ(db.value().lookup_record(Ipv4Address(0x00020000))->city, "spans-two-boundaries");
+  EXPECT_EQ(db.value().lookup_record(Ipv4Address(0x00028888))->city, "spans-two-boundaries");
+  EXPECT_EQ(db.value().lookup_record(Ipv4Address(0x00030010))->city, "spans-two-boundaries");
+  EXPECT_FALSE(db.value().lookup_record(Ipv4Address(0x00030011)).has_value());
+  EXPECT_FALSE(db.value().lookup_record(Ipv4Address(0x0004FFFF)).has_value());
+  EXPECT_EQ(db.value().lookup_record(Ipv4Address(0x00050000))->city, "aligned-block");
+  EXPECT_EQ(db.value().lookup_record(Ipv4Address(0x0005FFFF))->city, "aligned-block");
 }
 
 }  // namespace

@@ -26,12 +26,12 @@ TEST(World, BuildsConsistentDatabases) {
   ASSERT_TRUE(world.ok()) << world.error();
 
   const Ipv4Address akl(0x0A010042);
-  const GeoRecord* g = world.value().geo.lookup(akl);
-  ASSERT_NE(g, nullptr);
+  const auto g = world.value().geo.lookup_record(akl);
+  ASSERT_TRUE(g.has_value());
   EXPECT_EQ(g->city, "Auckland");
   EXPECT_EQ(g->country, "NZ");
-  const AsRecord* a = world.value().as.lookup(akl);
-  ASSERT_NE(a, nullptr);
+  const auto a = world.value().as.lookup_record(akl);
+  ASSERT_TRUE(a.has_value());
   EXPECT_EQ(a->asn, 9431u);
 }
 
@@ -46,7 +46,7 @@ TEST(World, MergesAdjacentSameAsnBlocks) {
   // Geo keeps 3 city records; AS merges the first two.
   EXPECT_EQ(world.value().geo.size(), 3u);
   EXPECT_EQ(world.value().as.size(), 2u);
-  EXPECT_EQ(world.value().as.lookup(Ipv4Address(0x0A0101FF))->asn, 9431u);
+  EXPECT_EQ(world.value().as.lookup_record(Ipv4Address(0x0A0101FF))->asn, 9431u);
 }
 
 TEST(World, OverlappingSitesRejected) {
@@ -67,8 +67,8 @@ TEST(World, LargeWorldGeneratorIsUsable) {
   // Every site's block resolves to its own city.
   int checked = 0;
   for (const auto& s : sites) {
-    const GeoRecord* g = world.value().geo.lookup(Ipv4Address(s.block_start + 7));
-    ASSERT_NE(g, nullptr);
+    const auto g = world.value().geo.lookup_record(Ipv4Address(s.block_start + 7));
+    ASSERT_TRUE(g.has_value());
     EXPECT_EQ(g->city, s.city);
     EXPECT_GE(g->latitude, -90.0);
     EXPECT_LE(g->latitude, 90.0);

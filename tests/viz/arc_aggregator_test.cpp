@@ -10,10 +10,10 @@ namespace {
 EnrichedSample sample(const std::string& src, const std::string& dst, std::int64_t total_ms,
                       double src_lat = -36.8, double dst_lat = 34.0) {
   EnrichedSample s;
-  s.client.city = src;
+  s.client.city_id = geo_names().intern(src);
   s.client.latitude = src_lat;
   s.client.longitude = 174.7;
-  s.server.city = dst;
+  s.server.city_id = geo_names().intern(dst);
   s.server.latitude = dst_lat;
   s.server.longitude = -118.2;
   s.total = Duration::from_ms(total_ms);

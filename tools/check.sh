@@ -13,13 +13,19 @@
 # them, and then asserts end-to-end that a metrics-enabled pipeline run
 # self-ingests "ruru.self.*" series into its own TSDB.
 #
-# Usage: tools/check.sh [thread|address|undefined|metrics]   (default: thread)
+# The `enrich` mode gates the allocation-free enrichment fast path: the
+# geo + analytics suites (interner arena, SoA range DBs with untrusted
+# loaders, set-associative flat cache, batch enrichment) built with ASan
+# AND UBSan together — the path is raw-pointer-heavy by design, so both
+# heap misuse and UB must abort the run.
+#
+# Usage: tools/check.sh [thread|address|undefined|metrics|enrich]   (default: thread)
 set -euo pipefail
 
 SAN="${1:-thread}"
 case "$SAN" in
-  thread|address|undefined|metrics) ;;
-  *) echo "usage: $0 [thread|address|undefined|metrics]" >&2; exit 2 ;;
+  thread|address|undefined|metrics|enrich) ;;
+  *) echo "usage: $0 [thread|address|undefined|metrics|enrich]" >&2; exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -42,6 +48,20 @@ if [ "$SAN" = "metrics" ]; then
   "$BUILD/tests/test_core" \
     --gtest_filter='PipelineMetricsTest.SelfIngestLandsSeriesInTheTsdb'
   echo "metrics gate OK: snapshot thread TSan-clean, self-ingest series present"
+  exit 0
+fi
+
+if [ "$SAN" = "enrich" ]; then
+  # Enrichment gate: geo DB loaders fed truncated/hostile files, the
+  # interner's lock-free read path, flat-cache eviction and the
+  # zero-allocation batch proof, all under ASan+UBSan in one build.
+  BUILD="$ROOT/build-enrich"
+  cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE=address+undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$JOBS" --target test_geo test_analytics
+  (cd "$BUILD" && ctest --output-on-failure -j"$JOBS" \
+    -R 'GeoDb|AsDb|Geo6Db|World|StringInterner|FlatCache|DbLoaderRobustness|Enricher|ZeroAlloc|Aggregator|SampleFilter|FilterChain|Pool')
+  echo "enrich gate OK: fast path ASan+UBSan-clean"
   exit 0
 fi
 
