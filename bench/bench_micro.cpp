@@ -68,10 +68,10 @@ void BM_FlowTableInsertEraseCycle(benchmark::State& state) {
     tuple.protocol = 6;
     const FlowKey key = FlowKey::from(tuple);
     bool inserted = false;
-    FlowEntry* e = table.find_or_insert(key, static_cast<std::uint32_t>(key.hash()),
-                                        Timestamp::from_ns(++t), inserted);
-    benchmark::DoNotOptimize(e);
-    if (e != nullptr) table.erase(e);
+    const FlowTable::Slot s = table.find_or_insert(key, static_cast<std::uint32_t>(key.hash()),
+                                                   Timestamp::from_ns(++t), inserted);
+    benchmark::DoNotOptimize(s);
+    if (s != FlowTable::kNoSlot) table.erase(s);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -80,7 +80,7 @@ BENCHMARK(BM_FlowTableInsertEraseCycle);
 // Ablation: same workload on std::unordered_map (allocating, no probe
 // bound) — the open-addressing table should win on the data path.
 void BM_UnorderedMapInsertEraseCycle(benchmark::State& state) {
-  std::unordered_map<FlowKey, FlowEntry> table;
+  std::unordered_map<FlowKey, FlowData> table;
   table.reserve(1 << 16);
   Pcg32 rng(1);
   for (auto _ : state) {
@@ -113,7 +113,7 @@ void BM_FlowTableLookupHit(benchmark::State& state) {
     const FlowKey key = FlowKey::from(tuple);
     const auto h = static_cast<std::uint32_t>(key.hash());
     bool inserted = false;
-    if (table.find_or_insert(key, h, Timestamp::from_sec(1), inserted) != nullptr) {
+    if (table.find_or_insert(key, h, Timestamp::from_sec(1), inserted) != FlowTable::kNoSlot) {
       keys.emplace_back(key, h);
     }
   }

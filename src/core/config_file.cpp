@@ -137,6 +137,8 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
       status = set_u64(cfg.flow_table_capacity);
     } else if (key == "flow.stale_after_s") {
       status = set_seconds(cfg.flow_stale_after);
+    } else if (key == "flow.probe_window") {
+      status = set_u64(cfg.flow_probe_window);
     } else if (key == "bus.hwm") {
       status = set_u64(cfg.bus_hwm);
     } else if (key == "bus.batch") {
@@ -204,6 +206,25 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
   }
 
   if (cfg.num_queues == 0) return make_error("config: capture.queues must be >= 1");
+  {
+    const std::size_t w = cfg.flow_probe_window;
+    if (w < 16 || (w & (w - 1)) != 0) {
+      return make_error(
+          "config: flow.probe_window must be a power of two >= 16 "
+          "(whole 16-slot probe groups), got " +
+          std::to_string(w));
+    }
+    // The table rounds its capacity up to a power of two (minimum one
+    // group); a window beyond that would probe the same groups twice.
+    std::size_t rounded_capacity = 16;
+    while (rounded_capacity < cfg.flow_table_capacity) rounded_capacity <<= 1;
+    if (w > rounded_capacity) {
+      return make_error("config: flow.probe_window (" + std::to_string(w) +
+                        ") exceeds flow.table_capacity (" +
+                        std::to_string(cfg.flow_table_capacity) + ", rounded to " +
+                        std::to_string(rounded_capacity) + ")");
+    }
+  }
   if (cfg.inject_burst_size == 0) return make_error("config: capture.inject_burst must be >= 1");
   if (cfg.enrichment_threads == 0) return make_error("config: analytics.threads must be >= 1");
   if (cfg.bus_batch_size == 0) return make_error("config: bus.batch must be >= 1");

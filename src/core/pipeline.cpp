@@ -34,7 +34,8 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
   workers_.reserve(config_.num_queues);
   for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
     auto worker = std::make_unique<QueueWorker>(*nic_, q, config_.flow_table_capacity, nullptr,
-                                                config_.flow_stale_after);
+                                                config_.flow_stale_after,
+                                                config_.flow_probe_window);
     worker->set_fast_path(config_.worker_fast_path);
     worker->set_batch_sink(
         [this](std::span<const LatencySample> samples) {
@@ -164,6 +165,12 @@ void RuruPipeline::register_metrics() {
   metrics_.register_counter_fn("flow.erases", sum_workers([](const QueueWorker& w) {
                                  return w.tracker().table().stats().erases.load();
                                }));
+  metrics_.register_counter_fn("flow.tag_mismatches", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker().table().stats().tag_mismatches.load();
+                               }));
+  metrics_.register_counter_fn("flow.sweep_evictions", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker().table().stats().sweep_evictions.load();
+                               }));
   metrics_.register_gauge_fn("flow.entries", [this] {
     std::size_t total = 0;
     for (const auto& w : workers_) total += w->tracker().table().size();
@@ -206,6 +213,8 @@ void RuruPipeline::register_metrics() {
     WorkerObs wobs;
     wobs.poll_batch = metrics_.histogram("worker.poll_batch", q);
     wobs.batch_fill = metrics_.histogram("worker.batch_fill", q);
+    wobs.flow.probe_groups = metrics_.histogram("flow.probe_groups", q);
+    wobs.flow.group_occupancy = metrics_.histogram("flow.group_occupancy", q);
     workers_[q]->set_obs(wobs);
   }
   enrichment_->set_obs_factory([this](std::size_t i) {

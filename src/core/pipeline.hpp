@@ -56,6 +56,10 @@ struct PipelineConfig {
   // --- flow tracking ---
   std::size_t flow_table_capacity = 1 << 16;  ///< per queue
   Duration flow_stale_after = Duration::from_sec(30.0);
+  /// Slots probed per flow-table lookup (a power of two ≥ 16, i.e. whole
+  /// 16-slot probe groups). Larger windows tolerate heavier hash
+  /// collisions at the cost of longer worst-case probes.
+  std::size_t flow_probe_window = 32;
   /// Worker pre-parse fast path: skip full parsing of data segments on
   /// untracked flows (see QueueWorker::set_fast_path).
   bool worker_fast_path = true;

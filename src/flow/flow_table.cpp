@@ -1,106 +1,182 @@
 #include "flow/flow_table.hpp"
 
+#include <bit>
+
 namespace ruru {
 
-FlowTable::FlowTable(std::size_t capacity, Duration stale_after) : stale_after_(stale_after) {
-  std::size_t cap = 1;
+FlowTable::FlowTable(std::size_t capacity, Duration stale_after, std::size_t probe_window,
+                     ProbeKernel kernel)
+    : stale_after_(stale_after), simd_(resolve_simd(kernel)) {
+  std::size_t cap = kFlowGroupWidth;  // at least one full group
   while (cap < capacity) cap <<= 1;
-  slots_.resize(cap);
-  mask_ = cap - 1;
+  ctrl_.assign(cap, kCtrlEmpty);
+  hot_.resize(cap);
+  last_seen_.assign(cap, 0);
+  cold_.resize(cap);
+  slot_mask_ = cap - 1;
+  group_mask_ = cap / kFlowGroupWidth - 1;
+
+  std::size_t groups = (probe_window + kFlowGroupWidth - 1) / kFlowGroupWidth;
+  if (groups == 0) groups = 1;
+  if (groups > group_mask_ + 1) groups = group_mask_ + 1;
+  window_groups_ = groups;
 }
 
-FlowEntry* FlowTable::find(const FlowKey& key, std::uint32_t rss_hash, Timestamp now) {
-  const std::size_t start = slot_for(rss_hash);
-  for (std::size_t i = 0; i < kProbeWindow; ++i) {
-    FlowEntry& e = slots_[(start + i) & mask_];
-    if (!e.occupied) continue;  // probing continues across tombstoned gaps
-    if (e.rss_hash == rss_hash && e.canonical == key.canonical) {
-      // A stale entry is a dead handshake; do not resurrect it — and
-      // release its slot now so it stops occupying the probe window and
-      // inflating size().
-      if (now - e.last_seen > stale_after_) {
-        e.occupied = false;
-        --live_;
-        ++stats_.evictions_stale;
+// The one probe core.  Semantics shared by every caller:
+//
+//  * only slots whose control tag matches are verified against the hot
+//    row (rss_hash first, then the canonical tuple); a tag hit that
+//    fails verification is a fingerprint false positive, counted in
+//    tag_mismatches (except in kContains, which is stat-free);
+//  * a verified match that went stale is a dead handshake: find and
+//    insert reclaim the slot (tombstone) and keep probing, contains
+//    skips it silently — the mutation-free variant of the same rule;
+//  * kInsert remembers the first empty-or-tombstone slot in probe order
+//    as the insertion point;
+//  * every mode stops at the first group containing an empty byte:
+//    erase() and the sweep only ever create tombstones, and inserts
+//    claim the first reusable slot in probe order, so no live key can
+//    sit past an empty byte in its probe sequence.
+template <FlowTable::ProbeMode Mode>
+FlowTable::ProbeResult FlowTable::probe(const FiveTuple& key, std::uint32_t rss_hash,
+                                        Timestamp now) {
+  const std::uint64_t h = mix(rss_hash);
+  const std::uint8_t tag = tag_of(h);
+  std::size_t group = home_group(h);
+  ProbeResult r;
+  for (std::size_t gi = 0; gi < window_groups_; ++gi, group = (group + 1) & group_mask_) {
+    ++r.groups;
+    const std::uint8_t* ctrl = ctrl_.data() + group * kFlowGroupWidth;
+    if constexpr (Mode == ProbeMode::kInsert) {
+      if (r.reuse == kNoSlot) {
+        const GroupMask reusable = group_reusable(simd_, ctrl);
+        if (reusable != 0) {
+          r.reuse = static_cast<Slot>(group * kFlowGroupWidth +
+                                      static_cast<std::size_t>(std::countr_zero(reusable)));
+        }
+      }
+    }
+    GroupMask match = group_match(simd_, ctrl, tag);
+    while (match != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(match));
+      match &= match - 1;
+      const auto slot = static_cast<Slot>(group * kFlowGroupWidth + bit);
+      const HotSlot& hs = hot_[slot];
+      if (hs.rss_hash != rss_hash || !(hs.key == key)) {
+        if constexpr (Mode != ProbeMode::kContains) ++stats_.tag_mismatches;
         continue;
       }
-      ++stats_.hits;
-      return &e;
+      if (now.ns - last_seen_[slot] > stale_after_.ns) {
+        if constexpr (Mode == ProbeMode::kContains) continue;  // dead; report a miss
+        reclaim(slot);
+        if constexpr (Mode == ProbeMode::kInsert) {
+          if (r.reuse == kNoSlot) r.reuse = slot;
+        }
+        continue;
+      }
+      r.match = slot;
+      return r;
     }
+    if (group_empty(simd_, ctrl) != 0) break;
   }
-  return nullptr;
+  return r;
+}
+
+FlowTable::Slot FlowTable::find(const FlowKey& key, std::uint32_t rss_hash, Timestamp now) {
+  const ProbeResult r = probe<ProbeMode::kFind>(key.canonical, rss_hash, now);
+  obs_.probe_groups.record(static_cast<std::int64_t>(r.groups));
+  if (r.match == kNoSlot) return kNoSlot;
+  ++stats_.hits;
+  return r.match;
 }
 
 bool FlowTable::contains(const FlowKey& key, std::uint32_t rss_hash, Timestamp now) const {
-  const std::size_t start = slot_for(rss_hash);
-  for (std::size_t i = 0; i < kProbeWindow; ++i) {
-    const FlowEntry& e = slots_[(start + i) & mask_];
-    if (!e.occupied) continue;
-    if (e.rss_hash == rss_hash && e.canonical == key.canonical) {
-      // A stale match is a dead handshake find() would evict; keep
-      // probing like find() does rather than reporting it live.
-      if (now - e.last_seen > stale_after_) continue;
-      return true;
-    }
-  }
-  return false;
+  // kContains performs no mutation — no reclamation, no stats, no
+  // histogram records (enforced by the if constexpr branches in the
+  // core) — so probing through a const_cast is sound and the method
+  // stays const for read-only callers.
+  auto& self = const_cast<FlowTable&>(*this);
+  return self.probe<ProbeMode::kContains>(key.canonical, rss_hash, now).match != kNoSlot;
 }
 
-FlowEntry* FlowTable::find_or_insert(const FlowKey& key, std::uint32_t rss_hash, Timestamp now,
-                                     bool& inserted) {
+FlowTable::Slot FlowTable::find_or_insert(const FlowKey& key, std::uint32_t rss_hash,
+                                          Timestamp now, bool& inserted) {
   inserted = false;
-  const std::size_t start = slot_for(rss_hash);
-  FlowEntry* free_slot = nullptr;
-  FlowEntry* stale_slot = nullptr;
-  for (std::size_t i = 0; i < kProbeWindow; ++i) {
-    FlowEntry& e = slots_[(start + i) & mask_];
-    if (!e.occupied) {
-      if (free_slot == nullptr) free_slot = &e;
-      continue;
+  const ProbeResult r = probe<ProbeMode::kInsert>(key.canonical, rss_hash, now);
+  obs_.probe_groups.record(static_cast<std::int64_t>(r.groups));
+  if (r.match != kNoSlot) {
+    ++stats_.hits;
+    return r.match;
+  }
+  Slot slot = r.reuse;
+  if (slot == kNoSlot) {
+    // No empty or tombstone in the window: the incremental sweep has
+    // not reached these groups yet, so reclaim their stale entries now.
+    // Preserves the pre-SIMD guarantee that an insert succeeds iff the
+    // window holds a free *or stale* slot.
+    slot = reclaim_window(rss_hash, now);
+    if (slot == kNoSlot) {
+      ++stats_.insert_failures;
+      return kNoSlot;
     }
-    const bool stale = now - e.last_seen > stale_after_;
-    if (e.rss_hash == rss_hash && e.canonical == key.canonical) {
-      if (!stale) {
-        ++stats_.hits;
-        return &e;
-      }
-      // The same flow's dead handshake: release the slot immediately
-      // instead of leaving it live-counted (an earlier free slot would
-      // otherwise win and strand it).
-      e.occupied = false;
-      --live_;
-      ++stats_.evictions_stale;
-      if (free_slot == nullptr) free_slot = &e;
-      continue;
-    }
-    if (stale && stale_slot == nullptr) stale_slot = &e;
   }
-
-  FlowEntry* slot = free_slot != nullptr ? free_slot : stale_slot;
-  if (slot == nullptr) {
-    ++stats_.insert_failures;
-    return nullptr;
-  }
-  if (slot == stale_slot) {
-    ++stats_.evictions_stale;
-    --live_;  // the stale occupant is discarded
-  }
-  *slot = FlowEntry{};
-  slot->canonical = key.canonical;
-  slot->rss_hash = rss_hash;
-  slot->occupied = true;
-  slot->last_seen = now;
+  ctrl_[slot] = tag_of(mix(rss_hash));
+  hot_[slot].key = key.canonical;
+  hot_[slot].rss_hash = rss_hash;
+  last_seen_[slot] = now.ns;
+  cold_[slot] = FlowData{};
   ++live_;
   ++stats_.inserts;
   inserted = true;
   return slot;
 }
 
-void FlowTable::erase(FlowEntry* entry) {
-  if (entry == nullptr || !entry->occupied) return;
-  entry->occupied = false;
+FlowTable::Slot FlowTable::reclaim_window(std::uint32_t rss_hash, Timestamp now) {
+  std::size_t group = home_group(mix(rss_hash));
+  Slot first = kNoSlot;
+  for (std::size_t gi = 0; gi < window_groups_; ++gi, group = (group + 1) & group_mask_) {
+    GroupMask full = group_full(simd_, ctrl_.data() + group * kFlowGroupWidth);
+    while (full != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(full));
+      full &= full - 1;
+      const auto slot = static_cast<Slot>(group * kFlowGroupWidth + bit);
+      if (now.ns - last_seen_[slot] > stale_after_.ns) {
+        reclaim(slot);
+        if (first == kNoSlot) first = slot;
+      }
+    }
+  }
+  return first;
+}
+
+void FlowTable::erase(Slot slot) {
+  if (slot == kNoSlot || (ctrl_[slot] & 0x80u) != 0) return;  // double-erase is harmless
+  ctrl_[slot] = kCtrlTombstone;
   --live_;
   ++stats_.erases;
+}
+
+std::size_t FlowTable::sweep(Timestamp now, std::size_t max_groups) {
+  const std::size_t total_groups = group_mask_ + 1;
+  if (max_groups > total_groups) max_groups = total_groups;
+  std::size_t reclaimed = 0;
+  for (std::size_t gi = 0; gi < max_groups; ++gi) {
+    const std::size_t group = sweep_cursor_;
+    sweep_cursor_ = (sweep_cursor_ + 1) & group_mask_;
+    GroupMask full = group_full(simd_, ctrl_.data() + group * kFlowGroupWidth);
+    obs_.group_occupancy.record(std::popcount(full));
+    while (full != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(full));
+      full &= full - 1;
+      const auto slot = static_cast<Slot>(group * kFlowGroupWidth + bit);
+      if (now.ns - last_seen_[slot] > stale_after_.ns) {
+        reclaim(slot);
+        ++stats_.sweep_evictions;
+        ++reclaimed;
+      }
+    }
+  }
+  return reclaimed;
 }
 
 }  // namespace ruru

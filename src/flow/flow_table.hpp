@@ -1,17 +1,36 @@
 #pragma once
-// Fixed-capacity open-addressing flow table, indexed by the RSS hash.
+// Fixed-capacity group-probed flow table, indexed by the RSS hash.
 //
 // The paper keeps per-flow handshake timestamps "in hash tables (indexed
 // by the RSS hash)" — one table per RX queue, so tables are single-
-// threaded and need no locks.  Slots are found by linear probing within
-// a bounded window; stale entries (handshakes that never completed) are
-// reclaimed in place rather than via a separate GC pass, which keeps the
-// data path allocation-free and O(probe window) worst case.
+// threaded and need no locks.  The layout is two-level, Swiss-table
+// style:
+//
+//  * a contiguous control array, one byte per slot: either a 7-bit
+//    fingerprint of the slot's hash (a "tag") or an empty/tombstone
+//    sentinel, probed one 16-slot group per vector compare
+//    (src/flow/group_probe.hpp);
+//  * an SoA split of the verification data the probe actually needs —
+//    hot: canonical five-tuple + rss_hash (one cache line per slot) and
+//    a separate last_seen array the staleness sweep scans linearly —
+//    from the cold handshake payload (three timestamps, sequence
+//    numbers, state) touched only on a verified match.
+//
+// Slots are located by probing a bounded window of consecutive groups;
+// stale entries (handshakes that never completed) are reclaimed by an
+// incremental sweep (sweep(), a few groups per burst) plus lazily when a
+// probe verifies a match against a dead entry.  Both turn the slot into
+// a tombstone, never back into "empty": inserts claim the first empty
+// *or* tombstone in probe order, so no live key ever sits past an empty
+// byte in its probe sequence — which is what lets every probe stop at
+// the first group containing an empty slot.
 
 #include <cstdint>
 #include <vector>
 
+#include "flow/group_probe.hpp"
 #include "net/five_tuple.hpp"
+#include "obs/metrics.hpp"
 #include "util/stat_cell.hpp"
 #include "util/time.hpp"
 
@@ -22,17 +41,15 @@ enum class HandshakeState : std::uint8_t {
   kAwaitAck,         ///< SYN + SYN-ACK recorded
 };
 
-struct FlowEntry {
-  FiveTuple canonical;           ///< endpoint-ordered tuple
+/// Cold per-flow payload: read/written only after a probe verified the
+/// slot, never during probing.
+struct FlowData {
   Timestamp syn_time;            ///< first SYN at the tap
   Timestamp synack_time;         ///< SYN-ACK following that SYN
-  Timestamp last_seen;           ///< for staleness eviction
   std::uint32_t syn_seq = 0;     ///< ISN of the SYN (validates the SYN-ACK)
   std::uint32_t synack_seq = 0;  ///< ISN of the SYN-ACK (validates the ACK)
-  std::uint32_t rss_hash = 0;
   HandshakeState state = HandshakeState::kAwaitSynAck;
   bool syn_forward = true;  ///< SYN travelled in canonical direction
-  bool occupied = false;
 };
 
 /// Single-writer cells (the owning worker thread): readable live by the
@@ -40,58 +57,153 @@ struct FlowEntry {
 struct FlowTableStats {
   StatCell inserts = 0;
   StatCell hits = 0;
-  StatCell evictions_stale = 0;  ///< reclaimed abandoned handshakes
+  StatCell evictions_stale = 0;  ///< reclaimed abandoned handshakes (all paths)
   StatCell insert_failures = 0;  ///< probe window full of live entries
   StatCell erases = 0;
+  StatCell tag_mismatches = 0;   ///< fingerprint matched, key/hash did not
+  StatCell sweep_evictions = 0;  ///< evictions_stale subset found by sweep()
+};
+
+/// Observability hooks, installed by the pipeline before the worker
+/// runs.  Default-constructed handles are inert no-ops.
+struct FlowTableObs {
+  obs::HistogramHandle probe_groups;     ///< groups examined per keyed probe
+  obs::HistogramHandle group_occupancy;  ///< full slots per swept group
 };
 
 class FlowTable {
  public:
-  /// `capacity` rounded up to a power of two. `stale_after`: entries not
-  /// touched for this long may be reclaimed by new inserts.
-  explicit FlowTable(std::size_t capacity, Duration stale_after = Duration::from_sec(30.0));
+  /// Slot handle: index into the table's arrays.  Valid until the slot
+  /// is erased or reclaimed; kNoSlot means "not found / not inserted".
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoSlot = 0xFFFFFFFFu;
 
-  /// Finds the live entry for `key`, or nullptr.
-  [[nodiscard]] FlowEntry* find(const FlowKey& key, std::uint32_t rss_hash, Timestamp now);
+  /// Default probe window in slots (2 groups).
+  static constexpr std::size_t kDefaultProbeWindow = 32;
+
+  /// `capacity` rounded up to a power of two (minimum one group).
+  /// `stale_after`: entries not touched for this long may be reclaimed.
+  /// `probe_window`: slots probed per lookup, rounded up to whole groups
+  /// and clamped to capacity.  `kernel`: force the scalar probe path
+  /// (tests, oracles) or let the build pick.
+  explicit FlowTable(std::size_t capacity, Duration stale_after = Duration::from_sec(30.0),
+                     std::size_t probe_window = kDefaultProbeWindow,
+                     ProbeKernel kernel = ProbeKernel::kAuto);
+
+  /// Finds the live entry for `key`, or kNoSlot.  A verified match that
+  /// went stale is reclaimed on the way (it is a dead handshake — do not
+  /// resurrect it, and release its slot so it stops inflating size()).
+  [[nodiscard]] Slot find(const FlowKey& key, std::uint32_t rss_hash, Timestamp now);
 
   /// Read-only probe: true when a live (non-stale) entry for `key`
-  /// exists. Unlike find() it mutates nothing — no hit counting, no
-  /// stale-slot reclamation — so the capture fast path can ask "is this
-  /// flow tracked?" without perturbing table state or stats.
+  /// exists.  Unlike find() it mutates nothing — no hit counting, no
+  /// stale-slot reclamation, no histogram records — so the capture fast
+  /// path can ask "is this flow tracked?" without perturbing table state
+  /// or stats (and the metrics snapshot thread can race it safely).
   [[nodiscard]] bool contains(const FlowKey& key, std::uint32_t rss_hash, Timestamp now) const;
 
-  /// Finds or inserts an entry for `key`. On insert the entry is
-  /// default-initialized with `canonical`/`rss_hash`/`occupied` set and
-  /// `inserted` reports true. Returns nullptr when the probe window has
-  /// no free or reclaimable slot (counted as insert_failure).
-  FlowEntry* find_or_insert(const FlowKey& key, std::uint32_t rss_hash, Timestamp now,
-                            bool& inserted);
+  /// Finds or inserts an entry for `key`.  On insert the slot's payload
+  /// is default-initialized, `last_seen` is set to `now` and `inserted`
+  /// reports true.  Returns kNoSlot when the probe window has no free or
+  /// reclaimable slot (counted as insert_failure).
+  Slot find_or_insert(const FlowKey& key, std::uint32_t rss_hash, Timestamp now, bool& inserted);
 
-  /// Releases the entry (after a sample is emitted or on RST).
-  void erase(FlowEntry* entry);
+  /// Releases the slot (after a sample is emitted or on RST).  The slot
+  /// becomes a tombstone; double-erase is harmless.
+  void erase(Slot slot);
 
-  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  /// Warms the control group and first hot slot of `rss_hash`'s home
+  /// group — issue one lookahead ahead of the probe that will use it.
+  void prefetch(std::uint32_t rss_hash) const {
+    const std::size_t group = home_group(mix(rss_hash));
+    __builtin_prefetch(ctrl_.data() + group * kFlowGroupWidth, 0 /*read*/, 3);
+    __builtin_prefetch(hot_.data() + group * kFlowGroupWidth, 0 /*read*/, 3);
+  }
+
+  /// Incremental staleness sweep: examines up to `max_groups` groups
+  /// from an internal cursor, tombstoning entries idle longer than
+  /// stale_after.  Called with a few groups per RX burst it retires
+  /// abandoned handshakes without a per-probe staleness check or a
+  /// stop-the-world GC pass.  Returns entries reclaimed.
+  std::size_t sweep(Timestamp now, std::size_t max_groups);
+
+  // --- slot accessors (slot must be a live handle) ---
+  [[nodiscard]] FlowData& data(Slot slot) { return cold_[slot]; }
+  [[nodiscard]] const FlowData& data(Slot slot) const { return cold_[slot]; }
+  [[nodiscard]] const FiveTuple& canonical(Slot slot) const { return hot_[slot].key; }
+  [[nodiscard]] Timestamp last_seen(Slot slot) const { return Timestamp{last_seen_[slot]}; }
+  void touch(Slot slot, Timestamp now) { last_seen_[slot] = now.ns; }
+
+  [[nodiscard]] std::size_t capacity() const { return ctrl_.size(); }
   [[nodiscard]] std::size_t size() const { return live_.load(); }
+  [[nodiscard]] std::size_t probe_window() const { return window_groups_ * kFlowGroupWidth; }
+  [[nodiscard]] bool simd_active() const { return simd_; }
   [[nodiscard]] const FlowTableStats& stats() const { return stats_; }
 
-  static constexpr std::size_t kProbeWindow = 32;
+  /// Install before the table is used (not thread-safe afterwards).
+  void set_obs(FlowTableObs obs) { obs_ = obs; }
 
  private:
-  [[nodiscard]] std::size_t slot_for(std::uint32_t rss_hash) const {
-    // The RSS hash indexes the table, as in the paper. Spread the hash's
-    // entropy over the mask with a 64-bit mix (RSS hashes of flows on
-    // one queue share low bits with the queue count).
+  /// Hot probe row: everything a verified match needs to read, one cache
+  /// line per slot.  last_seen lives in its own array so the sweep scans
+  /// ctrl_ + last_seen_ sequentially without dragging keys through cache.
+  struct alignas(64) HotSlot {
+    FiveTuple key;
+    std::uint32_t rss_hash = 0;
+  };
+
+  enum class ProbeMode { kFind, kContains, kInsert };
+
+  struct ProbeResult {
+    Slot match = kNoSlot;
+    Slot reuse = kNoSlot;  ///< first empty/tombstone in probe order (kInsert)
+    std::uint32_t groups = 0;
+  };
+
+  /// The RSS hash indexes the table, as in the paper.  Spread its
+  /// entropy with a 64-bit mix (RSS hashes of flows on one queue share
+  /// low bits with the queue count); the top 7 bits become the tag.
+  [[nodiscard]] static std::uint64_t mix(std::uint32_t rss_hash) {
     std::uint64_t h = rss_hash;
     h *= 0x9e3779b97f4a7c15ULL;
     h ^= h >> 32;
-    return static_cast<std::size_t>(h) & mask_;
+    return h;
+  }
+  [[nodiscard]] static std::uint8_t tag_of(std::uint64_t h) {
+    return static_cast<std::uint8_t>(h >> 57);  // 7 bits, 0x00..0x7F
+  }
+  [[nodiscard]] std::size_t home_group(std::uint64_t h) const {
+    return (static_cast<std::size_t>(h) & slot_mask_) / kFlowGroupWidth;
   }
 
-  std::vector<FlowEntry> slots_;
-  std::size_t mask_;
+  template <ProbeMode Mode>
+  ProbeResult probe(const FiveTuple& key, std::uint32_t rss_hash, Timestamp now);
+
+  /// Tombstones every stale entry in `rss_hash`'s probe window; returns
+  /// the first reclaimed slot (insert fallback when the window has no
+  /// empty or tombstone — the incremental sweep simply has not reached
+  /// these groups yet).
+  Slot reclaim_window(std::uint32_t rss_hash, Timestamp now);
+
+  void reclaim(Slot slot) {
+    ctrl_[slot] = kCtrlTombstone;
+    --live_;
+    ++stats_.evictions_stale;
+  }
+
+  std::vector<std::uint8_t> ctrl_;     ///< tag | empty | tombstone, per slot
+  std::vector<HotSlot> hot_;           ///< probe verification rows
+  std::vector<std::int64_t> last_seen_;  ///< Timestamp::ns, sweep-scanned
+  std::vector<FlowData> cold_;         ///< handshake payload
+  std::size_t slot_mask_;              ///< capacity - 1
+  std::size_t group_mask_;             ///< capacity/16 - 1
+  std::size_t window_groups_;          ///< probe window in groups
+  std::size_t sweep_cursor_ = 0;       ///< next group sweep() examines
   Duration stale_after_;
+  bool simd_;
   StatCell live_ = 0;  ///< occupancy gauge, snapshot-thread readable
   FlowTableStats stats_;
+  FlowTableObs obs_;
 };
 
 }  // namespace ruru

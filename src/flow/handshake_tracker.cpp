@@ -11,92 +11,109 @@ std::optional<LatencySample> HandshakeTracker::process(const PacketView& pkt, Ti
 
   if (tcp.rst()) {
     ++stats_.rst_seen;
-    if (FlowEntry* e = table_.find(key, rss_hash, rx_time)) table_.erase(e);
+    const FlowTable::Slot s = table_.find(key, rss_hash, rx_time);
+    if (s != FlowTable::kNoSlot) table_.erase(s);
     return std::nullopt;
   }
 
   if (tcp.is_syn_only()) {
     ++stats_.syn_seen;
     bool inserted = false;
-    FlowEntry* e = table_.find_or_insert(key, rss_hash, rx_time, inserted);
-    if (e == nullptr) {
+    const FlowTable::Slot s = table_.find_or_insert(key, rss_hash, rx_time, inserted);
+    if (s == FlowTable::kNoSlot) {
       ++stats_.table_drops;
       return std::nullopt;
     }
+    FlowData& d = table_.data(s);
     if (inserted) {
-      e->syn_time = rx_time;
-      e->syn_seq = tcp.seq;
-      e->syn_forward = key.forward;
-      e->state = HandshakeState::kAwaitSynAck;
-    } else if (e->state == HandshakeState::kAwaitSynAck && e->syn_forward == key.forward &&
-               e->syn_seq == tcp.seq) {
+      d.syn_time = rx_time;
+      d.syn_seq = tcp.seq;
+      d.syn_forward = key.forward;
+      d.state = HandshakeState::kAwaitSynAck;
+    } else if (d.state == HandshakeState::kAwaitSynAck && d.syn_forward == key.forward &&
+               d.syn_seq == tcp.seq) {
       // Retransmitted SYN: keep the first timestamp (paper semantics).
       ++stats_.syn_retransmissions;
-    } else if (e->syn_forward != key.forward) {
+    } else if (d.syn_forward != key.forward) {
       // Simultaneous open — out of scope for the handshake model; track
       // the earliest SYN only.
-    } else if (e->syn_seq != tcp.seq) {
+    } else if (d.syn_seq != tcp.seq) {
       // Same tuple, new ISN: a genuinely new connection attempt (port
       // reuse). Restart the measurement from this SYN.
-      e->syn_time = rx_time;
-      e->syn_seq = tcp.seq;
-      e->syn_forward = key.forward;
-      e->state = HandshakeState::kAwaitSynAck;
-      e->synack_time = Timestamp{};
+      d.syn_time = rx_time;
+      d.syn_seq = tcp.seq;
+      d.syn_forward = key.forward;
+      d.state = HandshakeState::kAwaitSynAck;
+      d.synack_time = Timestamp{};
     }
-    e->last_seen = rx_time;
+    table_.touch(s, rx_time);
     return std::nullopt;
   }
 
   if (tcp.is_syn_ack()) {
     ++stats_.synack_seen;
-    FlowEntry* e = table_.find(key, rss_hash, rx_time);
-    if (e == nullptr) {
+    const FlowTable::Slot s = table_.find(key, rss_hash, rx_time);
+    if (s == FlowTable::kNoSlot) {
       ++stats_.synack_unmatched;
       return std::nullopt;
     }
+    FlowData& d = table_.data(s);
     // The SYN-ACK must travel opposite to the SYN and acknowledge its ISN.
-    const bool direction_ok = key.forward != e->syn_forward;
-    const bool ack_ok = tcp.ack == e->syn_seq + 1;
-    if (e->state == HandshakeState::kAwaitSynAck && direction_ok && ack_ok) {
-      e->synack_time = rx_time;
-      e->synack_seq = tcp.seq;
-      e->state = HandshakeState::kAwaitAck;
+    const bool direction_ok = key.forward != d.syn_forward;
+    const bool ack_ok = tcp.ack == d.syn_seq + 1;
+    if (d.state == HandshakeState::kAwaitSynAck && direction_ok && ack_ok) {
+      d.synack_time = rx_time;
+      d.synack_seq = tcp.seq;
+      d.state = HandshakeState::kAwaitAck;
     }
     // Duplicate SYN-ACK in kAwaitAck: ignored, first one stands.
-    e->last_seen = rx_time;
+    table_.touch(s, rx_time);
     return std::nullopt;
   }
 
   if (tcp.ack_flag()) {
-    FlowEntry* e = table_.find(key, rss_hash, rx_time);
-    if (e == nullptr) return std::nullopt;  // mid-flow traffic, not tracked
-    e->last_seen = rx_time;
-    if (e->state != HandshakeState::kAwaitAck) return std::nullopt;
+    const FlowTable::Slot s = table_.find(key, rss_hash, rx_time);
+    if (s == FlowTable::kNoSlot) return std::nullopt;  // mid-flow traffic, not tracked
+    table_.touch(s, rx_time);
+    const FlowData& d = table_.data(s);
+    if (d.state != HandshakeState::kAwaitAck) return std::nullopt;
     // First ACK: same direction as the SYN, acknowledging the SYN-ACK ISN.
-    const bool direction_ok = key.forward == e->syn_forward;
-    const bool ack_ok = tcp.ack == e->synack_seq + 1;
+    const bool direction_ok = key.forward == d.syn_forward;
+    const bool ack_ok = tcp.ack == d.synack_seq + 1;
     if (!direction_ok || !ack_ok) return std::nullopt;
 
     ++stats_.ack_matched;
     LatencySample sample;
-    const FiveTuple client_oriented = e->syn_forward ? e->canonical : e->canonical.reversed();
+    const FiveTuple& canonical = table_.canonical(s);
+    const FiveTuple client_oriented = d.syn_forward ? canonical : canonical.reversed();
     sample.client = client_oriented.src;
     sample.server = client_oriented.dst;
     sample.client_port = client_oriented.src_port;
     sample.server_port = client_oriented.dst_port;
-    sample.syn_time = e->syn_time;
-    sample.synack_time = e->synack_time;
+    sample.syn_time = d.syn_time;
+    sample.synack_time = d.synack_time;
     sample.ack_time = rx_time;
     sample.rss_hash = rss_hash;
     sample.queue_id = queue_id;
     ++stats_.samples_emitted;
     // Handshake measured; free the slot so long flows cost nothing more.
-    table_.erase(e);
+    table_.erase(s);
     return sample;
   }
 
   return std::nullopt;
+}
+
+void HandshakeTracker::process_burst(std::span<const TrackedPacket> pkts, std::uint16_t queue_id,
+                                     std::vector<LatencySample>& out) {
+  const std::size_t n = pkts.size();
+  if (n != 0) table_.prefetch(pkts[0].rss_hash);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) table_.prefetch(pkts[i + 1].rss_hash);
+    if (auto s = process(pkts[i].view, pkts[i].rx_time, pkts[i].rss_hash, queue_id)) {
+      out.push_back(*s);
+    }
+  }
 }
 
 }  // namespace ruru

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "flow/flow_table.hpp"
 #include "flow/latency_sample.hpp"
@@ -31,16 +33,36 @@ struct TrackerStats {
   StatCell table_drops = 0;  ///< SYN not inserted (table pressure)
 };
 
+/// One parsed packet queued for batched tracking: everything process()
+/// needs, staged so a whole RX burst resolves with table prefetch
+/// pipelined one packet ahead.
+struct TrackedPacket {
+  PacketView view;
+  Timestamp rx_time;
+  std::uint32_t rss_hash = 0;
+};
+
 class HandshakeTracker {
  public:
   explicit HandshakeTracker(std::size_t table_capacity,
-                            Duration stale_after = Duration::from_sec(30.0))
-      : table_(table_capacity, stale_after) {}
+                            Duration stale_after = Duration::from_sec(30.0),
+                            std::size_t probe_window = FlowTable::kDefaultProbeWindow,
+                            ProbeKernel kernel = ProbeKernel::kAuto)
+      : table_(table_capacity, stale_after, probe_window, kernel) {}
 
   /// Feed one parsed TCP packet observed at `rx_time`. Returns a sample
   /// when this packet is the first ACK completing a tracked handshake.
   std::optional<LatencySample> process(const PacketView& pkt, Timestamp rx_time,
                                        std::uint32_t rss_hash, std::uint16_t queue_id);
+
+  /// Batched process(): resolves `pkts` in order, appending every
+  /// emitted sample to `out` (not cleared).  The next packet's flow-
+  /// table group is prefetched while the current one is processed —
+  /// same lookahead pipelining as Enricher::enrich_batch — so the probe
+  /// loads are warm by the time they issue.  Emitted samples and stats
+  /// are identical to calling process() per packet.
+  void process_burst(std::span<const TrackedPacket> pkts, std::uint16_t queue_id,
+                     std::vector<LatencySample>& out);
 
   /// Read-only: is `key` a live tracked handshake right now? Used by the
   /// worker fast path to skip full parsing of data segments on flows the
@@ -48,6 +70,19 @@ class HandshakeTracker {
   [[nodiscard]] bool tracking(const FlowKey& key, std::uint32_t rss_hash, Timestamp now) const {
     return table_.contains(key, rss_hash, now);
   }
+
+  /// Warm the flow-table group `rss_hash` probes into — issue ahead of
+  /// the process()/tracking() call that will need it.
+  void prefetch(std::uint32_t rss_hash) const { table_.prefetch(rss_hash); }
+
+  /// Advance the table's incremental staleness sweep (a few groups per
+  /// RX burst). Returns entries reclaimed.
+  std::size_t sweep(Timestamp now, std::size_t max_groups) {
+    return table_.sweep(now, max_groups);
+  }
+
+  /// Install before the tracker runs (not thread-safe afterwards).
+  void set_table_obs(FlowTableObs obs) { table_.set_obs(obs); }
 
   [[nodiscard]] const TrackerStats& stats() const { return stats_; }
   [[nodiscard]] const FlowTable& table() const { return table_; }

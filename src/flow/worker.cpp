@@ -5,11 +5,14 @@
 namespace ruru {
 
 QueueWorker::QueueWorker(SimNic& nic, std::uint16_t queue_id, std::size_t flow_table_capacity,
-                         SampleSink sink, Duration stale_after)
+                         SampleSink sink, Duration stale_after, std::size_t probe_window)
     : nic_(nic),
       queue_id_(queue_id),
-      tracker_(flow_table_capacity, stale_after),
-      sink_(std::move(sink)) {}
+      tracker_(flow_table_capacity, stale_after, probe_window),
+      sink_(std::move(sink)) {
+  items_.reserve(kBurst);
+  samples_.reserve(kBurst);
+}
 
 void QueueWorker::set_batch_sink(BatchSink sink, std::size_t batch_size, Duration linger) {
   batch_sink_ = std::move(sink);
@@ -27,6 +30,29 @@ void QueueWorker::flush_batch() {
   batch_.clear();  // keeps capacity: the accumulator never re-allocates
 }
 
+void QueueWorker::deliver_sample(const LatencySample& sample) {
+  // sample.ack_time is the capture timestamp of the completing packet,
+  // so batch-full and linger triggers fire exactly as they did when the
+  // sample was delivered inside the per-packet loop.
+  if (batch_sink_) {
+    if (batch_.empty()) batch_oldest_ = sample.ack_time;
+    batch_.push_back(sample);
+    if (batch_.size() >= batch_size_ ||
+        (batch_linger_.ns > 0 && sample.ack_time - batch_oldest_ >= batch_linger_)) {
+      flush_batch();
+    }
+  }
+  if (sink_) sink_(sample);
+}
+
+void QueueWorker::flush_items() {
+  if (items_.empty()) return;
+  samples_.clear();  // keeps capacity
+  tracker_.process_burst(items_, queue_id_, samples_);
+  items_.clear();
+  for (const LatencySample& s : samples_) deliver_sample(s);
+}
+
 std::size_t QueueWorker::poll_once() {
   std::array<MbufPtr, kBurst> burst;
   const std::size_t n = nic_.rx_burst(queue_id_, burst);
@@ -37,9 +63,13 @@ std::size_t QueueWorker::poll_once() {
     return 0;
   }
   obs_.poll_batch.record(static_cast<std::int64_t>(n));
+
+  // Pass 1: classify every mbuf and warm the flow-table group each one
+  // will probe.  Slow-path packets are parsed here (parsing reads only
+  // the frame, never the table, so order does not matter yet).
   for (std::size_t i = 0; i < n; ++i) {
     // Hide the next mbuf's descriptor + header-bytes miss behind the
-    // current packet's processing (the classic rx-loop prefetch).
+    // current packet's classification (the classic rx-loop prefetch).
     if (i + 1 < n) {
       const Mbuf* next = burst[i + 1].get();
       __builtin_prefetch(next, 0 /*read*/, 3);
@@ -49,44 +79,58 @@ std::size_t QueueWorker::poll_once() {
     ++stats_.packets;
     stats_.bytes += m.length();
 
+    Pending& p = pending_[i];
+    p.mbuf = static_cast<std::uint32_t>(i);
     if (fast_path_) {
       // Pre-parse probe: a pure data segment (ACK, no SYN/FIN/RST) of a
       // flow the tracker is not following can contribute nothing — no
-      // timestamp, no state transition — so skip the full parse. SYN /
-      // SYN-ACK / RST / FIN and tracked-flow segments fall through to
-      // the slow path, keeping emitted samples bit-identical.
+      // timestamp, no state transition — so it is a skip *candidate*.
+      // The skip decision itself waits for pass 2: the handshake it
+      // might belong to could complete earlier in this very burst.
       const FastProbe probe = probe_tcp_fast(m.bytes());
       constexpr std::uint8_t kSlowFlags = TcpFlags::kSyn | TcpFlags::kFin | TcpFlags::kRst;
       if (probe.eligible && (probe.tcp_flags & kSlowFlags) == 0 &&
-          (probe.tcp_flags & TcpFlags::kAck) != 0 &&
-          !tracker_.tracking(FlowKey::from(probe.tuple), m.rss_hash, m.timestamp)) {
-        ++stats_.fast_path_skips;
+          (probe.tcp_flags & TcpFlags::kAck) != 0) {
+        p.kind = Pending::Kind::kCandidate;
+        p.key = FlowKey::from(probe.tuple);
+        tracker_.prefetch(m.rss_hash);
         continue;
       }
     }
-
-    PacketView view;
-    const ParseStatus status = parse_packet(m.bytes(), view);
-    ++stats_.parse_status[static_cast<std::size_t>(status)];
-    if (status != ParseStatus::kOk) continue;
-
-    if (syn_sink_ && view.tcp.is_syn_only() && view.is_v4) {
-      syn_sink_(m.timestamp, view.ip4.dst);
-    }
-
-    if (auto sample = tracker_.process(view, m.timestamp, m.rss_hash, queue_id_)) {
-      if (batch_sink_) {
-        if (batch_.empty()) batch_oldest_ = m.timestamp;
-        batch_.push_back(*sample);
-        if (batch_.size() >= batch_size_ ||
-            (batch_linger_.ns > 0 && m.timestamp - batch_oldest_ >= batch_linger_)) {
-          flush_batch();
-        }
-      }
-      if (sink_) sink_(*sample);
-    }
-    // burst[i] destructs here -> mbuf returns to the pool.
+    p.kind = Pending::Kind::kParsed;
+    p.status = parse_packet(m.bytes(), p.view);
+    ++stats_.parse_status[static_cast<std::size_t>(p.status)];
+    if (p.status == ParseStatus::kOk) tracker_.prefetch(m.rss_hash);
   }
+
+  // Pass 2: resolve in arrival order.  Accumulated parsed packets are
+  // run through the tracker in batches; before each fast-path candidate
+  // is judged, the batch is flushed so tracking() sees current state.
+  for (std::size_t i = 0; i < n; ++i) {
+    Pending& p = pending_[i];
+    const Mbuf& m = *burst[p.mbuf];
+    if (p.kind == Pending::Kind::kCandidate) {
+      flush_items();
+      if (!tracker_.tracking(p.key, m.rss_hash, m.timestamp)) {
+        ++stats_.fast_path_skips;
+        continue;
+      }
+      // Tracked flow after all: take the full parse like the slow path.
+      p.status = parse_packet(m.bytes(), p.view);
+      ++stats_.parse_status[static_cast<std::size_t>(p.status)];
+    }
+    if (p.status != ParseStatus::kOk) continue;
+
+    if (syn_sink_ && p.view.tcp.is_syn_only() && p.view.is_v4) {
+      syn_sink_(m.timestamp, p.view.ip4.dst);
+    }
+    items_.push_back(TrackedPacket{p.view, m.timestamp, m.rss_hash});
+  }
+  flush_items();
+
+  // Retire abandoned handshakes a few groups at a time, so probes never
+  // pay a staleness scan and the table never needs a stop-the-world GC.
+  tracker_.sweep(burst[n - 1]->timestamp, kSweepGroupsPerBurst);
   return n;
 }
 

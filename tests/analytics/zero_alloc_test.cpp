@@ -1,9 +1,10 @@
-// Counting-allocator proof of the allocation-free enrichment fast path:
-// once the caches and output buffers are warm, enriching a batch and
-// feeding the id-keyed aggregators performs zero heap allocations per
-// sample.  Global operator new/delete are overridden for this test
-// binary only; the counter is read before and after the measured window
-// with no gtest machinery in between.
+// Counting-allocator proof of the allocation-free hot paths: once caches
+// and output buffers are warm, enriching a batch, feeding the id-keyed
+// aggregators, and resolving a whole RX burst through the flow table
+// (process_burst) perform zero heap allocations per sample.  Global
+// operator new/delete are overridden for this test binary only; the
+// counter is read before and after the measured window with no gtest
+// machinery in between.
 
 #include <gtest/gtest.h>
 
@@ -14,7 +15,9 @@
 
 #include "analytics/aggregator.hpp"
 #include "analytics/enricher.hpp"
+#include "flow/handshake_tracker.hpp"
 #include "geo/world.hpp"
+#include "net/packet_builder.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_alloc_count{0};
@@ -107,6 +110,75 @@ TEST(ZeroAlloc, AggregatorAddOnWarmPairsDoesNotAllocate) {
   const std::uint64_t after = g_alloc_count.load();
 
   EXPECT_EQ(after - before, 0u) << "warm aggregator path allocated";
+}
+
+TEST(ZeroAlloc, ProcessBurstSteadyStateDoesNotAllocate) {
+  // One RX burst of complete handshakes: 10 flows x (SYN, SYN-ACK, ACK).
+  // Each round inserts, matches and erases every flow, walking the whole
+  // group-probed table path — probes, claims, reclamations, sample
+  // emission — which must stay allocation-free once buffers are sized.
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int i = 0; i < 10; ++i) {
+    TcpFrameSpec syn;
+    syn.src_ip = Ipv4Address(10, 1, 0, static_cast<std::uint8_t>(i + 1));
+    syn.dst_ip = Ipv4Address(10, 2, 0, 1);
+    syn.src_port = static_cast<std::uint16_t>(40'000 + i);
+    syn.dst_port = 443;
+    syn.seq = 1000u + static_cast<std::uint32_t>(i);
+    syn.flags = TcpFlags::kSyn;
+    frames.push_back(build_tcp_frame(syn));
+
+    TcpFrameSpec synack;
+    synack.src_ip = syn.dst_ip;
+    synack.dst_ip = syn.src_ip;
+    synack.src_port = 443;
+    synack.dst_port = syn.src_port;
+    synack.seq = 5000u + static_cast<std::uint32_t>(i);
+    synack.ack = syn.seq + 1;
+    synack.flags = TcpFlags::kSyn | TcpFlags::kAck;
+    frames.push_back(build_tcp_frame(synack));
+
+    TcpFrameSpec ack;
+    ack.src_ip = syn.src_ip;
+    ack.dst_ip = syn.dst_ip;
+    ack.src_port = syn.src_port;
+    ack.dst_port = 443;
+    ack.seq = syn.seq + 1;
+    ack.ack = synack.seq + 1;
+    ack.flags = TcpFlags::kAck;
+    frames.push_back(build_tcp_frame(ack));
+  }
+
+  std::vector<TrackedPacket> burst;
+  burst.reserve(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    PacketView view;
+    ASSERT_EQ(parse_packet(frames[i], view), ParseStatus::kOk);
+    const auto rss = static_cast<std::uint32_t>(FlowKey::from(view.tuple()).hash());
+    burst.push_back({view, Timestamp::from_ms(static_cast<std::int64_t>(i)), rss});
+  }
+
+  HandshakeTracker tracker(1 << 10);
+  std::vector<LatencySample> out;
+  out.reserve(frames.size());
+
+  // Warm-up: first burst sizes nothing lazily (the table is fully built
+  // at construction), but run one anyway to mirror production state.
+  tracker.process_burst(burst, 0, out);
+  ASSERT_EQ(out.size(), 10u);
+  out.clear();
+
+  const std::uint64_t before = g_alloc_count.load();
+  for (int round = 0; round < 100; ++round) {
+    out.clear();
+    tracker.process_burst(burst, 0, out);
+    tracker.sweep(Timestamp::from_ms(30), 4);
+  }
+  const std::uint64_t after = g_alloc_count.load();
+
+  EXPECT_EQ(after - before, 0u) << "process_burst allocated in steady state";
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(tracker.table().size(), 0u);  // every handshake completed and erased
 }
 
 }  // namespace

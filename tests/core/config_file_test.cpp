@@ -128,6 +128,29 @@ TEST(PipelineConfigFile, BusBatchKeys) {
   EXPECT_FALSE(pipeline_config_from_text("[bus]\nbatch = lots\n").ok());
 }
 
+TEST(PipelineConfigFile, ProbeWindowKey) {
+  const auto r = pipeline_config_from_text("[flow]\nprobe_window = 64\n");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().flow_probe_window, 64u);
+
+  // Must be a power of two >= 16 (whole 16-slot probe groups)...
+  const auto odd = pipeline_config_from_text("[flow]\nprobe_window = 48\n");
+  ASSERT_FALSE(odd.ok());
+  EXPECT_NE(odd.error().find("power of two"), std::string::npos);
+  EXPECT_FALSE(pipeline_config_from_text("[flow]\nprobe_window = 8\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[flow]\nprobe_window = 0\n").ok());
+
+  // ...and must fit inside the (rounded) table capacity.
+  const auto wide =
+      pipeline_config_from_text("[flow]\ntable_capacity = 100\nprobe_window = 256\n");
+  ASSERT_FALSE(wide.ok());
+  EXPECT_NE(wide.error().find("exceeds flow.table_capacity"), std::string::npos);
+  EXPECT_NE(wide.error().find("rounded to 128"), std::string::npos);
+  // Window equal to the rounded capacity is the limit case, accepted.
+  EXPECT_TRUE(
+      pipeline_config_from_text("[flow]\ntable_capacity = 100\nprobe_window = 128\n").ok());
+}
+
 TEST(PipelineConfigFile, SymmetricRssToggle) {
   const auto sym = pipeline_config_from_text("[capture]\nsymmetric_rss = true\n");
   ASSERT_TRUE(sym.ok());

@@ -1,0 +1,128 @@
+#include "flow/group_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/random.hpp"
+
+namespace ruru {
+namespace {
+
+// Control arrays that hit every byte class: tags (0x00..0x7F), empties
+// (0x80) and tombstones (0xFE), in random mixtures.
+std::array<std::uint8_t, kFlowGroupWidth> random_group(Pcg32& rng) {
+  std::array<std::uint8_t, kFlowGroupWidth> g{};
+  for (auto& b : g) {
+    switch (rng.bounded(4)) {
+      case 0:
+        b = kCtrlEmpty;
+        break;
+      case 1:
+        b = kCtrlTombstone;
+        break;
+      default:
+        b = static_cast<std::uint8_t>(rng.bounded(0x80));
+        break;
+    }
+  }
+  return g;
+}
+
+TEST(GroupProbe, ScalarMatchFindsExactPositions) {
+  std::array<std::uint8_t, kFlowGroupWidth> g{};
+  g.fill(kCtrlEmpty);
+  g[0] = 0x2A;
+  g[7] = 0x2A;
+  g[15] = 0x2A;
+  EXPECT_EQ(group_match_scalar(g.data(), 0x2A), (1u << 0) | (1u << 7) | (1u << 15));
+  EXPECT_EQ(group_match_scalar(g.data(), 0x2B), 0u);
+}
+
+TEST(GroupProbe, ScalarClassMasksPartitionTheGroup) {
+  Pcg32 rng(101);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const auto g = random_group(rng);
+    const GroupMask full = group_full_scalar(g.data());
+    const GroupMask reusable = group_reusable_scalar(g.data());
+    const GroupMask empty = group_empty_scalar(g.data());
+    // Full and reusable partition all 16 positions; empty ⊆ reusable.
+    EXPECT_EQ(full & reusable, 0u);
+    EXPECT_EQ(full | reusable, 0xFFFFu);
+    EXPECT_EQ(empty & ~reusable, 0u);
+    for (std::size_t i = 0; i < kFlowGroupWidth; ++i) {
+      EXPECT_EQ((full >> i) & 1u, (g[i] & 0x80u) == 0 ? 1u : 0u);
+    }
+  }
+}
+
+TEST(GroupProbe, TagsNeverMatchSentinels) {
+  std::array<std::uint8_t, kFlowGroupWidth> g{};
+  for (std::size_t i = 0; i < kFlowGroupWidth; ++i) {
+    g[i] = (i % 2 == 0) ? kCtrlEmpty : kCtrlTombstone;
+  }
+  for (unsigned tag = 0; tag < 0x80; ++tag) {
+    EXPECT_EQ(group_match_scalar(g.data(), static_cast<std::uint8_t>(tag)), 0u);
+  }
+}
+
+#if RURU_FLOW_GROUP_SIMD
+
+TEST(GroupProbe, SimdMatchesScalarOnRandomGroupsAllTags) {
+  Pcg32 rng(202);
+  for (int iter = 0; iter < 500; ++iter) {
+    const auto g = random_group(rng);
+    for (unsigned tag = 0; tag < 0x80; ++tag) {
+      const auto t = static_cast<std::uint8_t>(tag);
+      ASSERT_EQ(group_match_simd(g.data(), t), group_match_scalar(g.data(), t))
+          << "iter " << iter << " tag " << tag;
+    }
+    ASSERT_EQ(group_empty_simd(g.data()), group_empty_scalar(g.data()));
+    ASSERT_EQ(group_full_simd(g.data()), group_full_scalar(g.data()));
+    ASSERT_EQ(group_reusable_simd(g.data()), group_reusable_scalar(g.data()));
+  }
+}
+
+TEST(GroupProbe, SimdHandlesAllEmptyAndAllFullGroups) {
+  std::array<std::uint8_t, kFlowGroupWidth> g{};
+  g.fill(kCtrlEmpty);
+  EXPECT_EQ(group_empty_simd(g.data()), 0xFFFFu);
+  EXPECT_EQ(group_full_simd(g.data()), 0u);
+  EXPECT_EQ(group_reusable_simd(g.data()), 0xFFFFu);
+  g.fill(0x3C);
+  EXPECT_EQ(group_empty_simd(g.data()), 0u);
+  EXPECT_EQ(group_full_simd(g.data()), 0xFFFFu);
+  EXPECT_EQ(group_reusable_simd(g.data()), 0u);
+  EXPECT_EQ(group_match_simd(g.data(), 0x3C), 0xFFFFu);
+}
+
+TEST(GroupProbe, ResolveSimdHonoursKernelChoice) {
+  EXPECT_TRUE(resolve_simd(ProbeKernel::kAuto));
+  EXPECT_TRUE(resolve_simd(ProbeKernel::kSimd));
+  EXPECT_FALSE(resolve_simd(ProbeKernel::kScalar));
+}
+
+TEST(GroupProbe, DispatchRoutesToRequestedKernel) {
+  Pcg32 rng(303);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto g = random_group(rng);
+    const auto tag = static_cast<std::uint8_t>(rng.bounded(0x80));
+    ASSERT_EQ(group_match(true, g.data(), tag), group_match(false, g.data(), tag));
+    ASSERT_EQ(group_empty(true, g.data()), group_empty(false, g.data()));
+    ASSERT_EQ(group_full(true, g.data()), group_full(false, g.data()));
+    ASSERT_EQ(group_reusable(true, g.data()), group_reusable(false, g.data()));
+  }
+}
+
+#else
+
+TEST(GroupProbe, ScalarOnlyBuildNeverReportsSimd) {
+  EXPECT_FALSE(kHaveGroupSimd);
+  EXPECT_FALSE(resolve_simd(ProbeKernel::kAuto));
+  EXPECT_FALSE(resolve_simd(ProbeKernel::kSimd));
+}
+
+#endif  // RURU_FLOW_GROUP_SIMD
+
+}  // namespace
+}  // namespace ruru

@@ -19,13 +19,21 @@
 # AND UBSan together — the path is raw-pointer-heavy by design, so both
 # heap misuse and UB must abort the run.
 #
-# Usage: tools/check.sh [thread|address|undefined|metrics|enrich]   (default: thread)
+# The `flow` mode gates the SIMD group-probed flow table: the flow
+# suites (control-byte kernels, probe core, batched tracking, fuzz
+# oracles, zero-alloc burst proof) under ASan+UBSan — the probe core
+# indexes raw control bytes and unions SIMD masks, so both heap misuse
+# and UB must abort — plus a TSan pass over the single-writer contract:
+# contains()/stats()/size() racing the data path from the metrics
+# snapshot thread.
+#
+# Usage: tools/check.sh [thread|address|undefined|metrics|enrich|flow]   (default: thread)
 set -euo pipefail
 
 SAN="${1:-thread}"
 case "$SAN" in
-  thread|address|undefined|metrics|enrich) ;;
-  *) echo "usage: $0 [thread|address|undefined|metrics|enrich]" >&2; exit 2 ;;
+  thread|address|undefined|metrics|enrich|flow) ;;
+  *) echo "usage: $0 [thread|address|undefined|metrics|enrich|flow]" >&2; exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -62,6 +70,30 @@ if [ "$SAN" = "enrich" ]; then
   (cd "$BUILD" && ctest --output-on-failure -j"$JOBS" \
     -R 'GeoDb|AsDb|Geo6Db|World|StringInterner|FlatCache|DbLoaderRobustness|Enricher|ZeroAlloc|Aggregator|SampleFilter|FilterChain|Pool')
   echo "enrich gate OK: fast path ASan+UBSan-clean"
+  exit 0
+fi
+
+if [ "$SAN" = "flow" ]; then
+  # Flow-table gate, part 1: every probe path under ASan+UBSan in one
+  # build — kernel parity, collision saturation, stale reclamation,
+  # scalar-vs-SIMD tracker oracles, and the counting-allocator proof
+  # that process_burst stays allocation-free.
+  BUILD="$ROOT/build-flow"
+  cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE=address+undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$JOBS" --target test_flow test_analytics
+  (cd "$BUILD" && ctest --output-on-failure -j"$JOBS" \
+    -R 'GroupProbe|FlowTable|HandshakeTracker|TrackerFuzz|TrackerOracle|Worker|ZeroAlloc')
+
+  # Part 2: the single-writer/many-reader contract under TSan.  The
+  # metrics snapshot thread reads stats()/size() (StatCells) while the
+  # owning worker mutates the table; FlowTableConcurrency drives exactly
+  # that race.
+  BUILD="$ROOT/build-thread"
+  cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$JOBS" --target test_flow
+  "$BUILD/tests/test_flow" --gtest_filter='FlowTableConcurrency.*'
+  echo "flow gate OK: probe paths ASan+UBSan-clean, stats snapshot TSan-clean"
   exit 0
 fi
 
