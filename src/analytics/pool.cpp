@@ -1,5 +1,7 @@
 #include "analytics/pool.hpp"
 
+#include "driver/eal.hpp"
+
 namespace ruru {
 
 EnrichmentPool::EnrichmentPool(std::shared_ptr<Subscription> source, const GeoDatabase& geo,
@@ -21,7 +23,16 @@ void EnrichmentPool::start() {
   started_ = true;
   threads_.reserve(thread_count_);
   for (std::size_t i = 0; i < thread_count_; ++i) {
-    threads_.emplace_back([this, i] { worker_main(i); });
+    threads_.emplace_back([this, i] {
+      if (i < pin_cpus_.size() && pin_cpus_[i] != kNoCpuPin) {
+        if (LcoreLauncher::pin_self(pin_cpus_[i])) {
+          pinned_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          pin_failures_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      worker_main(i);
+    });
   }
 }
 

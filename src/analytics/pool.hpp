@@ -55,6 +55,16 @@ class EnrichmentPool {
   /// index, so histograms shard per thread (single writer per shard).
   void set_obs_factory(ObsFactory factory) { obs_factory_ = std::move(factory); }
 
+  /// CPU pins for the pool's threads, one per worker slot (shorter lists
+  /// leave the tail unpinned; kNoCpuPin skips a slot). Best-effort, like
+  /// LcoreLauncher: failures are counted, never fatal. Call before
+  /// start().
+  void set_pin_cpus(std::vector<int> cpus) { pin_cpus_ = std::move(cpus); }
+
+  /// Threads whose affinity was applied / could not be applied.
+  [[nodiscard]] std::size_t pinned() const { return pinned_.load(); }
+  [[nodiscard]] std::size_t pin_failures() const { return pin_failures_.load(); }
+
   void start();
   /// Waits for the subscription to drain (after its publisher closes it)
   /// and joins the workers.
@@ -76,6 +86,9 @@ class EnrichmentPool {
   std::size_t thread_count_;
   std::vector<Sink> sinks_;
   ObsFactory obs_factory_;
+  std::vector<int> pin_cpus_;
+  std::atomic<std::size_t> pinned_{0};
+  std::atomic<std::size_t> pin_failures_{0};
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<Enricher>> enrichers_;
   std::atomic<std::uint64_t> processed_{0};

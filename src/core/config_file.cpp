@@ -41,6 +41,33 @@ Result<bool> parse_bool(const std::string& key, const std::string& value) {
   return make_error("config: '" + key + "' expects a boolean, got '" + value + "'");
 }
 
+/// Comma-separated CPU list, e.g. "0,1,2,3" or "0,1,-1,3" (-1 = leave
+/// that slot unpinned).
+Result<std::vector<int>> parse_cpu_list(const std::string& key, const std::string& value) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t comma = value.find(',', pos);
+    const std::string item =
+        trim(value.substr(pos, comma == std::string::npos ? comma : comma - pos));
+    pos = comma == std::string::npos ? value.size() + 1 : comma + 1;
+    if (item.empty()) {
+      return make_error("config: '" + key + "' has an empty entry in '" + value + "'");
+    }
+    if (item == "-1") {
+      out.push_back(-1);
+      continue;
+    }
+    auto v = parse_u64(key, item);
+    if (!v) return make_error(v.error());
+    if (v.value() > 1'000'000) {
+      return make_error("config: '" + key + "' CPU id out of range: '" + item + "'");
+    }
+    out.push_back(static_cast<int>(v.value()));
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<std::map<std::string, std::string>> parse_config_text(const std::string& text) {
@@ -147,6 +174,19 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
       status = set_seconds(cfg.bus_batch_linger);
     } else if (key == "analytics.threads") {
       status = set_u64(cfg.enrichment_threads);
+    } else if (key == "topology.workers") {
+      // Worker lcores and RX queues are 1:1 (one table per queue), so
+      // the topology's worker count IS the queue count.
+      status = set_u64(cfg.num_queues);
+    } else if (key == "topology.enrichers") {
+      status = set_u64(cfg.enrichment_threads);
+    } else if (key == "topology.pin_cpus") {
+      auto v = parse_cpu_list(key, value);
+      if (!v) {
+        status = make_error(v.error());
+      } else {
+        cfg.pin_cpus = std::move(v.value());
+      }
     } else if (key == "storage.per_sample") {
       status = set_bool(cfg.tsdb_store_samples);
     } else if (key == "storage.downsample_window_s") {
@@ -227,6 +267,13 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
   }
   if (cfg.inject_burst_size == 0) return make_error("config: capture.inject_burst must be >= 1");
   if (cfg.enrichment_threads == 0) return make_error("config: analytics.threads must be >= 1");
+  if (!cfg.pin_cpus.empty() && cfg.pin_cpus.size() != cfg.num_queues &&
+      cfg.pin_cpus.size() != cfg.num_queues + cfg.enrichment_threads) {
+    return make_error("config: topology.pin_cpus must list one CPU per worker (" +
+                      std::to_string(cfg.num_queues) + ") or per worker + enricher (" +
+                      std::to_string(cfg.num_queues + cfg.enrichment_threads) + "), got " +
+                      std::to_string(cfg.pin_cpus.size()));
+  }
   if (cfg.bus_batch_size == 0) return make_error("config: bus.batch must be >= 1");
   if (cfg.metrics_enabled && cfg.metrics_interval.ns <= 0) {
     return make_error("config: obs.interval_s must be > 0");

@@ -1,6 +1,8 @@
 #include "core/pipeline.hpp"
 
 #include <array>
+#include <stdexcept>
+#include <string>
 
 #include "anomaly/alert_codec.hpp"
 #include "msg/codec.hpp"
@@ -14,7 +16,25 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
       geo_(geo),
       as_(as),
       pool_(config.mempool_size, config.mbuf_size),
-      link_meter_(config.link_meter_window) {
+      link_meter_(config.link_meter_window),
+      // One fan-in lane per worker lcore: worker q is the sole producer
+      // on lane q of every subscription, so N workers flushing batches
+      // never share a ring cursor.
+      bus_(4096, config.num_queues) {
+  // Topology validation: a pin list must cover exactly the workers, or
+  // the workers plus the enrichment threads.  (A wrong-length list is a
+  // config bug — silently pinning the wrong threads would be worse than
+  // failing loudly.)
+  const std::size_t enrichers =
+      config_.enrichment_threads == 0 ? 1 : config_.enrichment_threads;
+  if (!config_.pin_cpus.empty() && config_.pin_cpus.size() != config_.num_queues &&
+      config_.pin_cpus.size() != config_.num_queues + enrichers) {
+    throw std::invalid_argument(
+        "pin_cpus must be empty, num_queues long, or num_queues + enrichment_threads long (got " +
+        std::to_string(config_.pin_cpus.size()) + " pins for " +
+        std::to_string(config_.num_queues) + " workers + " + std::to_string(enrichers) +
+        " enrichers)");
+  }
   NicConfig nic_cfg;
   nic_cfg.num_queues = config_.num_queues;
   nic_cfg.queue_depth = config_.queue_depth;
@@ -38,7 +58,7 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
                                                 config_.flow_probe_window);
     worker->set_fast_path(config_.worker_fast_path);
     worker->set_batch_sink(
-        [this](std::span<const LatencySample> samples) {
+        [this, q](std::span<const LatencySample> samples) {
           Message m = encode_latency_batch(samples);
           if (config_.metrics_enabled) {
             // Wall-clock publish stamp: anchors bus queue wait and the
@@ -46,7 +66,9 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
             // replay, so transit cannot start at the capture stamp).
             m.enqueued_at = SystemClock{}.now();
           }
-          bus_.publish(m, samples.size());
+          // Worker q is lane q's only publisher: the fan-in ticket CAS
+          // is uncontended no matter how many workers flush at once.
+          bus_.publish_lane(q, m, samples.size());
           if (synflood_) {
             for (const LatencySample& s : samples) {
               if (s.server.is_v4()) synflood_->on_completion(s.ack_time, s.server.v4);
@@ -73,15 +95,21 @@ void RuruPipeline::register_metrics() {
   // data path is not instrumented twice, and a snapshot reads live
   // values race-free. Registered unconditionally — polling only happens
   // at snapshot time, and summary() is a view over these.
-  const NicStats& nic = nic_->stats();
-  metrics_.register_counter_fn("nic.rx_packets", [&nic] { return nic.rx_packets.load(); });
-  metrics_.register_counter_fn("nic.rx_bytes", [&nic] { return nic.rx_bytes.load(); });
+  // NIC counters merge the whole-port shard and every producer-lane
+  // shard (stats_totals), so the numbers stay truthful under both
+  // single-producer and sharded injection topologies.
+  metrics_.register_counter_fn("nic.rx_packets",
+                               [this] { return nic_->stats_totals().rx_packets.load(); });
+  metrics_.register_counter_fn("nic.rx_bytes",
+                               [this] { return nic_->stats_totals().rx_bytes.load(); });
   metrics_.register_counter_fn("nic.dropped_no_mbuf",
-                               [&nic] { return nic.dropped_no_mbuf.load(); });
+                               [this] { return nic_->stats_totals().dropped_no_mbuf.load(); });
   metrics_.register_counter_fn("nic.dropped_queue_full",
-                               [&nic] { return nic.dropped_queue_full.load(); });
+                               [this] { return nic_->stats_totals().dropped_queue_full.load(); });
   metrics_.register_counter_fn("nic.dropped_oversize",
-                               [&nic] { return nic.dropped_oversize.load(); });
+                               [this] { return nic_->stats_totals().dropped_oversize.load(); });
+  metrics_.register_counter_fn("nic.dropped_misrouted",
+                               [this] { return nic_->stats_totals().dropped_misrouted.load(); });
   metrics_.register_counter_fn("mempool.alloc_failures",
                                [this] { return pool_.alloc_failures(); });
   for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
@@ -295,14 +323,22 @@ RuruPipeline::~RuruPipeline() { finish(); }
 void RuruPipeline::start() {
   if (started_) return;
   started_ = true;
+  // Pin list layout (validated in the constructor): workers first, then
+  // optionally one entry per enrichment thread.
+  if (config_.pin_cpus.size() > config_.num_queues) {
+    enrichment_->set_pin_cpus({config_.pin_cpus.begin() + config_.num_queues,
+                               config_.pin_cpus.end()});
+  }
   enrichment_->start();
-  for (auto& worker : workers_) {
-    QueueWorker* w = worker.get();
-    lcores_.launch([w](std::uint32_t, const std::atomic<bool>& stop) { w->run(stop); });
+  for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
+    QueueWorker* w = workers_[q].get();
+    const int cpu = config_.pin_cpus.empty() ? kNoCpuPin : config_.pin_cpus[q];
+    lcores_.launch([w](std::uint32_t, const std::atomic<bool>& stop) { w->run(stop); }, cpu);
   }
   if (snapshot_timer_) snapshot_timer_->start();
   RURU_LOG(kInfo, "core") << "pipeline started: " << config_.num_queues << " queues, "
-                          << config_.enrichment_threads << " enrichment threads";
+                          << config_.enrichment_threads << " enrichment threads"
+                          << (config_.pin_cpus.empty() ? "" : ", pinned topology");
 }
 
 bool RuruPipeline::inject(std::span<const std::uint8_t> frame, Timestamp rx_time) {
@@ -317,6 +353,16 @@ std::size_t RuruPipeline::inject_burst(std::span<const RxFrame> frames, bool* qu
     for (const RxFrame& f : frames) link_meter_.on_packet(f.rx_time, f.data.size());
   }
   return nic_->inject_burst(frames, queued);
+}
+
+std::size_t RuruPipeline::inject_shard(std::uint16_t queue, std::span<const RxFrame> frames,
+                                       bool* queued) {
+  return nic_->inject_shard(queue, frames, queued);
+}
+
+void RuruPipeline::meter_frames(std::span<const RxFrame> frames) {
+  if (!config_.enable_link_meter) return;
+  for (const RxFrame& f : frames) link_meter_.on_packet(f.rx_time, f.data.size());
 }
 
 void RuruPipeline::finish() {
@@ -392,6 +438,7 @@ PipelineSummary RuruPipeline::summary() const {
   s.nic.dropped_no_mbuf = snap.counter_or("nic.dropped_no_mbuf");
   s.nic.dropped_queue_full = snap.counter_or("nic.dropped_queue_full");
   s.nic.dropped_oversize = snap.counter_or("nic.dropped_oversize");
+  s.nic.dropped_misrouted = snap.counter_or("nic.dropped_misrouted");
   s.mempool_alloc_failures = snap.counter_or("mempool.alloc_failures");
   s.workers.polls = snap.counter_or("worker.polls");
   s.workers.empty_polls = snap.counter_or("worker.empty_polls");

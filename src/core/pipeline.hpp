@@ -64,6 +64,16 @@ struct PipelineConfig {
   /// untracked flows (see QueueWorker::set_fast_path).
   bool worker_fast_path = true;
 
+  // --- multi-core topology ---
+  /// CPU pins for the pipeline's threads (best-effort Linux affinity;
+  /// see LcoreLauncher). Empty = every thread runs unpinned. Otherwise
+  /// the list must carry either `num_queues` entries (one per worker
+  /// lcore, in queue order) or `num_queues + enrichment_threads`
+  /// entries (workers first, then enrichment threads) — any other
+  /// length is a topology error the constructor rejects.  kNoCpuPin
+  /// (-1) leaves an individual slot unpinned.
+  std::vector<int> pin_cpus;
+
   // --- bus / analytics ---
   std::size_t bus_hwm = 1 << 16;
   std::size_t enrichment_threads = 2;
@@ -156,6 +166,25 @@ class RuruPipeline {
   /// slots) receives per-frame success.
   std::size_t inject_burst(std::span<const RxFrame> frames, bool* queued = nullptr);
 
+  /// Sharded RX: queue `queue`'s own producer lane injects a burst of
+  /// frames pre-partitioned by queue_for() (see SimNic::inject_shard for
+  /// the one-producer-per-lane contract).  Does NOT feed the link meter
+  /// — the meter is single-writer and must see the wire in capture
+  /// order, so a sharded replay coordinator meters once via
+  /// meter_frames() before partitioning.
+  std::size_t inject_shard(std::uint16_t queue, std::span<const RxFrame> frames,
+                           bool* queued = nullptr);
+
+  /// Feed the link meter without injecting (single caller thread, frames
+  /// in capture order): the sharded replay coordinator's wire view.
+  void meter_frames(std::span<const RxFrame> frames);
+
+  /// The NIC's RSS partition function — which queue (and so which
+  /// producer lane) `frame` belongs to.
+  [[nodiscard]] std::uint16_t queue_for(std::span<const std::uint8_t> frame) const {
+    return nic_->queue_for(frame);
+  }
+
   /// Drain everything and stop all threads. Idempotent. After this the
   /// result accessors below are stable.
   void finish();
@@ -180,6 +209,9 @@ class RuruPipeline {
   }
 
   [[nodiscard]] const SimNic& nic() const { return *nic_; }
+  /// Worker lcore launcher (pin success/failure counters live here).
+  [[nodiscard]] const LcoreLauncher& lcores() const { return lcores_; }
+  [[nodiscard]] const EnrichmentPool& enrichment() const { return *enrichment_; }
   [[nodiscard]] const LinkMeter& link_meter() const { return link_meter_; }
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
   [[nodiscard]] PipelineSummary summary() const;

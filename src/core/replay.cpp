@@ -1,5 +1,6 @@
 #include "core/replay.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -16,6 +17,15 @@ bool retry_inject(RuruPipeline& pipeline, std::span<const std::uint8_t> frame, T
     if (pipeline.inject(frame, ts)) return true;
   }
   return false;  // pipeline wedged; caller counts and moves on
+}
+
+/// Lane-local variant: retry one frame on its own producer lane.
+bool retry_inject_shard(RuruPipeline& pipeline, std::uint16_t queue, const RxFrame& frame) {
+  for (int attempt = 0; attempt < 1'000'000; ++attempt) {
+    std::this_thread::yield();
+    if (pipeline.inject_shard(queue, {&frame, 1}) == 1) return true;
+  }
+  return false;
 }
 
 /// Accumulates frames and feeds the pipeline in inject_burst() calls —
@@ -76,6 +86,61 @@ ReplayStats replay_scenario(RuruPipeline& pipeline, TrafficModel& model, bool re
   injector.flush();
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return stats;
+}
+
+ReplayStats replay_scenario_sharded(RuruPipeline& pipeline, TrafficModel& model,
+                                    bool retry_drops) {
+  // Pregenerate the whole scenario serially (the model is stateful) and
+  // meter the wire once, in capture order — producer lanes must never
+  // touch the single-writer link meter.
+  std::vector<TimedFrame> wire;
+  while (auto frame = model.next()) wire.push_back(std::move(*frame));
+
+  ReplayStats stats;
+  stats.frames = wire.size();
+  std::vector<RxFrame> refs;
+  refs.reserve(wire.size());
+  for (const TimedFrame& f : wire) {
+    refs.push_back({f.frame, f.timestamp});
+    stats.bytes += f.frame.size();
+  }
+  pipeline.meter_frames(refs);
+
+  // Partition with the NIC's own RSS steering function: lane q carries
+  // exactly the frames queue q would have received from the whole-port
+  // path, so per-queue streams (and thus every worker's view) are
+  // bit-identical to single-producer replay.
+  const std::uint16_t lanes = pipeline.nic().num_queues();
+  std::vector<std::vector<RxFrame>> shard(lanes);
+  for (const RxFrame& f : refs) shard[pipeline.queue_for(f.data)].push_back(f);
+
+  const std::size_t burst =
+      pipeline.config().inject_burst_size > 0 ? pipeline.config().inject_burst_size : 1;
+  std::vector<std::uint64_t> lane_drops(lanes, 0);
+  std::vector<std::thread> producers;
+  producers.reserve(lanes);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint16_t q = 0; q < lanes; ++q) {
+    producers.emplace_back([&pipeline, &shard, &lane_drops, burst, retry_drops, q] {
+      const std::vector<RxFrame>& frames = shard[q];
+      std::unique_ptr<bool[]> queued(new bool[burst]);
+      for (std::size_t off = 0; off < frames.size(); off += burst) {
+        const std::size_t n = std::min(burst, frames.size() - off);
+        const std::span<const RxFrame> chunk(frames.data() + off, n);
+        pipeline.inject_shard(q, chunk, queued.get());
+        for (std::size_t i = 0; i < n; ++i) {
+          if (queued[i]) continue;
+          if (retry_drops && retry_inject_shard(pipeline, q, chunk[i])) continue;
+          ++lane_drops[q];
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  for (const std::uint64_t d : lane_drops) stats.inject_drops += d;
   return stats;
 }
 

@@ -38,6 +38,19 @@ ReplayStats replay_scenario(RuruPipeline& pipeline, TrafficModel& model,
 Result<ReplayStats> replay_pcap(RuruPipeline& pipeline, const std::string& path,
                                 bool retry_drops = true);
 
+/// Sharded replay: pregenerates the scenario, partitions frames with the
+/// NIC's own RSS partition function (RuruPipeline::queue_for), then runs
+/// one producer thread per RX queue, each injecting only its own shard
+/// via inject_shard().  Because the partition function IS the NIC's
+/// queue-steering hash, every per-queue stream is bit-identical to what
+/// the single-producer path would have enqueued — same workers, same
+/// samples — while injection itself scales across producer lanes instead
+/// of serialising on one thread.  The link meter is fed once by the
+/// coordinator (capture order), not by the lanes.  wall_seconds covers
+/// the parallel injection makespan, excluding pregeneration.
+ReplayStats replay_scenario_sharded(RuruPipeline& pipeline, TrafficModel& model,
+                                    bool retry_drops = true);
+
 /// Paced replay: frames are injected when the wall clock reaches
 /// `frame_time / time_scale` (time_scale 1.0 = real time, 10.0 = 10x
 /// fast-forward). This is how a live demo runs; throughput benches use

@@ -37,6 +37,23 @@ MbufPtr Mempool::alloc() {
   return MbufPtr(m);
 }
 
+std::size_t Mempool::alloc_bulk(std::span<MbufPtr> out) {
+  std::lock_guard lock(mu_);
+  const std::size_t n = out.size() < free_list_.size() ? out.size() : free_list_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Mbuf* m = free_list_.back();
+    free_list_.pop_back();
+    m->length_ = 0;
+    m->timestamp = Timestamp{};
+    m->rss_hash = 0;
+    m->queue_id = 0;
+    m->port_id = 0;
+    out[i] = MbufPtr(m);
+  }
+  alloc_failures_ += out.size() - n;
+  return n;
+}
+
 void Mempool::release(Mbuf* m) {
   std::lock_guard lock(mu_);
   free_list_.push_back(m);

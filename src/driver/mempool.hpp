@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "driver/mbuf.hpp"
@@ -25,6 +26,13 @@ class Mempool {
 
   /// Null when the pool is exhausted.
   [[nodiscard]] MbufPtr alloc();
+
+  /// Bulk alloc: fills up to `out.size()` slots under ONE lock
+  /// acquisition (rte_mempool_get_bulk's amortization) and returns the
+  /// number filled.  Missing buffers count one alloc failure each.
+  /// Producer lanes use this so sharded injection pays one mutex per
+  /// burst per lane instead of one per frame.
+  std::size_t alloc_bulk(std::span<MbufPtr> out);
 
   [[nodiscard]] std::size_t capacity() const { return count_; }
   [[nodiscard]] std::size_t available() const;

@@ -11,9 +11,24 @@ SimNic::SimNic(const NicConfig& config, Mempool& pool)
   queues_.reserve(config_.num_queues);
   staging_.resize(config_.num_queues);
   staged_frames_.resize(config_.num_queues);
+  lane_stats_.resize(config_.num_queues);
+  lane_scratch_.resize(config_.num_queues);
   for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
     queues_.push_back(std::make_unique<SpscRing<MbufPtr>>(config_.queue_depth));
   }
+}
+
+NicStats SimNic::stats_totals() const {
+  NicStats total = stats_;  // StatCell copies via relaxed loads
+  for (const NicStats& lane : lane_stats_) {
+    total.rx_packets += lane.rx_packets.load();
+    total.rx_bytes += lane.rx_bytes.load();
+    total.dropped_no_mbuf += lane.dropped_no_mbuf.load();
+    total.dropped_queue_full += lane.dropped_queue_full.load();
+    total.dropped_oversize += lane.dropped_oversize.load();
+    total.dropped_misrouted += lane.dropped_misrouted.load();
+  }
+  return total;
 }
 
 std::uint32_t SimNic::hash_frame(std::span<const std::uint8_t> frame) const {
@@ -121,6 +136,68 @@ std::size_t SimNic::inject_burst(std::span<const RxFrame> frames, bool* queued) 
     staged_frames_[q].clear();
   }
   return total;
+}
+
+std::size_t SimNic::inject_shard(std::uint16_t queue, std::span<const RxFrame> frames,
+                                 bool* queued) {
+  NicStats& stats = lane_stats_[queue];
+  LaneScratch& scratch = lane_scratch_[queue];
+  scratch.mbufs.clear();
+  scratch.frame_index.clear();
+  if (scratch.mbufs.capacity() < frames.size()) {
+    scratch.mbufs.reserve(frames.size());
+    scratch.frame_index.reserve(frames.size());
+  }
+
+  // One mempool lock for the whole burst: grab the worst-case mbuf count
+  // up front, return the unused tail after staging.
+  scratch.mbufs.resize(frames.size());
+  const std::size_t got = pool_.alloc_bulk(scratch.mbufs);
+  std::size_t staged = 0;  // mbufs[0..staged) carry assigned frames, in order
+  for (std::uint32_t i = 0; i < frames.size(); ++i) {
+    if (queued != nullptr) queued[i] = false;
+    const std::uint32_t hash = hash_frame(frames[i].data);
+    if (static_cast<std::uint16_t>(hash % config_.num_queues) != queue) {
+      ++stats.dropped_misrouted;
+      RURU_LOG_EVERY_N(kWarn, "driver", 65536)
+          << "lane " << queue << ": frame hashes to queue " << (hash % config_.num_queues)
+          << ", dropping (misrouted shard)";
+      continue;
+    }
+    if (staged >= got) {
+      ++stats.dropped_no_mbuf;
+      RURU_LOG_EVERY_N(kWarn, "driver", 65536)
+          << "mempool exhausted, dropping frames (lane " << queue << ")";
+      continue;
+    }
+    MbufPtr& mbuf = scratch.mbufs[staged];
+    if (!mbuf->assign(frames[i].data)) {
+      ++stats.dropped_oversize;
+      continue;  // slot keeps its mbuf; the next frame reuses it
+    }
+    mbuf->timestamp = frames[i].rx_time;
+    mbuf->rss_hash = hash;
+    mbuf->port_id = config_.port_id;
+    mbuf->queue_id = queue;
+    scratch.frame_index.push_back(i);
+    ++staged;
+  }
+  // Release unused pre-allocated mbufs back to the pool.
+  for (std::size_t j = staged; j < got; ++j) scratch.mbufs[j].reset();
+  const std::size_t pushed = queues_[queue]->push_burst(scratch.mbufs.data(), staged);
+  for (std::size_t j = 0; j < pushed; ++j) {
+    const std::uint32_t frame_index = scratch.frame_index[j];
+    ++stats.rx_packets;
+    stats.rx_bytes += frames[frame_index].data.size();
+    if (queued != nullptr) queued[frame_index] = true;
+  }
+  for (std::size_t j = pushed; j < staged; ++j) {
+    ++stats.dropped_queue_full;
+    scratch.mbufs[j].reset();  // return the mbuf to the pool
+  }
+  scratch.mbufs.clear();
+  scratch.frame_index.clear();
+  return pushed;
 }
 
 std::size_t SimNic::rx_burst(std::uint16_t queue, std::span<MbufPtr> out) {

@@ -7,6 +7,18 @@
 // TCP/IP 4-tuple, and enqueues the mbuf on queue `hash % nb_queues`.
 // Worker lcores drain queues with rx_burst(), exactly like rte_eth_rx_burst.
 //
+// Two producer topologies are supported, mutually exclusive per run:
+//  * whole-port single producer — inject()/inject_burst() from one
+//    thread, distributing across all queues (the original contract);
+//  * sharded lanes — one producer thread per queue calling
+//    inject_shard(q, ...), each lane feeding only its own SPSC ring.
+//    The replayer partitions frames by the same Toeplitz hash the NIC
+//    would compute, so lane q carries exactly the frames queue q would
+//    have received — per-queue streams are bit-identical to the
+//    single-producer path, and no ring ever sees two producers.
+// Per-lane stats shards keep the single-writer StatCell contract;
+// stats_totals() merges them for reporting.
+//
 // Drop accounting mirrors hardware: mempool exhaustion and full RX rings
 // are counted, never blocked on — a latency tap must not apply
 // backpressure to the wire.
@@ -32,6 +44,9 @@ struct NicStats {
   StatCell dropped_no_mbuf = 0;
   StatCell dropped_queue_full = 0;
   StatCell dropped_oversize = 0;
+  /// Sharded injection only: frames handed to a lane whose RSS hash maps
+  /// to a different queue (a replayer partition bug, never silent).
+  StatCell dropped_misrouted = 0;
 };
 
 struct NicConfig {
@@ -68,18 +83,53 @@ class SimNic {
   /// flag (so a lossless replayer can retry exactly the failures).
   std::size_t inject_burst(std::span<const RxFrame> frames, bool* queued = nullptr);
 
+  /// Sharded RX path: queue `queue`'s own producer lane injects a burst
+  /// of frames that all hash to that queue (the replayer pre-partitions
+  /// by queue_for()).  One mempool lock and one SpscRing release store
+  /// per burst; a frame whose hash maps to a different queue is counted
+  /// as a lane misroute and dropped (it would corrupt the symmetric-RSS
+  /// guarantee that both directions of a flow share one worker).
+  /// Contract: at most one producer thread per lane, and lanes must not
+  /// run concurrently with whole-port inject()/inject_burst().
+  /// Returns frames queued; `queued` (optional, frames.size() slots)
+  /// receives per-frame success.
+  std::size_t inject_shard(std::uint16_t queue, std::span<const RxFrame> frames,
+                           bool* queued = nullptr);
+
   /// Poll up to `out.size()` mbufs from `queue` (rte_eth_rx_burst).
   /// Safe to call concurrently across *different* queues.
   std::size_t rx_burst(std::uint16_t queue, std::span<MbufPtr> out);
 
   [[nodiscard]] std::uint16_t num_queues() const { return config_.num_queues; }
+  /// Whole-port producer shard only (inject()/inject_burst() callers).
+  /// Sharded-lane traffic lands in lane_stats(); use stats_totals() for
+  /// a topology-independent view.
   [[nodiscard]] const NicStats& stats() const { return stats_; }
+  /// Stats shard written only by queue `queue`'s producer lane.
+  [[nodiscard]] const NicStats& lane_stats(std::uint16_t queue) const {
+    return lane_stats_[queue];
+  }
+  /// Port shard + every lane shard, merged (relaxed loads — safe from
+  /// the metrics snapshot thread).
+  [[nodiscard]] NicStats stats_totals() const;
   [[nodiscard]] std::size_t queue_occupancy(std::uint16_t queue) const;
 
   /// RSS hash the NIC would assign to this frame (exposed for tests).
   [[nodiscard]] std::uint32_t hash_frame(std::span<const std::uint8_t> frame) const;
+  /// Queue the RSS hash of `frame` maps to — the replayer's partition
+  /// function for sharded injection.
+  [[nodiscard]] std::uint16_t queue_for(std::span<const std::uint8_t> frame) const {
+    return static_cast<std::uint16_t>(hash_frame(frame) % config_.num_queues);
+  }
 
  private:
+  /// One producer lane's reusable burst scratch (mbuf staging + frame
+  /// indexes), touched only by that lane's thread.
+  struct LaneScratch {
+    std::vector<MbufPtr> mbufs;
+    std::vector<std::uint32_t> frame_index;
+  };
+
   NicConfig config_;
   Mempool& pool_;
   ToeplitzTable rss_table_;  ///< derived from config_.rss_key once
@@ -90,6 +140,10 @@ class SimNic {
   std::vector<std::vector<MbufPtr>> staging_;
   std::vector<std::vector<std::uint32_t>> staged_frames_;
   NicStats stats_;
+  /// Sharded-injection state, indexed by queue: one stats shard and one
+  /// scratch per lane so N lanes never write one cell or one buffer.
+  std::vector<NicStats> lane_stats_;
+  std::vector<LaneScratch> lane_scratch_;
 };
 
 }  // namespace ruru

@@ -1,8 +1,18 @@
 #include "flow/flow_table.hpp"
 
 #include <bit>
+#include <cstring>
 
 namespace ruru {
+
+std::uint64_t FlowTable::fold_ip(const IpAddress& a) {
+  if (a.is_v4()) return a.v4.value();
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  std::memcpy(&hi, a.v6.bytes().data(), 8);
+  std::memcpy(&lo, a.v6.bytes().data() + 8, 8);
+  return hi ^ (lo * 0x100000001b3ULL);
+}
 
 FlowTable::FlowTable(std::size_t capacity, Duration stale_after, std::size_t probe_window,
                      ProbeKernel kernel)
@@ -11,7 +21,7 @@ FlowTable::FlowTable(std::size_t capacity, Duration stale_after, std::size_t pro
   while (cap < capacity) cap <<= 1;
   ctrl_.assign(cap, kCtrlEmpty);
   hot_.resize(cap);
-  last_seen_.assign(cap, 0);
+  last_seen_.assign(cap, kDeadNs);  // dead sentinel; see find()'s fast path
   cold_.resize(cap);
   slot_mask_ = cap - 1;
   group_mask_ = cap / kFlowGroupWidth - 1;
@@ -37,13 +47,43 @@ FlowTable::FlowTable(std::size_t capacity, Duration stale_after, std::size_t pro
 //    erase() and the sweep only ever create tombstones, and inserts
 //    claim the first reusable slot in probe order, so no live key can
 //    sit past an empty byte in its probe sequence.
-template <FlowTable::ProbeMode Mode>
+template <FlowTable::ProbeMode Mode, bool SkipHome>
 FlowTable::ProbeResult FlowTable::probe(const FiveTuple& key, std::uint32_t rss_hash,
                                         Timestamp now) {
   const std::uint64_t h = mix(rss_hash);
-  const std::uint8_t tag = tag_of(h);
-  std::size_t group = home_group(h);
   ProbeResult r;
+
+  // Home-slot short-circuit: the exact slot `h` maps to is where the
+  // no-collision insert put this key, so a clean live hit resolves with
+  // one control-byte liveness test and one hot row — no tag computation,
+  // no group compare (the tag exists to filter *scans*; a single probed
+  // slot is cheaper to verify directly).  Anything else (occupied by
+  // another key, stale entry) falls through to the full probe, which
+  // repeats the slot inside its first group and applies the usual
+  // reclamation/stat accounting exactly once.  find() inlines this same
+  // check at its call sites (flow_table.hpp) and comes in with
+  // SkipHome, so the failed check is not repeated.
+  if constexpr (!SkipHome) {
+    const std::size_t home = home_slot(h);
+    if ((ctrl_[home] & 0x80u) == 0) {  // live slot
+      const HotSlot& hs = hot_[home];
+      if (hs.rss_hash == rss_hash && hs.key == key &&
+          now.ns - last_seen_[home] <= stale_after_.ns) {
+        r.match = static_cast<Slot>(home);
+        r.groups = 1;
+        return r;
+      }
+    } else if constexpr (Mode == ProbeMode::kInsert) {
+      // Prefer the exact home slot when it is reusable (over an earlier
+      // tombstone elsewhere in the group): the next lookup of this key
+      // then takes the short-circuit.  The slot is in the first probed
+      // group, so the claim keeps the probe-stop invariant intact.
+      r.reuse = static_cast<Slot>(home);
+    }
+  }
+
+  const std::uint8_t tag = tuple_tag(key);
+  std::size_t group = home_group(h);
   for (std::size_t gi = 0; gi < window_groups_; ++gi, group = (group + 1) & group_mask_) {
     ++r.groups;
     const std::uint8_t* ctrl = ctrl_.data() + group * kFlowGroupWidth;
@@ -82,8 +122,8 @@ FlowTable::ProbeResult FlowTable::probe(const FiveTuple& key, std::uint32_t rss_
   return r;
 }
 
-FlowTable::Slot FlowTable::find(const FlowKey& key, std::uint32_t rss_hash, Timestamp now) {
-  const ProbeResult r = probe<ProbeMode::kFind>(key.canonical, rss_hash, now);
+FlowTable::Slot FlowTable::find_slow(const FlowKey& key, std::uint32_t rss_hash, Timestamp now) {
+  const ProbeResult r = probe<ProbeMode::kFind, /*SkipHome=*/true>(key.canonical, rss_hash, now);
   obs_.probe_groups.record(static_cast<std::int64_t>(r.groups));
   if (r.match == kNoSlot) return kNoSlot;
   ++stats_.hits;
@@ -120,7 +160,7 @@ FlowTable::Slot FlowTable::find_or_insert(const FlowKey& key, std::uint32_t rss_
       return kNoSlot;
     }
   }
-  ctrl_[slot] = tag_of(mix(rss_hash));
+  ctrl_[slot] = tuple_tag(key.canonical);
   hot_[slot].key = key.canonical;
   hot_[slot].rss_hash = rss_hash;
   last_seen_[slot] = now.ns;
@@ -152,6 +192,7 @@ FlowTable::Slot FlowTable::reclaim_window(std::uint32_t rss_hash, Timestamp now)
 void FlowTable::erase(Slot slot) {
   if (slot == kNoSlot || (ctrl_[slot] & 0x80u) != 0) return;  // double-erase is harmless
   ctrl_[slot] = kCtrlTombstone;
+  last_seen_[slot] = kDeadNs;
   --live_;
   ++stats_.erases;
 }

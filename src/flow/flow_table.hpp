@@ -7,9 +7,14 @@
 // style:
 //
 //  * a contiguous control array, one byte per slot: either a 7-bit
-//    fingerprint of the slot's hash (a "tag") or an empty/tombstone
-//    sentinel, probed one 16-slot group per vector compare
-//    (src/flow/group_probe.hpp);
+//    fingerprint (a "tag") or an empty/tombstone sentinel, probed one
+//    16-slot group per vector compare (src/flow/group_probe.hpp).
+//    Placement is indexed by the RSS hash (the paper's scheme) but the
+//    tag fingerprints the canonical five-tuple: flows that share an RSS
+//    hash (symmetric-RSS piles, hash-poor NICs) pile into one probe
+//    window either way, yet tuple tags keep them distinguishable at the
+//    control byte, so a pile costs one vector compare instead of a hot
+//    row verification per resident flow;
 //  * an SoA split of the verification data the probe actually needs —
 //    hot: canonical five-tuple + rss_hash (one cache line per slot) and
 //    a separate last_seen array the staleness sweep scans linearly —
@@ -26,6 +31,7 @@
 // the first group containing an empty slot.
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "flow/group_probe.hpp"
@@ -67,7 +73,12 @@ struct FlowTableStats {
 /// Observability hooks, installed by the pipeline before the worker
 /// runs.  Default-constructed handles are inert no-ops.
 struct FlowTableObs {
-  obs::HistogramHandle probe_groups;     ///< groups examined per keyed probe
+  /// Groups examined per keyed probe that engages the probe core.
+  /// find()'s home-slot short-circuit is excluded: such hits examine
+  /// exactly one slot by construction, so recording them adds a constant
+  /// bucket-1 spike and a histogram touch to the hottest path for no
+  /// distribution information.
+  obs::HistogramHandle probe_groups;
   obs::HistogramHandle group_occupancy;  ///< full slots per swept group
 };
 
@@ -81,6 +92,15 @@ class FlowTable {
   /// Default probe window in slots (2 groups).
   static constexpr std::size_t kDefaultProbeWindow = 32;
 
+  /// last_seen_ value of every dead slot (empty or tombstoned).  Any
+  /// staleness compare against it fails, which is what lets the find()
+  /// fast path skip the ctrl_ liveness byte entirely: a dead slot whose
+  /// hot row still matches the probed key is rejected by `now.ns -
+  /// last_seen` alone.  min()/2 keeps that subtraction overflow-free
+  /// for any timestamp under 2^62 ns (~146 years), the same headroom
+  /// the live-slot arithmetic already assumes.
+  static constexpr std::int64_t kDeadNs = std::numeric_limits<std::int64_t>::min() / 2;
+
   /// `capacity` rounded up to a power of two (minimum one group).
   /// `stale_after`: entries not touched for this long may be reclaimed.
   /// `probe_window`: slots probed per lookup, rounded up to whole groups
@@ -93,7 +113,28 @@ class FlowTable {
   /// Finds the live entry for `key`, or kNoSlot.  A verified match that
   /// went stale is reclaimed on the way (it is a dead handshake — do not
   /// resurrect it, and release its slot so it stops inflating size()).
-  [[nodiscard]] Slot find(const FlowKey& key, std::uint32_t rss_hash, Timestamp now);
+  ///
+  /// The home-slot fast path lives here in the header so callers inline
+  /// the common case — a clean hit on the exact slot the hash maps to —
+  /// down to two cache lines (hot row + last_seen) and the compares, no
+  /// function call.  Liveness needs no ctrl_ read: dead slots (empty or
+  /// tombstoned) carry the kDeadNs last_seen sentinel, so the staleness
+  /// compare rejects them even when their hot row still holds the old
+  /// key.  Everything else (displaced keys, stale entries, misses)
+  /// takes find_slow().  (Two bigger inline bodies were tried and
+  /// measured slower: inlining the whole probe, and an inline tag scan
+  /// of successor slots — both inflate the caller loop past what they
+  /// gain.)
+  [[nodiscard]] Slot find(const FlowKey& key, std::uint32_t rss_hash, Timestamp now) {
+    const std::size_t home = home_slot(mix(rss_hash));
+    const HotSlot& hs = hot_[home];
+    if (hs.rss_hash == rss_hash && hs.key == key.canonical &&
+        now.ns - last_seen_[home] <= stale_after_.ns) [[likely]] {
+      ++stats_.hits;
+      return static_cast<Slot>(home);
+    }
+    return find_slow(key, rss_hash, now);
+  }
 
   /// Read-only probe: true when a live (non-stale) entry for `key`
   /// exists.  Unlike find() it mutates nothing — no hit counting, no
@@ -162,22 +203,49 @@ class FlowTable {
 
   /// The RSS hash indexes the table, as in the paper.  Spread its
   /// entropy with a 64-bit mix (RSS hashes of flows on one queue share
-  /// low bits with the queue count); the top 7 bits become the tag.
+  /// low bits with the queue count).
   [[nodiscard]] static std::uint64_t mix(std::uint32_t rss_hash) {
     std::uint64_t h = rss_hash;
     h *= 0x9e3779b97f4a7c15ULL;
     h ^= h >> 32;
     return h;
   }
-  [[nodiscard]] static std::uint8_t tag_of(std::uint64_t h) {
-    return static_cast<std::uint8_t>(h >> 57);  // 7 bits, 0x00..0x7F
+  /// One 64-bit fold of an address (v4: the word; v6: both halves mixed).
+  [[nodiscard]] static std::uint64_t fold_ip(const IpAddress& a);
+  /// Control tag: a 7-bit fingerprint of the *canonical five-tuple*, not
+  /// the RSS hash.  Flows that share an RSS hash share a home group and
+  /// a probe window by design, so an RSS-derived tag would match every
+  /// slot of the pile and force a hot-row verification per resident
+  /// flow; the tuple tag keeps pile members apart at the control byte.
+  /// Word folds + two multiplies — no byte loop (FlowKey::hash is FNV
+  /// and too slow for a per-probe path).
+  [[nodiscard]] static std::uint8_t tuple_tag(const FiveTuple& t) {
+    std::uint64_t h = fold_ip(t.src) * 0xff51afd7ed558ccdULL;
+    h ^= fold_ip(t.dst) * 0xc4ceb9fe1a85ec53ULL;
+    h ^= (static_cast<std::uint64_t>(t.src_port) << 32) |
+         (static_cast<std::uint64_t>(t.dst_port) << 16) | t.protocol;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return static_cast<std::uint8_t>((h >> 25) & 0x7F);  // 7 bits, 0x00..0x7F
   }
   [[nodiscard]] std::size_t home_group(std::uint64_t h) const {
     return (static_cast<std::size_t>(h) & slot_mask_) / kFlowGroupWidth;
   }
+  /// Exact slot `h` lands on — the first slot examined, inside the home
+  /// group.  Inserts prefer it when it is free and lookups short-circuit
+  /// on it, so in the common no-collision case a hit costs one control
+  /// byte compare and one hot row, no group scan at all.
+  [[nodiscard]] std::size_t home_slot(std::uint64_t h) const {
+    return static_cast<std::size_t>(h) & slot_mask_;
+  }
 
-  template <ProbeMode Mode>
+  /// SkipHome: the caller already ran (and failed) the home-slot
+  /// short-circuit — find()'s inline fast path — so don't repeat it.
+  template <ProbeMode Mode, bool SkipHome = false>
   ProbeResult probe(const FiveTuple& key, std::uint32_t rss_hash, Timestamp now);
+
+  /// Full probe behind find()'s inline home-slot fast path.
+  [[nodiscard]] Slot find_slow(const FlowKey& key, std::uint32_t rss_hash, Timestamp now);
 
   /// Tombstones every stale entry in `rss_hash`'s probe window; returns
   /// the first reclaimed slot (insert fallback when the window has no
@@ -187,6 +255,7 @@ class FlowTable {
 
   void reclaim(Slot slot) {
     ctrl_[slot] = kCtrlTombstone;
+    last_seen_[slot] = kDeadNs;  // keep the ctrl-free fast path honest
     --live_;
     ++stats_.evictions_stale;
   }

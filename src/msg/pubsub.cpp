@@ -2,6 +2,53 @@
 
 namespace ruru {
 
+std::optional<Message> Subscription::try_recv() {
+  if (lanes_.empty()) return queue_.try_pop();
+  // Rotate the scan start so a consumer pool drains lanes fairly and no
+  // lane starves behind a chatty one.
+  const std::size_t total = lanes_.size() + 1;  // + shared queue
+  const std::size_t start =
+      static_cast<std::size_t>(rr_.fetch_add(1, std::memory_order_relaxed)) % total;
+  for (std::size_t k = 0; k < total; ++k) {
+    const std::size_t idx = (start + k) % total;
+    BusQueue<Message>& q = idx < lanes_.size() ? *lanes_[idx] : queue_;
+    if (auto v = q.try_pop()) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> Subscription::recv() {
+  if (lanes_.empty()) return queue_.pop();
+  detail::Backoff backoff;
+  while (true) {
+    if (auto v = try_recv()) return v;
+    if (closed_and_drained()) return std::nullopt;
+    backoff.pause();
+  }
+}
+
+bool Subscription::closed_and_drained() const {
+  // Same contract as BusQueue::pop: a push that claimed its ring ticket
+  // before close() is counted by size(), so closed + all-empty means
+  // nothing more can arrive.
+  if (!queue_.closed() || queue_.size() != 0) return false;
+  for (const auto& lane : lanes_) {
+    if (!lane->closed() || lane->size() != 0) return false;
+  }
+  return true;
+}
+
+std::size_t Subscription::pending() const {
+  std::size_t n = queue_.size();
+  for (const auto& lane : lanes_) n += lane->size();
+  return n;
+}
+
+void Subscription::close() {
+  queue_.close();
+  for (auto& lane : lanes_) lane->close();
+}
+
 PubSocket::~PubSocket() {
   SubNode* node = head_.load(std::memory_order_acquire);
   while (node != nullptr) {
@@ -14,7 +61,7 @@ PubSocket::~PubSocket() {
 std::shared_ptr<Subscription> PubSocket::subscribe(std::string topic_prefix, std::size_t hwm,
                                                    HwmPolicy policy) {
   auto sub = std::make_shared<Subscription>(std::move(topic_prefix),
-                                            hwm != 0 ? hwm : default_hwm_, policy);
+                                            hwm != 0 ? hwm : default_hwm_, policy, fanin_lanes_);
   auto* node = new SubNode{sub, head_.load(std::memory_order_relaxed)};
   while (!head_.compare_exchange_weak(node->next, node, std::memory_order_release,
                                       std::memory_order_relaxed)) {
@@ -30,6 +77,20 @@ std::size_t PubSocket::publish(const Message& message, std::uint64_t samples) {
        node = node->next) {
     if (topic.starts_with(node->sub->prefix())) {
       if (node->sub->offer(message, samples)) ++accepted;
+    }
+  }
+  return accepted;
+}
+
+std::size_t PubSocket::publish_lane(std::size_t lane, const Message& message,
+                                    std::uint64_t samples) {
+  published_.fetch_add(samples, std::memory_order_relaxed);
+  std::size_t accepted = 0;
+  const std::string_view topic = message.topic();
+  for (SubNode* node = head_.load(std::memory_order_acquire); node != nullptr;
+       node = node->next) {
+    if (topic.starts_with(node->sub->prefix())) {
+      if (node->sub->offer_lane(lane, message, samples)) ++accepted;
     }
   }
   return accepted;

@@ -5,13 +5,25 @@
 //  * a publisher never blocks — a subscriber whose queue is at its HWM
 //    loses the message (the tap must not backpressure the capture path);
 //  * subscription is by topic prefix;
-//  * delivery is per-subscriber FIFO.
+//  * delivery is per-subscriber FIFO (per publisher lane, see below).
 //
 // The publish path is lock-free end to end: the subscriber list is an
 // immutable atomic snapshot (copy-on-subscribe, never copy-on-publish),
 // per-subscription queues are lock-free rings (BusQueue) and all
 // counters are atomics.  Under HwmPolicy::kDrop a publish acquires no
 // mutex regardless of subscriber count or contention.
+//
+// Fan-in lanes: with N worker lcores all flushing latency batches into
+// one subscriber, a single MPMC ring makes every worker CAS-contend on
+// one ticket cursor.  A PubSocket constructed with `fanin_lanes = N`
+// gives every subscription N per-lane queues plus one shared queue;
+// worker w publishes via publish_lane(w, ...) and is the ONLY producer
+// on lane w's ring, so its ticket CAS never loses — fan-in scales with
+// worker count instead of serialising on one cursor.  Consumers
+// round-robin the lanes (fair, MPMC-safe for a consumer pool), which
+// preserves per-worker FIFO ordering; cross-lane order is unspecified,
+// exactly like N ZeroMQ publishers into one SUB.  publish() (alerts,
+// control-plane traffic) uses the shared queue and needs no lane.
 //
 // Counters are denominated in *samples*, not messages: publish() takes
 // the number of samples the message carries (a batched latency frame
@@ -23,6 +35,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "msg/bus_queue.hpp"
 #include "msg/message.hpp"
@@ -37,15 +50,27 @@ enum class HwmPolicy {
 
 class Subscription {
  public:
-  Subscription(std::string topic_prefix, std::size_t hwm, HwmPolicy policy = HwmPolicy::kDrop)
-      : prefix_(std::move(topic_prefix)), queue_(hwm), policy_(policy) {}
+  /// `lanes` per-publisher-lane queues are created in addition to the
+  /// shared queue; each gets the full `hwm` (the HWM bounds per-worker
+  /// backlog, so one stalled consumer loses batches lane by lane).
+  Subscription(std::string topic_prefix, std::size_t hwm, HwmPolicy policy = HwmPolicy::kDrop,
+               std::size_t lanes = 0)
+      : prefix_(std::move(topic_prefix)), queue_(hwm), policy_(policy) {
+    lanes_.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      lanes_.push_back(std::make_unique<BusQueue<Message>>(hwm));
+    }
+  }
 
-  /// Blocking receive; nullopt after close() with the queue drained.
-  std::optional<Message> recv() { return queue_.pop(); }
-  /// Non-blocking receive.
-  std::optional<Message> try_recv() { return queue_.try_pop(); }
+  /// Blocking receive; nullopt after close() with every queue drained.
+  /// MPMC-safe: a consumer pool can share one subscription.
+  std::optional<Message> recv();
+  /// Non-blocking receive; scans every lane (round-robin start for
+  /// fairness) then the shared queue.
+  std::optional<Message> try_recv();
 
   [[nodiscard]] const std::string& prefix() const { return prefix_; }
+  [[nodiscard]] std::size_t lanes() const { return lanes_.size(); }
   /// Samples lost to the HWM (whole batches count all their samples).
   [[nodiscard]] std::uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
@@ -54,17 +79,25 @@ class Subscription {
   [[nodiscard]] std::uint64_t delivered() const {
     return delivered_.load(std::memory_order_relaxed);
   }
-  /// Queued messages (not samples) awaiting receive.
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  /// Queued messages (not samples) awaiting receive, across all lanes.
+  [[nodiscard]] std::size_t pending() const;
 
-  void close() { queue_.close(); }
+  void close();
 
  private:
   friend class PubSocket;
   /// `samples`: how many samples `m` carries (counter weight).
   /// Shares frames either way — no byte copy. Mutex-free.
-  bool offer(const Message& m, std::uint64_t samples) {
-    const bool ok = policy_ == HwmPolicy::kBlock ? queue_.push(m) : queue_.try_push(m);
+  bool offer(const Message& m, std::uint64_t samples) { return offer_to(queue_, m, samples); }
+  /// Lane-targeted offer: lands on lane `lane`'s queue (single producer
+  /// per lane by contract -> uncontended ticket CAS).  A lane index past
+  /// what this subscription was built with falls back to the shared
+  /// queue, so publish_lane is safe against mixed-topology subscribers.
+  bool offer_lane(std::size_t lane, const Message& m, std::uint64_t samples) {
+    return offer_to(lane < lanes_.size() ? *lanes_[lane] : queue_, m, samples);
+  }
+  bool offer_to(BusQueue<Message>& q, const Message& m, std::uint64_t samples) {
+    const bool ok = policy_ == HwmPolicy::kBlock ? q.push(m) : q.try_push(m);
     if (ok) {
       delivered_.fetch_add(samples, std::memory_order_relaxed);
     } else {
@@ -72,17 +105,26 @@ class Subscription {
     }
     return ok;
   }
+  [[nodiscard]] bool closed_and_drained() const;
 
   std::string prefix_;
-  BusQueue<Message> queue_;
+  BusQueue<Message> queue_;  ///< shared (lane-less publish) queue
+  /// Per-publisher-lane queues; unique_ptr because BusQueue is pinned.
+  std::vector<std::unique_ptr<BusQueue<Message>>> lanes_;
   HwmPolicy policy_;
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  /// Round-robin receive cursor (fairness across lanes, shared by a
+  /// consumer pool).
+  std::atomic<std::uint64_t> rr_{0};
 };
 
 class PubSocket {
  public:
-  explicit PubSocket(std::size_t default_hwm = 4096) : default_hwm_(default_hwm) {}
+  /// `fanin_lanes`: per-lane queues every future subscription gets (one
+  /// per publishing worker; 0 = classic single-queue subscriptions).
+  explicit PubSocket(std::size_t default_hwm = 4096, std::size_t fanin_lanes = 0)
+      : default_hwm_(default_hwm), fanin_lanes_(fanin_lanes) {}
   ~PubSocket();
 
   PubSocket(const PubSocket&) = delete;
@@ -100,13 +142,21 @@ class PubSocket {
   /// the number of subscribers that accepted the message.
   std::size_t publish(const Message& message, std::uint64_t samples = 1);
 
+  /// Lane-targeted publish: worker `lane`'s batches land on each
+  /// subscriber's lane-`lane` queue.  Contract: at most one thread
+  /// publishes on a given lane, which makes the ring's ticket CAS
+  /// uncontended — N workers fan in without sharing a cursor.  Same
+  /// no-block/no-mutex guarantees as publish().
+  std::size_t publish_lane(std::size_t lane, const Message& message, std::uint64_t samples = 1);
+
   /// Close every subscription (consumers drain then see nullopt).
   void close_all();
 
-  /// Samples published (sum of publish() weights).
+  /// Samples published (sum of publish()/publish_lane() weights).
   [[nodiscard]] std::uint64_t published() const {
     return published_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::size_t fanin_lanes() const { return fanin_lanes_; }
   [[nodiscard]] std::size_t subscriber_count() const;
 
  private:
@@ -119,6 +169,7 @@ class PubSocket {
   };
 
   std::size_t default_hwm_;
+  std::size_t fanin_lanes_;
   std::atomic<SubNode*> head_{nullptr};
   std::atomic<std::uint64_t> published_{0};
 };

@@ -82,8 +82,7 @@ const MetricRate* SnapshotDelta::counter(std::string_view name) const {
 
 // --- HistogramHandle ---
 
-void HistogramHandle::record(std::int64_t value) const {
-  if (shard_ == nullptr) return;
+void HistogramHandle::record_impl(std::int64_t value) const {
   if (value < 0) value = 0;
   detail::HistShard& s = *shard_;
   const std::size_t idx = Histogram::bucket_index(value);
@@ -107,8 +106,7 @@ void HistogramHandle::record(std::int64_t value) const {
   s.count.store(n + 1, std::memory_order_relaxed);
 }
 
-void HistogramHandle::record_shared(std::int64_t value) const {
-  if (shard_ == nullptr) return;
+void HistogramHandle::record_shared_impl(std::int64_t value) const {
   if (value < 0) value = 0;
   detail::HistShard& s = *shard_;
   s.buckets[Histogram::bucket_index(value)].fetch_add(1, std::memory_order_relaxed);

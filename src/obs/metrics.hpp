@@ -170,19 +170,31 @@ class GaugeHandle {
 class HistogramHandle {
  public:
   HistogramHandle() = default;
-  void record(std::int64_t value) const;
+  /// Inert handles (no shard attached) must cost one predictable branch
+  /// at the record site — record() sits inside find()/poll loops, so
+  /// the null check is inlined here and only attached handles pay the
+  /// out-of-line bucketing path.
+  void record(std::int64_t value) const {
+    if (shard_ == nullptr) return;
+    record_impl(value);
+  }
   void record(Duration d) const { record(d.ns); }
   /// Multi-writer variant (RMW adds, CAS min/max) for the rare sites
   /// where several threads legitimately share one shard — e.g. timing
   /// around an already-mutex-guarded sink. Counts are exact; min/max are
   /// best-effort during the first concurrent records.
-  void record_shared(std::int64_t value) const;
+  void record_shared(std::int64_t value) const {
+    if (shard_ == nullptr) return;
+    record_shared_impl(value);
+  }
   void record_shared(Duration d) const { record_shared(d.ns); }
   [[nodiscard]] bool attached() const { return shard_ != nullptr; }
 
  private:
   friend class MetricsRegistry;
   explicit HistogramHandle(detail::HistShard* shard) : shard_(shard) {}
+  void record_impl(std::int64_t value) const;         ///< shard_ != nullptr
+  void record_shared_impl(std::int64_t value) const;  ///< shard_ != nullptr
   detail::HistShard* shard_ = nullptr;
 };
 

@@ -182,5 +182,44 @@ TEST(PipelineConfigFile, EmptyTextYieldsDefaults) {
   EXPECT_EQ(r.value().num_queues, PipelineConfig{}.num_queues);
 }
 
+TEST(PipelineConfigFile, TopologyKeys) {
+  const auto r = pipeline_config_from_text(
+      "[topology]\n"
+      "workers = 4\n"
+      "enrichers = 2\n"
+      "pin_cpus = 0, 1, -1, 3, 4, 5\n");
+  ASSERT_TRUE(r.ok()) << r.error();
+  // Workers and RX queues are 1:1 (one flow table per queue).
+  EXPECT_EQ(r.value().num_queues, 4);
+  EXPECT_EQ(r.value().enrichment_threads, 2u);
+  EXPECT_EQ(r.value().pin_cpus, (std::vector<int>{0, 1, -1, 3, 4, 5}));
+}
+
+TEST(PipelineConfigFile, PinListMayCoverWorkersOnly) {
+  const auto r = pipeline_config_from_text(
+      "[topology]\n"
+      "workers = 2\n"
+      "enrichers = 2\n"
+      "pin_cpus = 0,1\n");  // workers pinned, enrichers roam
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().pin_cpus.size(), 2u);
+}
+
+TEST(PipelineConfigFile, PinListLengthMismatchRejected) {
+  const auto r = pipeline_config_from_text(
+      "[topology]\n"
+      "workers = 4\n"
+      "enrichers = 2\n"
+      "pin_cpus = 0,1,2\n");  // neither 4 (workers) nor 6 (workers+enrichers)
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("pin_cpus"), std::string::npos);
+}
+
+TEST(PipelineConfigFile, PinListBadEntriesRejected) {
+  EXPECT_FALSE(pipeline_config_from_text("[topology]\npin_cpus = 0,,1\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[topology]\npin_cpus = 0,banana\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[topology]\npin_cpus = 0,2000000\n").ok());
+}
+
 }  // namespace
 }  // namespace ruru

@@ -261,5 +261,101 @@ TEST_F(SimNicTest, RssHashStoredInMbufMatchesHashFrame) {
   EXPECT_EQ(burst[0]->queue_id, queue);
 }
 
+TEST_F(SimNicTest, InjectShardDeliversToItsLane) {
+  NicConfig cfg;
+  cfg.num_queues = 4;
+  SimNic nic(cfg, pool_);
+  const auto frame = syn_frame(Ipv4Address(10, 1, 0, 7), 32000, Ipv4Address(10, 2, 0, 3), 80);
+  const std::uint16_t q = nic.queue_for(frame);
+
+  const RxFrame rx{frame, Timestamp::from_ms(9)};
+  bool queued = false;
+  EXPECT_EQ(nic.inject_shard(q, {&rx, 1}, &queued), 1u);
+  EXPECT_TRUE(queued);
+
+  std::array<MbufPtr, 4> burst;
+  ASSERT_EQ(nic.rx_burst(q, burst), 1u);
+  EXPECT_EQ(burst[0]->timestamp, Timestamp::from_ms(9));
+  EXPECT_EQ(burst[0]->queue_id, q);
+  EXPECT_EQ(nic.lane_stats(q).rx_packets, 1u);
+}
+
+TEST_F(SimNicTest, InjectShardDropsMisroutedFrame) {
+  NicConfig cfg;
+  cfg.num_queues = 4;
+  SimNic nic(cfg, pool_);
+  const auto frame = syn_frame(Ipv4Address(10, 1, 0, 7), 32000, Ipv4Address(10, 2, 0, 3), 80);
+  const std::uint16_t q = nic.queue_for(frame);
+  const auto wrong = static_cast<std::uint16_t>((q + 1) % 4);
+
+  const RxFrame rx{frame, Timestamp{}};
+  bool queued = true;
+  // A frame whose hash steers elsewhere would break the symmetric-RSS
+  // worker-affinity guarantee: the lane refuses it.
+  EXPECT_EQ(nic.inject_shard(wrong, {&rx, 1}, &queued), 0u);
+  EXPECT_FALSE(queued);
+  EXPECT_EQ(nic.lane_stats(wrong).dropped_misrouted, 1u);
+  std::array<MbufPtr, 4> burst;
+  EXPECT_EQ(nic.rx_burst(wrong, burst), 0u);
+  EXPECT_EQ(nic.rx_burst(q, burst), 0u);
+}
+
+TEST_F(SimNicTest, InjectShardMatchesWholePortStreams) {
+  // The same mixed-flow burst through (a) whole-port inject and (b)
+  // pre-partitioned lanes must produce identical per-queue streams.
+  NicConfig cfg;
+  cfg.num_queues = 2;
+  SimNic whole(cfg, pool_);
+  Mempool pool2(1024, 2048);
+  SimNic sharded(cfg, pool2);
+
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int i = 0; i < 16; ++i) {
+    frames.push_back(syn_frame(Ipv4Address(10, 1, 0, static_cast<std::uint8_t>(i)),
+                               static_cast<std::uint16_t>(30000 + i), Ipv4Address(10, 2, 0, 1),
+                               443));
+  }
+  std::vector<std::vector<RxFrame>> shards(2);
+  std::int64_t t = 0;
+  for (const auto& f : frames) {
+    const Timestamp ts = Timestamp::from_ns(++t);
+    ASSERT_TRUE(whole.inject(f, ts));
+    shards[sharded.queue_for(f)].push_back({f, ts});
+  }
+  for (std::uint16_t q = 0; q < 2; ++q) {
+    ASSERT_EQ(sharded.inject_shard(q, shards[q]), shards[q].size());
+  }
+
+  for (std::uint16_t q = 0; q < 2; ++q) {
+    std::array<MbufPtr, 32> a;
+    std::array<MbufPtr, 32> b;
+    const std::size_t na = whole.rx_burst(q, a);
+    const std::size_t nb = sharded.rx_burst(q, b);
+    ASSERT_EQ(na, nb) << "queue " << q;
+    for (std::size_t i = 0; i < na; ++i) {
+      EXPECT_EQ(a[i]->timestamp, b[i]->timestamp);
+      EXPECT_EQ(a[i]->rss_hash, b[i]->rss_hash);
+      ASSERT_EQ(a[i]->length(), b[i]->length());
+      EXPECT_EQ(std::memcmp(a[i]->data(), b[i]->data(), a[i]->length()), 0);
+    }
+  }
+}
+
+TEST_F(SimNicTest, StatsTotalsMergePortAndLanes) {
+  NicConfig cfg;
+  cfg.num_queues = 2;
+  SimNic nic(cfg, pool_);
+  const auto f1 = syn_frame(Ipv4Address(10, 1, 0, 1), 30001, Ipv4Address(10, 2, 0, 1), 443);
+  const auto f2 = syn_frame(Ipv4Address(10, 1, 0, 2), 30002, Ipv4Address(10, 2, 0, 1), 443);
+
+  ASSERT_TRUE(nic.inject(f1, Timestamp{}));  // whole-port path
+  const RxFrame rx{f2, Timestamp{}};
+  ASSERT_EQ(nic.inject_shard(nic.queue_for(f2), {&rx, 1}), 1u);  // lane path
+
+  const NicStats totals = nic.stats_totals();
+  EXPECT_EQ(totals.rx_packets, 2u);
+  EXPECT_EQ(totals.rx_bytes, f1.size() + f2.size());
+}
+
 }  // namespace
 }  // namespace ruru

@@ -1,0 +1,151 @@
+// Fan-in lanes: N single-producer publish lanes per subscription plus
+// the shared queue (ISSUE 6 — contention-free bus fan-in).  What these
+// tests pin down:
+//  * per-lane FIFO ordering survives concurrent multi-lane publishing;
+//  * sample conservation: published == delivered + dropped, exactly,
+//    with batch weights;
+//  * each lane gets the full HWM and drops independently;
+//  * lane indexes past a subscriber's topology fall back to the shared
+//    queue (mixed-topology safety);
+//  * close() wakes consumers only after every lane is drained.
+
+#include "msg/pubsub.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ruru {
+namespace {
+
+Message msg(std::string_view topic, std::string_view payload) {
+  Message m(topic);
+  m.add(Frame::from_string(payload));
+  return m;
+}
+
+TEST(FanIn, LanePublishDelivers) {
+  PubSocket pub(/*default_hwm=*/64, /*fanin_lanes=*/4);
+  auto sub = pub.subscribe("t");
+  EXPECT_EQ(sub->lanes(), 4u);
+  EXPECT_EQ(pub.publish_lane(2, msg("t", "x")), 1u);
+  const auto m = sub->try_recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->frames[1].view(), "x");
+  EXPECT_EQ(sub->delivered(), 1u);
+}
+
+TEST(FanIn, PerLaneFifoUnderConcurrentPublishers) {
+  constexpr std::size_t kLanes = 4;
+  constexpr int kPerLane = 2000;
+  PubSocket pub(/*default_hwm=*/kLanes * kPerLane, /*fanin_lanes=*/kLanes);
+  auto sub = pub.subscribe("t");
+
+  std::vector<std::thread> producers;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    producers.emplace_back([&pub, lane] {
+      for (int i = 0; i < kPerLane; ++i) {
+        const std::string payload = std::to_string(lane) + ":" + std::to_string(i);
+        pub.publish_lane(lane, msg("t", payload));
+      }
+    });
+  }
+
+  // Concurrent consumer: per-lane sequence numbers must arrive in order
+  // even while lanes interleave arbitrarily.
+  std::vector<int> next_seq(kLanes, 0);
+  std::uint64_t received = 0;
+  bool fifo = true;
+  std::thread consumer([&] {
+    while (const auto m = sub->recv()) {
+      const std::string payload(m->frames[1].view());
+      const auto colon = payload.find(':');
+      const std::size_t lane = std::stoul(payload.substr(0, colon));
+      const int seq = std::stoi(payload.substr(colon + 1));
+      fifo = fifo && seq == next_seq[lane];
+      ++next_seq[lane];
+      ++received;
+    }
+  });
+  for (auto& t : producers) t.join();
+  pub.close_all();
+  consumer.join();
+
+  EXPECT_TRUE(fifo);
+  EXPECT_EQ(received, static_cast<std::uint64_t>(kLanes) * kPerLane);
+  EXPECT_EQ(sub->dropped(), 0u);
+}
+
+TEST(FanIn, SampleConservationWithBatchWeights) {
+  constexpr std::size_t kLanes = 3;
+  PubSocket pub(/*default_hwm=*/8, /*fanin_lanes=*/kLanes);
+  auto sub = pub.subscribe("t", /*hwm=*/8);
+
+  // 3 lanes x 16 messages of 5 samples each into HWM 8: some accepted,
+  // some dropped, the ledger must balance to the sample.
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    for (int i = 0; i < 16; ++i) pub.publish_lane(lane, msg("t", "b"), /*samples=*/5);
+  }
+  EXPECT_EQ(pub.published(), kLanes * 16u * 5u);
+  EXPECT_EQ(sub->delivered() + sub->dropped(), pub.published());
+  // Each lane holds its full HWM of messages: 3 lanes x 8 accepted.
+  EXPECT_EQ(sub->delivered(), kLanes * 8u * 5u);
+}
+
+TEST(FanIn, EachLaneGetsFullHwm) {
+  PubSocket pub(/*default_hwm=*/4, /*fanin_lanes=*/2);
+  auto sub = pub.subscribe("t", /*hwm=*/4);
+  // Fill lane 0 past its HWM; lane 1 must still accept everything.
+  for (int i = 0; i < 10; ++i) pub.publish_lane(0, msg("t", "a"));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(pub.publish_lane(1, msg("t", "b")), 1u);
+  EXPECT_EQ(sub->delivered(), 8u);  // 4 on each lane
+  EXPECT_EQ(sub->dropped(), 6u);
+}
+
+TEST(FanIn, LanePastTopologyFallsBackToSharedQueue) {
+  PubSocket with_lanes(/*default_hwm=*/16, /*fanin_lanes=*/2);
+  auto sub = with_lanes.subscribe("t");
+  // Lane 7 exceeds the 2-lane topology: lands on the shared queue, not
+  // dropped, not out of range.
+  EXPECT_EQ(with_lanes.publish_lane(7, msg("t", "x")), 1u);
+  EXPECT_TRUE(sub->try_recv().has_value());
+
+  // A lane-less socket behaves the same: publish_lane == publish.
+  PubSocket no_lanes;
+  auto plain = no_lanes.subscribe("t");
+  EXPECT_EQ(no_lanes.publish_lane(3, msg("t", "y")), 1u);
+  EXPECT_TRUE(plain->try_recv().has_value());
+}
+
+TEST(FanIn, CloseDrainsEveryLaneBeforeEof) {
+  PubSocket pub(/*default_hwm=*/64, /*fanin_lanes=*/3);
+  auto sub = pub.subscribe("t");
+  for (std::size_t lane = 0; lane < 3; ++lane) {
+    for (int i = 0; i < 5; ++i) pub.publish_lane(lane, msg("t", "x"));
+  }
+  pub.publish(msg("t", "shared"));
+  pub.close_all();
+  // All 16 queued messages must come out before the EOF nullopt.
+  int drained = 0;
+  while (sub->recv().has_value()) ++drained;
+  EXPECT_EQ(drained, 16);
+  EXPECT_FALSE(sub->recv().has_value());  // stays EOF
+}
+
+TEST(FanIn, SharedQueuePublishStillWorksAlongsideLanes) {
+  PubSocket pub(/*default_hwm=*/16, /*fanin_lanes=*/2);
+  auto sub = pub.subscribe("t");
+  pub.publish_lane(0, msg("t", "lane"));
+  pub.publish(msg("t", "shared"));
+  int got = 0;
+  while (sub->try_recv().has_value()) ++got;
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(sub->delivered(), 2u);
+}
+
+}  // namespace
+}  // namespace ruru

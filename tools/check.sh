@@ -27,13 +27,21 @@
 # contains()/stats()/size() racing the data path from the metrics
 # snapshot thread.
 #
-# Usage: tools/check.sh [thread|address|undefined|metrics|enrich|flow]   (default: thread)
+# The `scale` mode gates the multi-core scale-out (pinned topology,
+# sharded injection, fan-in lanes): the msg + driver + core suites
+# under TSan — per-lane publish is single-producer by contract and the
+# sharded producer lanes feed per-queue SPSC rings, so any accidental
+# sharing is a data race this build must catch — then the determinism
+# invariant run un-sanitized: the sharded pipeline must emit bit-
+# identical samples at 1, 2, and 4 workers.
+#
+# Usage: tools/check.sh [thread|address|undefined|metrics|enrich|flow|scale]   (default: thread)
 set -euo pipefail
 
 SAN="${1:-thread}"
 case "$SAN" in
-  thread|address|undefined|metrics|enrich|flow) ;;
-  *) echo "usage: $0 [thread|address|undefined|metrics|enrich|flow]" >&2; exit 2 ;;
+  thread|address|undefined|metrics|enrich|flow|scale) ;;
+  *) echo "usage: $0 [thread|address|undefined|metrics|enrich|flow|scale]" >&2; exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -94,6 +102,31 @@ if [ "$SAN" = "flow" ]; then
   cmake --build "$BUILD" -j"$JOBS" --target test_flow
   "$BUILD/tests/test_flow" --gtest_filter='FlowTableConcurrency.*'
   echo "flow gate OK: probe paths ASan+UBSan-clean, stats snapshot TSan-clean"
+  exit 0
+fi
+
+if [ "$SAN" = "scale" ]; then
+  # Scale-out gate, part 1: the concurrency surface under TSan.  Fan-in
+  # lanes (one producer per worker), sharded injection into per-queue
+  # SPSC rings, CPU pinning bookkeeping, and the full sharded pipelines
+  # the Scaling suite drives end to end.
+  BUILD="$ROOT/build-thread"
+  cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$JOBS" --target test_msg test_driver test_core
+  (cd "$BUILD" && ctest --output-on-failure -j"$JOBS" \
+    -R 'FanIn|PubSub|BusQueue|Nic|LcoreLauncher|Scaling|Pipeline')
+
+  # Part 2: the determinism invariant, run un-sanitized so timing is
+  # representative.  ShardedNWorkersBitIdenticalTo1Worker compares the
+  # sorted sample stream at 2 and 4 workers against 1 worker sample for
+  # sample; FanInConservesEverySample checks delivered + dropped ==
+  # published at every N.  Run them by name so the gate is explicit.
+  BUILD="$ROOT/build"
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$BUILD" -j"$JOBS" --target test_core
+  "$BUILD/tests/test_core" \
+    --gtest_filter='Scaling.ShardedNWorkersBitIdenticalTo1Worker:Scaling.FanInConservesEverySample'
+  echo "scale gate OK: lanes TSan-clean, sharded output bit-identical at 1/2/4 workers"
   exit 0
 fi
 
