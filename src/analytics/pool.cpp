@@ -61,8 +61,13 @@ void EnrichmentPool::worker_main(std::size_t index) {
   // state.
   std::vector<EnrichedSample> enriched;
   enriched.reserve(kMaxLatencyBatch);
+  // Sharded inbox: with fan-in lanes each worker owns its slice of the
+  // lanes (SPSC pops, per-flow ordering); recv_shard degrades to recv()
+  // when the topology has no lanes or the pool has one thread.
+  const bool sharded = shard_inbox_ && thread_count_ > 1 && source_->lanes() > 0;
   while (true) {
-    auto msg = source_->recv();  // blocking; nullopt == closed and drained
+    auto msg = sharded ? source_->recv_shard(index, thread_count_)
+                       : source_->recv();  // blocking; nullopt == closed and drained
     if (!msg) break;
     Timestamp dequeued{};
     if (timed) {

@@ -174,6 +174,8 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
       status = set_seconds(cfg.bus_batch_linger);
     } else if (key == "analytics.threads") {
       status = set_u64(cfg.enrichment_threads);
+    } else if (key == "analytics.shard_inbox") {
+      status = set_bool(cfg.enrich_shard_inbox);
     } else if (key == "topology.workers") {
       // Worker lcores and RX queues are 1:1 (one table per queue), so
       // the topology's worker count IS the queue count.
@@ -200,6 +202,10 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
       }
     } else if (key == "storage.retention_s") {
       status = set_seconds(cfg.retention_horizon);
+    } else if (key == "storage.tsdb_shards") {
+      status = set_u64(cfg.tsdb_shards);
+    } else if (key == "storage.tsdb_chunk_points") {
+      status = set_u64(cfg.tsdb_chunk_points);
     } else if (key == "meter.enabled") {
       status = set_bool(cfg.enable_link_meter);
     } else if (key == "meter.window_s") {
@@ -275,6 +281,12 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
                       std::to_string(cfg.pin_cpus.size()));
   }
   if (cfg.bus_batch_size == 0) return make_error("config: bus.batch must be >= 1");
+  if (cfg.tsdb_shards == 0 || cfg.tsdb_shards > 256) {
+    return make_error("config: storage.tsdb_shards must be in [1, 256]");
+  }
+  if (cfg.tsdb_chunk_points == 0) {
+    return make_error("config: storage.tsdb_chunk_points must be >= 1");
+  }
   if (cfg.metrics_enabled && cfg.metrics_interval.ns <= 0) {
     return make_error("config: obs.interval_s must be > 0");
   }

@@ -3,6 +3,7 @@
 #include <array>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 #include "anomaly/alert_codec.hpp"
 #include "msg/codec.hpp"
@@ -20,7 +21,8 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
       // One fan-in lane per worker lcore: worker q is the sole producer
       // on lane q of every subscription, so N workers flushing batches
       // never share a ring cursor.
-      bus_(4096, config.num_queues) {
+      bus_(4096, config.num_queues),
+      tsdb_(TsdbOptions{config.tsdb_shards, config.tsdb_chunk_points}) {
   // Topology validation: a pin list must cover exactly the workers, or
   // the workers plus the enrichment threads.  (A wrong-length list is a
   // config bug — silently pinning the wrong threads would be worse than
@@ -86,6 +88,7 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
   enrichment_sub_ = bus_.subscribe(std::string(kLatencyTopic), config_.bus_hwm);
   enrichment_ = std::make_unique<EnrichmentPool>(enrichment_sub_, geo_, as_,
                                                  config_.enrichment_threads, geo6);
+  enrichment_->set_shard_inbox(config_.enrich_shard_inbox);
   register_metrics();
   wire_sinks();
 }
@@ -273,23 +276,68 @@ void RuruPipeline::register_metrics() {
 }
 
 void RuruPipeline::wire_sinks() {
-  enrichment_->add_sink([this](const EnrichedSample& s) {
+  // Route-keyed series cache: the sink's four tags are a pure function
+  // of (client city, server city, client AS, server AS), so each
+  // distinct route builds its TagSet and resolves its three series once.
+  // The steady-state TSDB path is three SeriesId appends — no strings,
+  // no TagSet, no canonicalization.  Keyed exactly (no lossy hashing):
+  // interned city ids + ASNs, with unlocated endpoints collapsed to the
+  // same sentinel the "?" tag value collapses them to.
+  struct RouteCache {
+    struct Hash {
+      std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& k) const {
+        std::uint64_t x = k.first ^ (k.second * 0x9E3779B97F4A7C15ull);
+        x ^= x >> 33;
+        x *= 0xFF51AFD7ED558CCDull;
+        x ^= x >> 33;
+        return static_cast<std::size_t>(x);
+      }
+    };
+    std::mutex mu;
+    std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::array<SeriesId, 3>, Hash>
+        map;
+  };
+  auto routes = std::make_shared<RouteCache>();
+  enrichment_->add_sink([this, routes](const EnrichedSample& s) {
     city_pairs_.add(s);
     as_pairs_.add(s);
     arcs_.add(s);
 
     if (config_.tsdb_store_samples) {
-      TagSet tags;
-      tags.add("src_city", std::string(s.client.located ? s.client.city() : "?"))
-          .add("dst_city", std::string(s.server.located ? s.server.city() : "?"))
-          .add("src_as", std::to_string(s.client.asn))
-          .add("dst_as", std::to_string(s.server.asn));
+      constexpr std::uint64_t kUnlocated = 0xFFFF'FFFFull;
+      const std::uint64_t cities =
+          ((s.client.located ? std::uint64_t{s.client.city_id} : kUnlocated) << 32) |
+          (s.server.located ? std::uint64_t{s.server.city_id} : kUnlocated);
+      const std::uint64_t asns =
+          (std::uint64_t{s.client.asn} << 32) | std::uint64_t{s.server.asn};
+      const std::pair<std::uint64_t, std::uint64_t> key{cities, asns};
+      std::array<SeriesId, 3> sids;
+      bool cached = false;
+      {
+        std::lock_guard lock(routes->mu);
+        if (const auto it = routes->map.find(key); it != routes->map.end()) {
+          sids = it->second;
+          cached = true;
+        }
+      }
+      if (!cached) {
+        // First sample on this route: build the tags and resolve once.
+        TagSet tags;
+        tags.add("src_city", std::string(s.client.located ? s.client.city() : "?"))
+            .add("dst_city", std::string(s.server.located ? s.server.city() : "?"))
+            .add("src_as", std::to_string(s.client.asn))
+            .add("dst_as", std::to_string(s.server.asn));
+        sids = {tsdb_.series("total_ms", tags), tsdb_.series("internal_ms", tags),
+                tsdb_.series("external_ms", tags)};
+        std::lock_guard lock(routes->mu);
+        routes->map.emplace(key, sids);
+      }
       const bool timed = tsdb_write_hist_.attached();
       Timestamp t0{};
       if (timed) t0 = SystemClock{}.now();
-      tsdb_.write("total_ms", tags, s.completed_at, s.total.to_ms());
-      tsdb_.write("internal_ms", tags, s.completed_at, s.internal.to_ms());
-      tsdb_.write("external_ms", tags, s.completed_at, s.external.to_ms());
+      tsdb_.append(sids[0], s.completed_at, s.total.to_ms());
+      tsdb_.append(sids[1], s.completed_at, s.internal.to_ms());
+      tsdb_.append(sids[2], s.completed_at, s.external.to_ms());
       if (timed) tsdb_write_hist_.record_shared(SystemClock{}.now() - t0);
     }
 

@@ -36,7 +36,7 @@
 #include "obs/exporters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/snapshot_timer.hpp"
-#include "tsdb/tsdb.hpp"
+#include "tsdb/query.hpp"
 #include "viz/arc_aggregator.hpp"
 
 namespace ruru {
@@ -86,6 +86,10 @@ struct PipelineConfig {
   /// flushed (0 = flush only on batch-full or an empty poll), so
   /// low-rate traffic is not delayed behind the batch size.
   Duration bus_batch_linger = Duration::from_ms(5);
+  /// Sharded enrichment inbox: each pool worker owns its slice of the
+  /// bus fan-in lanes (SPSC pops, per-flow ordering) instead of all
+  /// workers scanning every lane. See EnrichmentPool::set_shard_inbox.
+  bool enrich_shard_inbox = true;
 
   // --- anomaly modules ---
   bool enable_synflood = true;
@@ -99,6 +103,12 @@ struct PipelineConfig {
 
   // --- storage ---
   bool tsdb_store_samples = true;  ///< write per-sample points to the TSDB
+  /// TSDB engine series shards (rounded to a power of two; ingest locks
+  /// only the owning shard, so writers and queries don't serialize).
+  std::size_t tsdb_shards = 8;
+  /// Points per compressed chunk before it seals into an immutable,
+  /// lock-free-readable block.
+  std::uint32_t tsdb_chunk_points = 512;
   /// Long-term storage policy, applied at finish() (the InfluxDB
   /// continuous-query + retention pattern): when `downsample_window` is
   /// nonzero, every latency measurement is downsampled into
@@ -199,7 +209,7 @@ class RuruPipeline {
   }
 
   // --- results (stable after finish(); live-but-racy before) ---
-  [[nodiscard]] TimeSeriesDb& tsdb() { return tsdb_; }
+  [[nodiscard]] TsdbEngine& tsdb() { return tsdb_; }
   [[nodiscard]] LatencyAggregator& city_pairs() { return city_pairs_; }
   [[nodiscard]] LatencyAggregator& as_pairs() { return as_pairs_; }
   [[nodiscard]] ArcAggregator& arcs() { return arcs_; }
@@ -245,7 +255,7 @@ class RuruPipeline {
   std::unique_ptr<EnrichmentPool> enrichment_;
   std::shared_ptr<Subscription> enrichment_sub_;
 
-  TimeSeriesDb tsdb_;
+  TsdbEngine tsdb_;
   LatencyAggregator city_pairs_{LatencyAggregator::Mode::kCityPair};
   LatencyAggregator as_pairs_{LatencyAggregator::Mode::kAsPair};
   ArcAggregator arcs_;

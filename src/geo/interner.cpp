@@ -43,6 +43,12 @@ std::uint32_t StringInterner::intern(std::string_view s) {
   return id;
 }
 
+std::uint32_t StringInterner::find(std::string_view s) const {
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(std::string(s));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
 StringInterner& geo_names() {
   static StringInterner table;
   return table;

@@ -37,6 +37,13 @@ class StringInterner {
   /// stable for the interner's lifetime, and equal iff the strings are.
   std::uint32_t intern(std::string_view s);
 
+  /// Sentinel returned by find() for strings never interned.
+  static constexpr std::uint32_t kNotFound = 0xFFFF'FFFFu;
+
+  /// Id lookup that never allocates an id: kNotFound for unseen strings.
+  /// Lets query paths probe filter strings without growing the table.
+  [[nodiscard]] std::uint32_t find(std::string_view s) const;
+
   /// Resolves an id; out-of-range ids resolve to "".  Lock-free.
   [[nodiscard]] std::string_view view(std::uint32_t id) const {
     if (id >= count_.load(std::memory_order_acquire)) return {};

@@ -27,6 +27,44 @@ std::optional<Message> Subscription::recv() {
   }
 }
 
+std::optional<Message> Subscription::try_recv_shard(std::size_t shard, std::size_t nshards) {
+  if (nshards <= 1 || lanes_.empty()) return try_recv();
+  shard %= nshards;
+  // This shard owns lanes shard, shard + nshards, shard + 2*nshards, ...
+  const std::size_t nmine =
+      lanes_.size() > shard ? (lanes_.size() - shard + nshards - 1) / nshards : 0;
+  if (nmine != 0) {
+    // Rotate the start lane so no owned lane starves behind a chatty
+    // one; ownership is unaffected (still one consumer per lane).
+    const std::size_t start =
+        static_cast<std::size_t>(rr_.fetch_add(1, std::memory_order_relaxed)) % nmine;
+    for (std::size_t k = 0; k < nmine; ++k) {
+      const std::size_t lane = shard + ((start + k) % nmine) * nshards;
+      if (auto v = lanes_[lane]->try_pop()) return v;
+    }
+  }
+  if (shard == 0) return queue_.try_pop();
+  return std::nullopt;
+}
+
+std::optional<Message> Subscription::recv_shard(std::size_t shard, std::size_t nshards) {
+  if (nshards <= 1 || lanes_.empty()) return recv();
+  detail::Backoff backoff;
+  while (true) {
+    if (auto v = try_recv_shard(shard, nshards)) return v;
+    if (shard_closed_and_drained(shard % nshards, nshards)) return std::nullopt;
+    backoff.pause();
+  }
+}
+
+bool Subscription::shard_closed_and_drained(std::size_t shard, std::size_t nshards) const {
+  if (shard == 0 && (!queue_.closed() || queue_.size() != 0)) return false;
+  for (std::size_t lane = shard; lane < lanes_.size(); lane += nshards) {
+    if (!lanes_[lane]->closed() || lanes_[lane]->size() != 0) return false;
+  }
+  return true;
+}
+
 bool Subscription::closed_and_drained() const {
   // Same contract as BusQueue::pop: a push that claimed its ring ticket
   // before close() is counted by size(), so closed + all-empty means

@@ -69,6 +69,18 @@ class Subscription {
   /// fairness) then the shared queue.
   std::optional<Message> try_recv();
 
+  /// Sharded receive for a consumer pool: worker `shard` of `nshards`
+  /// consumes only the lanes where lane % nshards == shard (shard 0
+  /// also drains the shared queue).  Each lane then has exactly one
+  /// consumer, so lane pops are uncontended SPSC instead of MPMC, and a
+  /// flow's samples — RSS-pinned to one publisher lane — are handled by
+  /// one worker in publish order instead of being scattered across the
+  /// pool.  Returns nullopt once this shard's queues are closed and
+  /// drained.  With nshards <= 1 or a lane-less subscription this is
+  /// exactly recv()/try_recv().
+  std::optional<Message> recv_shard(std::size_t shard, std::size_t nshards);
+  std::optional<Message> try_recv_shard(std::size_t shard, std::size_t nshards);
+
   [[nodiscard]] const std::string& prefix() const { return prefix_; }
   [[nodiscard]] std::size_t lanes() const { return lanes_.size(); }
   /// Samples lost to the HWM (whole batches count all their samples).
@@ -106,6 +118,7 @@ class Subscription {
     return ok;
   }
   [[nodiscard]] bool closed_and_drained() const;
+  [[nodiscard]] bool shard_closed_and_drained(std::size_t shard, std::size_t nshards) const;
 
   std::string prefix_;
   BusQueue<Message> queue_;  ///< shared (lane-less publish) queue

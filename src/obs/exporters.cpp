@@ -139,7 +139,7 @@ void JsonLinesExporter::export_snapshot(const MetricsSnapshot& snap,
 
 // --- SelfIngestExporter ---
 
-SelfIngestExporter::SelfIngestExporter(TimeSeriesDb& db) : db_(db) {}
+SelfIngestExporter::SelfIngestExporter(TsdbEngine& db) : db_(db) {}
 
 void SelfIngestExporter::export_snapshot(const MetricsSnapshot& snap,
                                          const SnapshotDelta& delta) {

@@ -9,7 +9,7 @@
 //  * JsonLinesExporter — one JSON object per snapshot appended to a
 //    stream, for ad-hoc scripting and the examples' --metrics flag;
 //  * SelfIngestExporter — writes "ruru.self.*" series into the
-//    pipeline's own TimeSeriesDb, so dashboards chart pipeline health
+//    pipeline's own TSDB engine, so dashboards chart pipeline health
 //    (drop rates, queue depths, stage latencies) next to the traffic
 //    latency the pipeline exists to measure.
 //
@@ -21,7 +21,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
-#include "tsdb/tsdb.hpp"
+#include "tsdb/query.hpp"
 
 namespace ruru::obs {
 
@@ -81,7 +81,7 @@ class JsonLinesExporter final : public MetricsExporter {
 /// event rate).  `db` must outlive the exporter.
 class SelfIngestExporter final : public MetricsExporter {
  public:
-  explicit SelfIngestExporter(TimeSeriesDb& db);
+  explicit SelfIngestExporter(TsdbEngine& db);
 
   void export_snapshot(const MetricsSnapshot& snap, const SnapshotDelta& delta) override;
   [[nodiscard]] std::string_view name() const override { return "self-ingest"; }
@@ -89,7 +89,7 @@ class SelfIngestExporter final : public MetricsExporter {
   static constexpr std::string_view kPrefix = "ruru.self.";
 
  private:
-  TimeSeriesDb& db_;
+  TsdbEngine& db_;
 };
 
 }  // namespace ruru::obs

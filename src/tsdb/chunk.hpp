@@ -1,0 +1,146 @@
+#pragma once
+// Gorilla-style compressed time-series chunks.
+//
+// One chunk holds one series' points over one time partition as a
+// bit-packed stream: delta-of-delta timestamps and values encoded either
+// as scaled-integer deltas (latency samples are ns-derived decimals, so
+// "value * 10^k is a small integer delta" is the common case) or as
+// XOR residuals against the previous value (the Gorilla fallback that
+// round-trips any bit pattern, NaN payloads included).  Decoding is
+// exact: every (timestamp, value) pair comes back bit-identical, which
+// is what lets the query engine stay a drop-in oracle match for the
+// uncompressed store.
+//
+// Stream layout (MSB-first bit stream):
+//   point 0:  64-bit raw timestamp | 64-bit raw value bits
+//   point n:  timestamp, then value
+//     timestamp (dod = delta - previous delta, z = zigzag(dod)):
+//       '0'                      dod == 0
+//       '10'   + 14 bits         z < 2^14
+//       '110'  + 28 bits         z < 2^28
+//       '1110' + 44 bits         z < 2^44
+//       '1111' + 64 bits         anything else (raw zigzag)
+//     value:
+//       '0'                      bit-identical to previous value
+//       '10' + 2-bit scale k + 2-bit width w + {10,20,30,64}[w] bits
+//            scaled-integer delta: round(v*10^{0,3,6}[k]) - round(prev*...)
+//            (only emitted when both endpoints round-trip exactly)
+//       '11' + Gorilla XOR: '0' + meaningful bits in the previous
+//            leading/trailing window, or '1' + 5-bit leading-zero count
+//            + 6-bit (length-1) + meaningful bits
+//
+// Chunk metadata (count, min/max timestamp, byte size) lives out of
+// band in ChunkWriter / SealedChunk — the stream itself is headerless.
+//
+// Concurrency: a ChunkWriter is single-writer (the owning engine shard
+// serializes appends); SealedChunk is immutable and safe to read from
+// any thread without synchronization.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ruru {
+
+/// Append-only MSB-first bit sink backed by a byte vector.
+class BitWriter {
+ public:
+  /// Appends the low `n` bits of `bits` (n in [0, 64]).
+  void put(std::uint64_t bits, unsigned n);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::size_t size_bytes() const { return buf_.size(); }
+  void clear() {
+    buf_.clear();
+    free_bits_ = 0;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  unsigned free_bits_ = 0;  ///< unused low bits in buf_.back()
+};
+
+/// MSB-first bit source over a byte span (not owning).
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t len) : data_(data), len_bits_(len * 8) {}
+
+  /// Reads `n` bits (n in [0, 64]); returns 0 bits past the end (the
+  /// caller bounds iteration by the out-of-band point count).
+  std::uint64_t get(unsigned n);
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t len_bits_;
+  std::size_t pos_ = 0;
+};
+
+/// An immutable, fully-encoded chunk. Reads need no lock.
+struct SealedChunk {
+  std::vector<std::uint8_t> bytes;
+  std::uint32_t count = 0;
+  std::int64_t min_ts = 0;
+  std::int64_t max_ts = 0;
+};
+
+/// Streaming encoder for one open chunk.
+class ChunkWriter {
+ public:
+  void append(Timestamp ts, double value);
+
+  [[nodiscard]] std::uint32_t count() const { return count_; }
+  [[nodiscard]] std::int64_t min_ts() const { return min_ts_; }
+  [[nodiscard]] std::int64_t max_ts() const { return max_ts_; }
+  [[nodiscard]] std::size_t size_bytes() const { return bits_.size_bytes(); }
+
+  /// Freezes the current contents into an immutable chunk and resets the
+  /// writer to empty. Returns nullptr when the writer holds no points.
+  std::shared_ptr<const SealedChunk> seal();
+
+  /// Copies the encoded bytes so a reader can decode a point-in-time
+  /// snapshot of the open chunk without holding the shard lock during
+  /// decode. Returns the point count of the snapshot.
+  std::uint32_t snapshot(std::vector<std::uint8_t>& out) const;
+
+  void clear();
+
+ private:
+  BitWriter bits_;
+  std::uint32_t count_ = 0;
+  std::int64_t min_ts_ = 0;
+  std::int64_t max_ts_ = 0;
+  std::int64_t prev_ts_ = 0;
+  std::int64_t prev_delta_ = 0;
+  double prev_value_ = 0.0;
+  std::uint8_t window_lead_ = 0;   ///< XOR window: leading zeros
+  std::uint8_t window_trail_ = 0;  ///< XOR window: trailing zeros
+  bool window_valid_ = false;
+};
+
+/// Decode iterator over an encoded chunk stream.
+class ChunkCursor {
+ public:
+  ChunkCursor(const std::uint8_t* data, std::size_t len, std::uint32_t count)
+      : bits_(data, len), remaining_(count) {}
+
+  explicit ChunkCursor(const SealedChunk& chunk)
+      : ChunkCursor(chunk.bytes.data(), chunk.bytes.size(), chunk.count) {}
+
+  /// Decodes the next point; false when the chunk is exhausted.
+  bool next(Timestamp& ts, double& value);
+
+ private:
+  BitReader bits_;
+  std::uint32_t remaining_;
+  bool first_ = true;
+  std::int64_t prev_ts_ = 0;
+  std::int64_t prev_delta_ = 0;
+  double prev_value_ = 0.0;
+  std::uint8_t window_lead_ = 0;
+  std::uint8_t window_trail_ = 0;
+};
+
+}  // namespace ruru

@@ -1,0 +1,182 @@
+#include "tsdb/series_index.hpp"
+
+#include <algorithm>
+
+namespace ruru {
+
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SeriesIndex::SeriesIndex() : slot_fp_(64, 0), slot_sid_(64, kEmptySlot) {}
+
+std::uint64_t SeriesIndex::fingerprint(std::uint32_t measurement_id,
+                                       const std::vector<TagIdPair>& tags) {
+  std::uint64_t h = splitmix64(0x7275727500000000ull | measurement_id);
+  for (const TagIdPair& p : tags) {
+    h = splitmix64(h ^ ((static_cast<std::uint64_t>(p.key) << 32) | p.value));
+  }
+  return h;
+}
+
+SeriesId SeriesIndex::probe_locked(std::uint64_t fp, std::uint32_t measurement_id,
+                                   const std::vector<TagIdPair>& tags) const {
+  const std::size_t mask = slot_fp_.size() - 1;
+  for (std::size_t i = fp & mask;; i = (i + 1) & mask) {
+    const std::uint32_t sid = slot_sid_[i];
+    if (sid == kEmptySlot) return kEmptySlot;
+    if (slot_fp_[i] != fp) continue;
+    const Meta& m = series_[sid];
+    if (m.measurement == measurement_id && m.tags == tags) return sid;
+  }
+}
+
+void SeriesIndex::grow_locked() {
+  std::vector<std::uint64_t> old_fp = std::move(slot_fp_);
+  std::vector<std::uint32_t> old_sid = std::move(slot_sid_);
+  slot_fp_.assign(old_fp.size() * 2, 0);
+  slot_sid_.assign(old_sid.size() * 2, kEmptySlot);
+  const std::size_t mask = slot_fp_.size() - 1;
+  for (std::size_t i = 0; i < old_sid.size(); ++i) {
+    if (old_sid[i] == kEmptySlot) continue;
+    std::size_t j = old_fp[i] & mask;
+    while (slot_sid_[j] != kEmptySlot) j = (j + 1) & mask;
+    slot_fp_[j] = old_fp[i];
+    slot_sid_[j] = old_sid[i];
+  }
+}
+
+SeriesId SeriesIndex::insert_locked(std::uint32_t measurement_id, std::vector<TagIdPair> tags,
+                                    std::string canonical) {
+  if ((used_ + 1) * 10 > slot_fp_.size() * 7) grow_locked();
+  const std::uint64_t fp = fingerprint(measurement_id, tags);
+  const std::size_t mask = slot_fp_.size() - 1;
+  std::size_t i = fp & mask;
+  while (slot_sid_[i] != kEmptySlot) i = (i + 1) & mask;
+
+  const SeriesId sid = static_cast<SeriesId>(series_.size());
+  series_.push_back(Meta{measurement_id, fp, std::move(tags), std::move(canonical)});
+  slot_fp_[i] = fp;
+  slot_sid_[i] = sid;
+  ++used_;
+
+  auto it = std::find_if(by_measurement_.begin(), by_measurement_.end(),
+                         [&](const auto& e) { return e.first == measurement_id; });
+  if (it == by_measurement_.end()) {
+    by_measurement_.emplace_back(measurement_id, std::vector<SeriesId>{sid});
+  } else {
+    it->second.push_back(sid);
+  }
+  return sid;
+}
+
+SeriesId SeriesIndex::resolve(std::string_view measurement, const TagSet& tags) {
+  // canonical() also normalizes, so entries() below is key-sorted.
+  const std::string& canon = tags.canonical();
+
+  std::unique_lock lock(mu_);
+  const std::uint32_t mid = names_.intern(measurement);
+  std::vector<TagIdPair> pairs;
+  pairs.reserve(tags.entries().size());
+  for (const auto& [k, v] : tags.entries()) {
+    pairs.push_back(TagIdPair{names_.intern(k), names_.intern(v)});
+  }
+  const std::uint64_t fp = fingerprint(mid, pairs);
+  const SeriesId found = probe_locked(fp, mid, pairs);
+  if (found != kEmptySlot) return found;
+  return insert_locked(mid, std::move(pairs), canon);
+}
+
+SeriesId SeriesIndex::resolve_like(SeriesId src, std::string_view measurement) {
+  std::unique_lock lock(mu_);
+  const std::uint32_t mid = names_.intern(measurement);
+  // Copy before insert_locked: push_back may not invalidate deque
+  // references, but self-referencing a container element while moving
+  // into it is needless risk.
+  std::vector<TagIdPair> pairs = series_[src].tags;
+  std::string canon = series_[src].canonical;
+  const std::uint64_t fp = fingerprint(mid, pairs);
+  const SeriesId found = probe_locked(fp, mid, pairs);
+  if (found != kEmptySlot) return found;
+  return insert_locked(mid, std::move(pairs), std::move(canon));
+}
+
+TagFilter SeriesIndex::make_filter(const TagSet& filter) const {
+  TagFilter out;
+  out.pairs.reserve(filter.entries().size());
+  for (const auto& [k, v] : filter.entries()) {
+    const std::uint32_t kid = names_.find(k);
+    const std::uint32_t vid = names_.find(v);
+    if (kid == kNotFound || vid == kNotFound) {
+      out.impossible = true;
+      return out;
+    }
+    out.pairs.push_back(TagIdPair{kid, vid});
+  }
+  return out;
+}
+
+bool SeriesIndex::matches(SeriesId sid, const TagFilter& filter) const {
+  if (filter.impossible) return false;
+  std::shared_lock lock(mu_);
+  const Meta& m = series_[sid];
+  for (const TagIdPair& want : filter.pairs) {
+    std::uint32_t got = kNotFound;
+    for (const TagIdPair& have : m.tags) {
+      if (have.key == want.key) {
+        got = have.value;  // first value per key, canonical order
+        break;
+      }
+    }
+    if (got != want.value) return false;
+  }
+  return true;
+}
+
+std::uint32_t SeriesIndex::tag_value_id(SeriesId sid, std::uint32_t key_id) const {
+  std::shared_lock lock(mu_);
+  for (const TagIdPair& p : series_[sid].tags) {
+    if (p.key == key_id) return p.value;
+  }
+  return kNotFound;
+}
+
+std::uint32_t SeriesIndex::measurement_id(SeriesId sid) const {
+  std::shared_lock lock(mu_);
+  return series_[sid].measurement;
+}
+
+const std::string& SeriesIndex::canonical(SeriesId sid) const {
+  std::shared_lock lock(mu_);
+  return series_[sid].canonical;
+}
+
+void SeriesIndex::series_of(std::uint32_t measurement_id, std::vector<SeriesId>& out) const {
+  std::shared_lock lock(mu_);
+  for (const auto& [mid, sids] : by_measurement_) {
+    if (mid == measurement_id) {
+      out.insert(out.end(), sids.begin(), sids.end());
+      return;
+    }
+  }
+}
+
+void SeriesIndex::measurements(std::vector<std::uint32_t>& out) const {
+  std::shared_lock lock(mu_);
+  out.reserve(out.size() + by_measurement_.size());
+  for (const auto& [mid, sids] : by_measurement_) out.push_back(mid);
+}
+
+std::size_t SeriesIndex::size() const {
+  std::shared_lock lock(mu_);
+  return series_.size();
+}
+
+}  // namespace ruru

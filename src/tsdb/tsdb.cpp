@@ -20,16 +20,18 @@ void TagSet::normalize() const {
   normalized_ = true;
 }
 
-std::string TagSet::canonical() const {
+const std::string& TagSet::canonical() const {
+  if (canonical_valid_) return canonical_;
   normalize();
-  std::string out;
+  canonical_.clear();
   for (const auto& [k, v] : tags_) {
-    if (!out.empty()) out.push_back(',');
-    out += k;
-    out.push_back('=');
-    out += v;
+    if (!canonical_.empty()) canonical_.push_back(',');
+    canonical_ += k;
+    canonical_.push_back('=');
+    canonical_ += v;
   }
-  return out;
+  canonical_valid_ = true;
+  return canonical_;
 }
 
 bool TagSet::matches(const TagSet& filter) const {

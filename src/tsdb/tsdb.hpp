@@ -29,13 +29,16 @@ class TagSet {
   TagSet& add(std::string key, std::string value) {
     tags_.emplace_back(std::move(key), std::move(value));
     normalized_ = false;
+    canonical_valid_ = false;
     return *this;
   }
 
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
 
-  /// Canonical "k1=v1,k2=v2" form (sorted by key).
-  [[nodiscard]] std::string canonical() const;
+  /// Canonical "k1=v1,k2=v2" form (sorted by key).  Built once and
+  /// cached; repeat calls (the per-point legacy write path) return the
+  /// cached string instead of reallocating it.
+  [[nodiscard]] const std::string& canonical() const;
 
   [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& entries() const {
     return tags_;
@@ -47,7 +50,9 @@ class TagSet {
  private:
   void normalize() const;
   mutable std::vector<std::pair<std::string, std::string>> tags_;
+  mutable std::string canonical_;
   mutable bool normalized_ = true;
+  mutable bool canonical_valid_ = false;
 };
 
 struct DataPoint {

@@ -1,0 +1,38 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for on-disk
+// record framing.  Table-driven, table built at compile time.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ruru {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// One-shot CRC-32 of a byte span.
+[[nodiscard]] inline std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t c = 0xFFFF'FFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = detail::kCrc32Table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFF'FFFFu;
+}
+
+}  // namespace ruru

@@ -3,7 +3,7 @@
 //
 // §2: "the Grafana UI also shows statistics and graphs of the measured
 // end-to-end latency (e.g., min, max, median, mean) for a required time
-// interval".  This module renders those panels from TimeSeriesDb
+// interval".  This module renders those panels from TSDB engine
 // queries as fixed-width text: a windowed latency graph (unicode or
 // ascii bars), a stats strip, and a top-pairs table.  Examples and
 // operators get the Grafana experience in a terminal.
@@ -11,7 +11,7 @@
 #include <string>
 
 #include "analytics/aggregator.hpp"
-#include "tsdb/tsdb.hpp"
+#include "tsdb/query.hpp"
 
 namespace ruru {
 
@@ -24,7 +24,7 @@ struct DashboardOptions {
 
 class Dashboard {
  public:
-  Dashboard(const TimeSeriesDb& db, DashboardOptions options = {})
+  Dashboard(const TsdbEngine& db, DashboardOptions options = {})
       : db_(db), options_(options) {}
 
   /// Windowed graph of `stat` ("median"|"mean"|"max"|"p99") of
@@ -44,7 +44,7 @@ class Dashboard {
  private:
   [[nodiscard]] static double pick_stat(const AggregateResult& r, const std::string& stat);
 
-  const TimeSeriesDb& db_;
+  const TsdbEngine& db_;
   DashboardOptions options_;
 };
 

@@ -107,6 +107,29 @@ TEST(PipelineConfigFile, StoragePolicyKeys) {
       pipeline_config_from_text("[storage]\ndownsample_stat = mode\n").ok());
 }
 
+TEST(PipelineConfigFile, TsdbEngineKeys) {
+  const auto r = pipeline_config_from_text(
+      "[storage]\ntsdb_shards = 16\ntsdb_chunk_points = 1024\n");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().tsdb_shards, 16u);
+  EXPECT_EQ(r.value().tsdb_chunk_points, 1024u);
+  // Bounds: shards in [1, 256], chunk_points >= 1.
+  EXPECT_FALSE(pipeline_config_from_text("[storage]\ntsdb_shards = 0\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[storage]\ntsdb_shards = 257\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[storage]\ntsdb_chunk_points = 0\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[storage]\ntsdb_shards = many\n").ok());
+}
+
+TEST(PipelineConfigFile, ShardInboxToggle) {
+  const auto off = pipeline_config_from_text("[analytics]\nshard_inbox = false\n");
+  ASSERT_TRUE(off.ok()) << off.error();
+  EXPECT_FALSE(off.value().enrich_shard_inbox);
+  const auto defaults = pipeline_config_from_text("");
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_TRUE(defaults.value().enrich_shard_inbox);  // sharded by default
+  EXPECT_FALSE(pipeline_config_from_text("[analytics]\nshard_inbox = maybe\n").ok());
+}
+
 TEST(PipelineConfigFile, LinkMeterKeys) {
   const auto r = pipeline_config_from_text("[meter]\nenabled = false\nwindow_s = 5\n");
   ASSERT_TRUE(r.ok()) << r.error();

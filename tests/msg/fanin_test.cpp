@@ -147,5 +147,138 @@ TEST(FanIn, SharedQueuePublishStillWorksAlongsideLanes) {
   EXPECT_EQ(sub->delivered(), 2u);
 }
 
+// ---- Sharded receive (recv_shard): each consumer owns the lanes where
+// lane % nshards == shard, making lane pops SPSC and keeping a
+// publisher lane's messages on one consumer, in order.
+
+TEST(ShardedRecv, TryRecvShardOnlyTouchesOwnLanes) {
+  PubSocket pub(/*default_hwm=*/16, /*fanin_lanes=*/4);
+  auto sub = pub.subscribe("t");
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    pub.publish_lane(lane, msg("t", std::to_string(lane)));
+  }
+  // Shard 1 of 2 owns lanes 1 and 3 — and must never see 0 or 2.
+  std::vector<std::string> got;
+  while (const auto m = sub->try_recv_shard(1, 2)) got.emplace_back(m->frames[1].view());
+  EXPECT_EQ(got.size(), 2u);
+  for (const auto& p : got) EXPECT_TRUE(p == "1" || p == "3") << p;
+  // Shard 0 of 2 drains the rest.
+  got.clear();
+  while (const auto m = sub->try_recv_shard(0, 2)) got.emplace_back(m->frames[1].view());
+  EXPECT_EQ(got.size(), 2u);
+  for (const auto& p : got) EXPECT_TRUE(p == "0" || p == "2") << p;
+}
+
+TEST(ShardedRecv, SharedQueueGoesToShardZero) {
+  PubSocket pub(/*default_hwm=*/16, /*fanin_lanes=*/2);
+  auto sub = pub.subscribe("t");
+  pub.publish(msg("t", "shared"));
+  EXPECT_FALSE(sub->try_recv_shard(1, 2).has_value());
+  const auto m = sub->try_recv_shard(0, 2);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->frames[1].view(), "shared");
+}
+
+TEST(ShardedRecv, DegradesToRecvWithoutLanes) {
+  // A lane-less subscription has nothing to shard: any shard index
+  // behaves exactly like recv(), so mixed topologies stay live.
+  PubSocket pub(/*default_hwm=*/16, /*fanin_lanes=*/0);
+  auto sub = pub.subscribe("t");
+  pub.publish(msg("t", "x"));
+  const auto m = sub->try_recv_shard(3, 4);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->frames[1].view(), "x");
+}
+
+TEST(ShardedRecv, NshardsOneIsPlainRecv) {
+  PubSocket pub(/*default_hwm=*/16, /*fanin_lanes=*/3);
+  auto sub = pub.subscribe("t");
+  pub.publish_lane(0, msg("t", "a"));
+  pub.publish_lane(2, msg("t", "b"));
+  pub.publish(msg("t", "c"));
+  int got = 0;
+  while (sub->try_recv_shard(0, 1).has_value()) ++got;
+  EXPECT_EQ(got, 3);
+}
+
+TEST(ShardedRecv, ConservationAcrossConcurrentShardConsumers) {
+  // 5 lanes over 3 shard consumers (uneven split: shard 0 -> lanes 0,3
+  // + shared queue; shard 1 -> 1,4; shard 2 -> 2).  Every message must
+  // arrive exactly once, per-lane FIFO must hold within each consumer,
+  // and every consumer must see EOF after close.
+  constexpr std::size_t kLanes = 5;
+  constexpr std::size_t kShards = 3;
+  constexpr int kPerLane = 3000;
+  constexpr int kShared = 500;
+  PubSocket pub(/*default_hwm=*/kLanes * kPerLane + kShared, /*fanin_lanes=*/kLanes);
+  auto sub = pub.subscribe("t");
+
+  std::vector<std::thread> producers;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    producers.emplace_back([&pub, lane] {
+      for (int i = 0; i < kPerLane; ++i) {
+        pub.publish_lane(lane, msg("t", std::to_string(lane) + ":" + std::to_string(i)));
+      }
+    });
+  }
+  producers.emplace_back([&pub] {
+    for (int i = 0; i < kShared; ++i) pub.publish(msg("t", "s:" + std::to_string(i)));
+  });
+
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<std::uint64_t> shared_received{0};
+  std::atomic<bool> fifo{true};
+  std::atomic<bool> lane_ownership{true};
+  std::vector<std::thread> consumers;
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    consumers.emplace_back([&, shard] {
+      std::vector<int> next_seq(kLanes, 0);
+      int next_shared = 0;
+      while (const auto m = sub->recv_shard(shard, kShards)) {
+        const std::string payload(m->frames[1].view());
+        const auto colon = payload.find(':');
+        const int seq = std::stoi(payload.substr(colon + 1));
+        if (payload[0] == 's') {
+          // Shared-queue messages only ever reach shard 0, in order.
+          if (shard != 0 || seq != next_shared) lane_ownership.store(false);
+          ++next_shared;
+          shared_received.fetch_add(1);
+        } else {
+          const std::size_t lane = std::stoul(payload.substr(0, colon));
+          if (lane % kShards != shard) lane_ownership.store(false);
+          if (seq != next_seq[lane]) fifo.store(false);
+          ++next_seq[lane];
+        }
+        received.fetch_add(1);
+      }
+      // EOF is sticky per shard.
+      EXPECT_FALSE(sub->recv_shard(shard, kShards).has_value());
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  pub.close_all();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_TRUE(fifo.load());
+  EXPECT_TRUE(lane_ownership.load());
+  EXPECT_EQ(received.load(), static_cast<std::uint64_t>(kLanes) * kPerLane + kShared);
+  EXPECT_EQ(shared_received.load(), static_cast<std::uint64_t>(kShared));
+  EXPECT_EQ(sub->dropped(), 0u);
+}
+
+TEST(ShardedRecv, ShardBeyondLaneCountSeesEofAfterClose) {
+  // 2 lanes, 4 shards: shards 2 and 3 own nothing and must not hang.
+  PubSocket pub(/*default_hwm=*/16, /*fanin_lanes=*/2);
+  auto sub = pub.subscribe("t");
+  pub.publish_lane(0, msg("t", "a"));
+  pub.publish_lane(1, msg("t", "b"));
+  pub.close_all();
+  EXPECT_FALSE(sub->recv_shard(2, 4).has_value());
+  EXPECT_FALSE(sub->recv_shard(3, 4).has_value());
+  EXPECT_TRUE(sub->recv_shard(0, 4).has_value());
+  EXPECT_TRUE(sub->recv_shard(1, 4).has_value());
+}
+
 }  // namespace
 }  // namespace ruru

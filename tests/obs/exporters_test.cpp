@@ -6,7 +6,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
-#include "tsdb/tsdb.hpp"
+#include "tsdb/query.hpp"
 
 namespace ruru::obs {
 namespace {
@@ -78,7 +78,7 @@ TEST(SelfIngestTest, WritesPrefixedSeriesWithStatTags) {
   GaugeHandle g = reg.gauge("bus.pending");
   HistogramHandle h = reg.histogram("enrich.batch_ns");
 
-  TimeSeriesDb db;
+  TsdbEngine db;
   SelfIngestExporter exporter(db);
 
   c.add(100);

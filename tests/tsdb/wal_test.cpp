@@ -1,12 +1,27 @@
+// WAL v2 (length + CRC32 framing): round-trip into both the legacy
+// store and the engine, plus the recovery contract the format exists
+// for — replay applies exactly the records that were fully and
+// correctly written, truncating at the first torn or corrupt record.
+// The truncation test cuts the log at EVERY byte offset; the
+// corruption test flips EVERY byte.  Both assertions are exact, not
+// "some prefix": the framed record boundaries are recomputed from the
+// headers, so the tests fail loudly if the format or the recovery
+// logic drifts.
+
 #include "tsdb/wal.hpp"
 
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "tsdb/query.hpp"
 #include "tsdb/tsdb.hpp"
 
 namespace ruru {
@@ -19,15 +34,48 @@ class WalTest : public ::testing::Test {
              ("wal_test_" + std::to_string(::getpid()) + "_" +
               ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".wal"))
                 .string();
+    mut_path_ = path_ + ".mut";
   }
-  void TearDown() override { std::remove(path_.c_str()); }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove(mut_path_.c_str());
+  }
   std::string path_;
+  std::string mut_path_;
 };
 
 TagSet tags(std::string src) {
   TagSet t;
   t.add("src_city", std::move(src)).add("dst_city", "LA");
   return t;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes,
+                std::size_t len) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()), static_cast<std::streamsize>(len));
+}
+
+/// Walks the framed records (u32 len | u32 crc | payload) and returns
+/// each record's exclusive end offset.
+std::vector<std::size_t> record_ends(const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::size_t> ends;
+  std::size_t off = 0;
+  while (off + 8 <= bytes.size()) {
+    const std::uint32_t len = static_cast<std::uint32_t>(bytes[off]) |
+                              (static_cast<std::uint32_t>(bytes[off + 1]) << 8) |
+                              (static_cast<std::uint32_t>(bytes[off + 2]) << 16) |
+                              (static_cast<std::uint32_t>(bytes[off + 3]) << 24);
+    if (off + 8 + len > bytes.size()) break;
+    off += 8 + len;
+    ends.push_back(off);
+  }
+  return ends;
 }
 
 TEST_F(WalTest, ReplayRebuildsExactState) {
@@ -64,6 +112,45 @@ TEST_F(WalTest, ReplayRebuildsExactState) {
             1u);
 }
 
+TEST_F(WalTest, EngineWritesReplayIntoEngineAndLegacy) {
+  // The engine mirrors appends through the same WAL; a log written by
+  // the engine must rebuild either store.
+  {
+    auto wal = Wal::create(path_);
+    ASSERT_TRUE(wal.ok()) << wal.error();
+    TsdbEngine engine;
+    engine.attach_wal(&wal.value());
+    const SeriesId sid = engine.series("total_ms", tags("Auckland"));
+    for (int i = 0; i < 100; ++i) {
+      engine.append(sid, Timestamp::from_ms(i), 100.0 + i * 0.5);
+    }
+    engine.write("internal_ms", tags("Wellington"), Timestamp::from_ms(7), 5.0);
+    EXPECT_EQ(wal.value().records(), 101u);
+    wal.value().sync();
+  }
+
+  TsdbEngine engine2;
+  const auto into_engine = Wal::replay(path_, engine2);
+  ASSERT_TRUE(into_engine.ok()) << into_engine.error();
+  EXPECT_EQ(into_engine.value(), 101u);
+
+  TimeSeriesDb legacy;
+  const auto into_legacy = Wal::replay(path_, legacy);
+  ASSERT_TRUE(into_legacy.ok()) << into_legacy.error();
+  EXPECT_EQ(into_legacy.value(), 101u);
+
+  // Both rebuilt stores agree with each other (oracle parity holds
+  // through a WAL round-trip, tags included).
+  TagSet filter;
+  filter.add("src_city", "Auckland");
+  const auto a = legacy.aggregate("total_ms", filter, Timestamp{}, Timestamp::from_sec(10));
+  const auto b = engine2.aggregate("total_ms", filter, Timestamp{}, Timestamp::from_sec(10));
+  EXPECT_EQ(a.count, 100u);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.median, b.median);
+}
+
 TEST_F(WalTest, ToleratesTornTail) {
   {
     auto wal = Wal::create(path_);
@@ -84,6 +171,110 @@ TEST_F(WalTest, ToleratesTornTail) {
   const auto applied = Wal::replay(path_, rebuilt);
   ASSERT_TRUE(applied.ok());
   EXPECT_EQ(applied.value(), 2u);  // intact records only
+}
+
+TEST_F(WalTest, TruncationAtEveryByteOffset) {
+  constexpr int kRecords = 6;
+  {
+    auto wal = Wal::create(path_);
+    ASSERT_TRUE(wal.ok());
+    TimeSeriesDb db;
+    db.attach_wal(&wal.value());
+    for (int i = 0; i < kRecords; ++i) {
+      // Varying string lengths so record sizes differ.
+      db.write("m" + std::string(static_cast<std::size_t>(i % 3), 'x'),
+               tags("city" + std::to_string(i)), Timestamp::from_ms(i),
+               static_cast<double>(i));
+    }
+    wal.value().sync();
+  }
+
+  const std::vector<std::uint8_t> bytes = read_file(path_);
+  const std::vector<std::size_t> ends = record_ends(bytes);
+  ASSERT_EQ(ends.size(), static_cast<std::size_t>(kRecords));
+  ASSERT_EQ(ends.back(), bytes.size());
+
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    write_file(mut_path_, bytes, cut);
+    std::size_t expect = 0;
+    while (expect < ends.size() && ends[expect] <= cut) ++expect;
+
+    TimeSeriesDb rebuilt;
+    const auto applied = Wal::replay(mut_path_, rebuilt);
+    ASSERT_TRUE(applied.ok()) << "cut at " << cut;
+    EXPECT_EQ(applied.value(), expect) << "cut at " << cut;
+    EXPECT_EQ(rebuilt.points_written(), expect) << "cut at " << cut;
+  }
+}
+
+TEST_F(WalTest, ByteFlipStopsAtDamagedRecord) {
+  constexpr int kRecords = 4;
+  {
+    auto wal = Wal::create(path_);
+    ASSERT_TRUE(wal.ok());
+    TimeSeriesDb db;
+    db.attach_wal(&wal.value());
+    for (int i = 0; i < kRecords; ++i) {
+      db.write("m", tags("c" + std::to_string(i)), Timestamp::from_ms(i),
+               static_cast<double>(i));
+    }
+    wal.value().sync();
+  }
+
+  const std::vector<std::uint8_t> bytes = read_file(path_);
+  const std::vector<std::size_t> ends = record_ends(bytes);
+  ASSERT_EQ(ends.size(), static_cast<std::size_t>(kRecords));
+
+  std::vector<std::uint8_t> mutated = bytes;
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    mutated[pos] = static_cast<std::uint8_t>(bytes[pos] ^ 0xFF);
+    write_file(mut_path_, mutated, mutated.size());
+    mutated[pos] = bytes[pos];
+
+    // The record containing the flipped byte fails its CRC (or its
+    // length sanity check); everything before it replays, nothing at
+    // or after it does.
+    std::size_t damaged = 0;
+    while (ends[damaged] <= pos) ++damaged;
+
+    TimeSeriesDb rebuilt;
+    const auto applied = Wal::replay(mut_path_, rebuilt);
+    ASSERT_TRUE(applied.ok()) << "flip at " << pos;
+    EXPECT_EQ(applied.value(), damaged) << "flip at " << pos;
+    EXPECT_EQ(rebuilt.points_written(), damaged) << "flip at " << pos;
+  }
+}
+
+TEST_F(WalTest, ImplausibleLengthFieldsStopReplay) {
+  {
+    auto wal = Wal::create(path_);
+    ASSERT_TRUE(wal.ok());
+    TimeSeriesDb db;
+    db.attach_wal(&wal.value());
+    db.write("m", tags("A"), Timestamp::from_ms(1), 1.0);
+    db.write("m", tags("B"), Timestamp::from_ms(2), 2.0);
+    wal.value().sync();
+  }
+  const std::vector<std::uint8_t> bytes = read_file(path_);
+  const std::vector<std::size_t> ends = record_ends(bytes);
+  ASSERT_EQ(ends.size(), 2u);
+
+  // Overwrite record 1's length with each implausible value: zero
+  // (below the fixed payload floor) and huge (past the framing cap).
+  for (const std::uint32_t bad_len : {0u, 0xFFFF'FFFFu, 7u}) {
+    std::vector<std::uint8_t> mutated = bytes;
+    const std::size_t off = ends[0];
+    mutated[off + 0] = static_cast<std::uint8_t>(bad_len);
+    mutated[off + 1] = static_cast<std::uint8_t>(bad_len >> 8);
+    mutated[off + 2] = static_cast<std::uint8_t>(bad_len >> 16);
+    mutated[off + 3] = static_cast<std::uint8_t>(bad_len >> 24);
+    write_file(mut_path_, mutated, mutated.size());
+
+    TimeSeriesDb rebuilt;
+    const auto applied = Wal::replay(mut_path_, rebuilt);
+    ASSERT_TRUE(applied.ok());
+    EXPECT_EQ(applied.value(), 1u) << "len=" << bad_len;
+  }
 }
 
 TEST_F(WalTest, ReplayMissingFileFails) {

@@ -20,7 +20,7 @@ class DashboardTest : public ::testing::Test {
       db_.write("total_ms", route_tags(), Timestamp::from_ms(ms), glitch ? 4130.0 : 130.0);
     }
   }
-  TimeSeriesDb db_;
+  TsdbEngine db_;
 };
 
 TEST_F(DashboardTest, GraphShowsSpikeColumn) {

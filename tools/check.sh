@@ -35,13 +35,21 @@
 # invariant run un-sanitized: the sharded pipeline must emit bit-
 # identical samples at 1, 2, and 4 workers.
 #
-# Usage: tools/check.sh [thread|address|undefined|metrics|enrich|flow|scale]   (default: thread)
+# The `tsdb` mode gates the compressed storage engine: the whole tsdb
+# suite (Gorilla bit codec, open-addressed series index, WAL framing
+# fed truncated and byte-flipped logs, oracle-parity queries) under
+# ASan+UBSan — the codec shifts raw 64-bit lanes and the WAL parses
+# hostile bytes, so both heap misuse and UB must abort — plus a TSan
+# pass over the sharded engine's reader/writer decoupling (concurrent
+# ingest, lock-free sealed-chunk scans, retention rewrites).
+#
+# Usage: tools/check.sh [thread|address|undefined|metrics|enrich|flow|scale|tsdb]   (default: thread)
 set -euo pipefail
 
 SAN="${1:-thread}"
 case "$SAN" in
-  thread|address|undefined|metrics|enrich|flow|scale) ;;
-  *) echo "usage: $0 [thread|address|undefined|metrics|enrich|flow|scale]" >&2; exit 2 ;;
+  thread|address|undefined|metrics|enrich|flow|scale|tsdb) ;;
+  *) echo "usage: $0 [thread|address|undefined|metrics|enrich|flow|scale|tsdb]" >&2; exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -127,6 +135,32 @@ if [ "$SAN" = "scale" ]; then
   "$BUILD/tests/test_core" \
     --gtest_filter='Scaling.ShardedNWorkersBitIdenticalTo1Worker:Scaling.FanInConservesEverySample'
   echo "scale gate OK: lanes TSan-clean, sharded output bit-identical at 1/2/4 workers"
+  exit 0
+fi
+
+if [ "$SAN" = "tsdb" ]; then
+  # Storage-engine gate, part 1: codec + index + WAL + parity queries
+  # under ASan+UBSan in one build.  The chunk codec packs/unpacks raw
+  # 64-bit lanes with data-dependent shifts, the series index probes a
+  # flat open-addressed table, and the WAL recovery tests feed it logs
+  # cut at every byte offset and flipped at every byte — exactly the
+  # inputs where heap misuse or UB would hide.
+  BUILD="$ROOT/build-tsdb"
+  cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE=address+undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$JOBS" --target test_tsdb
+  (cd "$BUILD" && ctest --output-on-failure -j"$JOBS" \
+    -R 'BitStream|ChunkCodec|ChunkWriter|SeriesIndex|Engine|Wal|Tsdb|Downsample')
+
+  # Part 2: the reader/writer decoupling under TSan.  Shard-local
+  # append locks, lock-free sealed-chunk reads via shared_ptr snapshots
+  # and retention rewriting chunks mid-scan are the claims; the
+  # EngineConcurrency suite drives all of them at once.
+  BUILD="$ROOT/build-thread"
+  cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$JOBS" --target test_tsdb
+  "$BUILD/tests/test_tsdb" --gtest_filter='EngineConcurrency.*'
+  echo "tsdb gate OK: codec/index/WAL ASan+UBSan-clean, sharded engine TSan-clean"
   exit 0
 fi
 
