@@ -6,10 +6,14 @@
 //     RFC 6455 client to ws://127.0.0.1:<port>/live while it runs)
 //   * redraws a Grafana-style dashboard once per second
 //
-// Run: ./ruru_live [--metrics] [config_file] [seconds] [flows_per_sec]
+// Run: ./ruru_live [--metrics] [--trace] [config_file] [seconds] [flows_per_sec]
 // --metrics (or obs.enabled in the config file) turns on the live
 // telemetry layer; the dashboard then shows self-ingested pipeline
 // health series alongside the traffic it measures.
+// --trace (or obs.trace_sample_n in the config file) arms the flight
+// recorder at 1-in-64 sampling plus the stall watchdog — send SIGUSR1
+// for a live flight-record dump — and writes /tmp/ruru_trace.json for
+// ui.perfetto.dev on exit.
 
 #include <chrono>
 #include <cstdio>
@@ -31,10 +35,13 @@ int main(int argc, char** argv) {
   using SteadyClock = std::chrono::steady_clock;
 
   bool with_metrics = false;
+  bool with_trace = false;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       with_metrics = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      with_trace = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -52,6 +59,11 @@ int main(int argc, char** argv) {
     std::printf("loaded config from %s\n", args[0]);
   }
   if (with_metrics) config.metrics_enabled = true;
+  if (with_trace) {
+    config.trace_sample_n = 64;
+    config.trace_json_path = "/tmp/ruru_trace.json";
+    config.watchdog_enabled = true;
+  }
   const double seconds = args.size() > 1 ? std::atof(args[1]) : 5.0;
   const double flows_per_sec = args.size() > 2 ? std::atof(args[2]) : 800.0;
 
@@ -110,6 +122,11 @@ int main(int argc, char** argv) {
   ws.close();
 
   std::printf("\nfinal: %s\n", pipeline.summary().to_string().c_str());
+  if (pipeline.tracer().enabled()) {
+    std::printf("flight recorder: %llu events (perfetto trace: %s)\n",
+                static_cast<unsigned long long>(pipeline.tracer().events_emitted()),
+                config.trace_json_path.c_str());
+  }
   std::fputs(dashboard.render_pair_table(pipeline.city_pairs().summaries()).c_str(), stdout);
   return 0;
 }

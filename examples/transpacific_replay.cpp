@@ -4,11 +4,16 @@
 // 3-timestamps-per-flow handshake method vs pping-style TS-option
 // matching vs tcptrace-style seq/ack matching.
 //
-// Run: ./transpacific_replay [pcap_path] [--metrics]
+// Run: ./transpacific_replay [pcap_path] [--metrics] [--trace]
 // With --metrics the pipeline runs its live telemetry layer: self-ingested
 // "ruru.self.*" series land in the TSDB, each snapshot tick rewrites
 // /tmp/ruru_metrics.prom (Prometheus text format) and appends one line
 // to /tmp/ruru_metrics.jsonl.
+// With --trace the flight recorder samples 1-in-64 flows end to end
+// (nic -> worker -> flow -> bus -> enrich -> tsdb spans), arms the stall
+// watchdog (SIGUSR1 dumps the flight record of a live run) and writes a
+// Chrome/Perfetto trace to /tmp/ruru_trace.json on finish — load it in
+// ui.perfetto.dev or chrome://tracing.
 
 #include <cstdio>
 #include <cstring>
@@ -25,10 +30,13 @@ int main(int argc, char** argv) {
   using namespace ruru;
 
   bool with_metrics = false;
+  bool with_trace = false;
   std::string path = "/tmp/ruru_transpacific.pcap";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       with_metrics = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      with_trace = true;
     } else {
       path = argv[i];
     }
@@ -63,6 +71,11 @@ int main(int argc, char** argv) {
     config.metrics_prometheus_path = "/tmp/ruru_metrics.prom";
     config.metrics_json_path = "/tmp/ruru_metrics.jsonl";
   }
+  if (with_trace) {
+    config.trace_sample_n = 64;
+    config.trace_json_path = "/tmp/ruru_trace.json";
+    config.watchdog_enabled = true;
+  }
   RuruPipeline pipeline(config, world.geo, world.as);
   pipeline.start();
   const auto replay = replay_pcap(pipeline, path);
@@ -84,6 +97,11 @@ int main(int argc, char** argv) {
                 "(prometheus: /tmp/ruru_metrics.prom, jsonl: /tmp/ruru_metrics.jsonl)\n\n",
                 pipeline.metrics().metric_count(),
                 transit.count != 0 ? transit.max / 1e6 : 0.0);
+  }
+  if (with_trace) {
+    std::printf("flight recorder: %llu events at 1-in-64 sampling "
+                "(perfetto trace: /tmp/ruru_trace.json; SIGUSR1 dumps a live run)\n\n",
+                static_cast<unsigned long long>(pipeline.tracer().events_emitted()));
   }
 
   // --- 3. run the baselines over the same pcap ---

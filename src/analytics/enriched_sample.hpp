@@ -47,6 +47,9 @@ struct EnrichedSample {
   Timestamp started_at;    ///< time of the first SYN at the tap
   Timestamp completed_at;  ///< time of the handshake ACK at the tap
   std::uint16_t queue_id = 0;
+  /// Flight-recorder id carried from the LatencySample (0 = untraced).
+  /// Still POD — the id is a u32, never a pointer into tracer state.
+  std::uint32_t trace_id = 0;
 };
 
 // The whole enrichment output must stay allocation-free to copy: a

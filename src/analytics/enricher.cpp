@@ -68,6 +68,7 @@ EnrichedSample Enricher::enrich(const LatencySample& sample) {
   out.started_at = sample.syn_time;
   out.completed_at = sample.ack_time;
   out.queue_id = sample.queue_id;
+  out.trace_id = sample.trace_id;
   ++stats_.enriched;
   if (!out.client.located || !out.server.located) ++stats_.unlocated;
   // The LatencySample (with its IP addresses) dies here: nothing beyond

@@ -1,6 +1,7 @@
 #include "analytics/pool.hpp"
 
 #include "driver/eal.hpp"
+#include "obs/tsc_clock.hpp"
 
 namespace ruru {
 
@@ -46,11 +47,15 @@ void EnrichmentPool::stop() {
 void EnrichmentPool::worker_main(std::size_t index) {
   Enricher& enricher = *enrichers_[index];
   const PoolObs obs = obs_factory_ ? obs_factory_(index) : PoolObs{};
-  // Only take wall timestamps when someone is listening; an
-  // uninstrumented pool runs the original loop byte for byte.
+  // Only take timestamps when someone is listening; an uninstrumented
+  // pool runs the original loop byte for byte.  Timestamps come from
+  // the calibrated TSC clock — the same timebase publishers stamp
+  // enqueued_at with and trace spans use, so queue-wait and span
+  // arithmetic never mix clock domains (and never see NTP slew).
   const bool timed = obs.queue_wait.attached() || obs.enrich_batch.attached() ||
                      obs.transit.attached();
-  const SystemClock clock;
+  const bool tracing = obs.trace.attached() && obs.trace_sample_n != 0;
+  const obs::TscClock& clock = obs::trace_clock();
   std::uint64_t message_count = 0;
   // Reused decode buffer: one batch decode per message, no per-sample
   // allocation.
@@ -69,15 +74,27 @@ void EnrichmentPool::worker_main(std::size_t index) {
     auto msg = sharded ? source_->recv_shard(index, thread_count_)
                        : source_->recv();  // blocking; nullopt == closed and drained
     if (!msg) break;
+    // A batch with no traced samples short-circuits on the message's
+    // trace_id flag; per-sample work below only runs for traced batches.
+    const bool traced_msg = tracing && msg->trace_id != 0;
     Timestamp dequeued{};
-    if (timed) {
+    if (timed || traced_msg) {
       dequeued = clock.now();
-      if (msg->enqueued_at.ns != 0) obs.queue_wait.record(dequeued - msg->enqueued_at);
+      if (timed && msg->enqueued_at.ns != 0) {
+        obs.queue_wait.record(dequeued - msg->enqueued_at);
+      }
     }
     samples.clear();
     if (msg->frames.size() < 2 || !decode_latency_payload(msg->frames[1], samples)) {
       decode_failures_.fetch_add(1, std::memory_order_relaxed);
       continue;
+    }
+    if (traced_msg) {
+      // Re-derive per-sample ids from the serialized RSS hash (the id
+      // itself never crosses the wire) so enrichment output carries them.
+      for (LatencySample& s : samples) {
+        s.trace_id = obs::trace_id_for(s.rss_hash, obs.trace_sample_n);
+      }
     }
     enriched.clear();
     enricher.enrich_batch(samples, enriched);
@@ -87,14 +104,34 @@ void EnrichmentPool::worker_main(std::size_t index) {
     // processed() counts samples, not messages, so pipeline accounting
     // stays truthful when the feed batches.
     processed_.fetch_add(samples.size(), std::memory_order_relaxed);
-    if (timed) {
+    if (timed || traced_msg) {
       const Timestamp done = clock.now();
-      obs.enrich_batch.record(done - dequeued);
-      // Sampled end-to-end transit: publish stamp -> sinks complete.
-      ++message_count;
-      const std::uint64_t every = obs.transit_sample_every == 0 ? 1 : obs.transit_sample_every;
-      if (msg->enqueued_at.ns != 0 && message_count % every == 0) {
-        obs.transit.record(done - msg->enqueued_at);
+      if (timed) {
+        obs.enrich_batch.record(done - dequeued);
+        // Sampled end-to-end transit: publish stamp -> sinks complete.
+        ++message_count;
+        const std::uint64_t every =
+            obs.transit_sample_every == 0 ? 1 : obs.transit_sample_every;
+        if (msg->enqueued_at.ns != 0 && message_count % every == 0) {
+          obs.transit.record(done - msg->enqueued_at);
+        }
+      }
+      if (traced_msg) {
+        const std::uint16_t shard = static_cast<std::uint16_t>(index);
+        for (const LatencySample& s : samples) {
+          if (s.trace_id == 0) continue;
+          // bus span: publish stamp -> dequeue; enrich span: dequeue ->
+          // sinks done.  Batch-level times attributed to each traced
+          // sample — per-sample timing would mean a TSC read per sample.
+          if (msg->enqueued_at.ns != 0) {
+            obs.trace.span(obs::TraceStage::kBus, s.trace_id, msg->enqueued_at.ns,
+                           (dequeued - msg->enqueued_at).ns,
+                           static_cast<std::uint32_t>(samples.size()), shard);
+          }
+          obs.trace.span(obs::TraceStage::kEnrich, s.trace_id, dequeued.ns,
+                         (done - dequeued).ns, static_cast<std::uint32_t>(samples.size()),
+                         shard);
+        }
       }
     }
   }

@@ -14,6 +14,7 @@
 #include "msg/codec.hpp"
 #include "msg/pubsub.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ruru {
 
@@ -25,6 +26,11 @@ struct PoolObs {
   obs::HistogramHandle enrich_batch; ///< decode+enrich+sinks per message, ns
   obs::HistogramHandle transit;      ///< sampled publish -> sinks-done, ns
   std::uint32_t transit_sample_every = 16;  ///< record 1-in-N messages
+  /// Flight recorder: this worker's span ring + the 1-in-N rate used to
+  /// re-derive per-sample trace ids after decode (the id is not on the
+  /// wire).  Inert handle / 0 = tracing off for this worker.
+  obs::TraceHandle trace;
+  std::uint32_t trace_sample_n = 0;
 };
 
 class EnrichmentPool {

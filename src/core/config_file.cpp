@@ -245,6 +245,18 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
       cfg.metrics_prometheus_path = value;
     } else if (key == "obs.json_path") {
       cfg.metrics_json_path = value;
+    } else if (key == "obs.trace_sample_n") {
+      status = set_u64(cfg.trace_sample_n);
+    } else if (key == "obs.trace_ring") {
+      status = set_u64(cfg.trace_ring_capacity);
+    } else if (key == "obs.trace_json_path") {
+      cfg.trace_json_path = value;
+    } else if (key == "obs.watchdog") {
+      status = set_bool(cfg.watchdog_enabled);
+    } else if (key == "obs.watchdog_interval_s") {
+      status = set_seconds(cfg.watchdog_interval);
+    } else if (key == "obs.watchdog_stall_s") {
+      status = set_seconds(cfg.watchdog_stall_after);
     } else {
       return make_error("config: unknown key '" + key + "'");
     }
@@ -289,6 +301,17 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
   }
   if (cfg.metrics_enabled && cfg.metrics_interval.ns <= 0) {
     return make_error("config: obs.interval_s must be > 0");
+  }
+  if (cfg.trace_sample_n != 0 && cfg.trace_ring_capacity == 0) {
+    return make_error("config: obs.trace_ring must be >= 1 when tracing is enabled");
+  }
+  if (cfg.watchdog_enabled) {
+    if (cfg.watchdog_interval.ns <= 0) {
+      return make_error("config: obs.watchdog_interval_s must be > 0");
+    }
+    if (cfg.watchdog_stall_after.ns <= 0) {
+      return make_error("config: obs.watchdog_stall_s must be > 0");
+    }
   }
   return cfg;
 }

@@ -7,6 +7,7 @@
 
 #include "anomaly/alert_codec.hpp"
 #include "msg/codec.hpp"
+#include "obs/tsc_clock.hpp"
 #include "util/logging.hpp"
 
 namespace ruru {
@@ -37,10 +38,22 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
         std::to_string(config_.num_queues) + " workers + " + std::to_string(enrichers) +
         " enrichers)");
   }
+  // Flight recorder first: stages constructed below take handles into
+  // its rings.  With sample_n == 0 (or -DRURU_TRACE=0) every handle is
+  // inert and the NIC never stamps.
+  tracer_.configure(obs::TracerConfig{config_.trace_sample_n, config_.trace_ring_capacity});
+  // One timebase for bus stamps, queue-wait, transit and trace spans:
+  // the calibrated TSC clock (anchored to steady_clock's epoch, so the
+  // swap is invisible to existing metrics consumers).
+  if (config_.metrics_enabled || tracer_.enabled()) {
+    bus_.set_stamp_clock(&obs::trace_clock());
+  }
+
   NicConfig nic_cfg;
   nic_cfg.num_queues = config_.num_queues;
   nic_cfg.queue_depth = config_.queue_depth;
   nic_cfg.rss_key = config_.rss_key;
+  nic_cfg.trace_sample_n = tracer_.enabled() ? config_.trace_sample_n : 0;
   nic_ = std::make_unique<SimNic>(nic_cfg, pool_);
 
   if (config_.enable_synflood) synflood_ = std::make_unique<SynFloodDetector>(config_.synflood);
@@ -62,15 +75,14 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
     worker->set_batch_sink(
         [this, q](std::span<const LatencySample> samples) {
           Message m = encode_latency_batch(samples);
-          if (config_.metrics_enabled) {
-            // Wall-clock publish stamp: anchors bus queue wait and the
-            // end-to-end transit histogram (capture time is virtual in
-            // replay, so transit cannot start at the capture stamp).
-            m.enqueued_at = SystemClock{}.now();
-          }
-          // Worker q is lane q's only publisher: the fan-in ticket CAS
-          // is uncontended no matter how many workers flush at once.
-          bus_.publish_lane(q, m, samples.size());
+          // Publish stamp (anchors bus queue wait, end-to-end transit
+          // and the bus trace span — capture time is virtual in replay,
+          // so transit cannot start at the capture stamp) comes from
+          // the socket's stamp clock: the calibrated TSC clock, one
+          // timebase for metrics and spans.  Worker q is lane q's only
+          // publisher: the fan-in ticket CAS is uncontended no matter
+          // how many workers flush at once.
+          bus_.publish_lane_stamped(q, m, samples.size());
           if (synflood_) {
             for (const LatencySample& s : samples) {
               if (s.server.is_v4()) synflood_->on_completion(s.ack_time, s.server.v4);
@@ -84,6 +96,15 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
     }
     workers_.push_back(std::move(worker));
   }
+  if (tracer_.enabled()) {
+    for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
+      workers_[q]->set_trace(tracer_.ring("worker.q" + std::to_string(q)),
+                             config_.trace_sample_n);
+    }
+    // The TSDB sink runs on whichever enrichment thread carries the
+    // sample, so its ring is the one multi-producer (locked) ring.
+    sink_trace_ = tracer_.shared_ring("tsdb.sink");
+  }
 
   enrichment_sub_ = bus_.subscribe(std::string(kLatencyTopic), config_.bus_hwm);
   enrichment_ = std::make_unique<EnrichmentPool>(enrichment_sub_, geo_, as_,
@@ -91,6 +112,44 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
   enrichment_->set_shard_inbox(config_.enrich_shard_inbox);
   register_metrics();
   wire_sinks();
+
+  if (config_.watchdog_enabled) {
+    obs::WatchdogConfig wc;
+    wc.check_interval = config_.watchdog_interval;
+    wc.stall_after = config_.watchdog_stall_after;
+    watchdog_ = std::make_unique<obs::Watchdog>(wc, &tracer_);
+    // Heartbeats: each stage's own progress counter.  Worker polls and
+    // snapshot ticks must always advance (a poll loop spins, a timer
+    // ticks); enrichment and the TSDB sink are only stalled if frozen
+    // *with* bus backlog — an idle pipeline is healthy.
+    for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
+      QueueWorker* w = workers_[q].get();
+      watchdog_->add_stage("worker.q" + std::to_string(q),
+                           [w] { return w->stats().polls.load(); });
+    }
+    watchdog_->add_stage(
+        "enrich", [this] { return enrichment_->processed(); },
+        [this] { return static_cast<double>(enrichment_sub_->pending()); });
+    if (snapshot_timer_) {
+      watchdog_->add_stage("snapshot", [this] { return snapshot_timer_->ticks(); });
+    }
+    if (config_.tsdb_store_samples) {
+      watchdog_->add_stage(
+          "tsdb", [this] { return tsdb_.points_written(); },
+          [this] { return static_cast<double>(enrichment_sub_->pending()); });
+    }
+    watchdog_->set_report_sink([this](const obs::WatchdogReport& r) {
+      // The flight record itself goes through the logger (the stall
+      // summary line was already logged by the watchdog) ...
+      RURU_LOG(kWarn, "watchdog") << "\n" << r.dump;
+      // ... and the event lands in the pipeline's own TSDB as a
+      // ruru.health.* series, same self-ingest pattern as ruru.self.*.
+      TagSet tags;
+      tags.add("stage", r.stage.empty() ? "-" : r.stage).add("reason", r.reason);
+      tsdb_.write("ruru.health." + r.reason, tags, obs::trace_clock().now(),
+                  r.reason == "stall" ? r.stalled_for.to_sec() : 1.0);
+    });
+  }
 }
 
 void RuruPipeline::register_metrics() {
@@ -235,6 +294,36 @@ void RuruPipeline::register_metrics() {
   metrics_.register_counter_fn("tsdb.points", [this] { return tsdb_.points_written(); });
   metrics_.register_counter_fn("alerts.raised",
                                [this] { return static_cast<std::uint64_t>(alerts_.count()); });
+  // Self-health: flight-recorder volume and watchdog verdicts.  The
+  // watchdog is constructed after this runs, hence the null guards.
+  metrics_.register_counter_fn("trace.events", [this] { return tracer_.events_emitted(); });
+  metrics_.register_counter_fn("health.stalls", [this] {
+    return watchdog_ ? watchdog_->stalls_detected() : 0;
+  });
+  metrics_.register_counter_fn("health.dumps", [this] {
+    return watchdog_ ? watchdog_->dumps_taken() : 0;
+  });
+
+  // Enrichment-side hooks: histograms when metrics are on, the flight
+  // recorder's per-worker span ring when tracing is on — either alone
+  // installs the factory.
+  const bool tracing = tracer_.enabled();
+  if (config_.metrics_enabled || tracing) {
+    enrichment_->set_obs_factory([this, tracing](std::size_t i) {
+      PoolObs o;
+      if (config_.metrics_enabled) {
+        o.queue_wait = metrics_.histogram("bus.queue_wait_ns", i);
+        o.enrich_batch = metrics_.histogram("enrich.batch_ns", i);
+        o.transit = metrics_.histogram("pipeline.transit_ns", i);
+        o.transit_sample_every = config_.transit_sample_every;
+      }
+      if (tracing) {
+        o.trace = tracer_.ring("enrich.w" + std::to_string(i));
+        o.trace_sample_n = config_.trace_sample_n;
+      }
+      return o;
+    });
+  }
 
   if (!config_.metrics_enabled) return;
 
@@ -248,14 +337,6 @@ void RuruPipeline::register_metrics() {
     wobs.flow.group_occupancy = metrics_.histogram("flow.group_occupancy", q);
     workers_[q]->set_obs(wobs);
   }
-  enrichment_->set_obs_factory([this](std::size_t i) {
-    PoolObs o;
-    o.queue_wait = metrics_.histogram("bus.queue_wait_ns", i);
-    o.enrich_batch = metrics_.histogram("enrich.batch_ns", i);
-    o.transit = metrics_.histogram("pipeline.transit_ns", i);
-    o.transit_sample_every = config_.transit_sample_every;
-    return o;
-  });
   // TSDB writes happen on whichever enrichment thread runs the sink, so
   // this one shard is shared (record_shared) — the write itself is
   // mutex-guarded, contention is already paid.
@@ -332,13 +413,23 @@ void RuruPipeline::wire_sinks() {
         std::lock_guard lock(routes->mu);
         routes->map.emplace(key, sids);
       }
+      // TSC timebase for both the write histogram and the tsdb span —
+      // the same clock every other stage stamps with.
       const bool timed = tsdb_write_hist_.attached();
+      const bool traced = sink_trace_.attached() && s.trace_id != 0;
       Timestamp t0{};
-      if (timed) t0 = SystemClock{}.now();
+      if (timed || traced) t0 = obs::trace_clock().now();
       tsdb_.append(sids[0], s.completed_at, s.total.to_ms());
       tsdb_.append(sids[1], s.completed_at, s.internal.to_ms());
       tsdb_.append(sids[2], s.completed_at, s.external.to_ms());
-      if (timed) tsdb_write_hist_.record_shared(SystemClock{}.now() - t0);
+      if (timed || traced) {
+        const Timestamp t1 = obs::trace_clock().now();
+        if (timed) tsdb_write_hist_.record_shared(t1 - t0);
+        if (traced) {
+          sink_trace_.span(obs::TraceStage::kTsdb, s.trace_id, t0.ns, (t1 - t0).ns,
+                           3 /*points*/, s.queue_id);
+        }
+      }
     }
 
     if (ewma_) {
@@ -384,6 +475,10 @@ void RuruPipeline::start() {
     lcores_.launch([w](std::uint32_t, const std::atomic<bool>& stop) { w->run(stop); }, cpu);
   }
   if (snapshot_timer_) snapshot_timer_->start();
+  if (watchdog_) {
+    watchdog_->start();
+    obs::Watchdog::install_sigusr1(watchdog_.get());
+  }
   RURU_LOG(kInfo, "core") << "pipeline started: " << config_.num_queues << " queues, "
                           << config_.enrichment_threads << " enrichment threads"
                           << (config_.pin_cpus.empty() ? "" : ", pinned topology");
@@ -417,6 +512,11 @@ void RuruPipeline::finish() {
   if (!started_ || finished_) return;
   finished_ = true;
 
+  // 0. Watchdog first: stages stopping below would read as stalls.
+  if (watchdog_) {
+    obs::Watchdog::install_sigusr1(nullptr);
+    watchdog_->stop();
+  }
   // 1. Workers drain their queues, then stop.
   lcores_.stop_and_join();
   // 2. Flush capture-side windowed detectors (they are fed by workers,
@@ -471,6 +571,18 @@ void RuruPipeline::finish() {
     // Only raw per-sample series age out; downsampled and link series stay.
     tsdb_.enforce_retention(capture_end, config_.retention_horizon,
                             {"total_ms", "internal_ms", "external_ms"});
+  }
+
+  // 6. Export the flight record now that every stage has emitted its
+  //    last span.
+  if (!config_.trace_json_path.empty() && tracer_.enabled()) {
+    if (tracer_.export_chrome_json_file(config_.trace_json_path)) {
+      RURU_LOG(kInfo, "core") << "flight record exported to " << config_.trace_json_path
+                              << " (" << tracer_.events_emitted() << " events emitted)";
+    } else {
+      RURU_LOG(kWarn, "core") << "failed to export flight record to "
+                              << config_.trace_json_path;
+    }
   }
 
   RURU_LOG(kInfo, "core") << "pipeline finished: " << summary().to_string();

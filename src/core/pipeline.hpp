@@ -36,6 +36,8 @@
 #include "obs/exporters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/snapshot_timer.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "tsdb/query.hpp"
 #include "viz/arc_aggregator.hpp"
 
@@ -140,6 +142,26 @@ struct PipelineConfig {
   std::string metrics_prometheus_path;
   /// When non-empty: append one JSON line per tick to this file.
   std::string metrics_json_path;
+
+  // --- flight-recorder tracing / watchdog ---
+  /// 1-in-N packet-lifecycle sampling: flows whose RSS hash selects get
+  /// a trace id at the NIC and their spans recorded at every stage
+  /// (nic → worker → flow → bus → enrich → tsdb).  0 = tracing off; the
+  /// hot path then carries no trace work at all (and with
+  /// -DRURU_TRACE=0 the hooks are not even compiled).
+  std::uint32_t trace_sample_n = 0;
+  /// Events kept per stage ring (rounded up to a power of two).
+  std::size_t trace_ring_capacity = 4096;
+  /// When non-empty: finish() exports the flight record here as Chrome
+  /// trace_event JSON (loadable in chrome://tracing / ui.perfetto.dev).
+  std::string trace_json_path;
+  /// Stall watchdog over the per-stage heartbeats (worker polls,
+  /// enrichment drain, snapshot ticks, TSDB flushes).  On a stalled
+  /// stage — or SIGUSR1 — it dumps the last trace events per ring and
+  /// self-ingests a ruru.health.* metric.
+  bool watchdog_enabled = false;
+  Duration watchdog_interval = Duration::from_sec(1.0);
+  Duration watchdog_stall_after = Duration::from_sec(5.0);
 };
 
 struct PipelineSummary;
@@ -237,6 +259,12 @@ class RuruPipeline {
     if (snapshot_timer_) snapshot_timer_->add_exporter(std::move(exporter));
   }
 
+  /// The flight recorder (rings + exporter).  Snapshot/export any time;
+  /// inert when config.trace_sample_n == 0.
+  [[nodiscard]] const obs::Tracer& tracer() const { return tracer_; }
+  /// The stall watchdog; null unless config.watchdog_enabled.
+  [[nodiscard]] obs::Watchdog* watchdog() { return watchdog_.get(); }
+
  private:
   void wire_sinks();
   void register_metrics();
@@ -244,6 +272,10 @@ class RuruPipeline {
   PipelineConfig config_;
   const GeoDatabase& geo_;
   const AsDatabase& as_;
+
+  /// Declared before the stages: workers/enrichers hold TraceHandles
+  /// pointing into the tracer's rings, so it must outlive them.
+  obs::Tracer tracer_;
 
   Mempool pool_;
   std::unique_ptr<SimNic> nic_;
@@ -272,11 +304,14 @@ class RuruPipeline {
   bool started_ = false;
   bool finished_ = false;
 
-  // Last members: the timer thread reads metrics_/tsdb_ and must be
-  // destroyed (joined) before anything it observes.
+  // Last members: the timer/watchdog threads read metrics_/tsdb_/the
+  // stage counters and must be destroyed (joined) before anything they
+  // observe.
   obs::MetricsRegistry metrics_;
   obs::HistogramHandle tsdb_write_hist_;  ///< shared shard (record_shared)
+  obs::TraceHandle sink_trace_;  ///< tsdb-sink spans (shared ring: N enrichers)
   std::unique_ptr<obs::SnapshotTimer> snapshot_timer_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
 };
 
 /// Aggregated end-of-run statistics across every stage.

@@ -43,6 +43,13 @@ class Mbuf {
   std::uint32_t rss_hash = 0;
   std::uint16_t queue_id = 0;
   std::uint16_t port_id = 0;
+  /// Flight-recorder sampling: non-zero when this packet's flow is
+  /// 1-in-N traced (obs::trace_id_for of the RSS hash).  The NIC
+  /// writes trace_id on every packet while sampling is enabled (so
+  /// recycled mbufs never carry a stale id) and stamps ingest_ns only
+  /// for selected packets; with sampling off neither field is touched.
+  std::uint32_t trace_id = 0;
+  std::int64_t ingest_ns = 0;  ///< TSC-clock stamp at NIC ingest (traced only)
 
  private:
   friend class Mempool;

@@ -1,10 +1,34 @@
 #include "driver/nic.hpp"
 
 #include "net/packet_view.hpp"
+#include "obs/trace.hpp"
+#include "obs/tsc_clock.hpp"
 #include "util/byte_order.hpp"
 #include "util/logging.hpp"
 
 namespace ruru {
+
+namespace {
+
+// Flight-recorder stamping at the RX descriptor, the analogue of a
+// NIC writing a flow-director mark.  trace_id is written on every
+// packet while sampling is on (recycled mbufs must not keep a stale
+// id); the TSC read happens only for the 1-in-N selected packets.
+// Cost with sampling off: one predictable branch.
+inline void stamp_trace(Mbuf& m, std::uint32_t hash, std::uint32_t sample_n) {
+  if constexpr (!obs::kTraceCompiled) {
+    (void)m;
+    (void)hash;
+    (void)sample_n;
+    return;
+  } else {
+    if (sample_n == 0) return;
+    m.trace_id = obs::trace_id_for(hash, sample_n);
+    if (m.trace_id != 0) m.ingest_ns = obs::trace_now_ns();
+  }
+}
+
+}  // namespace
 
 SimNic::SimNic(const NicConfig& config, Mempool& pool)
     : config_(config), pool_(pool), rss_table_(config.rss_key) {
@@ -80,6 +104,7 @@ bool SimNic::inject(std::span<const std::uint8_t> frame, Timestamp rx_time) {
   mbuf->timestamp = rx_time;
   mbuf->rss_hash = hash_frame(frame);
   mbuf->port_id = config_.port_id;
+  stamp_trace(*mbuf, mbuf->rss_hash, config_.trace_sample_n);
   const std::uint16_t queue = static_cast<std::uint16_t>(mbuf->rss_hash % config_.num_queues);
   mbuf->queue_id = queue;
   if (!queues_[queue]->try_push(std::move(mbuf))) {
@@ -109,6 +134,7 @@ std::size_t SimNic::inject_burst(std::span<const RxFrame> frames, bool* queued) 
     mbuf->timestamp = frames[i].rx_time;
     mbuf->rss_hash = hash_frame(frames[i].data);
     mbuf->port_id = config_.port_id;
+    stamp_trace(*mbuf, mbuf->rss_hash, config_.trace_sample_n);
     const std::uint16_t queue = static_cast<std::uint16_t>(mbuf->rss_hash % config_.num_queues);
     mbuf->queue_id = queue;
     staging_[queue].push_back(std::move(mbuf));
@@ -179,6 +205,7 @@ std::size_t SimNic::inject_shard(std::uint16_t queue, std::span<const RxFrame> f
     mbuf->rss_hash = hash;
     mbuf->port_id = config_.port_id;
     mbuf->queue_id = queue;
+    stamp_trace(*mbuf, hash, config_.trace_sample_n);
     scratch.frame_index.push_back(i);
     ++staged;
   }

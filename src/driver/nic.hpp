@@ -54,6 +54,10 @@ struct NicConfig {
   std::size_t queue_depth = 4096;
   RssKey rss_key = symmetric_rss_key();
   std::uint16_t port_id = 0;
+  /// Flight-recorder sampling rate: flows whose RSS hash selects under
+  /// obs::trace_id_for(hash, trace_sample_n) get a trace id + TSC
+  /// ingest stamp on their mbufs.  0 = off (no per-packet cost).
+  std::uint32_t trace_sample_n = 0;
 };
 
 /// One frame of an RX burst: the wire bytes plus their capture time.

@@ -30,6 +30,10 @@ struct LatencySample {
 
   std::uint32_t rss_hash = 0;
   std::uint16_t queue_id = 0;
+  /// Flight-recorder id (obs::trace_id_for of rss_hash); 0 = untraced.
+  /// In-process metadata only — never serialized, so the wire format
+  /// and the emitted sample bytes are identical with tracing on or off.
+  std::uint32_t trace_id = 0;
 
   /// tap -> server -> tap half (paper: "external latency").
   [[nodiscard]] Duration external() const { return synack_time - syn_time; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/tsc_clock.hpp"
+
 namespace ruru {
 
 QueueWorker::QueueWorker(SimNic& nic, std::uint16_t queue_id, std::size_t flow_table_capacity,
@@ -50,7 +52,20 @@ void QueueWorker::flush_items() {
   samples_.clear();  // keeps capacity
   tracker_.process_burst(items_, queue_id_, samples_);
   items_.clear();
-  for (const LatencySample& s : samples_) deliver_sample(s);
+  const bool tracing = trace_.attached();
+  for (LatencySample& s : samples_) {
+    if (tracing) {
+      // Re-derive rather than thread the id through the tracker: the
+      // sampler is a pure function of the RSS hash, so the tracker and
+      // the sample's wire format stay untouched.
+      s.trace_id = obs::trace_id_for(s.rss_hash, trace_sample_n_);
+      if (s.trace_id != 0) {
+        trace_.instant(obs::TraceStage::kFlow, s.trace_id, obs::trace_now_ns(), 0,
+                       queue_id_);
+      }
+    }
+    deliver_sample(s);
+  }
 }
 
 std::size_t QueueWorker::poll_once() {
@@ -63,6 +78,13 @@ std::size_t QueueWorker::poll_once() {
     return 0;
   }
   obs_.poll_batch.record(static_cast<std::int64_t>(n));
+
+  // Flight recorder: `tracing` is loop-invariant and false on the
+  // untraced path, so the per-packet cost there is one predicted
+  // branch on a register value.
+  const bool tracing = trace_.attached();
+  std::int64_t poll_start_ns = 0;
+  if (tracing) poll_start_ns = obs::trace_now_ns();
 
   // Pass 1: classify every mbuf and warm the flow-table group each one
   // will probe.  Slow-path packets are parsed here (parsing reads only
@@ -78,6 +100,13 @@ std::size_t QueueWorker::poll_once() {
     const Mbuf& m = *burst[i];
     ++stats_.packets;
     stats_.bytes += m.length();
+    if (tracing && m.trace_id != 0) {
+      // The nic span is synthesized here from the ingest stamp: it
+      // covers NIC queueing, i.e. inject -> worker pickup.
+      const std::int64_t now_ns = obs::trace_now_ns();
+      trace_.span(obs::TraceStage::kNic, m.trace_id, m.ingest_ns, now_ns - m.ingest_ns,
+                  static_cast<std::uint32_t>(m.length()), queue_id_);
+    }
 
     Pending& p = pending_[i];
     p.mbuf = static_cast<std::uint32_t>(i);
@@ -109,6 +138,10 @@ std::size_t QueueWorker::poll_once() {
   for (std::size_t i = 0; i < n; ++i) {
     Pending& p = pending_[i];
     const Mbuf& m = *burst[p.mbuf];
+    if (tracing && m.trace_id != 0) {
+      trace_.instant(obs::TraceStage::kWorker, m.trace_id, obs::trace_now_ns(),
+                     static_cast<std::uint32_t>(i), queue_id_);
+    }
     if (p.kind == Pending::Kind::kCandidate) {
       flush_items();
       if (!tracker_.tracking(p.key, m.rss_hash, m.timestamp)) {
@@ -131,6 +164,12 @@ std::size_t QueueWorker::poll_once() {
   // Retire abandoned handshakes a few groups at a time, so probes never
   // pay a staleness scan and the table never needs a stop-the-world GC.
   tracker_.sweep(burst[n - 1]->timestamp, kSweepGroupsPerBurst);
+
+  if (tracing) {
+    const std::int64_t now_ns = obs::trace_now_ns();
+    trace_.span(obs::TraceStage::kWorker, 0, poll_start_ns, now_ns - poll_start_ns,
+                static_cast<std::uint32_t>(n), queue_id_);
+  }
   return n;
 }
 

@@ -28,6 +28,7 @@
 #include "driver/nic.hpp"
 #include "flow/handshake_tracker.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ruru {
 
@@ -115,6 +116,16 @@ class QueueWorker {
     tracker_.set_table_obs(obs.flow);
   }
 
+  /// Install the flight-recorder hook before the worker runs (not
+  /// thread-safe afterwards).  `sample_n` mirrors the NIC's 1-in-N rate
+  /// so the worker re-derives each emitted sample's trace id from its
+  /// RSS hash.  A default (inert) handle keeps the poll loop on the
+  /// single `attached()` null-check path.
+  void set_trace(obs::TraceHandle trace, std::uint32_t sample_n) {
+    trace_ = trace;
+    trace_sample_n_ = sample_n;
+  }
+
   /// Hands any accumulated samples to the batch sink now.
   void flush_batch();
 
@@ -164,6 +175,8 @@ class QueueWorker {
   std::array<Pending, kBurst> pending_;       ///< pass-1 scratch
   std::vector<TrackedPacket> items_;          ///< reused, capacity kBurst
   std::vector<LatencySample> samples_;        ///< reused, capacity kBurst
+  obs::TraceHandle trace_;
+  std::uint32_t trace_sample_n_ = 0;
   WorkerObs obs_;
   WorkerStats stats_;
 };

@@ -102,11 +102,17 @@ Message encode_latency_batch(std::span<const LatencySample> samples) {
   buf[0] = kBatchVersion;
   store_be16(buf.data() + 1, static_cast<std::uint16_t>(count));
   std::uint8_t* p = buf.data() + kBatchHeaderSize;
+  std::uint32_t batch_trace_id = 0;
   for (std::size_t i = 0; i < count; ++i, p += kRecordSize) {
     put_record(p, samples[i]);
+    // Flight recorder: remember the first traced sample so consumers
+    // can skip whole untraced batches with one compare.  Message
+    // metadata only — the record bytes above are unchanged.
+    if (batch_trace_id == 0) batch_trace_id = samples[i].trace_id;
   }
 
   Message m;
+  m.trace_id = batch_trace_id;
   m.frames.reserve(2);
   m.frames.push_back(latency_topic_frame());
   m.frames.push_back(Frame::adopt(std::move(buf)));

@@ -50,11 +50,18 @@ class Frame {
 
 struct Message {
   std::vector<Frame> frames;
-  /// Wall-clock publish stamp, set by the publisher and NOT serialized
-  /// into any frame.  The telemetry layer uses it to measure bus queue
-  /// wait + downstream processing (capture timestamps are virtual
-  /// scenario time in replay, so transit is anchored here instead).
+  /// Publish stamp, set by the publisher and NOT serialized into any
+  /// frame.  The telemetry layer uses it to measure bus queue wait +
+  /// downstream processing (capture timestamps are virtual scenario
+  /// time in replay, so transit is anchored here instead).  Stamped
+  /// from the calibrated TSC trace clock (see obs/tsc_clock.hpp) so
+  /// queue-wait, batch-latency and trace spans share one timebase.
   Timestamp enqueued_at{};
+  /// Flight-recorder metadata (NOT serialized): the first traced
+  /// sample's id in a batched latency message, 0 when the batch holds
+  /// no traced samples.  A cheap contains-traced flag — consumers
+  /// re-derive exact per-sample ids from each sample's RSS hash.
+  std::uint32_t trace_id = 0;
 
   Message() = default;
   explicit Message(std::string_view topic) { frames.push_back(Frame::from_string(topic)); }

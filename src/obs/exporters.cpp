@@ -33,6 +33,20 @@ void append_double(std::string& out, double v) {
 
 }  // namespace
 
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '"': out += "\\\""; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string render_prometheus(const MetricsSnapshot& snap) {
   std::string out;
   out.reserve(4096);
@@ -54,7 +68,8 @@ std::string render_prometheus(const MetricsSnapshot& snap) {
     for (const auto& [label, q] : {std::pair<const char*, double>{"0.5", 0.5},
                                    {"0.95", 0.95},
                                    {"0.99", 0.99}}) {
-      out += p + "{quantile=\"" + label + "\"} " + std::to_string(stats.percentile(q)) + "\n";
+      out += p + "{quantile=\"" + escape_label_value(label) + "\"} " +
+             std::to_string(stats.percentile(q)) + "\n";
     }
     out += p + "_sum " + std::to_string(stats.sum) + "\n";
     out += p + "_count " + std::to_string(stats.count) + "\n";
@@ -135,6 +150,12 @@ void JsonLinesExporter::export_snapshot(const MetricsSnapshot& snap,
     return;
   }
   f << line << "\n";
+}
+
+void JsonLinesExporter::flush() {
+  if (out_ != nullptr) out_->flush();
+  // The file form opens, writes and closes per snapshot; every line is
+  // already on disk by the time flush() runs.
 }
 
 // --- SelfIngestExporter ---

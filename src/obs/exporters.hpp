@@ -29,8 +29,18 @@ class MetricsExporter {
  public:
   virtual ~MetricsExporter() = default;
   virtual void export_snapshot(const MetricsSnapshot& snap, const SnapshotDelta& delta) = 0;
+  /// Called when the snapshot stream ends (timer shutdown, final
+  /// snapshot written).  Exporters holding buffered output push it to
+  /// its destination here; the default is a no-op for exporters that
+  /// write through on every snapshot.
+  virtual void flush() {}
   [[nodiscard]] virtual std::string_view name() const = 0;
 };
+
+/// Escapes a Prometheus label value per the exposition format: backslash
+/// -> '\\', newline -> '\n', double-quote -> '\"'.  Everything else
+/// passes through untouched.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
 
 /// Renders a snapshot in Prometheus text exposition format.  Metric
 /// names are sanitized ("nic.rx_packets" -> "ruru_nic_rx_packets");
@@ -68,6 +78,9 @@ class JsonLinesExporter final : public MetricsExporter {
   explicit JsonLinesExporter(std::string path);
 
   void export_snapshot(const MetricsSnapshot& snap, const SnapshotDelta& delta) override;
+  /// Syncs the destination stream (or is a no-op for the file form,
+  /// which opens/closes per line and is already durable).
+  void flush() override;
   [[nodiscard]] std::string_view name() const override { return "jsonl"; }
 
  private:

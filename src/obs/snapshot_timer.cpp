@@ -21,19 +21,28 @@ void SnapshotTimer::start() {
   if (started_) return;
   started_ = true;
   stopping_ = false;
+  final_done_ = false;
   thread_ = std::thread([this] { thread_main(); });
 }
 
 void SnapshotTimer::stop() {
-  if (!started_) return;
-  {
-    std::lock_guard lock(wake_mu_);
-    stopping_ = true;
+  if (started_) {
+    {
+      std::lock_guard lock(wake_mu_);
+      stopping_ = true;
+    }
+    wake_cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    started_ = false;
   }
-  wake_cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
-  started_ = false;
+  // Final drain runs once per cycle whether or not the thread ever ran:
+  // a timer that was configured but never started still owes its
+  // exporters one snapshot, and buffered exporters owe their stream a
+  // flush.
+  if (final_done_) return;
+  final_done_ = true;
   tick();  // final snapshot: short runs still export once
+  for (const auto& exporter : exporters_) exporter->flush();
 }
 
 void SnapshotTimer::tick() {

@@ -7,8 +7,9 @@
 // snapshotting reads relaxed atomics (and polls callback metrics that
 // read StatCells or take their target's own short lock).
 //
-// stop() takes one final snapshot so short runs (tests, replays shorter
-// than the interval) still export at least once.
+// stop() takes one final snapshot and flushes every exporter, so short
+// runs (tests, replays shorter than the interval) — and even timers that
+// were never started — still export at least once.
 
 #include <condition_variable>
 #include <memory>
@@ -35,7 +36,11 @@ class SnapshotTimer {
   void add_exporter(std::shared_ptr<MetricsExporter> exporter);
 
   void start();
-  /// Final tick, then join.  Idempotent.
+  /// Joins the thread (if running), takes one final tick and flushes
+  /// every exporter.  The final drain happens exactly once per
+  /// start/stop cycle — including for timers that were never started,
+  /// so configured-but-unstarted pipelines still emit their snapshot.
+  /// Idempotent.
   void stop();
 
   /// One snapshot + export now (also what the thread calls).  Safe to
@@ -64,6 +69,7 @@ class SnapshotTimer {
   std::condition_variable wake_cv_;
   bool stopping_ = false;
   bool started_ = false;
+  bool final_done_ = false;  ///< final tick + flush taken for this cycle
   std::thread thread_;
 };
 

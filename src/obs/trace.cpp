@@ -1,0 +1,241 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace ruru::obs {
+
+const char* to_string(TraceStage s) {
+  switch (s) {
+    case TraceStage::kNic: return "nic";
+    case TraceStage::kWorker: return "worker";
+    case TraceStage::kFlow: return "flow";
+    case TraceStage::kBus: return "bus";
+    case TraceStage::kEnrich: return "enrich";
+    case TraceStage::kTsdb: return "tsdb";
+    case TraceStage::kControl: return "control";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity) {
+  const std::size_t cap = round_up_pow2(capacity < 2 ? 2 : capacity);
+  slots_ = std::make_unique<Slot[]>(cap);
+  mask_ = cap - 1;
+}
+
+void TraceRing::snapshot(std::vector<TraceEvent>& out) const {
+  out.clear();
+  const std::size_t cap = mask_ + 1;
+  const std::uint64_t h1 = head_.load(std::memory_order_acquire);
+  const std::uint64_t lo1 = h1 > cap ? h1 - cap : 0;
+
+  // Raw copy first; validate against the post-copy head afterwards.
+  struct Raw {
+    std::uint64_t gen, w0, w1, w2;
+  };
+  std::vector<Raw> raw;
+  raw.reserve(static_cast<std::size_t>(h1 - lo1));
+  for (std::uint64_t g = lo1; g < h1; ++g) {
+    const Slot& s = slots_[g & mask_];
+    raw.push_back({g, s.w0.load(std::memory_order_relaxed),
+                   s.w1.load(std::memory_order_relaxed),
+                   s.w2.load(std::memory_order_relaxed)});
+  }
+
+  // A writer reuses slot g only after publishing head = g + capacity,
+  // so any slot whose generation satisfies g + capacity > h2 cannot
+  // have been mid-rewrite while we copied it.  Equivalently: keep
+  // g >= lo2 where lo2 = h2 - capacity + 1.  At most the single
+  // oldest copied entry is discarded per lap the writer gained on us.
+  const std::uint64_t h2 = head_.load(std::memory_order_acquire);
+  const std::uint64_t lo2 = h2 >= cap ? h2 - cap + 1 : 0;
+  for (const Raw& r : raw) {
+    if (r.gen < lo2) continue;
+    out.push_back(TraceEvent::from_words(r.w0, r.w1, r.w2));
+  }
+}
+
+void Tracer::configure(const TracerConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  if (config_.ring_capacity < 2) config_.ring_capacity = 2;
+}
+
+TraceHandle Tracer::ring(const std::string& name) { return ring_impl(name, false); }
+
+TraceHandle Tracer::shared_ring(const std::string& name) { return ring_impl(name, true); }
+
+TraceHandle Tracer::ring_impl(const std::string& name, bool shared) {
+  if (!enabled()) return TraceHandle{};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, r] : rings_) {
+    if (n == name) return TraceHandle{r.get(), shared};
+  }
+  rings_.emplace_back(name, std::make_unique<TraceRing>(config_.ring_capacity));
+  return TraceHandle{rings_.back().second.get(), shared};
+}
+
+void Tracer::snapshot_all(
+    std::vector<std::pair<std::string, std::vector<TraceEvent>>>& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, ring] : rings_) {
+    std::vector<TraceEvent> events;
+    ring->snapshot(events);
+    out.emplace_back(name, std::move(events));
+  }
+}
+
+std::uint64_t Tracer::events_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [name, ring] : rings_) total += ring->emitted();
+  return total;
+}
+
+namespace {
+
+// chrome://tracing wants microsecond floats; keep ns precision with
+// three decimals.  Avoids iostream locale surprises via snprintf.
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns < 0 ? -(ns % 1000) : ns % 1000));
+  out += buf;
+}
+
+void append_event_json(std::string& out, const TraceEvent& e, int tid, bool& first) {
+  const char* stage = to_string(e.stage);
+  if (!first) out += ",\n";
+  first = false;
+  out += R"({"name":")";
+  out += stage;
+  out += R"(","cat":")";
+  out += stage;
+  out += R"(","ph":")";
+  out += e.kind == TraceKind::kSpan ? 'X' : 'i';
+  out += R"(","pid":1,"tid":)";
+  out += std::to_string(tid);
+  out += R"(,"ts":)";
+  append_us(out, e.ts_ns);
+  if (e.kind == TraceKind::kSpan) {
+    out += R"(,"dur":)";
+    append_us(out, static_cast<std::int64_t>(e.dur_ns));
+  } else {
+    out += R"(,"s":"t")";  // instant scope: thread
+  }
+  out += R"(,"args":{"trace_id":)";
+  out += std::to_string(e.trace_id);
+  out += R"(,"arg":)";
+  out += std::to_string(e.arg);
+  out += R"(,"shard":)";
+  out += std::to_string(e.shard);
+  out += "}}";
+}
+
+// Flow events ("s" start / "t" step / "f" finish) connect one sampled
+// packet's spans across tracks.  Chrome binds a flow event to the
+// enclosing slice by timestamp, so each is stamped just inside its
+// span's interval.
+void append_flow_json(std::string& out, const TraceEvent& e, int tid, bool start,
+                      bool finish, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += R"({"name":"pkt","cat":"lifecycle","ph":")";
+  out += start ? 's' : (finish ? 'f' : 't');
+  out += R"(","id":)";
+  out += std::to_string(e.trace_id);
+  out += R"(,"pid":1,"tid":)";
+  out += std::to_string(tid);
+  out += R"(,"ts":)";
+  append_us(out, e.ts_ns);
+  if (finish) out += R"(,"bp":"e")";
+  out += "}";
+}
+
+}  // namespace
+
+std::string Tracer::export_chrome_json() const {
+  std::vector<std::pair<std::string, std::vector<TraceEvent>>> snap;
+  snapshot_all(snap);
+
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+
+  // One tid per ring, with a thread_name metadata record so the UI
+  // shows "worker.q0", "enrich.w1", ... instead of bare numbers.
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    if (!first) out += ",\n";
+    first = false;
+    out += R"({"name":"thread_name","ph":"M","pid":1,"tid":)";
+    out += std::to_string(i + 1);
+    out += R"(,"args":{"name":")";
+    out += snap[i].first;
+    out += "\"}}";
+  }
+
+  struct Placed {
+    TraceEvent e;
+    int tid;
+  };
+  std::vector<Placed> all;
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    for (const TraceEvent& e : snap[i].second) {
+      all.push_back({e, static_cast<int>(i + 1)});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Placed& a, const Placed& b) { return a.e.ts_ns < b.e.ts_ns; });
+
+  for (const Placed& p : all) append_event_json(out, p.e, p.tid, first);
+
+  // Group per-packet events by trace id to emit the connecting flow
+  // arrows in lifecycle order.
+  struct Ref {
+    std::size_t idx;
+  };
+  std::vector<std::pair<std::uint32_t, std::vector<std::size_t>>> by_id;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].e.trace_id == 0) continue;
+    auto it = std::find_if(by_id.begin(), by_id.end(),
+                           [&](const auto& kv) { return kv.first == all[i].e.trace_id; });
+    if (it == by_id.end()) {
+      by_id.emplace_back(all[i].e.trace_id, std::vector<std::size_t>{i});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+  for (const auto& [id, idxs] : by_id) {
+    if (idxs.size() < 2) continue;  // nothing to connect
+    for (std::size_t k = 0; k < idxs.size(); ++k) {
+      const Placed& p = all[idxs[k]];
+      append_flow_json(out, p.e, p.tid, k == 0, k + 1 == idxs.size(), first);
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::export_chrome_json_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << export_chrome_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace ruru::obs

@@ -1,0 +1,208 @@
+#include "obs/watchdog.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace ruru::obs {
+
+namespace {
+
+// SIGUSR1 target.  The handler does exactly one relaxed atomic store
+// through this pointer — no locks, no allocation — so it stays
+// async-signal-safe.
+std::atomic<Watchdog*> g_sigusr1_target{nullptr};
+
+void sigusr1_handler(int) {
+  Watchdog* w = g_sigusr1_target.load(std::memory_order_relaxed);
+  if (w != nullptr) w->request_dump();
+}
+
+}  // namespace
+
+Watchdog::Watchdog(const WatchdogConfig& config, const Tracer* tracer, const Clock* clock)
+    : config_(config), tracer_(tracer), clock_(clock != nullptr ? clock : &default_clock_) {
+  if (config_.check_interval.ns <= 0) config_.check_interval = Duration::from_sec(1.0);
+  if (config_.stall_after.ns <= 0) config_.stall_after = Duration::from_sec(5.0);
+  if (config_.dump_events == 0) config_.dump_events = 64;
+}
+
+Watchdog::~Watchdog() {
+  stop();
+  // Never leave a dangling signal target behind.
+  Watchdog* self = this;
+  g_sigusr1_target.compare_exchange_strong(self, nullptr, std::memory_order_relaxed);
+}
+
+void Watchdog::add_stage(const std::string& name, ProgressFn progress, BacklogFn backlog) {
+  std::lock_guard lock(mu_);
+  Stage s;
+  s.name = name;
+  s.progress = std::move(progress);
+  s.backlog = std::move(backlog);
+  stages_.push_back(std::move(s));
+  primed_ = false;  // new stage needs a baseline pass
+}
+
+void Watchdog::set_report_sink(ReportSink sink) {
+  std::lock_guard lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Watchdog::start() {
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Watchdog::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard lock(wake_mu_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+void Watchdog::install_sigusr1(Watchdog* target) {
+  g_sigusr1_target.store(target, std::memory_order_relaxed);
+  struct sigaction sa = {};
+  if (target != nullptr) {
+    sa.sa_handler = sigusr1_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+  } else {
+    sa.sa_handler = SIG_DFL;
+  }
+  sigaction(SIGUSR1, &sa, nullptr);
+}
+
+std::string Watchdog::dump_text() const {
+  std::ostringstream os;
+  {
+    std::lock_guard lock(mu_);
+    os << "=== watchdog flight record ===\n";
+    const Timestamp now = clock_->now();
+    for (const Stage& s : stages_) {
+      os << "stage " << s.name << ": progress=" << s.last_value;
+      if (s.backlog) os << " backlog=" << s.backlog();
+      os << " idle=" << to_string(now - s.last_change) << (s.fired ? " [STALLED]" : "")
+         << "\n";
+    }
+  }
+  if (tracer_ != nullptr) {
+    std::vector<std::pair<std::string, std::vector<TraceEvent>>> snap;
+    tracer_->snapshot_all(snap);
+    for (const auto& [name, events] : snap) {
+      os << "ring " << name << " (" << events.size() << " events";
+      const std::size_t n =
+          events.size() < config_.dump_events ? events.size() : config_.dump_events;
+      os << ", last " << n << "):\n";
+      for (std::size_t i = events.size() - n; i < events.size(); ++i) {
+        const TraceEvent& e = events[i];
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "  ts=%lld %s/%s id=%u dur=%uns arg=%u shard=%u\n",
+                      static_cast<long long>(e.ts_ns), to_string(e.stage),
+                      e.kind == TraceKind::kSpan ? "span" : "inst", e.trace_id, e.dur_ns,
+                      e.arg, e.shard);
+        os << line;
+      }
+    }
+  }
+  return os.str();
+}
+
+void Watchdog::emit(const WatchdogReport& report) {
+  ReportSink sink;
+  {
+    std::lock_guard lock(mu_);
+    sink = sink_;
+  }
+  if (report.reason == "stall") {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    RURU_LOG(kError, "watchdog") << "stage '" << report.stage << "' stalled for "
+                                 << to_string(report.stalled_for) << " at progress "
+                                 << report.progress << " with backlog " << report.backlog;
+  } else {
+    dumps_.fetch_add(1, std::memory_order_relaxed);
+    RURU_LOG(kInfo, "watchdog") << "flight-record dump requested";
+  }
+  if (sink) sink(report);
+}
+
+void Watchdog::poll_now() {
+  const Timestamp now = clock_->now();
+  std::vector<WatchdogReport> to_emit;
+  {
+    std::lock_guard lock(mu_);
+    if (!primed_) {
+      for (Stage& s : stages_) {
+        s.last_value = s.progress ? s.progress() : 0;
+        s.last_change = now;
+        s.fired = false;
+      }
+      primed_ = true;
+    } else {
+      for (Stage& s : stages_) {
+        const std::uint64_t v = s.progress ? s.progress() : 0;
+        if (v != s.last_value) {
+          s.last_value = v;
+          s.last_change = now;
+          s.fired = false;  // recovered: re-arm
+          continue;
+        }
+        const Duration idle = now - s.last_change;
+        if (s.fired || idle < config_.stall_after) continue;
+        const double backlog = s.backlog ? s.backlog() : 0.0;
+        // No backlog gauge => time-driven stage, counter must always
+        // move.  With a gauge, an empty queue idling is healthy.
+        if (s.backlog && backlog <= 0.0) continue;
+        s.fired = true;
+        WatchdogReport r;
+        r.reason = "stall";
+        r.stage = s.name;
+        r.stalled_for = idle;
+        r.progress = v;
+        r.backlog = backlog;
+        to_emit.push_back(std::move(r));
+      }
+    }
+  }
+
+  if (dump_requested_.exchange(false, std::memory_order_relaxed)) {
+    WatchdogReport r;
+    r.reason = "dump";
+    to_emit.push_back(std::move(r));
+  }
+
+  if (to_emit.empty()) return;
+  const std::string dump = dump_text();
+  for (WatchdogReport& r : to_emit) {
+    r.dump = dump;
+    emit(r);
+  }
+}
+
+void Watchdog::thread_main() {
+  RURU_LOG(kDebug, "watchdog") << "started, interval "
+                               << to_string(config_.check_interval) << ", stall after "
+                               << to_string(config_.stall_after);
+  std::unique_lock lock(wake_mu_);
+  while (!stopping_) {
+    if (wake_cv_.wait_for(lock, std::chrono::nanoseconds(config_.check_interval.ns),
+                          [this] { return stopping_; })) {
+      break;
+    }
+    lock.unlock();
+    poll_now();
+    lock.lock();
+  }
+}
+
+}  // namespace ruru::obs

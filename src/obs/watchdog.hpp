@@ -1,0 +1,133 @@
+#pragma once
+// Stall watchdog over the flight-recorder rings.
+//
+// Each pipeline stage already exposes a monotonically increasing
+// progress counter (worker polls, enrichment batches, snapshot ticks,
+// TSDB points).  The watchdog samples those counters on a background
+// thread; a stage whose counter has not moved for `stall_after` while
+// it demonstrably has work pending (its backlog gauge is non-zero) is
+// declared stalled, and the watchdog assembles a structured report:
+// the stage name, how long it has been frozen, the backlog size, and
+// the last N trace events from every ring — the flight recorder's
+// answer to "what was everyone doing when it wedged?".
+//
+// Reports flow through a caller-supplied sink (the pipeline logs them
+// and self-ingests a ruru.health.stall metric).  SIGUSR1 requests the
+// same dump on demand for a live process that merely *looks* slow.
+//
+// Stages with no backlog gauge (the snapshot timer: time-driven, no
+// queue) are considered always-pending — their counter simply has to
+// keep moving.
+
+#include <atomic>
+#include <csignal>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/time.hpp"
+
+namespace ruru::obs {
+
+struct WatchdogConfig {
+  Duration check_interval = Duration::from_sec(1.0);
+  Duration stall_after = Duration::from_sec(5.0);
+  std::size_t dump_events = 64;  // newest events per ring in a dump
+};
+
+struct WatchdogReport {
+  std::string reason;  // "stall" or "dump"
+  std::string stage;   // stalled stage name ("" for a requested dump)
+  Duration stalled_for{};
+  std::uint64_t progress = 0;  // the frozen counter value
+  double backlog = 0.0;        // pending items at detection (0 if no gauge)
+  std::string dump;            // formatted last-N-events flight record
+};
+
+class Watchdog {
+ public:
+  using ProgressFn = std::function<std::uint64_t()>;
+  using BacklogFn = std::function<double()>;
+  using ReportSink = std::function<void(const WatchdogReport&)>;
+
+  /// `tracer`/`clock` optional: without a tracer dumps carry only the
+  /// stall table; without a clock steady time is used (tests inject a
+  /// SimClock and drive poll_now()).
+  explicit Watchdog(const WatchdogConfig& config, const Tracer* tracer = nullptr,
+                    const Clock* clock = nullptr);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Register before start().  `backlog` may be null (stage is then
+  /// treated as always having work, i.e. its counter must keep moving).
+  void add_stage(const std::string& name, ProgressFn progress, BacklogFn backlog = nullptr);
+  void set_report_sink(ReportSink sink);
+
+  void start();
+  void stop();  // idempotent
+
+  /// One evaluation pass (what the thread runs each interval).  A
+  /// stage re-arms once its counter moves again, so a recovered stall
+  /// can re-fire later.
+  void poll_now();
+
+  /// Asks the next poll (or an immediate poll_now()) to emit a full
+  /// flight-record dump regardless of stall state.  Async-signal-safe.
+  void request_dump() { dump_requested_.store(true, std::memory_order_relaxed); }
+
+  /// Installs a SIGUSR1 handler that calls target->request_dump().
+  /// One target per process (latest wins); pass nullptr to uninstall.
+  static void install_sigusr1(Watchdog* target);
+
+  [[nodiscard]] std::uint64_t stalls_detected() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dumps_taken() const {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+
+  /// The formatted flight record (stall table + last N events/ring).
+  [[nodiscard]] std::string dump_text() const;
+
+ private:
+  struct Stage {
+    std::string name;
+    ProgressFn progress;
+    BacklogFn backlog;          // may be null
+    std::uint64_t last_value = 0;
+    Timestamp last_change{};    // when last_value last moved
+    bool fired = false;         // stall already reported; re-arms on progress
+  };
+
+  void thread_main();
+  void emit(const WatchdogReport& report);
+
+  WatchdogConfig config_;
+  const Tracer* tracer_;
+  SystemClock default_clock_;
+  const Clock* clock_;
+
+  mutable std::mutex mu_;  // stages_ + sink_; poll_now() serializes on it
+  std::vector<Stage> stages_;
+  ReportSink sink_;
+  bool primed_ = false;  // first poll only baselines, never fires
+
+  std::atomic<bool> dump_requested_{false};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> dumps_{0};
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ruru::obs

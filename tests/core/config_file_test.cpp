@@ -244,5 +244,44 @@ TEST(PipelineConfigFile, PinListBadEntriesRejected) {
   EXPECT_FALSE(pipeline_config_from_text("[topology]\npin_cpus = 0,2000000\n").ok());
 }
 
+TEST(PipelineConfigFile, TraceKeys) {
+  const auto r = pipeline_config_from_text(
+      "[obs]\n"
+      "trace_sample_n = 64\n"
+      "trace_ring = 8192\n"
+      "trace_json_path = /tmp/ruru_trace.json\n");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().trace_sample_n, 64u);
+  EXPECT_EQ(r.value().trace_ring_capacity, 8192u);
+  EXPECT_EQ(r.value().trace_json_path, "/tmp/ruru_trace.json");
+  // Defaults: tracing off.
+  EXPECT_EQ(PipelineConfig{}.trace_sample_n, 0u);
+  // A zero-slot ring with sampling on cannot hold anything: rejected.
+  EXPECT_FALSE(
+      pipeline_config_from_text("[obs]\ntrace_sample_n = 64\ntrace_ring = 0\n").ok());
+  // trace_ring = 0 with tracing off is harmless (never allocated).
+  EXPECT_TRUE(pipeline_config_from_text("[obs]\ntrace_ring = 0\n").ok());
+}
+
+TEST(PipelineConfigFile, WatchdogKeys) {
+  const auto r = pipeline_config_from_text(
+      "[obs]\n"
+      "watchdog = true\n"
+      "watchdog_interval_s = 0.5\n"
+      "watchdog_stall_s = 10\n");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_TRUE(r.value().watchdog_enabled);
+  EXPECT_EQ(r.value().watchdog_interval.ns, Duration::from_sec(0.5).ns);
+  EXPECT_EQ(r.value().watchdog_stall_after.ns, Duration::from_sec(10.0).ns);
+  EXPECT_FALSE(PipelineConfig{}.watchdog_enabled);
+  // Non-positive timings with the watchdog armed: rejected.
+  EXPECT_FALSE(
+      pipeline_config_from_text("[obs]\nwatchdog = on\nwatchdog_interval_s = 0\n").ok());
+  EXPECT_FALSE(
+      pipeline_config_from_text("[obs]\nwatchdog = on\nwatchdog_stall_s = -1\n").ok());
+  // The same zeros with the watchdog off never run: accepted.
+  EXPECT_TRUE(pipeline_config_from_text("[obs]\nwatchdog_interval_s = 0\n").ok());
+}
+
 }  // namespace
 }  // namespace ruru

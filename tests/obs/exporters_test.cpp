@@ -44,6 +44,18 @@ TEST(PrometheusRenderTest, SanitizesMetricNames) {
   EXPECT_NE(text.find("ruru_nic_queue_0_drops 1\n"), std::string::npos);
 }
 
+TEST(PrometheusRenderTest, EscapesLabelValues) {
+  // Per the exposition format, label values escape backslash, newline
+  // and double-quote — in that order, so the backslash introduced by
+  // the latter two is not itself re-escaped.
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+  EXPECT_EQ(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_label_value("\\\n\""), "\\\\\\n\\\"");
+  EXPECT_EQ(escape_label_value(""), "");
+}
+
 TEST(PrometheusExporterTest, StreamVariantAppendsExpositionPerSnapshot) {
   std::ostringstream out;
   PrometheusExporter exporter(out);
@@ -70,6 +82,21 @@ TEST(JsonLinesTest, LineCarriesTotalsRatesAndHistogramStats) {
   EXPECT_NE(line.find("\"interval_s\":1"), std::string::npos);
   EXPECT_NE(line.find("\"pkts\":{\"total\":150,\"rate\":50"), std::string::npos);
   EXPECT_EQ(line.find('\n'), std::string::npos);  // single line
+}
+
+TEST(JsonLinesTest, FlushSyncsTheStream) {
+  MetricsRegistry reg;
+  reg.counter("pkts").add(1);
+  std::ostringstream out;
+  JsonLinesExporter exporter(out);
+  const MetricsSnapshot s = reg.snapshot(Timestamp::from_sec(1.0));
+  exporter.export_snapshot(s, SnapshotDelta::between(s, s));
+  exporter.flush();  // no-throw contract, stream already carries the line
+  EXPECT_NE(out.str().find("\"pkts\""), std::string::npos);
+  // Base-class default: flush on an exporter that never buffers is a
+  // no-op, not an abstract hole.
+  PrometheusExporter prom(out);
+  static_cast<MetricsExporter&>(prom).flush();
 }
 
 TEST(SelfIngestTest, WritesPrefixedSeriesWithStatTags) {

@@ -113,14 +113,20 @@ TEST(SnapshotTimerTest, ThreadTicksPeriodicallyAndStopTakesFinalSnapshot) {
   EXPECT_EQ(timer.ticks(), after_stop);
 }
 
-TEST(SnapshotTimerTest, StopWithoutStartIsANoOp) {
+TEST(SnapshotTimerTest, StopWithoutStartStillDrainsOnce) {
   MetricsRegistry reg;
+  CounterHandle c = reg.counter("pkts");
+  c.add(5);
   SnapshotTimer timer(reg, Duration::from_sec(100.0));
   auto exporter = std::make_shared<RecordingExporter>();
   timer.add_exporter(exporter);
-  timer.stop();  // never started: no thread to join, no final snapshot
-  EXPECT_TRUE(exporter->snapshots.empty());
-  EXPECT_EQ(timer.ticks(), 0u);
+  timer.stop();  // never started: no thread to join, but the final drain still runs
+  ASSERT_EQ(exporter->snapshots.size(), 1u);
+  EXPECT_EQ(exporter->snapshots[0].counter_or("pkts"), 5u);
+  EXPECT_EQ(timer.ticks(), 1u);
+  timer.stop();  // idempotent: the drain happens exactly once
+  EXPECT_EQ(exporter->snapshots.size(), 1u);
+  EXPECT_EQ(timer.ticks(), 1u);
 }
 
 TEST(SnapshotTimerTest, StartedButImmediatelyStoppedStillExportsOnce) {

@@ -1,0 +1,247 @@
+// Flight-recorder primitives (ISSUE 8): event word encoding, the
+// 1-in-N hash sampler, ring overwrite semantics at capacity, inert
+// handles, the locked multi-producer emit path and the Chrome
+// trace_event JSON exporter.
+
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ruru::obs {
+namespace {
+
+TEST(TraceEvent, WordEncodingRoundTrips) {
+  TraceEvent e;
+  e.ts_ns = 1'234'567'890'123ll;
+  e.trace_id = 0xDEADBEEFu;
+  e.dur_ns = 0xCAFEBABEu;
+  e.arg = 42;
+  e.stage = TraceStage::kEnrich;
+  e.kind = TraceKind::kSpan;
+  e.shard = 7;
+
+  const TraceEvent d = TraceEvent::from_words(e.word0(), e.word1(), e.word2());
+  EXPECT_EQ(d.ts_ns, e.ts_ns);
+  EXPECT_EQ(d.trace_id, e.trace_id);
+  EXPECT_EQ(d.dur_ns, e.dur_ns);
+  EXPECT_EQ(d.arg, e.arg);
+  EXPECT_EQ(d.stage, e.stage);
+  EXPECT_EQ(d.kind, e.kind);
+  EXPECT_EQ(d.shard, e.shard);
+}
+
+TEST(TraceIdFor, PureFunctionOfHashAndRate) {
+  // Off (sample_n == 0): never selects.
+  EXPECT_EQ(trace_id_for(64, 0), 0u);
+  // Hash 0 never selects — 0 is the "untraced" sentinel.
+  EXPECT_EQ(trace_id_for(0, 1), 0u);
+  // hash % n == 0 selects, id IS the hash (both directions share it).
+  EXPECT_EQ(trace_id_for(128, 64), 128u);
+  EXPECT_EQ(trace_id_for(129, 64), 0u);
+  // sample_n == 1 traces everything nonzero.
+  EXPECT_EQ(trace_id_for(7, 1), 7u);
+  // Determinism: same inputs, same answer, everywhere in the pipeline.
+  EXPECT_EQ(trace_id_for(12345, 64), trace_id_for(12345, 64));
+}
+
+TraceEvent instant_at(std::int64_t ts, std::uint32_t arg) {
+  TraceEvent e;
+  e.ts_ns = ts;
+  e.arg = arg;
+  e.stage = TraceStage::kControl;
+  e.kind = TraceKind::kInstant;
+  return e;
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(1).capacity(), 2u);
+  EXPECT_EQ(TraceRing(2).capacity(), 2u);
+  EXPECT_EQ(TraceRing(3).capacity(), 4u);
+  EXPECT_EQ(TraceRing(4096).capacity(), 4096u);
+  EXPECT_EQ(TraceRing(5000).capacity(), 8192u);
+}
+
+TEST(TraceRing, SnapshotBelowCapacityReturnsAllInOrder) {
+  TraceRing ring(8);
+  for (std::uint32_t i = 0; i < 5; ++i) ring.emit(instant_at(100 + i, i));
+  std::vector<TraceEvent> out;
+  ring.snapshot(out);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i].ts_ns, 100 + i);
+    EXPECT_EQ(out[i].arg, i);
+  }
+  EXPECT_EQ(ring.emitted(), 5u);
+}
+
+TEST(TraceRing, OverwriteAtCapacityKeepsNewestInOrder) {
+  TraceRing ring(8);  // capacity 8
+  const std::uint32_t total = 100;
+  for (std::uint32_t i = 0; i < total; ++i) ring.emit(instant_at(i, i));
+  std::vector<TraceEvent> out;
+  ring.snapshot(out);
+  // Quiescent writer: all 8 newest survive (the >= capacity-1 guarantee
+  // only ever drops a slot under a *concurrent* overwrite).
+  ASSERT_GE(out.size(), ring.capacity() - 1);
+  ASSERT_LE(out.size(), ring.capacity());
+  // Newest `out.size()` generations, oldest first, contiguous.
+  const std::uint32_t first = total - static_cast<std::uint32_t>(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].arg, first + static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(ring.emitted(), total);
+}
+
+TEST(TraceRing, SnapshotDuringConcurrentWritesNeverTears) {
+  // A writer hammers the ring while a reader snapshots in a loop.  Every
+  // event the reader sees must be one the writer actually emitted
+  // (ts == arg pattern), in strictly increasing generation order — the
+  // torn-slot filter drops, never corrupts.
+  TraceRing ring(16);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint32_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ring.emit(instant_at(i, i));
+      ++i;
+    }
+  });
+  std::vector<TraceEvent> out;
+  for (int round = 0; round < 2000; ++round) {
+    ring.snapshot(out);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i].ts_ns, out[i].arg) << "torn event surfaced";
+      if (i > 0) {
+        ASSERT_GT(out[i].arg, out[i - 1].arg) << "order violated";
+      }
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(TraceRing, EmitLockedFromManyThreadsLosesNothingBelowCapacity) {
+  TraceRing ring(1024);
+  constexpr int kThreads = 4;
+  constexpr std::uint32_t kPer = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (std::uint32_t i = 0; i < kPer; ++i) {
+        ring.emit_locked(instant_at(t, i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ring.emitted(), static_cast<std::uint64_t>(kThreads) * kPer);
+  std::vector<TraceEvent> out;
+  ring.snapshot(out);
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(kThreads) * kPer);
+}
+
+TEST(TraceHandle, DefaultConstructedIsInert) {
+  TraceHandle h;
+  EXPECT_FALSE(h.attached());
+  // No ring: calls are no-ops, not crashes.
+  h.span(TraceStage::kNic, 1, 100, 50);
+  h.instant(TraceStage::kWorker, 1, 100);
+}
+
+TEST(Tracer, DisabledTracerHandsOutInertHandles) {
+  Tracer tracer;  // default config: sample_n == 0
+  EXPECT_FALSE(tracer.enabled());
+  TraceHandle h = tracer.ring("worker.q0");
+  EXPECT_FALSE(h.attached());
+  EXPECT_EQ(tracer.flow_trace_id(640), 0u);
+  EXPECT_EQ(tracer.events_emitted(), 0u);
+}
+
+TEST(Tracer, RingRegistrationDedupesByName) {
+  Tracer tracer;
+  tracer.configure(TracerConfig{.sample_n = 64, .ring_capacity = 16});
+  ASSERT_TRUE(tracer.enabled());
+  TraceHandle a = tracer.ring("worker.q0");
+  TraceHandle b = tracer.ring("worker.q0");
+  ASSERT_TRUE(a.attached());
+  a.instant(TraceStage::kWorker, 0, 10);
+  b.instant(TraceStage::kWorker, 0, 20);
+  std::vector<std::pair<std::string, std::vector<TraceEvent>>> all;
+  tracer.snapshot_all(all);
+  ASSERT_EQ(all.size(), 1u);  // same ring, not two
+  EXPECT_EQ(all[0].first, "worker.q0");
+  EXPECT_EQ(all[0].second.size(), 2u);
+  EXPECT_EQ(tracer.events_emitted(), 2u);
+}
+
+TEST(Tracer, ChromeJsonIsStructurallyValid) {
+  Tracer tracer;
+  tracer.configure(TracerConfig{.sample_n = 1, .ring_capacity = 64});
+  TraceHandle nic = tracer.ring("worker.q0");
+  TraceHandle sink = tracer.shared_ring("tsdb.sink");
+  // One sampled lifecycle: nic span -> tsdb span, same trace id.
+  nic.span(TraceStage::kNic, 77, 1000, 500, /*arg=*/60, /*shard=*/0);
+  sink.span(TraceStage::kTsdb, 77, 2000, 300, /*arg=*/3, /*shard=*/0);
+  // A stage-level span with no trace id: present as "X", no flow arrows.
+  nic.span(TraceStage::kWorker, 0, 1500, 200);
+
+  std::string json = tracer.export_chrome_json();
+  while (!json.empty() && (json.back() == '\n' || json.back() == ' ')) json.pop_back();
+  // Wrapper object with the traceEvents array.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity without a parser.
+  long depth = 0;
+  long brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') { ++i; continue; }
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++depth;
+    else if (c == '}') --depth;
+    else if (c == '[') ++brackets;
+    else if (c == ']') --brackets;
+    ASSERT_GE(depth, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(brackets, 0);
+  // Complete events for the spans, thread-name metadata per ring, and
+  // flow arrows ("s" start / "f" finish) binding trace id 77 across
+  // the two tracks.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker.q0\""), std::string::npos);
+  EXPECT_NE(json.find("\"tsdb.sink\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"nic\""), std::string::npos);
+  EXPECT_NE(json.find("\"tsdb\""), std::string::npos);
+}
+
+TEST(Tracer, FlowArrowsNeedAtLeastTwoEvents) {
+  Tracer tracer;
+  tracer.configure(TracerConfig{.sample_n = 1, .ring_capacity = 16});
+  TraceHandle h = tracer.ring("worker.q0");
+  // A lone traced event: an "X" span but no "s"/"f" pair (an arrow to
+  // nowhere would be noise).
+  h.span(TraceStage::kNic, 99, 1000, 100);
+  const std::string json = tracer.export_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"f\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ruru::obs

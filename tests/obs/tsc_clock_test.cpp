@@ -1,0 +1,93 @@
+// TSC trace clock (ISSUE 8): calibration sanity, monotonic reads and
+// parity against the steady_clock oracle it calibrated from.
+
+#include "obs/tsc_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ruru::obs {
+namespace {
+
+TEST(TscClock, CalibrationIsSaneOrFallsBack) {
+  const TscCalibration cal = calibrate_tsc();
+  if (!cal.usable) {
+    // Hosts without an invariant counter legitimately decline — the
+    // clock then forwards to steady_clock and all other tests still run.
+    SUCCEED() << "TSC unusable on this host; steady_clock fallback in effect";
+    return;
+  }
+  // ns_per_tick bounds mirror the calibrator's own sanity window
+  // (counter frequency between 1 MHz and 10 GHz).
+  EXPECT_GT(cal.ns_per_tick, 0.0);
+  EXPECT_LT(cal.ns_per_tick, 1000.0);
+  EXPECT_GE(cal.ns_per_tick, 0.1);
+}
+
+TEST(TscClock, NowIsMonotonicNonDecreasing) {
+  const TscClock& clock = trace_clock();
+  std::int64_t prev = clock.now_ns();
+  for (int i = 0; i < 100000; ++i) {
+    const std::int64_t t = clock.now_ns();
+    ASSERT_GE(t, prev) << "iteration " << i;
+    prev = t;
+  }
+}
+
+TEST(TscClock, TracksOracleOverSleep) {
+  // The calibrated clock and the steady_clock oracle measure the same
+  // 50 ms sleep.  Tolerance is generous (20% + 5 ms) — calibration runs
+  // over a 2 ms window, so a few thousand ppm of drift is expected; what
+  // this catches is unit errors (ms vs ns, tick-rate off by 2x+).
+  const TscClock& clock = trace_clock();
+  const std::int64_t a0 = clock.now_ns();
+  const std::int64_t o0 = TscClock::oracle_now_ns();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const std::int64_t a1 = clock.now_ns();
+  const std::int64_t o1 = TscClock::oracle_now_ns();
+
+  const double tsc_elapsed = static_cast<double>(a1 - a0);
+  const double oracle_elapsed = static_cast<double>(o1 - o0);
+  ASSERT_GT(oracle_elapsed, 0.0);
+  const double err = tsc_elapsed > oracle_elapsed ? tsc_elapsed - oracle_elapsed
+                                                  : oracle_elapsed - tsc_elapsed;
+  EXPECT_LT(err, 0.20 * oracle_elapsed + 5e6)
+      << "tsc=" << tsc_elapsed << "ns oracle=" << oracle_elapsed << "ns";
+}
+
+TEST(TscClock, AnchoredToSteadyEpoch) {
+  // now_ns() is anchored to the same epoch as the oracle, so absolute
+  // values interoperate with timestamps other components take from
+  // steady_clock directly (enqueued_at stamps, histogram math).
+  const TscClock& clock = trace_clock();
+  const std::int64_t t = clock.now_ns();
+  const std::int64_t o = TscClock::oracle_now_ns();
+  const std::int64_t diff = t > o ? t - o : o - t;
+  // Within one second of each other — the anchor was taken at first use,
+  // drift since is ppm-scale.
+  EXPECT_LT(diff, 1'000'000'000ll);
+}
+
+TEST(TscClock, SingletonReturnsSameInstance) {
+  const TscClock& a = trace_clock();
+  const TscClock& b = trace_clock();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(TscClock, ClockInterfaceMatchesNowNs) {
+  // TscClock is a ruru::Clock: now() must be the same reading as
+  // now_ns(), just wrapped.
+  const TscClock& clock = trace_clock();
+  const std::int64_t lo = clock.now_ns();
+  const Timestamp mid = clock.now();
+  const std::int64_t hi = clock.now_ns();
+  EXPECT_GE(mid.ns, lo);
+  EXPECT_LE(mid.ns, hi);
+}
+
+}  // namespace
+}  // namespace ruru::obs

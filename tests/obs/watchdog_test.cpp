@@ -1,0 +1,199 @@
+// Stall watchdog (ISSUE 8): SimClock-driven stall detection, re-arm on
+// recovery, on-demand dumps carrying ring events, and the backlog gate
+// (no pending work == no stall).
+
+#include "obs/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/time.hpp"
+
+namespace ruru::obs {
+namespace {
+
+struct Fixture {
+  SimClock clock{Timestamp{1'000'000'000}};
+  std::uint64_t counter = 0;
+  double backlog = 0.0;
+  std::vector<WatchdogReport> reports;
+
+  std::unique_ptr<Watchdog> make(const Tracer* tracer = nullptr,
+                                 Duration stall_after = Duration::from_sec(5.0)) {
+    WatchdogConfig cfg;
+    cfg.stall_after = stall_after;
+    cfg.dump_events = 8;
+    auto dog = std::make_unique<Watchdog>(cfg, tracer, &clock);
+    dog->add_stage(
+        "enrich", [this] { return counter; }, [this] { return backlog; });
+    dog->set_report_sink([this](const WatchdogReport& r) { reports.push_back(r); });
+    return dog;
+  }
+};
+
+TEST(Watchdog, FrozenCounterWithBacklogFiresOnce) {
+  Fixture f;
+  auto dog = f.make();
+  f.backlog = 10.0;
+
+  dog->poll_now();  // priming pass: baselines, never fires
+  EXPECT_EQ(dog->stalls_detected(), 0u);
+
+  f.clock.advance(Duration::from_sec(6.0));
+  dog->poll_now();  // frozen for 6s > 5s with backlog: stall
+  ASSERT_EQ(dog->stalls_detected(), 1u);
+  ASSERT_EQ(f.reports.size(), 1u);
+  EXPECT_EQ(f.reports[0].reason, "stall");
+  EXPECT_EQ(f.reports[0].stage, "enrich");
+  EXPECT_GE(f.reports[0].stalled_for.to_sec(), 6.0);
+  EXPECT_EQ(f.reports[0].backlog, 10.0);
+
+  f.clock.advance(Duration::from_sec(6.0));
+  dog->poll_now();  // still frozen: no duplicate report until it re-arms
+  EXPECT_EQ(dog->stalls_detected(), 1u);
+}
+
+TEST(Watchdog, ProgressReArmsTheStage) {
+  Fixture f;
+  auto dog = f.make();
+  f.backlog = 1.0;
+  dog->poll_now();
+  f.clock.advance(Duration::from_sec(6.0));
+  dog->poll_now();
+  ASSERT_EQ(dog->stalls_detected(), 1u);
+
+  // Counter moves: recovered.  The next freeze fires again.
+  ++f.counter;
+  dog->poll_now();
+  f.clock.advance(Duration::from_sec(6.0));
+  dog->poll_now();
+  EXPECT_EQ(dog->stalls_detected(), 2u);
+}
+
+TEST(Watchdog, NoBacklogMeansNoStall) {
+  Fixture f;
+  auto dog = f.make();
+  f.backlog = 0.0;  // idle, nothing pending
+  dog->poll_now();
+  f.clock.advance(Duration::from_sec(60.0));
+  dog->poll_now();  // frozen forever but with an empty queue: fine
+  EXPECT_EQ(dog->stalls_detected(), 0u);
+  EXPECT_TRUE(f.reports.empty());
+}
+
+TEST(Watchdog, StageWithoutBacklogGaugeMustKeepMoving) {
+  SimClock clock{Timestamp{0}};
+  std::uint64_t ticks = 0;
+  std::vector<WatchdogReport> reports;
+  WatchdogConfig cfg;
+  cfg.stall_after = Duration::from_sec(5.0);
+  Watchdog dog(cfg, nullptr, &clock);
+  dog.add_stage("snapshot", [&] { return ticks; });  // time-driven: no gauge
+  dog.set_report_sink([&](const WatchdogReport& r) { reports.push_back(r); });
+
+  dog.poll_now();
+  clock.advance(Duration::from_sec(6.0));
+  dog.poll_now();
+  ASSERT_EQ(dog.stalls_detected(), 1u);
+  EXPECT_EQ(reports[0].stage, "snapshot");
+}
+
+TEST(Watchdog, RequestedDumpCarriesRingEvents) {
+  Tracer tracer;
+  tracer.configure(TracerConfig{.sample_n = 1, .ring_capacity = 16});
+  TraceHandle h = tracer.ring("worker.q0");
+  h.span(TraceStage::kNic, 4242, 1000, 500, /*arg=*/60, /*shard=*/0);
+  h.instant(TraceStage::kWorker, 4242, 1600);
+
+  Fixture f;
+  auto dog = f.make(&tracer);
+  dog->poll_now();  // prime
+  dog->request_dump();
+  dog->poll_now();
+
+  ASSERT_EQ(dog->dumps_taken(), 1u);
+  ASSERT_EQ(f.reports.size(), 1u);
+  EXPECT_EQ(f.reports[0].reason, "dump");
+  // The flight record names the ring and the stages of its last events.
+  EXPECT_NE(f.reports[0].dump.find("worker.q0"), std::string::npos);
+  EXPECT_NE(f.reports[0].dump.find("nic"), std::string::npos);
+  EXPECT_NE(f.reports[0].dump.find("worker"), std::string::npos);
+  // Dump request is one-shot: consumed by that poll.
+  dog->poll_now();
+  EXPECT_EQ(dog->dumps_taken(), 1u);
+}
+
+TEST(Watchdog, StallReportIncludesFlightRecord) {
+  Tracer tracer;
+  tracer.configure(TracerConfig{.sample_n = 1, .ring_capacity = 16});
+  TraceHandle h = tracer.ring("enrich.w0");
+  h.instant(TraceStage::kEnrich, 7, 500);
+
+  Fixture f;
+  auto dog = f.make(&tracer);
+  f.backlog = 3.0;
+  dog->poll_now();
+  f.clock.advance(Duration::from_sec(10.0));
+  dog->poll_now();
+  ASSERT_EQ(f.reports.size(), 1u);
+  EXPECT_NE(f.reports[0].dump.find("enrich.w0"), std::string::npos);
+}
+
+TEST(Watchdog, DumpTextWithoutTracerStillListsStages) {
+  Fixture f;
+  auto dog = f.make(nullptr);
+  dog->poll_now();
+  const std::string text = dog->dump_text();
+  EXPECT_NE(text.find("enrich"), std::string::npos);
+}
+
+TEST(Watchdog, BackgroundThreadDetectsRealStall) {
+  // Real clock, real thread: a stage that never moves with work pending
+  // is reported within a few check intervals.
+  std::vector<WatchdogReport> reports;
+  std::mutex mu;
+  WatchdogConfig cfg;
+  cfg.check_interval = Duration::from_ms(5);
+  cfg.stall_after = Duration::from_ms(20);
+  Watchdog dog(cfg);
+  dog.add_stage(
+      "wedged", [] { return std::uint64_t{0}; }, [] { return 1.0; });
+  dog.set_report_sink([&](const WatchdogReport& r) {
+    std::lock_guard lock(mu);
+    reports.push_back(r);
+  });
+  dog.start();
+  for (int i = 0; i < 200 && dog.stalls_detected() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  dog.stop();
+  EXPECT_GE(dog.stalls_detected(), 1u);
+  std::lock_guard lock(mu);
+  ASSERT_FALSE(reports.empty());
+  EXPECT_EQ(reports[0].stage, "wedged");
+}
+
+TEST(Watchdog, Sigusr1TriggersDumpOnNextPoll) {
+  Fixture f;
+  auto dog = f.make();
+  Watchdog::install_sigusr1(dog.get());
+  dog->poll_now();  // prime
+  ASSERT_EQ(std::raise(SIGUSR1), 0);
+  dog->poll_now();
+  EXPECT_EQ(dog->dumps_taken(), 1u);
+  ASSERT_EQ(f.reports.size(), 1u);
+  EXPECT_EQ(f.reports[0].reason, "dump");
+  Watchdog::install_sigusr1(nullptr);
+}
+
+}  // namespace
+}  // namespace ruru::obs

@@ -43,13 +43,20 @@
 # pass over the sharded engine's reader/writer decoupling (concurrent
 # ingest, lock-free sealed-chunk scans, retention rewrites).
 #
-# Usage: tools/check.sh [thread|address|undefined|metrics|enrich|flow|scale|tsdb]   (default: thread)
+# The `trace` mode gates the flight recorder: the obs + core suites
+# under TSan — trace rings are written by pinned workers while the
+# watchdog snapshots them live, and the TSC clock calibrates once under
+# a Meyers singleton, so any unsynchronized access shows up here — then
+# the observer-effect invariant un-sanitized: the same replay traced at
+# 1-in-64 must emit a sample stream bit-identical to the untraced run.
+#
+# Usage: tools/check.sh [thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace]   (default: thread)
 set -euo pipefail
 
 SAN="${1:-thread}"
 case "$SAN" in
-  thread|address|undefined|metrics|enrich|flow|scale|tsdb) ;;
-  *) echo "usage: $0 [thread|address|undefined|metrics|enrich|flow|scale|tsdb]" >&2; exit 2 ;;
+  thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace) ;;
+  *) echo "usage: $0 [thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace]" >&2; exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -161,6 +168,30 @@ if [ "$SAN" = "tsdb" ]; then
   cmake --build "$BUILD" -j"$JOBS" --target test_tsdb
   "$BUILD/tests/test_tsdb" --gtest_filter='EngineConcurrency.*'
   echo "tsdb gate OK: codec/index/WAL ASan+UBSan-clean, sharded engine TSan-clean"
+  exit 0
+fi
+
+if [ "$SAN" = "trace" ]; then
+  # Flight-recorder gate, part 1: the tracing concurrency surface under
+  # TSan.  Ring writers vs snapshot readers, the locked multi-producer
+  # sink ring, watchdog polling live stage counters, the TSC clock
+  # singleton, and full traced pipelines end to end.
+  BUILD="$ROOT/build-thread"
+  cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$JOBS" --target test_obs test_core
+  (cd "$BUILD" && ctest --output-on-failure -j"$JOBS" \
+    -R 'Trace|Tracer|TscClock|Watchdog|PipelineTrace|Snapshot')
+
+  # Part 2: the observer-effect invariant, un-sanitized so timing is
+  # representative.  TracingDoesNotChangeMeasurements replays the same
+  # scenario untraced and at 1-in-64 and compares the sorted sample
+  # stream fact for fact — run it by name so the gate is explicit.
+  BUILD="$ROOT/build"
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$BUILD" -j"$JOBS" --target test_core
+  "$BUILD/tests/test_core" \
+    --gtest_filter='PipelineTrace.TracingDoesNotChangeMeasurements:PipelineTrace.SampledFlowsLeaveConnectedSpanChains'
+  echo "trace gate OK: rings/watchdog TSan-clean, traced output bit-identical at 1-in-64"
   exit 0
 fi
 
