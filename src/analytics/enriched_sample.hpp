@@ -15,6 +15,7 @@
 #include <string_view>
 #include <type_traits>
 
+#include "flow/latency_sample.hpp"
 #include "geo/interner.hpp"
 #include "util/time.hpp"
 
@@ -50,6 +51,11 @@ struct EnrichedSample {
   /// Flight-recorder id carried from the LatencySample (0 = untraced).
   /// Still POD — the id is a u32, never a pointer into tracer state.
   std::uint32_t trace_id = 0;
+  /// Carried from the LatencySample: handshake vs in-flow vs one-sided.
+  /// For in-flow kinds only one of internal/external is a measurement
+  /// (toward_client picks which); the other is zero.
+  SampleKind kind = SampleKind::kHandshake;
+  bool toward_client = false;
 };
 
 // The whole enrichment output must stay allocation-free to copy: a

@@ -69,6 +69,8 @@ EnrichedSample Enricher::enrich(const LatencySample& sample) {
   out.completed_at = sample.ack_time;
   out.queue_id = sample.queue_id;
   out.trace_id = sample.trace_id;
+  out.kind = sample.kind;
+  out.toward_client = sample.toward_client;
   ++stats_.enriched;
   if (!out.client.located || !out.server.located) ++stats_.unlocated;
   // The LatencySample (with its IP addresses) dies here: nothing beyond

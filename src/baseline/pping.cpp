@@ -1,12 +1,51 @@
 #include "baseline/pping.hpp"
 
+#include <algorithm>
+
 namespace ruru {
 
+void PpingEstimator::grow_ring(FlowRings& f, std::size_t dir) {
+  std::vector<std::uint32_t>& old_vals = f.vals[dir];
+  std::vector<std::int64_t>& old_times = f.times[dir];
+  TsDirState& st = f.st[dir];
+  const std::size_t old_n = old_vals.size();
+  std::vector<std::uint32_t> grown_vals(old_n * 2, 0);
+  std::vector<std::int64_t> grown_times(old_n * 2, kTsNever);
+  // Oldest-first compaction: replay the old ring in write order starting
+  // at the head (the oldest surviving position), so relative age — and
+  // therefore future eviction order — is preserved.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < old_n; ++i) {
+    const std::size_t idx = (st.head + i) & (old_n - 1);
+    if (old_times[idx] != kTsNever) {
+      grown_vals[w] = old_vals[idx];
+      grown_times[w] = old_times[idx];
+      ++w;
+    }
+  }
+  st.head = static_cast<std::uint32_t>(w);
+  old_vals = std::move(grown_vals);
+  old_times = std::move(grown_times);
+}
+
 void PpingEstimator::sweep(Timestamp now) {
-  for (auto it = table_.begin(); it != table_.end();) {
-    if (now - it->second > config_.stale_after) {
-      it = table_.erase(it);
-      ++stats_.stale_evictions;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    FlowRings& f = it->second;
+    std::size_t remaining = 0;
+    for (auto& times : f.times) {
+      for (std::int64_t& t : times) {
+        if (t == kTsNever) continue;
+        if (now - Timestamp{t} > config_.stale_after) {
+          t = kTsNever;
+          ++stats_.stale_evictions;
+          --live_;
+        } else {
+          ++remaining;
+        }
+      }
+    }
+    if (remaining == 0 && now - f.last_seen > config_.stale_after) {
+      it = flows_.erase(it);
     } else {
       ++it;
     }
@@ -21,22 +60,31 @@ std::optional<RttSample> PpingEstimator::process(const PacketView& pkt, Timestam
 
   const FiveTuple tuple = pkt.tuple();
   const FlowKey key = FlowKey::from(tuple);
-  const std::uint64_t flow_hash = key.hash();
+  const std::size_t dir = key.forward ? 0 : 1;
+
+  FlowRings& f = flows_[key.hash()];
+  if (f.vals[0].empty()) {
+    const std::size_t initial = std::min(kInitialRing, config_.ring_entries);
+    for (std::size_t d = 0; d < 2; ++d) {
+      f.vals[d].assign(initial, 0);
+      f.times[d].assign(initial, kTsNever);
+    }
+  }
+  f.last_seen = rx_time;
 
   std::optional<RttSample> sample;
   // 1. Does this packet echo a TSval we saw in the opposite direction?
   if (ts->ts_ecr != 0) {
-    const Key probe{flow_hash, ts->ts_ecr, !key.forward};
-    auto it = table_.find(probe);
-    if (it != table_.end()) {
+    const std::int64_t departed = ts_match(f.ring(1 - dir), ts->ts_ecr);
+    if (departed != kTsNever) {
       RttSample s;
       // The stimulus travelled opposite to this packet, i.e. from this
       // packet's destination to its source — the measured path is
       // tap <-> this packet's source.
       s.stimulus = tuple.reversed();
-      s.rtt = rx_time - it->second;
+      s.rtt = rx_time - Timestamp{departed};
       s.at = rx_time;
-      table_.erase(it);  // one sample per TSval (pping's behaviour)
+      --live_;  // consumed: one sample per TSval (pping's behaviour)
       ++stats_.samples;
       sample = s;
     }
@@ -44,10 +92,24 @@ std::optional<RttSample> PpingEstimator::process(const PacketView& pkt, Timestam
 
   // 2. Remember this packet's TSval (first occurrence only — a
   //    retransmission must not rejuvenate the timestamp).
-  const Key mine{flow_hash, ts->ts_val, key.forward};
-  table_.try_emplace(mine, rx_time);
-  if (table_.size() > stats_.peak_entries) stats_.peak_entries = table_.size();
-  if (table_.size() > config_.max_entries) sweep(rx_time);
+  const bool eliciting = pkt.payload_length > 0 || pkt.tcp.syn() || pkt.tcp.fin();
+  if (!config_.eliciting_only || eliciting) {
+    TsDirState& st = f.st[dir];
+    // Grow instead of evicting while the cap allows it: the write
+    // position holding a live note is exactly the fixed ring's eviction
+    // condition.
+    if (f.vals[dir].size() < config_.ring_entries &&
+        f.times[dir][st.head & (f.vals[dir].size() - 1)] != kTsNever) {
+      grow_ring(f, dir);
+    }
+    const TsNoteResult r = ts_note(f.ring(dir), st, ts->ts_val, rx_time.ns);
+    if (r.noted && !r.evicted) ++live_;
+    if (r.evicted) ++stats_.ring_evictions;
+    if (r.wrapped) ++stats_.ts_wraps;
+  }
+
+  stats_.peak_entries = std::max(stats_.peak_entries, live_);
+  if (live_ > config_.max_entries) sweep(rx_time);
 
   return sample;
 }

@@ -7,19 +7,39 @@
 // half-RTT at the tap.  This yields a sample per echoed packet — far
 // more samples than Ruru's one-per-handshake, at the cost of per-packet
 // state.  That trade-off is exactly what bench E8 quantifies.
+//
+// The note/match/consume kernel itself lives in flow/ts_ring.hpp and is
+// shared with the worker's in-flow fast path; this class wraps it in
+// per-flow rings that *grow* (up to `ring_entries`) instead of starting
+// fixed-size.  With `ring_entries` <= the initial size the rings are
+// fixed from the first note, which makes the estimator evict in exactly
+// the order of the fast path's flow-table rings — that configuration is
+// the bit-exact oracle the in-flow fuzz tests replay against.
 
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "baseline/rtt_sample.hpp"
+#include "flow/ts_ring.hpp"
 #include "net/packet_view.hpp"
 
 namespace ruru {
 
 struct PpingConfig {
-  std::size_t max_entries = 1 << 20;  ///< state cap before stale sweeps
+  std::size_t max_entries = 1 << 20;  ///< live-note cap before stale sweeps
   Duration stale_after = Duration::from_sec(10.0);
+  /// Per-flow, per-direction ring capacity.  Rings start at
+  /// min(kInitialRing, ring_entries) and double (oldest-first compaction)
+  /// until they reach this cap, after which the oldest note is
+  /// overwritten exactly like the fast path's fixed rings.  Must be a
+  /// power of two.
+  std::size_t ring_entries = 1 << 12;
+  /// When true, only RTT-eliciting segments (payload, SYN, FIN) get
+  /// their TSval noted — the fast-path rule.  The legacy default notes
+  /// every timestamped segment (classic pping).
+  bool eliciting_only = false;
 };
 
 struct PpingStats {
@@ -27,39 +47,46 @@ struct PpingStats {
   std::uint64_t with_timestamps = 0;
   std::uint64_t samples = 0;
   std::uint64_t stale_evictions = 0;
+  std::uint64_t ring_evictions = 0;  ///< live notes overwritten at ring cap
+  std::uint64_t ts_wraps = 0;        ///< TSval serial-number wraparounds
   std::size_t peak_entries = 0;
 };
 
 class PpingEstimator {
  public:
-  explicit PpingEstimator(PpingConfig config = {}) : config_(config) {}
+  /// Rings smaller than this start at their final size (oracle mode).
+  static constexpr std::size_t kInitialRing = 8;
+
+  explicit PpingEstimator(PpingConfig config = {}) : config_(config) {
+    if (config_.ring_entries < 2) config_.ring_entries = 2;
+  }
 
   /// Feed one parsed TCP packet. Returns an RTT sample when this packet
   /// echoes a remembered TSval.
   std::optional<RttSample> process(const PacketView& pkt, Timestamp rx_time);
 
   [[nodiscard]] const PpingStats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t entries() const { return table_.size(); }
+  /// Live (un-consumed, un-evicted) notes across all flows.
+  [[nodiscard]] std::size_t entries() const { return live_; }
 
  private:
-  struct Key {
-    std::uint64_t flow_hash;
-    std::uint32_t tsval;
-    bool forward;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept {
-      std::uint64_t h = k.flow_hash ^ (std::uint64_t{k.tsval} * 0x9e3779b97f4a7c15ULL);
-      h ^= h >> 29;
-      return static_cast<std::size_t>(h ^ (k.forward ? 0x5851f42d4c957f2dULL : 0));
-    }
+  struct FlowRings {
+    /// SoA lanes per direction ([0]=forward, [1]=reverse), same layout
+    /// as the flow table's embedded rings.
+    std::array<std::vector<std::uint32_t>, 2> vals;
+    std::array<std::vector<std::int64_t>, 2> times;
+    std::array<TsDirState, 2> st{};
+    Timestamp last_seen{};
+
+    [[nodiscard]] TsRingRef ring(std::size_t dir) { return {vals[dir], times[dir]}; }
   };
 
+  void grow_ring(FlowRings& f, std::size_t dir);
   void sweep(Timestamp now);
 
   PpingConfig config_;
-  std::unordered_map<Key, Timestamp, KeyHash> table_;
+  std::unordered_map<std::uint64_t, FlowRings> flows_;
+  std::size_t live_ = 0;
   PpingStats stats_;
 };
 

@@ -109,6 +109,30 @@ TrafficModel firewall_glitch(std::uint64_t seed, double flows_per_sec, Duration 
   return model;
 }
 
+TrafficModel inflow_shift(std::uint64_t seed, double flows_per_sec, Duration total,
+                          Timestamp shift_at, Duration shift_extra) {
+  TrafficConfig cfg;
+  cfg.seed = seed;
+  cfg.flows_per_sec = flows_per_sec;
+  cfg.duration = total;
+  TrafficModel model(cfg, transpacific_routes());
+
+  // One long transfer on the tapped Auckland -> Los Angeles route, alive
+  // across the shift.  Host .200 sits inside each site's block (the
+  // route pools draw from .0-.249) so geo enrichment tags it like any
+  // other AKL-LAX flow; the port is above the background's ephemeral
+  // range, so the 4-tuple cannot collide.
+  LongTransferSpec t;
+  t.start = Timestamp{} + Duration::from_ms(200);
+  t.duration = total - Duration::from_ms(400);
+  t.client = Ipv4Address(nz_sites()[0].block.value() + 200);
+  t.server = Ipv4Address(world_sites()[0].block.value() + 200);
+  t.shift_at = shift_at;
+  t.shift_extra = shift_extra;
+  model.add_long_transfer(t);
+  return model;
+}
+
 TrafficModel syn_flood(std::uint64_t seed, double benign_flows_per_sec,
                        double flood_syns_per_sec, Duration total, Timestamp flood_start,
                        Duration flood_duration) {

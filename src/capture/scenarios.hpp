@@ -42,6 +42,14 @@ struct Site {
                                            Duration total, Duration period, Duration width,
                                            Duration extra = Duration::from_ms(4000));
 
+/// Production-like background plus one long-lived Auckland -> Los
+/// Angeles transfer whose external half grows by `shift_extra` from
+/// `shift_at` on.  The handshake (completed long before the shift) never
+/// sees it; only in-flow timestamp samples can.
+[[nodiscard]] TrafficModel inflow_shift(std::uint64_t seed, double flows_per_sec,
+                                        Duration total, Timestamp shift_at,
+                                        Duration shift_extra);
+
 /// Benign traffic plus a SYN flood against one NZ server.
 [[nodiscard]] TrafficModel syn_flood(std::uint64_t seed, double benign_flows_per_sec,
                                      double flood_syns_per_sec, Duration total,

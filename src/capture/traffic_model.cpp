@@ -276,6 +276,128 @@ void TrafficModel::generate_flow(Timestamp arrival) {
   truth_.push_back(truth);
 }
 
+void TrafficModel::add_long_transfer(const LongTransferSpec& spec) {
+  FlowTruth truth;
+  truth.flow_id = next_flow_id_++;
+  truth.syn_time = spec.start;
+  truth.true_internal = spec.internal_rtt;
+  truth.true_external = spec.external_rtt;
+  truth.tuple = FiveTuple{IpAddress(spec.client), IpAddress(spec.server), spec.client_port,
+                          spec.server_port, kIpProtoTcp};
+
+  const auto ts_ms = [](Timestamp t) { return static_cast<std::uint32_t>(t.ns / 1'000'000); };
+  const auto external_at = [&](Timestamp t) {
+    return t < spec.shift_at ? spec.external_rtt : spec.external_rtt + spec.shift_extra;
+  };
+
+  TcpFrameSpec c2s;
+  c2s.src_ip = spec.client;
+  c2s.dst_ip = spec.server;
+  c2s.src_port = spec.client_port;
+  c2s.dst_port = spec.server_port;
+  c2s.with_timestamps = true;
+  TcpFrameSpec s2c;
+  s2c.src_ip = spec.server;
+  s2c.dst_ip = spec.client;
+  s2c.src_port = spec.server_port;
+  s2c.dst_port = spec.client_port;
+  s2c.with_timestamps = true;
+
+  const std::uint32_t isn_c = rng_.next_u32();
+  const std::uint32_t isn_s = rng_.next_u32();
+
+  TcpFrameSpec syn = c2s;
+  syn.flags = TcpFlags::kSyn;
+  syn.seq = isn_c;
+  syn.with_mss = true;
+  syn.ts_val = ts_ms(spec.start);
+  push(spec.start, build_tcp_frame(syn));
+
+  const Timestamp synack_t = spec.start + external_at(spec.start);
+  TcpFrameSpec synack = s2c;
+  synack.flags = TcpFlags::kSyn | TcpFlags::kAck;
+  synack.seq = isn_s;
+  synack.ack = isn_c + 1;
+  synack.with_mss = true;
+  synack.ts_val = ts_ms(synack_t);
+  synack.ts_ecr = syn.ts_val;
+  push(synack_t, build_tcp_frame(synack));
+
+  const Timestamp ack_t = synack_t + spec.internal_rtt;
+  TcpFrameSpec ack = c2s;
+  ack.flags = TcpFlags::kAck;
+  ack.seq = isn_c + 1;
+  ack.ack = isn_s + 1;
+  ack.ts_val = ts_ms(ack_t);
+  ack.ts_ecr = synack.ts_val;
+  push(ack_t, build_tcp_frame(ack));
+
+  // Periodic request/response/ack exchanges.  Each response echoes the
+  // request's TSval one (possibly shifted) external RTT later — the
+  // in-flow external half — and each client ack echoes the response one
+  // internal RTT after that — the internal half.
+  std::uint32_t cseq = isn_c + 1;
+  std::uint32_t sseq = isn_s + 1;
+  std::uint32_t last_server_tsval = synack.ts_val;
+  Timestamp tick = ack_t + spec.exchange_interval;
+  Timestamp cursor = ack_t;
+  const Timestamp transfer_end = spec.start + spec.duration;
+  while (tick < transfer_end) {
+    TcpFrameSpec req = c2s;
+    req.flags = TcpFlags::kAck | TcpFlags::kPsh;
+    req.seq = cseq;
+    req.ack = sseq;
+    req.payload_length = 200;
+    req.ts_val = ts_ms(tick);
+    req.ts_ecr = last_server_tsval;
+    push(tick, build_tcp_frame(req));
+    cseq += 200;
+
+    const Timestamp resp_t = tick + external_at(tick);
+    TcpFrameSpec resp = s2c;
+    resp.flags = TcpFlags::kAck | TcpFlags::kPsh;
+    resp.seq = sseq;
+    resp.ack = cseq;
+    resp.payload_length = spec.payload;
+    resp.ts_val = ts_ms(resp_t);
+    resp.ts_ecr = req.ts_val;
+    push(resp_t, build_tcp_frame(resp));
+    sseq += static_cast<std::uint32_t>(spec.payload);
+
+    const Timestamp cack_t = resp_t + spec.internal_rtt;
+    TcpFrameSpec cack = c2s;
+    cack.flags = TcpFlags::kAck;
+    cack.seq = cseq;
+    cack.ack = sseq;
+    cack.ts_val = ts_ms(cack_t);
+    cack.ts_ecr = resp.ts_val;
+    push(cack_t, build_tcp_frame(cack));
+
+    last_server_tsval = resp.ts_val;
+    ++truth.data_segments;
+    cursor = cack_t;
+    tick = tick + spec.exchange_interval;
+  }
+
+  const Timestamp fin_t = cursor + Duration::from_ms(1);
+  TcpFrameSpec fin = c2s;
+  fin.flags = TcpFlags::kFin | TcpFlags::kAck;
+  fin.seq = cseq;
+  fin.ack = sseq;
+  fin.ts_val = ts_ms(fin_t);
+  push(fin_t, build_tcp_frame(fin));
+
+  const Timestamp finack_t = fin_t + external_at(fin_t);
+  TcpFrameSpec finack = s2c;
+  finack.flags = TcpFlags::kFin | TcpFlags::kAck;
+  finack.seq = sseq;
+  finack.ack = cseq + 1;
+  finack.ts_val = ts_ms(finack_t);
+  push(finack_t, build_tcp_frame(finack));
+
+  truth_.push_back(truth);
+}
+
 void TrafficModel::generate_flood_syn(std::size_t flood_idx, Timestamp t) {
   const SynFloodSpec& f = floods_[flood_idx];
   const Ipv4Address spoofed(f.spoof_base.value() +

@@ -88,6 +88,27 @@ struct SynFloodSpec {
   std::size_t spoof_count = 4096;
 };
 
+/// One long-lived transfer with a mid-flow latency shift: periodic
+/// request/response/ack exchanges whose external half grows by
+/// `shift_extra` from `shift_at` on.  A handshake-only measurement sees
+/// nothing after the first three segments; the in-flow timestamp kernel
+/// must surface the shift — that contrast is what the inflow scenarios
+/// assert.
+struct LongTransferSpec {
+  Timestamp start;
+  Duration duration = Duration::from_sec(8.0);
+  Duration exchange_interval = Duration::from_ms(50);
+  Ipv4Address client{10, 1, 0, 200};
+  Ipv4Address server{10, 2, 0, 200};
+  std::uint16_t client_port = 45'555;
+  std::uint16_t server_port = 443;
+  Duration internal_rtt = Duration::from_ms(2);
+  Duration external_rtt = Duration::from_ms(128);
+  Timestamp shift_at{};           ///< tap time the external path degrades
+  Duration shift_extra{};         ///< added to external_rtt from shift_at on
+  std::size_t payload = 1200;
+};
+
 /// Ground truth for one generated flow (what an oracle at the tap knows).
 struct FlowTruth {
   std::uint64_t flow_id = 0;
@@ -145,6 +166,10 @@ class TrafficModel {
 
   void add_glitch(const GlitchWindow& g) { glitches_.push_back(g); }
   void add_syn_flood(const SynFloodSpec& f);
+  /// Queues one long-lived transfer (handshake, periodic exchanges with
+  /// the spec's mid-flow shift, FIN teardown) merged into tap order with
+  /// everything else.  Adds a FlowTruth entry like any other flow.
+  void add_long_transfer(const LongTransferSpec& spec);
   /// Install an arrival-rate curve (see diurnal_curve).
   void set_rate_curve(RateCurve curve) { rate_curve_ = std::move(curve); }
 

@@ -166,6 +166,12 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
       status = set_seconds(cfg.flow_stale_after);
     } else if (key == "flow.probe_window") {
       status = set_u64(cfg.flow_probe_window);
+    } else if (key == "flow.inflow_rtt") {
+      status = set_bool(cfg.inflow_rtt);
+    } else if (key == "flow.ts_ring_entries") {
+      status = set_u64(cfg.ts_ring_entries);
+    } else if (key == "flow.inflow_min_interval_us") {
+      status = set_u64(cfg.inflow_min_interval_us);
     } else if (key == "bus.hwm") {
       status = set_u64(cfg.bus_hwm);
     } else if (key == "bus.batch") {
@@ -282,6 +288,20 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
                         std::to_string(cfg.flow_table_capacity) + ", rounded to " +
                         std::to_string(rounded_capacity) + ")");
     }
+  }
+  {
+    // The per-flow timestamp ring is indexed with a power-of-two mask;
+    // its storage is cap * 2 * entries, so keep entries small.
+    const std::size_t e = cfg.ts_ring_entries;
+    if (e < 2 || e > 64 || (e & (e - 1)) != 0) {
+      return make_error(
+          "config: flow.ts_ring_entries must be a power of two in [2, 64], got " +
+          std::to_string(e));
+    }
+  }
+  if (cfg.inflow_min_interval_us > 60'000'000) {
+    return make_error("config: flow.inflow_min_interval_us must be <= 60000000 (one minute), got " +
+                      std::to_string(cfg.inflow_min_interval_us));
   }
   if (cfg.inject_burst_size == 0) return make_error("config: capture.inject_burst must be >= 1");
   if (cfg.enrichment_threads == 0) return make_error("config: analytics.threads must be >= 1");

@@ -67,10 +67,14 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
   // bus: one frame per accumulator flush, weighted by its sample count
   // so every bus counter stays denominated in samples.
   workers_.reserve(config_.num_queues);
+  InflowConfig inflow;
+  inflow.enabled = config_.inflow_rtt;
+  inflow.ring_entries = config_.ts_ring_entries;
+  inflow.min_interval = Duration::from_us(static_cast<std::int64_t>(config_.inflow_min_interval_us));
   for (std::uint16_t q = 0; q < config_.num_queues; ++q) {
     auto worker = std::make_unique<QueueWorker>(*nic_, q, config_.flow_table_capacity, nullptr,
                                                 config_.flow_stale_after,
-                                                config_.flow_probe_window);
+                                                config_.flow_probe_window, inflow);
     worker->set_fast_path(config_.worker_fast_path);
     worker->set_batch_sink(
         [this, q](std::span<const LatencySample> samples) {
@@ -85,7 +89,11 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
           bus_.publish_lane_stamped(q, m, samples.size());
           if (synflood_) {
             for (const LatencySample& s : samples) {
-              if (s.server.is_v4()) synflood_->on_completion(s.ack_time, s.server.v4);
+              // Only handshake completions count: an in-flow sample is
+              // not a new connection and would dilute the SYN ratio.
+              if (s.kind == SampleKind::kHandshake && s.server.is_v4()) {
+                synflood_->on_completion(s.ack_time, s.server.v4);
+              }
             }
           }
         },
@@ -261,6 +269,28 @@ void RuruPipeline::register_metrics() {
   metrics_.register_counter_fn("flow.sweep_evictions", sum_workers([](const QueueWorker& w) {
                                  return w.tracker().table().stats().sweep_evictions.load();
                                }));
+  // In-flow RTT kernel counters (all zero with flow.inflow_rtt off).
+  metrics_.register_counter_fn("flow.ts_matches", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker().inflow_stats().ts_matches.load();
+                               }));
+  metrics_.register_counter_fn("flow.ts_ring_evictions", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker().inflow_stats().ts_ring_evictions.load();
+                               }));
+  metrics_.register_counter_fn("flow.ts_wraps", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker().inflow_stats().ts_wraps.load();
+                               }));
+  metrics_.register_counter_fn("flow.inflow_samples", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker().inflow_stats().inflow_samples.load();
+                               }));
+  metrics_.register_counter_fn("flow.one_sided_samples", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker().inflow_stats().one_sided_samples.load();
+                               }));
+  metrics_.register_counter_fn("flow.inflow_rate_limited", sum_workers([](const QueueWorker& w) {
+                                 return w.tracker().inflow_stats().rate_limited.load();
+                               }));
+  metrics_.register_counter_fn("worker.inflow_consumed", sum_workers([](const QueueWorker& w) {
+                                 return w.stats().inflow_consumed.load();
+                               }));
   metrics_.register_gauge_fn("flow.entries", [this] {
     std::size_t total = 0;
     for (const auto& w : workers_) total += w->tracker().table().size();
@@ -333,6 +363,7 @@ void RuruPipeline::register_metrics() {
     WorkerObs wobs;
     wobs.poll_batch = metrics_.histogram("worker.poll_batch", q);
     wobs.batch_fill = metrics_.histogram("worker.batch_fill", q);
+    if (config_.inflow_rtt) wobs.inflow_rtt = metrics_.histogram("flow.inflow_rtt_ns", q);
     wobs.flow.probe_groups = metrics_.histogram("flow.probe_groups", q);
     wobs.flow.group_occupancy = metrics_.histogram("flow.group_occupancy", q);
     workers_[q]->set_obs(wobs);
@@ -377,9 +408,58 @@ void RuruPipeline::wire_sinks() {
     std::mutex mu;
     std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::array<SeriesId, 3>, Hash>
         map;
+    /// In-flow series per route: 4 classes — (kInflow|kOneSided) x
+    /// (toward_client) — resolved lazily like the handshake triple.
+    struct InflowSeries {
+      std::array<SeriesId, 4> sid{};
+      std::array<bool, 4> have{};
+    };
+    std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, InflowSeries, Hash> inflow;
   };
   auto routes = std::make_shared<RouteCache>();
   enrichment_->add_sink([this, routes](const EnrichedSample& s) {
+    if (s.kind != SampleKind::kHandshake) {
+      // In-flow and one-sided samples carry one measured half, not a
+      // three-way handshake: they go to their own TSDB measurements
+      // ("inflow_ms" / "onesided_ms", tagged with which half) and stay
+      // out of the aggregators and anomaly detectors, whose models
+      // (pair RTT means, completion counts) assume handshake triples.
+      if (!config_.tsdb_store_samples) return;
+      constexpr std::uint64_t kUnlocated = 0xFFFF'FFFFull;
+      const std::uint64_t cities =
+          ((s.client.located ? std::uint64_t{s.client.city_id} : kUnlocated) << 32) |
+          (s.server.located ? std::uint64_t{s.server.city_id} : kUnlocated);
+      const std::uint64_t asns =
+          (std::uint64_t{s.client.asn} << 32) | std::uint64_t{s.server.asn};
+      const std::pair<std::uint64_t, std::uint64_t> key{cities, asns};
+      const std::size_t cls =
+          (s.kind == SampleKind::kInflow ? 0 : 2) + (s.toward_client ? 1 : 0);
+      SeriesId sid{};
+      bool cached = false;
+      {
+        std::lock_guard lock(routes->mu);
+        const auto it = routes->inflow.find(key);
+        if (it != routes->inflow.end() && it->second.have[cls]) {
+          sid = it->second.sid[cls];
+          cached = true;
+        }
+      }
+      if (!cached) {
+        TagSet tags;
+        tags.add("src_city", std::string(s.client.located ? s.client.city() : "?"))
+            .add("dst_city", std::string(s.server.located ? s.server.city() : "?"))
+            .add("src_as", std::to_string(s.client.asn))
+            .add("dst_as", std::to_string(s.server.asn))
+            .add("half", s.toward_client ? "internal" : "external");
+        sid = tsdb_.series(s.kind == SampleKind::kInflow ? "inflow_ms" : "onesided_ms", tags);
+        std::lock_guard lock(routes->mu);
+        auto& e = routes->inflow[key];
+        e.sid[cls] = sid;
+        e.have[cls] = true;
+      }
+      tsdb_.append(sid, s.completed_at, s.total.to_ms());
+      return;
+    }
     city_pairs_.add(s);
     as_pairs_.add(s);
     arcs_.add(s);

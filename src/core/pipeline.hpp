@@ -65,6 +65,19 @@ struct PipelineConfig {
   /// Worker pre-parse fast path: skip full parsing of data segments on
   /// untracked flows (see QueueWorker::set_fast_path).
   bool worker_fast_path = true;
+  /// Continuous in-flow RTT: match TCP-timestamp echoes on established
+  /// flows in the worker fast path (pping's algorithm against per-flow
+  /// rings in the flow table).  Off = handshake-only tracking, wire
+  /// output bit-identical to the pre-feature pipeline.
+  bool inflow_rtt = false;
+  /// Per-flow, per-direction timestamp ring entries (power of two,
+  /// 2..64).  Sizes the flow table's cold ring arrays when inflow_rtt
+  /// is on.
+  std::size_t ts_ring_entries = 8;
+  /// Per-flow-direction emission floor: at most one in-flow sample per
+  /// this many microseconds ("first match per RTT window").  0 emits
+  /// every match.
+  std::uint64_t inflow_min_interval_us = 10'000;
 
   // --- multi-core topology ---
   /// CPU pins for the pipeline's threads (best-effort Linux affinity;

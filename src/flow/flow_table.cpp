@@ -15,7 +15,7 @@ std::uint64_t FlowTable::fold_ip(const IpAddress& a) {
 }
 
 FlowTable::FlowTable(std::size_t capacity, Duration stale_after, std::size_t probe_window,
-                     ProbeKernel kernel)
+                     ProbeKernel kernel, std::size_t ts_ring_entries)
     : stale_after_(stale_after), simd_(resolve_simd(kernel)) {
   std::size_t cap = kFlowGroupWidth;  // at least one full group
   while (cap < capacity) cap <<= 1;
@@ -25,6 +25,15 @@ FlowTable::FlowTable(std::size_t capacity, Duration stale_after, std::size_t pro
   cold_.resize(cap);
   slot_mask_ = cap - 1;
   group_mask_ = cap / kFlowGroupWidth - 1;
+
+  if (ts_ring_entries != 0) {
+    std::size_t entries = 2;  // ts_note's index math needs a power of two
+    while (entries < ts_ring_entries) entries <<= 1;
+    ts_entries_ = entries;
+    ts_vals_.assign(cap * 2 * entries, 0);
+    ts_times_.assign(cap * 2 * entries, kTsNever);
+    ts_state_.resize(cap);
+  }
 
   std::size_t groups = (probe_window + kFlowGroupWidth - 1) / kFlowGroupWidth;
   if (groups == 0) groups = 1;
@@ -165,6 +174,11 @@ FlowTable::Slot FlowTable::find_or_insert(const FlowKey& key, std::uint32_t rss_
   hot_[slot].rss_hash = rss_hash;
   last_seen_[slot] = now.ns;
   cold_[slot] = FlowData{};
+  if (ts_entries_ != 0) {
+    ts_state_[slot] = TsFlowState{};
+    ts_clear(ts_ring(slot, 0));
+    ts_clear(ts_ring(slot, 1));
+  }
   ++live_;
   ++stats_.inserts;
   inserted = true;

@@ -34,7 +34,10 @@
 #include <limits>
 #include <vector>
 
+#include <array>
+
 #include "flow/group_probe.hpp"
+#include "flow/ts_ring.hpp"
 #include "net/five_tuple.hpp"
 #include "obs/metrics.hpp"
 #include "util/stat_cell.hpp"
@@ -45,6 +48,7 @@ namespace ruru {
 enum class HandshakeState : std::uint8_t {
   kAwaitSynAck = 0,  ///< SYN recorded
   kAwaitAck,         ///< SYN + SYN-ACK recorded
+  kEstablished,      ///< handshake sample emitted; in-flow RTT tracking
 };
 
 /// Cold per-flow payload: read/written only after a probe verified the
@@ -56,6 +60,22 @@ struct FlowData {
   std::uint32_t synack_seq = 0;  ///< ISN of the SYN-ACK (validates the ACK)
   HandshakeState state = HandshakeState::kAwaitSynAck;
   bool syn_forward = true;  ///< SYN travelled in canonical direction
+};
+
+/// Per-flow timestamp-ring bookkeeping for in-flow RTT (cold SoA, only
+/// allocated when the feature is on).  Direction index convention: 0 =
+/// canonical (FlowKey::forward), 1 = reverse.
+struct TsFlowState {
+  std::array<TsDirState, 2> dir{};
+  /// Last in-flow sample emission per direction (rate limiting).
+  std::array<std::int64_t, 2> last_emit_ns{kTsNever, kTsNever};
+  /// Departure time of the previous note per direction (one-sided mode:
+  /// consecutive TSval advances approximate sender pacing when no echo
+  /// ever comes back).
+  std::array<std::int64_t, 2> last_note_ns{kTsNever, kTsNever};
+  /// Bit 0: canonical direction seen, bit 1: reverse seen.  One-sided
+  /// samples are emitted only while exactly one bit is set.
+  std::uint8_t seen_dirs = 0;
 };
 
 /// Single-writer cells (the owning worker thread): readable live by the
@@ -105,10 +125,13 @@ class FlowTable {
   /// `stale_after`: entries not touched for this long may be reclaimed.
   /// `probe_window`: slots probed per lookup, rounded up to whole groups
   /// and clamped to capacity.  `kernel`: force the scalar probe path
-  /// (tests, oracles) or let the build pick.
+  /// (tests, oracles) or let the build pick.  `ts_ring_entries`: per-
+  /// flow, per-direction timestamp ring size for in-flow RTT — rounded
+  /// up to a power of two; 0 (the default) allocates no ring storage
+  /// and disables the ts_* accessors.
   explicit FlowTable(std::size_t capacity, Duration stale_after = Duration::from_sec(30.0),
                      std::size_t probe_window = kDefaultProbeWindow,
-                     ProbeKernel kernel = ProbeKernel::kAuto);
+                     ProbeKernel kernel = ProbeKernel::kAuto, std::size_t ts_ring_entries = 0);
 
   /// Finds the live entry for `key`, or kNoSlot.  A verified match that
   /// went stale is reclaimed on the way (it is a dead handshake — do not
@@ -174,6 +197,28 @@ class FlowTable {
   [[nodiscard]] const FiveTuple& canonical(Slot slot) const { return hot_[slot].key; }
   [[nodiscard]] Timestamp last_seen(Slot slot) const { return Timestamp{last_seen_[slot]}; }
   void touch(Slot slot, Timestamp now) { last_seen_[slot] = now.ns; }
+
+  // --- in-flow timestamp rings (valid only when ts_enabled()) ---
+  [[nodiscard]] bool ts_enabled() const { return ts_entries_ != 0; }
+  [[nodiscard]] std::size_t ts_ring_entries() const { return ts_entries_; }
+  /// `dir`: 0 = canonical direction's notes, 1 = reverse's.  SoA lanes:
+  /// both directions' vals sit contiguously per slot (one cache line for
+  /// ring sizes <= 8), times likewise.
+  [[nodiscard]] TsRingRef ts_ring(Slot slot, unsigned dir) {
+    const std::size_t off = (static_cast<std::size_t>(slot) * 2 + dir) * ts_entries_;
+    return {{ts_vals_.data() + off, ts_entries_}, {ts_times_.data() + off, ts_entries_}};
+  }
+  [[nodiscard]] TsFlowState& ts_state(Slot slot) { return ts_state_[slot]; }
+  /// Warms the lanes a match is about to scan — issue between the find()
+  /// and the option extraction so the lines stream in behind the probe.
+  /// The vals lane (both directions) and the state; the times lane is
+  /// only dereferenced on a hit or a note, and its store misses hide in
+  /// the store buffer.
+  void ts_prefetch(Slot slot) const {
+    __builtin_prefetch(ts_vals_.data() + static_cast<std::size_t>(slot) * 2 * ts_entries_,
+                       1 /*write*/, 3);
+    __builtin_prefetch(ts_state_.data() + slot, 1 /*write*/, 3);
+  }
 
   [[nodiscard]] std::size_t capacity() const { return ctrl_.size(); }
   [[nodiscard]] std::size_t size() const { return live_.load(); }
@@ -264,6 +309,10 @@ class FlowTable {
   std::vector<HotSlot> hot_;           ///< probe verification rows
   std::vector<std::int64_t> last_seen_;  ///< Timestamp::ns, sweep-scanned
   std::vector<FlowData> cold_;         ///< handshake payload
+  std::vector<std::uint32_t> ts_vals_;   ///< TSval lanes, 2 * ts_entries_ per slot
+  std::vector<std::int64_t> ts_times_;   ///< departure lanes, same geometry
+  std::vector<TsFlowState> ts_state_;    ///< one per slot (cold)
+  std::size_t ts_entries_ = 0;         ///< ring entries per direction (0 = off)
   std::size_t slot_mask_;              ///< capacity - 1
   std::size_t group_mask_;             ///< capacity/16 - 1
   std::size_t window_groups_;          ///< probe window in groups

@@ -33,6 +33,28 @@ struct TrackerStats {
   StatCell table_drops = 0;  ///< SYN not inserted (table pressure)
 };
 
+/// Single-writer cells for the in-flow RTT kernel.
+struct InflowStats {
+  StatCell ts_matches = 0;         ///< TSecr hits against a noted TSval
+  StatCell ts_ring_evictions = 0;  ///< live note overwritten by a full ring
+  StatCell ts_wraps = 0;           ///< TSval wrap/reset detected while noting
+  StatCell inflow_samples = 0;     ///< kInflow samples emitted (post rate limit)
+  StatCell one_sided_samples = 0;  ///< kOneSided samples emitted
+  StatCell rate_limited = 0;       ///< matches suppressed by min_interval
+};
+
+/// Continuous in-flow RTT configuration (off by default: handshake-only
+/// tracking, bit-identical to the pre-feature pipeline).
+struct InflowConfig {
+  bool enabled = false;
+  /// Per-flow, per-direction timestamp ring entries (rounded up to a
+  /// power of two by the table).
+  std::size_t ring_entries = 8;
+  /// Emit at most one in-flow sample per flow direction per interval —
+  /// "first match per RTT window".  Zero emits every match.
+  Duration min_interval = Duration::from_ms(10);
+};
+
 /// One parsed packet queued for batched tracking: everything process()
 /// needs, staged so a whole RX burst resolves with table prefetch
 /// pipelined one packet ahead.
@@ -47,13 +69,46 @@ class HandshakeTracker {
   explicit HandshakeTracker(std::size_t table_capacity,
                             Duration stale_after = Duration::from_sec(30.0),
                             std::size_t probe_window = FlowTable::kDefaultProbeWindow,
-                            ProbeKernel kernel = ProbeKernel::kAuto)
-      : table_(table_capacity, stale_after, probe_window, kernel) {}
+                            ProbeKernel kernel = ProbeKernel::kAuto, InflowConfig inflow = {})
+      : table_(table_capacity, stale_after, probe_window, kernel,
+               inflow.enabled ? inflow.ring_entries : 0),
+        inflow_(inflow) {}
 
   /// Feed one parsed TCP packet observed at `rx_time`. Returns a sample
   /// when this packet is the first ACK completing a tracked handshake.
+  /// Handshake-only view: in-flow samples are dropped — use the vector
+  /// overload when the in-flow kernel is enabled.
   std::optional<LatencySample> process(const PacketView& pkt, Timestamp rx_time,
                                        std::uint32_t rss_hash, std::uint16_t queue_id);
+
+  /// Full-parse entry point: handshake tracking plus (when enabled) the
+  /// in-flow timestamp kernel.  Appends zero or more samples to `out`.
+  void process(const PacketView& pkt, Timestamp rx_time, std::uint32_t rss_hash,
+               std::uint16_t queue_id, std::vector<LatencySample>& out);
+
+  /// --- fast-path in-flow kernel (worker pass 2) --------------------
+  /// The worker probes established-flow data segments without a full
+  /// parse: inflow_lookup() classifies the flow, then (for established
+  /// flows) inflow_established() runs the timestamp kernel on the
+  /// fixed-offset option probe.  Split in two so the caller can extract
+  /// options between the lookup and the kernel, behind the ring
+  /// prefetch the lookup issues.
+  enum class InflowVerdict : std::uint8_t {
+    kUntracked,    ///< no live slot: skip the packet entirely
+    kNeedParse,    ///< tracked but mid-handshake: full parse required
+    kEstablished,  ///< slot valid, touched, rings prefetched
+  };
+  struct InflowLookup {
+    InflowVerdict verdict = InflowVerdict::kUntracked;
+    FlowTable::Slot slot = FlowTable::kNoSlot;
+  };
+  [[nodiscard]] InflowLookup inflow_lookup(const FlowKey& key, std::uint32_t rss_hash,
+                                           Timestamp now);
+  /// Runs the timestamp kernel for an established slot returned by
+  /// inflow_lookup().  `forward` is the packet's FlowKey::forward.
+  void inflow_established(FlowTable::Slot slot, bool forward, const FastTsProbe& ts,
+                          Timestamp rx_time, std::uint32_t rss_hash, std::uint16_t queue_id,
+                          std::vector<LatencySample>& out);
 
   /// Batched process(): resolves `pkts` in order, appending every
   /// emitted sample to `out` (not cleared).  The next packet's flow-
@@ -85,11 +140,40 @@ class HandshakeTracker {
   void set_table_obs(FlowTableObs obs) { table_.set_obs(obs); }
 
   [[nodiscard]] const TrackerStats& stats() const { return stats_; }
+  [[nodiscard]] const InflowStats& inflow_stats() const { return inflow_stats_; }
   [[nodiscard]] const FlowTable& table() const { return table_; }
+  [[nodiscard]] bool inflow_enabled() const { return inflow_.enabled; }
 
  private:
+  /// What process_core() did with the packet, for the in-flow layer on
+  /// top: which slot (if any) the packet resolved to and whether that
+  /// slot is still live afterwards.
+  struct CoreOutcome {
+    FlowTable::Slot slot = FlowTable::kNoSlot;
+    bool erased = false;
+    std::optional<LatencySample> sample;
+  };
+  CoreOutcome process_core(const PacketView& pkt, Timestamp rx_time, std::uint32_t rss_hash,
+                           std::uint16_t queue_id);
+
+  /// The shared timestamp kernel: match the packet's TSecr against the
+  /// opposite direction's ring, then note its TSval (eliciting segments
+  /// only: payload, SYN or FIN — pure ACKs draw no timely echo and would
+  /// just flush the ring).
+  void inflow_segment(FlowTable::Slot slot, bool forward, bool has_payload, bool syn, bool fin,
+                      std::uint32_t ts_val, std::uint32_t ts_ecr, Timestamp rx_time,
+                      std::uint32_t rss_hash, std::uint16_t queue_id,
+                      std::vector<LatencySample>& out);
+
+  /// Rate-limited sample emission for the in-flow kinds.
+  void emit_inflow(FlowTable::Slot slot, unsigned dir, SampleKind kind, Timestamp departed,
+                   Timestamp rx_time, std::uint32_t rss_hash, std::uint16_t queue_id,
+                   std::vector<LatencySample>& out);
+
   FlowTable table_;
+  InflowConfig inflow_;
   TrackerStats stats_;
+  InflowStats inflow_stats_;
 };
 
 }  // namespace ruru

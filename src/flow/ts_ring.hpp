@@ -1,0 +1,123 @@
+#pragma once
+// Shared TCP-timestamp matching core (pping's algorithm, ring-ified).
+//
+// RFC 7323 echoes: every timestamped segment carries the sender's clock
+// (TSval) and the newest TSval it has seen from the peer (TSecr).  Noting
+// (TSval, departure time) per direction and matching the opposite
+// direction's TSecr against those notes yields one RTT sample per TSval
+// without touching payload — pping's passive measurement.  This header
+// holds the two kernels both consumers share:
+//
+//  * the offline baseline (src/baseline/pping.cpp) — growable per-flow
+//    state, the bit-exact test oracle;
+//  * the worker fast path — fixed power-of-two rings embedded in the
+//    flow table's cold SoA arrays, zero allocations.
+//
+// A ring is two parallel lanes (structure-of-arrays): a `vals` lane of
+// 4-byte TSvals that every scan walks, and a `times` lane of 8-byte
+// departure stamps touched only on a candidate hit or a note write.  An
+// 8-entry ring's scan therefore reads 32 bytes — half a cache line, and
+// one line covers both directions of a flow — instead of the 128 bytes
+// an array-of-structs layout would stream per lookup.  Liveness lives in
+// the times lane (`kTsNever` = empty or consumed), so the vals lane is
+// never cleared: a stale value there cannot match without its stamp.
+//
+// Rules the kernels encode (and the fuzz oracle relies on):
+//
+//  * one sample per TSval: a matched note is consumed (sentinel), so a
+//    burst of segments echoing the same TSval yields exactly one RTT;
+//  * retransmission does not rejuvenate a note: re-noting an already
+//    noted TSval is refused, so the eventual match reports the *first*
+//    departure (an inflated-but-honest RTT, never a deflated one);
+//  * a full ring overwrites the oldest write position (bounded memory
+//    beats a complete sample set at line rate); the overwrite of a
+//    still-live note is counted as an eviction;
+//  * TSval wraparound (or a peer clock reset) is detected by signed
+//    32-bit comparison against the newest noted TSval and counted, not
+//    special-cased: stale pre-wrap notes simply age out of the ring.
+
+#include <cstdint>
+#include <span>
+
+namespace ruru {
+
+/// Empty/consumed sentinel for a ring's times lane (and "no match"
+/// return of ts_match).  INT64_MIN cannot collide with a capture
+/// timestamp.
+inline constexpr std::int64_t kTsNever = INT64_MIN;
+
+/// Non-owning view of one direction's ring: parallel TSval/departure
+/// lanes of the same power-of-two length.
+struct TsRingRef {
+  std::span<std::uint32_t> vals;
+  std::span<std::int64_t> times;
+};
+
+/// Per-direction note state carried next to a ring.
+struct TsDirState {
+  std::uint32_t head = 0;        ///< next write index (mod ring size)
+  std::uint32_t last_tsval = 0;  ///< newest TSval noted (wrap detection)
+  bool have_last = false;
+};
+
+struct TsNoteResult {
+  bool noted = false;    ///< false: duplicate TSval (retransmission)
+  bool evicted = false;  ///< overwrote a still-live note
+  bool wrapped = false;  ///< TSval went backwards mod 2^32 boundary
+};
+
+/// Notes (tsval, now) into `ring` unless a live entry for `tsval` is
+/// already present (retransmission rule).  Lane length must be a power
+/// of two.
+inline TsNoteResult ts_note(TsRingRef ring, TsDirState& st, std::uint32_t tsval,
+                            std::int64_t now_ns) {
+  TsNoteResult r;
+  const std::size_t n = ring.vals.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ring.vals[i] == tsval && ring.times[i] != kTsNever) return r;  // retransmission
+  }
+  if (st.have_last) {
+    // Newer iff the signed serial-number distance is positive (RFC 1982
+    // style); a wrap is "newer but numerically smaller".
+    const auto delta = static_cast<std::int32_t>(tsval - st.last_tsval);
+    if (delta > 0) {
+      if (tsval < st.last_tsval) r.wrapped = true;
+      st.last_tsval = tsval;
+    }
+  } else {
+    st.last_tsval = tsval;
+    st.have_last = true;
+  }
+  const std::size_t idx = st.head & (n - 1);
+  if (ring.times[idx] != kTsNever) r.evicted = true;
+  ring.times[idx] = now_ns;
+  ring.vals[idx] = tsval;
+  ++st.head;
+  r.noted = true;
+  return r;
+}
+
+/// Looks up `tsecr` among the opposite direction's notes.  On a hit the
+/// note is consumed and its departure time returned; kTsNever on miss.
+/// The scan walks only the vals lane (a handful of 4-byte compares on
+/// one cache line); the times lane is read just to confirm liveness on
+/// an equality hit.
+inline std::int64_t ts_match(TsRingRef ring, std::uint32_t tsecr) {
+  const std::size_t n = ring.vals.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ring.vals[i] == tsecr && ring.times[i] != kTsNever) {
+      const std::int64_t departed = ring.times[i];
+      ring.times[i] = kTsNever;  // one sample per TSval
+      return departed;
+    }
+  }
+  return kTsNever;
+}
+
+/// Resets a ring to all-empty (slot reuse in the flow table).  Only the
+/// times lane carries liveness, so the vals lane is left as-is.
+inline void ts_clear(TsRingRef ring) {
+  for (std::int64_t& t : ring.times) t = kTsNever;
+}
+
+}  // namespace ruru

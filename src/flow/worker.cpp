@@ -7,13 +7,18 @@
 namespace ruru {
 
 QueueWorker::QueueWorker(SimNic& nic, std::uint16_t queue_id, std::size_t flow_table_capacity,
-                         SampleSink sink, Duration stale_after, std::size_t probe_window)
+                         SampleSink sink, Duration stale_after, std::size_t probe_window,
+                         InflowConfig inflow)
     : nic_(nic),
       queue_id_(queue_id),
-      tracker_(flow_table_capacity, stale_after, probe_window),
-      sink_(std::move(sink)) {
+      tracker_(flow_table_capacity, stale_after, probe_window, ProbeKernel::kAuto, inflow),
+      sink_(std::move(sink)),
+      inflow_(inflow.enabled) {
   items_.reserve(kBurst);
-  samples_.reserve(kBurst);
+  // A packet can yield up to two samples with the in-flow kernel on
+  // (handshake completion + its echo match): size the staging buffer so
+  // the steady state never re-allocates.
+  samples_.reserve(2 * kBurst);
 }
 
 void QueueWorker::set_batch_sink(BatchSink sink, std::size_t batch_size, Duration linger) {
@@ -52,6 +57,10 @@ void QueueWorker::flush_items() {
   samples_.clear();  // keeps capacity
   tracker_.process_burst(items_, queue_id_, samples_);
   items_.clear();
+  deliver_staged();
+}
+
+void QueueWorker::deliver_staged() {
   const bool tracing = trace_.attached();
   for (LatencySample& s : samples_) {
     if (tracing) {
@@ -63,6 +72,9 @@ void QueueWorker::flush_items() {
         trace_.instant(obs::TraceStage::kFlow, s.trace_id, obs::trace_now_ns(), 0,
                        queue_id_);
       }
+    }
+    if (s.kind != SampleKind::kHandshake) {
+      obs_.inflow_rtt.record(s.total().ns);
     }
     deliver_sample(s);
   }
@@ -122,6 +134,8 @@ std::size_t QueueWorker::poll_once() {
           (probe.tcp_flags & TcpFlags::kAck) != 0) {
         p.kind = Pending::Kind::kCandidate;
         p.key = FlowKey::from(probe.tuple);
+        p.l4_offset = probe.l4_offset;
+        p.probe_v4 = probe.is_v4;
         tracker_.prefetch(m.rss_hash);
         continue;
       }
@@ -144,7 +158,29 @@ std::size_t QueueWorker::poll_once() {
     }
     if (p.kind == Pending::Kind::kCandidate) {
       flush_items();
-      if (!tracker_.tracking(p.key, m.rss_hash, m.timestamp)) {
+      if (inflow_) {
+        // In-flow kernel: one table probe classifies the candidate.
+        // Established flows run the timestamp match right here — option
+        // extraction happens behind the ring prefetch the lookup issued
+        // — and never reach parse_packet().
+        const auto look = tracker_.inflow_lookup(p.key, m.rss_hash, m.timestamp);
+        if (look.verdict == HandshakeTracker::InflowVerdict::kUntracked) {
+          ++stats_.fast_path_skips;
+          continue;
+        }
+        if (look.verdict == HandshakeTracker::InflowVerdict::kEstablished) {
+          const FastTsProbe tsp = probe_tcp_timestamps(m.bytes(), p.l4_offset, p.probe_v4);
+          if (tsp.valid) [[likely]] {
+            samples_.clear();
+            tracker_.inflow_established(look.slot, p.key.forward, tsp, m.timestamp, m.rss_hash,
+                                        queue_id_, samples_);
+            deliver_staged();
+            ++stats_.inflow_consumed;
+            continue;
+          }
+          // Inconsistent length fields: let parse_packet() classify it.
+        }
+      } else if (!tracker_.tracking(p.key, m.rss_hash, m.timestamp)) {
         ++stats_.fast_path_skips;
         continue;
       }

@@ -38,6 +38,7 @@ namespace ruru {
 struct WorkerObs {
   obs::HistogramHandle poll_batch;  ///< packets per non-empty rx_burst
   obs::HistogramHandle batch_fill;  ///< samples per batch-sink flush
+  obs::HistogramHandle inflow_rtt;  ///< ns per in-flow RTT sample (kind != handshake)
   FlowTableObs flow;                ///< probe-length / group-occupancy
 };
 
@@ -55,6 +56,11 @@ struct WorkerStats {
   /// Data segments of untracked flows dismissed by the fixed-offset
   /// pre-parse probe without a full parse_packet().
   StatCell fast_path_skips = 0;
+  /// Data segments of established flows consumed by the in-flow
+  /// timestamp kernel without a full parse_packet().  Like skips they
+  /// bypass parse_status; conservation becomes
+  ///   packets == sum(parse_status) + fast_path_skips + inflow_consumed.
+  StatCell inflow_consumed = 0;
   /// Batch-sink flushes (any trigger: full, idle, linger, shutdown).
   StatCell batch_flushes = 0;
   /// Samples handed to the batch sink across all flushes.
@@ -81,7 +87,8 @@ class QueueWorker {
 
   QueueWorker(SimNic& nic, std::uint16_t queue_id, std::size_t flow_table_capacity,
               SampleSink sink, Duration stale_after = Duration::from_sec(30.0),
-              std::size_t probe_window = FlowTable::kDefaultProbeWindow);
+              std::size_t probe_window = FlowTable::kDefaultProbeWindow,
+              InflowConfig inflow = {});
 
   /// Install before the worker runs (not thread-safe afterwards).
   void set_syn_sink(SynSink sink) { syn_sink_ = std::move(sink); }
@@ -152,6 +159,9 @@ class QueueWorker {
     Kind kind = Kind::kParsed;
     ParseStatus status = ParseStatus::kOk;
     std::uint32_t mbuf = 0;  ///< index into the rx burst
+    /// Candidate-only probe carry-over for the in-flow timestamp probe.
+    std::uint16_t l4_offset = 0;
+    bool probe_v4 = true;
     PacketView view;
     FlowKey key;
   };
@@ -159,6 +169,9 @@ class QueueWorker {
   /// Runs accumulated parsed packets through the tracker and delivers
   /// every emitted sample.
   void flush_items();
+  /// Delivers whatever is staged in samples_ (trace ids, histograms,
+  /// sinks) — shared by flush_items() and the in-flow fast path.
+  void deliver_staged();
   void deliver_sample(const LatencySample& sample);
 
   SimNic& nic_;
@@ -168,6 +181,7 @@ class QueueWorker {
   SynSink syn_sink_;
   BatchSink batch_sink_;
   bool fast_path_ = true;
+  bool inflow_ = false;  ///< cached InflowConfig::enabled
   std::size_t batch_size_ = 1;
   Duration batch_linger_{0};
   std::vector<LatencySample> batch_;   ///< reused accumulator

@@ -41,7 +41,14 @@ void put_i64(std::uint8_t* p, std::int64_t v) {
 std::int64_t get_i64(const std::uint8_t* p) { return static_cast<std::int64_t>(load_be64(p)); }
 
 void put_record(std::uint8_t* p, const LatencySample& s) {
-  p[0] = s.client.is_v4() ? 4 : 6;
+  // Family byte doubles as the sample-kind carrier: low nibble is the
+  // address family (4 or 6), bits 4-5 the SampleKind, bit 6 the in-flow
+  // orientation.  A handshake sample (kind 0, toward_client false)
+  // writes exactly the pre-feature byte, so the wire stays bit-identical
+  // with the in-flow kernel off.
+  p[0] = static_cast<std::uint8_t>((s.client.is_v4() ? 4 : 6) |
+                                   (static_cast<std::uint8_t>(s.kind) << 4) |
+                                   (s.toward_client ? 0x40 : 0));
   put_ip(p + 1, s.client);
   put_ip(p + 17, s.server);
   store_be16(p + 33, s.client_port);
@@ -54,8 +61,14 @@ void put_record(std::uint8_t* p, const LatencySample& s) {
 }
 
 bool get_record(const std::uint8_t* p, LatencySample& s) {
-  if (p[0] != 4 && p[0] != 6) return false;
-  const bool v4 = p[0] == 4;
+  const std::uint8_t family = p[0] & 0x0f;
+  const std::uint8_t kind = (p[0] >> 4) & 0x03;
+  if (family != 4 && family != 6) return false;
+  if (kind > static_cast<std::uint8_t>(SampleKind::kOneSided)) return false;
+  if ((p[0] & 0x80) != 0) return false;  // reserved bit must be clear
+  const bool v4 = family == 4;
+  s.kind = static_cast<SampleKind>(kind);
+  s.toward_client = (p[0] & 0x40) != 0;
   s.client = get_ip(p + 1, v4);
   s.server = get_ip(p + 17, v4);
   s.client_port = load_be16(p + 33);

@@ -85,6 +85,8 @@ FastProbe probe_tcp_fast(std::span<const std::uint8_t> frame) {
     p.tuple.dst_port = load_be16(&frame[l4 + 2]);
     p.tuple.protocol = kIpProtoTcp;
     p.tcp_flags = frame[l4 + kTcpFlagsOffset];
+    p.is_v4 = true;
+    p.l4_offset = static_cast<std::uint16_t>(l4);
     p.eligible = true;
     return p;
   }
@@ -103,11 +105,73 @@ FastProbe probe_tcp_fast(std::span<const std::uint8_t> frame) {
     p.tuple.dst_port = load_be16(&frame[kIpv6L4Offset + 2]);
     p.tuple.protocol = kIpProtoTcp;
     p.tcp_flags = frame[kIpv6L4Offset + kTcpFlagsOffset];
+    p.is_v4 = false;
+    p.l4_offset = kIpv6L4Offset;
     p.eligible = true;
     return p;
   }
 
   return p;
+}
+
+FastTsProbe probe_tcp_timestamps(std::span<const std::uint8_t> frame, std::size_t l4_offset,
+                                 bool is_v4) {
+  FastTsProbe r;
+  // probe_tcp_fast already bounded frame >= l4_offset + 20.
+  const std::size_t doff_words = frame[l4_offset + 12] >> 4;
+  if (doff_words < 5) return r;
+  const std::size_t tcp_len = doff_words * 4;
+
+  // Length validation mirroring parse_packet(): the IP length field must
+  // fit the frame and cover the TCP header; what it covers beyond the
+  // header is the payload.  Trailing frame bytes past the IP length are
+  // Ethernet padding, never options or payload.
+  std::size_t l4_available = 0;
+  if (is_v4) {
+    const std::size_t total_length = load_be16(&frame[kIpv4Offset + 2]);
+    const std::size_t ip_header = l4_offset - kIpv4Offset;
+    if (total_length + kIpv4Offset > frame.size()) return r;
+    if (total_length < ip_header + tcp_len) return r;
+    l4_available = total_length - ip_header;
+  } else {
+    const std::size_t payload_length = load_be16(&frame[kIpv4Offset + 4]);
+    if (payload_length + kIpv6L4Offset > frame.size()) return r;
+    if (payload_length < tcp_len) return r;
+    l4_available = payload_length;
+  }
+  r.payload_len = static_cast<std::uint16_t>(l4_available - tcp_len);
+  r.valid = true;
+
+  const std::uint8_t* opt = &frame[l4_offset + kTcpMinHeader];
+  const std::size_t opt_len = tcp_len - kTcpMinHeader;
+  // Kernel-standard layout first: NOP NOP TS(10) resolves without a walk.
+  if (opt_len >= 12 && opt[0] == 1 && opt[1] == 1 && opt[2] == 8 && opt[3] == 10) {
+    r.has_ts = true;
+    r.ts_val = load_be32(opt + 4);
+    r.ts_ecr = load_be32(opt + 8);
+    return r;
+  }
+  // General TLV walk, same accept/stop rules as TcpHeader::timestamp_option.
+  std::size_t i = 0;
+  while (i < opt_len) {
+    const std::uint8_t kind = opt[i];
+    if (kind == 0) break;  // end of options
+    if (kind == 1) {       // NOP
+      ++i;
+      continue;
+    }
+    if (i + 1 >= opt_len) break;
+    const std::uint8_t len = opt[i + 1];
+    if (len < 2 || i + len > opt_len) break;  // malformed
+    if (kind == 8 && len == 10) {
+      r.has_ts = true;
+      r.ts_val = load_be32(&opt[i + 2]);
+      r.ts_ecr = load_be32(&opt[i + 6]);
+      break;
+    }
+    i += len;
+  }
+  return r;
 }
 
 }  // namespace ruru

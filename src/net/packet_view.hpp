@@ -82,7 +82,9 @@ struct FastProbe {
   /// path": parse_packet() will classify (and count) the packet.
   bool eligible = false;
   std::uint8_t tcp_flags = 0;
-  FiveTuple tuple;  ///< populated only when eligible
+  bool is_v4 = true;            ///< valid only when eligible
+  std::uint16_t l4_offset = 0;  ///< TCP header offset in the frame (eligible only)
+  FiveTuple tuple;              ///< populated only when eligible
 };
 
 /// Fixed-offset L2/L3/L4 probe — the pre-parse stage of the capture fast
@@ -92,5 +94,29 @@ struct FastProbe {
 /// (total_length consistency, data_offset bounds): the caller only uses
 /// the result to SKIP packets, never to measure them.
 [[nodiscard]] FastProbe probe_tcp_fast(std::span<const std::uint8_t> frame);
+
+/// Result of probe_tcp_timestamps(): the RFC 7323 timestamp option and
+/// the payload length, read in place for the in-flow RTT kernel.
+struct FastTsProbe {
+  /// True when the length fields are self-consistent (the same checks
+  /// parse_packet() applies to total_length / payload_length /
+  /// data-offset).  False means "take the slow path" — unlike the flags
+  /// probe this one feeds *measurements*, so it refuses frames a full
+  /// parse would reject rather than risk reading padding as options.
+  bool valid = false;
+  bool has_ts = false;  ///< a well-formed timestamp option was present
+  std::uint32_t ts_val = 0;
+  std::uint32_t ts_ecr = 0;
+  std::uint16_t payload_len = 0;
+};
+
+/// Second-stage fixed-offset probe for frames probe_tcp_fast() accepted:
+/// validates the length fields and extracts TSval/TSecr + payload length
+/// without building a PacketView.  `l4_offset`/`is_v4` come from the
+/// FastProbe.  The common kernel layout (NOP NOP TS) resolves with one
+/// 4-byte compare; anything else falls back to a bounded TLV walk with
+/// the same accept rule as TcpHeader::timestamp_option (kind 8, len 10).
+[[nodiscard]] FastTsProbe probe_tcp_timestamps(std::span<const std::uint8_t> frame,
+                                               std::size_t l4_offset, bool is_v4);
 
 }  // namespace ruru

@@ -181,5 +181,79 @@ TEST(ZeroAlloc, ProcessBurstSteadyStateDoesNotAllocate) {
   EXPECT_EQ(tracker.table().size(), 0u);  // every handshake completed and erased
 }
 
+TEST(ZeroAlloc, InflowKernelSteadyStateDoesNotAllocate) {
+  // Full flow lifecycles with TCP timestamps and the in-flow kernel on:
+  // 8 flows x (handshake, request, response, ack, FIN).  Every TSval note
+  // is either consumed by its echo or erased with the flow at FIN, so each
+  // round replays against identical table state — the matching kernel's
+  // rings live inside the flow table's preallocated cold storage and must
+  // never touch the heap.
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int i = 0; i < 8; ++i) {
+    const auto client = Ipv4Address(10, 1, 0, static_cast<std::uint8_t>(i + 1));
+    const auto server = Ipv4Address(10, 2, 0, 1);
+    const auto cport = static_cast<std::uint16_t>(41'000 + i);
+    auto tcp = [&](bool c2s, std::uint8_t flags, std::uint32_t seq, std::uint32_t ack,
+                   std::uint32_t tsval, std::uint32_t tsecr, std::size_t payload) {
+      TcpFrameSpec s;
+      s.src_ip = c2s ? client : server;
+      s.dst_ip = c2s ? server : client;
+      s.src_port = c2s ? cport : 443;
+      s.dst_port = c2s ? 443 : cport;
+      s.flags = flags;
+      s.seq = seq;
+      s.ack = ack;
+      s.payload_length = payload;
+      s.with_timestamps = true;
+      s.ts_val = tsval;
+      s.ts_ecr = tsecr;
+      frames.push_back(build_tcp_frame(s));
+    };
+    tcp(true, TcpFlags::kSyn, 1000, 0, 100, 0, 0);
+    tcp(false, TcpFlags::kSyn | TcpFlags::kAck, 5000, 1001, 500, 100, 0);
+    tcp(true, TcpFlags::kAck, 1001, 5001, 105, 500, 0);
+    tcp(true, TcpFlags::kAck, 1001, 5001, 200, 500, 300);   // request
+    tcp(false, TcpFlags::kAck, 5001, 1301, 600, 200, 900);  // response: external echo
+    tcp(true, TcpFlags::kAck, 1301, 5901, 210, 600, 0);     // client ack: internal echo
+    tcp(true, TcpFlags::kFin | TcpFlags::kAck, 1301, 5901, 220, 600, 0);
+  }
+
+  std::vector<TrackedPacket> burst;
+  burst.reserve(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    PacketView view;
+    ASSERT_EQ(parse_packet(frames[i], view), ParseStatus::kOk);
+    const auto rss = static_cast<std::uint32_t>(FlowKey::from(view.tuple()).hash());
+    burst.push_back({view, Timestamp::from_ms(static_cast<std::int64_t>(i)), rss});
+  }
+
+  InflowConfig icfg;
+  icfg.enabled = true;
+  icfg.ring_entries = 8;
+  icfg.min_interval = Duration{0};
+  HandshakeTracker tracker(1 << 10, Duration::from_sec(30.0), FlowTable::kDefaultProbeWindow,
+                           ProbeKernel::kAuto, icfg);
+  std::vector<LatencySample> out;
+  out.reserve(frames.size());
+
+  tracker.process_burst(burst, 0, out);
+  const std::size_t per_round = out.size();
+  ASSERT_GT(per_round, 8u);  // handshake samples plus in-flow echoes
+  ASSERT_EQ(tracker.table().size(), 0u);
+  out.clear();
+
+  const std::uint64_t before = g_alloc_count.load();
+  for (int round = 0; round < 100; ++round) {
+    out.clear();
+    tracker.process_burst(burst, 0, out);
+  }
+  const std::uint64_t after = g_alloc_count.load();
+
+  EXPECT_EQ(after - before, 0u) << "in-flow kernel allocated in steady state";
+  EXPECT_EQ(out.size(), per_round);
+  EXPECT_GT(tracker.inflow_stats().ts_matches.load(), 0u);
+  EXPECT_EQ(tracker.table().size(), 0u);
+}
+
 }  // namespace
 }  // namespace ruru

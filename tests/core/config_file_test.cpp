@@ -151,6 +151,41 @@ TEST(PipelineConfigFile, BusBatchKeys) {
   EXPECT_FALSE(pipeline_config_from_text("[bus]\nbatch = lots\n").ok());
 }
 
+TEST(PipelineConfigFile, InflowRttKeys) {
+  const auto r = pipeline_config_from_text(
+      "[flow]\n"
+      "inflow_rtt = true\n"
+      "ts_ring_entries = 16\n"
+      "inflow_min_interval_us = 5000\n");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_TRUE(r.value().inflow_rtt);
+  EXPECT_EQ(r.value().ts_ring_entries, 16u);
+  EXPECT_EQ(r.value().inflow_min_interval_us, 5'000u);
+
+  // Defaults: the kernel is off, ring 8, 10 ms rate limit.
+  const auto d = pipeline_config_from_text("");
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d.value().inflow_rtt);
+  EXPECT_EQ(d.value().ts_ring_entries, 8u);
+  EXPECT_EQ(d.value().inflow_min_interval_us, 10'000u);
+}
+
+TEST(PipelineConfigFile, InflowRttBounds) {
+  // Ring entries must be a power of two in [2, 64] (ring indexing masks).
+  EXPECT_FALSE(pipeline_config_from_text("[flow]\nts_ring_entries = 1\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[flow]\nts_ring_entries = 3\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[flow]\nts_ring_entries = 48\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[flow]\nts_ring_entries = 128\n").ok());
+  const auto err = pipeline_config_from_text("[flow]\nts_ring_entries = 3\n");
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.error().find("ts_ring_entries"), std::string::npos);
+  // The rate-limit interval is capped at one minute.
+  EXPECT_FALSE(
+      pipeline_config_from_text("[flow]\ninflow_min_interval_us = 60000001\n").ok());
+  EXPECT_TRUE(pipeline_config_from_text("[flow]\ninflow_min_interval_us = 0\n").ok());
+  EXPECT_FALSE(pipeline_config_from_text("[flow]\ninflow_rtt = maybe\n").ok());
+}
+
 TEST(PipelineConfigFile, ProbeWindowKey) {
   const auto r = pipeline_config_from_text("[flow]\nprobe_window = 64\n");
   ASSERT_TRUE(r.ok()) << r.error();

@@ -136,6 +136,47 @@ TEST_F(PipelineMetricsTest, SelfIngestLandsSeriesInTheTsdb) {
   EXPECT_GT(transit.max, 0.0);
 }
 
+TEST_F(PipelineMetricsTest, InflowCountersAndHistogramExport) {
+  const std::string path = ::testing::TempDir() + "ruru_inflow_metrics_test.prom";
+  std::remove(path.c_str());
+
+  PipelineConfig cfg = metrics_config();
+  cfg.inflow_rtt = true;
+  cfg.metrics_prometheus_path = path;
+  RuruPipeline pipeline(cfg, world_.geo, world_.as);
+  replay(pipeline);
+
+  const obs::MetricsSnapshot snap = pipeline.metrics().snapshot(Timestamp{});
+  EXPECT_GT(snap.counter_or("flow.ts_matches"), 0u);
+  EXPECT_GT(snap.counter_or("flow.inflow_samples"), 0u);
+  EXPECT_GT(snap.counter_or("worker.inflow_consumed"), 0u);
+  // Eviction/wrap counters exist even when this scenario never trips them.
+  EXPECT_NE(snap.counter("flow.ts_ring_evictions"), nullptr);
+  EXPECT_NE(snap.counter("flow.ts_wraps"), nullptr);
+
+  const obs::HistogramStats* rtt = snap.histogram("flow.inflow_rtt_ns");
+  ASSERT_NE(rtt, nullptr);
+  EXPECT_GT(rtt->count, 0u);
+  EXPECT_GT(rtt->min, 0);
+
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << "no prometheus file at " << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("# TYPE ruru_flow_ts_matches counter\n"), std::string::npos);
+  EXPECT_NE(text.find("ruru_flow_inflow_rtt_ns_count"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(PipelineMetricsTest, InflowHistogramAbsentWhenFeatureOff) {
+  RuruPipeline pipeline(metrics_config(), world_.geo, world_.as);
+  replay(pipeline);
+  const obs::MetricsSnapshot snap = pipeline.metrics().snapshot(Timestamp{});
+  EXPECT_EQ(snap.counter_or("flow.ts_matches"), 0u);
+  EXPECT_EQ(snap.histogram("flow.inflow_rtt_ns"), nullptr);
+}
+
 TEST_F(PipelineMetricsTest, PrometheusFileIsWrittenWhenPathSet) {
   const std::string path = ::testing::TempDir() + "ruru_metrics_test.prom";
   std::remove(path.c_str());

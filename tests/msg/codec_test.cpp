@@ -72,6 +72,72 @@ TEST(Codec, RejectsWrongVersionOrFamily) {
   EXPECT_FALSE(decode_latency_sample(Frame::adopt(std::move(bytes))).has_value());
 }
 
+TEST(Codec, RoundTripInflowKindBits) {
+  // In-flow and one-sided samples ride the same record: the kind and
+  // orientation pack into the family byte's upper bits.
+  LatencySample s = sample_v4();
+  s.kind = SampleKind::kInflow;
+  s.toward_client = true;
+  const Message m = encode_latency_sample(s);
+  // family byte = 4 | kind<<4 | toward_client<<6
+  EXPECT_EQ(m.frames[1].data()[1], 4 | (1 << 4) | (1 << 6));
+  auto d = decode_latency_sample(m.frames[1]);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->kind, SampleKind::kInflow);
+  EXPECT_TRUE(d->toward_client);
+  EXPECT_EQ(d->total().ns, s.total().ns);
+
+  s.kind = SampleKind::kOneSided;
+  s.toward_client = false;
+  d = decode_latency_sample(encode_latency_sample(s).frames[1]);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->kind, SampleKind::kOneSided);
+  EXPECT_FALSE(d->toward_client);
+
+  // A handshake sample's family byte is the bare family: the wire format
+  // with the feature off is byte-identical to the pre-kind format.
+  const Message h = encode_latency_sample(sample_v4());
+  EXPECT_EQ(h.frames[1].data()[1], 4);
+}
+
+TEST(Codec, RejectsBadKindBits) {
+  const Message m = encode_latency_sample(sample_v4());
+  std::vector<std::uint8_t> bytes(m.frames[1].data(), m.frames[1].data() + m.frames[1].size());
+  bytes[1] = 4 | (3 << 4);  // kind 3 is unassigned
+  EXPECT_FALSE(decode_latency_sample(Frame::adopt(std::vector<std::uint8_t>(bytes))).has_value());
+  bytes[1] = 4 | 0x80;  // reserved high bit
+  EXPECT_FALSE(decode_latency_sample(Frame::adopt(std::move(bytes))).has_value());
+}
+
+TEST(CodecBatch, RoundTripMixedKinds) {
+  std::vector<LatencySample> in;
+  for (int i = 0; i < 30; ++i) {
+    LatencySample s = sample_v4();
+    s.client_port = static_cast<std::uint16_t>(2000 + i);
+    s.kind = static_cast<SampleKind>(i % 3);
+    s.toward_client = (i % 2) == 0;
+    in.push_back(s);
+  }
+  const Message m = encode_latency_batch(in);
+  std::vector<LatencySample> out;
+  ASSERT_TRUE(decode_latency_batch(m.frames[1], out));
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].kind, in[i].kind) << i;
+    EXPECT_EQ(out[i].toward_client, in[i].toward_client) << i;
+  }
+}
+
+TEST(CodecBatch, RejectsBadKindBitsInRecord) {
+  std::vector<LatencySample> in(2, sample_v4());
+  const Message m = encode_latency_batch(in);
+  std::vector<std::uint8_t> bytes(m.frames[1].data(), m.frames[1].data() + m.frames[1].size());
+  bytes[3 + 67] = 4 | (3 << 4);  // second record: unassigned kind
+  std::vector<LatencySample> out;
+  EXPECT_FALSE(decode_latency_batch(Frame::adopt(std::move(bytes)), out));
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(CodecBatch, RoundTripEmpty) {
   const Message m = encode_latency_batch({});
   EXPECT_EQ(m.topic(), kLatencyTopic);

@@ -43,6 +43,16 @@
 # pass over the sharded engine's reader/writer decoupling (concurrent
 # ingest, lock-free sealed-chunk scans, retention rewrites).
 #
+# The `inflow` mode gates the in-flow RTT kernel: the timestamp-ring
+# matcher suites (shared SoA note/match/consume kernel, tracker
+# matching semantics, offline-pping fuzz oracles, the zero-allocation
+# steady-state proof) under ASan+UBSan — the probe reads TSval/TSecr at
+# raw byte offsets and the rings index SoA lanes with masked heads, so
+# both heap misuse and UB must abort — plus a TSan pass over the worker
+# path (threaded queue workers running the kernel while the snapshot
+# thread reads stats) and the explicit bit-identity invariant: the
+# handshake sample stream must be unchanged with the kernel on or off.
+#
 # The `trace` mode gates the flight recorder: the obs + core suites
 # under TSan — trace rings are written by pinned workers while the
 # watchdog snapshots them live, and the TSC clock calibrates once under
@@ -50,13 +60,13 @@
 # the observer-effect invariant un-sanitized: the same replay traced at
 # 1-in-64 must emit a sample stream bit-identical to the untraced run.
 #
-# Usage: tools/check.sh [thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace]   (default: thread)
+# Usage: tools/check.sh [thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace|inflow]   (default: thread)
 set -euo pipefail
 
 SAN="${1:-thread}"
 case "$SAN" in
-  thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace) ;;
-  *) echo "usage: $0 [thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace]" >&2; exit 2 ;;
+  thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace|inflow) ;;
+  *) echo "usage: $0 [thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace|inflow]" >&2; exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -168,6 +178,37 @@ if [ "$SAN" = "tsdb" ]; then
   cmake --build "$BUILD" -j"$JOBS" --target test_tsdb
   "$BUILD/tests/test_tsdb" --gtest_filter='EngineConcurrency.*'
   echo "tsdb gate OK: codec/index/WAL ASan+UBSan-clean, sharded engine TSan-clean"
+  exit 0
+fi
+
+if [ "$SAN" = "inflow" ]; then
+  # In-flow RTT gate, part 1: the matcher under ASan+UBSan in one
+  # build.  TsRing unit semantics (note/match/consume, retransmission,
+  # wraparound, eviction order), tracker matching + rate limiting, the
+  # fuzz oracles replaying scenario traffic against offline pping
+  # bit-for-bit, classic pping itself (the shared kernel's other
+  # caller), and the counting-allocator proof that the established-flow
+  # steady state never allocates.
+  BUILD="$ROOT/build-flow"
+  cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE=address+undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$JOBS" --target test_flow test_baseline test_analytics test_core
+  (cd "$BUILD" && ctest --output-on-failure -j"$JOBS" \
+    -R 'TsRing|Inflow|Pping|ZeroAlloc|HandshakeTracker')
+
+  # Part 2: the worker path under TSan.  InflowPipeline runs threaded
+  # queue workers with the kernel enabled while the metrics snapshot
+  # thread reads tracker stats; any unsynchronized counter or ring
+  # access in the fast path shows up here.  Close with the explicit
+  # bit-identity invariant: handshake samples must not change when the
+  # kernel is switched on.
+  BUILD="$ROOT/build-thread"
+  cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$JOBS" --target test_flow test_core
+  (cd "$BUILD" && ctest --output-on-failure -j"$JOBS" -R 'Inflow|Worker')
+  "$BUILD/tests/test_flow" \
+    --gtest_filter='InflowWorker.HandshakeSamplesBitIdenticalWithKernelOnOrOff'
+  echo "inflow gate OK: matcher ASan+UBSan-clean, worker path TSan-clean, handshake stream bit-identical"
   exit 0
 fi
 
