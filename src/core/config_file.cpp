@@ -172,6 +172,10 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
       status = set_u64(cfg.ts_ring_entries);
     } else if (key == "flow.inflow_min_interval_us") {
       status = set_u64(cfg.inflow_min_interval_us);
+    } else if (key == "flow.prefetch_depth") {
+      status = set_u64(cfg.worker_prefetch_depth);
+    } else if (key == "flow.vector_loop") {
+      status = set_bool(cfg.worker_vector_loop);
     } else if (key == "bus.hwm") {
       status = set_u64(cfg.bus_hwm);
     } else if (key == "bus.batch") {
@@ -302,6 +306,10 @@ Result<PipelineConfig> pipeline_config_from_text(const std::string& text,
   if (cfg.inflow_min_interval_us > 60'000'000) {
     return make_error("config: flow.inflow_min_interval_us must be <= 60000000 (one minute), got " +
                       std::to_string(cfg.inflow_min_interval_us));
+  }
+  if (cfg.worker_prefetch_depth > 4) {
+    return make_error("config: flow.prefetch_depth must be in [0, 4], got " +
+                      std::to_string(cfg.worker_prefetch_depth));
   }
   if (cfg.inject_burst_size == 0) return make_error("config: capture.inject_burst must be >= 1");
   if (cfg.enrichment_threads == 0) return make_error("config: analytics.threads must be >= 1");

@@ -76,6 +76,9 @@ RuruPipeline::RuruPipeline(PipelineConfig config, const GeoDatabase& geo, const 
                                                 config_.flow_stale_after,
                                                 config_.flow_probe_window, inflow);
     worker->set_fast_path(config_.worker_fast_path);
+    worker->set_loop_kernel(config_.worker_vector_loop ? QueueWorker::LoopKernel::kVector
+                                                       : QueueWorker::LoopKernel::kScalar);
+    worker->set_prefetch_depth(config_.worker_prefetch_depth);
     worker->set_batch_sink(
         [this, q](std::span<const LatencySample> samples) {
           Message m = encode_latency_batch(samples);
@@ -291,6 +294,22 @@ void RuruPipeline::register_metrics() {
   metrics_.register_counter_fn("worker.inflow_consumed", sum_workers([](const QueueWorker& w) {
                                  return w.stats().inflow_consumed.load();
                                }));
+  // Vector-loop lane accounting (all zero under the scalar oracle loop).
+  metrics_.register_counter_fn("worker.lane_skip", sum_workers([](const QueueWorker& w) {
+                                 return w.stats().lane_skip.load();
+                               }));
+  metrics_.register_counter_fn("worker.lane_established", sum_workers([](const QueueWorker& w) {
+                                 return w.stats().lane_established.load();
+                               }));
+  metrics_.register_counter_fn("worker.lane_need_parse", sum_workers([](const QueueWorker& w) {
+                                 return w.stats().lane_need_parse.load();
+                               }));
+  metrics_.register_counter_fn("worker.lane_revalidated", sum_workers([](const QueueWorker& w) {
+                                 return w.stats().lane_revalidated.load();
+                               }));
+  metrics_.register_counter_fn("worker.classify_reprobes", sum_workers([](const QueueWorker& w) {
+                                 return w.stats().classify_reprobes.load();
+                               }));
   metrics_.register_gauge_fn("flow.entries", [this] {
     std::size_t total = 0;
     for (const auto& w : workers_) total += w->tracker().table().size();
@@ -363,7 +382,14 @@ void RuruPipeline::register_metrics() {
     WorkerObs wobs;
     wobs.poll_batch = metrics_.histogram("worker.poll_batch", q);
     wobs.batch_fill = metrics_.histogram("worker.batch_fill", q);
-    if (config_.inflow_rtt) wobs.inflow_rtt = metrics_.histogram("flow.inflow_rtt_ns", q);
+    if (config_.inflow_rtt) {
+      wobs.inflow_rtt = metrics_.histogram("flow.inflow_rtt_ns", q);
+      wobs.one_sided_delta = metrics_.histogram("flow.one_sided_delta_ns", q);
+    }
+    if (config_.worker_vector_loop && config_.worker_fast_path) {
+      wobs.burst_candidates = metrics_.histogram("worker.burst_candidates", q);
+      wobs.candidate_run_len = metrics_.histogram("worker.candidate_run_len", q);
+    }
     wobs.flow.probe_groups = metrics_.histogram("flow.probe_groups", q);
     wobs.flow.group_occupancy = metrics_.histogram("flow.group_occupancy", q);
     workers_[q]->set_obs(wobs);

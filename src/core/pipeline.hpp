@@ -78,6 +78,13 @@ struct PipelineConfig {
   /// this many microseconds ("first match per RTT window").  0 emits
   /// every match.
   std::uint64_t inflow_min_interval_us = 10'000;
+  /// Rx-loop mbuf prefetch lookahead in the worker poll loop (0 disables,
+  /// max 4).  A memory-timing knob only — never changes semantics.
+  std::size_t worker_prefetch_depth = 1;
+  /// Worker poll-loop kernel: true (default) = the staged vector lane
+  /// pipeline, false = the retired per-packet loop kept as the oracle.
+  /// Samples and stats are bit-identical either way.
+  bool worker_vector_loop = true;
 
   // --- multi-core topology ---
   /// CPU pins for the pipeline's threads (best-effort Linux affinity;

@@ -1,0 +1,56 @@
+#pragma once
+// SoA burst descriptor for the vectorized worker poll loop.
+//
+// One rx_burst's worth of per-packet scratch, split into lanes the way
+// the pipeline stages consume them: the ingest stage fills the frame /
+// rss / timestamp lanes, the batched pre-parse fills the probe lanes,
+// the branchless classify stage writes one class byte per lane (scanned
+// 16 at a time by the group_masked_eq kernels — hence the padded, 64-
+// byte-aligned flags array), and the batched flow-table probe fills the
+// classification lane for candidate packets.  Everything is fixed-size:
+// the steady state allocates nothing.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "flow/flow_table.hpp"
+#include "net/five_tuple.hpp"
+#include "net/packet_view.hpp"
+
+namespace ruru {
+
+struct BurstDesc {
+  /// Lane count; the worker's rx burst size must match.
+  static constexpr std::size_t kLanes = 32;
+  static_assert(kLanes % kFlowGroupWidth == 0, "flags lane is scanned in whole groups");
+
+  /// Per-lane class, written branchlessly from the candidate mask.
+  enum Class : std::uint8_t {
+    kFullParse = 0,  ///< parsed in the pre-parse stage (pending view/status)
+    kCandidate = 1,  ///< pure data segment: batched table probe decides it
+  };
+
+  // --- ingest lanes (every lane 0..n-1 valid) --------------------------
+  std::array<std::span<const std::uint8_t>, kLanes> frame;
+  alignas(64) std::array<std::uint32_t, kLanes> rss;
+  alignas(64) std::array<std::int64_t, kLanes> ts_ns;
+
+  // --- pre-parse lanes -------------------------------------------------
+  std::array<FastProbe, kLanes> probe;
+  /// TCP flags byte per lane, 0xFF for ineligible lanes and tail padding
+  /// (0xFF fails the masked ACK-only compare, so dead lanes can never
+  /// classify as candidates).
+  alignas(64) std::array<std::uint8_t, kLanes> flags;
+  alignas(64) std::array<std::uint8_t, kLanes> cls;
+
+  // --- candidate lanes (valid where cls[i] == kCandidate) --------------
+  alignas(64) std::array<std::uint16_t, kLanes> l4_offset;
+  alignas(64) std::array<std::uint8_t, kLanes> v4;
+  std::array<FlowKey, kLanes> key;
+  std::array<FlowTable::FlowClassify, kLanes> verdict;
+  /// Candidate lane indices in arrival order (dense, for probe_batch).
+  alignas(64) std::array<std::uint32_t, kLanes> cand_idx;
+};
+
+}  // namespace ruru

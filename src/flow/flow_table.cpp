@@ -112,16 +112,27 @@ FlowTable::ProbeResult FlowTable::probe(const FiveTuple& key, std::uint32_t rss_
       const auto slot = static_cast<Slot>(group * kFlowGroupWidth + bit);
       const HotSlot& hs = hot_[slot];
       if (hs.rss_hash != rss_hash || !(hs.key == key)) {
-        if constexpr (Mode != ProbeMode::kContains) ++stats_.tag_mismatches;
+        if constexpr (Mode == ProbeMode::kClassify) {
+          ++r.mismatches;  // replayed later via apply_*_stats, not counted here
+        } else if constexpr (Mode != ProbeMode::kContains) {
+          ++stats_.tag_mismatches;
+        }
         continue;
       }
       if (now.ns - last_seen_[slot] > stale_after_.ns) {
         if constexpr (Mode == ProbeMode::kContains) continue;  // dead; report a miss
-        reclaim(slot);
-        if constexpr (Mode == ProbeMode::kInsert) {
-          if (r.reuse == kNoSlot) r.reuse = slot;
+        if constexpr (Mode == ProbeMode::kClassify) {
+          // find() would reclaim here: flag the divergence so the caller
+          // re-runs the mutating lookup instead of trusting this walk.
+          r.stale_seen = true;
+          continue;
+        } else {
+          reclaim(slot);
+          if constexpr (Mode == ProbeMode::kInsert) {
+            if (r.reuse == kNoSlot) r.reuse = slot;
+          }
+          continue;
         }
-        continue;
       }
       r.match = slot;
       return r;
@@ -146,6 +157,77 @@ bool FlowTable::contains(const FlowKey& key, std::uint32_t rss_hash, Timestamp n
   // stays const for read-only callers.
   auto& self = const_cast<FlowTable&>(*this);
   return self.probe<ProbeMode::kContains>(key.canonical, rss_hash, now).match != kNoSlot;
+}
+
+FlowTable::FlowClassify FlowTable::classify(const FlowKey& key, std::uint32_t rss_hash,
+                                            Timestamp now) const {
+  FlowClassify c;
+  // Same inline home-slot check as find(), gated on the control byte:
+  // an erased or swept slot carries the kDeadNs last_seen sentinel (so
+  // the staleness compare would reject it anyway), but reading the
+  // 1-byte ctrl first skips the hot row and last_seen loads entirely —
+  // on a skip-heavy mix the home slot is usually dead, and its hot line
+  // (one full line per slot) is the probe's most expensive touch.  The
+  // ctrl line is shared with the group walk below, so a dead home costs
+  // nothing extra.
+  const std::size_t home = home_slot(mix(rss_hash));
+  if ((ctrl_[home] & 0x80u) == 0) [[likely]] {
+    const HotSlot& hs = hot_[home];
+    if (hs.rss_hash == rss_hash && hs.key == key.canonical &&
+        now.ns - last_seen_[home] <= stale_after_.ns) [[likely]] {
+      c.slot = static_cast<Slot>(home);
+      c.kind = ClassifyKind::kLive;
+      c.home_hit = true;
+      c.groups = 1;
+      return c;
+    }
+  }
+  // kClassify mutates nothing (same const_cast soundness argument as
+  // contains()); SkipHome matches find_slow(), so `groups` counts what
+  // find_slow() would record.
+  auto& self = const_cast<FlowTable&>(*this);
+  const ProbeResult r =
+      self.probe<ProbeMode::kClassify, /*SkipHome=*/true>(key.canonical, rss_hash, now);
+  c.groups = r.groups;
+  c.tag_mismatches = r.mismatches;
+  c.stale_seen = r.stale_seen;
+  if (r.match != kNoSlot) {
+    c.slot = r.match;
+    c.kind = ClassifyKind::kLive;
+  } else if (r.stale_seen) {
+    c.kind = ClassifyKind::kStale;
+  }
+  return c;
+}
+
+void FlowTable::probe_batch(const std::uint32_t* idx, std::size_t n_idx, const FlowKey* keys,
+                            const std::uint32_t* rss, const std::int64_t* ts_ns,
+                            FlowClassify* out) const {
+  // Phase 1: fan every lane's group prefetch out before any probe
+  // resolves — the misses overlap instead of serializing one per packet.
+  for (std::size_t k = 0; k < n_idx; ++k) prefetch_probe(rss[idx[k]]);
+  // Phase 2: resolve back-to-back over warm lines.  Live lanes prefetch
+  // what their resolve stage reads next: the cold handshake row (state
+  // check) and, when the in-flow kernel is on, the timestamp rings.
+  for (std::size_t k = 0; k < n_idx; ++k) {
+    const std::uint32_t i = idx[k];
+    out[i] = classify(keys[i], rss[i], Timestamp{ts_ns[i]});
+    if (out[i].kind == ClassifyKind::kLive) {
+      __builtin_prefetch(cold_.data() + out[i].slot, 1 /*write*/, 3);
+      if (ts_entries_ != 0) {
+        ts_prefetch(out[i].slot);
+        // The batch path also warms the times lanes (both directions):
+        // a match — every echoed segment, i.e. every lane that emits a
+        // sample — reads ts_times to form the delta, and the in-flow
+        // note writes it.  The scalar loop leaves these to the store
+        // buffer / demand miss (pre-PR behaviour, kept for the oracle);
+        // here the lines arrive a full stage early.
+        const std::size_t off = static_cast<std::size_t>(out[i].slot) * 2 * ts_entries_;
+        __builtin_prefetch(ts_times_.data() + off, 1 /*write*/, 3);
+        __builtin_prefetch(ts_times_.data() + off + ts_entries_, 1 /*write*/, 3);
+      }
+    }
+  }
 }
 
 FlowTable::Slot FlowTable::find_or_insert(const FlowKey& key, std::uint32_t rss_hash,

@@ -166,6 +166,67 @@ class FlowTable {
   /// or stats (and the metrics snapshot thread can race it safely).
   [[nodiscard]] bool contains(const FlowKey& key, std::uint32_t rss_hash, Timestamp now) const;
 
+  /// What a mutation-free classify() walk concluded about a key.
+  enum class ClassifyKind : std::uint8_t {
+    kMiss,   ///< no verified match anywhere in the window
+    kLive,   ///< live (non-stale) entry at `slot`
+    kStale,  ///< only verified-but-stale matches (find() would reclaim)
+  };
+
+  /// Provisional verdict of classify()/probe_batch(): everything find()
+  /// would have learned and counted, carried aside so the caller can
+  /// either replay the bookkeeping (apply_hit_stats / apply_miss_stats)
+  /// when the verdict is still valid, or fall back to the real mutating
+  /// lookup when it is not (`stale_seen`, or table mutations since the
+  /// batch ran).
+  struct FlowClassify {
+    Slot slot = kNoSlot;  ///< live slot (kLive only)
+    std::uint32_t groups = 0;
+    std::uint16_t tag_mismatches = 0;
+    ClassifyKind kind = ClassifyKind::kMiss;
+    bool home_hit = false;   ///< resolved by the inline home-slot check
+    bool stale_seen = false; ///< walk passed a verified-but-stale entry
+  };
+
+  /// Mutation-free twin of find(): same home-slot fast path, same probe
+  /// walk, but nothing is reclaimed and nothing is counted — the walk's
+  /// would-be bookkeeping is returned in the FlowClassify instead.  A
+  /// kLive verdict is exactly "find() would return this slot"; kStale
+  /// means find() would additionally reclaim on the way, so the caller
+  /// must re-run the mutating lookup to stay bit-identical.
+  [[nodiscard]] FlowClassify classify(const FlowKey& key, std::uint32_t rss_hash,
+                                      Timestamp now) const;
+
+  /// Batched classify over burst lanes: issues every lane's group
+  /// prefetch up front, then resolves the probes back-to-back over warm
+  /// lines (memory-level parallelism — the scalar loop serializes one
+  /// probe miss per packet).  `idx` selects `n_idx` lanes; `keys`, `rss`
+  /// and `ts_ns` are full lane arrays indexed by `idx[k]`, and the
+  /// verdict for lane i lands in `out[i]`.  kLive lanes additionally get
+  /// their cold row (and timestamp rings, when enabled) prefetched for
+  /// the resolve stage that follows.
+  void probe_batch(const std::uint32_t* idx, std::size_t n_idx, const FlowKey* keys,
+                   const std::uint32_t* rss, const std::int64_t* ts_ns,
+                   FlowClassify* out) const;
+
+  /// Replays the stats/histogram updates find() would have made for a
+  /// still-valid kLive classification: the inline home hit counts only a
+  /// hit; a scan hit also records the probe length and the fingerprint
+  /// false positives, exactly as find_slow() does.
+  void apply_hit_stats(const FlowClassify& c) {
+    ++stats_.hits;
+    if (!c.home_hit) {
+      stats_.tag_mismatches += c.tag_mismatches;
+      obs_.probe_groups.record(static_cast<std::int64_t>(c.groups));
+    }
+  }
+  /// Replays find_slow()'s bookkeeping for a clean miss (no stale
+  /// entries seen — those invalidate the classification instead).
+  void apply_miss_stats(const FlowClassify& c) {
+    stats_.tag_mismatches += c.tag_mismatches;
+    obs_.probe_groups.record(static_cast<std::int64_t>(c.groups));
+  }
+
   /// Finds or inserts an entry for `key`.  On insert the slot's payload
   /// is default-initialized, `last_seen` is set to `now` and `inserted`
   /// reports true.  Returns kNoSlot when the probe window has no free or
@@ -182,6 +243,24 @@ class FlowTable {
     const std::size_t group = home_group(mix(rss_hash));
     __builtin_prefetch(ctrl_.data() + group * kFlowGroupWidth, 0 /*read*/, 3);
     __builtin_prefetch(hot_.data() + group * kFlowGroupWidth, 0 /*read*/, 3);
+  }
+
+  /// The batched-probe variant: warms exactly what classify()'s home
+  /// check reads — the ctrl group, the home slot's *own* hot line (each
+  /// HotSlot is line-aligned, so the group-base line prefetch() issues
+  /// covers the home slot only 1-in-kFlowGroupWidth times), and the home
+  /// slot's last_seen word, which the freshness compare and touch() both
+  /// hit.  probe_batch() fans this across the burst before any lane
+  /// resolves.
+  void prefetch_probe(std::uint32_t rss_hash) const {
+    const std::uint64_t h = mix(rss_hash);
+    const std::size_t home = home_slot(h);
+    __builtin_prefetch(ctrl_.data() + home_group(h) * kFlowGroupWidth, 0 /*read*/, 3);
+    __builtin_prefetch(hot_.data() + home, 0 /*read*/, 3);
+    // Write intent: a live lane's resolve stage calls touch(), so taking
+    // the line exclusive up front saves the shared->owned upgrade the
+    // store would otherwise wait on.
+    __builtin_prefetch(last_seen_.data() + home, 1 /*write*/, 3);
   }
 
   /// Incremental staleness sweep: examines up to `max_groups` groups
@@ -238,12 +317,18 @@ class FlowTable {
     std::uint32_t rss_hash = 0;
   };
 
-  enum class ProbeMode { kFind, kContains, kInsert };
+  /// kClassify is kContains with receipts: still mutation- and stat-free,
+  /// but the walk's would-be bookkeeping (fingerprint false positives,
+  /// verified-but-stale encounters) is returned in the ProbeResult so
+  /// the caller can replay or invalidate it later.
+  enum class ProbeMode { kFind, kContains, kInsert, kClassify };
 
   struct ProbeResult {
     Slot match = kNoSlot;
     Slot reuse = kNoSlot;  ///< first empty/tombstone in probe order (kInsert)
     std::uint32_t groups = 0;
+    std::uint16_t mismatches = 0;  ///< kClassify: tag matched, key/hash did not
+    bool stale_seen = false;       ///< kClassify: walk passed a stale verified match
   };
 
   /// The RSS hash indexes the table, as in the paper.  Spread its

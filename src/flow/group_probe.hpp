@@ -74,6 +74,21 @@ inline constexpr bool kHaveGroupSimd = RURU_FLOW_GROUP_SIMD != 0;
   return static_cast<GroupMask>(~group_full_scalar(group)) & 0xFFFFu;
 }
 
+/// Positions where `(byte & mask) == value` — the generic byte-lane
+/// classifier behind the worker's branchless candidate partition (the
+/// TCP flags lane masked to SYN|FIN|RST|ACK and compared against a lone
+/// ACK).  Lives here because it is the same shape as the tag probes: 16
+/// bytes in, one bit per lane out, scalar/SIMD twins tested against each
+/// other.
+[[nodiscard]] inline GroupMask group_masked_eq_scalar(const std::uint8_t* group,
+                                                      std::uint8_t mask, std::uint8_t value) {
+  GroupMask m = 0;
+  for (std::size_t i = 0; i < kFlowGroupWidth; ++i) {
+    m |= static_cast<GroupMask>((group[i] & mask) == value) << i;
+  }
+  return m;
+}
+
 // --- SIMD kernels ------------------------------------------------------
 
 #if defined(__SSE2__)
@@ -97,6 +112,14 @@ inline constexpr bool kHaveGroupSimd = RURU_FLOW_GROUP_SIMD != 0;
 [[nodiscard]] inline GroupMask group_reusable_simd(const std::uint8_t* group) {
   const __m128i g = _mm_loadu_si128(reinterpret_cast<const __m128i*>(group));
   return static_cast<GroupMask>(_mm_movemask_epi8(g));
+}
+
+[[nodiscard]] inline GroupMask group_masked_eq_simd(const std::uint8_t* group, std::uint8_t mask,
+                                                    std::uint8_t value) {
+  const __m128i g = _mm_loadu_si128(reinterpret_cast<const __m128i*>(group));
+  const __m128i m = _mm_and_si128(g, _mm_set1_epi8(static_cast<char>(mask)));
+  const __m128i v = _mm_set1_epi8(static_cast<char>(value));
+  return static_cast<GroupMask>(_mm_movemask_epi8(_mm_cmpeq_epi8(m, v)));
 }
 
 #elif defined(__ARM_NEON)
@@ -135,6 +158,12 @@ namespace detail {
 [[nodiscard]] inline GroupMask group_reusable_simd(const std::uint8_t* group) {
   const uint8x16_t g = vld1q_u8(group);
   return detail::neon_mask(vcgeq_u8(g, vdupq_n_u8(0x80)));
+}
+
+[[nodiscard]] inline GroupMask group_masked_eq_simd(const std::uint8_t* group, std::uint8_t mask,
+                                                    std::uint8_t value) {
+  const uint8x16_t g = vandq_u8(vld1q_u8(group), vdupq_n_u8(mask));
+  return detail::neon_mask(vceqq_u8(g, vdupq_n_u8(value)));
 }
 
 #endif  // SIMD flavours
@@ -187,6 +216,16 @@ enum class ProbeKernel : std::uint8_t { kAuto, kSimd, kScalar };
   (void)simd;
 #endif
   return group_reusable_scalar(group);
+}
+
+[[nodiscard]] inline GroupMask group_masked_eq(bool simd, const std::uint8_t* group,
+                                               std::uint8_t mask, std::uint8_t value) {
+#if RURU_FLOW_GROUP_SIMD
+  if (simd) return group_masked_eq_simd(group, mask, value);
+#else
+  (void)simd;
+#endif
+  return group_masked_eq_scalar(group, mask, value);
 }
 
 }  // namespace ruru

@@ -104,6 +104,28 @@ class HandshakeTracker {
   };
   [[nodiscard]] InflowLookup inflow_lookup(const FlowKey& key, std::uint32_t rss_hash,
                                            Timestamp now);
+
+  /// Batched, mutation-free classification of fast-path candidate lanes:
+  /// all group prefetches issue up front, then the probes resolve over
+  /// warm lines (FlowTable::probe_batch).  The verdicts are provisional —
+  /// resolve each lane with inflow_resolve() (or the plain mutating
+  /// lookup after any intra-burst table mutation).
+  void inflow_lookup_batch(const std::uint32_t* idx, std::size_t n_idx, const FlowKey* keys,
+                           const std::uint32_t* rss, const std::int64_t* ts_ns,
+                           FlowTable::FlowClassify* out) const {
+    table_.probe_batch(idx, n_idx, keys, rss, ts_ns, out);
+  }
+
+  /// Turns a still-valid provisional classification into the exact
+  /// inflow_lookup() outcome, replaying the stats the mutating lookup
+  /// would have counted.  When the classify walk saw a stale verified
+  /// match (`c.stale_seen`) the real lookup runs instead — it reclaims
+  /// and counts exactly as the scalar loop would — and `reprobed`
+  /// reports whether that lookup actually mutated the table (in which
+  /// case later provisional verdicts in the burst are void).
+  [[nodiscard]] InflowLookup inflow_resolve(const FlowTable::FlowClassify& c, const FlowKey& key,
+                                            std::uint32_t rss_hash, Timestamp now,
+                                            bool& reprobed);
   /// Runs the timestamp kernel for an established slot returned by
   /// inflow_lookup().  `forward` is the packet's FlowKey::forward.
   void inflow_established(FlowTable::Slot slot, bool forward, const FastTsProbe& ts,
@@ -129,6 +151,8 @@ class HandshakeTracker {
   /// Warm the flow-table group `rss_hash` probes into — issue ahead of
   /// the process()/tracking() call that will need it.
   void prefetch(std::uint32_t rss_hash) const { table_.prefetch(rss_hash); }
+  /// Deeper warm-up for batched candidate lanes (FlowTable::prefetch_probe).
+  void prefetch_probe(std::uint32_t rss_hash) const { table_.prefetch_probe(rss_hash); }
 
   /// Advance the table's incremental staleness sweep (a few groups per
   /// RX burst). Returns entries reclaimed.

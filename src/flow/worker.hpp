@@ -6,17 +6,33 @@
 // this queue).  Parsed handshake completions are handed to a sample sink
 // which the pipeline wires to the message bus.
 //
-// A burst is resolved in two passes.  Pass 1 classifies each mbuf (the
-// fixed-offset pre-parse probe picks out pure data segments as fast-path
-// candidates; everything else is fully parsed) and issues the flow-table
-// group prefetch for every packet that will probe it.  Pass 2 walks the
-// burst in arrival order, handing parsed packets to the tracker in
-// batches (HandshakeTracker::process_burst) and deciding each fast-path
-// candidate only after every earlier packet has been processed — a
-// handshake can complete *within* one burst, so the "is this flow
-// tracked?" answer must see intra-burst state.  Emitted samples and
-// skip decisions are bit-identical to the one-packet-at-a-time loop;
-// the prefetch pipelining is where the speed comes from.
+// A burst is resolved as a software-pipelined vector of stages over an
+// SoA descriptor (flow/burst_desc.hpp):
+//
+//  1. ingest — fill the frame / rss / timestamp lanes (packet + byte
+//     accounting, configurable-depth mbuf prefetch);
+//  2. batched pre-parse + branchless classify — probe_tcp_fast_batch
+//     fills the probe lanes, then one masked byte-compare per 16 lanes
+//     (group_masked_eq, scalar/SIMD twins) partitions the burst into
+//     fast-path candidates (pure data segments: ACK set, no SYN/FIN/RST)
+//     and full-parse lanes, which are parsed here;
+//  3. batched flow-table probe — every candidate lane's group prefetch
+//     issues up front, then the mutation-free classify probes resolve
+//     back-to-back over warm lines (FlowTable::probe_batch);
+//  4. resolve in arrival order, run-partitioned: full-parse lanes stage
+//     tracker items; candidate lanes consume their provisional verdict
+//     (replaying the stats the mutating lookup would have counted), and
+//     flush_items() runs once per *run* of consecutive candidate lanes
+//     instead of once per candidate.  The flush-before-skip-decision
+//     rule is preserved at lane granularity: a candidate following any
+//     staged item still flushes first, so a handshake completing within
+//     the burst is visible to the very next data segment; any flush (or
+//     a reclamation inside a stale-entry reprobe) voids the remaining
+//     provisional verdicts and those lanes fall back to the mutating
+//     lookup.  Emitted samples, skip decisions and every stats counter
+//     are bit-identical to the retired one-probe-per-packet loop, which
+//     is kept as poll_once_scalar() (LoopKernel::kScalar) as the fuzz
+//     oracle.
 
 #include <array>
 #include <atomic>
@@ -26,6 +42,7 @@
 #include <vector>
 
 #include "driver/nic.hpp"
+#include "flow/burst_desc.hpp"
 #include "flow/handshake_tracker.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -38,7 +55,13 @@ namespace ruru {
 struct WorkerObs {
   obs::HistogramHandle poll_batch;  ///< packets per non-empty rx_burst
   obs::HistogramHandle batch_fill;  ///< samples per batch-sink flush
-  obs::HistogramHandle inflow_rtt;  ///< ns per in-flow RTT sample (kind != handshake)
+  obs::HistogramHandle inflow_rtt;  ///< ns per kInflow RTT sample
+  /// ns per kOneSided departure delta — its own distribution: a
+  /// departure delta measures sender pacing, not a round trip, and
+  /// mixing the two made flow.inflow_rtt_ns bimodal on asymmetric taps.
+  obs::HistogramHandle one_sided_delta;
+  obs::HistogramHandle burst_candidates;   ///< candidate lanes per non-empty poll
+  obs::HistogramHandle candidate_run_len;  ///< consecutive candidate lanes per run
   FlowTableObs flow;                ///< probe-length / group-occupancy
 };
 
@@ -65,6 +88,23 @@ struct WorkerStats {
   StatCell batch_flushes = 0;
   /// Samples handed to the batch sink across all flushes.
   StatCell batched_samples = 0;
+  /// --- vector-loop lane accounting (zero under LoopKernel::kScalar) ---
+  /// Candidate lanes resolved as untracked skips (subset of
+  /// fast_path_skips attributable to the lane loop).
+  StatCell lane_skip = 0;
+  /// Candidate lanes consumed by the in-flow kernel (subset of
+  /// inflow_consumed).
+  StatCell lane_established = 0;
+  /// Candidate lanes that fell back to a full parse (mid-handshake
+  /// flows, invalid-length established segments).
+  StatCell lane_need_parse = 0;
+  /// Candidate lanes whose provisional verdict was voided by an
+  /// intra-burst mutation (flush or reclamation) and re-ran the
+  /// mutating lookup.
+  StatCell lane_revalidated = 0;
+  /// Provisional walks that saw a stale verified entry and re-ran the
+  /// real probe for exact reclamation/stats.
+  StatCell classify_reprobes = 0;
 };
 
 class QueueWorker {
@@ -80,10 +120,19 @@ class QueueWorker {
   using SynSink = std::function<void(Timestamp, Ipv4Address)>;
 
   static constexpr std::size_t kBurst = 32;
+  static_assert(kBurst == BurstDesc::kLanes, "rx burst and descriptor lanes must agree");
   /// Flow-table groups the incremental staleness sweep examines after
   /// each non-empty burst (the whole table is covered every
   /// capacity / (16 * kSweepGroupsPerBurst) bursts).
   static constexpr std::size_t kSweepGroupsPerBurst = 4;
+  /// Upper bound on the rx-loop prefetch depth (lookahead distance in
+  /// mbufs); deeper than this outruns any plausible L1 latency.
+  static constexpr std::size_t kMaxPrefetchDepth = 4;
+
+  /// Which poll-loop implementation runs.  kVector (the default) is the
+  /// staged lane pipeline; kScalar is the retired one-probe-per-packet
+  /// loop, kept bit-identical as the fuzz/bench oracle.
+  enum class LoopKernel : std::uint8_t { kVector, kScalar };
 
   QueueWorker(SimNic& nic, std::uint16_t queue_id, std::size_t flow_table_capacity,
               SampleSink sink, Duration stale_after = Duration::from_sec(30.0),
@@ -102,6 +151,25 @@ class QueueWorker {
   /// samples are bit-identical either way. Skips are counted in
   /// WorkerStats::fast_path_skips (they bypass parse_status).
   void set_fast_path(bool enabled) { fast_path_ = enabled; }
+
+  /// Select the poll-loop kernel before the worker runs (not thread-safe
+  /// afterwards).  Samples, skip decisions and stats counters (other
+  /// than the lane_* cells, which only the vector loop drives) are
+  /// bit-identical across kernels.
+  void set_loop_kernel(LoopKernel kernel) { loop_kernel_ = kernel; }
+  [[nodiscard]] LoopKernel loop_kernel() const { return loop_kernel_; }
+
+  /// Rx-loop prefetch knob (default 1, clamped to [0, kMaxPrefetchDepth];
+  /// 0 disables prefetching).  On the scalar kernel it is the classic
+  /// lookahead distance (prefetch lane i+depth while resolving lane i).
+  /// On the vector kernel the staged pipeline already spans the whole
+  /// burst, so any nonzero depth enables the stage 0/1 burst prefetch
+  /// and the distance itself is moot.  Purely a memory-timing knob,
+  /// never a semantic one.
+  void set_prefetch_depth(std::size_t depth) {
+    prefetch_depth_ = depth > kMaxPrefetchDepth ? kMaxPrefetchDepth : depth;
+  }
+  [[nodiscard]] std::size_t prefetch_depth() const { return prefetch_depth_; }
 
   /// Install a batched sink before the worker runs (not thread-safe
   /// afterwards). Samples accumulate in a reused per-worker buffer —
@@ -174,6 +242,11 @@ class QueueWorker {
   void deliver_staged();
   void deliver_sample(const LatencySample& sample);
 
+  /// The staged lane pipeline (LoopKernel::kVector, the default).
+  std::size_t poll_once_vector();
+  /// The retired per-packet loop, kept bit-identical as the oracle.
+  std::size_t poll_once_scalar();
+
   SimNic& nic_;
   std::uint16_t queue_id_;
   HandshakeTracker tracker_;
@@ -182,11 +255,15 @@ class QueueWorker {
   BatchSink batch_sink_;
   bool fast_path_ = true;
   bool inflow_ = false;  ///< cached InflowConfig::enabled
+  bool simd_ = false;    ///< group_masked_eq kernel choice (mirrors the table's)
+  LoopKernel loop_kernel_ = LoopKernel::kVector;
+  std::size_t prefetch_depth_ = 1;
   std::size_t batch_size_ = 1;
   Duration batch_linger_{0};
   std::vector<LatencySample> batch_;   ///< reused accumulator
   Timestamp batch_oldest_{};           ///< capture time of batch_[0]
-  std::array<Pending, kBurst> pending_;       ///< pass-1 scratch
+  std::array<Pending, kBurst> pending_;       ///< parse scratch (both kernels)
+  BurstDesc desc_;                            ///< vector-loop lane scratch
   std::vector<TrackedPacket> items_;          ///< reused, capacity kBurst
   std::vector<LatencySample> samples_;        ///< reused, capacity kBurst
   obs::TraceHandle trace_;

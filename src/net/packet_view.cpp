@@ -114,6 +114,20 @@ FastProbe probe_tcp_fast(std::span<const std::uint8_t> frame) {
   return p;
 }
 
+std::size_t probe_tcp_fast_batch(const std::span<const std::uint8_t>* frames, std::size_t n,
+                                 FastProbe* out) {
+  // No frame prefetch here: the worker's ingest stage already issued
+  // the head-of-frame lines for the whole burst a stage earlier, which
+  // is strictly more lookahead than a one-frame peek from inside this
+  // loop could give.
+  std::size_t eligible = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = probe_tcp_fast(frames[i]);
+    eligible += out[i].eligible ? 1 : 0;
+  }
+  return eligible;
+}
+
 FastTsProbe probe_tcp_timestamps(std::span<const std::uint8_t> frame, std::size_t l4_offset,
                                  bool is_v4) {
   FastTsProbe r;

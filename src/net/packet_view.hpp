@@ -95,6 +95,13 @@ struct FastProbe {
 /// the result to SKIP packets, never to measure them.
 [[nodiscard]] FastProbe probe_tcp_fast(std::span<const std::uint8_t> frame);
 
+/// Batched probe_tcp_fast over `n` frames: probes each frame while the
+/// next frame's header bytes stream in behind a prefetch, filling
+/// `out[0..n)`.  Results are identical to calling probe_tcp_fast per
+/// frame; returns the number of eligible frames.
+std::size_t probe_tcp_fast_batch(const std::span<const std::uint8_t>* frames, std::size_t n,
+                                 FastProbe* out);
+
 /// Result of probe_tcp_timestamps(): the RFC 7323 timestamp option and
 /// the payload length, read in place for the in-flow RTT kernel.
 struct FastTsProbe {

@@ -186,6 +186,28 @@ TEST(PipelineConfigFile, InflowRttBounds) {
   EXPECT_FALSE(pipeline_config_from_text("[flow]\ninflow_rtt = maybe\n").ok());
 }
 
+TEST(PipelineConfigFile, WorkerLoopKeys) {
+  const auto r =
+      pipeline_config_from_text("[flow]\nprefetch_depth = 2\nvector_loop = false\n");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().worker_prefetch_depth, 2u);
+  EXPECT_FALSE(r.value().worker_vector_loop);
+
+  // Defaults: lane loop on, lookahead 1.
+  const auto d = pipeline_config_from_text("");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().worker_prefetch_depth, 1u);
+  EXPECT_TRUE(d.value().worker_vector_loop);
+
+  // Depth 0 (prefetch off) and 4 (the cap) are the limit cases, accepted.
+  EXPECT_TRUE(pipeline_config_from_text("[flow]\nprefetch_depth = 0\n").ok());
+  EXPECT_TRUE(pipeline_config_from_text("[flow]\nprefetch_depth = 4\n").ok());
+  const auto deep = pipeline_config_from_text("[flow]\nprefetch_depth = 5\n");
+  ASSERT_FALSE(deep.ok());
+  EXPECT_NE(deep.error().find("prefetch_depth"), std::string::npos);
+  EXPECT_FALSE(pipeline_config_from_text("[flow]\nvector_loop = maybe\n").ok());
+}
+
 TEST(PipelineConfigFile, ProbeWindowKey) {
   const auto r = pipeline_config_from_text("[flow]\nprobe_window = 64\n");
   ASSERT_TRUE(r.ok()) << r.error();

@@ -56,6 +56,23 @@ TEST(GroupProbe, ScalarClassMasksPartitionTheGroup) {
   }
 }
 
+TEST(GroupProbe, ScalarMaskedEqSelectsPureAckLanes) {
+  // The worker's classify predicate: (flags & (SYN|FIN|RST|ACK)) == ACK.
+  // 0x10 = bare ACK, 0x18 = ACK|PSH (still a pure data segment); any
+  // SYN/FIN/RST bit or the 0xFF ineligible sentinel must never match.
+  std::array<std::uint8_t, kFlowGroupWidth> g{};
+  g.fill(0xFF);  // ineligible / tail padding
+  g[0] = 0x10;   // ACK
+  g[3] = 0x18;   // ACK|PSH
+  g[5] = 0x12;   // ACK|SYN
+  g[7] = 0x11;   // ACK|FIN
+  g[9] = 0x14;   // ACK|RST
+  g[11] = 0x02;  // bare SYN
+  g[13] = 0x00;  // no flags
+  const GroupMask m = group_masked_eq_scalar(g.data(), 0x17, 0x10);
+  EXPECT_EQ(m, (1u << 0) | (1u << 3));
+}
+
 TEST(GroupProbe, TagsNeverMatchSentinels) {
   std::array<std::uint8_t, kFlowGroupWidth> g{};
   for (std::size_t i = 0; i < kFlowGroupWidth; ++i) {
@@ -94,6 +111,25 @@ TEST(GroupProbe, SimdHandlesAllEmptyAndAllFullGroups) {
   EXPECT_EQ(group_full_simd(g.data()), 0xFFFFu);
   EXPECT_EQ(group_reusable_simd(g.data()), 0u);
   EXPECT_EQ(group_match_simd(g.data(), 0x3C), 0xFFFFu);
+}
+
+TEST(GroupProbe, SimdMaskedEqMatchesScalarOnRandomBytes) {
+  // Full-range bytes (TCP flags, not ctrl tags) with random mask/value
+  // pairs — the masked compare must agree lane-for-lane with the scalar
+  // twin, including the all-ones sentinel lanes.
+  Pcg32 rng(404);
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::array<std::uint8_t, kFlowGroupWidth> g{};
+    for (auto& b : g) b = static_cast<std::uint8_t>(rng.bounded(256));
+    if (rng.bounded(4) == 0) g[rng.bounded(kFlowGroupWidth)] = 0xFF;
+    const auto mask = static_cast<std::uint8_t>(rng.bounded(256));
+    const auto value = static_cast<std::uint8_t>(rng.bounded(256) & mask);
+    ASSERT_EQ(group_masked_eq_simd(g.data(), mask, value),
+              group_masked_eq_scalar(g.data(), mask, value))
+        << "iter " << iter << " mask " << int(mask) << " value " << int(value);
+    ASSERT_EQ(group_masked_eq(true, g.data(), mask, value),
+              group_masked_eq(false, g.data(), mask, value));
+  }
 }
 
 TEST(GroupProbe, ResolveSimdHonoursKernelChoice) {

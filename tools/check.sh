@@ -60,13 +60,21 @@
 # the observer-effect invariant un-sanitized: the same replay traced at
 # 1-in-64 must emit a sample stream bit-identical to the untraced run.
 #
-# Usage: tools/check.sh [thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace|inflow]   (default: thread)
+# The `worker` mode gates the vectorized poll loop: the lane pipeline,
+# the scalar-vs-vector fuzz oracles and the zero-alloc proof under
+# ASan+UBSan (the SoA descriptor indexes raw lanes and the masked
+# classify unions SIMD masks, so both heap misuse and UB must abort), a
+# TSan pass over the multi-worker path, and a fig2 regression smoke
+# that fails if the vector loop's Transpacific throughput drops below
+# 0.95x of the value recorded in bench/BENCH_worker.json.
+#
+# Usage: tools/check.sh [thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace|inflow|worker]   (default: thread)
 set -euo pipefail
 
 SAN="${1:-thread}"
 case "$SAN" in
-  thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace|inflow) ;;
-  *) echo "usage: $0 [thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace|inflow]" >&2; exit 2 ;;
+  thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace|inflow|worker) ;;
+  *) echo "usage: $0 [thread|address|undefined|metrics|enrich|flow|scale|tsdb|trace|inflow|worker]" >&2; exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -209,6 +217,49 @@ if [ "$SAN" = "inflow" ]; then
   "$BUILD/tests/test_flow" \
     --gtest_filter='InflowWorker.HandshakeSamplesBitIdenticalWithKernelOnOrOff'
   echo "inflow gate OK: matcher ASan+UBSan-clean, worker path TSan-clean, handshake stream bit-identical"
+  exit 0
+fi
+
+if [ "$SAN" = "worker" ]; then
+  # Vector-loop gate, part 1: the lane pipeline under ASan+UBSan in one
+  # build.  The scalar-vs-vector fuzz oracles (identical samples AND
+  # identical stats across random bursts), the mixed-burst
+  # handshake-completes-mid-burst ordering test, the masked-eq
+  # scalar/SIMD twins, and the counting-allocator proof that the vector
+  # poll loop's steady state never allocates.
+  BUILD="$ROOT/build-flow"
+  cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE=address+undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$JOBS" --target test_flow test_analytics
+  (cd "$BUILD" && ctest --output-on-failure -j"$JOBS" \
+    -R 'WorkerVector|Worker|GroupProbe|ZeroAlloc|Inflow')
+
+  # Part 2: the multi-worker path under TSan — threaded queue workers
+  # running the vector loop while the snapshot thread reads stats.
+  BUILD="$ROOT/build-thread"
+  cmake -B "$BUILD" -S "$ROOT" -DRURU_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$JOBS" --target test_flow test_core
+  (cd "$BUILD" && ctest --output-on-failure -j"$JOBS" -R 'Worker|Scaling|Inflow')
+
+  # Part 3: the fig2 regression smoke, un-sanitized so timing is
+  # representative.  The vector loop's Transpacific throughput must hold
+  # >= 0.95x the pps recorded in bench/BENCH_worker.json (gate_pps).
+  BUILD="$ROOT/build"
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$BUILD" -j"$JOBS" --target bench_worker_pipeline
+  GATE_PPS="$(grep -o '"gate_pps"[^,}]*' "$ROOT/bench/BENCH_worker.json" | head -1 | awk -F: '{gsub(/[^0-9.eE+]/,"",$2); print $2}')"
+  [ -n "$GATE_PPS" ] || { echo "worker gate: no gate_pps in bench/BENCH_worker.json" >&2; exit 1; }
+  MEASURED="$("$BUILD/bench/bench_worker_pipeline" \
+      --benchmark_filter='BM_WorkerTranspacific/vector:1' \
+      --benchmark_min_time=0.2 --benchmark_format=json 2>/dev/null \
+    | grep -o '"items_per_second": [0-9.e+]*' | head -1 | awk '{print $2}')"
+  [ -n "$MEASURED" ] || { echo "worker gate: smoke bench produced no throughput" >&2; exit 1; }
+  awk -v m="$MEASURED" -v g="$GATE_PPS" 'BEGIN {
+    ratio = m / g;
+    printf "worker smoke: %.0f pps vs recorded %.0f pps (%.2fx, floor 0.95x)\n", m, g, ratio;
+    exit (ratio >= 0.95) ? 0 : 1;
+  }' || { echo "worker gate FAILED: fig2 smoke below 0.95x of recorded throughput" >&2; exit 1; }
+  echo "worker gate OK: lane loop ASan+UBSan-clean, multi-worker TSan-clean, fig2 smoke held"
   exit 0
 fi
 
